@@ -1,0 +1,37 @@
+//! §6.1 bench: interior-node logging share (why leaf-only InCLL is the
+//! right design — the paper tried interior InCLLs and rejected them).
+//!
+//! Full-scale: `figures ablation`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use incll_bench::experiments::{self, ExpParams};
+use incll_bench::systems::{build_incll, SystemConfig};
+use incll_ycsb::{load, run, Dist, Mix, RunConfig};
+
+fn bench(c: &mut Criterion) {
+    let p = ExpParams::quick();
+    experiments::ablation_internal(&p);
+
+    // Criterion angle: insert-heavy growth (max split/interior traffic).
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    let mut cfg = SystemConfig::new(p.keys * 4, 1);
+    cfg.wbinvd_ns = 0;
+    let sys = build_incll(&cfg);
+    load(&sys.tree, p.keys, 1);
+    let rc = RunConfig {
+        threads: 1,
+        ops_per_thread: p.ops_per_thread,
+        nkeys: p.keys,
+        mix: Mix::A,
+        dist: Dist::Uniform,
+        seed: p.seed,
+    };
+    g.bench_function("ycsb_a_with_interior_logging", |b| {
+        b.iter(|| run(&sys.tree, &rc))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Figure 2 bench: throughput of MT, MT+ and INCLL on the YCSB mixes.
+//!
+//! Prints the paper-style series at quick scale, then measures one
+//! representative workload (YCSB_A uniform) per system under Criterion.
+//! Full-scale regeneration: `cargo run --release -p incll-bench --bin
+//! figures -- fig2`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use incll_bench::experiments::{self, ExpParams};
+use incll_bench::systems::{build_incll, build_mt, build_mtplus, SystemConfig};
+use incll_ycsb::{load, run, Dist, Mix, RunConfig};
+
+fn quick_cfg(p: &ExpParams) -> (SystemConfig, RunConfig) {
+    let mut cfg = SystemConfig::new(p.keys, p.threads);
+    cfg.wbinvd_ns = 0;
+    let rc = RunConfig {
+        threads: p.threads,
+        ops_per_thread: p.ops_per_thread,
+        nkeys: p.keys,
+        mix: Mix::A,
+        dist: Dist::Uniform,
+        seed: p.seed,
+    };
+    (cfg, rc)
+}
+
+fn bench(c: &mut Criterion) {
+    let p = ExpParams::quick();
+    experiments::fig2(&p);
+
+    let (cfg, rc) = quick_cfg(&p);
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(10);
+
+    let mt = build_mt(&cfg);
+    load(&mt.tree, p.keys, p.threads);
+    g.bench_function("ycsb_a_uniform_MT", |b| b.iter(|| run(&mt.tree, &rc)));
+    drop(mt);
+
+    let mtp = build_mtplus(&cfg);
+    load(&mtp.tree, p.keys, p.threads);
+    g.bench_function("ycsb_a_uniform_MT+", |b| b.iter(|| run(&mtp.tree, &rc)));
+    drop(mtp);
+
+    let inc = build_incll(&cfg);
+    load(&inc.tree, p.keys, p.threads);
+    g.bench_function("ycsb_a_uniform_INCLL", |b| b.iter(|| run(&inc.tree, &rc)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figure 3 bench: INCLL sensitivity to emulated NVM latency.
+//!
+//! Full-scale: `figures fig3`. The Criterion measurement contrasts the
+//! 0 ns and 1000 ns endpoints of the sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use incll_bench::experiments::{self, ExpParams};
+use incll_bench::systems::{build_incll, SystemConfig};
+use incll_ycsb::{load, run, Dist, Mix, RunConfig};
+
+fn bench(c: &mut Criterion) {
+    let p = ExpParams::quick();
+    experiments::fig3(&p);
+
+    let mut cfg = SystemConfig::new(p.keys, p.threads);
+    cfg.wbinvd_ns = 0;
+    let inc = build_incll(&cfg);
+    load(&inc.tree, p.keys, p.threads);
+    let rc = RunConfig {
+        threads: p.threads,
+        ops_per_thread: p.ops_per_thread,
+        nkeys: p.keys,
+        mix: Mix::A,
+        dist: Dist::Uniform,
+        seed: p.seed,
+    };
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    for ns in [0u64, 1000] {
+        inc.arena.latency().set_sfence_ns(ns);
+        g.bench_function(format!("ycsb_a_incll_{ns}ns"), |b| {
+            b.iter(|| run(&inc.tree, &rc))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 4 bench: thread scaling of MT+ vs INCLL.
+//!
+//! Full-scale: `figures fig4`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use incll_bench::experiments::{self, ExpParams};
+use incll_bench::systems::{build_incll, SystemConfig};
+use incll_ycsb::{load, run, Dist, Mix, RunConfig};
+
+fn bench(c: &mut Criterion) {
+    let p = ExpParams::quick();
+    experiments::fig4(&p, &[1, 2, 4]);
+
+    let mut cfg = SystemConfig::new(p.keys, 4);
+    cfg.wbinvd_ns = 0;
+    let inc = build_incll(&cfg);
+    load(&inc.tree, p.keys, 2);
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        let rc = RunConfig {
+            threads,
+            ops_per_thread: p.ops_per_thread / threads as u64,
+            nkeys: p.keys,
+            mix: Mix::A,
+            dist: Dist::Uniform,
+            seed: p.seed,
+        };
+        g.bench_function(format!("ycsb_a_incll_{threads}t"), |b| {
+            b.iter(|| run(&inc.tree, &rc))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 5 bench: throughput across tree sizes (MT+ vs INCLL).
+//!
+//! Full-scale: `figures fig5`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use incll_bench::experiments::{self, ExpParams};
+use incll_bench::systems::{build_incll, SystemConfig};
+use incll_ycsb::{load, run, Dist, Mix, RunConfig};
+
+fn bench(c: &mut Criterion) {
+    let p = ExpParams::quick();
+    experiments::figs5_6(&p, &[2_000, 10_000, 50_000]);
+
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    for keys in [2_000u64, 20_000] {
+        let mut cfg = SystemConfig::new(keys, p.threads);
+        cfg.wbinvd_ns = 0;
+        let inc = build_incll(&cfg);
+        load(&inc.tree, keys, p.threads);
+        let rc = RunConfig {
+            threads: p.threads,
+            ops_per_thread: p.ops_per_thread,
+            nkeys: keys,
+            mix: Mix::A,
+            dist: Dist::Uniform,
+            seed: p.seed,
+        };
+        g.bench_function(format!("ycsb_a_incll_{keys}keys"), |b| {
+            b.iter(|| run(&inc.tree, &rc))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

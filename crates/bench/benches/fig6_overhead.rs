@@ -1,0 +1,43 @@
+//! Figure 6 bench: the INCLL-over-MT+ overhead parabola across tree sizes.
+//!
+//! Derived from the Figure 5 data; this bench prints the overhead table at
+//! quick scale and measures the MT+/INCLL pair at one mid-curve size so
+//! regressions in relative overhead show up in Criterion history.
+//!
+//! Full-scale: `figures fig6`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use incll_bench::experiments::{self, ExpParams};
+use incll_bench::systems::{build_incll, build_mtplus, SystemConfig};
+use incll_ycsb::{load, run, Dist, Mix, RunConfig};
+
+fn bench(c: &mut Criterion) {
+    let p = ExpParams::quick();
+    let (_t5, t6) = experiments::figs5_6(&p, &[2_000, 10_000, 50_000]);
+    drop(t6);
+
+    let keys = 20_000u64;
+    let mut cfg = SystemConfig::new(keys, p.threads);
+    cfg.wbinvd_ns = 0;
+    let rc = RunConfig {
+        threads: p.threads,
+        ops_per_thread: p.ops_per_thread,
+        nkeys: keys,
+        mix: Mix::A,
+        dist: Dist::Uniform,
+        seed: p.seed,
+    };
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    let mtp = build_mtplus(&cfg);
+    load(&mtp.tree, keys, p.threads);
+    g.bench_function("midsize_mtplus", |b| b.iter(|| run(&mtp.tree, &rc)));
+    drop(mtp);
+    let inc = build_incll(&cfg);
+    load(&inc.tree, keys, p.threads);
+    g.bench_function("midsize_incll", |b| b.iter(|| run(&inc.tree, &rc)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Figure 7 bench: externally logged nodes, LOGGING vs INCLL.
+//!
+//! Full-scale: `figures fig7`. The Criterion measurement times the
+//! LOGGING-mode workload (whose cost is dominated by log traffic).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use incll_bench::experiments::{self, ExpParams};
+use incll_bench::systems::{build_incll, SystemConfig};
+use incll_ycsb::{load, run, Dist, Mix, RunConfig};
+
+fn bench(c: &mut Criterion) {
+    let p = ExpParams::quick();
+    experiments::fig7(&p, &[2_000, 10_000, 50_000]);
+
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    for incll in [true, false] {
+        let mut cfg = SystemConfig::new(p.keys, p.threads);
+        cfg.wbinvd_ns = 0;
+        cfg.incll = incll;
+        let sys = build_incll(&cfg);
+        load(&sys.tree, p.keys, p.threads);
+        let rc = RunConfig {
+            threads: p.threads,
+            ops_per_thread: p.ops_per_thread,
+            nkeys: p.keys,
+            mix: Mix::A,
+            dist: Dist::Uniform,
+            seed: p.seed,
+        };
+        let label = if incll { "incll" } else { "logging" };
+        g.bench_function(format!("ycsb_a_{label}"), |b| b.iter(|| run(&sys.tree, &rc)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Figure 8 bench: LOGGING vs INCLL under emulated NVM latency — the
+//! paper's headline robustness comparison.
+//!
+//! Full-scale: `figures fig8`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use incll_bench::experiments::{self, ExpParams};
+use incll_bench::systems::{build_incll, SystemConfig};
+use incll_ycsb::{load, run, Dist, Mix, RunConfig};
+
+fn bench(c: &mut Criterion) {
+    let p = ExpParams::quick();
+    experiments::fig8(&p);
+
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    for incll in [true, false] {
+        let mut cfg = SystemConfig::new(p.keys, p.threads);
+        cfg.wbinvd_ns = 0;
+        cfg.incll = incll;
+        let sys = build_incll(&cfg);
+        load(&sys.tree, p.keys, p.threads);
+        sys.arena.latency().set_sfence_ns(1000);
+        let rc = RunConfig {
+            threads: p.threads,
+            ops_per_thread: p.ops_per_thread,
+            nkeys: p.keys,
+            mix: Mix::A,
+            dist: Dist::Uniform,
+            seed: p.seed,
+        };
+        let label = if incll { "incll" } else { "logging" };
+        g.bench_function(format!("ycsb_a_{label}_1000ns"), |b| {
+            b.iter(|| run(&sys.tree, &rc))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

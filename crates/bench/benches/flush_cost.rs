@@ -1,0 +1,40 @@
+//! §6.2 bench: the per-epoch checkpoint (whole-cache flush) cost.
+//!
+//! The paper measures 1.38–1.39 ms per `wbinvd`, 2.2 % of a 64 ms epoch.
+//! Criterion measures `advance()` with the emulated flush stall.
+//!
+//! Full-scale: `figures flushcost`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use incll_bench::experiments::{self, ExpParams};
+use incll_bench::systems::{build_incll, SystemConfig, PAPER_WBINVD_NS};
+
+fn bench(c: &mut Criterion) {
+    let p = ExpParams::quick();
+    experiments::flush_cost(&p);
+
+    let mut g = c.benchmark_group("flush_cost");
+    g.sample_size(20);
+    for (label, ns) in [("free_flush", 0u64), ("paper_wbinvd", PAPER_WBINVD_NS)] {
+        let mut cfg = SystemConfig::new(p.keys, 1);
+        cfg.wbinvd_ns = ns;
+        cfg.epoch_interval = None;
+        let sys = build_incll(&cfg);
+        let ctx = sys.tree.thread_ctx(0);
+        let mut i = 0u64;
+        g.bench_function(format!("advance_{label}"), |b| {
+            b.iter(|| {
+                // A little dirty state per epoch, then the checkpoint.
+                for _ in 0..16 {
+                    sys.tree.put(&ctx, &incll_ycsb::storage_key(i % p.keys), i);
+                    i += 1;
+                }
+                sys.tree.epoch_manager().advance()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

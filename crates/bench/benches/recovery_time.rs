@@ -1,0 +1,55 @@
+//! §6.3 bench: recovery time after a crash at the end of a write-heavy
+//! epoch (the paper's worst case: ~84 K logged nodes replayed in ~15 ms).
+//!
+//! The eager phase of recovery *is* external-log replay, and replay is
+//! idempotent — so Criterion measures `ExtLog::replay` directly over a log
+//! populated with one doomed epoch's node images. (A full crash+open cycle
+//! cannot be a Criterion iteration: each recovery durably consumes one of
+//! the arena's bounded failed-epoch slots, §DESIGN.)
+//!
+//! Full-scale end-to-end numbers: `figures recovery`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use incll_bench::experiments::{self, ExpParams};
+use incll_bench::systems::{build_incll, SystemConfig};
+use incll_ycsb::{load, run, Dist, Mix, RunConfig};
+
+fn bench(c: &mut Criterion) {
+    let p = ExpParams::quick();
+    experiments::recovery_time(&p);
+
+    // Build one doomed epoch worth of log entries.
+    let mut cfg = SystemConfig::new(p.keys, 1);
+    cfg.wbinvd_ns = 0;
+    cfg.epoch_interval = None;
+    let sys = build_incll(&cfg);
+    load(&sys.tree, p.keys, 1);
+    let crashed_epoch = sys.tree.epoch_manager().advance();
+    run(
+        &sys.tree,
+        &RunConfig {
+            threads: 1,
+            ops_per_thread: p.ops_per_thread,
+            nkeys: p.keys,
+            mix: Mix::A,
+            dist: Dist::Uniform,
+            seed: p.seed,
+        },
+    );
+    let entries = sys.arena.stats().ext_nodes_logged();
+    let log = incll_extlog::ExtLog::open(&sys.arena);
+
+    let mut g = c.benchmark_group("recovery");
+    g.sample_size(20);
+    g.bench_function(format!("replay_{entries}_entries"), |b| {
+        b.iter(|| {
+            let report = log.replay(crashed_epoch, crashed_epoch);
+            assert!(report.entries_applied > 0);
+            report.entries_applied
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

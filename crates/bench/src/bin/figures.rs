@@ -1,0 +1,139 @@
+//! Regenerates every figure and in-text table of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p incll-bench --bin figures -- <experiment> [options]
+//!
+//! experiments:
+//!   fig2 fig3 fig4 fig5 fig6 fig7 fig8 flushcost recovery ablation all
+//!
+//! options:
+//!   --paper            paper-scale parameters (20M keys, 8x1M ops)
+//!   --scale F          multiply keys and ops by F (default 1.0)
+//!   --keys N           key-space size override
+//!   --ops N            ops per thread override
+//!   --threads N        driver threads override
+//!   --out DIR          also write tables to DIR (default: results)
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use incll_bench::experiments::{self, ExpParams, Table};
+
+struct Args {
+    experiment: String,
+    params: ExpParams,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = std::env::args().skip(1);
+    let experiment = args.next().unwrap_or_else(|| usage("missing experiment"));
+    let mut params = ExpParams::default_scale();
+    let mut scale = 1.0f64;
+    let mut out = PathBuf::from("results");
+    while let Some(flag) = args.next() {
+        let mut val = || {
+            args.next()
+                .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--paper" => params = ExpParams::paper(),
+            "--scale" => scale = val().parse().unwrap_or_else(|_| usage("bad --scale")),
+            "--keys" => params.keys = val().parse().unwrap_or_else(|_| usage("bad --keys")),
+            "--ops" => {
+                params.ops_per_thread = val().parse().unwrap_or_else(|_| usage("bad --ops"))
+            }
+            "--threads" => {
+                params.threads = val().parse().unwrap_or_else(|_| usage("bad --threads"))
+            }
+            "--out" => out = PathBuf::from(val()),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    params = params.scaled(scale);
+    Args {
+        experiment,
+        params,
+        out,
+    }
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("error: {err}");
+    eprintln!(
+        "usage: figures <fig2|fig3|fig4|fig5|fig6|fig7|fig8|flushcost|recovery|ablation|all> \
+         [--paper] [--scale F] [--keys N] [--ops N] [--threads N] [--out DIR]"
+    );
+    std::process::exit(2);
+}
+
+fn size_sweep(p: &ExpParams) -> Vec<u64> {
+    // The paper sweeps 10K..100M; cap the ladder at the configured size.
+    let ladder = [
+        10_000u64, 30_000, 100_000, 300_000, 1_000_000, 3_000_000, 10_000_000, 100_000_000,
+    ];
+    ladder
+        .into_iter()
+        .filter(|&s| s <= p.keys.max(100_000))
+        .collect()
+}
+
+fn thread_sweep(p: &ExpParams) -> Vec<usize> {
+    let mut v = vec![1usize, 2, 4, 8, 16];
+    v.retain(|&t| t <= p.threads.max(8) * 2);
+    v
+}
+
+fn save(out: &PathBuf, name: &str, tables: &[&Table]) {
+    let _ = fs::create_dir_all(out);
+    let body: String = tables.iter().map(|t| t.render() + "\n").collect();
+    let path = out.join(format!("{name}.txt"));
+    if let Err(e) = fs::write(&path, body) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("(saved to {})", path.display());
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let p = &args.params;
+    println!(
+        "== experiment {} | keys={} ops/thread={} threads={} ==\n",
+        args.experiment, p.keys, p.ops_per_thread, p.threads
+    );
+    let run_one = |name: &str| match name {
+        "fig2" => save(&args.out, "fig2", &[&experiments::fig2(p)]),
+        "fig3" => save(&args.out, "fig3", &[&experiments::fig3(p)]),
+        "fig4" => save(
+            &args.out,
+            "fig4",
+            &[&experiments::fig4(p, &thread_sweep(p))],
+        ),
+        "fig5" | "fig6" => {
+            let (t5, t6) = experiments::figs5_6(p, &size_sweep(p));
+            save(&args.out, "fig5_fig6", &[&t5, &t6]);
+        }
+        "fig7" => save(&args.out, "fig7", &[&experiments::fig7(p, &size_sweep(p))]),
+        "fig8" => save(&args.out, "fig8", &[&experiments::fig8(p)]),
+        "flushcost" => save(&args.out, "flushcost", &[&experiments::flush_cost(p)]),
+        "recovery" => save(&args.out, "recovery", &[&experiments::recovery_time(p)]),
+        "ablation" => save(
+            &args.out,
+            "ablation",
+            &[&experiments::ablation_internal(p)],
+        ),
+        other => usage(&format!("unknown experiment {other}")),
+    };
+    if args.experiment == "all" {
+        for name in [
+            "fig2", "fig3", "fig4", "fig5", "fig7", "fig8", "flushcost", "recovery", "ablation",
+        ] {
+            println!("---- {name} ----");
+            run_one(name);
+        }
+    } else {
+        run_one(&args.experiment);
+    }
+}

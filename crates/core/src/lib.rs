@@ -1,0 +1,634 @@
+//! # incll — Fine-Grain Checkpointing with In-Cache-Line Logging
+//!
+//! A durable, crash-recoverable Masstree for (simulated) non-volatile
+//! memory, reproducing Cohen, Aksun, Avni & Larus, *Fine-Grain
+//! Checkpointing with In-Cache-Line Logging* (ASPLOS 2019).
+//!
+//! Three mechanisms cooperate:
+//!
+//! * **Fine-grain checkpointing** — execution is divided into short epochs
+//!   ([`incll_epoch`]); each boundary flushes the whole cache, making NVM a
+//!   complete checkpoint of the structure. A crash rolls the tree back to
+//!   the last boundary.
+//! * **In-cache-line logging (InCLL)** — each 14-entry leaf embeds three
+//!   undo-log words *inside* its own cache lines (`InCLLp` for the
+//!   permutation, `ValInCLL1/2` for values, [`layout`]); PCSO same-line
+//!   ordering makes the logs durable-before-mutation with **zero** flushes
+//!   or fences on the operation path.
+//! * **External logging** ([`incll_extlog`]) for the rare complex cases:
+//!   splits, interior nodes, layer conversions, InCLL overflow.
+//!
+//! The durable allocator ([`incll_palloc`]) applies the same recipe to its
+//! free lists, so a `put` (buffer allocation + tree update) runs without a
+//! single synchronous NVM write.
+//!
+//! # Quick start
+//!
+//! ```
+//! use incll_pmem::{superblock, PArena};
+//! use incll::{DurableConfig, DurableMasstree};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let arena = PArena::builder().capacity_bytes(16 << 20).build()?;
+//! superblock::format(&arena);
+//! let config = DurableConfig {
+//!     threads: 1,
+//!     log_bytes_per_thread: 1 << 20,
+//!     incll_enabled: true,
+//! };
+//! let tree = DurableMasstree::create(&arena, config)?;
+//! let ctx = tree.thread_ctx(0);
+//!
+//! tree.put(&ctx, b"durable-key", 7);
+//! assert_eq!(tree.get(&ctx, b"durable-key"), Some(7));
+//!
+//! // Checkpoint: everything written so far survives any later crash.
+//! tree.epoch_manager().advance();
+//!
+//! // ... crash happens here (see `PArena::crash_seeded` in tracked mode);
+//! // reopen with `DurableMasstree::open` to roll back to the checkpoint.
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod layout;
+pub mod pversion;
+mod recovery;
+mod tree;
+
+pub use recovery::RecoveryReport;
+pub use tree::{DCtx, DurableConfig, DurableMasstree, VALUE_BUF_BYTES};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incll_pmem::{superblock, PArena};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::BTreeMap;
+
+    fn small_config() -> DurableConfig {
+        DurableConfig {
+            threads: 2,
+            log_bytes_per_thread: 256 << 10,
+            incll_enabled: true,
+        }
+    }
+
+    fn fresh(tracked: bool) -> (PArena, DurableMasstree) {
+        let arena = PArena::builder()
+            .capacity_bytes(32 << 20)
+            .tracked(tracked)
+            .build()
+            .unwrap();
+        superblock::format(&arena);
+        let tree = DurableMasstree::create(&arena, small_config()).unwrap();
+        (arena, tree)
+    }
+
+    fn collect(tree: &DurableMasstree, ctx: &DCtx) -> Vec<(Vec<u8>, u64)> {
+        let mut out = Vec::new();
+        tree.scan(ctx, b"", usize::MAX, &mut |k, v| out.push((k.to_vec(), v)));
+        out
+    }
+
+    // ---------------- functional (no crash) ----------------
+
+    #[test]
+    fn put_get_update_remove() {
+        let (_a, t) = fresh(false);
+        let ctx = t.thread_ctx(0);
+        assert_eq!(t.put(&ctx, b"alpha", 1), None);
+        assert_eq!(t.get(&ctx, b"alpha"), Some(1));
+        assert_eq!(t.put(&ctx, b"alpha", 2), Some(1));
+        assert_eq!(t.get(&ctx, b"alpha"), Some(2));
+        assert!(t.remove(&ctx, b"alpha"));
+        assert_eq!(t.get(&ctx, b"alpha"), None);
+    }
+
+    #[test]
+    fn no_flushes_on_op_path() {
+        let (a, t) = fresh(false);
+        let ctx = t.thread_ctx(0);
+        // Warm up: slab carves + first-touch logging out of the way, then
+        // start a fresh epoch so first modifications take the InCLL path
+        // (fresh nodes are born "logged" and need no logging at all).
+        for i in 0..64u64 {
+            t.put(&ctx, &i.to_be_bytes(), i);
+        }
+        t.epoch_manager().advance();
+        let before = a.stats().snapshot();
+        for i in 0..32u64 {
+            t.put(&ctx, &(1000 + i).to_be_bytes(), i); // inserts, no splits
+            t.put(&ctx, &i.to_be_bytes(), i + 1); // updates
+            t.get(&ctx, &i.to_be_bytes());
+        }
+        let d = a.stats().snapshot().delta(&before);
+        // Splits may flush (external log); plain inserts/updates must not.
+        assert_eq!(
+            d.sfence, d.ext_nodes_logged,
+            "every fence must come from an external-log seal"
+        );
+        assert!(d.incll_perm_logs > 0, "InCLLp should be absorbing inserts");
+    }
+
+    #[test]
+    fn splits_and_scan_order() {
+        let (_a, t) = fresh(false);
+        let ctx = t.thread_ctx(0);
+        for i in 0..3000u64 {
+            t.put(&ctx, &i.to_be_bytes(), i * 3);
+        }
+        for i in 0..3000u64 {
+            assert_eq!(t.get(&ctx, &i.to_be_bytes()), Some(i * 3), "key {i}");
+        }
+        let all = collect(&t, &ctx);
+        assert_eq!(all.len(), 3000);
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn long_keys_and_layers() {
+        let (_a, t) = fresh(false);
+        let ctx = t.thread_ctx(0);
+        t.put(&ctx, b"abcdefgh", 1);
+        t.put(&ctx, b"abcdefgh-beyond-one-slice", 2);
+        t.put(&ctx, b"abcdefgh-beyond", 3);
+        t.put(&ctx, b"ab", 4);
+        assert_eq!(t.get(&ctx, b"abcdefgh"), Some(1));
+        assert_eq!(t.get(&ctx, b"abcdefgh-beyond-one-slice"), Some(2));
+        assert_eq!(t.get(&ctx, b"abcdefgh-beyond"), Some(3));
+        assert_eq!(t.get(&ctx, b"ab"), Some(4));
+        assert!(t.remove(&ctx, b"abcdefgh-beyond"));
+        assert_eq!(t.get(&ctx, b"abcdefgh-beyond"), None);
+        assert_eq!(t.get(&ctx, b"abcdefgh-beyond-one-slice"), Some(2));
+    }
+
+    #[test]
+    fn model_equivalence_across_epochs() {
+        let (_a, t) = fresh(false);
+        let ctx = t.thread_ctx(0);
+        let mut model: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        for step in 0..20_000 {
+            let key: Vec<u8> = (0..rng.gen_range(1..16))
+                .map(|_| rng.gen_range(b'a'..=b'e'))
+                .collect();
+            match rng.gen_range(0..10) {
+                0..=5 => {
+                    let v = rng.gen();
+                    assert_eq!(t.put(&ctx, &key, v), model.insert(key.clone(), v), "{step}");
+                }
+                6..=7 => {
+                    assert_eq!(t.remove(&ctx, &key), model.remove(&key).is_some(), "{step}");
+                }
+                _ => {
+                    assert_eq!(t.get(&ctx, &key), model.get(&key).copied(), "{step}");
+                }
+            }
+            if step % 2500 == 0 {
+                t.epoch_manager().advance();
+            }
+        }
+        let expect: Vec<_> = model.into_iter().collect();
+        assert_eq!(collect(&t, &ctx), expect);
+    }
+
+    #[test]
+    fn concurrent_writers_disjoint_keys() {
+        let (_a, t) = fresh(false);
+        std::thread::scope(|s| {
+            for tid in 0..2usize {
+                let t = t.clone();
+                s.spawn(move || {
+                    let ctx = t.thread_ctx(tid);
+                    for i in 0..1500u64 {
+                        t.put(&ctx, &(i * 2 + tid as u64).to_be_bytes(), i);
+                    }
+                });
+            }
+        });
+        let ctx = t.thread_ctx(0);
+        for tid in 0..2u64 {
+            for i in 0..1500u64 {
+                assert_eq!(t.get(&ctx, &(i * 2 + tid).to_be_bytes()), Some(i));
+            }
+        }
+    }
+
+    // ---------------- crash + recovery ----------------
+
+    /// Runs `mutate` in a fresh epoch, crashes with `seed`, reopens, and
+    /// checks the tree matches `expect` (the state at the epoch boundary).
+    fn crash_roundtrip(
+        seed: u64,
+        setup: impl Fn(&DurableMasstree, &DCtx) -> BTreeMap<Vec<u8>, u64>,
+        mutate: impl Fn(&DurableMasstree, &DCtx),
+    ) {
+        let (arena, tree) = fresh(true);
+        let ctx = tree.thread_ctx(0);
+        let expect = setup(&tree, &ctx);
+        tree.epoch_manager().advance(); // checkpoint the setup state
+        mutate(&tree, &ctx); // doomed epoch
+        drop(ctx);
+        drop(tree);
+        arena.crash_seeded(seed);
+
+        let (tree2, report) = DurableMasstree::open(&arena, small_config()).unwrap();
+        assert!(report.failed_epoch >= 2);
+        let ctx2 = tree2.thread_ctx(0);
+        let got = collect(&tree2, &ctx2);
+        let want: Vec<_> = expect.into_iter().collect();
+        assert_eq!(got, want, "seed {seed}: must match the checkpoint");
+    }
+
+    #[test]
+    fn crash_reverts_inserts() {
+        for seed in 0..10 {
+            crash_roundtrip(
+                seed,
+                |t, ctx| {
+                    let mut m = BTreeMap::new();
+                    for i in 0..20u64 {
+                        t.put(ctx, &i.to_be_bytes(), i);
+                        m.insert(i.to_be_bytes().to_vec(), i);
+                    }
+                    m
+                },
+                |t, ctx| {
+                    for i in 20..40u64 {
+                        t.put(ctx, &i.to_be_bytes(), i);
+                    }
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn crash_reverts_updates() {
+        for seed in 0..10 {
+            crash_roundtrip(
+                seed,
+                |t, ctx| {
+                    let mut m = BTreeMap::new();
+                    for i in 0..20u64 {
+                        t.put(ctx, &i.to_be_bytes(), i);
+                        m.insert(i.to_be_bytes().to_vec(), i);
+                    }
+                    m
+                },
+                |t, ctx| {
+                    for i in 0..20u64 {
+                        t.put(ctx, &i.to_be_bytes(), i + 1000);
+                    }
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn crash_reverts_removes() {
+        for seed in 0..10 {
+            crash_roundtrip(
+                seed,
+                |t, ctx| {
+                    let mut m = BTreeMap::new();
+                    for i in 0..20u64 {
+                        t.put(ctx, &i.to_be_bytes(), i);
+                        m.insert(i.to_be_bytes().to_vec(), i);
+                    }
+                    m
+                },
+                |t, ctx| {
+                    for i in 0..10u64 {
+                        t.remove(ctx, &i.to_be_bytes());
+                    }
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn crash_reverts_remove_then_insert_same_epoch() {
+        // The InCLLp hazard case: forces the external-log fallback.
+        for seed in 0..10 {
+            crash_roundtrip(
+                seed,
+                |t, ctx| {
+                    let mut m = BTreeMap::new();
+                    for i in 0..14u64 {
+                        t.put(ctx, &i.to_be_bytes(), i);
+                        m.insert(i.to_be_bytes().to_vec(), i);
+                    }
+                    m
+                },
+                |t, ctx| {
+                    for i in 0..7u64 {
+                        t.remove(ctx, &i.to_be_bytes());
+                    }
+                    for i in 100..107u64 {
+                        t.put(ctx, &i.to_be_bytes(), i);
+                    }
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn crash_reverts_splits() {
+        for seed in 0..10 {
+            crash_roundtrip(
+                seed,
+                |t, ctx| {
+                    let mut m = BTreeMap::new();
+                    for i in 0..10u64 {
+                        t.put(ctx, &i.to_be_bytes(), i);
+                        m.insert(i.to_be_bytes().to_vec(), i);
+                    }
+                    m
+                },
+                |t, ctx| {
+                    // Far beyond one leaf: leaf + interior splits.
+                    for i in 10..400u64 {
+                        t.put(ctx, &i.to_be_bytes(), i);
+                    }
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn crash_preserves_completed_epoch_work() {
+        let (arena, tree) = fresh(true);
+        let ctx = tree.thread_ctx(0);
+        for i in 0..500u64 {
+            tree.put(&ctx, &i.to_be_bytes(), i);
+        }
+        tree.epoch_manager().advance();
+        // Mixed mutations in the doomed epoch.
+        for i in 0..100u64 {
+            tree.put(&ctx, &i.to_be_bytes(), 9999);
+            tree.remove(&ctx, &(i + 200).to_be_bytes());
+        }
+        drop(ctx);
+        drop(tree);
+        arena.crash_seeded(99);
+        let (tree2, _) = DurableMasstree::open(&arena, small_config()).unwrap();
+        let ctx2 = tree2.thread_ctx(0);
+        for i in 0..500u64 {
+            assert_eq!(tree2.get(&ctx2, &i.to_be_bytes()), Some(i), "key {i}");
+        }
+    }
+
+    #[test]
+    fn random_ops_random_crash_matches_boundary_state() {
+        for seed in 0..15u64 {
+            let (arena, tree) = fresh(true);
+            let ctx = tree.thread_ctx(0);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut model: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+            let mut checkpoint = model.clone();
+            for _ in 0..3 {
+                // one epoch of random churn
+                for _ in 0..rng.gen_range(10..200) {
+                    let key = rng.gen_range(0..60u64).to_be_bytes().to_vec();
+                    match rng.gen_range(0..3) {
+                        0 => {
+                            let v = rng.gen();
+                            tree.put(&ctx, &key, v);
+                            model.insert(key, v);
+                        }
+                        1 => {
+                            tree.remove(&ctx, &key);
+                            model.remove(&key);
+                        }
+                        _ => {
+                            assert_eq!(tree.get(&ctx, &key), model.get(&key).copied());
+                        }
+                    }
+                }
+                tree.epoch_manager().advance();
+                checkpoint = model.clone();
+            }
+            // Doomed epoch.
+            for _ in 0..rng.gen_range(10..200) {
+                let key = rng.gen_range(0..60u64).to_be_bytes().to_vec();
+                if rng.gen_bool(0.6) {
+                    tree.put(&ctx, &key, rng.gen());
+                } else {
+                    tree.remove(&ctx, &key);
+                }
+            }
+            drop(ctx);
+            drop(tree);
+            arena.crash_seeded(seed.wrapping_mul(31) + 7);
+            let (tree2, _) = DurableMasstree::open(&arena, small_config()).unwrap();
+            let ctx2 = tree2.thread_ctx(0);
+            let want: Vec<_> = checkpoint.into_iter().collect();
+            assert_eq!(collect(&tree2, &ctx2), want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn double_crash_recovers_to_same_boundary() {
+        let (arena, tree) = fresh(true);
+        let ctx = tree.thread_ctx(0);
+        let mut expect = BTreeMap::new();
+        for i in 0..50u64 {
+            tree.put(&ctx, &i.to_be_bytes(), i);
+            expect.insert(i.to_be_bytes().to_vec(), i);
+        }
+        tree.epoch_manager().advance();
+        for i in 50..80u64 {
+            tree.put(&ctx, &i.to_be_bytes(), i);
+        }
+        drop(ctx);
+        drop(tree);
+        arena.crash_seeded(1);
+        // First recovery, then more doomed work, then a second crash.
+        let (tree2, _) = DurableMasstree::open(&arena, small_config()).unwrap();
+        let ctx2 = tree2.thread_ctx(0);
+        for i in 80..110u64 {
+            tree2.put(&ctx2, &i.to_be_bytes(), i);
+        }
+        drop(ctx2);
+        drop(tree2);
+        arena.crash_seeded(2);
+        let (tree3, report) = DurableMasstree::open(&arena, small_config()).unwrap();
+        assert!(report.failed_epochs.len() >= 2);
+        let ctx3 = tree3.thread_ctx(0);
+        let want: Vec<_> = expect.into_iter().collect();
+        assert_eq!(collect(&tree3, &ctx3), want);
+    }
+
+    #[test]
+    fn work_after_recovery_persists() {
+        let (arena, tree) = fresh(true);
+        let ctx = tree.thread_ctx(0);
+        tree.put(&ctx, b"before", 1);
+        tree.epoch_manager().advance();
+        tree.put(&ctx, b"doomed", 2);
+        drop(ctx);
+        drop(tree);
+        arena.crash_seeded(5);
+        let (tree2, _) = DurableMasstree::open(&arena, small_config()).unwrap();
+        let ctx2 = tree2.thread_ctx(0);
+        assert_eq!(tree2.get(&ctx2, b"before"), Some(1));
+        assert_eq!(tree2.get(&ctx2, b"doomed"), None);
+        tree2.put(&ctx2, b"after", 3);
+        tree2.epoch_manager().advance(); // checkpoint the new work
+        drop(ctx2);
+        drop(tree2);
+        arena.crash_seeded(6);
+        let (tree3, _) = DurableMasstree::open(&arena, small_config()).unwrap();
+        let ctx3 = tree3.thread_ctx(0);
+        assert_eq!(tree3.get(&ctx3, b"before"), Some(1));
+        assert_eq!(tree3.get(&ctx3, b"after"), Some(3));
+    }
+
+    #[test]
+    fn logging_only_mode_is_crash_consistent() {
+        // The paper's LOGGING ablation must be *correct*, just slower.
+        let config = DurableConfig {
+            incll_enabled: false,
+            ..small_config()
+        };
+        let arena = PArena::builder()
+            .capacity_bytes(32 << 20)
+            .tracked(true)
+            .build()
+            .unwrap();
+        superblock::format(&arena);
+        let tree = DurableMasstree::create(&arena, config.clone()).unwrap();
+        let ctx = tree.thread_ctx(0);
+        let mut expect = BTreeMap::new();
+        for i in 0..40u64 {
+            tree.put(&ctx, &i.to_be_bytes(), i);
+            expect.insert(i.to_be_bytes().to_vec(), i);
+        }
+        tree.epoch_manager().advance();
+        for i in 0..40u64 {
+            tree.put(&ctx, &i.to_be_bytes(), 7777);
+        }
+        assert!(arena.stats().ext_nodes_logged() > 0);
+        drop(ctx);
+        drop(tree);
+        arena.crash_seeded(3);
+        let (tree2, _) = DurableMasstree::open(&arena, config).unwrap();
+        let ctx2 = tree2.thread_ctx(0);
+        let want: Vec<_> = expect.into_iter().collect();
+        assert_eq!(collect(&tree2, &ctx2), want);
+    }
+
+    #[test]
+    fn skewed_updates_share_incll_slot() {
+        // Repeated updates of one key in an epoch need only one InCLL log.
+        let (a, t) = fresh(false);
+        let ctx = t.thread_ctx(0);
+        t.put(&ctx, b"hot", 0);
+        t.epoch_manager().advance();
+        let before = a.stats().snapshot();
+        for i in 0..100u64 {
+            t.put(&ctx, b"hot", i);
+        }
+        let d = a.stats().snapshot().delta(&before);
+        assert_eq!(d.incll_val_logs, 1, "same-slot updates reuse the log");
+        assert_eq!(d.ext_nodes_logged, 0);
+    }
+
+    #[test]
+    fn epoch_window_wrap_falls_back_to_external_log() {
+        // ValInCLLs store only 16 epoch bits; when the high window
+        // changes (~once an hour at 64 ms epochs) the node must be
+        // external-logged instead (§4.1.3).
+        let (a, t) = fresh(false);
+        let ctx = t.thread_ctx(0);
+        t.put(&ctx, b"wrapkey", 1);
+        t.epoch_manager().advance(); // nodeEpoch ∈ window 0
+        // Jump the epoch across the 2^16 window boundary.
+        t.epoch_manager().restart_at(1 << 16);
+        let before = a.stats().snapshot();
+        t.put(&ctx, b"wrapkey", 2); // first touch in the new window
+        let d = a.stats().snapshot().delta(&before);
+        assert!(
+            d.ext_nodes_logged >= 1,
+            "window wrap must trigger the external-log fallback"
+        );
+        assert_eq!(t.get(&ctx, b"wrapkey"), Some(2));
+        // Subsequent same-epoch updates are free again.
+        let before = a.stats().snapshot();
+        t.put(&ctx, b"wrapkey", 3);
+        let d = a.stats().snapshot().delta(&before);
+        assert_eq!(d.ext_nodes_logged, 0);
+    }
+
+    #[test]
+    fn wrap_crash_is_recoverable() {
+        // Crash in the first epoch of a new 2^16 window: the logged nodes
+        // replay correctly even though their InCLL windows mismatch.
+        let arena = PArena::builder()
+            .capacity_bytes(32 << 20)
+            .tracked(true)
+            .build()
+            .unwrap();
+        superblock::format(&arena);
+        let tree = DurableMasstree::create(&arena, small_config()).unwrap();
+        let mut expect = BTreeMap::new();
+        {
+            let ctx = tree.thread_ctx(0);
+            for i in 0..30u64 {
+                tree.put(&ctx, &i.to_be_bytes(), i);
+                expect.insert(i.to_be_bytes().to_vec(), i);
+            }
+            tree.epoch_manager().advance();
+            tree.epoch_manager().restart_at(1 << 16); // window jump
+            // exec_epoch moved: lazy recovery will run; that's the uniform
+            // open-equals-recover behavior.
+            for i in 0..30u64 {
+                tree.put(&ctx, &i.to_be_bytes(), 9999); // doomed
+            }
+        }
+        drop(tree);
+        arena.crash_seeded(4);
+        let (tree2, _) = DurableMasstree::open(&arena, small_config()).unwrap();
+        let ctx2 = tree2.thread_ctx(0);
+        let want: Vec<_> = expect.into_iter().collect();
+        assert_eq!(collect(&tree2, &ctx2), want);
+    }
+
+    #[test]
+    fn dropping_the_tree_releases_it() {
+        // Regression: the epoch-boundary hook must hold the tree weakly;
+        // a strong capture cycles through the manager and leaks the
+        // arena (found the hard way: a 13 GB OOM in the figure harness).
+        let (_a, t) = fresh(false);
+        let weak = std::sync::Arc::downgrade(&t.inner);
+        let mgr = t.epoch_manager().clone();
+        drop(t);
+        assert!(
+            weak.upgrade().is_none(),
+            "tree inner state must be freed once all handles drop"
+        );
+        // The surviving manager's hook degrades to a no-op.
+        mgr.advance();
+    }
+
+    #[test]
+    fn clean_reopen_preserves_everything() {
+        let (arena, tree) = fresh(true);
+        let ctx = tree.thread_ctx(0);
+        let mut expect = BTreeMap::new();
+        for i in 0..300u64 {
+            tree.put(&ctx, &i.to_be_bytes(), i * 2);
+            expect.insert(i.to_be_bytes().to_vec(), i * 2);
+        }
+        tree.epoch_manager().advance(); // clean shutdown = checkpoint
+        drop(ctx);
+        drop(tree);
+        // No crash: reopen (uniform with recovery).
+        let (tree2, _) = DurableMasstree::open(&arena, small_config()).unwrap();
+        let ctx2 = tree2.thread_ctx(0);
+        let want: Vec<_> = expect.into_iter().collect();
+        assert_eq!(collect(&tree2, &ctx2), want);
+    }
+}

@@ -1,0 +1,155 @@
+//! Version-word operations over persistent-memory node offsets.
+//!
+//! Durable nodes keep their version word in NVM at offset 0, but its
+//! *semantics* are transient: after a crash it may hold any torn value, and
+//! lazy recovery reinitialises it (`basenode::initlock()`, Listing 4). The
+//! bit layout and protocol are shared with the transient tree
+//! ([`incll_masstree::version`]).
+
+use incll_masstree::version::{self, unlock_word, INSERTING, SPLITTING};
+use incll_pmem::PArena;
+
+use crate::layout::OFF_VERSION;
+
+/// Spins until the node's version is not dirty; returns the snapshot.
+#[inline]
+pub fn stable(arena: &PArena, node: u64) -> u64 {
+    let mut spins = 0u32;
+    loop {
+        let v = arena.pread_u64_acquire(node + OFF_VERSION);
+        if !version::is_dirty(v) {
+            return v;
+        }
+        spins += 1;
+        if spins < 128 {
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Raw acquire load of the version word.
+#[inline]
+pub fn load(arena: &PArena, node: u64) -> u64 {
+    arena.pread_u64_acquire(node + OFF_VERSION)
+}
+
+/// Acquires the node's writer lock (spinning).
+pub fn lock(arena: &PArena, node: u64) -> u64 {
+    let mut spins = 0u32;
+    loop {
+        let v = arena.pread_u64(node + OFF_VERSION);
+        if !version::is_locked(v)
+            && arena
+                .pcompare_exchange_u64(
+                    node + OFF_VERSION,
+                    v,
+                    v | version::LOCK,
+                    std::sync::atomic::Ordering::Acquire,
+                    std::sync::atomic::Ordering::Relaxed,
+                )
+                .is_ok()
+        {
+            return v | version::LOCK;
+        }
+        spins += 1;
+        if spins < 128 {
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Sets a dirty bit while holding the lock.
+#[inline]
+pub fn mark_dirty(arena: &PArena, node: u64, bit: u64) {
+    let v = arena.pread_u64(node + OFF_VERSION);
+    debug_assert!(version::is_locked(v));
+    arena.pwrite_u64_release(node + OFF_VERSION, v | bit);
+}
+
+/// Releases the lock, bumping counters for the work performed.
+#[inline]
+pub fn unlock(arena: &PArena, node: u64, did_insert: bool, did_split: bool) {
+    let v = arena.pread_u64(node + OFF_VERSION);
+    debug_assert!(version::is_locked(v));
+    arena.pwrite_u64_release(node + OFF_VERSION, unlock_word(v, did_insert, did_split));
+}
+
+/// Sets or clears a flag bit while holding the lock.
+pub fn set_flag(arena: &PArena, node: u64, bit: u64, on: bool) {
+    let v = arena.pread_u64(node + OFF_VERSION);
+    debug_assert!(version::is_locked(v));
+    let w = if on { v | bit } else { v & !bit };
+    arena.pwrite_u64_release(node + OFF_VERSION, w);
+}
+
+/// Reinitialises a (possibly garbage) version word to a clean unlocked
+/// state with the given flags — recovery's `initlock()`.
+#[inline]
+pub fn reinit(arena: &PArena, node: u64, flags: u64) {
+    arena.pwrite_u64_release(node + OFF_VERSION, flags);
+}
+
+/// Re-exported dirtiness bits for callers.
+pub use incll_masstree::version::{changed, DELETED, IS_LEAF, IS_ROOT, LOCK};
+
+/// The insert dirty bit.
+pub const DIRTY_INSERT: u64 = INSERTING;
+/// The split dirty bit.
+pub const DIRTY_SPLIT: u64 = SPLITTING;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arena_node() -> (PArena, u64) {
+        let a = PArena::builder().capacity_bytes(1 << 20).build().unwrap();
+        let n = a.carve(320, 64).unwrap();
+        (a, n)
+    }
+
+    #[test]
+    fn lock_unlock_roundtrip() {
+        let (a, n) = arena_node();
+        reinit(&a, n, IS_LEAF);
+        let before = stable(&a, n);
+        lock(&a, n);
+        mark_dirty(&a, n, DIRTY_INSERT);
+        unlock(&a, n, true, false);
+        let after = stable(&a, n);
+        assert!(changed(before, after));
+        assert!(!version::is_locked(after));
+    }
+
+    #[test]
+    fn reinit_clears_garbage() {
+        let (a, n) = arena_node();
+        a.pwrite_u64(n + OFF_VERSION, u64::MAX); // torn garbage
+        reinit(&a, n, IS_LEAF | IS_ROOT);
+        let v = stable(&a, n);
+        assert_eq!(v, IS_LEAF | IS_ROOT);
+    }
+
+    #[test]
+    fn contended_lock_is_exclusive() {
+        let (a, n) = arena_node();
+        reinit(&a, n, 0);
+        let counter = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..500 {
+                        lock(&a, n);
+                        let x = counter.load(std::sync::atomic::Ordering::Relaxed);
+                        counter.store(x + 1, std::sync::atomic::Ordering::Relaxed);
+                        unlock(&a, n, false, false);
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(std::sync::atomic::Ordering::Relaxed), 2000);
+    }
+}

@@ -1,0 +1,1238 @@
+//! The durable Masstree: fine-grain checkpointing + in-cache-line logging.
+//!
+//! Structure and concurrency protocol mirror the transient tree
+//! (`incll_masstree::tree`); every *durable mutation* additionally runs the
+//! paper's logging discipline:
+//!
+//! * permutation changes (insert/remove) are guarded by `InCLLp`
+//!   (Listing 3) — one same-cache-line log write, no flush;
+//! * value updates are guarded by `ValInCLL1/2` (§4.1.3) — ditto;
+//! * splits, layer conversions, root swings and every interior-node
+//!   modification go through the external undo log (§4.2): entry → `clwb`
+//!   → `sfence` → mutate;
+//! * a leaf captured in the external log needs no further logging for the
+//!   rest of the epoch (`logged` bit).
+//!
+//! With `incll_enabled == false` the tree runs in the paper's **LOGGING**
+//! configuration (Figs. 7–8): the in-line logs are bypassed and every
+//! node's first modification per epoch external-logs it.
+
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use incll_epoch::{EpochManager, EpochOptions, Guard, ThreadHandle};
+use incll_extlog::ExtLog;
+use incll_masstree::key::{entry_cmp, ikey_bytes, search_klenx, KeyCursor, KLEN_LAYER};
+use incll_palloc::PAlloc;
+use incll_pmem::{superblock, PArena};
+
+use crate::layout::{
+    incll_for, meta, off_ikey, off_int_child, off_int_key, off_val, val_incll, DPerm, INT_WIDTH,
+    LEAF_WIDTH, NODE_BYTES, OFF_INCLL1, OFF_INCLL2, OFF_INT_NKEYS, OFF_KLENX, OFF_META, OFF_NEXT,
+    OFF_PARENT, OFF_PERM, OFF_PERM_INCLL,
+};
+use crate::pversion as pv;
+
+/// Durable value-buffer size (paper §6: 32-byte buffers).
+pub const VALUE_BUF_BYTES: usize = 32;
+/// Layer root-holder cell size.
+const HOLDER_BYTES: usize = 16;
+/// Recovery-lock array size (transient; hashed by node offset, §4.3).
+pub(crate) const REC_LOCKS: usize = 1024;
+
+/// Construction options for [`DurableMasstree`].
+#[derive(Debug, Clone)]
+pub struct DurableConfig {
+    /// Worker-thread slots (allocator lists + log buffers are per-thread).
+    pub threads: usize,
+    /// External-log capacity per thread, in bytes. Size for the worst-case
+    /// logged nodes per epoch (§6.3 measures 84 K nodes ≈ 30 MB on a
+    /// write-heavy 1 M-key tree).
+    pub log_bytes_per_thread: usize,
+    /// `false` selects the paper's LOGGING ablation: external log only.
+    pub incll_enabled: bool,
+}
+
+impl Default for DurableConfig {
+    fn default() -> Self {
+        DurableConfig {
+            threads: 8,
+            log_bytes_per_thread: 16 << 20,
+            incll_enabled: true,
+        }
+    }
+}
+
+/// Per-thread operation context.
+pub struct DCtx {
+    handle: ThreadHandle,
+    tid: usize,
+}
+
+impl DCtx {
+    /// The thread id (allocator/log slot).
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// Pins the current epoch (exposed for multi-op transactions in
+    /// examples/benchmarks).
+    pub fn pin(&self) -> Guard<'_> {
+        self.handle.pin()
+    }
+}
+
+impl std::fmt::Debug for DCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DCtx").field("tid", &self.tid).finish()
+    }
+}
+
+pub(crate) struct Inner {
+    pub(crate) arena: PArena,
+    pub(crate) mgr: EpochManager,
+    pub(crate) alloc: PAlloc,
+    pub(crate) log: ExtLog,
+    /// Durable failed-epoch set, loaded at open (empty on a fresh create).
+    pub(crate) failed: Vec<u64>,
+    /// First epoch of this execution; nodes stamped older need recovery.
+    pub(crate) exec_epoch: u64,
+    pub(crate) rec_locks: Vec<Mutex<()>>,
+    pub(crate) incll_enabled: bool,
+}
+
+/// A durable, crash-recoverable Masstree in persistent memory.
+///
+/// See the crate docs for a usage walk-through; constructors live on this
+/// type ([`DurableMasstree::create`], [`DurableMasstree::open`]).
+#[derive(Clone)]
+pub struct DurableMasstree {
+    pub(crate) inner: Arc<Inner>,
+}
+
+enum Search {
+    Found {
+        pos: usize,
+        slot: usize,
+        klenx: u8,
+        val: u64,
+    },
+    NotFound {
+        pos: usize,
+    },
+}
+
+impl DurableMasstree {
+    // ==================================================================
+    // Construction
+    // ==================================================================
+
+    /// Creates a fresh durable tree in a formatted arena, flushing the
+    /// initial state so it survives an immediate crash.
+    ///
+    /// # Errors
+    ///
+    /// Propagates arena exhaustion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena is not formatted
+    /// ([`incll_pmem::superblock::format`]).
+    pub fn create(arena: &PArena, config: DurableConfig) -> Result<Self, incll_palloc::Error> {
+        assert!(
+            superblock::is_formatted(arena),
+            "arena must be formatted before create"
+        );
+        let mgr = EpochManager::new(arena.clone(), EpochOptions::durable());
+        let alloc = PAlloc::create(arena, config.threads)?;
+        let log = ExtLog::create(arena, config.threads, config.log_bytes_per_thread)?;
+        let epoch = mgr.current_epoch();
+
+        let inner = Arc::new(Inner {
+            arena: arena.clone(),
+            mgr,
+            alloc,
+            log,
+            failed: Vec::new(),
+            exec_epoch: arena.pread_u64(superblock::SB_EXEC_EPOCH).max(1),
+            rec_locks: (0..REC_LOCKS).map(|_| Mutex::new(())).collect(),
+            incll_enabled: config.incll_enabled,
+        });
+        let tree = DurableMasstree { inner };
+        let root = tree.new_leaf(0, epoch, /*is_root*/ true, /*locked*/ false)?;
+        arena.pwrite_u64(superblock::SB_TREE_ROOT, root);
+        arena.pwrite_u64(superblock::SB_TREE_META, 1);
+        tree.attach_hooks();
+        // mkfs moment: the empty tree becomes the first durable checkpoint.
+        arena.global_flush();
+        Ok(tree)
+    }
+
+    pub(crate) fn attach_hooks(&self) {
+        // Weak: the hook lives inside the epoch manager, which `Inner`
+        // owns — a strong capture would cycle and leak the whole arena.
+        let weak = Arc::downgrade(&self.inner);
+        self.inner.mgr.add_advance_hook(Box::new(move |new_epoch| {
+            if let Some(inner) = weak.upgrade() {
+                // The preceding flush made all logged pre-images obsolete.
+                inner.log.reset();
+                inner.alloc.on_epoch_boundary(new_epoch);
+            }
+        }));
+    }
+
+    /// The epoch manager (drive it with
+    /// [`incll_epoch::AdvanceDriver`] or manual
+    /// [`EpochManager::advance`]).
+    pub fn epoch_manager(&self) -> &EpochManager {
+        &self.inner.mgr
+    }
+
+    /// The underlying arena.
+    pub fn arena(&self) -> &PArena {
+        &self.inner.arena
+    }
+
+    /// The durable allocator backing this tree.
+    pub fn allocator(&self) -> &PAlloc {
+        &self.inner.alloc
+    }
+
+    /// Registers the calling thread.
+    pub fn thread_ctx(&self, tid: usize) -> DCtx {
+        DCtx {
+            handle: self.inner.mgr.register(),
+            tid,
+        }
+    }
+
+    // ==================================================================
+    // Public operations
+    // ==================================================================
+
+    /// Looks up `key`.
+    pub fn get(&self, ctx: &DCtx, key: &[u8]) -> Option<u64> {
+        let _g = ctx.handle.pin();
+        // SAFETY: guard pinned; offsets reachable from the root are nodes.
+        unsafe { self.get_inner(key) }
+    }
+
+    /// Inserts or updates `key` (fresh 32-byte durable buffer per put),
+    /// returning the previous payload.
+    pub fn put(&self, ctx: &DCtx, key: &[u8], val: u64) -> Option<u64> {
+        let g = ctx.handle.pin();
+        let epoch = g.epoch();
+        // SAFETY: as for `get`.
+        unsafe { self.put_inner(ctx, epoch, key, val) }
+    }
+
+    /// Removes `key`, returning whether it was present.
+    pub fn remove(&self, ctx: &DCtx, key: &[u8]) -> bool {
+        let g = ctx.handle.pin();
+        let epoch = g.epoch();
+        // SAFETY: as for `get`.
+        unsafe { self.remove_inner(ctx, epoch, key) }
+    }
+
+    /// Scans at most `limit` keys ≥ `start`, in order.
+    pub fn scan(
+        &self,
+        ctx: &DCtx,
+        start: &[u8],
+        limit: usize,
+        f: &mut dyn FnMut(&[u8], u64),
+    ) -> usize {
+        if limit == 0 {
+            return 0;
+        }
+        let _g = ctx.handle.pin();
+        let mut remaining = limit;
+        let mut prefix = Vec::with_capacity(start.len() + 8);
+        // SAFETY: as for `get`.
+        unsafe {
+            self.scan_layer(
+                superblock::SB_TREE_ROOT,
+                Some(KeyCursor::new(start)),
+                &mut prefix,
+                &mut remaining,
+                f,
+            );
+        }
+        limit - remaining
+    }
+
+    // ==================================================================
+    // Node creation
+    // ==================================================================
+
+    fn new_leaf(
+        &self,
+        tid: usize,
+        epoch: u64,
+        is_root: bool,
+        locked: bool,
+    ) -> Result<u64, incll_palloc::Error> {
+        let a = &self.inner.arena;
+        let off = self.inner.alloc.alloc_aligned64(tid, epoch, NODE_BYTES)?;
+        let mut vflags = pv::IS_LEAF;
+        let mut mflags = meta::IS_LEAF | meta::INS_ALLOWED | meta::LOGGED;
+        if is_root {
+            vflags |= pv::IS_ROOT;
+            mflags |= meta::IS_ROOT;
+        }
+        pv::reinit(a, off, if locked { vflags | pv::LOCK } else { vflags });
+        a.pwrite_u64(off + OFF_PARENT, 0);
+        a.pwrite_u64(off + OFF_NEXT, 0);
+        a.pwrite_u64(off + OFF_PERM_INCLL, DPerm::empty().raw());
+        a.pwrite_u64(off + OFF_PERM, DPerm::empty().raw());
+        a.pwrite_u64(off + OFF_INCLL1, val_incll::invalid(epoch as u16));
+        a.pwrite_u64(off + OFF_INCLL2, val_incll::invalid(epoch as u16));
+        // klenx words zeroed (slots are gated by the permutation, but keep
+        // recycled-node debris out of debug dumps).
+        a.pwrite_u64(off + OFF_KLENX, 0);
+        a.pwrite_u64(off + OFF_KLENX + 8, 0);
+        // Fresh node: `logged` set — a crash reverts the allocator and the
+        // referencing pointer, so the node needs no pre-image this epoch.
+        a.pwrite_u64_release(off + OFF_META, meta::with_epoch(mflags, epoch));
+        Ok(off)
+    }
+
+    fn new_interior(
+        &self,
+        tid: usize,
+        epoch: u64,
+        is_root: bool,
+        locked: bool,
+    ) -> Result<u64, incll_palloc::Error> {
+        let a = &self.inner.arena;
+        let off = self.inner.alloc.alloc_aligned64(tid, epoch, NODE_BYTES)?;
+        let mut vflags = 0;
+        let mut mflags = meta::LOGGED;
+        if is_root {
+            vflags |= pv::IS_ROOT;
+            mflags |= meta::IS_ROOT;
+        }
+        pv::reinit(a, off, if locked { vflags | pv::LOCK } else { vflags });
+        a.pwrite_u64(off + OFF_PARENT, 0);
+        a.pwrite_u64(off + OFF_INT_NKEYS, 0);
+        a.pwrite_u64_release(off + OFF_META, meta::with_epoch(mflags, epoch));
+        Ok(off)
+    }
+
+    // ==================================================================
+    // The InCLL engine (Listing 3)
+    // ==================================================================
+
+    /// Logs the leaf image externally (sealed before return).
+    fn log_node(&self, tid: usize, epoch: u64, node: u64) {
+        self.inner.log.log_object(tid, epoch, node, NODE_BYTES);
+    }
+
+    /// `InCLL()` for permutation-only mutations (insert/remove).
+    /// `allowed`: whether InCLLp may absorb this mutation when the node was
+    /// already touched this epoch.
+    fn incll_perm(&self, tid: usize, epoch: u64, lf: u64, allowed: bool) {
+        let a = &self.inner.arena;
+        let m = a.pread_u64(lf + OFF_META);
+        if meta::epoch(m) != epoch {
+            self.incll_new_epoch(tid, epoch, lf, m, None);
+        } else if m & meta::LOGGED == 0 && !allowed {
+            self.log_node(tid, epoch, lf);
+            a.pwrite_u64_release(lf + OFF_META, m | meta::LOGGED);
+        }
+    }
+
+    /// `InCLL()` for a value update of slot `idx` whose current value is
+    /// `oldval`.
+    fn incll_val(&self, tid: usize, epoch: u64, lf: u64, idx: usize, oldval: u64) {
+        let a = &self.inner.arena;
+        let m = a.pread_u64(lf + OFF_META);
+        if meta::epoch(m) != epoch {
+            self.incll_new_epoch(tid, epoch, lf, m, Some((idx, oldval)));
+            return;
+        }
+        if m & meta::LOGGED != 0 {
+            return;
+        }
+        let incll_off = lf + incll_for(idx);
+        let w = a.pread_u64(incll_off);
+        if val_incll::idx(w) == idx {
+            // This slot's epoch-start value is already captured.
+        } else if val_incll::idx(w) == val_incll::INVALID_IDX {
+            // The line's log is free: take it. Ordered before the value
+            // store by the same-line rule.
+            a.pwrite_u64_release(incll_off, val_incll::pack(oldval, idx, epoch as u16));
+            a.stats().add_incll_val();
+        } else {
+            // Two hot values in one cache line: fall back (§4.2).
+            self.log_node(tid, epoch, lf);
+            a.pwrite_u64_release(lf + OFF_META, m | meta::LOGGED);
+        }
+    }
+
+    /// First modification of the node in `epoch`: stamp all three in-line
+    /// logs (or external-log on the 16-bit epoch-window wrap, §4.1.3), then
+    /// advance `nodeEpoch`. Store order per line: log words first, epoch
+    /// word second, caller's mutation third.
+    fn incll_new_epoch(
+        &self,
+        tid: usize,
+        epoch: u64,
+        lf: u64,
+        m: u64,
+        vlog: Option<(usize, u64)>,
+    ) {
+        let a = &self.inner.arena;
+        let node_epoch = meta::epoch(m);
+        let mut logged = false;
+        if !self.inner.incll_enabled || meta::high_window(epoch) != meta::high_window(node_epoch) {
+            self.log_node(tid, epoch, lf);
+            logged = true;
+        }
+        if !logged {
+            a.pwrite_u64(lf + OFF_PERM_INCLL, a.pread_u64(lf + OFF_PERM));
+            let low = epoch as u16;
+            let (w1, w2) = match vlog {
+                Some((idx, oldval)) if idx < 7 => (
+                    val_incll::pack(oldval, idx, low),
+                    val_incll::invalid(low),
+                ),
+                Some((idx, oldval)) => (
+                    val_incll::invalid(low),
+                    val_incll::pack(oldval, idx, low),
+                ),
+                None => (val_incll::invalid(low), val_incll::invalid(low)),
+            };
+            a.pwrite_u64(lf + OFF_INCLL1, w1);
+            a.pwrite_u64(lf + OFF_INCLL2, w2);
+            a.stats().add_incll_perm();
+            if vlog.is_some() {
+                a.stats().add_incll_val();
+            }
+        }
+        let kind = m & (meta::IS_LEAF | meta::IS_ROOT);
+        let flags = kind | meta::INS_ALLOWED | if logged { meta::LOGGED } else { 0 };
+        a.pwrite_u64_release(lf + OFF_META, meta::with_epoch(flags, epoch));
+    }
+
+    /// Ensures a leaf is externally logged this epoch (split / conversion
+    /// paths: subsequent modifications in the epoch are then free).
+    fn ensure_leaf_logged(&self, tid: usize, epoch: u64, lf: u64) {
+        let a = &self.inner.arena;
+        let m = a.pread_u64(lf + OFF_META);
+        if meta::epoch(m) == epoch && m & meta::LOGGED != 0 {
+            return;
+        }
+        self.log_node(tid, epoch, lf);
+        let kind = m & (meta::IS_LEAF | meta::IS_ROOT);
+        a.pwrite_u64_release(
+            lf + OFF_META,
+            meta::with_epoch(kind | meta::INS_ALLOWED | meta::LOGGED, epoch),
+        );
+    }
+
+    /// Externally logs a 16-byte root-holder cell at most once per epoch
+    /// (the cell's second word tags the last logged epoch). At-most-once
+    /// matters: replay applies entries in order, so a second entry would
+    /// re-install a mid-epoch (doomed) root.
+    fn log_holder(&self, tid: usize, epoch: u64, holder: u64) {
+        let a = &self.inner.arena;
+        if a.pread_u64(holder + 8) != epoch {
+            self.inner.log.log_object(tid, epoch, holder, HOLDER_BYTES);
+            a.pwrite_u64_release(holder + 8, epoch);
+        }
+    }
+
+    /// Ensures an interior node is externally logged this epoch — interior
+    /// nodes have no InCLLs; this is their entire logging story (§4.2's
+    /// per-node epoch check prevents duplicate logging).
+    fn ensure_int_logged(&self, tid: usize, epoch: u64, node: u64) {
+        let a = &self.inner.arena;
+        let m = a.pread_u64(node + OFF_META);
+        if meta::epoch(m) == epoch && m & meta::LOGGED != 0 {
+            return;
+        }
+        a.stats().add_ext_interior();
+        self.ensure_leaf_logged(tid, epoch, node); // identical mechanics
+    }
+
+    // ==================================================================
+    // Lazy recovery (Listing 4)
+    // ==================================================================
+
+    /// Recovery check on every node access: nodes stamped before this
+    /// execution are repaired in place before use.
+    #[inline]
+    pub(crate) fn maybe_recover(&self, node: u64) {
+        let m = self.inner.arena.pread_u64(node + OFF_META);
+        if meta::epoch(m) >= self.inner.exec_epoch {
+            return;
+        }
+        self.recover_node_slow(node);
+    }
+
+    #[cold]
+    fn recover_node_slow(&self, node: u64) {
+        let inner = &self.inner;
+        let a = &inner.arena;
+        let _g = inner.rec_locks[(node as usize >> 6) % REC_LOCKS].lock();
+        let m = a.pread_u64(node + OFF_META);
+        let node_epoch = meta::epoch(m);
+        if node_epoch >= inner.exec_epoch {
+            return; // someone else repaired it while we waited
+        }
+        let is_leaf = m & meta::IS_LEAF != 0;
+        if is_leaf {
+            // InCLLp: roll the permutation back to the epoch start.
+            if inner.failed.contains(&node_epoch) {
+                let logged = a.pread_u64(node + OFF_PERM_INCLL);
+                a.pwrite_u64(node + OFF_PERM, logged);
+            }
+            // Refresh the log to match the (possibly restored) current
+            // value: the epoch bump below re-arms InCLLp for this epoch,
+            // and its content must be the epoch-start value.
+            let cur = a.pread_u64(node + OFF_PERM);
+            a.pwrite_u64(node + OFF_PERM_INCLL, cur);
+
+            // ValInCLLs: reconstruct each log's epoch from the node's
+            // window; roll back and reset. Value restore precedes the
+            // reset in the same line, so a re-crash replays idempotently.
+            for incll in [OFF_INCLL1, OFF_INCLL2] {
+                let w = a.pread_u64(node + incll);
+                let idx = val_incll::idx(w);
+                if idx != val_incll::INVALID_IDX && idx < LEAF_WIDTH {
+                    let e = val_incll::full_epoch(w, node_epoch);
+                    if inner.failed.contains(&e) {
+                        a.pwrite_u64(node + off_val(idx), val_incll::ptr(w));
+                    }
+                }
+                a.pwrite_u64_release(node + incll, val_incll::invalid(inner.exec_epoch as u16));
+            }
+            a.stats().add_lazy_recovered();
+        }
+        // The lock word may hold any torn garbage: reinitialise it from
+        // the durable kind bits (`basenode::initlock()`).
+        let mut vflags = 0;
+        if is_leaf {
+            vflags |= pv::IS_LEAF;
+        }
+        if m & meta::IS_ROOT != 0 {
+            vflags |= pv::IS_ROOT;
+        }
+        pv::reinit(a, node, vflags);
+        // Publish: stamping exec_epoch ends recovery for this node. Note
+        // the refreshed InCLLp above makes this exactly equivalent to a
+        // first-modification stamp in exec_epoch.
+        let kind = m & (meta::IS_LEAF | meta::IS_ROOT);
+        a.pwrite_u64_release(
+            node + OFF_META,
+            meta::with_epoch(kind | meta::INS_ALLOWED, inner.exec_epoch),
+        );
+    }
+
+    // ==================================================================
+    // Descent (mirrors the transient tree)
+    // ==================================================================
+
+    unsafe fn find_leaf(&self, holder: u64, ikey: u64) -> (u64, u64) {
+        let a = &self.inner.arena;
+        'retry: loop {
+            let n0 = a.pread_u64_acquire(holder);
+            self.maybe_recover(n0);
+            let v0 = pv::stable(a, n0);
+            if v0 & pv::IS_ROOT == 0 {
+                std::hint::spin_loop();
+                continue 'retry;
+            }
+            let mut n = n0;
+            let mut v = v0;
+            loop {
+                if v & pv::IS_LEAF != 0 {
+                    return (n, v);
+                }
+                let idx = self.route(n, ikey);
+                let child = a.pread_u64_acquire(n + off_int_child(idx));
+                if child == 0 {
+                    continue 'retry;
+                }
+                self.maybe_recover(child);
+                let vc = pv::stable(a, child);
+                if pv::changed(v, pv::load(a, n)) {
+                    continue 'retry;
+                }
+                n = child;
+                v = vc;
+            }
+        }
+    }
+
+    fn route(&self, int: u64, ikey: u64) -> usize {
+        let a = &self.inner.arena;
+        let n = a.pread_u64_acquire(int + OFF_INT_NKEYS) as usize;
+        let n = n.min(INT_WIDTH);
+        let mut i = 0;
+        while i < n && a.pread_u64_acquire(int + off_int_key(i)) <= ikey {
+            i += 1;
+        }
+        i
+    }
+
+    fn klenx_at(&self, lf: u64, slot: usize) -> u8 {
+        let word = self
+            .inner
+            .arena
+            .pread_u64_acquire(lf + OFF_KLENX + ((slot as u64) / 8) * 8);
+        (word >> ((slot % 8) * 8)) as u8
+    }
+
+    /// Writes `klenx[slot]` (leaf locked: exclusive writer).
+    fn set_klenx(&self, lf: u64, slot: usize, klenx: u8) {
+        let a = &self.inner.arena;
+        let off = lf + OFF_KLENX + ((slot as u64) / 8) * 8;
+        let shift = (slot % 8) * 8;
+        let word = a.pread_u64(off);
+        let new = (word & !(0xFFu64 << shift)) | ((klenx as u64) << shift);
+        a.pwrite_u64_release(off, new);
+    }
+
+    fn perm_of(&self, lf: u64) -> DPerm {
+        DPerm::from_raw(self.inner.arena.pread_u64_acquire(lf + OFF_PERM))
+    }
+
+    unsafe fn search_leaf(&self, lf: u64, ikey: u64, klenx: u8) -> Search {
+        let a = &self.inner.arena;
+        let perm = self.perm_of(lf);
+        for pos in 0..perm.len() {
+            let slot = perm.slot_at(pos);
+            let k = a.pread_u64_acquire(lf + off_ikey(slot));
+            let kl = self.klenx_at(lf, slot);
+            match entry_cmp(k, kl, ikey, klenx) {
+                std::cmp::Ordering::Less => continue,
+                std::cmp::Ordering::Equal => {
+                    return Search::Found {
+                        pos,
+                        slot,
+                        klenx: kl,
+                        val: a.pread_u64_acquire(lf + off_val(slot)),
+                    }
+                }
+                std::cmp::Ordering::Greater => return Search::NotFound { pos },
+            }
+        }
+        Search::NotFound { pos: perm.len() }
+    }
+
+    unsafe fn entry_at(&self, lf: u64, pos: usize) -> (u64, u8, u64) {
+        let a = &self.inner.arena;
+        let slot = self.perm_of(lf).slot_at(pos);
+        (
+            a.pread_u64_acquire(lf + off_ikey(slot)),
+            self.klenx_at(lf, slot),
+            a.pread_u64_acquire(lf + off_val(slot)),
+        )
+    }
+
+    // ==================================================================
+    // get
+    // ==================================================================
+
+    unsafe fn get_inner(&self, key: &[u8]) -> Option<u64> {
+        let a = &self.inner.arena;
+        let mut cur = KeyCursor::new(key);
+        let mut holder = superblock::SB_TREE_ROOT;
+        'layer: loop {
+            let ikey = cur.ikey();
+            let target = search_klenx(&cur);
+            'retry: loop {
+                let (lf, v) = self.find_leaf(holder, ikey);
+                enum Act {
+                    Ret(Option<u64>),
+                    Descend(u64),
+                }
+                let act = match self.search_leaf(lf, ikey, target) {
+                    Search::Found { klenx, val, .. } => {
+                        if klenx == KLEN_LAYER {
+                            Act::Descend(val)
+                        } else {
+                            Act::Ret(Some(val))
+                        }
+                    }
+                    Search::NotFound { pos } => {
+                        if target == 8 && pos < self.perm_of(lf).len() {
+                            let (k, kl, val) = self.entry_at(lf, pos);
+                            if k == ikey && kl == KLEN_LAYER {
+                                Act::Descend(val)
+                            } else {
+                                Act::Ret(None)
+                            }
+                        } else {
+                            Act::Ret(None)
+                        }
+                    }
+                };
+                if pv::changed(v, pv::load(a, lf)) {
+                    continue 'retry;
+                }
+                match act {
+                    Act::Ret(Some(buf)) => return Some(a.pread_u64(buf)),
+                    Act::Ret(None) => return None,
+                    Act::Descend(h) => {
+                        holder = h;
+                        cur.descend();
+                        continue 'layer;
+                    }
+                }
+            }
+        }
+    }
+
+    // ==================================================================
+    // put
+    // ==================================================================
+
+    fn moved_since(before: u64, now: u64) -> bool {
+        const VSPLIT_MASK: u64 = !((1u64 << 36) - 1);
+        (before ^ now) & (VSPLIT_MASK | pv::DELETED) != 0
+    }
+
+    fn new_value_buf(
+        &self,
+        tid: usize,
+        epoch: u64,
+        val: u64,
+    ) -> Result<u64, incll_palloc::Error> {
+        let buf = self.inner.alloc.alloc(tid, epoch, VALUE_BUF_BYTES)?;
+        // Plain store, no flush: the checkpoint flush persists contents,
+        // and a crash reverts both the buffer and every reference (§5).
+        self.inner.arena.pwrite_u64(buf, val);
+        Ok(buf)
+    }
+
+    unsafe fn put_inner(&self, ctx: &DCtx, epoch: u64, key: &[u8], val: u64) -> Option<u64> {
+        let a = &self.inner.arena;
+        let tid = ctx.tid;
+        let mut cur = KeyCursor::new(key);
+        let mut holder = superblock::SB_TREE_ROOT;
+        'layer: loop {
+            let ikey = cur.ikey();
+            let target = search_klenx(&cur);
+            'retry: loop {
+                let (lf, v) = self.find_leaf(holder, ikey);
+
+                if target == KLEN_LAYER {
+                    if let Search::Found { val: h, .. } = self.search_leaf(lf, ikey, KLEN_LAYER) {
+                        if pv::changed(v, pv::load(a, lf)) {
+                            continue 'retry;
+                        }
+                        holder = h;
+                        cur.descend();
+                        continue 'layer;
+                    }
+                }
+
+                let lv = pv::lock(a, lf);
+                if Self::moved_since(v, lv) {
+                    pv::unlock(a, lf, false, false);
+                    continue 'retry;
+                }
+
+                match self.search_leaf(lf, ikey, target) {
+                    Search::Found {
+                        slot,
+                        klenx,
+                        val: old,
+                        ..
+                    } => {
+                        if klenx == KLEN_LAYER {
+                            pv::unlock(a, lf, false, false);
+                            holder = old;
+                            cur.descend();
+                            continue 'layer;
+                        }
+                        // Update: InCLL-log the old pointer, then swap.
+                        let nb = self.new_value_buf(tid, epoch, val).expect("arena full");
+                        self.incll_val(tid, epoch, lf, slot, old);
+                        a.pwrite_u64_release(lf + off_val(slot), nb);
+                        pv::unlock(a, lf, false, false);
+                        let old_payload = a.pread_u64(old);
+                        self.inner.alloc.free(tid, epoch, old, VALUE_BUF_BYTES);
+                        return Some(old_payload);
+                    }
+                    Search::NotFound { pos } => {
+                        if target == 8 && pos < self.perm_of(lf).len() {
+                            let (k, kl, h) = self.entry_at(lf, pos);
+                            if k == ikey && kl == KLEN_LAYER {
+                                pv::unlock(a, lf, false, false);
+                                holder = h;
+                                cur.descend();
+                                continue 'layer;
+                            }
+                        }
+                        if target == KLEN_LAYER {
+                            // Terminal-8 conversion: complex op → external
+                            // log the node, then swing the slot to a layer.
+                            if pos > 0 {
+                                let (k, kl, old) = self.entry_at(lf, pos - 1);
+                                if k == ikey && kl == 8 {
+                                    let slot = self.perm_of(lf).slot_at(pos - 1);
+                                    let h = self
+                                        .new_layer_with(tid, epoch, 0, 0, old)
+                                        .expect("arena full");
+                                    self.ensure_leaf_logged(tid, epoch, lf);
+                                    pv::mark_dirty(a, lf, pv::DIRTY_INSERT);
+                                    a.pwrite_u64_release(lf + off_val(slot), h);
+                                    self.set_klenx(lf, slot, KLEN_LAYER);
+                                    pv::unlock(a, lf, true, false);
+                                    holder = h;
+                                    cur.descend();
+                                    continue 'layer;
+                                }
+                            }
+                            let mut sub = cur;
+                            sub.descend();
+                            let h = self.build_layer_chain(tid, epoch, sub, val);
+                            self.insert_entry(ctx, epoch, holder, lf, pos, ikey, KLEN_LAYER, h);
+                            return None;
+                        }
+                        let nb = self.new_value_buf(tid, epoch, val).expect("arena full");
+                        self.insert_entry(ctx, epoch, holder, lf, pos, ikey, target, nb);
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Builds a single-entry sub-layer; returns the holder-cell offset.
+    fn new_layer_with(
+        &self,
+        tid: usize,
+        epoch: u64,
+        ikey: u64,
+        klenx: u8,
+        val: u64,
+    ) -> Result<u64, incll_palloc::Error> {
+        let a = &self.inner.arena;
+        let leaf = self.new_leaf(tid, epoch, /*is_root*/ true, /*locked*/ false)?;
+        let mut perm = DPerm::empty();
+        let slot = perm.insert_at(0);
+        a.pwrite_u64(leaf + off_ikey(slot), ikey);
+        self.set_klenx(leaf, slot, klenx);
+        a.pwrite_u64(leaf + off_val(slot), val);
+        a.pwrite_u64_release(leaf + OFF_PERM, perm.raw());
+        let holder = self.inner.alloc.alloc(tid, epoch, HOLDER_BYTES)?;
+        a.pwrite_u64(holder, leaf);
+        // Fresh holder: tag it as already logged this epoch (a crash
+        // reverts the whole allocation, so no pre-image is needed).
+        a.pwrite_u64_release(holder + 8, epoch);
+        Ok(holder)
+    }
+
+    unsafe fn build_layer_chain(
+        &self,
+        tid: usize,
+        epoch: u64,
+        cur: KeyCursor<'_>,
+        val: u64,
+    ) -> u64 {
+        if cur.is_terminal() {
+            let buf = self.new_value_buf(tid, epoch, val).expect("arena full");
+            self.new_layer_with(tid, epoch, cur.ikey(), cur.klen(), buf)
+                .expect("arena full")
+        } else {
+            let mut sub = cur;
+            sub.descend();
+            let inner = self.build_layer_chain(tid, epoch, sub, val);
+            self.new_layer_with(tid, epoch, cur.ikey(), KLEN_LAYER, inner)
+                .expect("arena full")
+        }
+    }
+
+    // ==================================================================
+    // remove
+    // ==================================================================
+
+    unsafe fn remove_inner(&self, ctx: &DCtx, epoch: u64, key: &[u8]) -> bool {
+        let a = &self.inner.arena;
+        let tid = ctx.tid;
+        let mut cur = KeyCursor::new(key);
+        let mut holder = superblock::SB_TREE_ROOT;
+        'layer: loop {
+            let ikey = cur.ikey();
+            let target = search_klenx(&cur);
+            'retry: loop {
+                let (lf, v) = self.find_leaf(holder, ikey);
+                let lv = pv::lock(a, lf);
+                if Self::moved_since(v, lv) {
+                    pv::unlock(a, lf, false, false);
+                    continue 'retry;
+                }
+                match self.search_leaf(lf, ikey, target) {
+                    Search::Found {
+                        pos, klenx, val, ..
+                    } => {
+                        if klenx == KLEN_LAYER {
+                            pv::unlock(a, lf, false, false);
+                            holder = val;
+                            cur.descend();
+                            continue 'layer;
+                        }
+                        // InCLLp absorbs pure removals; afterwards,
+                        // insertions into this node must external-log
+                        // (remove-then-insert hazard, §4.1.1).
+                        self.incll_perm(tid, epoch, lf, true);
+                        let m = a.pread_u64(lf + OFF_META);
+                        a.pwrite_u64_release(lf + OFF_META, m & !meta::INS_ALLOWED);
+                        pv::mark_dirty(a, lf, pv::DIRTY_INSERT);
+                        let mut perm = self.perm_of(lf);
+                        perm.remove_at(pos);
+                        a.pwrite_u64_release(lf + OFF_PERM, perm.raw());
+                        pv::unlock(a, lf, true, false);
+                        self.inner.alloc.free(tid, epoch, val, VALUE_BUF_BYTES);
+                        return true;
+                    }
+                    Search::NotFound { pos } => {
+                        if target == 8 && pos < self.perm_of(lf).len() {
+                            let (k, kl, h) = self.entry_at(lf, pos);
+                            if k == ikey && kl == KLEN_LAYER {
+                                pv::unlock(a, lf, false, false);
+                                holder = h;
+                                cur.descend();
+                                continue 'layer;
+                            }
+                        }
+                        pv::unlock(a, lf, false, false);
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+
+    // ==================================================================
+    // insert + splits
+    // ==================================================================
+
+    unsafe fn insert_entry(
+        &self,
+        ctx: &DCtx,
+        epoch: u64,
+        holder: u64,
+        lf: u64,
+        pos: usize,
+        ikey: u64,
+        klenx: u8,
+        val: u64,
+    ) {
+        let a = &self.inner.arena;
+        let tid = ctx.tid;
+        let mut perm = self.perm_of(lf);
+        if !perm.is_full() {
+            let allowed = a.pread_u64(lf + OFF_META) & meta::INS_ALLOWED != 0;
+            self.incll_perm(tid, epoch, lf, allowed);
+            pv::mark_dirty(a, lf, pv::DIRTY_INSERT);
+            let slot = perm.insert_at(pos);
+            a.pwrite_u64(lf + off_ikey(slot), ikey);
+            self.set_klenx(lf, slot, klenx);
+            a.pwrite_u64(lf + off_val(slot), val);
+            a.pwrite_u64_release(lf + OFF_PERM, perm.raw());
+            pv::unlock(a, lf, true, false);
+            return;
+        }
+
+        let (right, sep) = self.split_leaf(ctx, epoch, holder, lf);
+        let target = if ikey < sep { lf } else { right };
+        let tpos = match self.search_leaf(target, ikey, klenx) {
+            Search::NotFound { pos } => pos,
+            Search::Found { .. } => unreachable!("key appeared during split"),
+        };
+        let mut tperm = self.perm_of(target);
+        pv::mark_dirty(a, target, pv::DIRTY_INSERT);
+        let slot = tperm.insert_at(tpos);
+        a.pwrite_u64(target + off_ikey(slot), ikey);
+        self.set_klenx(target, slot, klenx);
+        a.pwrite_u64(target + off_val(slot), val);
+        a.pwrite_u64_release(target + OFF_PERM, tperm.raw());
+
+        let left_was_target = target == lf;
+        pv::unlock(a, lf, left_was_target, true);
+        pv::unlock(a, right, !left_was_target, false);
+    }
+
+    /// Splits the locked, full leaf (external-logged first: splits are the
+    /// "complex modification" case, §4.2). Both halves stay locked.
+    unsafe fn split_leaf(&self, ctx: &DCtx, epoch: u64, holder: u64, lf: u64) -> (u64, u64) {
+        let a = &self.inner.arena;
+        let tid = ctx.tid;
+        self.ensure_leaf_logged(tid, epoch, lf);
+        pv::mark_dirty(a, lf, pv::DIRTY_SPLIT);
+        let perm = self.perm_of(lf);
+        let count = perm.len();
+        debug_assert!(perm.is_full());
+
+        let ikey_at = |p: usize| a.pread_u64(lf + off_ikey(perm.slot_at(p)));
+        let mid = count / 2 + 1;
+        let mut split_pos = None;
+        for delta in 0..count {
+            for cand in [mid.saturating_sub(delta), mid + delta] {
+                if cand >= 1 && cand < count && ikey_at(cand - 1) != ikey_at(cand) {
+                    split_pos = Some(cand);
+                    break;
+                }
+            }
+            if split_pos.is_some() {
+                break;
+            }
+        }
+        let p = split_pos.expect("a full leaf holds at least two distinct ikeys");
+
+        let right = self
+            .new_leaf(tid, epoch, /*is_root*/ false, /*locked*/ true)
+            .expect("arena full");
+        let mut rperm = DPerm::empty();
+        for (j, posn) in (p..count).enumerate() {
+            let slot = perm.slot_at(posn);
+            let rslot = rperm.insert_at(j);
+            a.pwrite_u64(right + off_ikey(rslot), a.pread_u64(lf + off_ikey(slot)));
+            self.set_klenx(right, rslot, self.klenx_at(lf, slot));
+            a.pwrite_u64(right + off_val(rslot), a.pread_u64(lf + off_val(slot)));
+        }
+        a.pwrite_u64_release(right + OFF_PERM, rperm.raw());
+        let sep = a.pread_u64(right + off_ikey(rperm.slot_at(0)));
+        a.pwrite_u64(right + OFF_NEXT, a.pread_u64(lf + OFF_NEXT));
+        a.pwrite_u64(right + OFF_PARENT, a.pread_u64(lf + OFF_PARENT));
+        a.pwrite_u64_release(lf + OFF_NEXT, right);
+        a.pwrite_u64_release(lf + OFF_PERM, perm.truncated(p).raw());
+
+        self.insert_upward(ctx, epoch, holder, lf, right, sep);
+        (right, sep)
+    }
+
+    unsafe fn insert_upward(
+        &self,
+        ctx: &DCtx,
+        epoch: u64,
+        holder: u64,
+        left: u64,
+        right: u64,
+        sep: u64,
+    ) {
+        let a = &self.inner.arena;
+        let tid = ctx.tid;
+        loop {
+            let p = a.pread_u64_acquire(left + OFF_PARENT);
+            if p == 0 {
+                // Layer-root split: grow an interior root and swing the
+                // holder (both external-logged; the holder is tiny but
+                // must revert with everything else).
+                let nr = self
+                    .new_interior(tid, epoch, /*is_root*/ true, /*locked*/ false)
+                    .expect("arena full");
+                a.pwrite_u64(nr + off_int_key(0), sep);
+                a.pwrite_u64(nr + off_int_child(0), left);
+                a.pwrite_u64(nr + off_int_child(1), right);
+                a.pwrite_u64_release(nr + OFF_INT_NKEYS, 1);
+                a.pwrite_u64_release(left + OFF_PARENT, nr);
+                a.pwrite_u64_release(right + OFF_PARENT, nr);
+                self.log_holder(tid, epoch, holder);
+                a.pwrite_u64_release(holder, nr);
+                // Demote `left` (logged above by its split path): durable
+                // root bit then transient flag.
+                let m = a.pread_u64(left + OFF_META);
+                a.pwrite_u64_release(left + OFF_META, m & !meta::IS_ROOT);
+                pv::set_flag(a, left, pv::IS_ROOT, false);
+                return;
+            }
+            self.maybe_recover(p);
+            pv::lock(a, p);
+            if a.pread_u64_acquire(left + OFF_PARENT) != p {
+                pv::unlock(a, p, false, false);
+                continue;
+            }
+            let n = a.pread_u64(p + OFF_INT_NKEYS) as usize;
+            if n < INT_WIDTH {
+                self.ensure_int_logged(tid, epoch, p);
+                self.interior_insert(p, sep, right);
+                pv::unlock(a, p, true, false);
+                return;
+            }
+            let (pr, psep) = self.split_interior(ctx, epoch, holder, p);
+            let target = if sep < psep { p } else { pr };
+            self.interior_insert(target, sep, right);
+            pv::unlock(a, p, target == p, true);
+            pv::unlock(a, pr, target == pr, false);
+            return;
+        }
+    }
+
+    unsafe fn interior_insert(&self, pi: u64, sep: u64, right: u64) {
+        let a = &self.inner.arena;
+        pv::mark_dirty(a, pi, pv::DIRTY_INSERT);
+        let n = a.pread_u64(pi + OFF_INT_NKEYS) as usize;
+        let mut idx = 0;
+        while idx < n && a.pread_u64(pi + off_int_key(idx)) < sep {
+            idx += 1;
+        }
+        let mut j = n;
+        while j > idx {
+            a.pwrite_u64(pi + off_int_key(j), a.pread_u64(pi + off_int_key(j - 1)));
+            a.pwrite_u64(
+                pi + off_int_child(j + 1),
+                a.pread_u64(pi + off_int_child(j)),
+            );
+            j -= 1;
+        }
+        a.pwrite_u64(pi + off_int_key(idx), sep);
+        a.pwrite_u64(pi + off_int_child(idx + 1), right);
+        a.pwrite_u64_release(pi + OFF_INT_NKEYS, n as u64 + 1);
+        a.pwrite_u64_release(right + OFF_PARENT, pi);
+    }
+
+    unsafe fn split_interior(
+        &self,
+        ctx: &DCtx,
+        epoch: u64,
+        holder: u64,
+        p: u64,
+    ) -> (u64, u64) {
+        let a = &self.inner.arena;
+        let tid = ctx.tid;
+        self.ensure_int_logged(tid, epoch, p);
+        pv::mark_dirty(a, p, pv::DIRTY_SPLIT);
+        let n = a.pread_u64(p + OFF_INT_NKEYS) as usize;
+        debug_assert_eq!(n, INT_WIDTH);
+        let mid = n / 2;
+        let psep = a.pread_u64(p + off_int_key(mid));
+
+        let r = self
+            .new_interior(tid, epoch, /*is_root*/ false, /*locked*/ true)
+            .expect("arena full");
+        let rcount = n - mid - 1;
+        for j in 0..rcount {
+            a.pwrite_u64(r + off_int_key(j), a.pread_u64(p + off_int_key(mid + 1 + j)));
+        }
+        for j in 0..=rcount {
+            let child = a.pread_u64(p + off_int_child(mid + 1 + j));
+            a.pwrite_u64(r + off_int_child(j), child);
+            // The move of the child's parent word is NOT logged here:
+            // recovery re-derives every parent pointer from the restored
+            // interior images (see `recovery.rs`), which both avoids
+            // racing the (unlocked) child's own logging and keeps each
+            // log target single-entry.
+            self.maybe_recover(child);
+            pv_store_parent(a, child, r);
+        }
+        a.pwrite_u64_release(r + OFF_INT_NKEYS, rcount as u64);
+        a.pwrite_u64(r + OFF_PARENT, a.pread_u64(p + OFF_PARENT));
+        a.pwrite_u64_release(p + OFF_INT_NKEYS, mid as u64);
+
+        self.insert_upward(ctx, epoch, holder, p, r, psep);
+        (r, psep)
+    }
+
+    // ==================================================================
+    // scan
+    // ==================================================================
+
+    unsafe fn scan_layer(
+        &self,
+        holder: u64,
+        start: Option<KeyCursor<'_>>,
+        prefix: &mut Vec<u8>,
+        remaining: &mut usize,
+        f: &mut dyn FnMut(&[u8], u64),
+    ) -> bool {
+        let a = &self.inner.arena;
+        let start_ikey = start.map(|c| c.ikey()).unwrap_or(0);
+        let (mut lf, _) = self.find_leaf(holder, start_ikey);
+        let mut first = true;
+        loop {
+            self.maybe_recover(lf);
+            let mut entries: Vec<(u64, u8, u64)> = Vec::with_capacity(LEAF_WIDTH);
+            let next;
+            loop {
+                entries.clear();
+                let v = pv::stable(a, lf);
+                let perm = self.perm_of(lf);
+                for pos in 0..perm.len() {
+                    let slot = perm.slot_at(pos);
+                    entries.push((
+                        a.pread_u64_acquire(lf + off_ikey(slot)),
+                        self.klenx_at(lf, slot),
+                        a.pread_u64_acquire(lf + off_val(slot)),
+                    ));
+                }
+                let nx = a.pread_u64_acquire(lf + OFF_NEXT);
+                if !pv::changed(v, pv::load(a, lf)) {
+                    next = nx;
+                    break;
+                }
+            }
+            for &(k, kl, val) in &entries {
+                if first {
+                    if let Some(sc) = start {
+                        let skl = search_klenx(&sc);
+                        match entry_cmp(k, kl, sc.ikey(), skl) {
+                            std::cmp::Ordering::Less => continue,
+                            std::cmp::Ordering::Equal if kl == KLEN_LAYER && !sc.is_terminal() => {
+                                let mut sub = sc;
+                                sub.descend();
+                                prefix.extend_from_slice(&k.to_be_bytes());
+                                let go = self.scan_layer(val, Some(sub), prefix, remaining, f);
+                                prefix.truncate(prefix.len() - 8);
+                                if !go {
+                                    return false;
+                                }
+                                continue;
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                if kl == KLEN_LAYER {
+                    prefix.extend_from_slice(&k.to_be_bytes());
+                    let go = self.scan_layer(val, None, prefix, remaining, f);
+                    prefix.truncate(prefix.len() - 8);
+                    if !go {
+                        return false;
+                    }
+                } else {
+                    let keylen = prefix.len() + kl as usize;
+                    prefix.extend_from_slice(&ikey_bytes(k, kl));
+                    f(&prefix[..keylen], a.pread_u64(val));
+                    prefix.truncate(keylen - kl as usize);
+                    *remaining -= 1;
+                    if *remaining == 0 {
+                        return false;
+                    }
+                }
+            }
+            first = false;
+            if next == 0 {
+                return true;
+            }
+            lf = next;
+        }
+    }
+}
+
+/// Stores a node's parent word (helper shared by split paths).
+fn pv_store_parent(a: &PArena, node: u64, parent: u64) {
+    a.pwrite_u64_release(node + OFF_PARENT, parent);
+}
+
+impl std::fmt::Debug for DurableMasstree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableMasstree")
+            .field("exec_epoch", &self.inner.exec_epoch)
+            .field("incll_enabled", &self.inner.incll_enabled)
+            .field("failed_epochs", &self.inner.failed.len())
+            .finish()
+    }
+}
+
+// Keep AtomicU64 import alive for the doc examples in lib.rs.
+#[allow(unused)]
+type _A = AtomicU64;

@@ -1,0 +1,141 @@
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::EpochManager;
+
+/// A background thread that advances the epoch on a fixed interval,
+/// mirroring the paper's 64 ms checkpoint cadence.
+///
+/// The driver stops (and joins its thread) on [`AdvanceDriver::stop`] or
+/// drop.
+///
+/// # Example
+///
+/// ```
+/// use incll_pmem::{superblock, PArena};
+/// use incll_epoch::{AdvanceDriver, EpochManager, EpochOptions};
+/// use std::time::Duration;
+///
+/// # fn main() -> Result<(), incll_pmem::Error> {
+/// let arena = PArena::builder().capacity_bytes(1 << 20).build()?;
+/// superblock::format(&arena);
+/// let mgr = EpochManager::new(arena, EpochOptions::durable());
+/// let driver = AdvanceDriver::spawn(mgr.clone(), Duration::from_millis(5));
+/// std::thread::sleep(Duration::from_millis(40));
+/// driver.stop();
+/// assert!(mgr.current_epoch() > 1);
+/// # Ok(())
+/// # }
+/// ```
+pub struct AdvanceDriver {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl AdvanceDriver {
+    /// Spawns a driver advancing `mgr` every `interval`.
+    pub fn spawn(mgr: EpochManager, interval: Duration) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let thread = std::thread::Builder::new()
+            .name("incll-epoch-driver".into())
+            .spawn(move || {
+                while !stop2.load(Ordering::Acquire) {
+                    std::thread::sleep(interval);
+                    if stop2.load(Ordering::Acquire) {
+                        break;
+                    }
+                    mgr.advance();
+                }
+            })
+            .expect("spawn epoch driver");
+        AdvanceDriver {
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    /// Stops the driver and joins its thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for AdvanceDriver {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for AdvanceDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdvanceDriver")
+            .field("stopped", &self.stop.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EpochOptions;
+    use incll_pmem::{superblock, PArena};
+
+    #[test]
+    fn driver_advances_epochs() {
+        let arena = PArena::builder().capacity_bytes(1 << 20).build().unwrap();
+        superblock::format(&arena);
+        let mgr = EpochManager::new(arena, EpochOptions::durable());
+        let driver = AdvanceDriver::spawn(mgr.clone(), Duration::from_millis(2));
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while mgr.current_epoch() < 4 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        driver.stop();
+        assert!(mgr.current_epoch() >= 4);
+    }
+
+    #[test]
+    fn driver_stops_on_drop() {
+        let arena = PArena::builder().capacity_bytes(1 << 20).build().unwrap();
+        superblock::format(&arena);
+        let mgr = EpochManager::new(arena, EpochOptions::transient());
+        {
+            let _driver = AdvanceDriver::spawn(mgr.clone(), Duration::from_millis(1));
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let settled = mgr.current_epoch();
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(mgr.current_epoch(), settled);
+    }
+
+    #[test]
+    fn driver_with_workers() {
+        let arena = PArena::builder().capacity_bytes(1 << 20).build().unwrap();
+        superblock::format(&arena);
+        let mgr = EpochManager::new(arena, EpochOptions::durable());
+        let driver = AdvanceDriver::spawn(mgr.clone(), Duration::from_millis(1));
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let mgr = mgr.clone();
+                s.spawn(move || {
+                    let h = mgr.register();
+                    for _ in 0..10_000 {
+                        let _g = h.pin();
+                    }
+                });
+            }
+        });
+        driver.stop();
+        assert!(mgr.current_epoch() >= 1);
+    }
+}

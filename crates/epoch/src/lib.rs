@@ -1,0 +1,51 @@
+//! Epoch management for fine-grain checkpointing.
+//!
+//! The paper partitions execution into short epochs (64 ms). At the start of
+//! each epoch every worker thread is briefly quiesced at a **global
+//! barrier** (one of the two MT+ enhancements, §6), the whole cache is
+//! flushed to NVM (`wbinvd`, §6.2), the durable epoch counter is bumped,
+//! and per-epoch state (external log, allocator pending-free lists) is
+//! reset. Epochs double as the memory-reclamation grace period: an object
+//! freed in epoch *e* may be reused from *e + 1* on, which is exactly the
+//! property the durable allocator's recovery argument needs (§5).
+//!
+//! This crate provides:
+//!
+//! * [`EpochManager`] — global epoch word, thread registration, the
+//!   Dekker-style pin/advance protocol, durable epoch recording, and
+//!   epoch-boundary hooks.
+//! * [`ThreadHandle`]/[`Guard`] — per-thread epoch pinning. Every data
+//!   structure operation runs inside a guard; the epoch cannot advance
+//!   while any guard is live.
+//! * [`AdvanceDriver`] — a background thread advancing the epoch on a
+//!   timer, like the paper's 64 ms cadence.
+//!
+//! # Example
+//!
+//! ```
+//! use incll_pmem::{superblock, PArena};
+//! use incll_epoch::{EpochManager, EpochOptions};
+//!
+//! # fn main() -> Result<(), incll_pmem::Error> {
+//! let arena = PArena::builder().capacity_bytes(1 << 20).build()?;
+//! superblock::format(&arena);
+//! let mgr = EpochManager::new(arena, EpochOptions::durable());
+//! let handle = mgr.register();
+//! {
+//!     let guard = handle.pin();
+//!     assert_eq!(guard.epoch(), 1);
+//! } // guard dropped: thread quiescent
+//! mgr.advance();
+//! assert_eq!(handle.pin().epoch(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+mod driver;
+mod manager;
+
+pub use driver::AdvanceDriver;
+pub use manager::{EpochManager, EpochOptions, Guard, ThreadHandle};
+
+/// The paper's epoch length: 64 ms (Masstree's reclamation interval, §4).
+pub const DEFAULT_EPOCH_INTERVAL: std::time::Duration = std::time::Duration::from_millis(64);

@@ -1,0 +1,477 @@
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use incll_pmem::{superblock, PArena};
+
+/// What an [`EpochManager`] does at each epoch boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochOptions {
+    /// Flush the whole cache ([`PArena::global_flush`]) before bumping the
+    /// epoch — the checkpoint step. On for the durable system; off for the
+    /// MT+ baseline (which has the barrier but no persistence).
+    pub flush_on_advance: bool,
+    /// Persist the epoch counter in the superblock (`clwb` + `sfence`).
+    /// On for the durable system; off for transient baselines.
+    pub durable_epoch: bool,
+}
+
+impl EpochOptions {
+    /// Options for the durable (INCLL) system: flush + durable counter.
+    pub fn durable() -> Self {
+        EpochOptions {
+            flush_on_advance: true,
+            durable_epoch: true,
+        }
+    }
+
+    /// Options for the transient MT+ baseline: barrier only.
+    pub fn transient() -> Self {
+        EpochOptions {
+            flush_on_advance: false,
+            durable_epoch: false,
+        }
+    }
+}
+
+/// Per-registered-thread state.
+///
+/// `state` is 0 when the thread is quiescent (no live guard) and 1 when it
+/// is inside a guard; `dead` marks deregistered threads the advancer must
+/// skip.
+struct Slot {
+    state: AtomicU64,
+    dead: AtomicBool,
+}
+
+struct Shared {
+    arena: PArena,
+    /// Source of truth for the running system; mirrors the durable counter.
+    global_epoch: AtomicU64,
+    /// First epoch of this execution (recovery sets it past failed epochs).
+    exec_epoch: AtomicU64,
+    /// Set while an advance is quiescing/working; gates `pin`.
+    advancing: AtomicBool,
+    /// Serialises advancers.
+    advance_lock: Mutex<()>,
+    /// Parking for threads that hit the barrier mid-advance.
+    park_lock: Mutex<()>,
+    park_cv: Condvar,
+    slots: Mutex<Vec<Arc<Slot>>>,
+    hooks: Mutex<Vec<Box<dyn Fn(u64) + Send + Sync>>>,
+    options: EpochOptions,
+}
+
+/// The global epoch authority (see crate docs).
+///
+/// Cloneable handle; all clones share state.
+#[derive(Clone)]
+pub struct EpochManager {
+    shared: Arc<Shared>,
+}
+
+impl EpochManager {
+    /// Creates a manager over `arena`.
+    ///
+    /// With [`EpochOptions::durable`] the starting epoch is read from the
+    /// superblock (which must be formatted); otherwise it starts at 1.
+    pub fn new(arena: PArena, options: EpochOptions) -> Self {
+        let start = if options.durable_epoch {
+            arena.pread_u64(superblock::SB_CUR_EPOCH).max(1)
+        } else {
+            1
+        };
+        let exec = if options.durable_epoch {
+            arena.pread_u64(superblock::SB_EXEC_EPOCH).max(1)
+        } else {
+            1
+        };
+        EpochManager {
+            shared: Arc::new(Shared {
+                arena,
+                global_epoch: AtomicU64::new(start),
+                exec_epoch: AtomicU64::new(exec),
+                advancing: AtomicBool::new(false),
+                advance_lock: Mutex::new(()),
+                park_lock: Mutex::new(()),
+                park_cv: Condvar::new(),
+                slots: Mutex::new(Vec::new()),
+                hooks: Mutex::new(Vec::new()),
+                options,
+            }),
+        }
+    }
+
+    /// The arena this manager checkpoints.
+    pub fn arena(&self) -> &PArena {
+        &self.shared.arena
+    }
+
+    /// The current epoch number.
+    #[inline]
+    pub fn current_epoch(&self) -> u64 {
+        self.shared.global_epoch.load(Ordering::Acquire)
+    }
+
+    /// The first epoch of the current execution (`currExecEpoch` in
+    /// Listing 4). Nodes stamped with an older epoch need lazy recovery.
+    #[inline]
+    pub fn exec_epoch(&self) -> u64 {
+        self.shared.exec_epoch.load(Ordering::Acquire)
+    }
+
+    /// Updates epoch state after recovery: the new execution starts at
+    /// `epoch`, durably recorded.
+    pub fn restart_at(&self, epoch: u64) {
+        let sh = &self.shared;
+        sh.global_epoch.store(epoch, Ordering::Release);
+        sh.exec_epoch.store(epoch, Ordering::Release);
+        if sh.options.durable_epoch {
+            sh.arena.pwrite_u64(superblock::SB_CUR_EPOCH, epoch);
+            sh.arena.pwrite_u64(superblock::SB_EXEC_EPOCH, epoch);
+            sh.arena.clwb(superblock::SB_CUR_EPOCH);
+            sh.arena.sfence();
+        }
+    }
+
+    /// Registers the calling thread, returning its pinning handle.
+    pub fn register(&self) -> ThreadHandle {
+        let slot = Arc::new(Slot {
+            state: AtomicU64::new(0),
+            dead: AtomicBool::new(false),
+        });
+        self.shared.slots.lock().push(slot.clone());
+        ThreadHandle {
+            mgr: self.clone(),
+            slot,
+            depth: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Adds a hook run at every epoch boundary, after the flush and the
+    /// durable epoch bump, while all threads are quiesced. The argument is
+    /// the *new* epoch number.
+    pub fn add_advance_hook(&self, hook: Box<dyn Fn(u64) + Send + Sync>) {
+        self.shared.hooks.lock().push(hook);
+    }
+
+    /// Advances to the next epoch: quiesce all threads → flush the cache
+    /// (checkpoint) → durably bump the epoch → run boundary hooks → resume.
+    ///
+    /// Returns the new epoch number.
+    ///
+    /// # Deadlocks
+    ///
+    /// Must not be called while the calling thread holds a [`Guard`]; the
+    /// advance waits for all guards to drop.
+    pub fn advance(&self) -> u64 {
+        let sh = &self.shared;
+        let _adv = sh.advance_lock.lock();
+
+        // Dekker-style handshake with `pin`: set the flag, then wait for
+        // every live slot to be quiescent.
+        sh.advancing.store(true, Ordering::SeqCst);
+        let slots: Vec<Arc<Slot>> = {
+            let mut guard = sh.slots.lock();
+            guard.retain(|s| !s.dead.load(Ordering::Acquire));
+            guard.clone()
+        };
+        for slot in &slots {
+            let mut spins = 0u32;
+            while slot.state.load(Ordering::SeqCst) != 0 {
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+
+        // --- All threads quiesced: the checkpoint moment. ---
+        if sh.options.flush_on_advance {
+            // Everything written during the finishing epoch becomes durable.
+            sh.arena.global_flush();
+        }
+        let new_epoch = sh.global_epoch.load(Ordering::Relaxed) + 1;
+        if sh.options.durable_epoch {
+            // The epoch only "completes" once the successor number is
+            // durable; a crash before this point rolls back to the previous
+            // boundary (conservative but consistent).
+            sh.arena.pwrite_u64(superblock::SB_CUR_EPOCH, new_epoch);
+            sh.arena.clwb(superblock::SB_CUR_EPOCH);
+            sh.arena.sfence();
+        }
+        sh.global_epoch.store(new_epoch, Ordering::Release);
+        for hook in sh.hooks.lock().iter() {
+            hook(new_epoch);
+        }
+
+        // Resume the world.
+        sh.advancing.store(false, Ordering::SeqCst);
+        let _pl = sh.park_lock.lock();
+        sh.park_cv.notify_all();
+        new_epoch
+    }
+
+    /// Number of live registered threads (for diagnostics).
+    pub fn registered_threads(&self) -> usize {
+        let mut guard = self.shared.slots.lock();
+        guard.retain(|s| !s.dead.load(Ordering::Acquire));
+        guard.len()
+    }
+}
+
+impl std::fmt::Debug for EpochManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpochManager")
+            .field("epoch", &self.current_epoch())
+            .field("exec_epoch", &self.exec_epoch())
+            .field("options", &self.shared.options)
+            .finish()
+    }
+}
+
+/// A registered thread's pinning handle. Not `Sync`: one per thread.
+pub struct ThreadHandle {
+    mgr: EpochManager,
+    slot: Arc<Slot>,
+    /// Re-entrant pin depth (inner pins are free).
+    depth: std::cell::Cell<u32>,
+}
+
+impl ThreadHandle {
+    /// Pins the current epoch, blocking briefly if an advance is in
+    /// progress (the paper's per-epoch global barrier).
+    #[inline]
+    pub fn pin(&self) -> Guard<'_> {
+        if self.depth.get() == 0 {
+            loop {
+                // Announce activity first, then re-check the flag: the
+                // advancer uses the opposite order (SeqCst both sides).
+                self.slot.state.store(1, Ordering::SeqCst);
+                if !self.mgr.shared.advancing.load(Ordering::SeqCst) {
+                    break;
+                }
+                // Barrier hit: step back and park until the advance ends.
+                self.slot.state.store(0, Ordering::SeqCst);
+                let mut pl = self.mgr.shared.park_lock.lock();
+                if self.mgr.shared.advancing.load(Ordering::SeqCst) {
+                    self.mgr.shared.park_cv.wait(&mut pl);
+                }
+            }
+        }
+        self.depth.set(self.depth.get() + 1);
+        Guard {
+            handle: self,
+            epoch: self.mgr.current_epoch(),
+        }
+    }
+
+    /// The owning manager.
+    pub fn manager(&self) -> &EpochManager {
+        &self.mgr
+    }
+}
+
+impl Drop for ThreadHandle {
+    fn drop(&mut self) {
+        self.slot.dead.store(true, Ordering::Release);
+        self.slot.state.store(0, Ordering::SeqCst);
+    }
+}
+
+impl std::fmt::Debug for ThreadHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadHandle")
+            .field("pinned", &(self.depth.get() > 0))
+            .finish()
+    }
+}
+
+/// An epoch pin: while any guard is live the epoch cannot advance, so all
+/// reads/writes made under it belong to [`Guard::epoch`].
+pub struct Guard<'h> {
+    handle: &'h ThreadHandle,
+    epoch: u64,
+}
+
+impl Guard<'_> {
+    /// The epoch this guard pinned.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The owning manager.
+    pub fn manager(&self) -> &EpochManager {
+        &self.handle.mgr
+    }
+}
+
+impl Drop for Guard<'_> {
+    fn drop(&mut self) {
+        let d = self.handle.depth.get() - 1;
+        self.handle.depth.set(d);
+        if d == 0 {
+            self.handle.slot.state.store(0, Ordering::SeqCst);
+        }
+    }
+}
+
+impl std::fmt::Debug for Guard<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Guard").field("epoch", &self.epoch).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn durable_mgr() -> EpochManager {
+        let arena = PArena::builder().capacity_bytes(1 << 20).build().unwrap();
+        superblock::format(&arena);
+        EpochManager::new(arena, EpochOptions::durable())
+    }
+
+    #[test]
+    fn starts_at_formatted_epoch() {
+        let mgr = durable_mgr();
+        assert_eq!(mgr.current_epoch(), 1);
+        assert_eq!(mgr.exec_epoch(), 1);
+    }
+
+    #[test]
+    fn advance_bumps_and_persists() {
+        let mgr = durable_mgr();
+        assert_eq!(mgr.advance(), 2);
+        assert_eq!(mgr.current_epoch(), 2);
+        assert_eq!(mgr.arena().pread_u64(superblock::SB_CUR_EPOCH), 2);
+        assert_eq!(mgr.arena().stats().global_flush(), 1);
+    }
+
+    #[test]
+    fn transient_mode_skips_flush_and_persist() {
+        let arena = PArena::builder().capacity_bytes(1 << 20).build().unwrap();
+        let mgr = EpochManager::new(arena, EpochOptions::transient());
+        mgr.advance();
+        assert_eq!(mgr.arena().stats().global_flush(), 0);
+        assert_eq!(mgr.current_epoch(), 2);
+    }
+
+    #[test]
+    fn guard_epoch_is_stable() {
+        let mgr = durable_mgr();
+        let h = mgr.register();
+        let g = h.pin();
+        assert_eq!(g.epoch(), 1);
+        drop(g);
+        mgr.advance();
+        assert_eq!(h.pin().epoch(), 2);
+    }
+
+    #[test]
+    fn nested_pins_share_epoch() {
+        let mgr = durable_mgr();
+        let h = mgr.register();
+        let g1 = h.pin();
+        let g2 = h.pin();
+        assert_eq!(g1.epoch(), g2.epoch());
+        drop(g2);
+        drop(g1);
+        mgr.advance();
+    }
+
+    #[test]
+    fn hooks_run_with_new_epoch() {
+        let mgr = durable_mgr();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = seen.clone();
+        mgr.add_advance_hook(Box::new(move |e| seen2.lock().push(e)));
+        mgr.advance();
+        mgr.advance();
+        assert_eq!(*seen.lock(), vec![2, 3]);
+    }
+
+    #[test]
+    fn advance_waits_for_guards() {
+        let mgr = durable_mgr();
+        let mgr2 = mgr.clone();
+        let h = mgr.register();
+        let g = h.pin();
+        let t = std::thread::spawn(move || mgr2.advance());
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(mgr.current_epoch(), 1, "advance must wait for the guard");
+        drop(g);
+        t.join().unwrap();
+        assert_eq!(mgr.current_epoch(), 2);
+    }
+
+    #[test]
+    fn pin_blocks_during_advance_then_proceeds() {
+        let mgr = durable_mgr();
+        // A slow hook keeps the advance window open.
+        mgr.add_advance_hook(Box::new(|_| {
+            std::thread::sleep(Duration::from_millis(50));
+        }));
+        let mgr2 = mgr.clone();
+        let t = std::thread::spawn(move || {
+            mgr2.advance();
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        let h = mgr.register();
+        let g = h.pin(); // must park until the advance completes
+        assert_eq!(g.epoch(), 2);
+        drop(g);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn dropped_handles_do_not_block_advance() {
+        let mgr = durable_mgr();
+        let h = mgr.register();
+        drop(h);
+        assert_eq!(mgr.registered_threads(), 0);
+        mgr.advance();
+        assert_eq!(mgr.current_epoch(), 2);
+    }
+
+    #[test]
+    fn concurrent_workers_and_advancer() {
+        let mgr = durable_mgr();
+        let stop = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let mgr = mgr.clone();
+                let stop = stop.clone();
+                s.spawn(move || {
+                    let h = mgr.register();
+                    let mut last = 0;
+                    while !stop.load(Ordering::Relaxed) {
+                        let g = h.pin();
+                        // Epochs observed by a thread never go backwards.
+                        assert!(g.epoch() >= last);
+                        last = g.epoch();
+                    }
+                });
+            }
+            for _ in 0..50 {
+                mgr.advance();
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        assert_eq!(mgr.current_epoch(), 51);
+    }
+
+    #[test]
+    fn restart_at_updates_both_epochs() {
+        let mgr = durable_mgr();
+        mgr.restart_at(7);
+        assert_eq!(mgr.current_epoch(), 7);
+        assert_eq!(mgr.exec_epoch(), 7);
+        assert_eq!(mgr.arena().pread_u64(superblock::SB_EXEC_EPOCH), 7);
+    }
+}

@@ -1,0 +1,298 @@
+//! Node version words: Masstree's optimistic concurrency control (§2.2).
+//!
+//! Every node carries a 64-bit version word combining a spinlock, "dirty"
+//! bits announcing in-progress inserts/splits, and generation counters that
+//! readers validate against:
+//!
+//! ```text
+//! bit  0: LOCK        writer lock
+//! bit  1: INSERTING   contents being rearranged (dirty)
+//! bit  2: SPLITTING   node splitting (dirty; held across the parent update)
+//! bit  3: DELETED     node retired
+//! bit  4: IS_ROOT     node is the root of its trie layer
+//! bit  5: IS_LEAF     border node (vs interior)
+//! bits  8..36: vinsert counter (bumped by every insert/remove unlock)
+//! bits 36..63: vsplit  counter (bumped by every split unlock)
+//! ```
+//!
+//! Readers take a *stable* snapshot (spin while dirty), read node contents,
+//! then re-check the word: any change to the dirty bits or counters means
+//! the read raced a writer and must retry. Writers lock, set a dirty bit,
+//! mutate, and unlock-with-increment in one release store.
+//!
+//! The bit functions are pure `u64` helpers so the durable tree (which
+//! stores version words in persistent memory) reuses them unchanged; the
+//! lock word is semantically transient and reinitialised by recovery
+//! (§4.3).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Writer lock bit.
+pub const LOCK: u64 = 1 << 0;
+/// Insert-in-progress dirty bit.
+pub const INSERTING: u64 = 1 << 1;
+/// Split-in-progress dirty bit.
+pub const SPLITTING: u64 = 1 << 2;
+/// Node retired.
+pub const DELETED: u64 = 1 << 3;
+/// Root of its trie layer.
+pub const IS_ROOT: u64 = 1 << 4;
+/// Border (leaf) node.
+pub const IS_LEAF: u64 = 1 << 5;
+
+const VINSERT_SHIFT: u32 = 8;
+const VINSERT_UNIT: u64 = 1 << VINSERT_SHIFT;
+const VSPLIT_SHIFT: u32 = 36;
+#[cfg(test)]
+const VSPLIT_UNIT: u64 = 1 << VSPLIT_SHIFT;
+const DIRTY: u64 = INSERTING | SPLITTING;
+
+/// Whether a version word is dirty (contents unstable).
+#[inline]
+pub fn is_dirty(v: u64) -> bool {
+    v & DIRTY != 0
+}
+
+/// Whether the lock bit is held.
+#[inline]
+pub fn is_locked(v: u64) -> bool {
+    v & LOCK != 0
+}
+
+/// Whether two stable snapshots allow a read to be trusted: the dirty bits
+/// and both counters must be identical (the lock bit alone is fine — a
+/// writer that locked but has not yet dirtied anything has not changed the
+/// contents).
+#[inline]
+pub fn changed(before: u64, after: u64) -> bool {
+    (before ^ after) & !LOCK != 0
+}
+
+/// The unlock word for a writer: clear lock + dirty bits and bump the
+/// counters for the work performed. Each counter wraps within its own
+/// field (no carry between them).
+#[inline]
+pub fn unlock_word(v: u64, did_insert: bool, did_split: bool) -> u64 {
+    const FIELD: u64 = (1 << 28) - 1; // both counters are 28 bits wide
+    let flags = v & ((VINSERT_UNIT - 1) & !(LOCK | INSERTING | SPLITTING));
+    let mut vins = (v >> VINSERT_SHIFT) & FIELD;
+    let mut vspl = (v >> VSPLIT_SHIFT) & FIELD;
+    if did_insert {
+        vins = (vins + 1) & FIELD;
+    }
+    if did_split {
+        vspl = (vspl + 1) & FIELD;
+    }
+    flags | (vins << VINSERT_SHIFT) | (vspl << VSPLIT_SHIFT)
+}
+
+/// A transient atomic version word.
+#[derive(Debug, Default)]
+pub struct NodeVersion(AtomicU64);
+
+impl NodeVersion {
+    /// Creates a version word with the given flag bits set.
+    pub fn with_flags(flags: u64) -> Self {
+        NodeVersion(AtomicU64::new(flags))
+    }
+
+    /// Raw relaxed load.
+    #[inline]
+    pub fn load(&self) -> u64 {
+        self.0.load(Ordering::Acquire)
+    }
+
+    /// Spins until the word is not dirty, returning the stable snapshot.
+    #[inline]
+    pub fn stable(&self) -> u64 {
+        let mut spins = 0u32;
+        loop {
+            let v = self.0.load(Ordering::Acquire);
+            if !is_dirty(v) {
+                return v;
+            }
+            spins += 1;
+            if spins < 128 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Acquires the writer lock (spinning).
+    pub fn lock(&self) -> u64 {
+        let mut spins = 0u32;
+        loop {
+            let v = self.0.load(Ordering::Relaxed);
+            if !is_locked(v)
+                && self
+                    .0
+                    .compare_exchange_weak(v, v | LOCK, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            {
+                return v | LOCK;
+            }
+            spins += 1;
+            if spins < 128 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Tries to acquire the writer lock without spinning.
+    pub fn try_lock(&self) -> Option<u64> {
+        let v = self.0.load(Ordering::Relaxed);
+        if is_locked(v) {
+            return None;
+        }
+        self.0
+            .compare_exchange(v, v | LOCK, Ordering::Acquire, Ordering::Relaxed)
+            .ok()
+            .map(|w| w | LOCK)
+    }
+
+    /// Sets a dirty bit while holding the lock.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if the lock is not held.
+    #[inline]
+    pub fn mark_dirty(&self, bit: u64) {
+        let v = self.0.load(Ordering::Relaxed);
+        debug_assert!(is_locked(v), "dirty bit without the lock");
+        self.0.store(v | bit, Ordering::Release);
+    }
+
+    /// Releases the lock, clearing dirty bits and bumping counters.
+    #[inline]
+    pub fn unlock(&self, did_insert: bool, did_split: bool) {
+        let v = self.0.load(Ordering::Relaxed);
+        debug_assert!(is_locked(v));
+        self.0
+            .store(unlock_word(v, did_insert, did_split), Ordering::Release);
+    }
+
+    /// Sets or clears a flag bit (e.g. [`IS_ROOT`]) while holding the lock.
+    pub fn set_flag(&self, bit: u64, on: bool) {
+        let v = self.0.load(Ordering::Relaxed);
+        debug_assert!(is_locked(v));
+        let w = if on { v | bit } else { v & !bit };
+        self.0.store(w, Ordering::Release);
+    }
+
+    /// Whether the node is a border (leaf) node.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.load() & IS_LEAF != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn flags_roundtrip() {
+        let v = NodeVersion::with_flags(IS_LEAF | IS_ROOT);
+        assert!(v.is_leaf());
+        assert!(v.load() & IS_ROOT != 0);
+        assert!(!is_dirty(v.load()));
+    }
+
+    #[test]
+    fn lock_unlock_bumps_vinsert() {
+        let v = NodeVersion::with_flags(IS_LEAF);
+        let before = v.stable();
+        v.lock();
+        v.mark_dirty(INSERTING);
+        v.unlock(true, false);
+        let after = v.stable();
+        assert!(changed(before, after));
+        assert!(!is_locked(after));
+        assert!(!is_dirty(after));
+    }
+
+    #[test]
+    fn unlock_without_work_changes_nothing_observable() {
+        let v = NodeVersion::with_flags(IS_LEAF);
+        let before = v.stable();
+        v.lock();
+        v.unlock(false, false);
+        assert!(!changed(before, v.stable()));
+    }
+
+    #[test]
+    fn split_bumps_vsplit_not_vinsert_only() {
+        let a = unlock_word(LOCK | SPLITTING, false, true);
+        assert_eq!(a & (LOCK | SPLITTING), 0);
+        assert!(changed(0, a));
+        let b = unlock_word(LOCK | INSERTING, true, false);
+        assert!(changed(0, b));
+        assert_ne!(a, b, "insert and split advance different counters");
+    }
+
+    #[test]
+    fn lock_bit_alone_is_not_a_change() {
+        assert!(!changed(0, LOCK));
+        assert!(changed(0, INSERTING));
+        assert!(changed(0, unlock_word(LOCK, true, false)));
+    }
+
+    #[test]
+    fn stable_waits_for_dirty_clear() {
+        let v = Arc::new(NodeVersion::with_flags(IS_LEAF));
+        v.lock();
+        v.mark_dirty(INSERTING);
+        let v2 = v.clone();
+        let t = std::thread::spawn(move || {
+            let s = v2.stable();
+            assert!(!is_dirty(s));
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        v.unlock(true, false);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn try_lock_fails_when_held() {
+        let v = NodeVersion::with_flags(0);
+        v.lock();
+        assert!(v.try_lock().is_none());
+        v.unlock(false, false);
+        assert!(v.try_lock().is_some());
+    }
+
+    #[test]
+    fn contended_lock_is_exclusive() {
+        let v = Arc::new(NodeVersion::with_flags(0));
+        let counter = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let v = v.clone();
+                let c = counter.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        v.lock();
+                        // Non-atomic increment under the lock.
+                        let x = c.load(Ordering::Relaxed);
+                        c.store(x + 1, Ordering::Relaxed);
+                        v.unlock(false, false);
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 4000);
+    }
+
+    #[test]
+    fn vinsert_overflow_does_not_touch_vsplit() {
+        // Saturate vinsert to the top of its field and add one more.
+        let vins_max = ((VSPLIT_UNIT - VINSERT_UNIT) / VINSERT_UNIT) * VINSERT_UNIT;
+        let w = unlock_word(LOCK | vins_max, true, false);
+        assert_eq!(w >> VSPLIT_SHIFT, 0, "vinsert carry must not reach vsplit");
+    }
+}

@@ -1,0 +1,171 @@
+//! Compact 16-byte durable object header (paper §5.1).
+//!
+//! Each free-listable object begins with two 64-bit words, `next` and
+//! `nextInCLL`, that together encode *three* logical fields — the current
+//! `next` pointer, the epoch-start `next` pointer (the undo log), and a
+//! 32-bit epoch — in only 16 bytes:
+//!
+//! ```text
+//! word0 (next):      [63:48] epoch[31:16] | [47:4] next offset | [1:0] counter
+//! word1 (nextInCLL): [63:48] epoch[15:0]  | [47:4] old offset  | [1:0] counter
+//! ```
+//!
+//! Offsets are 16-byte aligned, so bits 3:0 of a pointer are zero; two of
+//! them host a 2-bit **torn-write counter**. A first-modification-per-epoch
+//! rewrites both words (word1 first, then word0, same cache line → PCSO
+//! orders them) with an incremented counter. After a crash:
+//!
+//! * counters differ → the crash hit between the two writes; the epoch
+//!   halves are mixed garbage, and `next` must be recovered from
+//!   `nextInCLL` (which was written first and therefore persisted first);
+//! * counters match → the epoch is trustworthy; if it names a failed
+//!   epoch, `next` reverts to `nextInCLL`, otherwise `next` stands.
+
+/// Byte size of the durable object header.
+pub const HEADER_BYTES: usize = 16;
+
+const PTR_MASK: u64 = 0x0000_FFFF_FFFF_FFF0;
+const CTR_MASK: u64 = 0b11;
+
+/// Packs one header word.
+///
+/// # Panics
+///
+/// Debug-asserts that `ptr` is 16-byte aligned and below 2^48.
+#[inline]
+pub fn pack(ptr: u64, counter: u8, epoch16: u16) -> u64 {
+    debug_assert_eq!(ptr & !PTR_MASK, 0, "pointer {ptr:#x} not packable");
+    ptr | (counter as u64 & CTR_MASK) | ((epoch16 as u64) << 48)
+}
+
+/// Extracts the pointer field.
+#[inline]
+pub fn ptr(word: u64) -> u64 {
+    word & PTR_MASK
+}
+
+/// Extracts the 2-bit torn-write counter.
+#[inline]
+pub fn counter(word: u64) -> u8 {
+    (word & CTR_MASK) as u8
+}
+
+/// Extracts the 16-bit epoch half.
+#[inline]
+pub fn epoch16(word: u64) -> u16 {
+    (word >> 48) as u16
+}
+
+/// Reassembles the 32-bit epoch from both words (valid only when the
+/// counters match).
+#[inline]
+pub fn epoch32(word0: u64, word1: u64) -> u32 {
+    ((epoch16(word0) as u32) << 16) | epoch16(word1) as u32
+}
+
+/// The decoded, crash-repaired view of an object header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodedHeader {
+    /// The trustworthy `next` pointer (post-repair).
+    pub next: u64,
+    /// Whether the header was torn (counters differed).
+    pub torn: bool,
+    /// The header's 32-bit epoch (meaningless when `torn`).
+    pub epoch32: u32,
+    /// Current counter value (of `nextInCLL`, the authoritative word when
+    /// torn).
+    pub counter: u8,
+}
+
+/// Decodes a header and resolves which `next` value is trustworthy.
+///
+/// `is_failed_epoch32` reports whether a reconstructed 32-bit epoch belongs
+/// to a failed epoch.
+#[inline]
+pub fn decode(word0: u64, word1: u64, is_failed_epoch32: impl Fn(u32) -> bool) -> DecodedHeader {
+    let c0 = counter(word0);
+    let c1 = counter(word1);
+    if c0 != c1 {
+        // Torn first-modification: word1 persisted, word0 did not.
+        return DecodedHeader {
+            next: ptr(word1),
+            torn: true,
+            epoch32: 0,
+            counter: c1,
+        };
+    }
+    let e = epoch32(word0, word1);
+    let next = if is_failed_epoch32(e) {
+        ptr(word1) // revert to the epoch-start value
+    } else {
+        ptr(word0)
+    };
+    DecodedHeader {
+        next,
+        torn: false,
+        epoch32: e,
+        counter: c0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_roundtrip() {
+        let w = pack(0x1234_5670, 3, 0xBEEF);
+        assert_eq!(ptr(w), 0x1234_5670);
+        assert_eq!(counter(w), 3);
+        assert_eq!(epoch16(w), 0xBEEF);
+    }
+
+    #[test]
+    fn epoch_reassembly() {
+        let w0 = pack(16, 1, 0xDEAD);
+        let w1 = pack(32, 1, 0xBEEF);
+        assert_eq!(epoch32(w0, w1), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn decode_clean_not_failed_uses_word0() {
+        let w0 = pack(0x100, 2, 0);
+        let w1 = pack(0x200, 2, 7);
+        let d = decode(w0, w1, |_| false);
+        assert_eq!(d.next, 0x100);
+        assert!(!d.torn);
+        assert_eq!(d.epoch32, 7);
+    }
+
+    #[test]
+    fn decode_failed_epoch_reverts_to_word1() {
+        let w0 = pack(0x100, 2, 0);
+        let w1 = pack(0x200, 2, 7);
+        let d = decode(w0, w1, |e| e == 7);
+        assert_eq!(d.next, 0x200);
+    }
+
+    #[test]
+    fn decode_torn_uses_word1() {
+        let w0 = pack(0x100, 1, 0xAAAA);
+        let w1 = pack(0x200, 2, 0xBBBB);
+        let d = decode(w0, w1, |_| false);
+        assert!(d.torn);
+        assert_eq!(d.next, 0x200);
+        assert_eq!(d.counter, 2);
+    }
+
+    #[test]
+    fn counter_wraps_in_two_bits() {
+        let w = pack(16, 0b111, 0); // only low 2 bits kept
+        assert_eq!(counter(w), 0b11);
+        assert_eq!(ptr(w), 16);
+    }
+
+    #[test]
+    fn null_pointer_packs() {
+        let w = pack(0, 1, 0xFFFF);
+        assert_eq!(ptr(w), 0);
+        assert_eq!(epoch16(w), 0xFFFF);
+    }
+}

@@ -1,0 +1,830 @@
+//! Durable memory allocator with in-cache-line-logged free lists (§5).
+//!
+//! The paper's observation: an allocator is just a durable data structure —
+//! a set of free chunks — so the same fine-grain-checkpointing + InCLL
+//! recipe applies. This allocator provides:
+//!
+//! * **Per-(thread, class) free lists** — the pool-allocation style of the
+//!   MT+ baseline, lock-free because each thread owns its lists.
+//! * **16-byte object headers** ([`header`]) packing `next`, the epoch-start
+//!   `next` (the undo log) and a 32-bit epoch into two words via pointer
+//!   canonical-form bits plus 2-bit torn-write counters (§5.1).
+//! * **InCLL-protected list heads** — one cache line per list pair, logged
+//!   in place with release-ordered same-line stores.
+//! * **Epoch-based reclamation**: `free` pushes onto a *pending* list;
+//!   pending objects are spliced into the allocatable list at the next
+//!   epoch boundary, guaranteeing an object is only handed out if it was
+//!   free at the start of the epoch. That property is what makes logging
+//!   buffer *contents* unnecessary (§5): after a crash the buffer reverts
+//!   to free, and nobody can hold a reference to it.
+//!
+//! No `clwb`/`sfence` ever executes on the allocation or free path.
+//!
+//! # Example
+//!
+//! ```
+//! use incll_pmem::{superblock, PArena};
+//! use incll_palloc::PAlloc;
+//!
+//! # fn main() -> Result<(), incll_palloc::Error> {
+//! let arena = PArena::builder().capacity_bytes(1 << 20).build()?;
+//! superblock::format(&arena);
+//! let alloc = PAlloc::create(&arena, /*threads*/ 2)?;
+//! let buf = alloc.alloc(/*thread*/ 0, /*epoch*/ 1, 32)?;
+//! arena.pwrite_u64(buf, 42); // fill the buffer: no flush needed
+//! alloc.free(0, 1, buf, 32);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use incll_epoch::EpochManager;
+use incll_pmem::{superblock, PArena};
+
+mod cell;
+mod classes;
+pub mod header;
+
+pub use classes::{
+    class_for, class_for_aligned64, object_bytes, ALIGNED64_CLASS_SIZES, CLASS_SIZES, NUM_CLASSES,
+    SLAB_OBJECTS, TOTAL_CLASSES,
+};
+pub use header::HEADER_BYTES;
+
+/// Errors returned by the durable allocator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Underlying arena failure (typically out of memory).
+    Pmem(incll_pmem::Error),
+    /// Requested size exceeds the largest size class.
+    UnsupportedSize {
+        /// The offending request, in bytes.
+        size: usize,
+    },
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Pmem(e) => write!(f, "persistent memory error: {e}"),
+            Error::UnsupportedSize { size } => write!(
+                f,
+                "allocation of {size} bytes exceeds the largest size class ({})",
+                CLASS_SIZES[NUM_CLASSES - 1]
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Pmem(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<incll_pmem::Error> for Error {
+    fn from(e: incll_pmem::Error) -> Self {
+        Error::Pmem(e)
+    }
+}
+
+struct Inner {
+    arena: PArena,
+    /// Base of the head-cell region: `nthreads × TOTAL_CLASSES` cache lines.
+    root: u64,
+    nthreads: usize,
+    /// Low 32 bits of every durable failed epoch (object headers store
+    /// 32-bit epochs).
+    failed_low32: Vec<u32>,
+    /// Full failed epochs (head cells store full epochs).
+    failed_full: Vec<u64>,
+    /// Serialises durable-watermark updates (slab carving is rare).
+    watermark: Mutex<()>,
+}
+
+/// The durable allocator (see crate docs). Cheap to clone.
+#[derive(Clone)]
+pub struct PAlloc {
+    inner: Arc<Inner>,
+}
+
+impl PAlloc {
+    /// Creates a fresh allocator over a formatted arena, carving the
+    /// head-cell region and initialising the durable watermark.
+    ///
+    /// # Errors
+    ///
+    /// Propagates arena carve failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nthreads` is zero.
+    pub fn create(arena: &PArena, nthreads: usize) -> Result<Self, Error> {
+        assert!(nthreads > 0, "allocator needs at least one thread slot");
+        let region = (nthreads * TOTAL_CLASSES) as u64 * cell::CELL_BYTES;
+        let root = arena.carve(region as usize, 64)?;
+        // Head cells start zeroed (alloc_zeroed arena).
+        arena.pwrite_u64(superblock::SB_PALLOC_HEADS, root);
+        arena.pwrite_u64(superblock::SB_PALLOC_HEADS + 8, nthreads as u64);
+        arena.pwrite_u64(superblock::SB_PALLOC_HEADS + 16, TOTAL_CLASSES as u64);
+        // Durable watermark starts at the current bump.
+        arena.pwrite_u64(superblock::SB_BUMP, arena.bump());
+        arena.pwrite_u64(superblock::SB_BUMP_INCLL, arena.bump());
+        arena.pwrite_u64(superblock::SB_BUMP_EPOCH, 0);
+        arena.clwb_range(superblock::SB_PALLOC_HEADS, 24);
+        arena.clwb(superblock::SB_BUMP);
+        arena.sfence();
+        Ok(PAlloc {
+            inner: Arc::new(Inner {
+                arena: arena.clone(),
+                root,
+                nthreads,
+                failed_low32: Vec::new(),
+                failed_full: Vec::new(),
+                watermark: Mutex::new(()),
+            }),
+        })
+    }
+
+    /// Reopens the allocator after a crash: re-synchronises the bump
+    /// watermark, repairs every head cell whose epoch tag names a failed
+    /// epoch, and splices surviving pending lists (their objects were freed
+    /// in completed epochs and are safe to reuse).
+    ///
+    /// `exec_epoch` is the first epoch of the new execution; recovery
+    /// writes are tagged with it. Replays cleanly if interrupted by another
+    /// crash (no flushes are issued, matching §4.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena carries no allocator root.
+    pub fn open(arena: &PArena, exec_epoch: u64) -> Self {
+        let root = arena.pread_u64(superblock::SB_PALLOC_HEADS);
+        let nthreads = arena.pread_u64(superblock::SB_PALLOC_HEADS + 8) as usize;
+        assert!(
+            root != 0 && nthreads > 0,
+            "arena has no allocator root; format + create first"
+        );
+        let failed_full = superblock::failed_epochs(arena);
+        let failed_low32: Vec<u32> = failed_full.iter().map(|&e| e as u32).collect();
+
+        // Watermark: revert to the epoch-start value if the failed epoch
+        // carved slabs, then resync the transient bump.
+        let we = arena.pread_u64(superblock::SB_BUMP_EPOCH);
+        if we != 0 && failed_full.contains(&we) {
+            let logged = arena.pread_u64(superblock::SB_BUMP_INCLL);
+            arena.pwrite_u64(superblock::SB_BUMP, logged);
+            arena.pwrite_u64_release(superblock::SB_BUMP_EPOCH, exec_epoch);
+        }
+        arena.set_bump(arena.pread_u64(superblock::SB_BUMP));
+
+        let this = PAlloc {
+            inner: Arc::new(Inner {
+                arena: arena.clone(),
+                root,
+                nthreads,
+                failed_low32,
+                failed_full,
+                watermark: Mutex::new(()),
+            }),
+        };
+        // Repair all head cells eagerly (nthreads × classes lines).
+        for t in 0..nthreads {
+            for c in 0..TOTAL_CLASSES {
+                let cell = this.cell(t, c);
+                cell::recover_cell(
+                    arena,
+                    cell,
+                    |e| this.inner.failed_full.contains(&e),
+                    exec_epoch,
+                );
+            }
+        }
+        // Surviving pending objects were freed in completed epochs: they
+        // are reusable now. Splice them in, logged under the new epoch.
+        this.on_epoch_boundary(exec_epoch);
+        this
+    }
+
+    /// The arena this allocator carves from.
+    pub fn arena(&self) -> &PArena {
+        &self.inner.arena
+    }
+
+    /// Number of per-thread slots.
+    pub fn threads(&self) -> usize {
+        self.inner.nthreads
+    }
+
+    #[inline]
+    fn cell(&self, thread: usize, class: usize) -> u64 {
+        debug_assert!(thread < self.inner.nthreads && class < TOTAL_CLASSES);
+        self.inner.root + ((thread * TOTAL_CLASSES + class) as u64) * cell::CELL_BYTES
+    }
+
+    #[inline]
+    fn is_failed_low32(&self, e: u32) -> bool {
+        // Empty in any execution that never crashed: a single predictable
+        // branch on the hot path.
+        !self.inner.failed_low32.is_empty() && self.inner.failed_low32.contains(&e)
+    }
+
+    /// Allocates `size` bytes for `thread` during `epoch`, returning the
+    /// payload offset (16-byte aligned). Performs **no** write-backs or
+    /// fences.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnsupportedSize`] above the largest class;
+    /// [`Error::Pmem`] when the arena is exhausted.
+    pub fn alloc(&self, thread: usize, epoch: u64, size: usize) -> Result<u64, Error> {
+        let class = class_for(size).ok_or(Error::UnsupportedSize { size })?;
+        self.alloc_class(thread, epoch, class)
+    }
+
+    /// Like [`PAlloc::alloc`] but the returned payload offset is 64-byte
+    /// (cache-line) aligned — used for durable tree nodes, whose embedded
+    /// logs rely on exact line placement.
+    ///
+    /// # Errors
+    ///
+    /// As for [`PAlloc::alloc`].
+    pub fn alloc_aligned64(&self, thread: usize, epoch: u64, size: usize) -> Result<u64, Error> {
+        let class = class_for_aligned64(size).ok_or(Error::UnsupportedSize { size })?;
+        let payload = self.alloc_class(thread, epoch, class)?;
+        debug_assert_eq!(payload % 64, 0);
+        Ok(payload)
+    }
+
+    fn alloc_class(&self, thread: usize, epoch: u64, class: usize) -> Result<u64, Error> {
+        let arena = &self.inner.arena;
+        let cell = self.cell(thread, class);
+        let mut head = cell::free_head(arena, cell);
+        if head == 0 {
+            self.refill(thread, class, epoch)?;
+            head = cell::free_head(arena, cell);
+        }
+        // Decode (and crash-repair) the popped object's header to find the
+        // next free object.
+        let w0 = arena.pread_u64(head);
+        let w1 = arena.pread_u64(head + 8);
+        let decoded = header::decode(w0, w1, |e| self.is_failed_low32(e));
+        cell::set_free_head(arena, cell, epoch, decoded.next);
+        arena.stats().add_palloc_alloc();
+        Ok(head + HEADER_BYTES as u64)
+    }
+
+    /// Returns the object at `payload` (from [`PAlloc::alloc`]) of `size`
+    /// bytes to `thread`'s pending list. The object becomes allocatable at
+    /// the next epoch boundary (epoch-based reclamation). Performs **no**
+    /// write-backs or fences.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` does not map to a class (it must be the size passed
+    /// to `alloc`, or any size in the same class).
+    pub fn free(&self, thread: usize, epoch: u64, payload: u64, size: usize) {
+        let class = class_for(size).expect("free of unsupported size");
+        self.free_class(thread, epoch, payload, class);
+    }
+
+    /// Returns a 64-aligned object from [`PAlloc::alloc_aligned64`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` does not map to an aligned class.
+    pub fn free_aligned64(&self, thread: usize, epoch: u64, payload: u64, size: usize) {
+        let class = class_for_aligned64(size).expect("free of unsupported aligned size");
+        self.free_class(thread, epoch, payload, class);
+    }
+
+    fn free_class(&self, thread: usize, epoch: u64, payload: u64, class: usize) {
+        let arena = &self.inner.arena;
+        let cell = self.cell(thread, class);
+        let obj = payload - HEADER_BYTES as u64;
+
+        cell::log_pending(arena, cell, epoch);
+        let old_head = cell::pend_head(arena, cell);
+        self.write_obj_next(obj, old_head, epoch);
+        cell::set_pend_head(arena, cell, obj);
+        if cell::pend_tail(arena, cell) == 0 {
+            cell::set_pend_tail(arena, cell, obj);
+        }
+        arena.stats().add_palloc_free();
+    }
+
+    /// Writes `obj.next := next` with the §5.1 header protocol: the first
+    /// modification in `epoch` rewrites both words (log word first, then
+    /// current word, same line) with an incremented torn-write counter;
+    /// later modifications in the same epoch touch only the current word.
+    fn write_obj_next(&self, obj: u64, next: u64, epoch: u64) {
+        let arena = &self.inner.arena;
+        let e32 = epoch as u32;
+        let w0 = arena.pread_u64(obj);
+        let w1 = arena.pread_u64(obj + 8);
+        let torn = header::counter(w0) != header::counter(w1);
+        if torn || header::epoch32(w0, w1) != e32 {
+            let nc = header::counter(w1).wrapping_add(1) & 3;
+            // Log the old next (garbage when the object was allocated —
+            // harmless: reverting re-allocates the object, whose next is
+            // then meaningless).
+            arena.pwrite_u64(obj + 8, header::pack(header::ptr(w0), nc, e32 as u16));
+            arena.pwrite_u64_release(obj, header::pack(next, nc, (e32 >> 16) as u16));
+            arena.stats().add_incll_alloc();
+        } else {
+            arena.pwrite_u64_release(
+                obj,
+                header::pack(next, header::counter(w0), header::epoch16(w0)),
+            );
+        }
+    }
+
+    /// Carves a fresh slab for (thread, class) and chains it onto the free
+    /// list, durably logging the watermark move.
+    fn refill(&self, thread: usize, class: usize, epoch: u64) -> Result<(), Error> {
+        let arena = &self.inner.arena;
+        let stride = classes::stride(class) as u64;
+        let head_off = classes::header_off_in_stride(class) as u64;
+        let align = if classes::is_aligned64(class) { 64 } else { 16 };
+        let slab = arena.carve(stride as usize * SLAB_OBJECTS, align)?;
+        {
+            let _g = self.inner.watermark.lock();
+            // InCLL-log the durable watermark on its first move this epoch.
+            if arena.pread_u64(superblock::SB_BUMP_EPOCH) != epoch {
+                let old = arena.pread_u64(superblock::SB_BUMP);
+                arena.pwrite_u64(superblock::SB_BUMP_INCLL, old);
+                arena.pwrite_u64_release(superblock::SB_BUMP_EPOCH, epoch);
+                arena.stats().add_incll_alloc();
+            }
+            arena.pwrite_u64_release(superblock::SB_BUMP, arena.bump());
+        }
+        // Chain the fresh objects: slab[i].next = slab[i+1]; the last one
+        // points at the current free head. Fresh headers need no logging:
+        // a crash reverts the watermark and un-carves them wholesale.
+        let cell = self.cell(thread, class);
+        let cur_head = cell::free_head(arena, cell);
+        let e32 = epoch as u32;
+        for i in 0..SLAB_OBJECTS {
+            let obj = slab + (i as u64) * stride + head_off;
+            let next = if i + 1 < SLAB_OBJECTS {
+                obj + stride
+            } else {
+                cur_head
+            };
+            arena.pwrite_u64(obj + 8, header::pack(0, 1, e32 as u16));
+            arena.pwrite_u64(obj, header::pack(next, 1, (e32 >> 16) as u16));
+        }
+        cell::set_free_head(arena, cell, epoch, slab + head_off);
+        Ok(())
+    }
+
+    /// Epoch-boundary hook: splices every pending list onto its free list,
+    /// making objects freed in the finished epoch allocatable. Runs while
+    /// all threads are quiesced; all writes are InCLL-logged under
+    /// `new_epoch`, so a crash mid-epoch reverts the splice and the objects
+    /// simply wait in pending — never leaked.
+    pub fn on_epoch_boundary(&self, new_epoch: u64) {
+        let arena = &self.inner.arena;
+        for t in 0..self.inner.nthreads {
+            for c in 0..TOTAL_CLASSES {
+                let cell = self.cell(t, c);
+                let phead = cell::pend_head(arena, cell);
+                if phead == 0 {
+                    continue;
+                }
+                let ptail = cell::pend_tail(arena, cell);
+                debug_assert_ne!(ptail, 0, "pending list with head but no tail");
+                let fhead = cell::free_head(arena, cell);
+                // tail.next := old free head (tail was the oldest pending).
+                self.write_obj_next(ptail, fhead, new_epoch);
+                cell::set_free_head(arena, cell, new_epoch, phead);
+                cell::log_pending(arena, cell, new_epoch);
+                cell::set_pend_head(arena, cell, 0);
+                cell::set_pend_tail(arena, cell, 0);
+            }
+        }
+    }
+
+    /// Registers the boundary hook on an epoch manager.
+    pub fn attach(&self, mgr: &EpochManager) {
+        let this = self.clone();
+        mgr.add_advance_hook(Box::new(move |new_epoch| {
+            this.on_epoch_boundary(new_epoch);
+        }));
+    }
+
+    /// Walks the free list of `(thread, class)`, returning the object
+    /// offsets (diagnostics / tests). Applies the same header repair logic
+    /// as `alloc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list contains a cycle.
+    pub fn free_list(&self, thread: usize, class: usize) -> Vec<u64> {
+        let arena = &self.inner.arena;
+        let mut out = Vec::new();
+        let mut cur = cell::free_head(arena, self.cell(thread, class));
+        while cur != 0 {
+            out.push(cur);
+            let w0 = arena.pread_u64(cur);
+            let w1 = arena.pread_u64(cur + 8);
+            cur = header::decode(w0, w1, |e| self.is_failed_low32(e)).next;
+            assert!(
+                out.len() <= 1_000_000,
+                "free list cycle detected for thread {thread} class {class}"
+            );
+        }
+        out
+    }
+
+    /// Walks the pending list of `(thread, class)` (diagnostics / tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list contains a cycle.
+    pub fn pending_list(&self, thread: usize, class: usize) -> Vec<u64> {
+        let arena = &self.inner.arena;
+        let mut out = Vec::new();
+        let mut cur = cell::pend_head(arena, self.cell(thread, class));
+        while cur != 0 {
+            out.push(cur);
+            let w0 = arena.pread_u64(cur);
+            let w1 = arena.pread_u64(cur + 8);
+            cur = header::decode(w0, w1, |e| self.is_failed_low32(e)).next;
+            assert!(out.len() <= 1_000_000, "pending list cycle detected");
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for PAlloc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PAlloc")
+            .field("threads", &self.inner.nthreads)
+            .field("classes", &TOTAL_CLASSES)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh(nthreads: usize) -> (PArena, PAlloc) {
+        let arena = PArena::builder().capacity_bytes(8 << 20).build().unwrap();
+        superblock::format(&arena);
+        let alloc = PAlloc::create(&arena, nthreads).unwrap();
+        (arena, alloc)
+    }
+
+    fn tracked(nthreads: usize) -> (PArena, PAlloc) {
+        let arena = PArena::builder()
+            .capacity_bytes(8 << 20)
+            .tracked(true)
+            .build()
+            .unwrap();
+        superblock::format(&arena);
+        let alloc = PAlloc::create(&arena, nthreads).unwrap();
+        arena.global_flush(); // creation state is durable
+        (arena, alloc)
+    }
+
+    #[test]
+    fn alloc_returns_aligned_distinct_payloads() {
+        let (_a, alloc) = fresh(1);
+        let x = alloc.alloc(0, 1, 32).unwrap();
+        let y = alloc.alloc(0, 1, 32).unwrap();
+        assert_ne!(x, y);
+        assert_eq!(x % 16, 0);
+        assert_eq!(y % 16, 0);
+    }
+
+    #[test]
+    fn alloc_rejects_oversize() {
+        let (_a, alloc) = fresh(1);
+        assert!(matches!(
+            alloc.alloc(0, 1, 1 << 20),
+            Err(Error::UnsupportedSize { .. })
+        ));
+    }
+
+    #[test]
+    fn freed_object_not_reused_same_epoch() {
+        let (_a, alloc) = fresh(1);
+        let x = alloc.alloc(0, 1, 32).unwrap();
+        alloc.free(0, 1, x, 32);
+        // Same epoch: x sits in pending, a new alloc must not return it.
+        let y = alloc.alloc(0, 1, 32).unwrap();
+        assert_ne!(x, y);
+        assert_eq!(alloc.pending_list(0, class_for(32).unwrap()).len(), 1);
+    }
+
+    #[test]
+    fn freed_object_reused_after_boundary() {
+        let (_a, alloc) = fresh(1);
+        let x = alloc.alloc(0, 1, 32).unwrap();
+        alloc.free(0, 1, x, 32);
+        alloc.on_epoch_boundary(2);
+        assert!(alloc.pending_list(0, class_for(32).unwrap()).is_empty());
+        // Spliced to the head: the next alloc returns it.
+        let y = alloc.alloc(0, 2, 32).unwrap();
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn splice_preserves_all_objects() {
+        let (_a, alloc) = fresh(1);
+        let class = class_for(32).unwrap();
+        let objs: Vec<u64> = (0..10).map(|_| alloc.alloc(0, 1, 32).unwrap()).collect();
+        let before_free = alloc.free_list(0, class).len();
+        for &o in &objs {
+            alloc.free(0, 1, o, 32);
+        }
+        alloc.on_epoch_boundary(2);
+        let after = alloc.free_list(0, class).len();
+        assert_eq!(after, before_free + 10);
+    }
+
+    #[test]
+    fn classes_are_segregated() {
+        let (_a, alloc) = fresh(1);
+        let x = alloc.alloc(0, 1, 32).unwrap();
+        let y = alloc.alloc(0, 1, 320).unwrap();
+        alloc.free(0, 1, x, 32);
+        alloc.free(0, 1, y, 320);
+        assert_eq!(alloc.pending_list(0, class_for(32).unwrap()).len(), 1);
+        assert_eq!(alloc.pending_list(0, class_for(320).unwrap()).len(), 1);
+    }
+
+    #[test]
+    fn threads_have_independent_lists() {
+        let (_a, alloc) = fresh(2);
+        let x = alloc.alloc(0, 1, 32).unwrap();
+        // Cross-thread free: object migrates to thread 1's pending list.
+        alloc.free(1, 1, x, 32);
+        assert_eq!(alloc.pending_list(1, class_for(32).unwrap()).len(), 1);
+        assert!(alloc.pending_list(0, class_for(32).unwrap()).is_empty());
+    }
+
+    #[test]
+    fn no_flushes_on_alloc_free_path() {
+        let (arena, alloc) = fresh(1);
+        // Warm up so the slab carve (which logs the watermark durably) is
+        // out of the way.
+        let warm = alloc.alloc(0, 1, 32).unwrap();
+        alloc.free(0, 1, warm, 32);
+        let base = arena.stats().snapshot();
+        for i in 0..50 {
+            let x = alloc.alloc(0, 1, 32).unwrap();
+            if i % 2 == 0 {
+                alloc.free(0, 1, x, 32);
+            }
+        }
+        let d = arena.stats().snapshot().delta(&base);
+        assert_eq!(d.clwb, 0, "allocation path must not write back");
+        assert_eq!(d.sfence, 0, "allocation path must not fence");
+    }
+
+    #[test]
+    fn stats_count_allocs_and_frees() {
+        let (arena, alloc) = fresh(1);
+        let x = alloc.alloc(0, 1, 32).unwrap();
+        alloc.free(0, 1, x, 32);
+        assert_eq!(arena.stats().palloc_allocs(), 1);
+        assert_eq!(arena.stats().palloc_frees(), 1);
+    }
+
+    // ---------------- crash tests ----------------
+
+    #[test]
+    fn crash_reverts_allocations_to_epoch_start() {
+        let (arena, alloc) = tracked(1);
+        let class = class_for(32).unwrap();
+        // Epoch 1: warm the free list, then checkpoint.
+        let warm = alloc.alloc(0, 1, 32).unwrap();
+        alloc.free(0, 1, warm, 32);
+        arena.pwrite_u64(superblock::SB_CUR_EPOCH, 2);
+        arena.global_flush();
+        alloc.on_epoch_boundary(2);
+        let free_before: Vec<u64> = alloc.free_list(0, class);
+
+        // Epoch 2: allocate a few objects, then crash.
+        for _ in 0..3 {
+            alloc.alloc(0, 2, 32).unwrap();
+        }
+        superblock::record_failed_epoch(&arena, 2).unwrap();
+        arena.crash_seeded(11);
+
+        let alloc2 = PAlloc::open(&arena, 3);
+        let free_after = alloc2.free_list(0, class);
+        assert_eq!(
+            free_after, free_before,
+            "free list must revert to the epoch-2 start state"
+        );
+    }
+
+    #[test]
+    fn crash_reverts_frees_without_leaking() {
+        let (arena, alloc) = tracked(1);
+        let class = class_for(32).unwrap();
+        let x = alloc.alloc(0, 1, 32).unwrap();
+        arena.pwrite_u64(superblock::SB_CUR_EPOCH, 2);
+        arena.global_flush();
+        alloc.on_epoch_boundary(2);
+        let free_before = alloc.free_list(0, class);
+
+        // Epoch 2: free x, crash before the boundary.
+        alloc.free(0, 2, x, 32);
+        superblock::record_failed_epoch(&arena, 2).unwrap();
+        arena.crash_seeded(5);
+
+        let alloc2 = PAlloc::open(&arena, 3);
+        // x reverts to "allocated": neither free nor pending.
+        let obj = x - HEADER_BYTES as u64;
+        assert!(!alloc2.free_list(0, class).contains(&obj));
+        assert!(alloc2.pending_list(0, class).is_empty());
+        assert_eq!(alloc2.free_list(0, class), free_before);
+    }
+
+    #[test]
+    fn crash_preserves_completed_epoch_frees() {
+        let (arena, alloc) = tracked(1);
+        let class = class_for(32).unwrap();
+        let x = alloc.alloc(0, 1, 32).unwrap();
+        alloc.free(0, 1, x, 32); // freed in epoch 1 (completes below)
+        arena.pwrite_u64(superblock::SB_CUR_EPOCH, 2);
+        arena.global_flush(); // checkpoint: epoch 1 completed
+        alloc.on_epoch_boundary(2);
+
+        // Epoch 2 does nothing; crash.
+        superblock::record_failed_epoch(&arena, 2).unwrap();
+        arena.crash_seeded(6);
+
+        let alloc2 = PAlloc::open(&arena, 3);
+        // The splice happened in epoch 2 and was rolled back, so x sits in
+        // pending after recovery... and open() re-splices it into free.
+        let obj = x - HEADER_BYTES as u64;
+        assert!(
+            alloc2.free_list(0, class).contains(&obj),
+            "object freed in a completed epoch must be allocatable"
+        );
+        // And it is reusable.
+        let y = alloc2.alloc(0, 3, 32).unwrap();
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn crash_reverts_watermark() {
+        let (arena, alloc) = tracked(1);
+        arena.pwrite_u64(superblock::SB_CUR_EPOCH, 2);
+        arena.global_flush();
+        let wm_before = arena.pread_u64(superblock::SB_BUMP);
+
+        // Epoch 2: force slab carving in a class never touched before.
+        alloc.alloc(0, 2, 320).unwrap();
+        assert!(arena.bump() > wm_before);
+        superblock::record_failed_epoch(&arena, 2).unwrap();
+        arena.crash_seeded(7);
+
+        let _alloc2 = PAlloc::open(&arena, 3);
+        assert_eq!(
+            arena.pread_u64(superblock::SB_BUMP),
+            wm_before,
+            "durable watermark must revert to the epoch-start value"
+        );
+        assert_eq!(arena.bump(), wm_before);
+    }
+
+    #[test]
+    fn exhaustive_crash_cuts_keep_lists_consistent() {
+        // For a workload of allocs + frees in one failed epoch, every
+        // seeded crash must recover the exact epoch-start free list.
+        for seed in 0..25u64 {
+            let (arena, alloc) = tracked(1);
+            let class = class_for(32).unwrap();
+            let a = alloc.alloc(0, 1, 32).unwrap();
+            let b = alloc.alloc(0, 1, 32).unwrap();
+            alloc.free(0, 1, a, 32);
+            arena.pwrite_u64(superblock::SB_CUR_EPOCH, 2);
+            arena.global_flush();
+            alloc.on_epoch_boundary(2);
+            let baseline = alloc.free_list(0, class);
+
+            // Epoch 2 churn: alloc 2, free b, alloc 1.
+            let _c = alloc.alloc(0, 2, 32).unwrap();
+            let _d = alloc.alloc(0, 2, 32).unwrap();
+            alloc.free(0, 2, b, 32);
+            let _e = alloc.alloc(0, 2, 32).unwrap();
+
+            superblock::record_failed_epoch(&arena, 2).unwrap();
+            arena.crash_seeded(seed);
+            let alloc2 = PAlloc::open(&arena, 3);
+            assert_eq!(
+                alloc2.free_list(0, class),
+                baseline,
+                "seed {seed}: free list must match epoch-2 start"
+            );
+            assert!(alloc2.pending_list(0, class).is_empty());
+        }
+    }
+
+    #[test]
+    fn double_crash_recovery_is_idempotent() {
+        let (arena, alloc) = tracked(1);
+        let class = class_for(32).unwrap();
+        let a = alloc.alloc(0, 1, 32).unwrap();
+        alloc.free(0, 1, a, 32);
+        arena.pwrite_u64(superblock::SB_CUR_EPOCH, 2);
+        arena.global_flush();
+        alloc.on_epoch_boundary(2);
+        let baseline = alloc.free_list(0, class);
+
+        alloc.alloc(0, 2, 32).unwrap();
+        superblock::record_failed_epoch(&arena, 2).unwrap();
+        arena.crash_seeded(1);
+        // First recovery starts, then crashes again before any checkpoint.
+        let alloc2 = PAlloc::open(&arena, 3);
+        alloc2.alloc(0, 3, 32).unwrap();
+        superblock::record_failed_epoch(&arena, 3).unwrap();
+        arena.crash_seeded(2);
+        let alloc3 = PAlloc::open(&arena, 4);
+        assert_eq!(alloc3.free_list(0, class), baseline);
+    }
+
+    #[test]
+    fn aligned64_allocations_are_cache_line_aligned() {
+        let (_a, alloc) = fresh(1);
+        for _ in 0..100 {
+            let p = alloc.alloc_aligned64(0, 1, 320).unwrap();
+            assert_eq!(p % 64, 0, "node payload must start a cache line");
+        }
+    }
+
+    #[test]
+    fn aligned64_free_and_reuse_roundtrip() {
+        let (_a, alloc) = fresh(1);
+        let x = alloc.alloc_aligned64(0, 1, 320).unwrap();
+        alloc.free_aligned64(0, 1, x, 320);
+        alloc.on_epoch_boundary(2);
+        let y = alloc.alloc_aligned64(0, 2, 320).unwrap();
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn aligned64_and_normal_classes_never_collide() {
+        let (_a, alloc) = fresh(1);
+        let a = alloc.alloc(0, 1, 320).unwrap(); // normal 320 class
+        let b = alloc.alloc_aligned64(0, 1, 320).unwrap(); // aligned class
+        assert_ne!(a, b);
+        // Objects from different classes never overlap.
+        assert!(b + 320 <= a || a + 320 <= b);
+    }
+
+    #[test]
+    fn aligned64_crash_revert() {
+        let (arena, alloc) = tracked(1);
+        let class = class_for_aligned64(320).unwrap();
+        let warm = alloc.alloc_aligned64(0, 1, 320).unwrap();
+        alloc.free_aligned64(0, 1, warm, 320);
+        arena.pwrite_u64(superblock::SB_CUR_EPOCH, 2);
+        arena.global_flush();
+        alloc.on_epoch_boundary(2);
+        let baseline = alloc.free_list(0, class);
+        for _ in 0..5 {
+            alloc.alloc_aligned64(0, 2, 320).unwrap();
+        }
+        superblock::record_failed_epoch(&arena, 2).unwrap();
+        arena.crash_seeded(9);
+        let alloc2 = PAlloc::open(&arena, 3);
+        assert_eq!(alloc2.free_list(0, class), baseline);
+    }
+
+    #[test]
+    fn concurrent_threads_allocate_independently() {
+        let (_arena, alloc) = fresh(4);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let alloc = alloc.clone();
+                s.spawn(move || {
+                    let mut got = Vec::new();
+                    for _ in 0..200 {
+                        got.push(alloc.alloc(t, 1, 32).unwrap());
+                    }
+                    got.sort_unstable();
+                    got.dedup();
+                    assert_eq!(got.len(), 200, "duplicate allocation");
+                    for &g in &got {
+                        alloc.free(t, 1, g, 32);
+                    }
+                });
+            }
+        });
+    }
+}

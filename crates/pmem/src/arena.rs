@@ -1,0 +1,798 @@
+use std::alloc::{alloc_zeroed, dealloc, Layout};
+use std::ptr::NonNull;
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::journal::Journal;
+use crate::latency::{spin_ns, LatencyModel};
+use crate::stats::Stats;
+use crate::superblock;
+use crate::{Error, Result};
+
+/// Cache-line size assumed throughout the system, in bytes.
+pub const CACHE_LINE: usize = 64;
+
+/// Minimum carve alignment; guarantees persistent-pointer low bits are zero
+/// (the paper packs pointers assuming 16-byte allocation alignment, §4.1.3).
+pub const MIN_ALIGN: usize = 16;
+
+const MIN_CAPACITY: usize = 64 * 1024;
+
+/// A simulated persistent-memory arena.
+///
+/// The arena stands in for an NVM device mapped into the address space.
+/// Durable data lives at stable **offsets** ([`PPtr`](crate::PPtr)); all
+/// durable stores go through the `pwrite_*` accessors so that *tracked*
+/// arenas can journal them per cache line and later simulate a power
+/// failure with [`PArena::crash_seeded`].
+///
+/// `PArena` is a cheap handle (`Arc` internally) and is `Send + Sync`;
+/// synchronisation of the *content* is the data structures' job, exactly as
+/// with real memory.
+///
+/// # Modes
+///
+/// * **fast** (default): accessors compile to plain atomic loads/stores;
+///   flush primitives only count and optionally inject latency. Used by all
+///   benchmarks.
+/// * **tracked**: every durable store is journaled per cache line under the
+///   PCSO model, enabling crash injection. Used by recovery tests.
+///
+/// # Example
+///
+/// ```
+/// use incll_pmem::PArena;
+///
+/// # fn main() -> Result<(), incll_pmem::Error> {
+/// let arena = PArena::builder()
+///     .capacity_bytes(1 << 20)
+///     .tracked(true)
+///     .build()?;
+/// let off = arena.carve(128, 64)?;
+/// arena.pwrite_u64(off, 1);
+/// arena.crash_seeded(42); // the store may or may not survive
+/// let v = arena.pread_u64(off);
+/// assert!(v == 0 || v == 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct PArena {
+    inner: Arc<Inner>,
+}
+
+struct Inner {
+    base: NonNull<u8>,
+    capacity: usize,
+    layout: Layout,
+    bump: AtomicU64,
+    tracked: bool,
+    journal: Journal,
+    stats: Stats,
+    latency: LatencyModel,
+}
+
+// SAFETY: the arena hands out raw access to its memory through unsafe
+// accessors whose callers uphold aliasing rules; the handle itself carries
+// no thread affinity. All interior mutability is via atomics or mutexes.
+unsafe impl Send for Inner {}
+// SAFETY: as above.
+unsafe impl Sync for Inner {}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        // SAFETY: `base` was allocated with exactly this layout in `build`.
+        unsafe { dealloc(self.base.as_ptr(), self.layout) };
+    }
+}
+
+/// Builder for [`PArena`] (see [`PArena::builder`]).
+#[derive(Debug, Clone)]
+pub struct PArenaBuilder {
+    capacity: usize,
+    tracked: bool,
+    sfence_ns: u64,
+    wbinvd_ns: u64,
+}
+
+impl Default for PArenaBuilder {
+    fn default() -> Self {
+        PArenaBuilder {
+            capacity: 64 << 20,
+            tracked: false,
+            sfence_ns: 0,
+            wbinvd_ns: 0,
+        }
+    }
+}
+
+impl PArenaBuilder {
+    /// Sets the arena capacity in bytes (rounded up to 4 KiB).
+    #[must_use]
+    pub fn capacity_bytes(mut self, bytes: usize) -> Self {
+        self.capacity = bytes;
+        self
+    }
+
+    /// Enables per-store journaling and crash injection.
+    #[must_use]
+    pub fn tracked(mut self, tracked: bool) -> Self {
+        self.tracked = tracked;
+        self
+    }
+
+    /// Sets the initial emulated post-`sfence` latency in nanoseconds.
+    #[must_use]
+    pub fn sfence_latency_ns(mut self, ns: u64) -> Self {
+        self.sfence_ns = ns;
+        self
+    }
+
+    /// Sets the initial emulated whole-cache-flush latency in nanoseconds.
+    #[must_use]
+    pub fn wbinvd_latency_ns(mut self, ns: u64) -> Self {
+        self.wbinvd_ns = ns;
+        self
+    }
+
+    /// Allocates the arena.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::CapacityTooSmall`] for capacities below 64 KiB and
+    /// [`Error::HostAllocationFailed`] if the host cannot back the arena.
+    pub fn build(self) -> Result<PArena> {
+        if self.capacity < MIN_CAPACITY {
+            return Err(Error::CapacityTooSmall {
+                requested: self.capacity,
+                minimum: MIN_CAPACITY,
+            });
+        }
+        let capacity = (self.capacity + 4095) & !4095;
+        let layout = Layout::from_size_align(capacity, 4096).expect("valid layout");
+        // SAFETY: layout has nonzero size (>= MIN_CAPACITY).
+        let raw = unsafe { alloc_zeroed(layout) };
+        let base = NonNull::new(raw).ok_or(Error::HostAllocationFailed {
+            requested: capacity,
+        })?;
+        let latency = LatencyModel::new();
+        latency.set_sfence_ns(self.sfence_ns);
+        latency.set_wbinvd_ns(self.wbinvd_ns);
+        Ok(PArena {
+            inner: Arc::new(Inner {
+                base,
+                capacity,
+                layout,
+                bump: AtomicU64::new(superblock::CARVE_START),
+                tracked: self.tracked,
+                journal: Journal::new(),
+                stats: Stats::new(),
+                latency,
+            }),
+        })
+    }
+}
+
+impl PArena {
+    /// Returns a builder with default settings (64 MiB, fast mode).
+    pub fn builder() -> PArenaBuilder {
+        PArenaBuilder::default()
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Whether per-store journaling (crash injection) is enabled.
+    pub fn is_tracked(&self) -> bool {
+        self.inner.tracked
+    }
+
+    /// Persistence-event counters.
+    pub fn stats(&self) -> &Stats {
+        &self.inner.stats
+    }
+
+    /// Emulated-latency knobs.
+    pub fn latency(&self) -> &LatencyModel {
+        &self.inner.latency
+    }
+
+    // ------------------------------------------------------------------
+    // Carving (bump allocation of fresh space; durable free lists are the
+    // `incll-palloc` crate's job).
+    // ------------------------------------------------------------------
+
+    /// Carves `size` bytes at `align` alignment from never-used space.
+    ///
+    /// The returned offset is stable across simulated crashes. The durable
+    /// allocator persists its own watermark and re-synchronises the bump
+    /// pointer on recovery via [`PArena::set_bump`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error::BadAlignment`] if `align` is not a power of two, and
+    /// [`Error::OutOfMemory`] when the arena is exhausted.
+    pub fn carve(&self, size: usize, align: usize) -> Result<u64> {
+        if align == 0 || !align.is_power_of_two() {
+            return Err(Error::BadAlignment { align });
+        }
+        let align = align.max(MIN_ALIGN) as u64;
+        let size = size as u64;
+        let cap = self.inner.capacity as u64;
+        let mut cur = self.inner.bump.load(Ordering::Relaxed);
+        loop {
+            let aligned = (cur + align - 1) & !(align - 1);
+            let end = aligned + size;
+            if end > cap {
+                return Err(Error::OutOfMemory {
+                    requested: size as usize,
+                    capacity: self.inner.capacity,
+                });
+            }
+            match self.inner.bump.compare_exchange_weak(
+                cur,
+                end,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Ok(aligned),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Current bump watermark (first never-carved offset).
+    pub fn bump(&self) -> u64 {
+        self.inner.bump.load(Ordering::Relaxed)
+    }
+
+    /// Resets the bump watermark; used by recovery to re-synchronise with
+    /// the durably logged watermark.
+    pub fn set_bump(&self, offset: u64) {
+        self.inner.bump.store(offset, Ordering::Relaxed);
+    }
+
+    // ------------------------------------------------------------------
+    // Raw access
+    // ------------------------------------------------------------------
+
+    /// Returns a raw pointer to `offset`.
+    ///
+    /// # Safety
+    ///
+    /// `offset` must lie within the arena and all use of the pointer must
+    /// respect Rust aliasing rules (the arena does not synchronise access).
+    #[inline]
+    pub unsafe fn ptr_at(&self, offset: u64) -> *mut u8 {
+        debug_assert!(
+            (offset as usize) < self.inner.capacity,
+            "offset {offset:#x} outside arena of {} bytes",
+            self.inner.capacity
+        );
+        self.inner.base.as_ptr().add(offset as usize)
+    }
+
+    #[inline]
+    fn atom(&self, offset: u64) -> &AtomicU64 {
+        debug_assert_eq!(offset % 8, 0, "u64 access must be 8-aligned");
+        debug_assert!((offset as usize) + 8 <= self.inner.capacity);
+        // SAFETY: in-bounds (asserted), 8-aligned, and AtomicU64 may alias
+        // any initialized memory; atomics make concurrent access defined.
+        unsafe { &*(self.ptr_at(offset) as *const AtomicU64) }
+    }
+
+    /// Reads the 64 bytes of the cache line containing `offset` using
+    /// atomic word loads (safe under concurrent atomic stores).
+    fn read_line(&self, line: u64) -> [u8; CACHE_LINE] {
+        let base = line * CACHE_LINE as u64;
+        let mut buf = [0u8; CACHE_LINE];
+        for w in 0..CACHE_LINE / 8 {
+            let v = self.atom(base + (w as u64) * 8).load(Ordering::Relaxed);
+            buf[w * 8..w * 8 + 8].copy_from_slice(&v.to_le_bytes());
+        }
+        buf
+    }
+
+    fn write_line(&self, line: u64, content: &[u8; CACHE_LINE]) {
+        let base = line * CACHE_LINE as u64;
+        for w in 0..CACHE_LINE / 8 {
+            let v = u64::from_le_bytes(content[w * 8..w * 8 + 8].try_into().unwrap());
+            self.atom(base + (w as u64) * 8).store(v, Ordering::Relaxed);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Durable loads/stores
+    // ------------------------------------------------------------------
+
+    /// Relaxed 64-bit load from `offset` (must be 8-aligned).
+    #[inline]
+    pub fn pread_u64(&self, offset: u64) -> u64 {
+        self.atom(offset).load(Ordering::Relaxed)
+    }
+
+    /// Acquire 64-bit load from `offset`.
+    #[inline]
+    pub fn pread_u64_acquire(&self, offset: u64) -> u64 {
+        self.atom(offset).load(Ordering::Acquire)
+    }
+
+    /// Relaxed 64-bit store to `offset` (must be 8-aligned).
+    #[inline]
+    pub fn pwrite_u64(&self, offset: u64, value: u64) {
+        self.store_u64(offset, value, Ordering::Relaxed);
+    }
+
+    /// Release 64-bit store to `offset`.
+    ///
+    /// Release ordering is what the InCLL algorithm uses between the
+    /// in-line log write and the mutation it protects: free on x86, it only
+    /// constrains compiler reordering, yet under PCSO it suffices to order
+    /// same-cache-line persistence (§2.1).
+    #[inline]
+    pub fn pwrite_u64_release(&self, offset: u64, value: u64) {
+        self.store_u64(offset, value, Ordering::Release);
+    }
+
+    #[inline]
+    fn store_u64(&self, offset: u64, value: u64, order: Ordering) {
+        if self.inner.tracked {
+            let line = offset / CACHE_LINE as u64;
+            let within = (offset % CACHE_LINE as u64) as usize;
+            self.inner.journal.record_store(
+                line,
+                within,
+                &value.to_le_bytes(),
+                || self.read_line(line),
+                || self.atom(offset).store(value, order),
+            );
+        } else {
+            self.atom(offset).store(value, order);
+        }
+    }
+
+    /// 64-bit compare-exchange on `offset`.
+    ///
+    /// Used for lock words embedded in durable nodes. Lock words are
+    /// semantically transient (recovery reinitialises them), so tracked
+    /// mode journals the final value only when the exchange succeeds.
+    #[inline]
+    pub fn pcompare_exchange_u64(
+        &self,
+        offset: u64,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> std::result::Result<u64, u64> {
+        if self.inner.tracked {
+            let line = offset / CACHE_LINE as u64;
+            let within = (offset % CACHE_LINE as u64) as usize;
+            let mut out = Err(0u64);
+            self.inner.journal.record_store(
+                line,
+                within,
+                &new.to_le_bytes(),
+                || self.read_line(line),
+                || {
+                    out = self
+                        .atom(offset)
+                        .compare_exchange(current, new, success, failure);
+                },
+            );
+            // On failure a spurious journal record of `new` exists, but the
+            // *apply* closure did not store, so memory and journal disagree.
+            // Re-record the actual current value to keep replay idempotent.
+            if let Err(actual) = out {
+                let line = offset / CACHE_LINE as u64;
+                self.inner.journal.record_store(
+                    line,
+                    within,
+                    &actual.to_le_bytes(),
+                    || self.read_line(line),
+                    || {},
+                );
+            }
+            out
+        } else {
+            self.atom(offset)
+                .compare_exchange(current, new, success, failure)
+        }
+    }
+
+    /// Atomic 64-bit fetch-add on `offset`.
+    #[inline]
+    pub fn pfetch_add_u64(&self, offset: u64, delta: u64) -> u64 {
+        if self.inner.tracked {
+            let line = offset / CACHE_LINE as u64;
+            let within = (offset % CACHE_LINE as u64) as usize;
+            let mut prev = 0;
+            self.inner.journal.record_store(
+                line,
+                within,
+                // Placeholder; corrected below once the result is known.
+                &[0u8; 8],
+                || self.read_line(line),
+                || {
+                    prev = self.atom(offset).fetch_add(delta, Ordering::AcqRel);
+                },
+            );
+            let new = prev.wrapping_add(delta);
+            self.inner.journal.record_store(
+                line,
+                within,
+                &new.to_le_bytes(),
+                || self.read_line(line),
+                || {},
+            );
+            prev
+        } else {
+            self.atom(offset).fetch_add(delta, Ordering::AcqRel)
+        }
+    }
+
+    /// Copies `data` into the arena at `offset` (byte-granular).
+    ///
+    /// Intended for regions with exclusive ownership (log buffers, freshly
+    /// allocated objects); it is not atomic with respect to concurrent
+    /// readers of the same words.
+    pub fn pwrite_bytes(&self, offset: u64, data: &[u8]) {
+        debug_assert!((offset as usize) + data.len() <= self.inner.capacity);
+        if self.inner.tracked {
+            // Split at cache-line boundaries so each journal record stays
+            // within one line.
+            let mut cursor = 0usize;
+            while cursor < data.len() {
+                let abs = offset + cursor as u64;
+                let line = abs / CACHE_LINE as u64;
+                let within = (abs % CACHE_LINE as u64) as usize;
+                let chunk = (CACHE_LINE - within).min(data.len() - cursor);
+                let slice = &data[cursor..cursor + chunk];
+                self.inner.journal.record_store(
+                    line,
+                    within,
+                    slice,
+                    || self.read_line(line),
+                    || {
+                        // SAFETY: in-bounds (asserted above); caller owns the
+                        // region exclusively per this method's contract.
+                        unsafe {
+                            std::ptr::copy_nonoverlapping(
+                                slice.as_ptr(),
+                                self.ptr_at(abs),
+                                chunk,
+                            );
+                        }
+                    },
+                );
+                cursor += chunk;
+            }
+        } else {
+            // SAFETY: in-bounds; exclusive ownership per contract.
+            unsafe {
+                std::ptr::copy_nonoverlapping(data.as_ptr(), self.ptr_at(offset), data.len());
+            }
+        }
+    }
+
+    /// Copies `buf.len()` bytes out of the arena at `offset`.
+    pub fn pread_bytes(&self, offset: u64, buf: &mut [u8]) {
+        debug_assert!((offset as usize) + buf.len() <= self.inner.capacity);
+        // SAFETY: in-bounds; plain read of possibly-racing memory is only
+        // performed on regions the caller owns or has synchronised.
+        unsafe {
+            std::ptr::copy_nonoverlapping(self.ptr_at(offset), buf.as_mut_ptr(), buf.len());
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Persistence primitives
+    // ------------------------------------------------------------------
+
+    /// Initiates write-back of the cache line containing `offset`
+    /// (`clwb`/`clflushopt` analogue). Asynchronous: durability is only
+    /// guaranteed after the next [`PArena::sfence`].
+    #[inline]
+    pub fn clwb(&self, offset: u64) {
+        self.inner.stats.add_clwb(1);
+        if self.inner.tracked {
+            let line = offset / CACHE_LINE as u64;
+            self.inner.journal.clwb(line, || self.read_line(line));
+        }
+    }
+
+    /// Issues `clwb` for every cache line overlapping `[offset, offset+len)`.
+    pub fn clwb_range(&self, offset: u64, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let first = offset / CACHE_LINE as u64;
+        let last = (offset + len as u64 - 1) / CACHE_LINE as u64;
+        for line in first..=last {
+            self.clwb(line * CACHE_LINE as u64);
+        }
+    }
+
+    /// Persistence fence (`sfence` analogue): all previously issued `clwb`s
+    /// are durable when this returns. Injects the configured emulated NVM
+    /// latency.
+    pub fn sfence(&self) {
+        fence(Ordering::SeqCst);
+        self.inner.stats.add_sfence();
+        if self.inner.tracked {
+            self.inner.journal.sfence();
+        }
+        spin_ns(self.inner.latency.sfence_ns());
+    }
+
+    /// Compiler-level release fence ordering same-cache-line stores — the
+    /// free primitive InCLL relies on (§2.1: "granularity" rule).
+    #[inline]
+    pub fn release_fence(&self) {
+        fence(Ordering::Release);
+    }
+
+    /// Whole-cache flush (`wbinvd` analogue): *everything* stored so far is
+    /// durable when this returns. Injects the configured flush latency
+    /// (1.38 ms on the paper's hardware, §6.2).
+    pub fn global_flush(&self) {
+        fence(Ordering::SeqCst);
+        self.inner.stats.add_global_flush();
+        if self.inner.tracked {
+            self.inner.journal.flush_all();
+        }
+        spin_ns(self.inner.latency.wbinvd_ns());
+    }
+
+    // ------------------------------------------------------------------
+    // Crash injection (tracked mode)
+    // ------------------------------------------------------------------
+
+    /// Number of cache lines currently holding unpersisted stores.
+    ///
+    /// Always 0 in fast mode and immediately after
+    /// [`PArena::global_flush`].
+    pub fn unpersisted_lines(&self) -> usize {
+        self.inner.journal.unpersisted_lines()
+    }
+
+    /// Simulates a power failure with a seeded RNG choosing, per cache
+    /// line, how many unpersisted stores reached NVM.
+    ///
+    /// After return the arena content equals a legal post-failure NVM image
+    /// under PCSO; callers then run recovery against it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena is not tracked — crashing a fast-mode arena
+    /// would silently test nothing.
+    pub fn crash_seeded(&self, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.crash_with(|_, n| rng.gen_range(0..=n));
+    }
+
+    /// Simulates a power failure with an explicit per-line prefix chooser
+    /// (`choose(line_index, n_stores) -> kept_prefix`), for exhaustive
+    /// crash-point enumeration in tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena is not tracked, or if `choose` returns more than
+    /// `n_stores`.
+    pub fn crash_with(&self, choose: impl FnMut(u64, usize) -> usize) {
+        assert!(
+            self.inner.tracked,
+            "crash injection requires a tracked arena"
+        );
+        self.inner
+            .journal
+            .crash_with(choose, |line, content| self.write_line(line, content));
+    }
+}
+
+impl std::fmt::Debug for PArena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PArena")
+            .field("capacity", &self.inner.capacity)
+            .field("bump", &self.bump())
+            .field("tracked", &self.inner.tracked)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arena(tracked: bool) -> PArena {
+        PArena::builder()
+            .capacity_bytes(1 << 20)
+            .tracked(tracked)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn build_rejects_tiny_capacity() {
+        let err = PArena::builder().capacity_bytes(1024).build().unwrap_err();
+        assert!(matches!(err, Error::CapacityTooSmall { .. }));
+    }
+
+    #[test]
+    fn carve_respects_alignment_and_bounds() {
+        let a = arena(false);
+        let x = a.carve(100, 64).unwrap();
+        assert_eq!(x % 64, 0);
+        assert!(x >= superblock::CARVE_START);
+        let y = a.carve(8, 16).unwrap();
+        assert!(y >= x + 100);
+        assert_eq!(y % 16, 0);
+    }
+
+    #[test]
+    fn carve_minimum_alignment_is_16() {
+        let a = arena(false);
+        let x = a.carve(8, 1).unwrap();
+        assert_eq!(x % 16, 0);
+    }
+
+    #[test]
+    fn carve_exhaustion_errors() {
+        let a = arena(false);
+        let res = a.carve(2 << 20, 16);
+        assert!(matches!(res, Err(Error::OutOfMemory { .. })));
+    }
+
+    #[test]
+    fn carve_bad_alignment_errors() {
+        let a = arena(false);
+        assert!(matches!(a.carve(8, 3), Err(Error::BadAlignment { .. })));
+        assert!(matches!(a.carve(8, 0), Err(Error::BadAlignment { .. })));
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let a = arena(false);
+        let off = a.carve(64, 64).unwrap();
+        a.pwrite_u64(off, 0x0123_4567_89ab_cdef);
+        assert_eq!(a.pread_u64(off), 0x0123_4567_89ab_cdef);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let a = arena(false);
+        let off = a.carve(256, 64).unwrap();
+        let data: Vec<u8> = (0..=255).collect();
+        a.pwrite_bytes(off, &data);
+        let mut back = vec![0u8; 256];
+        a.pread_bytes(off, &mut back);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn stats_count_persistence_ops() {
+        let a = arena(false);
+        let off = a.carve(256, 64).unwrap();
+        a.clwb(off);
+        a.clwb_range(off, 200); // 4 lines
+        a.sfence();
+        a.global_flush();
+        let s = a.stats().snapshot();
+        assert_eq!(s.clwb, 5);
+        assert_eq!(s.sfence, 1);
+        assert_eq!(s.global_flush, 1);
+    }
+
+    #[test]
+    fn tracked_store_crash_all_or_nothing() {
+        let a = arena(true);
+        let off = a.carve(64, 64).unwrap();
+        a.pwrite_u64(off, 77);
+        assert_eq!(a.unpersisted_lines(), 1);
+        a.crash_with(|_, _| 0);
+        assert_eq!(a.pread_u64(off), 0);
+        a.pwrite_u64(off, 88);
+        a.crash_with(|_, n| n);
+        assert_eq!(a.pread_u64(off), 88);
+    }
+
+    #[test]
+    fn tracked_same_line_prefix_order() {
+        let a = arena(true);
+        let off = a.carve(64, 64).unwrap();
+        a.pwrite_u64(off, 1); // store 0
+        a.pwrite_u64(off + 8, 2); // store 1
+        a.pwrite_u64(off, 3); // store 2
+        a.crash_with(|_, _| 2);
+        assert_eq!(a.pread_u64(off), 1);
+        assert_eq!(a.pread_u64(off + 8), 2);
+    }
+
+    #[test]
+    fn clwb_sfence_makes_durable() {
+        let a = arena(true);
+        let off = a.carve(64, 64).unwrap();
+        a.pwrite_u64(off, 9);
+        a.clwb(off);
+        a.sfence();
+        assert_eq!(a.unpersisted_lines(), 0);
+        a.crash_with(|_, _| 0);
+        assert_eq!(a.pread_u64(off), 9);
+    }
+
+    #[test]
+    fn global_flush_makes_everything_durable() {
+        let a = arena(true);
+        let off = a.carve(1024, 64).unwrap();
+        for i in 0..128 {
+            a.pwrite_u64(off + i * 8, i + 1);
+        }
+        a.global_flush();
+        a.crash_with(|_, _| 0);
+        for i in 0..128 {
+            assert_eq!(a.pread_u64(off + i * 8), i + 1);
+        }
+    }
+
+    #[test]
+    fn crash_seeded_yields_prefixes() {
+        let a = arena(true);
+        let off = a.carve(64, 64).unwrap();
+        a.pwrite_u64(off, 1);
+        a.pwrite_u64(off, 2);
+        a.pwrite_u64(off, 3);
+        a.crash_seeded(7);
+        let v = a.pread_u64(off);
+        assert!(v <= 3, "value {v} is not a store prefix");
+    }
+
+    #[test]
+    #[should_panic(expected = "tracked")]
+    fn crash_on_fast_arena_panics() {
+        let a = arena(false);
+        a.crash_with(|_, _| 0);
+    }
+
+    #[test]
+    fn fetch_add_tracked_journals_final_value() {
+        let a = arena(true);
+        let off = a.carve(64, 64).unwrap();
+        a.pwrite_u64(off, 10);
+        let prev = a.pfetch_add_u64(off, 5);
+        assert_eq!(prev, 10);
+        a.crash_with(|_, n| n);
+        assert_eq!(a.pread_u64(off), 15);
+    }
+
+    #[test]
+    fn compare_exchange_failure_keeps_actual_value() {
+        let a = arena(true);
+        let off = a.carve(64, 64).unwrap();
+        a.pwrite_u64(off, 4);
+        assert!(a
+            .pcompare_exchange_u64(off, 9, 1, Ordering::AcqRel, Ordering::Relaxed)
+            .is_err());
+        a.crash_with(|_, n| n);
+        assert_eq!(a.pread_u64(off), 4);
+    }
+
+    #[test]
+    fn handle_is_cheap_clone_sharing_state() {
+        let a = arena(false);
+        let b = a.clone();
+        let off = a.carve(8, 16).unwrap();
+        b.pwrite_u64(off, 3);
+        assert_eq!(a.pread_u64(off), 3);
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PArena>();
+    }
+}

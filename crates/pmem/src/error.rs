@@ -1,0 +1,98 @@
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors returned by persistent-memory operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The arena has no room left for the requested carve.
+    OutOfMemory {
+        /// Bytes requested by the failing allocation.
+        requested: usize,
+        /// Total arena capacity in bytes.
+        capacity: usize,
+    },
+    /// The requested capacity is too small to hold the superblock.
+    CapacityTooSmall {
+        /// Bytes requested at build time.
+        requested: usize,
+        /// Minimum supported capacity.
+        minimum: usize,
+    },
+    /// An alignment that is zero or not a power of two was requested.
+    BadAlignment {
+        /// The offending alignment value.
+        align: usize,
+    },
+    /// The durable failed-epoch set is full; no further crashes can be
+    /// recorded (see DESIGN.md for the bound).
+    FailedEpochSetFull,
+    /// The host allocator could not provide backing memory for the arena.
+    HostAllocationFailed {
+        /// Bytes requested from the host.
+        requested: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::OutOfMemory {
+                requested,
+                capacity,
+            } => write!(
+                f,
+                "arena out of memory: requested {requested} bytes from a {capacity}-byte arena"
+            ),
+            Error::CapacityTooSmall { requested, minimum } => write!(
+                f,
+                "arena capacity {requested} is below the {minimum}-byte minimum"
+            ),
+            Error::BadAlignment { align } => {
+                write!(f, "alignment {align} is not a nonzero power of two")
+            }
+            Error::FailedEpochSetFull => {
+                write!(f, "durable failed-epoch set is full")
+            }
+            Error::HostAllocationFailed { requested } => {
+                write!(f, "host allocation of {requested} bytes failed")
+            }
+        }
+    }
+}
+
+impl StdError for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let errs = [
+            Error::OutOfMemory {
+                requested: 10,
+                capacity: 5,
+            },
+            Error::CapacityTooSmall {
+                requested: 1,
+                minimum: 4096,
+            },
+            Error::BadAlignment { align: 3 },
+            Error::FailedEpochSetFull,
+            Error::HostAllocationFailed { requested: 1 },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

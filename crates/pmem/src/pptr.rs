@@ -1,0 +1,181 @@
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::marker::PhantomData;
+
+/// A typed persistent pointer: a byte offset from the arena base.
+///
+/// Durable data structures must not embed virtual addresses, because a
+/// recovered process may map the arena elsewhere. `PPtr<T>` therefore stores
+/// an **offset**; dereferencing requires the owning
+/// [`PArena`](crate::PArena).
+///
+/// Offsets are ≥ 16-byte aligned by construction (the arena's minimum carve
+/// alignment), so the low 4 bits are zero and at most 44 bits are
+/// significant for arenas up to 16 TiB — exactly the properties the paper
+/// exploits to pack a pointer, a 4-bit slot index and 16 epoch bits into a
+/// single 64-bit `ValInCLL` word (§4.1.3).
+///
+/// Offset `0` is reserved and acts as null.
+///
+/// # Example
+///
+/// ```
+/// use incll_pmem::{PArena, PPtr};
+///
+/// # fn main() -> Result<(), incll_pmem::Error> {
+/// let arena = PArena::builder().capacity_bytes(1 << 20).build()?;
+/// let p: PPtr<u64> = PPtr::from_offset(arena.carve(8, 16)?);
+/// arena.pwrite_u64(p.offset(), 7);
+/// assert_eq!(arena.pread_u64(p.offset()), 7);
+/// assert!(!p.is_null());
+/// assert!(PPtr::<u64>::null().is_null());
+/// # Ok(())
+/// # }
+/// ```
+pub struct PPtr<T> {
+    offset: u64,
+    _marker: PhantomData<*mut T>,
+}
+
+impl<T> PPtr<T> {
+    /// The null persistent pointer (offset 0).
+    pub const NULL: PPtr<T> = PPtr {
+        offset: 0,
+        _marker: PhantomData,
+    };
+
+    /// Returns the null pointer.
+    #[inline]
+    pub const fn null() -> Self {
+        Self::NULL
+    }
+
+    /// Wraps a raw arena offset.
+    ///
+    /// The offset is not validated here; it is checked (in debug builds) on
+    /// dereference by the arena.
+    #[inline]
+    pub const fn from_offset(offset: u64) -> Self {
+        PPtr {
+            offset,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Returns the raw arena offset.
+    #[inline]
+    pub const fn offset(self) -> u64 {
+        self.offset
+    }
+
+    /// Returns `true` if this is the null pointer.
+    #[inline]
+    pub const fn is_null(self) -> bool {
+        self.offset == 0
+    }
+
+    /// Reinterprets the pointee type.
+    #[inline]
+    pub const fn cast<U>(self) -> PPtr<U> {
+        PPtr::from_offset(self.offset)
+    }
+
+    /// Returns a pointer `bytes` past this one.
+    #[inline]
+    #[must_use]
+    pub const fn byte_add(self, bytes: u64) -> Self {
+        PPtr::from_offset(self.offset + bytes)
+    }
+}
+
+// Manual impls: `derive` would bound them on `T`, but a PPtr is Copy/Send
+// regardless of the pointee (it is just an offset).
+impl<T> Clone for PPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for PPtr<T> {}
+impl<T> PartialEq for PPtr<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.offset == other.offset
+    }
+}
+impl<T> Eq for PPtr<T> {}
+impl<T> PartialOrd for PPtr<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for PPtr<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.offset.cmp(&other.offset)
+    }
+}
+impl<T> Hash for PPtr<T> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.offset.hash(state);
+    }
+}
+impl<T> Default for PPtr<T> {
+    fn default() -> Self {
+        Self::NULL
+    }
+}
+impl<T> fmt::Debug for PPtr<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "PPtr(null)")
+        } else {
+            write!(f, "PPtr({:#x})", self.offset)
+        }
+    }
+}
+
+// SAFETY: a PPtr is a plain offset; sending it between threads carries no
+// aliasing obligations (dereference safety is the arena accessors' concern).
+unsafe impl<T> Send for PPtr<T> {}
+// SAFETY: as above; `&PPtr<T>` only exposes the offset value.
+unsafe impl<T> Sync for PPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_roundtrip() {
+        let p: PPtr<u32> = PPtr::null();
+        assert!(p.is_null());
+        assert_eq!(p.offset(), 0);
+        assert_eq!(p, PPtr::default());
+    }
+
+    #[test]
+    fn offset_roundtrip_and_ordering() {
+        let a: PPtr<u8> = PPtr::from_offset(64);
+        let b: PPtr<u8> = PPtr::from_offset(128);
+        assert!(a < b);
+        assert_eq!(a.byte_add(64), b);
+        assert_eq!(a.cast::<u64>().offset(), 64);
+    }
+
+    #[test]
+    fn debug_shows_null_and_hex() {
+        assert_eq!(format!("{:?}", PPtr::<u8>::null()), "PPtr(null)");
+        assert_eq!(format!("{:?}", PPtr::<u8>::from_offset(0x40)), "PPtr(0x40)");
+    }
+
+    #[test]
+    fn copy_does_not_require_copy_pointee() {
+        struct NotClone;
+        let p: PPtr<NotClone> = PPtr::from_offset(16);
+        let q = p;
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PPtr<std::cell::Cell<u8>>>();
+    }
+}

@@ -1,0 +1,219 @@
+//! Durable superblock layout: fixed offsets shared by all subsystems.
+//!
+//! The first 4 KiB of the arena act like a filesystem superblock. Each
+//! subsystem owns a region (documented below) and accesses it through its
+//! own logic; this module only centralises the offsets so they cannot
+//! collide, plus the format/open handshake.
+//!
+//! Cache-line discipline matters here: every field group that is protected
+//! by an in-cache-line log (the allocator's bump watermark and free-list
+//! heads) occupies a single dedicated cache line, so the InCLL ordering
+//! argument (§2.1 "granularity") applies.
+//!
+//! Layout (byte offsets from the arena base; line = 64 B):
+//!
+//! | Offset | Line(s) | Contents |
+//! |--------|---------|----------|
+//! | 0      | 0       | reserved (offset 0 is the null `PPtr`) |
+//! | 64     | 1       | magic, version, durable current epoch, first epoch of current execution |
+//! | 128    | 2–16    | failed-epoch set: count + up to 119 epochs |
+//! | 1088   | 17      | allocator bump watermark InCLL triple |
+//! | 1152   | 18      | tree root pointer + tree metadata |
+//! | 1216   | 19      | external-log region descriptor |
+//! | 1280   | 20–43   | allocator class heads, one line each (24 classes) |
+//! | 2816   | 44–63   | spare |
+//! | 4096   | —       | start of carvable space |
+
+use crate::{Error, PArena, Result};
+
+/// Identifies a formatted InCLL arena.
+pub const MAGIC: u64 = 0x19C1_1C05_A5B1_2019;
+/// On-media format version.
+pub const VERSION: u64 = 1;
+
+/// Offset of the magic word.
+pub const SB_MAGIC: u64 = 64;
+/// Offset of the format version.
+pub const SB_VERSION: u64 = 72;
+/// Offset of the durable current-epoch word (see `incll-epoch`).
+pub const SB_CUR_EPOCH: u64 = 80;
+/// Offset of the first-epoch-of-current-execution word.
+pub const SB_EXEC_EPOCH: u64 = 88;
+
+/// Offset of the failed-epoch count.
+pub const SB_FAILED_CNT: u64 = 128;
+/// Offset of the failed-epoch array (u64 entries).
+pub const SB_FAILED_ARR: u64 = 136;
+/// Capacity of the failed-epoch set.
+///
+/// Each entry is one crash survived by this arena. The array is bounded;
+/// see DESIGN.md for the rationale (compaction would require proving no
+/// node still carries an older `nodeEpoch`).
+pub const MAX_FAILED_EPOCHS: usize = 119;
+
+/// Offset of the allocator bump-watermark InCLL triple
+/// (watermark, watermarkInCLL, epoch — one cache line).
+pub const SB_BUMP: u64 = 1088;
+/// Offset of the logged (epoch-start) watermark.
+pub const SB_BUMP_INCLL: u64 = 1096;
+/// Offset of the watermark log's epoch tag.
+pub const SB_BUMP_EPOCH: u64 = 1104;
+
+/// Offset of the durable tree-root pointer (a root-holder cell).
+pub const SB_TREE_ROOT: u64 = 1152;
+/// Offset of the root holder's logged-epoch tag (holders are externally
+/// logged at most once per epoch; the tag enforces it).
+pub const SB_TREE_ROOT_TAG: u64 = 1160;
+/// Offset of tree metadata (initialisation flag).
+pub const SB_TREE_META: u64 = 1168;
+
+/// Offset of the external-log region pointer.
+pub const SB_EXTLOG_OFF: u64 = 1216;
+/// Offset of the external-log thread-count word.
+pub const SB_EXTLOG_THREADS: u64 = 1224;
+/// Offset of the external-log per-thread capacity word.
+pub const SB_EXTLOG_PER_THREAD: u64 = 1232;
+
+/// Offset of the first allocator class-head line.
+pub const SB_PALLOC_HEADS: u64 = 1280;
+/// Maximum number of allocator size classes (one line each).
+pub const PALLOC_MAX_CLASSES: usize = 24;
+
+/// First carvable offset (end of the superblock).
+pub const CARVE_START: u64 = 4096;
+
+/// Formats a fresh arena: writes magic/version, zeroes all superblock
+/// fields, and flushes the superblock.
+///
+/// Calling `format` on an already-formatted arena wipes it.
+pub fn format(arena: &PArena) {
+    // Zero the whole superblock area first (idempotent on fresh arenas).
+    let zeros = [0u8; (CARVE_START - 64) as usize];
+    arena.pwrite_bytes(64, &zeros);
+    arena.pwrite_u64(SB_VERSION, VERSION);
+    arena.pwrite_u64(SB_CUR_EPOCH, 1);
+    arena.pwrite_u64(SB_EXEC_EPOCH, 1);
+    arena.pwrite_u64(SB_BUMP, CARVE_START);
+    arena.pwrite_u64(SB_BUMP_INCLL, CARVE_START);
+    // Magic last: a torn format leaves the arena unformatted.
+    arena.pwrite_u64(SB_MAGIC, MAGIC);
+    arena.clwb_range(64, (CARVE_START - 64) as usize);
+    arena.sfence();
+    arena.set_bump(CARVE_START);
+}
+
+/// Returns `true` if the arena carries a valid superblock.
+pub fn is_formatted(arena: &PArena) -> bool {
+    arena.pread_u64(SB_MAGIC) == MAGIC && arena.pread_u64(SB_VERSION) == VERSION
+}
+
+/// Appends `epoch` to the durable failed-epoch set (idempotent), flushing
+/// the update.
+///
+/// # Errors
+///
+/// [`Error::FailedEpochSetFull`] once [`MAX_FAILED_EPOCHS`] crashes have
+/// been recorded.
+pub fn record_failed_epoch(arena: &PArena, epoch: u64) -> Result<()> {
+    let cnt = arena.pread_u64(SB_FAILED_CNT) as usize;
+    for i in 0..cnt.min(MAX_FAILED_EPOCHS) {
+        if arena.pread_u64(SB_FAILED_ARR + (i as u64) * 8) == epoch {
+            return Ok(()); // already recorded (re-crash during recovery)
+        }
+    }
+    if cnt >= MAX_FAILED_EPOCHS {
+        return Err(Error::FailedEpochSetFull);
+    }
+    // Entry first, count second: a torn append is invisible.
+    arena.pwrite_u64(SB_FAILED_ARR + (cnt as u64) * 8, epoch);
+    arena.clwb(SB_FAILED_ARR + (cnt as u64) * 8);
+    arena.sfence();
+    arena.pwrite_u64(SB_FAILED_CNT, cnt as u64 + 1);
+    arena.clwb(SB_FAILED_CNT);
+    arena.sfence();
+    Ok(())
+}
+
+/// Reads the durable failed-epoch set.
+pub fn failed_epochs(arena: &PArena) -> Vec<u64> {
+    let cnt = (arena.pread_u64(SB_FAILED_CNT) as usize).min(MAX_FAILED_EPOCHS);
+    (0..cnt)
+        .map(|i| arena.pread_u64(SB_FAILED_ARR + (i as u64) * 8))
+        .collect()
+}
+
+/// Returns `true` if `epoch` is in the durable failed-epoch set.
+pub fn is_failed_epoch(arena: &PArena, epoch: u64) -> bool {
+    failed_epochs(arena).contains(&epoch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arena() -> PArena {
+        PArena::builder().capacity_bytes(1 << 20).build().unwrap()
+    }
+
+    #[test]
+    fn layout_lines_do_not_collide() {
+        // Field groups that must share a line, and groups that must not.
+        assert_eq!(SB_BUMP / 64, SB_BUMP_INCLL / 64);
+        assert_eq!(SB_BUMP / 64, SB_BUMP_EPOCH / 64);
+        assert_ne!(SB_MAGIC / 64, SB_FAILED_CNT / 64);
+        assert_ne!(SB_BUMP / 64, SB_TREE_ROOT / 64);
+        assert!(SB_FAILED_ARR + (MAX_FAILED_EPOCHS as u64) * 8 <= SB_BUMP);
+        assert!(SB_PALLOC_HEADS + (PALLOC_MAX_CLASSES as u64) * 64 <= CARVE_START);
+    }
+
+    #[test]
+    fn format_then_open() {
+        let a = arena();
+        assert!(!is_formatted(&a));
+        format(&a);
+        assert!(is_formatted(&a));
+        assert_eq!(a.pread_u64(SB_CUR_EPOCH), 1);
+        assert_eq!(a.pread_u64(SB_BUMP), CARVE_START);
+    }
+
+    #[test]
+    fn failed_epoch_set_roundtrip() {
+        let a = arena();
+        format(&a);
+        assert!(failed_epochs(&a).is_empty());
+        record_failed_epoch(&a, 10).unwrap();
+        record_failed_epoch(&a, 12).unwrap();
+        record_failed_epoch(&a, 10).unwrap(); // idempotent
+        assert_eq!(failed_epochs(&a), vec![10, 12]);
+        assert!(is_failed_epoch(&a, 12));
+        assert!(!is_failed_epoch(&a, 11));
+    }
+
+    #[test]
+    fn failed_epoch_set_fills_up() {
+        let a = arena();
+        format(&a);
+        for e in 0..MAX_FAILED_EPOCHS as u64 {
+            record_failed_epoch(&a, e + 100).unwrap();
+        }
+        assert!(matches!(
+            record_failed_epoch(&a, 5),
+            Err(Error::FailedEpochSetFull)
+        ));
+        // Existing entries still readable and idempotent re-record still ok.
+        record_failed_epoch(&a, 100).unwrap();
+    }
+
+    #[test]
+    fn format_survives_tracked_crash_after_flush() {
+        let a = PArena::builder()
+            .capacity_bytes(1 << 20)
+            .tracked(true)
+            .build()
+            .unwrap();
+        format(&a);
+        a.global_flush();
+        a.crash_seeded(1);
+        assert!(is_formatted(&a));
+    }
+}

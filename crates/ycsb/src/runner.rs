@@ -1,0 +1,235 @@
+//! Multi-threaded benchmark driver: loads a store and runs a workload,
+//! reporting throughput the way the paper does (total operations /
+//! wall-clock seconds; §6 runs 1 M ops on each of 8 driver threads).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::workload::{storage_key, Dist, Mix, Op, OpStream};
+use crate::zipf::ScrambledZipfian;
+
+/// A key-value store that can serve the YCSB drivers.
+///
+/// Implemented by all three systems under test (MT, MT+, INCLL).
+pub trait KvBench: Send + Sync {
+    /// Per-thread operation context.
+    type Ctx;
+
+    /// Registers worker `tid`.
+    fn bench_ctx(&self, tid: usize) -> Self::Ctx;
+    /// Point lookup.
+    fn bench_get(&self, ctx: &Self::Ctx, key: &[u8]) -> Option<u64>;
+    /// Insert-or-update.
+    fn bench_put(&self, ctx: &Self::Ctx, key: &[u8], val: u64);
+    /// Scan `n` keys from `start`; returns keys visited.
+    fn bench_scan(&self, ctx: &Self::Ctx, start: &[u8], n: usize) -> usize;
+}
+
+impl KvBench for incll_masstree::Masstree {
+    type Ctx = incll_masstree::TreeCtx;
+
+    fn bench_ctx(&self, tid: usize) -> Self::Ctx {
+        self.thread_ctx(tid)
+    }
+    fn bench_get(&self, ctx: &Self::Ctx, key: &[u8]) -> Option<u64> {
+        self.get(ctx, key)
+    }
+    fn bench_put(&self, ctx: &Self::Ctx, key: &[u8], val: u64) {
+        self.put(ctx, key, val);
+    }
+    fn bench_scan(&self, ctx: &Self::Ctx, start: &[u8], n: usize) -> usize {
+        self.scan(ctx, start, n, &mut |_, _| {})
+    }
+}
+
+impl KvBench for incll::DurableMasstree {
+    type Ctx = incll::DCtx;
+
+    fn bench_ctx(&self, tid: usize) -> Self::Ctx {
+        self.thread_ctx(tid)
+    }
+    fn bench_get(&self, ctx: &Self::Ctx, key: &[u8]) -> Option<u64> {
+        self.get(ctx, key)
+    }
+    fn bench_put(&self, ctx: &Self::Ctx, key: &[u8], val: u64) {
+        self.put(ctx, key, val);
+    }
+    fn bench_scan(&self, ctx: &Self::Ctx, start: &[u8], n: usize) -> usize {
+        self.scan(ctx, start, n, &mut |_, _| {})
+    }
+}
+
+/// A benchmark run description.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Worker threads.
+    pub threads: usize,
+    /// Operations per thread.
+    pub ops_per_thread: u64,
+    /// Key-space size (tree preloaded with exactly these keys).
+    pub nkeys: u64,
+    /// Operation mix.
+    pub mix: Mix,
+    /// Key distribution.
+    pub dist: Dist,
+    /// RNG seed (per-thread streams derive from it).
+    pub seed: u64,
+}
+
+/// Result of a run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunResult {
+    /// Total operations executed.
+    pub ops: u64,
+    /// Wall-clock duration.
+    pub elapsed: Duration,
+}
+
+impl RunResult {
+    /// Throughput in million operations per second.
+    pub fn mops(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64() / 1e6
+    }
+}
+
+/// Preloads keys `0..nkeys` (scrambled) across `threads` workers.
+pub fn load<K: KvBench>(store: &K, nkeys: u64, threads: usize) {
+    let threads = threads.max(1);
+    std::thread::scope(|s| {
+        for tid in 0..threads {
+            let store = &store;
+            s.spawn(move || {
+                let ctx = store.bench_ctx(tid);
+                let mut i = tid as u64;
+                while i < nkeys {
+                    store.bench_put(&ctx, &storage_key(i), i);
+                    i += threads as u64;
+                }
+            });
+        }
+    });
+}
+
+/// Runs the workload, returning aggregate throughput.
+pub fn run<K: KvBench>(store: &K, cfg: &RunConfig) -> RunResult {
+    let barrier = Barrier::new(cfg.threads + 1);
+    let total_ops = AtomicU64::new(0);
+    // Zipfian tables are O(nkeys) to build: construct one and share.
+    let zipf_proto = match cfg.dist {
+        Dist::Uniform => None,
+        Dist::Zipfian => Some(ScrambledZipfian::new(cfg.nkeys)),
+    };
+    let started = std::sync::Mutex::new(None::<Instant>);
+    std::thread::scope(|s| {
+        for tid in 0..cfg.threads {
+            let store = &store;
+            let barrier = &barrier;
+            let total_ops = &total_ops;
+            let zipf = zipf_proto.clone();
+            let cfg2 = cfg.clone();
+            s.spawn(move || {
+                let ctx = store.bench_ctx(tid);
+                let mut stream = OpStream::with_zipf(cfg2.mix, cfg2.nkeys, zipf);
+                let mut rng = StdRng::seed_from_u64(cfg2.seed ^ (tid as u64) << 32 | tid as u64);
+                barrier.wait();
+                for _ in 0..cfg2.ops_per_thread {
+                    match stream.next_op(&mut rng) {
+                        Op::Read(i) => {
+                            store.bench_get(&ctx, &storage_key(i));
+                        }
+                        Op::Put(i, v) => {
+                            store.bench_put(&ctx, &storage_key(i), v);
+                        }
+                        Op::Scan(i, n) => {
+                            store.bench_scan(&ctx, &storage_key(i), n);
+                        }
+                    }
+                }
+                total_ops.fetch_add(cfg2.ops_per_thread, Ordering::Relaxed);
+            });
+        }
+        *started.lock().unwrap() = Some(Instant::now());
+        barrier.wait();
+    });
+    let elapsed = started.lock().unwrap().expect("start time").elapsed();
+    RunResult {
+        ops: total_ops.load(Ordering::Relaxed),
+        elapsed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incll_epoch::{EpochManager, EpochOptions};
+    use incll_masstree::{AllocMode, Masstree, TransientAlloc};
+    use incll_pmem::{superblock, PArena};
+
+    fn mt() -> Masstree {
+        let arena = PArena::builder().capacity_bytes(1 << 20).build().unwrap();
+        let mgr = EpochManager::new(arena, EpochOptions::transient());
+        Masstree::new(mgr, TransientAlloc::new(AllocMode::Global, 4, None))
+    }
+
+    #[test]
+    fn load_populates_all_keys() {
+        let t = mt();
+        load(&t, 1000, 2);
+        let ctx = t.thread_ctx(0);
+        for i in 0..1000u64 {
+            assert_eq!(t.get(&ctx, &storage_key(i)), Some(i), "key {i}");
+        }
+    }
+
+    #[test]
+    fn run_executes_requested_ops() {
+        let t = mt();
+        load(&t, 500, 2);
+        let cfg = RunConfig {
+            threads: 2,
+            ops_per_thread: 2_000,
+            nkeys: 500,
+            mix: Mix::A,
+            dist: Dist::Uniform,
+            seed: 4,
+        };
+        let res = run(&t, &cfg);
+        assert_eq!(res.ops, 4_000);
+        assert!(res.elapsed.as_nanos() > 0);
+        assert!(res.mops() > 0.0);
+    }
+
+    #[test]
+    fn run_against_durable_tree() {
+        let arena = PArena::builder().capacity_bytes(64 << 20).build().unwrap();
+        superblock::format(&arena);
+        let t = incll::DurableMasstree::create(
+            &arena,
+            incll::DurableConfig {
+                threads: 2,
+                log_bytes_per_thread: 1 << 20,
+                incll_enabled: true,
+            },
+        )
+        .unwrap();
+        load(&t, 300, 2);
+        for (mix, dist) in [(Mix::A, Dist::Zipfian), (Mix::E, Dist::Uniform)] {
+            let res = run(
+                &t,
+                &RunConfig {
+                    threads: 2,
+                    ops_per_thread: 500,
+                    nkeys: 300,
+                    mix,
+                    dist,
+                    seed: 1,
+                },
+            );
+            assert_eq!(res.ops, 1_000);
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Workspace umbrella for the InCLL reproduction.
+//!
+//! The real code lives in the member crates; this package hosts the
+//! runnable examples (`examples/`) and the cross-crate integration tests
+//! (`tests/`). The [`prelude`] re-exports everything those need.
+
+/// One-stop imports for examples and integration tests.
+pub mod prelude {
+    pub use incll::{DCtx, DurableConfig, DurableMasstree, RecoveryReport, VALUE_BUF_BYTES};
+    pub use incll_epoch::{AdvanceDriver, EpochManager, EpochOptions, DEFAULT_EPOCH_INTERVAL};
+    pub use incll_extlog::ExtLog;
+    pub use incll_masstree::{AllocMode, Masstree, TransientAlloc, TreeCtx};
+    pub use incll_palloc::PAlloc;
+    pub use incll_pmem::{superblock, PArena, PPtr, StatsSnapshot};
+    pub use incll_ycsb::{load, run, storage_key, Dist, Mix, RunConfig};
+}

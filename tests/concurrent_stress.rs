@@ -1,0 +1,210 @@
+//! Concurrent stress across crates: worker threads hammer each system
+//! while the epoch driver checkpoints at a fast cadence; afterwards the
+//! structures must be fully coherent.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+use incll_repro::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const WORKERS: usize = 3;
+const KEYS: u64 = 3_000;
+
+/// Every thread writes values tagged with its tid into its own key slice;
+/// afterwards each key holds a value its owner wrote.
+fn stress_durable(incll_enabled: bool) {
+    let arena = PArena::builder().capacity_bytes(128 << 20).build().unwrap();
+    superblock::format(&arena);
+    let tree = DurableMasstree::create(
+        &arena,
+        DurableConfig {
+            threads: WORKERS,
+            log_bytes_per_thread: 8 << 20,
+            incll_enabled,
+        },
+    )
+    .unwrap();
+    let driver = AdvanceDriver::spawn(tree.epoch_manager().clone(), Duration::from_millis(4));
+    let ops_done = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|s| {
+        for tid in 0..WORKERS {
+            let tree = tree.clone();
+            let ops_done = &ops_done;
+            let stop = &stop;
+            s.spawn(move || {
+                let ctx = tree.thread_ctx(tid);
+                let mut rng = StdRng::seed_from_u64(tid as u64 + 1);
+                let mut local = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    // Keys partitioned by tid => deterministic ownership.
+                    let k = (rng.gen_range(0..KEYS / WORKERS as u64) * WORKERS as u64
+                        + tid as u64)
+                        .to_be_bytes();
+                    match rng.gen_range(0..10) {
+                        0..=5 => {
+                            tree.put(&ctx, &k, (tid as u64) << 56 | local);
+                            local += 1;
+                        }
+                        6..=7 => {
+                            tree.remove(&ctx, &k);
+                        }
+                        _ => {
+                            if let Some(v) = tree.get(&ctx, &k) {
+                                assert_eq!(
+                                    v >> 56,
+                                    tid as u64,
+                                    "thread {tid} read another thread's value"
+                                );
+                            }
+                        }
+                    }
+                    ops_done.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        std::thread::sleep(Duration::from_millis(400));
+        stop.store(true, Ordering::Relaxed);
+    });
+    driver.stop();
+    assert!(ops_done.load(Ordering::Relaxed) > 1_000);
+
+    // Full-tree coherence: scan is sorted, values belong to key owners.
+    let ctx = tree.thread_ctx(0);
+    let mut prev: Option<Vec<u8>> = None;
+    tree.scan(&ctx, b"", usize::MAX, &mut |k, v| {
+        if let Some(p) = &prev {
+            assert!(p.as_slice() < k, "scan out of order");
+        }
+        let idx = u64::from_be_bytes(k.try_into().unwrap());
+        assert_eq!(v >> 56, idx % WORKERS as u64, "value owner mismatch");
+        prev = Some(k.to_vec());
+    });
+}
+
+#[test]
+fn durable_tree_concurrent_stress() {
+    stress_durable(true);
+}
+
+#[test]
+fn logging_mode_concurrent_stress() {
+    stress_durable(false);
+}
+
+#[test]
+fn transient_trees_concurrent_stress() {
+    for mode in [AllocMode::Global, AllocMode::Pool] {
+        let pool = PArena::builder().capacity_bytes(64 << 20).build().unwrap();
+        let mgr = EpochManager::new(pool.clone(), EpochOptions::transient());
+        let alloc = match mode {
+            AllocMode::Global => TransientAlloc::new(mode, WORKERS, None),
+            AllocMode::Pool => TransientAlloc::new(mode, WORKERS, Some(pool)),
+        };
+        let tree = std::sync::Arc::new(Masstree::new(mgr.clone(), alloc));
+        let driver = AdvanceDriver::spawn(mgr, Duration::from_millis(4));
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for tid in 0..WORKERS {
+                let tree = tree.clone();
+                let stop = &stop;
+                s.spawn(move || {
+                    let ctx = tree.thread_ctx(tid);
+                    let mut rng = StdRng::seed_from_u64(tid as u64);
+                    while !stop.load(Ordering::Relaxed) {
+                        let k = rng.gen_range(0..KEYS).to_be_bytes();
+                        match rng.gen_range(0..4) {
+                            0 | 1 => {
+                                tree.put(&ctx, &k, rng.gen());
+                            }
+                            2 => {
+                                tree.remove(&ctx, &k);
+                            }
+                            _ => {
+                                tree.get(&ctx, &k);
+                            }
+                        }
+                    }
+                });
+            }
+            std::thread::sleep(Duration::from_millis(300));
+            stop.store(true, Ordering::Relaxed);
+        });
+        driver.stop();
+        let ctx = tree.thread_ctx(0);
+        let mut count = 0u64;
+        let mut prev: Option<Vec<u8>> = None;
+        tree.scan(&ctx, b"", usize::MAX, &mut |k, _| {
+            if let Some(p) = &prev {
+                assert!(p.as_slice() < k);
+            }
+            prev = Some(k.to_vec());
+            count += 1;
+        });
+        assert!(count <= KEYS);
+    }
+}
+
+#[test]
+fn concurrent_scans_with_writers() {
+    let arena = PArena::builder().capacity_bytes(64 << 20).build().unwrap();
+    superblock::format(&arena);
+    let tree = DurableMasstree::create(
+        &arena,
+        DurableConfig {
+            threads: WORKERS,
+            log_bytes_per_thread: 4 << 20,
+            incll_enabled: true,
+        },
+    )
+    .unwrap();
+    {
+        let ctx = tree.thread_ctx(0);
+        for i in 0..KEYS {
+            tree.put(&ctx, &i.to_be_bytes(), i);
+        }
+    }
+    let driver = AdvanceDriver::spawn(tree.epoch_manager().clone(), Duration::from_millis(4));
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        // One writer updating values.
+        {
+            let tree = tree.clone();
+            let stop = &stop;
+            s.spawn(move || {
+                let ctx = tree.thread_ctx(0);
+                let mut rng = StdRng::seed_from_u64(1);
+                while !stop.load(Ordering::Relaxed) {
+                    let k = rng.gen_range(0..KEYS).to_be_bytes();
+                    tree.put(&ctx, &k, rng.gen());
+                }
+            });
+        }
+        // Two scanners verifying order continuously.
+        for tid in 1..WORKERS {
+            let tree = tree.clone();
+            let stop = &stop;
+            s.spawn(move || {
+                let ctx = tree.thread_ctx(tid);
+                let mut rng = StdRng::seed_from_u64(tid as u64);
+                while !stop.load(Ordering::Relaxed) {
+                    let start = rng.gen_range(0..KEYS).to_be_bytes();
+                    let mut prev: Option<Vec<u8>> = None;
+                    tree.scan(&ctx, &start, 20, &mut |k, _| {
+                        if let Some(p) = &prev {
+                            assert!(p.as_slice() < k, "scan order violated");
+                        }
+                        assert!(k >= &start[..]);
+                        prev = Some(k.to_vec());
+                    });
+                }
+            });
+        }
+        std::thread::sleep(Duration::from_millis(300));
+        stop.store(true, Ordering::Relaxed);
+    });
+    driver.stop();
+}

@@ -1,0 +1,261 @@
+//! Cross-crate crash-consistency tests — the paper's §5.2 methodology:
+//! "intentionally crashing the system at random points, launching a new
+//! process, and checking that the system's state matched the state at the
+//! beginning of the failed epoch."
+
+use std::collections::BTreeMap;
+
+use incll_repro::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CONFIG: DurableConfig = DurableConfig {
+    threads: 2,
+    log_bytes_per_thread: 1 << 20,
+    incll_enabled: true,
+};
+
+fn tracked_arena() -> PArena {
+    PArena::builder()
+        .capacity_bytes(64 << 20)
+        .tracked(true)
+        .build()
+        .unwrap()
+}
+
+fn collect(tree: &DurableMasstree, ctx: &DCtx) -> Vec<(Vec<u8>, u64)> {
+    let mut out = Vec::new();
+    tree.scan(ctx, b"", usize::MAX, &mut |k, v| out.push((k.to_vec(), v)));
+    out
+}
+
+fn model_vec(m: &BTreeMap<Vec<u8>, u64>) -> Vec<(Vec<u8>, u64)> {
+    m.iter().map(|(k, v)| (k.clone(), *v)).collect()
+}
+
+/// A random op applied to both tree and model.
+fn apply_random(
+    tree: &DurableMasstree,
+    ctx: &DCtx,
+    model: &mut BTreeMap<Vec<u8>, u64>,
+    rng: &mut StdRng,
+    key_space: u64,
+) {
+    // Mix short and long keys so trie layers participate.
+    let k = rng.gen_range(0..key_space);
+    let key: Vec<u8> = if k % 7 == 0 {
+        format!("long-key-prefix-{k:08}").into_bytes()
+    } else {
+        k.to_be_bytes().to_vec()
+    };
+    match rng.gen_range(0..10) {
+        0..=5 => {
+            let v = rng.gen();
+            tree.put(ctx, &key, v);
+            model.insert(key, v);
+        }
+        6..=7 => {
+            tree.remove(ctx, &key);
+            model.remove(&key);
+        }
+        _ => {
+            assert_eq!(tree.get(ctx, &key), model.get(&key).copied());
+        }
+    }
+}
+
+#[test]
+fn hundred_seeded_crashes_match_checkpoints() {
+    for seed in 0..40u64 {
+        let arena = tracked_arena();
+        superblock::format(&arena);
+        let tree = DurableMasstree::create(&arena, CONFIG.clone()).unwrap();
+        let ctx = tree.thread_ctx(0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut model = BTreeMap::new();
+
+        // 1-3 committed epochs.
+        for _ in 0..rng.gen_range(1..=3) {
+            for _ in 0..rng.gen_range(5..300) {
+                apply_random(&tree, &ctx, &mut model, &mut rng, 150);
+            }
+            tree.epoch_manager().advance();
+        }
+        let checkpoint = model_vec(&model);
+
+        // Doomed epoch, then a seeded crash.
+        for _ in 0..rng.gen_range(1..300) {
+            apply_random(&tree, &ctx, &mut model, &mut rng, 150);
+        }
+        drop(ctx);
+        drop(tree);
+        arena.crash_seeded(seed.wrapping_mul(0x9E37_79B9) + 1);
+
+        let (tree, _) = DurableMasstree::open(&arena, CONFIG.clone()).unwrap();
+        let ctx = tree.thread_ctx(0);
+        assert_eq!(collect(&tree, &ctx), checkpoint, "seed {seed}");
+    }
+}
+
+#[test]
+fn crash_chain_with_work_between_crashes() {
+    // Crash, recover, commit new work, crash again — repeatedly.
+    let arena = tracked_arena();
+    superblock::format(&arena);
+    let mut rng = StdRng::seed_from_u64(77);
+    let mut model = BTreeMap::new();
+
+    let tree = DurableMasstree::create(&arena, CONFIG.clone()).unwrap();
+    {
+        let ctx = tree.thread_ctx(0);
+        for _ in 0..200 {
+            apply_random(&tree, &ctx, &mut model, &mut rng, 100);
+        }
+        tree.epoch_manager().advance();
+    }
+    drop(tree);
+    let mut checkpoint = model_vec(&model);
+
+    for round in 0..6 {
+        // Doomed work + crash.
+        {
+            let (tree, _) = DurableMasstree::open(&arena, CONFIG.clone()).unwrap();
+            let ctx = tree.thread_ctx(0);
+            let mut doomed = model.clone();
+            for _ in 0..rng.gen_range(1..150) {
+                apply_random(&tree, &ctx, &mut doomed, &mut rng, 100);
+            }
+        }
+        arena.crash_seeded(round * 13 + 5);
+
+        // Recover, verify, commit fresh work.
+        let (tree, report) = DurableMasstree::open(&arena, CONFIG.clone()).unwrap();
+        assert!(report.failed_epochs.len() as u64 >= round + 1);
+        let ctx = tree.thread_ctx(0);
+        assert_eq!(collect(&tree, &ctx), checkpoint, "round {round}");
+        for _ in 0..rng.gen_range(1..100) {
+            apply_random(&tree, &ctx, &mut model, &mut rng, 100);
+        }
+        tree.epoch_manager().advance();
+        checkpoint = model_vec(&model);
+    }
+}
+
+#[test]
+fn immediate_crash_after_recovery_is_safe() {
+    // Crash during the very first epoch after a recovery (recovery writes
+    // themselves are unflushed and must replay idempotently).
+    let arena = tracked_arena();
+    superblock::format(&arena);
+    let mut model = BTreeMap::new();
+    {
+        let tree = DurableMasstree::create(&arena, CONFIG.clone()).unwrap();
+        let ctx = tree.thread_ctx(0);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..300 {
+            apply_random(&tree, &ctx, &mut model, &mut rng, 80);
+        }
+        tree.epoch_manager().advance();
+        let mut doomed = model.clone();
+        for _ in 0..100 {
+            apply_random(&tree, &ctx, &mut doomed, &mut rng, 80);
+        }
+    }
+    let checkpoint = model_vec(&model);
+    for i in 0..8u64 {
+        arena.crash_seeded(1000 + i);
+        let (tree, _) = DurableMasstree::open(&arena, CONFIG.clone()).unwrap();
+        let ctx = tree.thread_ctx(0);
+        // Touch some nodes (partial lazy recovery), then crash again.
+        for k in 0..20u64 {
+            tree.get(&ctx, &k.to_be_bytes());
+        }
+    }
+    arena.crash_seeded(9999);
+    let (tree, _) = DurableMasstree::open(&arena, CONFIG.clone()).unwrap();
+    let ctx = tree.thread_ctx(0);
+    assert_eq!(collect(&tree, &ctx), checkpoint);
+}
+
+#[test]
+fn crash_with_multithreaded_doomed_epoch() {
+    // Multiple threads mutate during the doomed epoch; the crash happens
+    // after they quiesce (the simulated power failure is a whole-machine
+    // event; in-flight ops either completed their stores or not, which the
+    // per-line cuts model).
+    let arena = tracked_arena();
+    superblock::format(&arena);
+    let tree = DurableMasstree::create(&arena, CONFIG.clone()).unwrap();
+    {
+        let ctx = tree.thread_ctx(0);
+        for i in 0..400u64 {
+            tree.put(&ctx, &i.to_be_bytes(), i);
+        }
+    }
+    tree.epoch_manager().advance();
+
+    std::thread::scope(|s| {
+        for tid in 0..2usize {
+            let tree = tree.clone();
+            s.spawn(move || {
+                let ctx = tree.thread_ctx(tid);
+                let mut rng = StdRng::seed_from_u64(tid as u64);
+                for _ in 0..500 {
+                    let k = rng.gen_range(0..400u64).to_be_bytes();
+                    match rng.gen_range(0..3) {
+                        0 => {
+                            tree.put(&ctx, &k, rng.gen());
+                        }
+                        1 => {
+                            tree.remove(&ctx, &k);
+                        }
+                        _ => {
+                            tree.get(&ctx, &k);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    drop(tree);
+    arena.crash_seeded(31337);
+
+    let (tree, _) = DurableMasstree::open(&arena, CONFIG.clone()).unwrap();
+    let ctx = tree.thread_ctx(0);
+    for i in 0..400u64 {
+        assert_eq!(tree.get(&ctx, &i.to_be_bytes()), Some(i), "key {i}");
+    }
+}
+
+#[test]
+fn value_buffers_revert_with_contents_intact() {
+    // The §5 EBR argument: buffers referenced at the epoch boundary are
+    // never overwritten during the next epoch, so reverted pointers see
+    // intact contents.
+    let arena = tracked_arena();
+    superblock::format(&arena);
+    let tree = DurableMasstree::create(&arena, CONFIG.clone()).unwrap();
+    {
+        let ctx = tree.thread_ctx(0);
+        for i in 0..200u64 {
+            tree.put(&ctx, &i.to_be_bytes(), i * 7);
+        }
+    }
+    tree.epoch_manager().advance();
+    {
+        let ctx = tree.thread_ctx(0);
+        // Update every key several times (buffer churn + reuse pressure).
+        for round in 0..3u64 {
+            for i in 0..200u64 {
+                tree.put(&ctx, &i.to_be_bytes(), round * 1000 + i);
+            }
+        }
+    }
+    drop(tree);
+    arena.crash_seeded(404);
+    let (tree, _) = DurableMasstree::open(&arena, CONFIG.clone()).unwrap();
+    let ctx = tree.thread_ctx(0);
+    for i in 0..200u64 {
+        assert_eq!(tree.get(&ctx, &i.to_be_bytes()), Some(i * 7), "key {i}");
+    }
+}

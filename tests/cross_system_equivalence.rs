@@ -1,0 +1,188 @@
+//! All three systems (MT, MT+, INCLL) and a reference `BTreeMap` must
+//! agree on every operation result for identical operation tapes — the
+//! durability machinery must be semantically invisible.
+
+use std::collections::BTreeMap;
+
+use incll_repro::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[derive(Debug, Clone)]
+enum TapeOp {
+    Put(Vec<u8>, u64),
+    Get(Vec<u8>),
+    Remove(Vec<u8>),
+    Scan(Vec<u8>, usize),
+}
+
+fn random_tape(seed: u64, len: usize) -> Vec<TapeOp> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| {
+            let klen = rng.gen_range(0..24);
+            let key: Vec<u8> = (0..klen).map(|_| rng.gen_range(b'a'..=b'd')).collect();
+            match rng.gen_range(0..10) {
+                0..=4 => TapeOp::Put(key, rng.gen()),
+                5..=6 => TapeOp::Get(key),
+                7..=8 => TapeOp::Remove(key),
+                _ => TapeOp::Scan(key, rng.gen_range(1..20)),
+            }
+        })
+        .collect()
+}
+
+/// Applies the tape, returning one observation per op.
+fn observe<T, C>(
+    tree: &T,
+    ctx: &C,
+    tape: &[TapeOp],
+    put: impl Fn(&T, &C, &[u8], u64) -> Option<u64>,
+    get: impl Fn(&T, &C, &[u8]) -> Option<u64>,
+    remove: impl Fn(&T, &C, &[u8]) -> bool,
+    scan: impl Fn(&T, &C, &[u8], usize) -> Vec<(Vec<u8>, u64)>,
+) -> Vec<String> {
+    tape.iter()
+        .map(|op| match op {
+            TapeOp::Put(k, v) => format!("{:?}", put(tree, ctx, k, *v)),
+            TapeOp::Get(k) => format!("{:?}", get(tree, ctx, k)),
+            TapeOp::Remove(k) => format!("{:?}", remove(tree, ctx, k)),
+            TapeOp::Scan(k, n) => format!("{:?}", scan(tree, ctx, k, *n)),
+        })
+        .collect()
+}
+
+fn model_observe(tape: &[TapeOp]) -> Vec<String> {
+    let mut m: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+    tape.iter()
+        .map(|op| match op {
+            TapeOp::Put(k, v) => format!("{:?}", m.insert(k.clone(), *v)),
+            TapeOp::Get(k) => format!("{:?}", m.get(k).copied()),
+            TapeOp::Remove(k) => format!("{:?}", m.remove(k).is_some()),
+            TapeOp::Scan(k, n) => {
+                let hits: Vec<(Vec<u8>, u64)> = m
+                    .range(k.clone()..)
+                    .take(*n)
+                    .map(|(k, v)| (k.clone(), *v))
+                    .collect();
+                format!("{hits:?}")
+            }
+        })
+        .collect()
+}
+
+fn masstree_observe(tree: &Masstree, tape: &[TapeOp]) -> Vec<String> {
+    let ctx = tree.thread_ctx(0);
+    observe(
+        tree,
+        &ctx,
+        tape,
+        |t, c, k, v| t.put(c, k, v),
+        |t, c, k| t.get(c, k),
+        |t, c, k| t.remove(c, k),
+        |t, c, k, n| {
+            let mut out = Vec::new();
+            t.scan(c, k, n, &mut |k, v| out.push((k.to_vec(), v)));
+            out
+        },
+    )
+}
+
+#[test]
+fn four_implementations_agree() {
+    for seed in 0..6u64 {
+        let tape = random_tape(seed, 4_000);
+        let expect = model_observe(&tape);
+
+        // MT
+        {
+            let arena = PArena::builder().capacity_bytes(1 << 20).build().unwrap();
+            let mgr = EpochManager::new(arena, EpochOptions::transient());
+            let tree = Masstree::new(mgr, TransientAlloc::new(AllocMode::Global, 1, None));
+            assert_eq!(masstree_observe(&tree, &tape), expect, "MT seed {seed}");
+        }
+        // MT+
+        {
+            let pool = PArena::builder().capacity_bytes(32 << 20).build().unwrap();
+            let mgr = EpochManager::new(pool.clone(), EpochOptions::transient());
+            let tree = Masstree::new(
+                mgr,
+                TransientAlloc::new(AllocMode::Pool, 1, Some(pool)),
+            );
+            assert_eq!(masstree_observe(&tree, &tape), expect, "MT+ seed {seed}");
+        }
+        // INCLL (with periodic checkpoints interleaved)
+        {
+            let arena = PArena::builder().capacity_bytes(64 << 20).build().unwrap();
+            superblock::format(&arena);
+            let tree = DurableMasstree::create(
+                &arena,
+                DurableConfig {
+                    threads: 1,
+                    log_bytes_per_thread: 1 << 20,
+                    incll_enabled: true,
+                },
+            )
+            .unwrap();
+            let ctx = tree.thread_ctx(0);
+            let got: Vec<String> = tape
+                .iter()
+                .enumerate()
+                .map(|(i, op)| {
+                    if i % 500 == 499 {
+                        tree.epoch_manager().advance();
+                    }
+                    match op {
+                        TapeOp::Put(k, v) => format!("{:?}", tree.put(&ctx, k, *v)),
+                        TapeOp::Get(k) => format!("{:?}", tree.get(&ctx, k)),
+                        TapeOp::Remove(k) => format!("{:?}", tree.remove(&ctx, k)),
+                        TapeOp::Scan(k, n) => {
+                            let mut out = Vec::new();
+                            tree.scan(&ctx, k, *n, &mut |k, v| out.push((k.to_vec(), v)));
+                            format!("{out:?}")
+                        }
+                    }
+                })
+                .collect();
+            assert_eq!(got, expect, "INCLL seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn logging_mode_agrees_too() {
+    let tape = random_tape(99, 3_000);
+    let expect = model_observe(&tape);
+    let arena = PArena::builder().capacity_bytes(64 << 20).build().unwrap();
+    superblock::format(&arena);
+    let tree = DurableMasstree::create(
+        &arena,
+        DurableConfig {
+            threads: 1,
+            log_bytes_per_thread: 4 << 20,
+            incll_enabled: false, // LOGGING ablation
+        },
+    )
+    .unwrap();
+    let ctx = tree.thread_ctx(0);
+    let got: Vec<String> = tape
+        .iter()
+        .enumerate()
+        .map(|(i, op)| {
+            if i % 300 == 299 {
+                tree.epoch_manager().advance();
+            }
+            match op {
+                TapeOp::Put(k, v) => format!("{:?}", tree.put(&ctx, k, *v)),
+                TapeOp::Get(k) => format!("{:?}", tree.get(&ctx, k)),
+                TapeOp::Remove(k) => format!("{:?}", tree.remove(&ctx, k)),
+                TapeOp::Scan(k, n) => {
+                    let mut out = Vec::new();
+                    tree.scan(&ctx, k, *n, &mut |k, v| out.push((k.to_vec(), v)));
+                    format!("{out:?}")
+                }
+            }
+        })
+        .collect();
+    assert_eq!(got, expect);
+}

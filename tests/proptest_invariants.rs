@@ -1,0 +1,258 @@
+//! Property-based tests on the core data structures and invariants.
+
+use std::collections::BTreeMap;
+
+use incll_repro::prelude::*;
+use proptest::prelude::*;
+
+use incll::layout::val_incll;
+use incll_masstree::key::{entry_cmp, ikey_of, KeyCursor, KLEN_LAYER};
+use incll_masstree::Permutation;
+use incll_palloc::header;
+
+// ---------------------------------------------------------------------
+// Permutation algebra
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Arbitrary insert/remove sequences keep the permutation a valid
+    /// permutation and agree with a Vec model.
+    #[test]
+    fn permutation_matches_vec_model(ops in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..200)) {
+        let mut p = Permutation::<15>::empty();
+        let mut model: Vec<usize> = Vec::new();
+        for (sel, pos) in ops {
+            if p.is_full() || (!p.is_empty() && sel % 2 == 0) {
+                let at = pos as usize % p.len();
+                p.remove_at(at);
+                model.remove(at);
+            } else {
+                let at = pos as usize % (p.len() + 1);
+                let slot = p.insert_at(at);
+                model.insert(at, slot);
+            }
+            prop_assert!(p.is_valid());
+            prop_assert_eq!(p.occupied().collect::<Vec<_>>(), model.clone());
+        }
+    }
+
+    /// Truncation keeps a valid permutation holding exactly the prefix.
+    #[test]
+    fn permutation_truncation(keep in 0usize..14, fills in 1usize..14) {
+        let mut p = Permutation::<14>::empty();
+        let mut slots = Vec::new();
+        for i in 0..fills {
+            slots.push(p.insert_at(i));
+        }
+        let keep = keep.min(fills);
+        let t = p.truncated(keep);
+        prop_assert!(t.is_valid());
+        prop_assert_eq!(t.len(), keep);
+        prop_assert_eq!(t.occupied().collect::<Vec<_>>(), slots[..keep].to_vec());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Packed-word round trips
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// ValInCLL packing is lossless for every representable triple.
+    #[test]
+    fn val_incll_roundtrip(ptr in 0u64..(1 << 44), idx in 0usize..15, ep in any::<u16>()) {
+        let ptr = ptr << 4; // 16-aligned, < 2^48
+        let w = val_incll::pack(ptr, idx, ep);
+        prop_assert_eq!(val_incll::ptr(w), ptr);
+        prop_assert_eq!(val_incll::idx(w), idx);
+        prop_assert_eq!(val_incll::low16(w), ep);
+    }
+
+    /// Allocator header packing is lossless and the torn-write counter
+    /// detection triggers exactly on counter mismatch.
+    #[test]
+    fn palloc_header_roundtrip(ptr in 0u64..(1 << 44), c in 0u8..4, ep in any::<u16>()) {
+        let ptr = ptr << 4;
+        let w = header::pack(ptr, c, ep);
+        prop_assert_eq!(header::ptr(w), ptr);
+        prop_assert_eq!(header::counter(w), c);
+        prop_assert_eq!(header::epoch16(w), ep);
+    }
+
+    #[test]
+    fn palloc_header_torn_detection(p0 in 0u64..(1 << 40), p1 in 0u64..(1 << 40), c0 in 0u8..4, c1 in 0u8..4) {
+        let w0 = header::pack(p0 << 4, c0, 1);
+        let w1 = header::pack(p1 << 4, c1, 2);
+        let d = header::decode(w0, w1, |_| false);
+        if c0 != c1 {
+            prop_assert!(d.torn);
+            prop_assert_eq!(d.next, p1 << 4); // word1 is authoritative
+        } else {
+            prop_assert!(!d.torn);
+            prop_assert_eq!(d.next, p0 << 4);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Key slicing agrees with lexicographic order
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn layered_key_order_is_lexicographic(a in proptest::collection::vec(any::<u8>(), 0..24),
+                                          b in proptest::collection::vec(any::<u8>(), 0..24)) {
+        let expect = a.cmp(&b);
+        let mut ca = KeyCursor::new(&a);
+        let mut cb = KeyCursor::new(&b);
+        let got = loop {
+            let ka = if ca.is_terminal() { ca.klen() } else { KLEN_LAYER };
+            let kb = if cb.is_terminal() { cb.klen() } else { KLEN_LAYER };
+            let ord = entry_cmp(ca.ikey(), ka, cb.ikey(), kb);
+            if ord != std::cmp::Ordering::Equal {
+                break ord;
+            }
+            if ca.is_terminal() && cb.is_terminal() {
+                break std::cmp::Ordering::Equal;
+            }
+            ca.descend();
+            cb.descend();
+        };
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn ikey_is_order_preserving_on_prefixes(a in proptest::collection::vec(any::<u8>(), 0..8),
+                                            b in proptest::collection::vec(any::<u8>(), 0..8)) {
+        // For keys ≤ 8 bytes, (ikey, len) comparison == byte comparison.
+        let ord = (ikey_of(&a), a.len()).cmp(&(ikey_of(&b), b.len()));
+        prop_assert_eq!(ord, a.cmp(&b));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Zipfian stays in range
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn zipf_indices_in_range(n in 1u64..5_000, seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let z = incll_ycsb::ScrambledZipfian::new(n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            prop_assert!(z.next_index(&mut rng) < n);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tree vs model under random op tapes (single-threaded)
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u8, u64),
+    Remove(u8),
+    Get(u8),
+    Advance,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (any::<u8>(), any::<u64>()).prop_map(|(k, v)| Op::Put(k, v)),
+        2 => any::<u8>().prop_map(Op::Remove),
+        2 => any::<u8>().prop_map(Op::Get),
+        1 => Just(Op::Advance),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    /// The durable tree agrees with a BTreeMap across epoch boundaries.
+    #[test]
+    fn durable_tree_matches_model(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+        let arena = PArena::builder().capacity_bytes(32 << 20).build().unwrap();
+        superblock::format(&arena);
+        let tree = DurableMasstree::create(&arena, DurableConfig {
+            threads: 1,
+            log_bytes_per_thread: 1 << 20,
+            incll_enabled: true,
+        }).unwrap();
+        let ctx = tree.thread_ctx(0);
+        let mut model: BTreeMap<u8, u64> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Put(k, v) => {
+                    prop_assert_eq!(tree.put(&ctx, &[k], v), model.insert(k, v));
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(tree.remove(&ctx, &[k]), model.remove(&k).is_some());
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(tree.get(&ctx, &[k]), model.get(&k).copied());
+                }
+                Op::Advance => {
+                    tree.epoch_manager().advance();
+                }
+            }
+        }
+        let mut scanned = Vec::new();
+        tree.scan(&ctx, b"", usize::MAX, &mut |k, v| scanned.push((k[0], v)));
+        let expect: Vec<(u8, u64)> = model.into_iter().collect();
+        prop_assert_eq!(scanned, expect);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    /// Crash consistency as a property: any op tape, any crash seed —
+    /// recovery lands exactly on the checkpoint.
+    #[test]
+    fn crash_recovers_to_checkpoint(
+        committed in proptest::collection::vec(op_strategy(), 0..120),
+        doomed in proptest::collection::vec(op_strategy(), 1..120),
+        crash_seed in any::<u64>(),
+    ) {
+        let arena = PArena::builder()
+            .capacity_bytes(32 << 20)
+            .tracked(true)
+            .build()
+            .unwrap();
+        superblock::format(&arena);
+        let config = DurableConfig {
+            threads: 1,
+            log_bytes_per_thread: 1 << 20,
+            incll_enabled: true,
+        };
+        let tree = DurableMasstree::create(&arena, config.clone()).unwrap();
+        let mut model: BTreeMap<u8, u64> = BTreeMap::new();
+        {
+            let ctx = tree.thread_ctx(0);
+            for op in committed {
+                match op {
+                    Op::Put(k, v) => { tree.put(&ctx, &[k], v); model.insert(k, v); }
+                    Op::Remove(k) => { tree.remove(&ctx, &[k]); model.remove(&k); }
+                    Op::Get(k) => { tree.get(&ctx, &[k]); }
+                    Op::Advance => { tree.epoch_manager().advance(); }
+                }
+            }
+            tree.epoch_manager().advance(); // the checkpoint
+            for op in doomed {
+                match op {
+                    Op::Put(k, v) => { tree.put(&ctx, &[k], v); }
+                    Op::Remove(k) => { tree.remove(&ctx, &[k]); }
+                    Op::Get(k) => { tree.get(&ctx, &[k]); }
+                    Op::Advance => {} // keep the doomed epoch open
+                }
+            }
+        }
+        drop(tree);
+        arena.crash_seeded(crash_seed);
+        let (tree, _) = DurableMasstree::open(&arena, config).unwrap();
+        let ctx = tree.thread_ctx(0);
+        let mut scanned = Vec::new();
+        tree.scan(&ctx, b"", usize::MAX, &mut |k, v| scanned.push((k[0], v)));
+        let expect: Vec<(u8, u64)> = model.into_iter().collect();
+        prop_assert_eq!(scanned, expect);
+    }
+}

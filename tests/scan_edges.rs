@@ -1,0 +1,176 @@
+//! Scan edge cases on the durable tree: empty trees, boundary starts,
+//! layer crossings, limits, and scans racing recovery.
+
+use incll_repro::prelude::*;
+
+fn tree() -> (PArena, DurableMasstree) {
+    let arena = PArena::builder()
+        .capacity_bytes(32 << 20)
+        .tracked(true)
+        .build()
+        .unwrap();
+    superblock::format(&arena);
+    let t = DurableMasstree::create(
+        &arena,
+        DurableConfig {
+            threads: 1,
+            log_bytes_per_thread: 1 << 20,
+            incll_enabled: true,
+        },
+    )
+    .unwrap();
+    (arena, t)
+}
+
+#[test]
+fn scan_of_empty_tree_returns_nothing() {
+    let (_a, t) = tree();
+    let ctx = t.thread_ctx(0);
+    let mut hits = 0;
+    assert_eq!(t.scan(&ctx, b"", 10, &mut |_, _| hits += 1), 0);
+    assert_eq!(t.scan(&ctx, b"zzz", usize::MAX, &mut |_, _| hits += 1), 0);
+    assert_eq!(hits, 0);
+}
+
+#[test]
+fn scan_limit_zero_is_a_noop() {
+    let (_a, t) = tree();
+    let ctx = t.thread_ctx(0);
+    t.put(&ctx, b"a", 1);
+    assert_eq!(t.scan(&ctx, b"", 0, &mut |_, _| panic!("no visits")), 0);
+}
+
+#[test]
+fn scan_start_past_last_key() {
+    let (_a, t) = tree();
+    let ctx = t.thread_ctx(0);
+    for i in 0..50u64 {
+        t.put(&ctx, &i.to_be_bytes(), i);
+    }
+    let mut hits = 0;
+    t.scan(&ctx, &100u64.to_be_bytes(), 10, &mut |_, _| hits += 1);
+    assert_eq!(hits, 0);
+}
+
+#[test]
+fn scan_start_exactly_on_a_key_is_inclusive() {
+    let (_a, t) = tree();
+    let ctx = t.thread_ctx(0);
+    for i in 0..20u64 {
+        t.put(&ctx, &i.to_be_bytes(), i);
+    }
+    let mut got = Vec::new();
+    t.scan(&ctx, &7u64.to_be_bytes(), 3, &mut |_, v| got.push(v));
+    assert_eq!(got, vec![7, 8, 9]);
+}
+
+#[test]
+fn scan_start_between_keys_rounds_up() {
+    let (_a, t) = tree();
+    let ctx = t.thread_ctx(0);
+    for i in (0..40u64).step_by(4) {
+        t.put(&ctx, &i.to_be_bytes(), i);
+    }
+    let mut got = Vec::new();
+    t.scan(&ctx, &5u64.to_be_bytes(), 2, &mut |_, v| got.push(v));
+    assert_eq!(got, vec![8, 12]);
+}
+
+#[test]
+fn scan_descends_into_layers_at_the_start_key() {
+    let (_a, t) = tree();
+    let ctx = t.thread_ctx(0);
+    // One slice prefix with several suffixes → a sub-layer.
+    for suffix in ["", "-a", "-b", "-c"] {
+        t.put(&ctx, format!("prefix01{suffix}").as_bytes(), suffix.len() as u64);
+    }
+    t.put(&ctx, b"prefix02", 99);
+    // Start *inside* the layer: must pick up -b, -c, then the next slice.
+    let mut got = Vec::new();
+    t.scan(&ctx, b"prefix01-b", 10, &mut |k, _| {
+        got.push(String::from_utf8_lossy(k).into_owned())
+    });
+    assert_eq!(got, vec!["prefix01-b", "prefix01-c", "prefix02"]);
+}
+
+#[test]
+fn scan_emits_full_keys_across_layers() {
+    let (_a, t) = tree();
+    let ctx = t.thread_ctx(0);
+    let long = vec![b'q'; 30];
+    t.put(&ctx, &long, 1);
+    t.put(&ctx, b"q", 2);
+    let mut got = Vec::new();
+    t.scan(&ctx, b"", 10, &mut |k, v| got.push((k.to_vec(), v)));
+    assert_eq!(got, vec![(b"q".to_vec(), 2), (long.clone(), 1)]);
+}
+
+#[test]
+fn scan_spanning_many_leaves_with_removals() {
+    let (_a, t) = tree();
+    let ctx = t.thread_ctx(0);
+    for i in 0..600u64 {
+        t.put(&ctx, &i.to_be_bytes(), i);
+    }
+    // Punch holes (including whole-leaf ranges).
+    for i in 100..250u64 {
+        assert!(t.remove(&ctx, &i.to_be_bytes()));
+    }
+    let mut got = Vec::new();
+    t.scan(&ctx, &90u64.to_be_bytes(), 20, &mut |_, v| got.push(v));
+    let expect: Vec<u64> = (90..100).chain(250..260).collect();
+    assert_eq!(got, expect, "scan must skip removed ranges and empty leaves");
+}
+
+#[test]
+fn scan_immediately_after_recovery_forces_lazy_repairs() {
+    let (arena, t) = tree();
+    {
+        let ctx = t.thread_ctx(0);
+        for i in 0..300u64 {
+            t.put(&ctx, &i.to_be_bytes(), i);
+        }
+        t.epoch_manager().advance();
+        for i in 0..300u64 {
+            t.put(&ctx, &i.to_be_bytes(), 0xDEAD);
+        }
+    }
+    drop(t);
+    arena.crash_seeded(55);
+    let (t2, _) = DurableMasstree::open(
+        &arena,
+        DurableConfig {
+            threads: 1,
+            log_bytes_per_thread: 1 << 20,
+            incll_enabled: true,
+        },
+    )
+    .unwrap();
+    let ctx = t2.thread_ctx(0);
+    // The very first operation is a full scan: every leaf recovers lazily
+    // under the scan's feet.
+    let mut got = Vec::new();
+    t2.scan(&ctx, b"", usize::MAX, &mut |k, v| {
+        got.push((u64::from_be_bytes(k.try_into().unwrap()), v))
+    });
+    let expect: Vec<(u64, u64)> = (0..300).map(|i| (i, i)).collect();
+    assert_eq!(got, expect);
+    assert!(arena.stats().nodes_lazy_recovered() > 0);
+}
+
+#[test]
+fn transient_tree_scan_edges_match() {
+    // The same edge semantics hold for the MT baseline.
+    let arena = PArena::builder().capacity_bytes(1 << 20).build().unwrap();
+    let mgr = EpochManager::new(arena, EpochOptions::transient());
+    let t = Masstree::new(mgr, TransientAlloc::new(AllocMode::Global, 1, None));
+    let ctx = t.thread_ctx(0);
+    let mut hits = 0;
+    assert_eq!(t.scan(&ctx, b"", 10, &mut |_, _| hits += 1), 0);
+    for i in (0..40u64).step_by(4) {
+        t.put(&ctx, &i.to_be_bytes(), i);
+    }
+    let mut got = Vec::new();
+    t.scan(&ctx, &5u64.to_be_bytes(), 2, &mut |_, v| got.push(v));
+    assert_eq!(got, vec![8, 12]);
+}
