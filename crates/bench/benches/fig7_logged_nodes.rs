@@ -29,7 +29,9 @@ fn bench(c: &mut Criterion) {
             seed: p.seed,
         };
         let label = if incll { "incll" } else { "logging" };
-        g.bench_function(format!("ycsb_a_{label}"), |b| b.iter(|| run(&sys.tree, &rc)));
+        g.bench_function(format!("ycsb_a_{label}"), |b| {
+            b.iter(|| run(&sys.tree, &rc))
+        });
     }
     g.finish();
 }

@@ -41,9 +41,7 @@ fn parse_args() -> Args {
             "--paper" => params = ExpParams::paper(),
             "--scale" => scale = val().parse().unwrap_or_else(|_| usage("bad --scale")),
             "--keys" => params.keys = val().parse().unwrap_or_else(|_| usage("bad --keys")),
-            "--ops" => {
-                params.ops_per_thread = val().parse().unwrap_or_else(|_| usage("bad --ops"))
-            }
+            "--ops" => params.ops_per_thread = val().parse().unwrap_or_else(|_| usage("bad --ops")),
             "--threads" => {
                 params.threads = val().parse().unwrap_or_else(|_| usage("bad --threads"))
             }
@@ -71,7 +69,14 @@ fn usage(err: &str) -> ! {
 fn size_sweep(p: &ExpParams) -> Vec<u64> {
     // The paper sweeps 10K..100M; cap the ladder at the configured size.
     let ladder = [
-        10_000u64, 30_000, 100_000, 300_000, 1_000_000, 3_000_000, 10_000_000, 100_000_000,
+        10_000u64,
+        30_000,
+        100_000,
+        300_000,
+        1_000_000,
+        3_000_000,
+        10_000_000,
+        100_000_000,
     ];
     ladder
         .into_iter()
@@ -119,16 +124,20 @@ fn main() {
         "fig8" => save(&args.out, "fig8", &[&experiments::fig8(p)]),
         "flushcost" => save(&args.out, "flushcost", &[&experiments::flush_cost(p)]),
         "recovery" => save(&args.out, "recovery", &[&experiments::recovery_time(p)]),
-        "ablation" => save(
-            &args.out,
-            "ablation",
-            &[&experiments::ablation_internal(p)],
-        ),
+        "ablation" => save(&args.out, "ablation", &[&experiments::ablation_internal(p)]),
         other => usage(&format!("unknown experiment {other}")),
     };
     if args.experiment == "all" {
         for name in [
-            "fig2", "fig3", "fig4", "fig5", "fig7", "fig8", "flushcost", "recovery", "ablation",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig7",
+            "fig8",
+            "flushcost",
+            "recovery",
+            "ablation",
         ] {
             println!("---- {name} ----");
             run_one(name);

@@ -230,9 +230,7 @@ pub fn fig3(p: &ExpParams) -> Table {
 pub fn fig4(p: &ExpParams, thread_counts: &[usize]) -> Table {
     let mut t = Table::new(
         "Figure 4: throughput vs threads (YCSB_A)",
-        &[
-            "threads", "dist", "MT+", "INCLL", "INCLL vs MT+",
-        ],
+        &["threads", "dist", "MT+", "INCLL", "INCLL vs MT+"],
     );
     let max_threads = thread_counts.iter().copied().max().unwrap_or(1);
     let mut cfg = p.sys_config();
@@ -287,12 +285,7 @@ pub fn figs5_6(p: &ExpParams, sizes: &[u64]) -> (Table, Table) {
             let rc = sub.run_config(Mix::A, dist);
             let b = run(&mtp.tree, &rc).mops();
             let c = run(&inc.tree, &rc).mops();
-            t5.push(vec![
-                keys.to_string(),
-                dist.label().into(),
-                f2(b),
-                f2(c),
-            ]);
+            t5.push(vec![keys.to_string(), dist.label().into(), f2(b), f2(c)]);
             t6.push(vec![keys.to_string(), dist.label().into(), pct(b, c)]);
         }
     }
@@ -324,12 +317,7 @@ pub fn fig7(p: &ExpParams, sizes: &[u64]) -> Table {
                 load(&sys.tree, keys, p.threads);
                 let before = sys.arena.stats().snapshot();
                 run(&sys.tree, &sub.run_config(Mix::A, dist));
-                counts[i] = sys
-                    .arena
-                    .stats()
-                    .snapshot()
-                    .delta(&before)
-                    .ext_nodes_logged;
+                counts[i] = sys.arena.stats().snapshot().delta(&before).ext_nodes_logged;
             }
             let reduction = if counts[0] > 0 {
                 format!("{:.1}x", counts[0] as f64 / counts[1].max(1) as f64)
@@ -359,14 +347,7 @@ pub fn fig7(p: &ExpParams, sizes: &[u64]) -> Table {
 pub fn fig8(p: &ExpParams) -> Table {
     let mut t = Table::new(
         "Figure 8: throughput vs sfence latency, LOGGING vs INCLL (YCSB_A)",
-        &[
-            "latency_ns",
-            "dist",
-            "LOGGING",
-            "vs 0ns",
-            "INCLL",
-            "vs 0ns",
-        ],
+        &["latency_ns", "dist", "LOGGING", "vs 0ns", "INCLL", "vs 0ns"],
     );
     let mut cfg_log = p.sys_config();
     cfg_log.incll = false;
@@ -443,7 +424,10 @@ pub fn flush_cost(p: &ExpParams) -> Table {
     let avg: Duration = durations.iter().sum::<Duration>() / durations.len() as u32;
     let p95 = durations[durations.len() * 95 / 100];
     let frac = avg.as_secs_f64() / 0.064 * 100.0;
-    t.push(vec!["advances measured".into(), durations.len().to_string()]);
+    t.push(vec![
+        "advances measured".into(),
+        durations.len().to_string(),
+    ]);
     t.push(vec!["avg advance".into(), format!("{avg:?}")]);
     t.push(vec!["p95 advance".into(), format!("{p95:?}")]);
     t.push(vec![
@@ -473,18 +457,12 @@ pub fn recovery_time(p: &ExpParams) -> Table {
 
     let before = inc.arena.stats().snapshot();
     run(&inc.tree, &p.run_config(Mix::A, Dist::Uniform));
-    let logged = inc
-        .arena
-        .stats()
-        .snapshot()
-        .delta(&before)
-        .ext_nodes_logged;
+    let logged = inc.arena.stats().snapshot().delta(&before).ext_nodes_logged;
 
     // "Crash": drop the running system without advancing, then recover.
     let arena = inc.arena.clone();
     drop(inc);
-    let (tree2, report) =
-        DurableMasstree::open(&arena, incll::DurableConfig::default()).unwrap();
+    let (tree2, report) = DurableMasstree::open(&arena, incll::DurableConfig::default()).unwrap();
 
     // Lazy phase: first touch of every key (amortised in real use).
     let ctx = tree2.thread_ctx(0);
@@ -494,7 +472,10 @@ pub fn recovery_time(p: &ExpParams) -> Table {
     let lazy = t0.elapsed();
 
     t.push(vec!["keys".into(), p.keys.to_string()]);
-    t.push(vec!["nodes logged in doomed epoch".into(), logged.to_string()]);
+    t.push(vec![
+        "nodes logged in doomed epoch".into(),
+        logged.to_string(),
+    ]);
     t.push(vec![
         "entries replayed".into(),
         report.replayed_entries.to_string(),
@@ -533,7 +514,10 @@ pub fn ablation_internal(p: &ExpParams) -> Table {
     run(&sys.tree, &p.run_config(Mix::A, Dist::Uniform));
     let d = sys.arena.stats().snapshot().delta(&before);
     let total = d.ext_nodes_logged.max(1);
-    t.push(vec!["nodes ext-logged".into(), d.ext_nodes_logged.to_string()]);
+    t.push(vec![
+        "nodes ext-logged".into(),
+        d.ext_nodes_logged.to_string(),
+    ]);
     t.push(vec![
         "interior nodes ext-logged".into(),
         format!(
@@ -542,8 +526,14 @@ pub fn ablation_internal(p: &ExpParams) -> Table {
             d.ext_interior_logged as f64 / total as f64 * 100.0
         ),
     ]);
-    t.push(vec!["InCLLp logs (free)".into(), d.incll_perm_logs.to_string()]);
-    t.push(vec!["ValInCLL logs (free)".into(), d.incll_val_logs.to_string()]);
+    t.push(vec![
+        "InCLLp logs (free)".into(),
+        d.incll_perm_logs.to_string(),
+    ]);
+    t.push(vec![
+        "ValInCLL logs (free)".into(),
+        d.incll_val_logs.to_string(),
+    ]);
     t.push(vec![
         "conclusion".into(),
         "interior logging is a tiny fraction; per-leaf InCLL is where the win is".into(),

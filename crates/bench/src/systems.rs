@@ -114,9 +114,7 @@ pub fn build_mt(cfg: &SystemConfig) -> TransientSystem {
     let mgr = EpochManager::new(tiny, EpochOptions::transient());
     let alloc = TransientAlloc::new(AllocMode::Global, cfg.threads, None);
     let tree = Masstree::new(mgr.clone(), alloc);
-    let driver = cfg
-        .epoch_interval
-        .map(|iv| AdvanceDriver::spawn(mgr, iv));
+    let driver = cfg.epoch_interval.map(|iv| AdvanceDriver::spawn(mgr, iv));
     TransientSystem { driver, tree }
 }
 
@@ -129,9 +127,7 @@ pub fn build_mtplus(cfg: &SystemConfig) -> TransientSystem {
     let mgr = EpochManager::new(pool.clone(), EpochOptions::transient());
     let alloc = TransientAlloc::new(AllocMode::Pool, cfg.threads, Some(pool));
     let tree = Masstree::new(mgr.clone(), alloc);
-    let driver = cfg
-        .epoch_interval
-        .map(|iv| AdvanceDriver::spawn(mgr, iv));
+    let driver = cfg.epoch_interval.map(|iv| AdvanceDriver::spawn(mgr, iv));
     TransientSystem { driver, tree }
 }
 

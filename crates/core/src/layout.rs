@@ -245,11 +245,14 @@ mod tests {
         assert_eq!(OFF_INCLL2 + 8, NODE_BYTES as u64);
     }
 
+    // Compile-time layout guards (clippy: constant assertions belong
+    // outside runtime tests).
+    const _: () = assert!(OFF_IKEYS >= 64);
+    const _: () = assert!(OFF_KLENX + 14 <= OFF_INCLL1);
+
     #[test]
     fn field_regions_do_not_overlap() {
-        assert!(OFF_IKEYS >= 64);
         assert_eq!(off_ikey(13) + 8, OFF_KLENX);
-        assert!(OFF_KLENX + 14 <= OFF_INCLL1);
         assert_eq!(off_val(6) + 8, 256);
         assert_eq!(off_val(13) + 8, OFF_INCLL2);
         assert!(off_int_child(INT_WIDTH) + 8 <= NODE_BYTES as u64);

@@ -545,6 +545,7 @@ mod tests {
         let ctx = t.thread_ctx(0);
         t.put(&ctx, b"wrapkey", 1);
         t.epoch_manager().advance(); // nodeEpoch ∈ window 0
+
         // Jump the epoch across the 2^16 window boundary.
         t.epoch_manager().restart_at(1 << 16);
         let before = a.stats().snapshot();
@@ -582,6 +583,7 @@ mod tests {
             }
             tree.epoch_manager().advance();
             tree.epoch_manager().restart_at(1 << 16); // window jump
+
             // exec_epoch moved: lazy recovery will run; that's the uniform
             // open-equals-recover behavior.
             for i in 0..30u64 {

@@ -118,7 +118,9 @@ impl DurableMasstree {
                 log,
                 failed: failed.clone(),
                 exec_epoch: exec,
-                rec_locks: (0..crate::tree::REC_LOCKS).map(|_| Mutex::new(())).collect(),
+                rec_locks: (0..crate::tree::REC_LOCKS)
+                    .map(|_| Mutex::new(()))
+                    .collect(),
                 incll_enabled: config.incll_enabled,
             }),
         };

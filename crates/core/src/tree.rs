@@ -376,14 +376,7 @@ impl DurableMasstree {
     /// logs (or external-log on the 16-bit epoch-window wrap, §4.1.3), then
     /// advance `nodeEpoch`. Store order per line: log words first, epoch
     /// word second, caller's mutation third.
-    fn incll_new_epoch(
-        &self,
-        tid: usize,
-        epoch: u64,
-        lf: u64,
-        m: u64,
-        vlog: Option<(usize, u64)>,
-    ) {
+    fn incll_new_epoch(&self, tid: usize, epoch: u64, lf: u64, m: u64, vlog: Option<(usize, u64)>) {
         let a = &self.inner.arena;
         let node_epoch = meta::epoch(m);
         let mut logged = false;
@@ -395,14 +388,10 @@ impl DurableMasstree {
             a.pwrite_u64(lf + OFF_PERM_INCLL, a.pread_u64(lf + OFF_PERM));
             let low = epoch as u16;
             let (w1, w2) = match vlog {
-                Some((idx, oldval)) if idx < 7 => (
-                    val_incll::pack(oldval, idx, low),
-                    val_incll::invalid(low),
-                ),
-                Some((idx, oldval)) => (
-                    val_incll::invalid(low),
-                    val_incll::pack(oldval, idx, low),
-                ),
+                Some((idx, oldval)) if idx < 7 => {
+                    (val_incll::pack(oldval, idx, low), val_incll::invalid(low))
+                }
+                Some((idx, oldval)) => (val_incll::invalid(low), val_incll::pack(oldval, idx, low)),
                 None => (val_incll::invalid(low), val_incll::invalid(low)),
             };
             a.pwrite_u64(lf + OFF_INCLL1, w1);
@@ -639,49 +628,51 @@ impl DurableMasstree {
     // ==================================================================
 
     unsafe fn get_inner(&self, key: &[u8]) -> Option<u64> {
-        let a = &self.inner.arena;
-        let mut cur = KeyCursor::new(key);
-        let mut holder = superblock::SB_TREE_ROOT;
-        'layer: loop {
-            let ikey = cur.ikey();
-            let target = search_klenx(&cur);
-            'retry: loop {
-                let (lf, v) = self.find_leaf(holder, ikey);
-                enum Act {
-                    Ret(Option<u64>),
-                    Descend(u64),
-                }
-                let act = match self.search_leaf(lf, ikey, target) {
-                    Search::Found { klenx, val, .. } => {
-                        if klenx == KLEN_LAYER {
-                            Act::Descend(val)
-                        } else {
-                            Act::Ret(Some(val))
-                        }
+        unsafe {
+            let a = &self.inner.arena;
+            let mut cur = KeyCursor::new(key);
+            let mut holder = superblock::SB_TREE_ROOT;
+            'layer: loop {
+                let ikey = cur.ikey();
+                let target = search_klenx(&cur);
+                'retry: loop {
+                    let (lf, v) = self.find_leaf(holder, ikey);
+                    enum Act {
+                        Ret(Option<u64>),
+                        Descend(u64),
                     }
-                    Search::NotFound { pos } => {
-                        if target == 8 && pos < self.perm_of(lf).len() {
-                            let (k, kl, val) = self.entry_at(lf, pos);
-                            if k == ikey && kl == KLEN_LAYER {
+                    let act = match self.search_leaf(lf, ikey, target) {
+                        Search::Found { klenx, val, .. } => {
+                            if klenx == KLEN_LAYER {
                                 Act::Descend(val)
+                            } else {
+                                Act::Ret(Some(val))
+                            }
+                        }
+                        Search::NotFound { pos } => {
+                            if target == 8 && pos < self.perm_of(lf).len() {
+                                let (k, kl, val) = self.entry_at(lf, pos);
+                                if k == ikey && kl == KLEN_LAYER {
+                                    Act::Descend(val)
+                                } else {
+                                    Act::Ret(None)
+                                }
                             } else {
                                 Act::Ret(None)
                             }
-                        } else {
-                            Act::Ret(None)
                         }
+                    };
+                    if pv::changed(v, pv::load(a, lf)) {
+                        continue 'retry;
                     }
-                };
-                if pv::changed(v, pv::load(a, lf)) {
-                    continue 'retry;
-                }
-                match act {
-                    Act::Ret(Some(buf)) => return Some(a.pread_u64(buf)),
-                    Act::Ret(None) => return None,
-                    Act::Descend(h) => {
-                        holder = h;
-                        cur.descend();
-                        continue 'layer;
+                    match act {
+                        Act::Ret(Some(buf)) => return Some(a.pread_u64(buf)),
+                        Act::Ret(None) => return None,
+                        Act::Descend(h) => {
+                            holder = h;
+                            cur.descend();
+                            continue 'layer;
+                        }
                     }
                 }
             }
@@ -697,12 +688,7 @@ impl DurableMasstree {
         (before ^ now) & (VSPLIT_MASK | pv::DELETED) != 0
     }
 
-    fn new_value_buf(
-        &self,
-        tid: usize,
-        epoch: u64,
-        val: u64,
-    ) -> Result<u64, incll_palloc::Error> {
+    fn new_value_buf(&self, tid: usize, epoch: u64, val: u64) -> Result<u64, incll_palloc::Error> {
         let buf = self.inner.alloc.alloc(tid, epoch, VALUE_BUF_BYTES)?;
         // Plain store, no flush: the checkpoint flush persists contents,
         // and a crash reverts both the buffer and every reference (§5).
@@ -711,94 +697,97 @@ impl DurableMasstree {
     }
 
     unsafe fn put_inner(&self, ctx: &DCtx, epoch: u64, key: &[u8], val: u64) -> Option<u64> {
-        let a = &self.inner.arena;
-        let tid = ctx.tid;
-        let mut cur = KeyCursor::new(key);
-        let mut holder = superblock::SB_TREE_ROOT;
-        'layer: loop {
-            let ikey = cur.ikey();
-            let target = search_klenx(&cur);
-            'retry: loop {
-                let (lf, v) = self.find_leaf(holder, ikey);
+        unsafe {
+            let a = &self.inner.arena;
+            let tid = ctx.tid;
+            let mut cur = KeyCursor::new(key);
+            let mut holder = superblock::SB_TREE_ROOT;
+            'layer: loop {
+                let ikey = cur.ikey();
+                let target = search_klenx(&cur);
+                'retry: loop {
+                    let (lf, v) = self.find_leaf(holder, ikey);
 
-                if target == KLEN_LAYER {
-                    if let Search::Found { val: h, .. } = self.search_leaf(lf, ikey, KLEN_LAYER) {
-                        if pv::changed(v, pv::load(a, lf)) {
-                            continue 'retry;
-                        }
-                        holder = h;
-                        cur.descend();
-                        continue 'layer;
-                    }
-                }
-
-                let lv = pv::lock(a, lf);
-                if Self::moved_since(v, lv) {
-                    pv::unlock(a, lf, false, false);
-                    continue 'retry;
-                }
-
-                match self.search_leaf(lf, ikey, target) {
-                    Search::Found {
-                        slot,
-                        klenx,
-                        val: old,
-                        ..
-                    } => {
-                        if klenx == KLEN_LAYER {
-                            pv::unlock(a, lf, false, false);
-                            holder = old;
+                    if target == KLEN_LAYER {
+                        if let Search::Found { val: h, .. } = self.search_leaf(lf, ikey, KLEN_LAYER)
+                        {
+                            if pv::changed(v, pv::load(a, lf)) {
+                                continue 'retry;
+                            }
+                            holder = h;
                             cur.descend();
                             continue 'layer;
                         }
-                        // Update: InCLL-log the old pointer, then swap.
-                        let nb = self.new_value_buf(tid, epoch, val).expect("arena full");
-                        self.incll_val(tid, epoch, lf, slot, old);
-                        a.pwrite_u64_release(lf + off_val(slot), nb);
-                        pv::unlock(a, lf, false, false);
-                        let old_payload = a.pread_u64(old);
-                        self.inner.alloc.free(tid, epoch, old, VALUE_BUF_BYTES);
-                        return Some(old_payload);
                     }
-                    Search::NotFound { pos } => {
-                        if target == 8 && pos < self.perm_of(lf).len() {
-                            let (k, kl, h) = self.entry_at(lf, pos);
-                            if k == ikey && kl == KLEN_LAYER {
+
+                    let lv = pv::lock(a, lf);
+                    if Self::moved_since(v, lv) {
+                        pv::unlock(a, lf, false, false);
+                        continue 'retry;
+                    }
+
+                    match self.search_leaf(lf, ikey, target) {
+                        Search::Found {
+                            slot,
+                            klenx,
+                            val: old,
+                            ..
+                        } => {
+                            if klenx == KLEN_LAYER {
                                 pv::unlock(a, lf, false, false);
-                                holder = h;
+                                holder = old;
                                 cur.descend();
                                 continue 'layer;
                             }
+                            // Update: InCLL-log the old pointer, then swap.
+                            let nb = self.new_value_buf(tid, epoch, val).expect("arena full");
+                            self.incll_val(tid, epoch, lf, slot, old);
+                            a.pwrite_u64_release(lf + off_val(slot), nb);
+                            pv::unlock(a, lf, false, false);
+                            let old_payload = a.pread_u64(old);
+                            self.inner.alloc.free(tid, epoch, old, VALUE_BUF_BYTES);
+                            return Some(old_payload);
                         }
-                        if target == KLEN_LAYER {
-                            // Terminal-8 conversion: complex op → external
-                            // log the node, then swing the slot to a layer.
-                            if pos > 0 {
-                                let (k, kl, old) = self.entry_at(lf, pos - 1);
-                                if k == ikey && kl == 8 {
-                                    let slot = self.perm_of(lf).slot_at(pos - 1);
-                                    let h = self
-                                        .new_layer_with(tid, epoch, 0, 0, old)
-                                        .expect("arena full");
-                                    self.ensure_leaf_logged(tid, epoch, lf);
-                                    pv::mark_dirty(a, lf, pv::DIRTY_INSERT);
-                                    a.pwrite_u64_release(lf + off_val(slot), h);
-                                    self.set_klenx(lf, slot, KLEN_LAYER);
-                                    pv::unlock(a, lf, true, false);
+                        Search::NotFound { pos } => {
+                            if target == 8 && pos < self.perm_of(lf).len() {
+                                let (k, kl, h) = self.entry_at(lf, pos);
+                                if k == ikey && kl == KLEN_LAYER {
+                                    pv::unlock(a, lf, false, false);
                                     holder = h;
                                     cur.descend();
                                     continue 'layer;
                                 }
                             }
-                            let mut sub = cur;
-                            sub.descend();
-                            let h = self.build_layer_chain(tid, epoch, sub, val);
-                            self.insert_entry(ctx, epoch, holder, lf, pos, ikey, KLEN_LAYER, h);
+                            if target == KLEN_LAYER {
+                                // Terminal-8 conversion: complex op → external
+                                // log the node, then swing the slot to a layer.
+                                if pos > 0 {
+                                    let (k, kl, old) = self.entry_at(lf, pos - 1);
+                                    if k == ikey && kl == 8 {
+                                        let slot = self.perm_of(lf).slot_at(pos - 1);
+                                        let h = self
+                                            .new_layer_with(tid, epoch, 0, 0, old)
+                                            .expect("arena full");
+                                        self.ensure_leaf_logged(tid, epoch, lf);
+                                        pv::mark_dirty(a, lf, pv::DIRTY_INSERT);
+                                        a.pwrite_u64_release(lf + off_val(slot), h);
+                                        self.set_klenx(lf, slot, KLEN_LAYER);
+                                        pv::unlock(a, lf, true, false);
+                                        holder = h;
+                                        cur.descend();
+                                        continue 'layer;
+                                    }
+                                }
+                                let mut sub = cur;
+                                sub.descend();
+                                let h = self.build_layer_chain(tid, epoch, sub, val);
+                                self.insert_entry(ctx, epoch, holder, lf, pos, ikey, KLEN_LAYER, h);
+                                return None;
+                            }
+                            let nb = self.new_value_buf(tid, epoch, val).expect("arena full");
+                            self.insert_entry(ctx, epoch, holder, lf, pos, ikey, target, nb);
                             return None;
                         }
-                        let nb = self.new_value_buf(tid, epoch, val).expect("arena full");
-                        self.insert_entry(ctx, epoch, holder, lf, pos, ikey, target, nb);
-                        return None;
                     }
                 }
             }
@@ -837,16 +826,18 @@ impl DurableMasstree {
         cur: KeyCursor<'_>,
         val: u64,
     ) -> u64 {
-        if cur.is_terminal() {
-            let buf = self.new_value_buf(tid, epoch, val).expect("arena full");
-            self.new_layer_with(tid, epoch, cur.ikey(), cur.klen(), buf)
-                .expect("arena full")
-        } else {
-            let mut sub = cur;
-            sub.descend();
-            let inner = self.build_layer_chain(tid, epoch, sub, val);
-            self.new_layer_with(tid, epoch, cur.ikey(), KLEN_LAYER, inner)
-                .expect("arena full")
+        unsafe {
+            if cur.is_terminal() {
+                let buf = self.new_value_buf(tid, epoch, val).expect("arena full");
+                self.new_layer_with(tid, epoch, cur.ikey(), cur.klen(), buf)
+                    .expect("arena full")
+            } else {
+                let mut sub = cur;
+                sub.descend();
+                let inner = self.build_layer_chain(tid, epoch, sub, val);
+                self.new_layer_with(tid, epoch, cur.ikey(), KLEN_LAYER, inner)
+                    .expect("arena full")
+            }
         }
     }
 
@@ -855,56 +846,58 @@ impl DurableMasstree {
     // ==================================================================
 
     unsafe fn remove_inner(&self, ctx: &DCtx, epoch: u64, key: &[u8]) -> bool {
-        let a = &self.inner.arena;
-        let tid = ctx.tid;
-        let mut cur = KeyCursor::new(key);
-        let mut holder = superblock::SB_TREE_ROOT;
-        'layer: loop {
-            let ikey = cur.ikey();
-            let target = search_klenx(&cur);
-            'retry: loop {
-                let (lf, v) = self.find_leaf(holder, ikey);
-                let lv = pv::lock(a, lf);
-                if Self::moved_since(v, lv) {
-                    pv::unlock(a, lf, false, false);
-                    continue 'retry;
-                }
-                match self.search_leaf(lf, ikey, target) {
-                    Search::Found {
-                        pos, klenx, val, ..
-                    } => {
-                        if klenx == KLEN_LAYER {
-                            pv::unlock(a, lf, false, false);
-                            holder = val;
-                            cur.descend();
-                            continue 'layer;
-                        }
-                        // InCLLp absorbs pure removals; afterwards,
-                        // insertions into this node must external-log
-                        // (remove-then-insert hazard, §4.1.1).
-                        self.incll_perm(tid, epoch, lf, true);
-                        let m = a.pread_u64(lf + OFF_META);
-                        a.pwrite_u64_release(lf + OFF_META, m & !meta::INS_ALLOWED);
-                        pv::mark_dirty(a, lf, pv::DIRTY_INSERT);
-                        let mut perm = self.perm_of(lf);
-                        perm.remove_at(pos);
-                        a.pwrite_u64_release(lf + OFF_PERM, perm.raw());
-                        pv::unlock(a, lf, true, false);
-                        self.inner.alloc.free(tid, epoch, val, VALUE_BUF_BYTES);
-                        return true;
+        unsafe {
+            let a = &self.inner.arena;
+            let tid = ctx.tid;
+            let mut cur = KeyCursor::new(key);
+            let mut holder = superblock::SB_TREE_ROOT;
+            'layer: loop {
+                let ikey = cur.ikey();
+                let target = search_klenx(&cur);
+                'retry: loop {
+                    let (lf, v) = self.find_leaf(holder, ikey);
+                    let lv = pv::lock(a, lf);
+                    if Self::moved_since(v, lv) {
+                        pv::unlock(a, lf, false, false);
+                        continue 'retry;
                     }
-                    Search::NotFound { pos } => {
-                        if target == 8 && pos < self.perm_of(lf).len() {
-                            let (k, kl, h) = self.entry_at(lf, pos);
-                            if k == ikey && kl == KLEN_LAYER {
+                    match self.search_leaf(lf, ikey, target) {
+                        Search::Found {
+                            pos, klenx, val, ..
+                        } => {
+                            if klenx == KLEN_LAYER {
                                 pv::unlock(a, lf, false, false);
-                                holder = h;
+                                holder = val;
                                 cur.descend();
                                 continue 'layer;
                             }
+                            // InCLLp absorbs pure removals; afterwards,
+                            // insertions into this node must external-log
+                            // (remove-then-insert hazard, §4.1.1).
+                            self.incll_perm(tid, epoch, lf, true);
+                            let m = a.pread_u64(lf + OFF_META);
+                            a.pwrite_u64_release(lf + OFF_META, m & !meta::INS_ALLOWED);
+                            pv::mark_dirty(a, lf, pv::DIRTY_INSERT);
+                            let mut perm = self.perm_of(lf);
+                            perm.remove_at(pos);
+                            a.pwrite_u64_release(lf + OFF_PERM, perm.raw());
+                            pv::unlock(a, lf, true, false);
+                            self.inner.alloc.free(tid, epoch, val, VALUE_BUF_BYTES);
+                            return true;
                         }
-                        pv::unlock(a, lf, false, false);
-                        return false;
+                        Search::NotFound { pos } => {
+                            if target == 8 && pos < self.perm_of(lf).len() {
+                                let (k, kl, h) = self.entry_at(lf, pos);
+                                if k == ikey && kl == KLEN_LAYER {
+                                    pv::unlock(a, lf, false, false);
+                                    holder = h;
+                                    cur.descend();
+                                    continue 'layer;
+                                }
+                            }
+                            pv::unlock(a, lf, false, false);
+                            return false;
+                        }
                     }
                 }
             }
@@ -915,6 +908,7 @@ impl DurableMasstree {
     // insert + splits
     // ==================================================================
 
+    #[allow(clippy::too_many_arguments)] // one flat hot-path call, no natural struct
     unsafe fn insert_entry(
         &self,
         ctx: &DCtx,
@@ -926,88 +920,92 @@ impl DurableMasstree {
         klenx: u8,
         val: u64,
     ) {
-        let a = &self.inner.arena;
-        let tid = ctx.tid;
-        let mut perm = self.perm_of(lf);
-        if !perm.is_full() {
-            let allowed = a.pread_u64(lf + OFF_META) & meta::INS_ALLOWED != 0;
-            self.incll_perm(tid, epoch, lf, allowed);
-            pv::mark_dirty(a, lf, pv::DIRTY_INSERT);
-            let slot = perm.insert_at(pos);
-            a.pwrite_u64(lf + off_ikey(slot), ikey);
-            self.set_klenx(lf, slot, klenx);
-            a.pwrite_u64(lf + off_val(slot), val);
-            a.pwrite_u64_release(lf + OFF_PERM, perm.raw());
-            pv::unlock(a, lf, true, false);
-            return;
+        unsafe {
+            let a = &self.inner.arena;
+            let tid = ctx.tid;
+            let mut perm = self.perm_of(lf);
+            if !perm.is_full() {
+                let allowed = a.pread_u64(lf + OFF_META) & meta::INS_ALLOWED != 0;
+                self.incll_perm(tid, epoch, lf, allowed);
+                pv::mark_dirty(a, lf, pv::DIRTY_INSERT);
+                let slot = perm.insert_at(pos);
+                a.pwrite_u64(lf + off_ikey(slot), ikey);
+                self.set_klenx(lf, slot, klenx);
+                a.pwrite_u64(lf + off_val(slot), val);
+                a.pwrite_u64_release(lf + OFF_PERM, perm.raw());
+                pv::unlock(a, lf, true, false);
+                return;
+            }
+
+            let (right, sep) = self.split_leaf(ctx, epoch, holder, lf);
+            let target = if ikey < sep { lf } else { right };
+            let tpos = match self.search_leaf(target, ikey, klenx) {
+                Search::NotFound { pos } => pos,
+                Search::Found { .. } => unreachable!("key appeared during split"),
+            };
+            let mut tperm = self.perm_of(target);
+            pv::mark_dirty(a, target, pv::DIRTY_INSERT);
+            let slot = tperm.insert_at(tpos);
+            a.pwrite_u64(target + off_ikey(slot), ikey);
+            self.set_klenx(target, slot, klenx);
+            a.pwrite_u64(target + off_val(slot), val);
+            a.pwrite_u64_release(target + OFF_PERM, tperm.raw());
+
+            let left_was_target = target == lf;
+            pv::unlock(a, lf, left_was_target, true);
+            pv::unlock(a, right, !left_was_target, false);
         }
-
-        let (right, sep) = self.split_leaf(ctx, epoch, holder, lf);
-        let target = if ikey < sep { lf } else { right };
-        let tpos = match self.search_leaf(target, ikey, klenx) {
-            Search::NotFound { pos } => pos,
-            Search::Found { .. } => unreachable!("key appeared during split"),
-        };
-        let mut tperm = self.perm_of(target);
-        pv::mark_dirty(a, target, pv::DIRTY_INSERT);
-        let slot = tperm.insert_at(tpos);
-        a.pwrite_u64(target + off_ikey(slot), ikey);
-        self.set_klenx(target, slot, klenx);
-        a.pwrite_u64(target + off_val(slot), val);
-        a.pwrite_u64_release(target + OFF_PERM, tperm.raw());
-
-        let left_was_target = target == lf;
-        pv::unlock(a, lf, left_was_target, true);
-        pv::unlock(a, right, !left_was_target, false);
     }
 
     /// Splits the locked, full leaf (external-logged first: splits are the
     /// "complex modification" case, §4.2). Both halves stay locked.
     unsafe fn split_leaf(&self, ctx: &DCtx, epoch: u64, holder: u64, lf: u64) -> (u64, u64) {
-        let a = &self.inner.arena;
-        let tid = ctx.tid;
-        self.ensure_leaf_logged(tid, epoch, lf);
-        pv::mark_dirty(a, lf, pv::DIRTY_SPLIT);
-        let perm = self.perm_of(lf);
-        let count = perm.len();
-        debug_assert!(perm.is_full());
+        unsafe {
+            let a = &self.inner.arena;
+            let tid = ctx.tid;
+            self.ensure_leaf_logged(tid, epoch, lf);
+            pv::mark_dirty(a, lf, pv::DIRTY_SPLIT);
+            let perm = self.perm_of(lf);
+            let count = perm.len();
+            debug_assert!(perm.is_full());
 
-        let ikey_at = |p: usize| a.pread_u64(lf + off_ikey(perm.slot_at(p)));
-        let mid = count / 2 + 1;
-        let mut split_pos = None;
-        for delta in 0..count {
-            for cand in [mid.saturating_sub(delta), mid + delta] {
-                if cand >= 1 && cand < count && ikey_at(cand - 1) != ikey_at(cand) {
-                    split_pos = Some(cand);
+            let ikey_at = |p: usize| a.pread_u64(lf + off_ikey(perm.slot_at(p)));
+            let mid = count / 2 + 1;
+            let mut split_pos = None;
+            for delta in 0..count {
+                for cand in [mid.saturating_sub(delta), mid + delta] {
+                    if cand >= 1 && cand < count && ikey_at(cand - 1) != ikey_at(cand) {
+                        split_pos = Some(cand);
+                        break;
+                    }
+                }
+                if split_pos.is_some() {
                     break;
                 }
             }
-            if split_pos.is_some() {
-                break;
+            let p = split_pos.expect("a full leaf holds at least two distinct ikeys");
+
+            let right = self
+                .new_leaf(tid, epoch, /*is_root*/ false, /*locked*/ true)
+                .expect("arena full");
+            let mut rperm = DPerm::empty();
+            for (j, posn) in (p..count).enumerate() {
+                let slot = perm.slot_at(posn);
+                let rslot = rperm.insert_at(j);
+                a.pwrite_u64(right + off_ikey(rslot), a.pread_u64(lf + off_ikey(slot)));
+                self.set_klenx(right, rslot, self.klenx_at(lf, slot));
+                a.pwrite_u64(right + off_val(rslot), a.pread_u64(lf + off_val(slot)));
             }
-        }
-        let p = split_pos.expect("a full leaf holds at least two distinct ikeys");
+            a.pwrite_u64_release(right + OFF_PERM, rperm.raw());
+            let sep = a.pread_u64(right + off_ikey(rperm.slot_at(0)));
+            a.pwrite_u64(right + OFF_NEXT, a.pread_u64(lf + OFF_NEXT));
+            a.pwrite_u64(right + OFF_PARENT, a.pread_u64(lf + OFF_PARENT));
+            a.pwrite_u64_release(lf + OFF_NEXT, right);
+            a.pwrite_u64_release(lf + OFF_PERM, perm.truncated(p).raw());
 
-        let right = self
-            .new_leaf(tid, epoch, /*is_root*/ false, /*locked*/ true)
-            .expect("arena full");
-        let mut rperm = DPerm::empty();
-        for (j, posn) in (p..count).enumerate() {
-            let slot = perm.slot_at(posn);
-            let rslot = rperm.insert_at(j);
-            a.pwrite_u64(right + off_ikey(rslot), a.pread_u64(lf + off_ikey(slot)));
-            self.set_klenx(right, rslot, self.klenx_at(lf, slot));
-            a.pwrite_u64(right + off_val(rslot), a.pread_u64(lf + off_val(slot)));
+            self.insert_upward(ctx, epoch, holder, lf, right, sep);
+            (right, sep)
         }
-        a.pwrite_u64_release(right + OFF_PERM, rperm.raw());
-        let sep = a.pread_u64(right + off_ikey(rperm.slot_at(0)));
-        a.pwrite_u64(right + OFF_NEXT, a.pread_u64(lf + OFF_NEXT));
-        a.pwrite_u64(right + OFF_PARENT, a.pread_u64(lf + OFF_PARENT));
-        a.pwrite_u64_release(lf + OFF_NEXT, right);
-        a.pwrite_u64_release(lf + OFF_PERM, perm.truncated(p).raw());
-
-        self.insert_upward(ctx, epoch, holder, lf, right, sep);
-        (right, sep)
     }
 
     unsafe fn insert_upward(
@@ -1019,51 +1017,53 @@ impl DurableMasstree {
         right: u64,
         sep: u64,
     ) {
-        let a = &self.inner.arena;
-        let tid = ctx.tid;
-        loop {
-            let p = a.pread_u64_acquire(left + OFF_PARENT);
-            if p == 0 {
-                // Layer-root split: grow an interior root and swing the
-                // holder (both external-logged; the holder is tiny but
-                // must revert with everything else).
-                let nr = self
-                    .new_interior(tid, epoch, /*is_root*/ true, /*locked*/ false)
-                    .expect("arena full");
-                a.pwrite_u64(nr + off_int_key(0), sep);
-                a.pwrite_u64(nr + off_int_child(0), left);
-                a.pwrite_u64(nr + off_int_child(1), right);
-                a.pwrite_u64_release(nr + OFF_INT_NKEYS, 1);
-                a.pwrite_u64_release(left + OFF_PARENT, nr);
-                a.pwrite_u64_release(right + OFF_PARENT, nr);
-                self.log_holder(tid, epoch, holder);
-                a.pwrite_u64_release(holder, nr);
-                // Demote `left` (logged above by its split path): durable
-                // root bit then transient flag.
-                let m = a.pread_u64(left + OFF_META);
-                a.pwrite_u64_release(left + OFF_META, m & !meta::IS_ROOT);
-                pv::set_flag(a, left, pv::IS_ROOT, false);
+        unsafe {
+            let a = &self.inner.arena;
+            let tid = ctx.tid;
+            loop {
+                let p = a.pread_u64_acquire(left + OFF_PARENT);
+                if p == 0 {
+                    // Layer-root split: grow an interior root and swing the
+                    // holder (both external-logged; the holder is tiny but
+                    // must revert with everything else).
+                    let nr = self
+                        .new_interior(tid, epoch, /*is_root*/ true, /*locked*/ false)
+                        .expect("arena full");
+                    a.pwrite_u64(nr + off_int_key(0), sep);
+                    a.pwrite_u64(nr + off_int_child(0), left);
+                    a.pwrite_u64(nr + off_int_child(1), right);
+                    a.pwrite_u64_release(nr + OFF_INT_NKEYS, 1);
+                    a.pwrite_u64_release(left + OFF_PARENT, nr);
+                    a.pwrite_u64_release(right + OFF_PARENT, nr);
+                    self.log_holder(tid, epoch, holder);
+                    a.pwrite_u64_release(holder, nr);
+                    // Demote `left` (logged above by its split path): durable
+                    // root bit then transient flag.
+                    let m = a.pread_u64(left + OFF_META);
+                    a.pwrite_u64_release(left + OFF_META, m & !meta::IS_ROOT);
+                    pv::set_flag(a, left, pv::IS_ROOT, false);
+                    return;
+                }
+                self.maybe_recover(p);
+                pv::lock(a, p);
+                if a.pread_u64_acquire(left + OFF_PARENT) != p {
+                    pv::unlock(a, p, false, false);
+                    continue;
+                }
+                let n = a.pread_u64(p + OFF_INT_NKEYS) as usize;
+                if n < INT_WIDTH {
+                    self.ensure_int_logged(tid, epoch, p);
+                    self.interior_insert(p, sep, right);
+                    pv::unlock(a, p, true, false);
+                    return;
+                }
+                let (pr, psep) = self.split_interior(ctx, epoch, holder, p);
+                let target = if sep < psep { p } else { pr };
+                self.interior_insert(target, sep, right);
+                pv::unlock(a, p, target == p, true);
+                pv::unlock(a, pr, target == pr, false);
                 return;
             }
-            self.maybe_recover(p);
-            pv::lock(a, p);
-            if a.pread_u64_acquire(left + OFF_PARENT) != p {
-                pv::unlock(a, p, false, false);
-                continue;
-            }
-            let n = a.pread_u64(p + OFF_INT_NKEYS) as usize;
-            if n < INT_WIDTH {
-                self.ensure_int_logged(tid, epoch, p);
-                self.interior_insert(p, sep, right);
-                pv::unlock(a, p, true, false);
-                return;
-            }
-            let (pr, psep) = self.split_interior(ctx, epoch, holder, p);
-            let target = if sep < psep { p } else { pr };
-            self.interior_insert(target, sep, right);
-            pv::unlock(a, p, target == p, true);
-            pv::unlock(a, pr, target == pr, false);
-            return;
         }
     }
 
@@ -1090,46 +1090,45 @@ impl DurableMasstree {
         a.pwrite_u64_release(right + OFF_PARENT, pi);
     }
 
-    unsafe fn split_interior(
-        &self,
-        ctx: &DCtx,
-        epoch: u64,
-        holder: u64,
-        p: u64,
-    ) -> (u64, u64) {
-        let a = &self.inner.arena;
-        let tid = ctx.tid;
-        self.ensure_int_logged(tid, epoch, p);
-        pv::mark_dirty(a, p, pv::DIRTY_SPLIT);
-        let n = a.pread_u64(p + OFF_INT_NKEYS) as usize;
-        debug_assert_eq!(n, INT_WIDTH);
-        let mid = n / 2;
-        let psep = a.pread_u64(p + off_int_key(mid));
+    unsafe fn split_interior(&self, ctx: &DCtx, epoch: u64, holder: u64, p: u64) -> (u64, u64) {
+        unsafe {
+            let a = &self.inner.arena;
+            let tid = ctx.tid;
+            self.ensure_int_logged(tid, epoch, p);
+            pv::mark_dirty(a, p, pv::DIRTY_SPLIT);
+            let n = a.pread_u64(p + OFF_INT_NKEYS) as usize;
+            debug_assert_eq!(n, INT_WIDTH);
+            let mid = n / 2;
+            let psep = a.pread_u64(p + off_int_key(mid));
 
-        let r = self
-            .new_interior(tid, epoch, /*is_root*/ false, /*locked*/ true)
-            .expect("arena full");
-        let rcount = n - mid - 1;
-        for j in 0..rcount {
-            a.pwrite_u64(r + off_int_key(j), a.pread_u64(p + off_int_key(mid + 1 + j)));
-        }
-        for j in 0..=rcount {
-            let child = a.pread_u64(p + off_int_child(mid + 1 + j));
-            a.pwrite_u64(r + off_int_child(j), child);
-            // The move of the child's parent word is NOT logged here:
-            // recovery re-derives every parent pointer from the restored
-            // interior images (see `recovery.rs`), which both avoids
-            // racing the (unlocked) child's own logging and keeps each
-            // log target single-entry.
-            self.maybe_recover(child);
-            pv_store_parent(a, child, r);
-        }
-        a.pwrite_u64_release(r + OFF_INT_NKEYS, rcount as u64);
-        a.pwrite_u64(r + OFF_PARENT, a.pread_u64(p + OFF_PARENT));
-        a.pwrite_u64_release(p + OFF_INT_NKEYS, mid as u64);
+            let r = self
+                .new_interior(tid, epoch, /*is_root*/ false, /*locked*/ true)
+                .expect("arena full");
+            let rcount = n - mid - 1;
+            for j in 0..rcount {
+                a.pwrite_u64(
+                    r + off_int_key(j),
+                    a.pread_u64(p + off_int_key(mid + 1 + j)),
+                );
+            }
+            for j in 0..=rcount {
+                let child = a.pread_u64(p + off_int_child(mid + 1 + j));
+                a.pwrite_u64(r + off_int_child(j), child);
+                // The move of the child's parent word is NOT logged here:
+                // recovery re-derives every parent pointer from the restored
+                // interior images (see `recovery.rs`), which both avoids
+                // racing the (unlocked) child's own logging and keeps each
+                // log target single-entry.
+                self.maybe_recover(child);
+                pv_store_parent(a, child, r);
+            }
+            a.pwrite_u64_release(r + OFF_INT_NKEYS, rcount as u64);
+            a.pwrite_u64(r + OFF_PARENT, a.pread_u64(p + OFF_PARENT));
+            a.pwrite_u64_release(p + OFF_INT_NKEYS, mid as u64);
 
-        self.insert_upward(ctx, epoch, holder, p, r, psep);
-        (r, psep)
+            self.insert_upward(ctx, epoch, holder, p, r, psep);
+            (r, psep)
+        }
     }
 
     // ==================================================================
@@ -1144,76 +1143,80 @@ impl DurableMasstree {
         remaining: &mut usize,
         f: &mut dyn FnMut(&[u8], u64),
     ) -> bool {
-        let a = &self.inner.arena;
-        let start_ikey = start.map(|c| c.ikey()).unwrap_or(0);
-        let (mut lf, _) = self.find_leaf(holder, start_ikey);
-        let mut first = true;
-        loop {
-            self.maybe_recover(lf);
-            let mut entries: Vec<(u64, u8, u64)> = Vec::with_capacity(LEAF_WIDTH);
-            let next;
+        unsafe {
+            let a = &self.inner.arena;
+            let start_ikey = start.map(|c| c.ikey()).unwrap_or(0);
+            let (mut lf, _) = self.find_leaf(holder, start_ikey);
+            let mut first = true;
             loop {
-                entries.clear();
-                let v = pv::stable(a, lf);
-                let perm = self.perm_of(lf);
-                for pos in 0..perm.len() {
-                    let slot = perm.slot_at(pos);
-                    entries.push((
-                        a.pread_u64_acquire(lf + off_ikey(slot)),
-                        self.klenx_at(lf, slot),
-                        a.pread_u64_acquire(lf + off_val(slot)),
-                    ));
+                self.maybe_recover(lf);
+                let mut entries: Vec<(u64, u8, u64)> = Vec::with_capacity(LEAF_WIDTH);
+                let next;
+                loop {
+                    entries.clear();
+                    let v = pv::stable(a, lf);
+                    let perm = self.perm_of(lf);
+                    for pos in 0..perm.len() {
+                        let slot = perm.slot_at(pos);
+                        entries.push((
+                            a.pread_u64_acquire(lf + off_ikey(slot)),
+                            self.klenx_at(lf, slot),
+                            a.pread_u64_acquire(lf + off_val(slot)),
+                        ));
+                    }
+                    let nx = a.pread_u64_acquire(lf + OFF_NEXT);
+                    if !pv::changed(v, pv::load(a, lf)) {
+                        next = nx;
+                        break;
+                    }
                 }
-                let nx = a.pread_u64_acquire(lf + OFF_NEXT);
-                if !pv::changed(v, pv::load(a, lf)) {
-                    next = nx;
-                    break;
-                }
-            }
-            for &(k, kl, val) in &entries {
-                if first {
-                    if let Some(sc) = start {
-                        let skl = search_klenx(&sc);
-                        match entry_cmp(k, kl, sc.ikey(), skl) {
-                            std::cmp::Ordering::Less => continue,
-                            std::cmp::Ordering::Equal if kl == KLEN_LAYER && !sc.is_terminal() => {
-                                let mut sub = sc;
-                                sub.descend();
-                                prefix.extend_from_slice(&k.to_be_bytes());
-                                let go = self.scan_layer(val, Some(sub), prefix, remaining, f);
-                                prefix.truncate(prefix.len() - 8);
-                                if !go {
-                                    return false;
+                for &(k, kl, val) in &entries {
+                    if first {
+                        if let Some(sc) = start {
+                            let skl = search_klenx(&sc);
+                            match entry_cmp(k, kl, sc.ikey(), skl) {
+                                std::cmp::Ordering::Less => continue,
+                                std::cmp::Ordering::Equal
+                                    if kl == KLEN_LAYER && !sc.is_terminal() =>
+                                {
+                                    let mut sub = sc;
+                                    sub.descend();
+                                    prefix.extend_from_slice(&k.to_be_bytes());
+                                    let go = self.scan_layer(val, Some(sub), prefix, remaining, f);
+                                    prefix.truncate(prefix.len() - 8);
+                                    if !go {
+                                        return false;
+                                    }
+                                    continue;
                                 }
-                                continue;
+                                _ => {}
                             }
-                            _ => {}
+                        }
+                    }
+                    if kl == KLEN_LAYER {
+                        prefix.extend_from_slice(&k.to_be_bytes());
+                        let go = self.scan_layer(val, None, prefix, remaining, f);
+                        prefix.truncate(prefix.len() - 8);
+                        if !go {
+                            return false;
+                        }
+                    } else {
+                        let keylen = prefix.len() + kl as usize;
+                        prefix.extend_from_slice(&ikey_bytes(k, kl));
+                        f(&prefix[..keylen], a.pread_u64(val));
+                        prefix.truncate(keylen - kl as usize);
+                        *remaining -= 1;
+                        if *remaining == 0 {
+                            return false;
                         }
                     }
                 }
-                if kl == KLEN_LAYER {
-                    prefix.extend_from_slice(&k.to_be_bytes());
-                    let go = self.scan_layer(val, None, prefix, remaining, f);
-                    prefix.truncate(prefix.len() - 8);
-                    if !go {
-                        return false;
-                    }
-                } else {
-                    let keylen = prefix.len() + kl as usize;
-                    prefix.extend_from_slice(&ikey_bytes(k, kl));
-                    f(&prefix[..keylen], a.pread_u64(val));
-                    prefix.truncate(keylen - kl as usize);
-                    *remaining -= 1;
-                    if *remaining == 0 {
-                        return false;
-                    }
+                first = false;
+                if next == 0 {
+                    return true;
                 }
+                lf = next;
             }
-            first = false;
-            if next == 0 {
-                return true;
-            }
-            lf = next;
         }
     }
 }

@@ -45,7 +45,7 @@ mod driver;
 mod manager;
 
 pub use driver::AdvanceDriver;
-pub use manager::{EpochManager, EpochOptions, Guard, ThreadHandle};
+pub use manager::{AdvanceHook, EpochManager, EpochOptions, Guard, ThreadHandle};
 
 /// The paper's epoch length: 64 ms (Masstree's reclamation interval, §4).
 pub const DEFAULT_EPOCH_INTERVAL: std::time::Duration = std::time::Duration::from_millis(64);

@@ -5,6 +5,9 @@ use parking_lot::{Condvar, Mutex};
 
 use incll_pmem::{superblock, PArena};
 
+/// A callback run at every epoch boundary with the new epoch number.
+pub type AdvanceHook = Box<dyn Fn(u64) + Send + Sync>;
+
 /// What an [`EpochManager`] does at each epoch boundary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EpochOptions {
@@ -59,7 +62,7 @@ struct Shared {
     park_lock: Mutex<()>,
     park_cv: Condvar,
     slots: Mutex<Vec<Arc<Slot>>>,
-    hooks: Mutex<Vec<Box<dyn Fn(u64) + Send + Sync>>>,
+    hooks: Mutex<Vec<AdvanceHook>>,
     options: EpochOptions,
 }
 
@@ -152,7 +155,7 @@ impl EpochManager {
     /// Adds a hook run at every epoch boundary, after the flush and the
     /// durable epoch bump, while all threads are quiesced. The argument is
     /// the *new* epoch number.
-    pub fn add_advance_hook(&self, hook: Box<dyn Fn(u64) + Send + Sync>) {
+    pub fn add_advance_hook(&self, hook: AdvanceHook) {
         self.shared.hooks.lock().push(hook);
     }
 

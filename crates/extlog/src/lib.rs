@@ -264,8 +264,7 @@ impl ExtLog {
                     let n = (len as usize - copied).min(512);
                     self.arena
                         .pread_bytes(base + HEADER + copied as u64, &mut chunk[..n]);
-                    self.arena
-                        .pwrite_bytes(target + copied as u64, &chunk[..n]);
+                    self.arena.pwrite_bytes(target + copied as u64, &chunk[..n]);
                     copied += n;
                 }
                 report.entries_applied += 1;

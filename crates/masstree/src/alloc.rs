@@ -164,7 +164,8 @@ impl TransientAlloc {
             for (addr, size) in garbage {
                 match self.inner.mode {
                     AllocMode::Global => {
-                        let layout = Layout::from_size_align(size.max(16), align_of_size(size)).expect("layout");
+                        let layout = Layout::from_size_align(size.max(16), align_of_size(size))
+                            .expect("layout");
                         // SAFETY: addr came from `alloc` with this layout;
                         // the epoch barrier guarantees no thread still
                         // holds a reference.
@@ -189,7 +190,8 @@ impl TransientAlloc {
     pub(crate) fn free_now(&self, addr: u64, size: usize) {
         match self.inner.mode {
             AllocMode::Global => {
-                let layout = Layout::from_size_align(size.max(16), align_of_size(size)).expect("layout");
+                let layout =
+                    Layout::from_size_align(size.max(16), align_of_size(size)).expect("layout");
                 // SAFETY: caller guarantees exclusive access (Drop).
                 unsafe { dealloc(addr as *mut u8, layout) };
             }

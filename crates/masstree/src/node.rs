@@ -89,7 +89,7 @@ impl RootCell {
 /// version word).
 #[inline]
 pub unsafe fn version_of<'a>(addr: u64) -> &'a NodeVersion {
-    &*(addr as *const NodeVersion)
+    unsafe { &*(addr as *const NodeVersion) }
 }
 
 /// Casts `addr` to a leaf reference.
@@ -99,7 +99,7 @@ pub unsafe fn version_of<'a>(addr: u64) -> &'a NodeVersion {
 /// `addr` must reference a live, properly initialised `Leaf`.
 #[inline]
 pub unsafe fn leaf_ref<'a>(addr: u64) -> &'a Leaf {
-    &*(addr as *const Leaf)
+    unsafe { &*(addr as *const Leaf) }
 }
 
 /// Casts `addr` to an interior reference.
@@ -109,7 +109,7 @@ pub unsafe fn leaf_ref<'a>(addr: u64) -> &'a Leaf {
 /// `addr` must reference a live, properly initialised `Interior`.
 #[inline]
 pub unsafe fn interior_ref<'a>(addr: u64) -> &'a Interior {
-    &*(addr as *const Interior)
+    unsafe { &*(addr as *const Interior) }
 }
 
 impl Leaf {
@@ -121,20 +121,25 @@ impl Leaf {
     /// `addr` must point to at least `size_of::<Leaf>()` bytes of exclusively
     /// owned, 64-aligned memory.
     pub unsafe fn init(addr: u64, extra_flags: u64) -> &'static Leaf {
-        let l = &mut *(addr as *mut Leaf);
-        std::ptr::write(&mut l.version, NodeVersion::with_flags(IS_LEAF | extra_flags));
-        l.permutation
-            .store(LeafPerm::empty().raw(), Ordering::Relaxed);
-        l.parent.store(0, Ordering::Relaxed);
-        l.next.store(0, Ordering::Relaxed);
-        // Key/val slots gated by the permutation: no init required, but
-        // zero them for deterministic debugging.
-        for i in 0..LEAF_WIDTH {
-            l.ikeys[i].store(0, Ordering::Relaxed);
-            l.klenx[i].store(0, Ordering::Relaxed);
-            l.vals[i].store(0, Ordering::Relaxed);
+        unsafe {
+            let l = &mut *(addr as *mut Leaf);
+            std::ptr::write(
+                &mut l.version,
+                NodeVersion::with_flags(IS_LEAF | extra_flags),
+            );
+            l.permutation
+                .store(LeafPerm::empty().raw(), Ordering::Relaxed);
+            l.parent.store(0, Ordering::Relaxed);
+            l.next.store(0, Ordering::Relaxed);
+            // Key/val slots gated by the permutation: no init required, but
+            // zero them for deterministic debugging.
+            for i in 0..LEAF_WIDTH {
+                l.ikeys[i].store(0, Ordering::Relaxed);
+                l.klenx[i].store(0, Ordering::Relaxed);
+                l.vals[i].store(0, Ordering::Relaxed);
+            }
+            &*(addr as *const Leaf)
         }
-        &*(addr as *const Leaf)
     }
 
     /// Loads the permutation.
@@ -157,17 +162,19 @@ impl Interior {
     ///
     /// As for [`Leaf::init`].
     pub unsafe fn init(addr: u64, extra_flags: u64) -> &'static Interior {
-        let n = &mut *(addr as *mut Interior);
-        std::ptr::write(&mut n.version, NodeVersion::with_flags(extra_flags));
-        n.nkeys.store(0, Ordering::Relaxed);
-        n.parent.store(0, Ordering::Relaxed);
-        for i in 0..INT_WIDTH {
-            n.keys[i].store(0, Ordering::Relaxed);
+        unsafe {
+            let n = &mut *(addr as *mut Interior);
+            std::ptr::write(&mut n.version, NodeVersion::with_flags(extra_flags));
+            n.nkeys.store(0, Ordering::Relaxed);
+            n.parent.store(0, Ordering::Relaxed);
+            for i in 0..INT_WIDTH {
+                n.keys[i].store(0, Ordering::Relaxed);
+            }
+            for i in 0..=INT_WIDTH {
+                n.children[i].store(0, Ordering::Relaxed);
+            }
+            &*(addr as *const Interior)
         }
-        for i in 0..=INT_WIDTH {
-            n.children[i].store(0, Ordering::Relaxed);
-        }
-        &*(addr as *const Interior)
     }
 
     /// Number of separator keys.

@@ -150,10 +150,8 @@ impl<const W: usize> Permutation<W> {
         let mut out = self;
         // Occupied prefix stays; everything else (dropped + already free)
         // goes to the free region in stable order.
-        let mut pos = keep;
         for i in keep..W {
-            out.set_slot_at(pos, self.slot_at(i));
-            pos += 1;
+            out.set_slot_at(i, self.slot_at(i));
         }
         out.0 = (out.0 & !0xF) | keep as u64;
         out
@@ -295,7 +293,7 @@ mod tests {
         for _ in 0..10_000 {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
             let r = (x >> 33) as usize;
-            if p.is_full() || (!p.is_empty() && r % 2 == 0) {
+            if p.is_full() || (!p.is_empty() && r.is_multiple_of(2)) {
                 let pos = r % p.len();
                 p.remove_at(pos);
                 model.remove(pos);

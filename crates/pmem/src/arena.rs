@@ -269,12 +269,14 @@ impl PArena {
     /// respect Rust aliasing rules (the arena does not synchronise access).
     #[inline]
     pub unsafe fn ptr_at(&self, offset: u64) -> *mut u8 {
-        debug_assert!(
-            (offset as usize) < self.inner.capacity,
-            "offset {offset:#x} outside arena of {} bytes",
-            self.inner.capacity
-        );
-        self.inner.base.as_ptr().add(offset as usize)
+        unsafe {
+            debug_assert!(
+                (offset as usize) < self.inner.capacity,
+                "offset {offset:#x} outside arena of {} bytes",
+                self.inner.capacity
+            );
+            self.inner.base.as_ptr().add(offset as usize)
+        }
     }
 
     #[inline]
@@ -462,11 +464,7 @@ impl PArena {
                         // SAFETY: in-bounds (asserted above); caller owns the
                         // region exclusively per this method's contract.
                         unsafe {
-                            std::ptr::copy_nonoverlapping(
-                                slice.as_ptr(),
-                                self.ptr_at(abs),
-                                chunk,
-                            );
+                            std::ptr::copy_nonoverlapping(slice.as_ptr(), self.ptr_at(abs), chunk);
                         }
                     },
                 );

@@ -103,14 +103,12 @@ impl Journal {
     /// `sfence` can promote it to the durable base.
     pub(crate) fn clwb(&self, line: u64, read_line: impl FnOnce() -> [u8; CACHE_LINE]) {
         let mut shard = self.shard(line).lock();
-        match shard.get_mut(&line) {
-            Some(entry) => {
-                let upto = entry.stores.len();
-                entry.pending = Some((read_line(), upto));
-                self.pending_lines.lock().push(line);
-            }
-            // No unpersisted stores: line is already durable; nothing to do.
-            None => {}
+        // A missing entry means no unpersisted stores: the line is already
+        // durable and there is nothing to snapshot.
+        if let Some(entry) = shard.get_mut(&line) {
+            let upto = entry.stores.len();
+            entry.pending = Some((read_line(), upto));
+            self.pending_lines.lock().push(line);
         }
     }
 

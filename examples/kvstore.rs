@@ -43,7 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 let mut i = tid as u64;
                 while !stop.load(Ordering::Relaxed) {
                     let key = storage_key(i % KEYS);
-                    if i % 2 == 0 {
+                    if i.is_multiple_of(2) {
                         store.put(&ctx, &key, i);
                     } else {
                         store.get(&ctx, &key);

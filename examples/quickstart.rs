@@ -54,8 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  cache-line write-backs (clwb): {}", s.clwb);
     println!("  persistence fences (sfence):   {}", s.sfence);
     println!("  whole-cache flushes:           {}", s.global_flush);
-    println!("  in-cache-line logs (free!):    perm={} val={}",
-             s.incll_perm_logs, s.incll_val_logs);
+    println!(
+        "  in-cache-line logs (free!):    perm={} val={}",
+        s.incll_perm_logs, s.incll_val_logs
+    );
     println!("  externally logged nodes:       {}", s.ext_nodes_logged);
     Ok(())
 }

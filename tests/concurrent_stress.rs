@@ -41,8 +41,7 @@ fn stress_durable(incll_enabled: bool) {
                 let mut local = 0u64;
                 while !stop.load(Ordering::Relaxed) {
                     // Keys partitioned by tid => deterministic ownership.
-                    let k = (rng.gen_range(0..KEYS / WORKERS as u64) * WORKERS as u64
-                        + tid as u64)
+                    let k = (rng.gen_range(0..KEYS / WORKERS as u64) * WORKERS as u64 + tid as u64)
                         .to_be_bytes();
                     match rng.gen_range(0..10) {
                         0..=5 => {

@@ -105,10 +105,7 @@ fn four_implementations_agree() {
         {
             let pool = PArena::builder().capacity_bytes(32 << 20).build().unwrap();
             let mgr = EpochManager::new(pool.clone(), EpochOptions::transient());
-            let tree = Masstree::new(
-                mgr,
-                TransientAlloc::new(AllocMode::Pool, 1, Some(pool)),
-            );
+            let tree = Masstree::new(mgr, TransientAlloc::new(AllocMode::Pool, 1, Some(pool)));
             assert_eq!(masstree_observe(&tree, &tape), expect, "MT+ seed {seed}");
         }
         // INCLL (with periodic checkpoints interleaved)

@@ -1,0 +1,43 @@
+//! Workspace smoke test: every shipped example must run to completion.
+//!
+//! Each example is a self-checking scenario (quickstart, kvstore,
+//! durable_alloc, crash_recovery) that asserts internally and exits
+//! non-zero on failure, so "exits 0" is a real end-to-end check of the
+//! public API surface. CI runs this via plain `cargo test`.
+
+use std::process::Command;
+
+fn run_example(name: &str) {
+    let output = Command::new(env!("CARGO"))
+        .args(["run", "--quiet", "--example", name])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo for example `{name}`: {e}"));
+    assert!(
+        output.status.success(),
+        "example `{name}` failed with {}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+}
+
+#[test]
+fn quickstart_runs() {
+    run_example("quickstart");
+}
+
+#[test]
+fn kvstore_runs() {
+    run_example("kvstore");
+}
+
+#[test]
+fn durable_alloc_runs() {
+    run_example("durable_alloc");
+}
+
+#[test]
+fn crash_recovery_runs() {
+    run_example("crash_recovery");
+}

@@ -82,7 +82,11 @@ fn scan_descends_into_layers_at_the_start_key() {
     let ctx = t.thread_ctx(0);
     // One slice prefix with several suffixes → a sub-layer.
     for suffix in ["", "-a", "-b", "-c"] {
-        t.put(&ctx, format!("prefix01{suffix}").as_bytes(), suffix.len() as u64);
+        t.put(
+            &ctx,
+            format!("prefix01{suffix}").as_bytes(),
+            suffix.len() as u64,
+        );
     }
     t.put(&ctx, b"prefix02", 99);
     // Start *inside* the layer: must pick up -b, -c, then the next slice.
@@ -119,7 +123,10 @@ fn scan_spanning_many_leaves_with_removals() {
     let mut got = Vec::new();
     t.scan(&ctx, &90u64.to_be_bytes(), 20, &mut |_, v| got.push(v));
     let expect: Vec<u64> = (90..100).chain(250..260).collect();
-    assert_eq!(got, expect, "scan must skip removed ranges and empty leaves");
+    assert_eq!(
+        got, expect,
+        "scan must skip removed ranges and empty leaves"
+    );
 }
 
 #[test]

@@ -1,0 +1,193 @@
+//! Offline shim for the subset of `criterion` this workspace uses.
+//!
+//! Provides the same macro and method surface (`criterion_group!`,
+//! `criterion_main!`, `benchmark_group`, `sample_size`, `bench_function`,
+//! `Bencher::iter`) backed by a plain wall-clock harness that prints
+//! mean/min/max per benchmark. No statistics, plots, or baselines — swap
+//! the path dependency for the real crate when crates.io is reachable.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value sink, like `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level harness handle; one per bench binary.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Parses harness arguments. Cargo passes `--bench` plus optional
+    /// filters; this shim accepts and ignores them.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(id.as_ref(), self.default_sample_size, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark in the group records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        run_one(&full, self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (required by the real criterion; a no-op here).
+    pub fn finish(self) {}
+}
+
+fn run_one(id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("bench {id}: no samples recorded");
+        return;
+    }
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    let min = *b.samples.iter().min().expect("non-empty");
+    let max = *b.samples.iter().max().expect("non-empty");
+    println!(
+        "bench {id}: mean {mean:?} min {min:?} max {max:?} ({} samples)",
+        b.samples.len()
+    );
+}
+
+/// Per-benchmark measurement driver handed to the closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`: an untimed warm-up call sizes a per-sample batch
+    /// so each timed sample runs long enough (≥ ~100 µs) that clock-read
+    /// overhead cannot swamp nanosecond-scale routines, then records
+    /// `sample_size` samples of the mean per-call duration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        const TARGET_SAMPLE: Duration = Duration::from_micros(100);
+        let start = Instant::now();
+        std_black_box(routine());
+        let once = start.elapsed();
+        let batch = if once >= TARGET_SAMPLE {
+            1
+        } else {
+            // Integer ceil of target/once, capped to keep pathological
+            // sub-nanosecond readings from exploding the run time.
+            (TARGET_SAMPLE.as_nanos() / once.as_nanos().max(1)).clamp(1, 1_000_000) as u32
+        };
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            self.samples.push(start.elapsed() / batch);
+        }
+    }
+}
+
+/// Declares a bench entry point, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_records_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        let mut runs = 0u32;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            })
+        });
+        g.finish();
+        // Routine is slower than the batch target: 1 warm-up + 3 samples,
+        // one call each.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn macros_compile_into_callables() {
+        fn target(c: &mut Criterion) {
+            c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        }
+        criterion_group!(benches, target);
+        benches();
+    }
+}

@@ -1,0 +1,167 @@
+//! Offline shim for the subset of `proptest` this workspace uses.
+//!
+//! Same macro and strategy surface (`proptest!`, `prop_assert!`,
+//! `prop_oneof!`, `any`, `Just`, `prop_map`, `collection::vec`,
+//! `ProptestConfig`) backed by a deterministic random-case runner.
+//! Two deliberate simplifications relative to upstream:
+//!
+//! * **No shrinking** — a failing case reports its exact inputs (all
+//!   strategies here produce `Debug` values) instead of a minimised one.
+//! * **Deterministic seeding** — case `i` of every test derives its RNG
+//!   from `i`, so CI failures reproduce exactly.
+//!
+//! Swap the path dependency for the real crate when crates.io is
+//! reachable; test sources need no changes.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `proptest::collection` — strategies for containers.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s whose length is drawn from `size` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "collection::vec: empty size range");
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.usize_in(self.size.start, self.size.end);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// One-glob import surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// the process) so the runner can report the generating inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`: {}",
+            left,
+            right,
+            ::std::format!($($fmt)*)
+        );
+    }};
+}
+
+/// Inequality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            left
+        );
+    }};
+}
+
+/// Weighted (or unweighted) union of strategies producing one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $(($weight as u32, $crate::strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof!($(1 => $strat),+)
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `config.cases` generated
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                #[allow(unused_imports)]
+                use $crate::strategy::Strategy as _;
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(case as u64);
+                    $(let $arg = ($strat).new_value(&mut rng);)+
+                    let inputs = ::std::format!(
+                        concat!($(stringify!($arg), " = {:?}; "),+),
+                        $(&$arg),+
+                    );
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(err) = outcome {
+                        ::std::panic!(
+                            "proptest case {case}/{} failed: {err}\n  inputs: {inputs}",
+                            config.cases,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,288 @@
+//! Value-generation strategies (no shrinking; see crate docs).
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy for heterogeneous collections.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+/// Boxes a strategy; used by `prop_oneof!` so type inference can unify
+/// differently-shaped arms.
+pub fn boxed<S: Strategy + 'static>(s: S) -> BoxedStrategy<S::Value> {
+    Box::new(s)
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        (**self).new_value(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).new_value(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn new_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Strategy producing one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<V: Clone>(pub V);
+
+impl<V: Clone> Strategy for Just<V> {
+    type Value = V;
+    fn new_value(&self, _rng: &mut TestRng) -> V {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical whole-domain strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+/// The whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// See [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Integer types usable as range-strategy bounds.
+pub trait RangeValue: Copy {
+    /// Uniform sample from `[low, high)`.
+    fn sample_half_open(rng: &mut TestRng, low: Self, high: Self) -> Self;
+    /// Uniform sample from `[low, high]`.
+    fn sample_inclusive(rng: &mut TestRng, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_range_value {
+    ($($t:ty),*) => {$(
+        impl RangeValue for $t {
+            fn sample_half_open(rng: &mut TestRng, low: Self, high: Self) -> Self {
+                assert!(low < high, "range strategy: empty range");
+                let span = (high as i128 - low as i128) as u128;
+                let scaled = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (low as i128 + scaled) as $t
+            }
+            fn sample_inclusive(rng: &mut TestRng, low: Self, high: Self) -> Self {
+                assert!(low <= high, "range strategy: empty inclusive range");
+                let span = (high as i128 - low as i128) as u128 + 1;
+                let scaled = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (low as i128 + scaled) as $t
+            }
+        }
+    )*};
+}
+impl_range_value!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: RangeValue> Strategy for Range<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: RangeValue> Strategy for RangeInclusive<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// Weighted union of same-valued strategies (built by `prop_oneof!`).
+pub struct Union<V> {
+    choices: Vec<(u32, BoxedStrategy<V>)>,
+    total_weight: u64,
+}
+
+impl<V> Union<V> {
+    /// Builds a union; weights must not all be zero.
+    pub fn new(choices: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+        let total_weight: u64 = choices.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total_weight > 0, "prop_oneof: all weights are zero");
+        Union {
+            choices,
+            total_weight,
+        }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.u64_below(self.total_weight);
+        for (weight, strat) in &self.choices {
+            if pick < *weight as u64 {
+                return strat.new_value(rng);
+            }
+            pick -= *weight as u64;
+        }
+        unreachable!("weighted pick exceeded total weight");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_case(0);
+        for _ in 0..10_000 {
+            let x = (0u64..(1 << 44)).new_value(&mut rng);
+            assert!(x < (1 << 44));
+            let y = (3usize..15).new_value(&mut rng);
+            assert!((3..15).contains(&y));
+            let z = (0u8..=4).new_value(&mut rng);
+            assert!(z <= 4);
+        }
+    }
+
+    #[test]
+    fn map_and_just_compose() {
+        let mut rng = TestRng::for_case(1);
+        let s = (0u8..10).prop_map(|v| v as u64 + 100);
+        for _ in 0..100 {
+            let v = s.new_value(&mut rng);
+            assert!((100..110).contains(&v));
+        }
+        assert_eq!(Just(41u8).new_value(&mut rng), 41);
+    }
+
+    #[test]
+    fn union_respects_zero_weight() {
+        let mut rng = TestRng::for_case(2);
+        let u = Union::new(vec![(0, boxed(Just(1u8))), (5, boxed(Just(2u8)))]);
+        for _ in 0..200 {
+            assert_eq!(u.new_value(&mut rng), 2);
+        }
+    }
+
+    #[test]
+    fn union_hits_every_positive_arm() {
+        let mut rng = TestRng::for_case(3);
+        let u = Union::new(vec![
+            (1, boxed(Just(0usize))),
+            (2, boxed(Just(1usize))),
+            (3, boxed(Just(2usize))),
+        ]);
+        let mut seen = [false; 3];
+        for _ in 0..500 {
+            seen[u.new_value(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn tuples_generate_componentwise() {
+        let mut rng = TestRng::for_case(4);
+        let (a, b, c) = (0u8..2, 10u16..12, any::<bool>()).new_value(&mut rng);
+        assert!(a < 2);
+        assert!((10..12).contains(&b));
+        let _: bool = c;
+    }
+
+    #[test]
+    fn collection_vec_respects_size_range() {
+        let mut rng = TestRng::for_case(5);
+        let s = crate::collection::vec(any::<u8>(), 2..7);
+        for _ in 0..500 {
+            let v = s.new_value(&mut rng);
+            assert!((2..7).contains(&v.len()));
+        }
+    }
+}
