@@ -20,7 +20,7 @@ fn bench(c: &mut Criterion) {
         cfg.wbinvd_ns = ns;
         cfg.epoch_interval = None;
         let sys = build_incll(&cfg);
-        let ctx = sys.tree.thread_ctx(0);
+        let ctx = sys.tree.thread_ctx(0).expect("slot 0 exists");
         let mut i = 0u64;
         g.bench_function(format!("advance_{label}"), |b| {
             b.iter(|| {

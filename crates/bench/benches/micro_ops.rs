@@ -15,7 +15,7 @@ fn bench(c: &mut Criterion) {
     let mtp = build_mtplus(&cfg);
     let inc = build_incll(&cfg);
     let mctx = mtp.tree.thread_ctx(0);
-    let ictx = inc.tree.thread_ctx(0);
+    let ictx = inc.tree.thread_ctx(0).expect("slot 0 exists");
     for i in 0..keys {
         mtp.tree.put(&mctx, &storage_key(i), i);
         inc.tree.put(&ictx, &storage_key(i), i);
@@ -68,6 +68,27 @@ fn bench(c: &mut Criterion) {
             let k = (keys + i % 1000).to_be_bytes();
             inc.tree.put(&ictx, &k, i);
             inc.tree.remove(&ictx, &k)
+        })
+    });
+    // The byte-value facade path: 100-byte values through `Store`. The
+    // session pool and `thread_ctx` hand out the same per-thread slots
+    // without coordinating, so the raw ctx must be gone before a session
+    // (with 1 configured thread, both would be slot 0).
+    drop(ictx);
+    let sess = inc.store.session().expect("session pool is untouched");
+    let payload = [7u8; 100];
+    g.bench_function("put100b_store_incll", |b| {
+        b.iter(|| {
+            i += 1;
+            inc.store
+                .put(&sess, &storage_key(i % keys), &payload)
+                .expect("fits size class")
+        })
+    });
+    g.bench_function("get100b_store_incll", |b| {
+        b.iter(|| {
+            i += 1;
+            inc.store.get(&sess, &storage_key(i % keys))
         })
     });
     g.finish();

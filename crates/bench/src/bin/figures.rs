@@ -17,8 +17,9 @@
 
 use std::fs;
 use std::path::PathBuf;
+use std::time::{SystemTime, UNIX_EPOCH};
 
-use incll_bench::experiments::{self, ExpParams, Table};
+use incll_bench::experiments::{self, json_string, ExpParams, Table};
 
 struct Args {
     experiment: String,
@@ -90,7 +91,7 @@ fn thread_sweep(p: &ExpParams) -> Vec<usize> {
     v
 }
 
-fn save(out: &PathBuf, name: &str, tables: &[&Table]) {
+fn save(out: &PathBuf, name: &str, tables: &[Table]) {
     let _ = fs::create_dir_all(out);
     let body: String = tables.iter().map(|t| t.render() + "\n").collect();
     let path = out.join(format!("{name}.txt"));
@@ -101,6 +102,40 @@ fn save(out: &PathBuf, name: &str, tables: &[&Table]) {
     }
 }
 
+/// Serialises every experiment's tables into `BENCH_results.json` so runs
+/// are comparable across revisions (experiment name -> result tables,
+/// whose rows carry throughput, op-mix and flush counters).
+fn save_json(out: &PathBuf, params: &ExpParams, results: &[(String, Vec<Table>)]) {
+    let _ = fs::create_dir_all(out);
+    let stamp = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let experiments: Vec<String> = results
+        .iter()
+        .map(|(name, tables)| {
+            let tjson: Vec<String> = tables.iter().map(|t| t.to_json()).collect();
+            format!("{}:[{}]", json_string(name), tjson.join(","))
+        })
+        .collect();
+    let body = format!(
+        "{{\"generated_unix\":{stamp},\
+         \"params\":{{\"keys\":{},\"ops_per_thread\":{},\"threads\":{},\"seed\":{}}},\
+         \"experiments\":{{{}}}}}\n",
+        params.keys,
+        params.ops_per_thread,
+        params.threads,
+        params.seed,
+        experiments.join(",")
+    );
+    let path = out.join("BENCH_results.json");
+    if let Err(e) = fs::write(&path, body) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("(results recorded in {})", path.display());
+    }
+}
+
 fn main() {
     let args = parse_args();
     let p = &args.params;
@@ -108,25 +143,26 @@ fn main() {
         "== experiment {} | keys={} ops/thread={} threads={} ==\n",
         args.experiment, p.keys, p.ops_per_thread, p.threads
     );
-    let run_one = |name: &str| match name {
-        "fig2" => save(&args.out, "fig2", &[&experiments::fig2(p)]),
-        "fig3" => save(&args.out, "fig3", &[&experiments::fig3(p)]),
-        "fig4" => save(
-            &args.out,
-            "fig4",
-            &[&experiments::fig4(p, &thread_sweep(p))],
-        ),
-        "fig5" | "fig6" => {
-            let (t5, t6) = experiments::figs5_6(p, &size_sweep(p));
-            save(&args.out, "fig5_fig6", &[&t5, &t6]);
-        }
-        "fig7" => save(&args.out, "fig7", &[&experiments::fig7(p, &size_sweep(p))]),
-        "fig8" => save(&args.out, "fig8", &[&experiments::fig8(p)]),
-        "flushcost" => save(&args.out, "flushcost", &[&experiments::flush_cost(p)]),
-        "recovery" => save(&args.out, "recovery", &[&experiments::recovery_time(p)]),
-        "ablation" => save(&args.out, "ablation", &[&experiments::ablation_internal(p)]),
-        other => usage(&format!("unknown experiment {other}")),
+    let run_one = |name: &str| -> (String, Vec<Table>) {
+        let (file, tables) = match name {
+            "fig2" => ("fig2", vec![experiments::fig2(p)]),
+            "fig3" => ("fig3", vec![experiments::fig3(p)]),
+            "fig4" => ("fig4", vec![experiments::fig4(p, &thread_sweep(p))]),
+            "fig5" | "fig6" => {
+                let (t5, t6) = experiments::figs5_6(p, &size_sweep(p));
+                ("fig5_fig6", vec![t5, t6])
+            }
+            "fig7" => ("fig7", vec![experiments::fig7(p, &size_sweep(p))]),
+            "fig8" => ("fig8", vec![experiments::fig8(p)]),
+            "flushcost" => ("flushcost", vec![experiments::flush_cost(p)]),
+            "recovery" => ("recovery", vec![experiments::recovery_time(p)]),
+            "ablation" => ("ablation", vec![experiments::ablation_internal(p)]),
+            other => usage(&format!("unknown experiment {other}")),
+        };
+        save(&args.out, file, &tables);
+        (file.to_string(), tables)
     };
+    let mut results = Vec::new();
     if args.experiment == "all" {
         for name in [
             "fig2",
@@ -140,9 +176,10 @@ fn main() {
             "ablation",
         ] {
             println!("---- {name} ----");
-            run_one(name);
+            results.push(run_one(name));
         }
     } else {
-        run_one(&args.experiment);
+        results.push(run_one(&args.experiment));
     }
+    save_json(&args.out, p, &results);
 }

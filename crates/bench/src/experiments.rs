@@ -5,7 +5,6 @@
 
 use std::time::{Duration, Instant};
 
-use incll::DurableMasstree;
 use incll_ycsb::{load, run, Dist, Mix, RunConfig};
 
 use crate::systems::{build_incll, build_mt, build_mtplus, SystemConfig};
@@ -133,6 +132,42 @@ impl Table {
     pub fn print(&self) {
         println!("{}", self.render());
     }
+
+    /// Renders as a JSON object (`{"title", "header", "rows"}`) for the
+    /// `figures` binary's `BENCH_results.json`. Hand-rolled: the workspace
+    /// builds without crates.io, so there is no serde.
+    pub fn to_json(&self) -> String {
+        let arr = |cells: &[String]| {
+            let inner: Vec<String> = cells.iter().map(|c| json_string(c)).collect();
+            format!("[{}]", inner.join(","))
+        };
+        let rows: Vec<String> = self.rows.iter().map(|r| arr(r)).collect();
+        format!(
+            "{{\"title\":{},\"header\":{},\"rows\":[{}]}}",
+            json_string(&self.title),
+            arr(&self.header),
+            rows.join(",")
+        )
+    }
+}
+
+/// Escapes `s` as a JSON string literal.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 fn f2(x: f64) -> String {
@@ -404,7 +439,7 @@ pub fn flush_cost(p: &ExpParams) -> Table {
             let stop = &stop;
             let keys = p.keys;
             s.spawn(move || {
-                let ctx = tree.thread_ctx(tid);
+                let ctx = tree.thread_ctx(tid).expect("tid within thread slots");
                 let mut i = tid as u64;
                 while !stop.load(std::sync::atomic::Ordering::Relaxed) {
                     tree.put(&ctx, &incll_ycsb::storage_key(i % keys), i);
@@ -459,16 +494,22 @@ pub fn recovery_time(p: &ExpParams) -> Table {
     run(&inc.tree, &p.run_config(Mix::A, Dist::Uniform));
     let logged = inc.arena.stats().snapshot().delta(&before).ext_nodes_logged;
 
-    // "Crash": drop the running system without advancing, then recover.
+    // "Crash": drop the running system without advancing, then recover
+    // through the same unified entry point production code uses.
     let arena = inc.arena.clone();
     drop(inc);
-    let (tree2, report) = DurableMasstree::open(&arena, incll::DurableConfig::default()).unwrap();
+    let (store2, report) = incll::Store::open(&arena, incll::Options::new()).unwrap();
+    assert!(!report.created, "reopen must recover, not re-create");
 
-    // Lazy phase: first touch of every key (amortised in real use).
-    let ctx = tree2.thread_ctx(0);
+    // Lazy phase: first touch of every key (amortised in real use). Use
+    // the mid-level u64 scan so the timing measures node repair, not the
+    // facade's per-value byte copies.
+    let sess = store2.session().unwrap();
     let t0 = Instant::now();
     let mut n = 0u64;
-    tree2.scan(&ctx, b"", usize::MAX, &mut |_, _| n += 1);
+    store2
+        .masstree()
+        .scan(sess.ctx(), b"", usize::MAX, &mut |_, _| n += 1);
     let lazy = t0.elapsed();
 
     t.push(vec!["keys".into(), p.keys.to_string()]);

@@ -9,10 +9,10 @@
 
 use std::time::Duration;
 
-use incll::{DurableConfig, DurableMasstree};
+use incll::{DurableMasstree, Options, Store};
 use incll_epoch::{AdvanceDriver, EpochManager, EpochOptions, DEFAULT_EPOCH_INTERVAL};
 use incll_masstree::{AllocMode, Masstree, TransientAlloc};
-use incll_pmem::{superblock, PArena};
+use incll_pmem::PArena;
 
 /// The measured `wbinvd` cost on the paper's hardware (§6.2), injected at
 /// every checkpoint flush by default.
@@ -90,10 +90,12 @@ impl TransientSystem {
     }
 }
 
-/// A built durable system: tree, arena handle, driver.
+/// A built durable system: store facade, mid-level tree, arena, driver.
 pub struct DurableSystem {
     driver: Option<AdvanceDriver>,
-    /// The tree under test.
+    /// The public facade (sessions, byte values).
+    pub store: Store,
+    /// The tree under test (mid-level API; same instance the store wraps).
     pub tree: DurableMasstree,
     /// The arena (latency knobs, stats).
     pub arena: PArena,
@@ -131,7 +133,8 @@ pub fn build_mtplus(cfg: &SystemConfig) -> TransientSystem {
     TransientSystem { driver, tree }
 }
 
-/// Builds the durable INCLL system (or its LOGGING ablation).
+/// Builds the durable INCLL system (or its LOGGING ablation) behind the
+/// [`Store`] facade.
 pub fn build_incll(cfg: &SystemConfig) -> DurableSystem {
     let arena = PArena::builder()
         .capacity_bytes(cfg.durable_capacity())
@@ -139,21 +142,18 @@ pub fn build_incll(cfg: &SystemConfig) -> DurableSystem {
         .sfence_latency_ns(cfg.sfence_ns)
         .build()
         .unwrap();
-    superblock::format(&arena);
-    let tree = DurableMasstree::create(
-        &arena,
-        DurableConfig {
-            threads: cfg.threads,
-            log_bytes_per_thread: cfg.log_bytes_per_thread,
-            incll_enabled: cfg.incll,
-        },
-    )
-    .expect("arena sized for the key count");
+    let options = Options::new()
+        .threads(cfg.threads)
+        .log_bytes_per_thread(cfg.log_bytes_per_thread)
+        .incll(cfg.incll);
+    let (store, _report) = Store::open(&arena, options).expect("arena sized for the key count");
+    let tree = store.masstree().clone();
     let driver = cfg
         .epoch_interval
-        .map(|iv| AdvanceDriver::spawn(tree.epoch_manager().clone(), iv));
+        .map(|iv| AdvanceDriver::spawn(store.epoch_manager().clone(), iv));
     DurableSystem {
         driver,
+        store,
         tree,
         arena,
     }

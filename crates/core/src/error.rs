@@ -1,0 +1,123 @@
+//! The crate-wide error type for the public `Store` / tree API.
+//!
+//! Lower layers have their own error enums (`incll_pmem::Error`,
+//! `incll_palloc::Error`); everything the public API can return is folded
+//! into [`Error`] here so callers never need to name an internal crate.
+
+use incll_palloc::{CLASS_SIZES, NUM_CLASSES};
+
+/// Largest value accepted by byte-slice `put` (the biggest allocator size
+/// class minus the 8-byte length prefix every value buffer carries).
+pub const MAX_VALUE_BYTES: usize = CLASS_SIZES[NUM_CLASSES - 1] - 8;
+
+/// Errors surfaced by the public API ([`crate::Store`],
+/// [`crate::DurableMasstree`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Underlying persistent-memory failure (arena exhaustion, bad
+    /// capacity, full failed-epoch set, ...).
+    Pmem(incll_pmem::Error),
+    /// A value exceeds the largest durable-buffer size class.
+    ValueTooLarge {
+        /// The offending value length, in bytes.
+        size: usize,
+        /// The maximum supported length ([`MAX_VALUE_BYTES`]).
+        max: usize,
+    },
+    /// All session slots are taken, or an explicit thread id is out of
+    /// range: the store was opened with a bounded per-thread pool
+    /// ([`crate::Options::threads`]) sizing its allocator free lists and
+    /// external-log buffers.
+    TooManyThreads {
+        /// The configured slot count.
+        limit: usize,
+    },
+    /// An internal subsystem reported a condition with no dedicated
+    /// variant (future-proofing against `#[non_exhaustive]` sources).
+    Internal(String),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Pmem(e) => write!(f, "persistent memory error: {e}"),
+            Error::ValueTooLarge { size, max } => {
+                write!(f, "value of {size} bytes exceeds the {max}-byte maximum")
+            }
+            Error::TooManyThreads { limit } => {
+                write!(
+                    f,
+                    "no usable thread slot: the store has {limit} (all in use, \
+                     or the requested tid is out of range)"
+                )
+            }
+            Error::Internal(what) => write!(f, "internal error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Pmem(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<incll_pmem::Error> for Error {
+    fn from(e: incll_pmem::Error) -> Self {
+        Error::Pmem(e)
+    }
+}
+
+impl From<incll_palloc::Error> for Error {
+    fn from(e: incll_palloc::Error) -> Self {
+        match e {
+            incll_palloc::Error::Pmem(p) => Error::Pmem(p),
+            incll_palloc::Error::UnsupportedSize { size } => Error::ValueTooLarge {
+                // Allocation sizes include the 8-byte length prefix; report
+                // the value length the caller asked for.
+                size: size.saturating_sub(8),
+                max: MAX_VALUE_BYTES,
+            },
+            other => Error::Internal(other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let errs = [
+            Error::Pmem(incll_pmem::Error::FailedEpochSetFull),
+            Error::ValueTooLarge {
+                size: 9000,
+                max: MAX_VALUE_BYTES,
+            },
+            Error::TooManyThreads { limit: 4 },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn palloc_errors_fold_in() {
+        let e: Error = incll_palloc::Error::UnsupportedSize { size: 5000 }.into();
+        assert!(matches!(e, Error::ValueTooLarge { .. }));
+        let e: Error = incll_palloc::Error::Pmem(incll_pmem::Error::FailedEpochSetFull).into();
+        assert_eq!(e, Error::Pmem(incll_pmem::Error::FailedEpochSetFull));
+    }
+
+    #[test]
+    fn max_value_tracks_the_largest_class() {
+        assert_eq!(MAX_VALUE_BYTES + 8, CLASS_SIZES[NUM_CLASSES - 1]);
+    }
+}

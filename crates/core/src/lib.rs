@@ -24,39 +24,74 @@
 //!
 //! # Quick start
 //!
+//! The supported front door is the [`Store`] facade: one call opens (or
+//! formats + creates, or recovers) a store; RAII [`Session`]s replace raw
+//! thread ids; values are byte slices backed by size-classed durable
+//! buffers.
+//!
 //! ```
-//! use incll_pmem::{superblock, PArena};
-//! use incll::{DurableConfig, DurableMasstree};
+//! use incll_pmem::PArena;
+//! use incll::{Options, Store};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // An arena stands in for an NVM device mapping.
 //! let arena = PArena::builder().capacity_bytes(16 << 20).build()?;
-//! superblock::format(&arena);
-//! let config = DurableConfig {
-//!     threads: 1,
-//!     log_bytes_per_thread: 1 << 20,
-//!     incll_enabled: true,
-//! };
-//! let tree = DurableMasstree::create(&arena, config)?;
-//! let ctx = tree.thread_ctx(0);
 //!
-//! tree.put(&ctx, b"durable-key", 7);
-//! assert_eq!(tree.get(&ctx, b"durable-key"), Some(7));
+//! // Blank arena -> format + create; existing store -> recover.
+//! let opts = Options::new().threads(1).log_bytes_per_thread(1 << 20);
+//! let (store, report) = Store::open(&arena, opts)?;
+//! assert!(report.created);
+//!
+//! let sess = store.session()?; // slot released when `sess` drops
+//! store.put(&sess, b"durable-key", b"any bytes at all")?;
+//! assert_eq!(
+//!     store.get(&sess, b"durable-key").as_deref(),
+//!     Some(&b"any bytes at all"[..]),
+//! );
+//! store.put_u64(&sess, b"counter", 7); // the paper's 8-byte payloads
 //!
 //! // Checkpoint: everything written so far survives any later crash.
-//! tree.epoch_manager().advance();
+//! store.checkpoint();
 //!
-//! // ... crash happens here (see `PArena::crash_seeded` in tracked mode);
-//! // reopen with `DurableMasstree::open` to roll back to the checkpoint.
+//! // Ordered iteration (also: `store.scan` for the callback form).
+//! for (key, value) in store.range(&sess, &b"a"[..]..&b"d"[..]) {
+//!     assert_eq!(key, b"counter");
+//!     assert_eq!(u64::from_le_bytes(value[..8].try_into()?), 7);
+//! }
+//!
+//! // ... a crash here (see `PArena::crash_seeded` in tracked mode) rolls
+//! // back to the checkpoint; `Store::open` on the same arena recovers.
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Migrating from the pre-`Store` API
+//!
+//! Earlier revisions exposed the plumbing directly; the mapping is
+//! one-to-one:
+//!
+//! | before | now |
+//! |--------|-----|
+//! | `superblock::format` + `DurableMasstree::create` / `open` | [`Store::open`] (format-if-empty, create-or-recover) |
+//! | `DurableConfig { .. }` | [`Options`] builder |
+//! | `tree.thread_ctx(tid).unwrap()` (unchecked `tid`) | [`Store::session`] (bounded RAII pool) |
+//! | `tree.put(&ctx, k, u64)` | [`Store::put`] (`&[u8]`) or [`Store::put_u64`] |
+//! | `tree.epoch_manager().advance()` | [`Store::checkpoint`] |
+//! | leaked `incll_palloc::Error` | crate-wide [`Error`] |
+//!
+//! [`DurableMasstree`] remains public as the mid-level API (the facade
+//! wraps it; [`Store::masstree`] is the escape hatch).
 
+mod error;
 pub mod layout;
 pub mod pversion;
 mod recovery;
+mod store;
 mod tree;
 
+pub use error::{Error, MAX_VALUE_BYTES};
 pub use recovery::RecoveryReport;
+pub use store::{Options, RangeScan, Session, Store};
 pub use tree::{DCtx, DurableConfig, DurableMasstree, VALUE_BUF_BYTES};
 
 #[cfg(test)]
@@ -97,7 +132,7 @@ mod tests {
     #[test]
     fn put_get_update_remove() {
         let (_a, t) = fresh(false);
-        let ctx = t.thread_ctx(0);
+        let ctx = t.thread_ctx(0).unwrap();
         assert_eq!(t.put(&ctx, b"alpha", 1), None);
         assert_eq!(t.get(&ctx, b"alpha"), Some(1));
         assert_eq!(t.put(&ctx, b"alpha", 2), Some(1));
@@ -109,7 +144,7 @@ mod tests {
     #[test]
     fn no_flushes_on_op_path() {
         let (a, t) = fresh(false);
-        let ctx = t.thread_ctx(0);
+        let ctx = t.thread_ctx(0).unwrap();
         // Warm up: slab carves + first-touch logging out of the way, then
         // start a fresh epoch so first modifications take the InCLL path
         // (fresh nodes are born "logged" and need no logging at all).
@@ -135,7 +170,7 @@ mod tests {
     #[test]
     fn splits_and_scan_order() {
         let (_a, t) = fresh(false);
-        let ctx = t.thread_ctx(0);
+        let ctx = t.thread_ctx(0).unwrap();
         for i in 0..3000u64 {
             t.put(&ctx, &i.to_be_bytes(), i * 3);
         }
@@ -150,7 +185,7 @@ mod tests {
     #[test]
     fn long_keys_and_layers() {
         let (_a, t) = fresh(false);
-        let ctx = t.thread_ctx(0);
+        let ctx = t.thread_ctx(0).unwrap();
         t.put(&ctx, b"abcdefgh", 1);
         t.put(&ctx, b"abcdefgh-beyond-one-slice", 2);
         t.put(&ctx, b"abcdefgh-beyond", 3);
@@ -167,7 +202,7 @@ mod tests {
     #[test]
     fn model_equivalence_across_epochs() {
         let (_a, t) = fresh(false);
-        let ctx = t.thread_ctx(0);
+        let ctx = t.thread_ctx(0).unwrap();
         let mut model: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
         let mut rng = StdRng::seed_from_u64(7);
         for step in 0..20_000 {
@@ -201,14 +236,14 @@ mod tests {
             for tid in 0..2usize {
                 let t = t.clone();
                 s.spawn(move || {
-                    let ctx = t.thread_ctx(tid);
+                    let ctx = t.thread_ctx(tid).unwrap();
                     for i in 0..1500u64 {
                         t.put(&ctx, &(i * 2 + tid as u64).to_be_bytes(), i);
                     }
                 });
             }
         });
-        let ctx = t.thread_ctx(0);
+        let ctx = t.thread_ctx(0).unwrap();
         for tid in 0..2u64 {
             for i in 0..1500u64 {
                 assert_eq!(t.get(&ctx, &(i * 2 + tid).to_be_bytes()), Some(i));
@@ -226,7 +261,7 @@ mod tests {
         mutate: impl Fn(&DurableMasstree, &DCtx),
     ) {
         let (arena, tree) = fresh(true);
-        let ctx = tree.thread_ctx(0);
+        let ctx = tree.thread_ctx(0).unwrap();
         let expect = setup(&tree, &ctx);
         tree.epoch_manager().advance(); // checkpoint the setup state
         mutate(&tree, &ctx); // doomed epoch
@@ -236,7 +271,7 @@ mod tests {
 
         let (tree2, report) = DurableMasstree::open(&arena, small_config()).unwrap();
         assert!(report.failed_epoch >= 2);
-        let ctx2 = tree2.thread_ctx(0);
+        let ctx2 = tree2.thread_ctx(0).unwrap();
         let got = collect(&tree2, &ctx2);
         let want: Vec<_> = expect.into_iter().collect();
         assert_eq!(got, want, "seed {seed}: must match the checkpoint");
@@ -360,7 +395,7 @@ mod tests {
     #[test]
     fn crash_preserves_completed_epoch_work() {
         let (arena, tree) = fresh(true);
-        let ctx = tree.thread_ctx(0);
+        let ctx = tree.thread_ctx(0).unwrap();
         for i in 0..500u64 {
             tree.put(&ctx, &i.to_be_bytes(), i);
         }
@@ -374,7 +409,7 @@ mod tests {
         drop(tree);
         arena.crash_seeded(99);
         let (tree2, _) = DurableMasstree::open(&arena, small_config()).unwrap();
-        let ctx2 = tree2.thread_ctx(0);
+        let ctx2 = tree2.thread_ctx(0).unwrap();
         for i in 0..500u64 {
             assert_eq!(tree2.get(&ctx2, &i.to_be_bytes()), Some(i), "key {i}");
         }
@@ -384,7 +419,7 @@ mod tests {
     fn random_ops_random_crash_matches_boundary_state() {
         for seed in 0..15u64 {
             let (arena, tree) = fresh(true);
-            let ctx = tree.thread_ctx(0);
+            let ctx = tree.thread_ctx(0).unwrap();
             let mut rng = StdRng::seed_from_u64(seed);
             let mut model: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
             let mut checkpoint = model.clone();
@@ -423,7 +458,7 @@ mod tests {
             drop(tree);
             arena.crash_seeded(seed.wrapping_mul(31) + 7);
             let (tree2, _) = DurableMasstree::open(&arena, small_config()).unwrap();
-            let ctx2 = tree2.thread_ctx(0);
+            let ctx2 = tree2.thread_ctx(0).unwrap();
             let want: Vec<_> = checkpoint.into_iter().collect();
             assert_eq!(collect(&tree2, &ctx2), want, "seed {seed}");
         }
@@ -432,7 +467,7 @@ mod tests {
     #[test]
     fn double_crash_recovers_to_same_boundary() {
         let (arena, tree) = fresh(true);
-        let ctx = tree.thread_ctx(0);
+        let ctx = tree.thread_ctx(0).unwrap();
         let mut expect = BTreeMap::new();
         for i in 0..50u64 {
             tree.put(&ctx, &i.to_be_bytes(), i);
@@ -447,7 +482,7 @@ mod tests {
         arena.crash_seeded(1);
         // First recovery, then more doomed work, then a second crash.
         let (tree2, _) = DurableMasstree::open(&arena, small_config()).unwrap();
-        let ctx2 = tree2.thread_ctx(0);
+        let ctx2 = tree2.thread_ctx(0).unwrap();
         for i in 80..110u64 {
             tree2.put(&ctx2, &i.to_be_bytes(), i);
         }
@@ -456,7 +491,7 @@ mod tests {
         arena.crash_seeded(2);
         let (tree3, report) = DurableMasstree::open(&arena, small_config()).unwrap();
         assert!(report.failed_epochs.len() >= 2);
-        let ctx3 = tree3.thread_ctx(0);
+        let ctx3 = tree3.thread_ctx(0).unwrap();
         let want: Vec<_> = expect.into_iter().collect();
         assert_eq!(collect(&tree3, &ctx3), want);
     }
@@ -464,7 +499,7 @@ mod tests {
     #[test]
     fn work_after_recovery_persists() {
         let (arena, tree) = fresh(true);
-        let ctx = tree.thread_ctx(0);
+        let ctx = tree.thread_ctx(0).unwrap();
         tree.put(&ctx, b"before", 1);
         tree.epoch_manager().advance();
         tree.put(&ctx, b"doomed", 2);
@@ -472,7 +507,7 @@ mod tests {
         drop(tree);
         arena.crash_seeded(5);
         let (tree2, _) = DurableMasstree::open(&arena, small_config()).unwrap();
-        let ctx2 = tree2.thread_ctx(0);
+        let ctx2 = tree2.thread_ctx(0).unwrap();
         assert_eq!(tree2.get(&ctx2, b"before"), Some(1));
         assert_eq!(tree2.get(&ctx2, b"doomed"), None);
         tree2.put(&ctx2, b"after", 3);
@@ -481,7 +516,7 @@ mod tests {
         drop(tree2);
         arena.crash_seeded(6);
         let (tree3, _) = DurableMasstree::open(&arena, small_config()).unwrap();
-        let ctx3 = tree3.thread_ctx(0);
+        let ctx3 = tree3.thread_ctx(0).unwrap();
         assert_eq!(tree3.get(&ctx3, b"before"), Some(1));
         assert_eq!(tree3.get(&ctx3, b"after"), Some(3));
     }
@@ -500,7 +535,7 @@ mod tests {
             .unwrap();
         superblock::format(&arena);
         let tree = DurableMasstree::create(&arena, config.clone()).unwrap();
-        let ctx = tree.thread_ctx(0);
+        let ctx = tree.thread_ctx(0).unwrap();
         let mut expect = BTreeMap::new();
         for i in 0..40u64 {
             tree.put(&ctx, &i.to_be_bytes(), i);
@@ -515,7 +550,7 @@ mod tests {
         drop(tree);
         arena.crash_seeded(3);
         let (tree2, _) = DurableMasstree::open(&arena, config).unwrap();
-        let ctx2 = tree2.thread_ctx(0);
+        let ctx2 = tree2.thread_ctx(0).unwrap();
         let want: Vec<_> = expect.into_iter().collect();
         assert_eq!(collect(&tree2, &ctx2), want);
     }
@@ -524,7 +559,7 @@ mod tests {
     fn skewed_updates_share_incll_slot() {
         // Repeated updates of one key in an epoch need only one InCLL log.
         let (a, t) = fresh(false);
-        let ctx = t.thread_ctx(0);
+        let ctx = t.thread_ctx(0).unwrap();
         t.put(&ctx, b"hot", 0);
         t.epoch_manager().advance();
         let before = a.stats().snapshot();
@@ -542,7 +577,7 @@ mod tests {
         // changes (~once an hour at 64 ms epochs) the node must be
         // external-logged instead (§4.1.3).
         let (a, t) = fresh(false);
-        let ctx = t.thread_ctx(0);
+        let ctx = t.thread_ctx(0).unwrap();
         t.put(&ctx, b"wrapkey", 1);
         t.epoch_manager().advance(); // nodeEpoch ∈ window 0
 
@@ -576,7 +611,7 @@ mod tests {
         let tree = DurableMasstree::create(&arena, small_config()).unwrap();
         let mut expect = BTreeMap::new();
         {
-            let ctx = tree.thread_ctx(0);
+            let ctx = tree.thread_ctx(0).unwrap();
             for i in 0..30u64 {
                 tree.put(&ctx, &i.to_be_bytes(), i);
                 expect.insert(i.to_be_bytes().to_vec(), i);
@@ -593,7 +628,7 @@ mod tests {
         drop(tree);
         arena.crash_seeded(4);
         let (tree2, _) = DurableMasstree::open(&arena, small_config()).unwrap();
-        let ctx2 = tree2.thread_ctx(0);
+        let ctx2 = tree2.thread_ctx(0).unwrap();
         let want: Vec<_> = expect.into_iter().collect();
         assert_eq!(collect(&tree2, &ctx2), want);
     }
@@ -618,7 +653,7 @@ mod tests {
     #[test]
     fn clean_reopen_preserves_everything() {
         let (arena, tree) = fresh(true);
-        let ctx = tree.thread_ctx(0);
+        let ctx = tree.thread_ctx(0).unwrap();
         let mut expect = BTreeMap::new();
         for i in 0..300u64 {
             tree.put(&ctx, &i.to_be_bytes(), i * 2);
@@ -629,8 +664,299 @@ mod tests {
         drop(tree);
         // No crash: reopen (uniform with recovery).
         let (tree2, _) = DurableMasstree::open(&arena, small_config()).unwrap();
-        let ctx2 = tree2.thread_ctx(0);
+        let ctx2 = tree2.thread_ctx(0).unwrap();
         let want: Vec<_> = expect.into_iter().collect();
         assert_eq!(collect(&tree2, &ctx2), want);
+    }
+
+    // ---------------- byte-slice values ----------------
+
+    /// Deterministic variable-length value: spans empty through the 320+
+    /// byte classes so crash tests cross size-class boundaries.
+    fn bval(i: u64) -> Vec<u8> {
+        let len = ((i * 37) % 347) as usize;
+        (0..len).map(|j| (i as u8).wrapping_add(j as u8)).collect()
+    }
+
+    fn collect_bytes(tree: &DurableMasstree, ctx: &DCtx) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let mut out = Vec::new();
+        tree.scan_bytes(ctx, b"", usize::MAX, &mut |k, v| {
+            out.push((k.to_vec(), v.to_vec()))
+        });
+        out
+    }
+
+    #[test]
+    fn byte_put_get_update_remove() {
+        let (_a, t) = fresh(false);
+        let ctx = t.thread_ctx(0).unwrap();
+        assert_eq!(t.put_bytes(&ctx, b"alpha", b"one").unwrap(), None);
+        assert_eq!(t.get_bytes(&ctx, b"alpha").as_deref(), Some(&b"one"[..]));
+        assert_eq!(
+            t.put_bytes(&ctx, b"alpha", &[7u8; 300]).unwrap().as_deref(),
+            Some(&b"one"[..]),
+            "class-crossing update returns the old value"
+        );
+        assert_eq!(
+            t.get_bytes(&ctx, b"alpha").as_deref(),
+            Some(&[7u8; 300][..])
+        );
+        assert_eq!(
+            t.put_bytes(&ctx, b"alpha", b"").unwrap().as_deref(),
+            Some(&[7u8; 300][..])
+        );
+        assert_eq!(t.get_bytes(&ctx, b"alpha").as_deref(), Some(&b""[..]));
+        assert!(t.remove(&ctx, b"alpha"));
+        assert_eq!(t.get_bytes(&ctx, b"alpha"), None);
+    }
+
+    #[test]
+    fn byte_and_u64_forms_interoperate() {
+        let (_a, t) = fresh(false);
+        let ctx = t.thread_ctx(0).unwrap();
+        t.put(&ctx, b"k", 0xAB54_A98C_EB1F_0AD2);
+        assert_eq!(
+            t.get_bytes(&ctx, b"k").as_deref(),
+            Some(&0xAB54_A98C_EB1F_0AD2u64.to_le_bytes()[..]),
+            "u64 payloads are little-endian 8-byte values"
+        );
+        t.put_bytes(&ctx, b"k", &7u64.to_le_bytes()).unwrap();
+        assert_eq!(t.get(&ctx, b"k"), Some(7));
+    }
+
+    #[test]
+    fn oversized_value_is_rejected_without_mutation() {
+        let (_a, t) = fresh(false);
+        let ctx = t.thread_ctx(0).unwrap();
+        t.put_bytes(&ctx, b"k", b"keep").unwrap();
+        let big = vec![0u8; MAX_VALUE_BYTES + 1];
+        assert!(matches!(
+            t.put_bytes(&ctx, b"k", &big),
+            Err(Error::ValueTooLarge { .. })
+        ));
+        assert_eq!(t.get_bytes(&ctx, b"k").as_deref(), Some(&b"keep"[..]));
+        // The boundary itself is accepted.
+        t.put_bytes(&ctx, b"k", &big[..MAX_VALUE_BYTES]).unwrap();
+        assert_eq!(
+            t.get_bytes(&ctx, b"k").map(|v| v.len()),
+            Some(MAX_VALUE_BYTES)
+        );
+    }
+
+    #[test]
+    fn thread_ctx_is_bounds_checked() {
+        let (_a, t) = fresh(false);
+        assert!(t.thread_ctx(0).is_ok());
+        assert!(t.thread_ctx(1).is_ok());
+        assert!(matches!(
+            t.thread_ctx(2),
+            Err(Error::TooManyThreads { limit: 2 })
+        ));
+        assert!(matches!(
+            t.thread_ctx(usize::MAX),
+            Err(Error::TooManyThreads { .. })
+        ));
+    }
+
+    #[test]
+    fn no_flushes_on_byte_value_op_path() {
+        // The acceptance bar for the byte-value redesign: puts that hit
+        // existing size-class buffers keep the InCLL path — zero fences
+        // beyond external-log seals.
+        let (a, t) = fresh(false);
+        let ctx = t.thread_ctx(0).unwrap();
+        // Warm up both the 32-byte and the 128-byte classes, then start a
+        // fresh epoch.
+        for i in 0..64u64 {
+            t.put_bytes(&ctx, &i.to_be_bytes(), &[i as u8; 16]).unwrap();
+            t.put_bytes(&ctx, &(500 + i).to_be_bytes(), &[i as u8; 100])
+                .unwrap();
+        }
+        t.epoch_manager().advance();
+        let before = a.stats().snapshot();
+        for i in 0..32u64 {
+            t.put_bytes(&ctx, &(1000 + i).to_be_bytes(), &[1u8; 16])
+                .unwrap();
+            t.put_bytes(&ctx, &i.to_be_bytes(), &[2u8; 20]).unwrap(); // updates, same class
+            t.put_bytes(&ctx, &(500 + i).to_be_bytes(), &[3u8; 90])
+                .unwrap();
+            t.get_bytes(&ctx, &i.to_be_bytes());
+        }
+        let d = a.stats().snapshot().delta(&before);
+        assert_eq!(
+            d.sfence, d.ext_nodes_logged,
+            "every fence must come from an external-log seal"
+        );
+        assert!(d.incll_perm_logs > 0, "InCLLp should be absorbing inserts");
+        assert!(d.incll_val_logs > 0, "ValInCLL should be absorbing updates");
+    }
+
+    /// Byte-value twin of `crash_roundtrip`.
+    fn crash_roundtrip_bytes(
+        seed: u64,
+        setup: impl Fn(&DurableMasstree, &DCtx) -> BTreeMap<Vec<u8>, Vec<u8>>,
+        mutate: impl Fn(&DurableMasstree, &DCtx),
+    ) {
+        let (arena, tree) = fresh(true);
+        let ctx = tree.thread_ctx(0).unwrap();
+        let expect = setup(&tree, &ctx);
+        tree.epoch_manager().advance(); // checkpoint the setup state
+        mutate(&tree, &ctx); // doomed epoch
+        drop(ctx);
+        drop(tree);
+        arena.crash_seeded(seed);
+
+        let (tree2, report) = DurableMasstree::open(&arena, small_config()).unwrap();
+        assert!(report.failed_epoch >= 2);
+        let ctx2 = tree2.thread_ctx(0).unwrap();
+        let got = collect_bytes(&tree2, &ctx2);
+        let want: Vec<_> = expect.into_iter().collect();
+        assert_eq!(got, want, "seed {seed}: must match the checkpoint");
+    }
+
+    #[test]
+    fn crash_reverts_inserts_bytes() {
+        for seed in 0..10 {
+            crash_roundtrip_bytes(
+                seed,
+                |t, ctx| {
+                    let mut m = BTreeMap::new();
+                    for i in 0..20u64 {
+                        t.put_bytes(ctx, &i.to_be_bytes(), &bval(i)).unwrap();
+                        m.insert(i.to_be_bytes().to_vec(), bval(i));
+                    }
+                    m
+                },
+                |t, ctx| {
+                    for i in 20..40u64 {
+                        t.put_bytes(ctx, &i.to_be_bytes(), &bval(i)).unwrap();
+                    }
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn crash_reverts_updates_bytes() {
+        for seed in 0..10 {
+            crash_roundtrip_bytes(
+                seed,
+                |t, ctx| {
+                    let mut m = BTreeMap::new();
+                    for i in 0..20u64 {
+                        t.put_bytes(ctx, &i.to_be_bytes(), &bval(i)).unwrap();
+                        m.insert(i.to_be_bytes().to_vec(), bval(i));
+                    }
+                    m
+                },
+                |t, ctx| {
+                    for i in 0..20u64 {
+                        // Doomed updates cross size classes both ways.
+                        t.put_bytes(ctx, &i.to_be_bytes(), &bval(i + 1000)).unwrap();
+                    }
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn crash_reverts_removes_bytes() {
+        for seed in 0..10 {
+            crash_roundtrip_bytes(
+                seed,
+                |t, ctx| {
+                    let mut m = BTreeMap::new();
+                    for i in 0..20u64 {
+                        t.put_bytes(ctx, &i.to_be_bytes(), &bval(i)).unwrap();
+                        m.insert(i.to_be_bytes().to_vec(), bval(i));
+                    }
+                    m
+                },
+                |t, ctx| {
+                    for i in 0..10u64 {
+                        t.remove(ctx, &i.to_be_bytes());
+                    }
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn crash_reverts_remove_then_insert_same_epoch_bytes() {
+        // The InCLLp hazard case: forces the external-log fallback.
+        for seed in 0..10 {
+            crash_roundtrip_bytes(
+                seed,
+                |t, ctx| {
+                    let mut m = BTreeMap::new();
+                    for i in 0..14u64 {
+                        t.put_bytes(ctx, &i.to_be_bytes(), &bval(i)).unwrap();
+                        m.insert(i.to_be_bytes().to_vec(), bval(i));
+                    }
+                    m
+                },
+                |t, ctx| {
+                    for i in 0..7u64 {
+                        t.remove(ctx, &i.to_be_bytes());
+                    }
+                    for i in 100..107u64 {
+                        t.put_bytes(ctx, &i.to_be_bytes(), &bval(i)).unwrap();
+                    }
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn crash_reverts_splits_bytes() {
+        for seed in 0..10 {
+            crash_roundtrip_bytes(
+                seed,
+                |t, ctx| {
+                    let mut m = BTreeMap::new();
+                    for i in 0..10u64 {
+                        t.put_bytes(ctx, &i.to_be_bytes(), &bval(i)).unwrap();
+                        m.insert(i.to_be_bytes().to_vec(), bval(i));
+                    }
+                    m
+                },
+                |t, ctx| {
+                    // Far beyond one leaf: leaf + interior splits.
+                    for i in 10..400u64 {
+                        t.put_bytes(ctx, &i.to_be_bytes(), &bval(i)).unwrap();
+                    }
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn byte_value_buffers_revert_with_contents_intact() {
+        // §5 EBR for the generalized buffers: reverted pointers across all
+        // size classes see intact contents after heavy doomed churn.
+        let (arena, tree) = fresh(true);
+        let ctx = tree.thread_ctx(0).unwrap();
+        for i in 0..150u64 {
+            tree.put_bytes(&ctx, &i.to_be_bytes(), &bval(i)).unwrap();
+        }
+        tree.epoch_manager().advance();
+        for round in 0..3u64 {
+            for i in 0..150u64 {
+                tree.put_bytes(&ctx, &i.to_be_bytes(), &bval(i + round * 500 + 1))
+                    .unwrap();
+            }
+        }
+        drop(ctx);
+        drop(tree);
+        arena.crash_seeded(404);
+        let (tree2, _) = DurableMasstree::open(&arena, small_config()).unwrap();
+        let ctx2 = tree2.thread_ctx(0).unwrap();
+        for i in 0..150u64 {
+            assert_eq!(
+                tree2.get_bytes(&ctx2, &i.to_be_bytes()),
+                Some(bval(i)),
+                "key {i}"
+            );
+        }
     }
 }

@@ -32,11 +32,15 @@ use incll_extlog::ExtLog;
 use incll_palloc::PAlloc;
 use incll_pmem::{superblock, PArena};
 
+use crate::error::Error;
 use crate::tree::{DurableConfig, DurableMasstree, Inner};
 
 /// What recovery did; the §6.3 experiment reports these numbers.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RecoveryReport {
+    /// `true` when [`crate::Store::open`] found no existing store and
+    /// created a fresh one (nothing below applies in that case).
+    pub created: bool,
     /// The epoch the crash interrupted.
     pub failed_epoch: u64,
     /// All durable failed epochs after recording this crash.
@@ -52,6 +56,9 @@ pub struct RecoveryReport {
 impl DurableMasstree {
     /// Recovers a durable tree from a crashed (or cleanly closed) arena.
     ///
+    /// Most callers want [`crate::Store::open`], which formats/creates on
+    /// first use and recovers otherwise.
+    ///
     /// # Errors
     ///
     /// Fails if the failed-epoch set is full
@@ -60,10 +67,7 @@ impl DurableMasstree {
     /// # Panics
     ///
     /// Panics if the arena was never [`DurableMasstree::create`]d.
-    pub fn open(
-        arena: &PArena,
-        config: DurableConfig,
-    ) -> Result<(Self, RecoveryReport), incll_pmem::Error> {
+    pub fn open(arena: &PArena, config: DurableConfig) -> Result<(Self, RecoveryReport), Error> {
         assert!(
             superblock::is_formatted(arena) && arena.pread_u64(superblock::SB_TREE_META) == 1,
             "arena holds no durable tree; call create first"
@@ -126,6 +130,7 @@ impl DurableMasstree {
         };
         tree.attach_hooks();
         let report = RecoveryReport {
+            created: false,
             failed_epoch,
             failed_epochs: failed,
             replayed_entries: replay.entries_applied,

@@ -1,0 +1,439 @@
+//! The `Store` facade: unified lifecycle, RAII sessions, byte-slice
+//! values, and iterator scans.
+//!
+//! [`Store`] is the front door of the crate. It wraps the durable Masstree
+//! behind an embedded-KV-store shape:
+//!
+//! * **One-call lifecycle** — [`Store::open`] formats an empty arena,
+//!   creates a fresh store, or recovers an existing one, and always
+//!   returns a [`RecoveryReport`] describing what happened.
+//! * **RAII sessions** — [`Store::session`] hands out a slot from the
+//!   bounded per-thread pool ([`Options::threads`]); dropping the
+//!   [`Session`] releases it. No unchecked thread ids.
+//! * **Byte-slice values** — [`Store::put`]/[`Store::get`] move `&[u8]`
+//!   values in and out of length-prefixed, size-classed durable buffers
+//!   (§5), with [`Store::put_u64`]/[`Store::get_u64`] as the paper's
+//!   8-byte-payload convenience.
+//! * **Scans** — callback ([`Store::scan`]) and iterator
+//!   ([`Store::range`], [`Store::iter`]) forms.
+//!
+//! ```
+//! use incll_pmem::PArena;
+//! use incll::{Options, Store};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let arena = PArena::builder().capacity_bytes(16 << 20).build()?;
+//! let opts = Options::new().threads(1).log_bytes_per_thread(1 << 20);
+//! let (store, report) = Store::open(&arena, opts)?;
+//! assert!(report.created);
+//! let sess = store.session()?;
+//! store.put(&sess, b"k", b"some bytes")?;
+//! assert_eq!(store.get(&sess, b"k").as_deref(), Some(&b"some bytes"[..]));
+//! store.checkpoint(); // durable from here on
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::VecDeque;
+use std::ops::{Bound, RangeBounds};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use incll_epoch::{EpochManager, Guard};
+use incll_pmem::{superblock, PArena};
+
+use crate::error::Error;
+use crate::recovery::RecoveryReport;
+use crate::tree::{DCtx, DurableConfig, DurableMasstree};
+
+/// Builder-style construction options for [`Store::open`].
+///
+/// The defaults match [`DurableConfig::default`]: 8 thread slots, 16 MiB
+/// of external log per thread, InCLL enabled.
+#[derive(Debug, Clone)]
+pub struct Options {
+    config: DurableConfig,
+}
+
+impl Options {
+    /// Default options.
+    pub fn new() -> Self {
+        Options {
+            config: DurableConfig::default(),
+        }
+    }
+
+    /// Session-slot count (per-thread allocator lists + log buffers).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// External-log capacity per thread, in bytes.
+    #[must_use]
+    pub fn log_bytes_per_thread(mut self, bytes: usize) -> Self {
+        self.config.log_bytes_per_thread = bytes;
+        self
+    }
+
+    /// `false` selects the paper's LOGGING ablation (external log only).
+    #[must_use]
+    pub fn incll(mut self, enabled: bool) -> Self {
+        self.config.incll_enabled = enabled;
+        self
+    }
+
+    /// The low-level configuration these options describe.
+    pub fn to_config(&self) -> DurableConfig {
+        self.config.clone()
+    }
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options::new()
+    }
+}
+
+/// Bounded pool of per-thread slots backing [`Session`]s.
+struct SlotPool {
+    free: Mutex<Vec<usize>>,
+    limit: usize,
+}
+
+impl SlotPool {
+    fn new(limit: usize) -> Arc<Self> {
+        Arc::new(SlotPool {
+            // Reversed so the first session gets slot 0.
+            free: Mutex::new((0..limit).rev().collect()),
+            limit,
+        })
+    }
+}
+
+/// A registered operation handle: one slot from the store's bounded
+/// per-thread pool, released automatically on drop.
+///
+/// Obtain via [`Store::session`]; pass by reference to every operation.
+/// A `Session` is single-threaded state (`!Sync` use pattern: one per
+/// worker thread), but may be *moved* across threads.
+pub struct Session {
+    ctx: DCtx,
+    pool: Arc<SlotPool>,
+    tid: usize,
+}
+
+impl Session {
+    /// The slot id this session occupies.
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// Pins the current epoch for a multi-operation sequence.
+    pub fn pin(&self) -> Guard<'_> {
+        self.ctx.pin()
+    }
+
+    /// The mid-level per-thread context (escape hatch for APIs that still
+    /// speak [`DurableMasstree`]). Using this keeps the slot under the
+    /// pool's accounting — prefer it over a separate
+    /// [`DurableMasstree::thread_ctx`] call, which the pool cannot see.
+    pub fn ctx(&self) -> &DCtx {
+        &self.ctx
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        self.pool.free.lock().push(self.tid);
+    }
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session").field("tid", &self.tid).finish()
+    }
+}
+
+/// A durable, crash-recoverable key-value store (see module docs).
+///
+/// Cheap to clone; all clones share the underlying tree and session pool.
+#[derive(Clone)]
+pub struct Store {
+    tree: DurableMasstree,
+    slots: Arc<SlotPool>,
+}
+
+impl Store {
+    /// Opens the store in `arena`, doing whatever the arena's state calls
+    /// for: **format** if the arena is blank, **create** if it holds no
+    /// store yet, **recover** otherwise (uniform across crashes and clean
+    /// shutdowns). The report says which path ran
+    /// ([`RecoveryReport::created`]) and what recovery replayed.
+    ///
+    /// # Errors
+    ///
+    /// Arena exhaustion while creating, or a full failed-epoch set while
+    /// recovering.
+    pub fn open(arena: &PArena, options: Options) -> Result<(Store, RecoveryReport), Error> {
+        let config = options.to_config();
+        if !superblock::is_formatted(arena) {
+            superblock::format(arena);
+        }
+        let (tree, report) = if arena.pread_u64(superblock::SB_TREE_META) == 1 {
+            DurableMasstree::open(arena, config)?
+        } else {
+            let tree = DurableMasstree::create(arena, config)?;
+            let report = RecoveryReport {
+                created: true,
+                failed_epoch: 0,
+                failed_epochs: Vec::new(),
+                replayed_entries: 0,
+                replayed_bytes: 0,
+                replay_time: Duration::ZERO,
+            };
+            (tree, report)
+        };
+        let slots = SlotPool::new(tree.allocator().threads());
+        Ok((Store { tree, slots }, report))
+    }
+
+    /// Acquires a session slot from the bounded pool.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::TooManyThreads`] when every configured slot
+    /// ([`Options::threads`]) is held by a live [`Session`].
+    pub fn session(&self) -> Result<Session, Error> {
+        let tid = self.slots.free.lock().pop().ok_or(Error::TooManyThreads {
+            limit: self.slots.limit,
+        })?;
+        let ctx = self
+            .tree
+            .thread_ctx(tid)
+            .expect("pool slots are within the configured range");
+        Ok(Session {
+            ctx,
+            pool: Arc::clone(&self.slots),
+            tid,
+        })
+    }
+
+    // ==================================================================
+    // Operations
+    // ==================================================================
+
+    /// Inserts or updates `key`, returning a copy of the previous value.
+    ///
+    /// The value lands in a fresh length-prefixed durable buffer from the
+    /// size class fitting it; like every operation here, no cache-line
+    /// flush or fence runs on this path.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ValueTooLarge`] above [`crate::MAX_VALUE_BYTES`].
+    pub fn put(&self, sess: &Session, key: &[u8], value: &[u8]) -> Result<Option<Vec<u8>>, Error> {
+        self.tree.put_bytes(&sess.ctx, key, value)
+    }
+
+    /// Looks up `key`, returning a copy of its value.
+    pub fn get(&self, sess: &Session, key: &[u8]) -> Option<Vec<u8>> {
+        self.tree.get_bytes(&sess.ctx, key)
+    }
+
+    /// Removes `key`, returning whether it was present.
+    pub fn remove(&self, sess: &Session, key: &[u8]) -> bool {
+        self.tree.remove(&sess.ctx, key)
+    }
+
+    /// [`Store::put`] for the paper's 8-byte payloads (stored
+    /// little-endian; interchangeable with the byte-slice form).
+    ///
+    /// The returned previous payload is meaningful only when the previous
+    /// value was itself 8 bytes; for mixed-width keys use [`Store::put`],
+    /// which returns the full previous value.
+    pub fn put_u64(&self, sess: &Session, key: &[u8], value: u64) -> Option<u64> {
+        self.tree.put(&sess.ctx, key, value)
+    }
+
+    /// [`Store::get`] for the paper's 8-byte payloads.
+    pub fn get_u64(&self, sess: &Session, key: &[u8]) -> Option<u64> {
+        self.tree.get(&sess.ctx, key)
+    }
+
+    /// Scans at most `limit` keys ≥ `start` in order, passing each
+    /// (key, value) pair to `f`. Returns the number visited.
+    pub fn scan(
+        &self,
+        sess: &Session,
+        start: &[u8],
+        limit: usize,
+        f: &mut dyn FnMut(&[u8], &[u8]),
+    ) -> usize {
+        self.tree.scan_bytes(&sess.ctx, start, limit, f)
+    }
+
+    /// Iterates `(key, value)` pairs over a key range, in order.
+    ///
+    /// Bounds are byte strings: `store.range(&sess, &b"a"[..]..&b"m"[..])`.
+    /// For the full store use [`Store::iter`].
+    pub fn range<'s, K, R>(&'s self, sess: &'s Session, bounds: R) -> RangeScan<'s>
+    where
+        K: AsRef<[u8]>,
+        R: RangeBounds<K>,
+    {
+        let start = match bounds.start_bound() {
+            Bound::Unbounded => Vec::new(),
+            Bound::Included(k) => k.as_ref().to_vec(),
+            Bound::Excluded(k) => successor(k.as_ref().to_vec()),
+        };
+        let end = match bounds.end_bound() {
+            Bound::Unbounded => Bound::Unbounded,
+            Bound::Included(k) => Bound::Included(k.as_ref().to_vec()),
+            Bound::Excluded(k) => Bound::Excluded(k.as_ref().to_vec()),
+        };
+        RangeScan {
+            store: self,
+            sess,
+            next_start: Some(start),
+            end,
+            buf: VecDeque::new(),
+            batch: RANGE_BATCH,
+        }
+    }
+
+    /// Iterates every `(key, value)` pair in order.
+    pub fn iter<'s>(&'s self, sess: &'s Session) -> RangeScan<'s> {
+        self.range::<&[u8], _>(sess, ..)
+    }
+
+    // ==================================================================
+    // Lifecycle & introspection
+    // ==================================================================
+
+    /// Takes a checkpoint now: everything written so far survives any
+    /// later crash. Returns the new epoch. (Background cadence:
+    /// [`incll_epoch::AdvanceDriver`] on [`Store::epoch_manager`].)
+    pub fn checkpoint(&self) -> u64 {
+        self.tree.epoch_manager().advance()
+    }
+
+    /// The epoch authority driving fine-grain checkpoints.
+    pub fn epoch_manager(&self) -> &EpochManager {
+        self.tree.epoch_manager()
+    }
+
+    /// The underlying arena (stats counters, latency knobs).
+    pub fn arena(&self) -> &PArena {
+        self.tree.arena()
+    }
+
+    /// The configured session-slot count.
+    pub fn threads(&self) -> usize {
+        self.slots.limit
+    }
+
+    /// The mid-level tree this store wraps (escape hatch; the facade is
+    /// the supported surface).
+    ///
+    /// The session pool and [`DurableMasstree::thread_ctx`] hand out the
+    /// **same** per-thread slots without knowing about each other: do not
+    /// run a raw `thread_ctx(tid)` context concurrently with sessions, or
+    /// two owners of one allocator free list / log buffer can race. Use
+    /// [`Session::ctx`] to reach mid-level APIs from a pooled slot.
+    pub fn masstree(&self) -> &DurableMasstree {
+        &self.tree
+    }
+}
+
+impl std::fmt::Debug for Store {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Store")
+            .field("threads", &self.slots.limit)
+            .field("tree", &self.tree)
+            .finish()
+    }
+}
+
+/// Keys-in-batches pull iterator returned by [`Store::range`].
+///
+/// Each refill runs one bounded scan; mutations racing the iterator are
+/// seen or missed per batch exactly as they would be by the equivalent
+/// sequence of [`Store::scan`] calls.
+pub struct RangeScan<'s> {
+    store: &'s Store,
+    sess: &'s Session,
+    /// Start key of the next batch; `None` once exhausted.
+    next_start: Option<Vec<u8>>,
+    end: Bound<Vec<u8>>,
+    buf: VecDeque<(Vec<u8>, Vec<u8>)>,
+    batch: usize,
+}
+
+/// Keys fetched per refill.
+const RANGE_BATCH: usize = 64;
+
+impl RangeScan<'_> {
+    fn refill(&mut self) {
+        let Some(start) = self.next_start.take() else {
+            return;
+        };
+        let mut visited = 0usize;
+        let mut past_end = false;
+        let (buf, end) = (&mut self.buf, &self.end);
+        let tree = self.store.masstree();
+        let arena = tree.arena();
+        // scan_raw yields value-buffer offsets, so each in-bound value is
+        // copied exactly once (directly into the batch).
+        tree.scan_raw(self.sess.ctx(), &start, self.batch, &mut |k, vbuf| {
+            visited += 1;
+            if past_end {
+                return;
+            }
+            if !within_end(end, k) {
+                past_end = true;
+                return;
+            }
+            buf.push_back((k.to_vec(), crate::tree::read_value_bytes(arena, vbuf)));
+        });
+        // Re-arm only if this batch was full and still inside the bound.
+        // `buf` was empty on entry (the iterator drains it before
+        // refilling), so its back is the last visited in-bound key.
+        if visited == self.batch && !past_end {
+            if let Some((last, _)) = self.buf.back() {
+                self.next_start = Some(successor(last.clone()));
+            }
+        }
+    }
+}
+
+impl Iterator for RangeScan<'_> {
+    type Item = (Vec<u8>, Vec<u8>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(pair) = self.buf.pop_front() {
+                return Some(pair);
+            }
+            self.next_start.as_ref()?;
+            self.refill();
+        }
+    }
+}
+
+/// The smallest byte string strictly greater than `k`.
+fn successor(mut k: Vec<u8>) -> Vec<u8> {
+    k.push(0);
+    k
+}
+
+fn within_end(end: &Bound<Vec<u8>>, key: &[u8]) -> bool {
+    match end {
+        Bound::Unbounded => true,
+        Bound::Included(e) => key <= e.as_slice(),
+        Bound::Excluded(e) => key < e.as_slice(),
+    }
+}

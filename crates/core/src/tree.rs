@@ -28,6 +28,7 @@ use incll_masstree::key::{entry_cmp, ikey_bytes, search_klenx, KeyCursor, KLEN_L
 use incll_palloc::PAlloc;
 use incll_pmem::{superblock, PArena};
 
+use crate::error::{Error, MAX_VALUE_BYTES};
 use crate::layout::{
     incll_for, meta, off_ikey, off_int_child, off_int_key, off_val, val_incll, DPerm, INT_WIDTH,
     LEAF_WIDTH, NODE_BYTES, OFF_INCLL1, OFF_INCLL2, OFF_INT_NKEYS, OFF_KLENX, OFF_META, OFF_NEXT,
@@ -35,7 +36,12 @@ use crate::layout::{
 };
 use crate::pversion as pv;
 
-/// Durable value-buffer size (paper §6: 32-byte buffers).
+/// Minimum durable value-buffer size (paper §6: 32-byte buffers).
+///
+/// Every value buffer is length-prefixed (`[len: u64][payload bytes]`) and
+/// allocated from the size class fitting `8 + len`, but never smaller than
+/// this — so the paper's fixed 32-byte-buffer regime is exactly what small
+/// (e.g. `u64`) values get.
 pub const VALUE_BUF_BYTES: usize = 32;
 /// Layer root-holder cell size.
 const HOLDER_BYTES: usize = 16;
@@ -132,6 +138,10 @@ impl DurableMasstree {
     /// Creates a fresh durable tree in a formatted arena, flushing the
     /// initial state so it survives an immediate crash.
     ///
+    /// Most callers want the [`crate::Store`] facade instead, whose
+    /// [`crate::Store::open`] formats and creates (or recovers) in one
+    /// call.
+    ///
     /// # Errors
     ///
     /// Propagates arena exhaustion.
@@ -140,7 +150,7 @@ impl DurableMasstree {
     ///
     /// Panics if the arena is not formatted
     /// ([`incll_pmem::superblock::format`]).
-    pub fn create(arena: &PArena, config: DurableConfig) -> Result<Self, incll_palloc::Error> {
+    pub fn create(arena: &PArena, config: DurableConfig) -> Result<Self, Error> {
         assert!(
             superblock::is_formatted(arena),
             "arena must be formatted before create"
@@ -200,32 +210,92 @@ impl DurableMasstree {
         &self.inner.alloc
     }
 
-    /// Registers the calling thread.
-    pub fn thread_ctx(&self, tid: usize) -> DCtx {
-        DCtx {
+    /// Registers the calling thread on slot `tid`.
+    ///
+    /// Slot ids index the per-thread allocator free lists and external-log
+    /// buffers, so they are bounds-checked against the configured pool
+    /// ([`DurableConfig::threads`]). [`crate::Store::session`] hands out
+    /// slots automatically.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::TooManyThreads`] when `tid` is outside the configured
+    /// range.
+    pub fn thread_ctx(&self, tid: usize) -> Result<DCtx, Error> {
+        let limit = self.inner.alloc.threads();
+        if tid >= limit {
+            return Err(Error::TooManyThreads { limit });
+        }
+        Ok(DCtx {
             handle: self.inner.mgr.register(),
             tid,
-        }
+        })
     }
 
     // ==================================================================
     // Public operations
     // ==================================================================
 
-    /// Looks up `key`.
+    /// Looks up `key`, returning its `u64` payload
+    /// (the [`DurableMasstree::put`] convenience encoding).
     pub fn get(&self, ctx: &DCtx, key: &[u8]) -> Option<u64> {
         let _g = ctx.handle.pin();
         // SAFETY: guard pinned; offsets reachable from the root are nodes.
-        unsafe { self.get_inner(key) }
+        unsafe { self.get_inner(key, read_value_u64) }
     }
 
-    /// Inserts or updates `key` (fresh 32-byte durable buffer per put),
-    /// returning the previous payload.
+    /// Looks up `key`, returning a copy of its byte-slice value.
+    pub fn get_bytes(&self, ctx: &DCtx, key: &[u8]) -> Option<Vec<u8>> {
+        let _g = ctx.handle.pin();
+        // SAFETY: as for `get`.
+        unsafe { self.get_inner(key, read_value_bytes) }
+    }
+
+    /// Inserts or updates `key` with a `u64` payload (stored little-endian
+    /// in a fresh length-prefixed durable buffer), returning the previous
+    /// payload.
+    ///
+    /// The returned payload is meaningful only when the previous value was
+    /// itself 8 bytes wide; use [`DurableMasstree::put_bytes`] to observe
+    /// the full previous value of mixed-width keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the arena is exhausted (use
+    /// [`DurableMasstree::put_bytes`] for the error-returning form).
     pub fn put(&self, ctx: &DCtx, key: &[u8], val: u64) -> Option<u64> {
         let g = ctx.handle.pin();
         let epoch = g.epoch();
         // SAFETY: as for `get`.
-        unsafe { self.put_inner(ctx, epoch, key, val) }
+        unsafe { self.put_inner(ctx, epoch, key, &val.to_le_bytes(), read_value_u64) }
+            .expect("arena full")
+    }
+
+    /// Inserts or updates `key` with a byte-slice value (fresh size-classed
+    /// durable buffer per put, §5), returning a copy of the previous value.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ValueTooLarge`] when `val` exceeds [`MAX_VALUE_BYTES`] (the
+    /// tree is untouched in that case), and [`Error::Pmem`] when the arena
+    /// cannot fit the value buffer (the key's previous mapping survives).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena runs out *mid-split* while making room for a
+    /// brand-new key — structural node allocation still treats exhaustion
+    /// as fatal.
+    pub fn put_bytes(&self, ctx: &DCtx, key: &[u8], val: &[u8]) -> Result<Option<Vec<u8>>, Error> {
+        if val.len() > MAX_VALUE_BYTES {
+            return Err(Error::ValueTooLarge {
+                size: val.len(),
+                max: MAX_VALUE_BYTES,
+            });
+        }
+        let g = ctx.handle.pin();
+        let epoch = g.epoch();
+        // SAFETY: as for `get`.
+        unsafe { self.put_inner(ctx, epoch, key, val, read_value_bytes) }
     }
 
     /// Removes `key`, returning whether it was present.
@@ -236,8 +306,38 @@ impl DurableMasstree {
         unsafe { self.remove_inner(ctx, epoch, key) }
     }
 
-    /// Scans at most `limit` keys ≥ `start`, in order.
+    /// Scans at most `limit` keys ≥ `start` in order, passing each `u64`
+    /// payload to `f`.
     pub fn scan(
+        &self,
+        ctx: &DCtx,
+        start: &[u8],
+        limit: usize,
+        f: &mut dyn FnMut(&[u8], u64),
+    ) -> usize {
+        let a = &self.inner.arena;
+        self.scan_raw(ctx, start, limit, &mut |k, buf| {
+            f(k, read_value_u64(a, buf))
+        })
+    }
+
+    /// Scans at most `limit` keys ≥ `start` in order, passing each
+    /// byte-slice value to `f`.
+    pub fn scan_bytes(
+        &self,
+        ctx: &DCtx,
+        start: &[u8],
+        limit: usize,
+        f: &mut dyn FnMut(&[u8], &[u8]),
+    ) -> usize {
+        let a = &self.inner.arena;
+        self.scan_raw(ctx, start, limit, &mut |k, buf| {
+            f(k, &read_value_bytes(a, buf))
+        })
+    }
+
+    /// Callback scan over (key, value-buffer offset) pairs.
+    pub(crate) fn scan_raw(
         &self,
         ctx: &DCtx,
         start: &[u8],
@@ -627,7 +727,7 @@ impl DurableMasstree {
     // get
     // ==================================================================
 
-    unsafe fn get_inner(&self, key: &[u8]) -> Option<u64> {
+    unsafe fn get_inner<R>(&self, key: &[u8], read: impl Fn(&PArena, u64) -> R) -> Option<R> {
         unsafe {
             let a = &self.inner.arena;
             let mut cur = KeyCursor::new(key);
@@ -666,7 +766,7 @@ impl DurableMasstree {
                         continue 'retry;
                     }
                     match act {
-                        Act::Ret(Some(buf)) => return Some(a.pread_u64(buf)),
+                        Act::Ret(Some(buf)) => return Some(read(a, buf)),
                         Act::Ret(None) => return None,
                         Act::Descend(h) => {
                             holder = h;
@@ -688,15 +788,49 @@ impl DurableMasstree {
         (before ^ now) & (VSPLIT_MASK | pv::DELETED) != 0
     }
 
-    fn new_value_buf(&self, tid: usize, epoch: u64, val: u64) -> Result<u64, incll_palloc::Error> {
-        let buf = self.inner.alloc.alloc(tid, epoch, VALUE_BUF_BYTES)?;
-        // Plain store, no flush: the checkpoint flush persists contents,
+    /// Allocates a fresh length-prefixed value buffer holding `data`.
+    fn new_value_buf(&self, tid: usize, epoch: u64, data: &[u8]) -> Result<u64, Error> {
+        let buf = self
+            .inner
+            .alloc
+            .alloc(tid, epoch, value_buf_size(data.len()))?;
+        // Plain stores, no flush: the checkpoint flush persists contents,
         // and a crash reverts both the buffer and every reference (§5).
-        self.inner.arena.pwrite_u64(buf, val);
+        self.inner.arena.pwrite_u64(buf, data.len() as u64);
+        self.inner.arena.pwrite_bytes(buf + 8, data);
         Ok(buf)
     }
 
-    unsafe fn put_inner(&self, ctx: &DCtx, epoch: u64, key: &[u8], val: u64) -> Option<u64> {
+    /// Returns a value buffer to the allocator. The stored length prefix
+    /// names the size class; it is intact for any live buffer (the §5 EBR
+    /// argument: buffers referenced at a boundary are never overwritten
+    /// during the following epoch).
+    fn free_value_buf(&self, tid: usize, epoch: u64, buf: u64) {
+        let len = self.inner.arena.pread_u64(buf) as usize;
+        self.inner.alloc.free(tid, epoch, buf, value_buf_size(len));
+    }
+
+    unsafe fn put_inner<R>(
+        &self,
+        ctx: &DCtx,
+        epoch: u64,
+        key: &[u8],
+        val: &[u8],
+        read_old: impl Fn(&PArena, u64) -> R,
+    ) -> Result<Option<R>, Error> {
+        // Allocation failures below must release the held leaf lock before
+        // surfacing, or the leaf would be stuck locked forever.
+        macro_rules! alloc_or_unlock {
+            ($a:expr, $lf:expr, $alloc:expr) => {
+                match $alloc {
+                    Ok(off) => off,
+                    Err(e) => {
+                        pv::unlock($a, $lf, false, false);
+                        return Err(e.into());
+                    }
+                }
+            };
+        }
         unsafe {
             let a = &self.inner.arena;
             let tid = ctx.tid;
@@ -740,13 +874,13 @@ impl DurableMasstree {
                                 continue 'layer;
                             }
                             // Update: InCLL-log the old pointer, then swap.
-                            let nb = self.new_value_buf(tid, epoch, val).expect("arena full");
+                            let nb = alloc_or_unlock!(a, lf, self.new_value_buf(tid, epoch, val));
                             self.incll_val(tid, epoch, lf, slot, old);
                             a.pwrite_u64_release(lf + off_val(slot), nb);
                             pv::unlock(a, lf, false, false);
-                            let old_payload = a.pread_u64(old);
-                            self.inner.alloc.free(tid, epoch, old, VALUE_BUF_BYTES);
-                            return Some(old_payload);
+                            let old_payload = read_old(a, old);
+                            self.free_value_buf(tid, epoch, old);
+                            return Ok(Some(old_payload));
                         }
                         Search::NotFound { pos } => {
                             if target == 8 && pos < self.perm_of(lf).len() {
@@ -765,9 +899,11 @@ impl DurableMasstree {
                                     let (k, kl, old) = self.entry_at(lf, pos - 1);
                                     if k == ikey && kl == 8 {
                                         let slot = self.perm_of(lf).slot_at(pos - 1);
-                                        let h = self
-                                            .new_layer_with(tid, epoch, 0, 0, old)
-                                            .expect("arena full");
+                                        let h = alloc_or_unlock!(
+                                            a,
+                                            lf,
+                                            self.new_layer_with(tid, epoch, 0, 0, old)
+                                        );
                                         self.ensure_leaf_logged(tid, epoch, lf);
                                         pv::mark_dirty(a, lf, pv::DIRTY_INSERT);
                                         a.pwrite_u64_release(lf + off_val(slot), h);
@@ -780,13 +916,17 @@ impl DurableMasstree {
                                 }
                                 let mut sub = cur;
                                 sub.descend();
-                                let h = self.build_layer_chain(tid, epoch, sub, val);
+                                let h = alloc_or_unlock!(
+                                    a,
+                                    lf,
+                                    self.build_layer_chain(tid, epoch, sub, val)
+                                );
                                 self.insert_entry(ctx, epoch, holder, lf, pos, ikey, KLEN_LAYER, h);
-                                return None;
+                                return Ok(None);
                             }
-                            let nb = self.new_value_buf(tid, epoch, val).expect("arena full");
+                            let nb = alloc_or_unlock!(a, lf, self.new_value_buf(tid, epoch, val));
                             self.insert_entry(ctx, epoch, holder, lf, pos, ikey, target, nb);
-                            return None;
+                            return Ok(None);
                         }
                     }
                 }
@@ -824,19 +964,17 @@ impl DurableMasstree {
         tid: usize,
         epoch: u64,
         cur: KeyCursor<'_>,
-        val: u64,
-    ) -> u64 {
+        val: &[u8],
+    ) -> Result<u64, Error> {
         unsafe {
             if cur.is_terminal() {
-                let buf = self.new_value_buf(tid, epoch, val).expect("arena full");
-                self.new_layer_with(tid, epoch, cur.ikey(), cur.klen(), buf)
-                    .expect("arena full")
+                let buf = self.new_value_buf(tid, epoch, val)?;
+                Ok(self.new_layer_with(tid, epoch, cur.ikey(), cur.klen(), buf)?)
             } else {
                 let mut sub = cur;
                 sub.descend();
-                let inner = self.build_layer_chain(tid, epoch, sub, val);
-                self.new_layer_with(tid, epoch, cur.ikey(), KLEN_LAYER, inner)
-                    .expect("arena full")
+                let inner = self.build_layer_chain(tid, epoch, sub, val)?;
+                Ok(self.new_layer_with(tid, epoch, cur.ikey(), KLEN_LAYER, inner)?)
             }
         }
     }
@@ -882,7 +1020,7 @@ impl DurableMasstree {
                             perm.remove_at(pos);
                             a.pwrite_u64_release(lf + OFF_PERM, perm.raw());
                             pv::unlock(a, lf, true, false);
-                            self.inner.alloc.free(tid, epoch, val, VALUE_BUF_BYTES);
+                            self.free_value_buf(tid, epoch, val);
                             return true;
                         }
                         Search::NotFound { pos } => {
@@ -1203,7 +1341,7 @@ impl DurableMasstree {
                     } else {
                         let keylen = prefix.len() + kl as usize;
                         prefix.extend_from_slice(&ikey_bytes(k, kl));
-                        f(&prefix[..keylen], a.pread_u64(val));
+                        f(&prefix[..keylen], val);
                         prefix.truncate(keylen - kl as usize);
                         *remaining -= 1;
                         if *remaining == 0 {
@@ -1224,6 +1362,34 @@ impl DurableMasstree {
 /// Stores a node's parent word (helper shared by split paths).
 fn pv_store_parent(a: &PArena, node: u64, parent: u64) {
     a.pwrite_u64_release(node + OFF_PARENT, parent);
+}
+
+// ======================================================================
+// Value-buffer codec (`[len: u64][payload bytes]`, size-classed)
+// ======================================================================
+
+/// Allocation size for a value of `len` bytes: length prefix + payload,
+/// floored at the paper's 32-byte buffer so small values keep the §6
+/// regime.
+#[inline]
+fn value_buf_size(len: usize) -> usize {
+    (8 + len).max(VALUE_BUF_BYTES)
+}
+
+/// Reads a buffer's payload as the `u64` convenience encoding
+/// (little-endian, written by [`DurableMasstree::put`]).
+#[inline]
+fn read_value_u64(a: &PArena, buf: u64) -> u64 {
+    u64::from_le(a.pread_u64(buf + 8))
+}
+
+/// Copies a buffer's payload out.
+pub(crate) fn read_value_bytes(a: &PArena, buf: u64) -> Vec<u8> {
+    let len = a.pread_u64(buf) as usize;
+    debug_assert!(len <= MAX_VALUE_BYTES, "corrupt value-buffer length");
+    let mut out = vec![0u8; len];
+    a.pread_bytes(buf + 8, &mut out);
+    out
 }
 
 impl std::fmt::Debug for DurableMasstree {

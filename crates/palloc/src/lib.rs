@@ -329,13 +329,19 @@ impl PAlloc {
         let e32 = epoch as u32;
         let w0 = arena.pread_u64(obj);
         let w1 = arena.pread_u64(obj + 8);
-        let torn = header::counter(w0) != header::counter(w1);
-        if torn || header::epoch32(w0, w1) != e32 {
+        let decoded = header::decode(w0, w1, |e| self.is_failed_low32(e));
+        if decoded.torn || header::epoch32(w0, w1) != e32 {
             let nc = header::counter(w1).wrapping_add(1) & 3;
-            // Log the old next (garbage when the object was allocated —
-            // harmless: reverting re-allocates the object, whose next is
-            // then meaningless).
-            arena.pwrite_u64(obj + 8, header::pack(header::ptr(w0), nc, e32 as u16));
+            // Log the *crash-repaired* current next, not the raw current
+            // word: headers are repaired lazily (decode-time only), so
+            // when the previous header write happened in a failed epoch,
+            // `ptr(w0)` is exactly the rolled-back value — logging it
+            // would resurrect a dead link if this epoch fails too (the
+            // undo entry must capture the epoch-start state *as decode
+            // defines it*). Harmless garbage only when the object was
+            // allocated at epoch start: reverting re-allocates it and
+            // nothing follows its next.
+            arena.pwrite_u64(obj + 8, header::pack(decoded.next, nc, e32 as u16));
             arena.pwrite_u64_release(obj, header::pack(next, nc, (e32 >> 16) as u16));
             arena.stats().add_incll_alloc();
         } else {
@@ -804,6 +810,106 @@ mod tests {
         arena.crash_seeded(9);
         let alloc2 = PAlloc::open(&arena, 3);
         assert_eq!(alloc2.free_list(0, class), baseline);
+    }
+
+    #[test]
+    fn crash_chain_never_resurrects_live_objects() {
+        // Regression for a stale-undo-log bug: object headers are repaired
+        // lazily (decode-time only), so the first-modification log must
+        // capture the *decoded* next, not the raw current word — the raw
+        // word may itself be a rolled-back value from an earlier failed
+        // epoch, and re-logging it can splice a live object back onto a
+        // free list two crashes later. Seen in the wild as a committed
+        // key's value buffer being handed out to another key after a
+        // chain of (doomed churn, crash, recover, committed churn) rounds.
+        use std::collections::HashSet;
+
+        for seed in 0..10u64 {
+            let (arena, mut alloc) = tracked(1);
+            let class = class_for(32).unwrap();
+            let mut rng_state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            let mut rng = move || {
+                rng_state ^= rng_state << 13;
+                rng_state ^= rng_state >> 7;
+                rng_state ^= rng_state << 17;
+                rng_state
+            };
+
+            // live = allocated objects the "application" still references.
+            let mut live: Vec<u64> = Vec::new();
+            let mut epoch = 1u64;
+            for _ in 0..4 {
+                live.push(alloc.alloc(0, epoch, 32).unwrap());
+            }
+            // Checkpoint the initial state.
+            epoch += 1;
+            arena.pwrite_u64(superblock::SB_CUR_EPOCH, epoch);
+            arena.global_flush();
+            alloc.on_epoch_boundary(epoch);
+            let mut checkpoint = live.clone();
+
+            for round in 0..8u64 {
+                // "Clean restart": the uniform open-equals-recover protocol
+                // records the current (empty) epoch as failed and
+                // re-splices pendings under the next one — the pattern the
+                // full system produces on every reopen.
+                superblock::record_failed_epoch(&arena, epoch).unwrap();
+                epoch += 1;
+                alloc = PAlloc::open(&arena, epoch);
+
+                // Doomed churn: allocs and frees that the crash must undo.
+                let mut doomed_live = live.clone();
+                for _ in 0..(rng() % 8 + 1) {
+                    if rng() % 2 == 0 || doomed_live.is_empty() {
+                        doomed_live.push(alloc.alloc(0, epoch, 32).unwrap());
+                    } else {
+                        let at = (rng() as usize) % doomed_live.len();
+                        alloc.free(0, epoch, doomed_live.swap_remove(at), 32);
+                    }
+                }
+                superblock::record_failed_epoch(&arena, epoch).unwrap();
+                arena.crash_seeded(seed * 100 + round);
+
+                epoch += 1;
+                alloc = PAlloc::open(&arena, epoch);
+                live = checkpoint.clone();
+
+                // Invariant: nothing the application still references may
+                // appear on the repaired free or pending lists.
+                let live_objs: HashSet<u64> =
+                    live.iter().map(|p| p - HEADER_BYTES as u64).collect();
+                let mut seen = HashSet::new();
+                for obj in alloc
+                    .free_list(0, class)
+                    .into_iter()
+                    .chain(alloc.pending_list(0, class))
+                {
+                    assert!(
+                        !live_objs.contains(&obj),
+                        "seed {seed} round {round}: live object {obj:#x} resurrected"
+                    );
+                    assert!(
+                        seen.insert(obj),
+                        "seed {seed} round {round}: object {obj:#x} listed twice"
+                    );
+                }
+
+                // Committed churn, then a checkpoint.
+                for _ in 0..(rng() % 6 + 1) {
+                    if rng() % 2 == 0 || live.is_empty() {
+                        live.push(alloc.alloc(0, epoch, 32).unwrap());
+                    } else {
+                        let at = (rng() as usize) % live.len();
+                        alloc.free(0, epoch, live.swap_remove(at), 32);
+                    }
+                }
+                epoch += 1;
+                arena.pwrite_u64(superblock::SB_CUR_EPOCH, epoch);
+                arena.global_flush();
+                alloc.on_epoch_boundary(epoch);
+                checkpoint = live.clone();
+            }
+        }
     }
 
     #[test]

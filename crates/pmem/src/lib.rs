@@ -17,7 +17,7 @@
 //! * The **PCSO** (Persistent Cache Store Order) model — writes to one cache
 //!   line persist in program order; writes to different lines persist in an
 //!   arbitrary order unless explicitly fenced. Tracked mode journals every
-//!   durable store per line; [`PArena::crash`] independently truncates each
+//!   durable store per line; [`PArena::crash_seeded`] independently truncates each
 //!   line's history at a random prefix, producing an adversarial-but-legal
 //!   post-failure NVM image for recovery testing.
 //!

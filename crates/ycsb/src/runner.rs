@@ -14,7 +14,8 @@ use crate::zipf::ScrambledZipfian;
 
 /// A key-value store that can serve the YCSB drivers.
 ///
-/// Implemented by all three systems under test (MT, MT+, INCLL).
+/// Implemented by all three systems under test (MT, MT+, INCLL) plus the
+/// durable [`incll::Store`] facade.
 pub trait KvBench: Send + Sync {
     /// Per-thread operation context.
     type Ctx;
@@ -27,6 +28,22 @@ pub trait KvBench: Send + Sync {
     fn bench_put(&self, ctx: &Self::Ctx, key: &[u8], val: u64);
     /// Scan `n` keys from `start`; returns keys visited.
     fn bench_scan(&self, ctx: &Self::Ctx, start: &[u8], n: usize) -> usize;
+
+    /// Byte-slice insert-or-update. Stores without native byte values
+    /// (the transient baselines) keep the default, which packs the first
+    /// eight bytes little-endian into the `u64` payload.
+    fn bench_put_bytes(&self, ctx: &Self::Ctx, key: &[u8], val: &[u8]) {
+        let mut word = [0u8; 8];
+        let n = val.len().min(8);
+        word[..n].copy_from_slice(&val[..n]);
+        self.bench_put(ctx, key, u64::from_le_bytes(word));
+    }
+
+    /// Byte-slice lookup; the default mirrors [`KvBench::bench_put_bytes`]
+    /// by re-encoding the `u64` payload.
+    fn bench_get_bytes(&self, ctx: &Self::Ctx, key: &[u8]) -> Option<Vec<u8>> {
+        self.bench_get(ctx, key).map(|v| v.to_le_bytes().to_vec())
+    }
 }
 
 impl KvBench for incll_masstree::Masstree {
@@ -51,6 +68,7 @@ impl KvBench for incll::DurableMasstree {
 
     fn bench_ctx(&self, tid: usize) -> Self::Ctx {
         self.thread_ctx(tid)
+            .expect("bench tid within the configured thread slots")
     }
     fn bench_get(&self, ctx: &Self::Ctx, key: &[u8]) -> Option<u64> {
         self.get(ctx, key)
@@ -60,6 +78,40 @@ impl KvBench for incll::DurableMasstree {
     }
     fn bench_scan(&self, ctx: &Self::Ctx, start: &[u8], n: usize) -> usize {
         self.scan(ctx, start, n, &mut |_, _| {})
+    }
+    fn bench_put_bytes(&self, ctx: &Self::Ctx, key: &[u8], val: &[u8]) {
+        self.put_bytes(ctx, key, val)
+            .expect("bench values fit the largest size class");
+    }
+    fn bench_get_bytes(&self, ctx: &Self::Ctx, key: &[u8]) -> Option<Vec<u8>> {
+        self.get_bytes(ctx, key)
+    }
+}
+
+impl KvBench for incll::Store {
+    type Ctx = incll::Session;
+
+    fn bench_ctx(&self, _tid: usize) -> Self::Ctx {
+        // The RAII pool hands out its own slot ids; drivers just need a
+        // distinct session per worker.
+        self.session()
+            .expect("driver thread count within the store's session pool")
+    }
+    fn bench_get(&self, ctx: &Self::Ctx, key: &[u8]) -> Option<u64> {
+        self.get_u64(ctx, key)
+    }
+    fn bench_put(&self, ctx: &Self::Ctx, key: &[u8], val: u64) {
+        self.put_u64(ctx, key, val);
+    }
+    fn bench_scan(&self, ctx: &Self::Ctx, start: &[u8], n: usize) -> usize {
+        self.masstree().scan(ctx.ctx(), start, n, &mut |_, _| {})
+    }
+    fn bench_put_bytes(&self, ctx: &Self::Ctx, key: &[u8], val: &[u8]) {
+        self.put(ctx, key, val)
+            .expect("bench values fit the largest size class");
+    }
+    fn bench_get_bytes(&self, ctx: &Self::Ctx, key: &[u8]) -> Option<Vec<u8>> {
+        self.get(ctx, key)
     }
 }
 
@@ -231,5 +283,60 @@ mod tests {
             );
             assert_eq!(res.ops, 1_000);
         }
+    }
+
+    #[test]
+    fn run_against_store_facade() {
+        let arena = PArena::builder().capacity_bytes(64 << 20).build().unwrap();
+        let opts = incll::Options::new()
+            .threads(2)
+            .log_bytes_per_thread(1 << 20);
+        let (store, report) = incll::Store::open(&arena, opts).unwrap();
+        assert!(report.created);
+        load(&store, 300, 2);
+        let res = run(
+            &store,
+            &RunConfig {
+                threads: 2,
+                ops_per_thread: 500,
+                nkeys: 300,
+                mix: Mix::A,
+                dist: Dist::Uniform,
+                seed: 9,
+            },
+        );
+        assert_eq!(res.ops, 1_000);
+        // Load went through the u64 path; spot-check via the facade.
+        let sess = store.session().unwrap();
+        assert!(store.get_u64(&sess, &storage_key(0)).is_some());
+    }
+
+    #[test]
+    fn byte_ops_roundtrip_on_every_impl() {
+        // Transient default: first 8 bytes, little-endian.
+        let t = mt();
+        let ctx = t.bench_ctx(0);
+        t.bench_put_bytes(&ctx, b"k", b"abcdefgh-tail-ignored");
+        assert_eq!(
+            t.bench_get(&ctx, b"k"),
+            Some(u64::from_le_bytes(*b"abcdefgh"))
+        );
+        assert_eq!(
+            t.bench_get_bytes(&ctx, b"k").as_deref(),
+            Some(&b"abcdefgh"[..])
+        );
+
+        // Durable store: full byte fidelity.
+        let arena = PArena::builder().capacity_bytes(64 << 20).build().unwrap();
+        let opts = incll::Options::new()
+            .threads(1)
+            .log_bytes_per_thread(1 << 20);
+        let (store, _) = incll::Store::open(&arena, opts).unwrap();
+        let sess = store.bench_ctx(0);
+        store.bench_put_bytes(&sess, b"k", b"a considerably longer byte value");
+        assert_eq!(
+            store.bench_get_bytes(&sess, b"k").as_deref(),
+            Some(&b"a considerably longer byte value"[..])
+        );
     }
 }

@@ -1,10 +1,11 @@
-//! Crash-recovery demonstration — the paper's §5.2 methodology, live.
+//! Crash-recovery demonstration — the paper's §5.2 methodology, live, on
+//! the `Store` facade with variable-length byte values.
 //!
-//! Runs the durable tree on a *tracked* arena in which every store is
-//! journaled per cache line under the PCSO model. At a random moment we
-//! "pull the plug": each cache line independently keeps only a prefix of
-//! its unpersisted stores (exactly the guarantee real hardware gives).
-//! Recovery must then roll the tree back to the last epoch boundary.
+//! Runs the store on a *tracked* arena in which every write is journaled
+//! per cache line under the PCSO model. At a random moment we "pull the
+//! plug": each cache line independently keeps only a prefix of its
+//! unpersisted stores (exactly the guarantee real hardware gives).
+//! Recovery must then roll the store back to the last epoch boundary.
 //!
 //! Run with: `cargo run --release --example crash_recovery`
 
@@ -14,38 +15,38 @@ use incll_repro::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// A pseudorandom value of 0..400 bytes (spanning several size classes).
+fn random_value(rng: &mut StdRng) -> Vec<u8> {
+    let len = rng.gen_range(0..400usize);
+    (0..len).map(|_| rng.gen_range(0..=255u8)).collect()
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let arena = PArena::builder()
         .capacity_bytes(64 << 20)
         .tracked(true) // journal stores so we can crash adversarially
         .build()?;
-    superblock::format(&arena);
-    let config = DurableConfig {
-        threads: 1,
-        log_bytes_per_thread: 4 << 20,
-        incll_enabled: true,
-    };
-    let tree = DurableMasstree::create(&arena, config.clone())?;
-    let ctx = tree.thread_ctx(0);
+    let options = Options::new().threads(1).log_bytes_per_thread(4 << 20);
+    let (store, _) = Store::open(&arena, options.clone())?;
+    let sess = store.session()?;
     let mut rng = StdRng::seed_from_u64(2024);
-    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
 
     // A few committed epochs of random work.
-    for epoch in 0..3 {
+    for _ in 0..3 {
         for _ in 0..500 {
             let k = rng.gen_range(0..300u64);
             if rng.gen_bool(0.7) {
-                let v = rng.gen_range(0..1_000_000);
-                tree.put(&ctx, &k.to_be_bytes(), v);
+                let v = random_value(&mut rng);
+                store.put(&sess, &k.to_be_bytes(), &v)?;
                 model.insert(k, v);
             } else {
-                tree.remove(&ctx, &k.to_be_bytes());
+                store.remove(&sess, &k.to_be_bytes());
                 model.remove(&k);
             }
         }
-        let e = tree.epoch_manager().advance();
+        let e = store.checkpoint();
         println!("epoch {e}: checkpointed {} keys", model.len());
-        let _ = epoch;
     }
     let checkpoint = model.clone();
 
@@ -53,9 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for _ in 0..400 {
         let k = rng.gen_range(0..300u64);
         if rng.gen_bool(0.7) {
-            tree.put(&ctx, &k.to_be_bytes(), rng.gen_range(0..1_000_000));
+            let v = random_value(&mut rng);
+            store.put(&sess, &k.to_be_bytes(), &v)?;
         } else {
-            tree.remove(&ctx, &k.to_be_bytes());
+            store.remove(&sess, &k.to_be_bytes());
         }
     }
     println!(
@@ -64,33 +66,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Power failure: per-line random prefix cut.
-    drop(ctx);
-    drop(tree);
+    drop(sess);
+    drop(store);
     arena.crash_seeded(rng.gen());
     println!("*** CRASH ***");
 
     // Recovery: replay the external log, restart epochs; InCLL rollbacks
     // happen lazily as we touch nodes.
-    let (tree, report) = DurableMasstree::open(&arena, config)?;
+    let (store, report) = Store::open(&arena, options)?;
     println!(
         "recovered: failed epoch {}, {} log entries replayed in {:?}",
         report.failed_epoch, report.replayed_entries, report.replay_time
     );
 
     // Verify: contents must equal the last checkpoint exactly.
-    let ctx = tree.thread_ctx(0);
+    let sess = store.session()?;
     let mut recovered = BTreeMap::new();
-    tree.scan(&ctx, b"", usize::MAX, &mut |key, val| {
-        let k = u64::from_be_bytes(key.try_into().expect("8-byte key"));
-        recovered.insert(k, val);
-    });
+    for (key, value) in store.iter(&sess) {
+        let k = u64::from_be_bytes(key.as_slice().try_into().expect("8-byte key"));
+        recovered.insert(k, value);
+    }
     assert_eq!(
         recovered, checkpoint,
         "recovered state diverges from the checkpoint!"
     );
     println!(
-        "verified: {} keys match the last epoch boundary exactly",
-        recovered.len()
+        "verified: {} keys ({} value bytes) match the last epoch boundary exactly",
+        recovered.len(),
+        recovered.values().map(|v| v.len()).sum::<usize>()
     );
     Ok(())
 }

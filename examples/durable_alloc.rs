@@ -1,6 +1,7 @@
-//! The durable allocator on its own (paper §5): allocation and free with
-//! zero write-backs, epoch-based reuse, and crash rollback of the free
-//! lists.
+//! The durable allocator at work (paper §5), observed through the `Store`
+//! facade: every put carves a fresh length-prefixed buffer from a
+//! per-thread, InCLL-logged free list — with zero write-backs — and a
+//! crash rolls the allocator back together with the tree.
 //!
 //! Run with: `cargo run --release --example durable_alloc`
 
@@ -8,58 +9,74 @@ use incll_repro::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let arena = PArena::builder()
-        .capacity_bytes(16 << 20)
+        .capacity_bytes(32 << 20)
         .tracked(true)
         .build()?;
-    superblock::format(&arena);
-    let alloc = PAlloc::create(&arena, /*threads*/ 1)?;
+    let options = Options::new().threads(1).log_bytes_per_thread(1 << 20);
+    let (store, _) = Store::open(&arena, options.clone())?;
+    let sess = store.session()?;
 
-    // Epoch 1: allocate three buffers, fill them, free one.
-    let a = alloc.alloc(0, 1, 32)?;
-    let b = alloc.alloc(0, 1, 32)?;
-    let c = alloc.alloc(0, 1, 32)?;
-    for (i, &buf) in [a, b, c].iter().enumerate() {
-        arena.pwrite_u64(buf, 100 + i as u64); // plain store, no flush
-    }
-    alloc.free(0, 1, c, 32);
-    println!("epoch 1: allocated {a:#x} {b:#x} {c:#x}, freed the last");
-
-    let before = arena.stats().snapshot();
+    // Epoch 1: three values across different size classes (each put
+    // allocates `8 + len` bytes, floored at the paper's 32-byte buffer).
+    store.put(&sess, b"small", b"hi")?; //            32-byte class
+    store.put(&sess, b"medium", &[1u8; 100])?; //    128-byte class
+    store.put(&sess, b"large", &[2u8; 1000])?; //   1024-byte class
+    let s = store.arena().stats().snapshot();
     println!(
-        "flush traffic on the alloc/free path so far: {} clwb / {} sfence \
-         (creation-time only)",
-        before.clwb, before.sfence
+        "epoch 1: {} durable allocations (values + tree nodes), {} frees",
+        s.palloc_allocs, s.palloc_frees
     );
 
-    // Epoch boundary: the checkpoint makes epoch 1 durable and the freed
-    // buffer becomes reusable (epoch-based reclamation).
-    arena.pwrite_u64(superblock::SB_CUR_EPOCH, 2);
-    arena.global_flush();
-    alloc.on_epoch_boundary(2);
-    let reused = alloc.alloc(0, 2, 32)?;
-    assert_eq!(reused, c, "freed buffer reused after the boundary");
-    println!("epoch 2: buffer {c:#x} recycled");
+    // Updating a value allocates a fresh buffer and frees the old one onto
+    // the *pending* list; epoch-based reclamation hands it out again only
+    // after the next checkpoint, which is why buffer contents never need
+    // logging (§5).
+    let before = store.arena().stats().snapshot();
+    store.put(&sess, b"small", b"ho")?;
+    let d = store.arena().stats().snapshot().delta(&before);
+    assert_eq!((d.palloc_allocs, d.palloc_frees), (1, 1));
+    println!(
+        "update: +{} alloc, +{} free, {} clwb, {} sfence — the whole \
+         alloc/free path is flush-free",
+        d.palloc_allocs, d.palloc_frees, d.clwb, d.sfence
+    );
+    assert_eq!(d.clwb, 0, "no write-backs on the allocation path");
+    assert_eq!(d.sfence, 0, "no fences on the allocation path");
 
-    // Doomed epoch-2 work: allocations that a crash must revert.
-    let doomed = alloc.alloc(0, 2, 32)?;
-    alloc.free(0, 2, a, 32);
-    println!("epoch 2: allocated {doomed:#x}, freed {a:#x} — then *** CRASH ***");
-    superblock::record_failed_epoch(&arena, 2)?;
+    // Checkpoint, then doomed epoch-2 work the crash must revert.
+    store.checkpoint();
+    store.put(&sess, b"doomed", &[3u8; 100])?;
+    store.put(&sess, b"large", b"doomed overwrite")?;
+    store.remove(&sess, b"medium");
+    println!("epoch 2: doomed alloc + overwrite + remove — then *** CRASH ***");
+    drop(sess);
+    drop(store);
     arena.crash_seeded(7);
 
-    // Recovery: the allocator reverts to the epoch-2 start — `c` back in
-    // the (re-spliced) pending list, the doomed allocation back on the
-    // free list, and the doomed free of `a` undone.
-    let alloc = PAlloc::open(&arena, 3);
-    let first = alloc.alloc(0, 3, 32)?;
-    let second = alloc.alloc(0, 3, 32)?;
-    assert_eq!(first, c, "epoch-2's first allocation is available again");
-    assert_eq!(second, doomed, "the doomed allocation reverted to free");
-    assert_eq!(
-        arena.pread_u64(a),
-        100,
-        "buffer `a` is allocated again, contents intact"
+    // Recovery reverts the allocator to the epoch-2 start: the doomed
+    // allocation is back on the free list, the doomed free is undone, and
+    // every reverted pointer still sees intact buffer contents.
+    let (store, report) = Store::open(&arena, options)?;
+    let sess = store.session()?;
+    println!(
+        "recovered from epoch {}: {} log entries replayed",
+        report.failed_epoch, report.replayed_entries
     );
-    println!("recovered: allocations reverted, freed buffer restored, contents intact");
+    assert_eq!(store.get(&sess, b"doomed"), None);
+    assert_eq!(store.get(&sess, b"small").as_deref(), Some(&b"ho"[..]));
+    assert_eq!(
+        store.get(&sess, b"medium").as_deref(),
+        Some(&[1u8; 100][..])
+    );
+    assert_eq!(
+        store.get(&sess, b"large").as_deref(),
+        Some(&[2u8; 1000][..])
+    );
+    println!("verified: allocations reverted, frees undone, contents intact");
+
+    // And the reverted buffers are genuinely reusable.
+    store.put(&sess, b"fresh", &[4u8; 100])?;
+    assert_eq!(store.get(&sess, b"fresh").as_deref(), Some(&[4u8; 100][..]));
+    println!("post-recovery allocation reuses the reverted buffers");
     Ok(())
 }

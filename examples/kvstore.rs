@@ -1,5 +1,6 @@
-//! A miniature durable KV service: background checkpointing at the
-//! paper's 64 ms cadence, concurrent worker threads, a simulated restart,
+//! A miniature durable KV service built on the `Store` facade: background
+//! checkpointing at the paper's 64 ms cadence, concurrent worker sessions
+//! from the RAII pool, byte-slice and `u64` traffic, a simulated restart,
 //! and a YCSB-style traffic report.
 //!
 //! Run with: `cargo run --release --example kvstore`
@@ -14,39 +15,46 @@ const WORKERS: usize = 2;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let arena = PArena::builder().capacity_bytes(256 << 20).build()?;
-    superblock::format(&arena);
-    let config = DurableConfig {
-        threads: WORKERS,
-        log_bytes_per_thread: 16 << 20,
-        incll_enabled: true,
-    };
-    let store = DurableMasstree::create(&arena, config.clone())?;
+    let options = Options::new()
+        .threads(WORKERS)
+        .log_bytes_per_thread(16 << 20);
+    let (store, _) = Store::open(&arena, options.clone())?;
 
     // Checkpoint every 64 ms, like the paper.
     let driver = AdvanceDriver::spawn(store.epoch_manager().clone(), DEFAULT_EPOCH_INTERVAL);
 
-    // Phase 1: bulk load.
+    // Phase 1: bulk load (the YCSB driver speaks `KvBench`, which `Store`
+    // implements).
     let t0 = Instant::now();
     load(&store, KEYS, WORKERS);
     println!("loaded {KEYS} keys in {:?}", t0.elapsed());
 
-    // Phase 2: serve mixed traffic for a second.
+    // Phase 2: serve mixed traffic for a second — every worker owns one
+    // session from the bounded pool.
     let stop = AtomicBool::new(false);
     let served = std::sync::atomic::AtomicU64::new(0);
     std::thread::scope(|s| {
-        for tid in 0..WORKERS {
+        for w in 0..WORKERS {
             let store = store.clone();
             let stop = &stop;
             let served = &served;
             s.spawn(move || {
-                let ctx = store.thread_ctx(tid);
-                let mut i = tid as u64;
+                let sess = store.session().expect("one slot per worker");
+                let mut i = w as u64;
+                let mut value = [0u8; 24];
                 while !stop.load(Ordering::Relaxed) {
                     let key = storage_key(i % KEYS);
-                    if i.is_multiple_of(2) {
-                        store.put(&ctx, &key, i);
-                    } else {
-                        store.get(&ctx, &key);
+                    match i % 4 {
+                        0 => {
+                            store.put_u64(&sess, &key, i);
+                        }
+                        1 => {
+                            value[..8].copy_from_slice(&i.to_le_bytes());
+                            store.put(&sess, &key, &value).expect("fits size class");
+                        }
+                        _ => {
+                            store.get(&sess, &key);
+                        }
                     }
                     i += WORKERS as u64;
                     served.fetch_add(1, Ordering::Relaxed);
@@ -57,7 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stop.store(true, Ordering::Relaxed);
     });
     driver.stop();
-    let epoch = store.epoch_manager().advance(); // final checkpoint
+    let epoch = store.checkpoint(); // final checkpoint
     println!(
         "served {} ops across {} epochs",
         served.load(Ordering::Relaxed),
@@ -67,17 +75,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Phase 3: "restart" the service (same arena, fresh handles) — the
     // data survives without any load phase.
     drop(store);
-    let (store, report) = DurableMasstree::open(&arena, config)?;
+    let (store, report) = Store::open(&arena, options)?;
     println!(
         "reopened instantly: {} log entries to replay (clean shutdown)",
         report.replayed_entries
     );
-    let ctx = store.thread_ctx(0);
+    let sess = store.session()?;
     let mut count = 0u64;
-    store.scan(&ctx, b"", usize::MAX, &mut |_, _| count += 1);
+    store.scan(&sess, b"", usize::MAX, &mut |_, _| count += 1);
     println!("store still holds {count} keys after restart");
 
-    let s = arena.stats().snapshot();
+    let s = store.arena().stats().snapshot();
     println!(
         "\nlifetime persistence traffic: {} clwb, {} sfence, {} flushes, \
          {} ext-logged nodes, {} InCLL logs",

@@ -1,55 +1,99 @@
-//! Quickstart: a durable key-value store in five minutes.
+//! Quickstart: a durable key-value store in five minutes — open a store,
+//! write byte-slice values, checkpoint, crash, and recover, all through
+//! the `Store` / `Session` facade.
 //!
-//! Creates a durable Masstree in (simulated) persistent memory, writes and
-//! reads a few keys, takes a checkpoint, and shows the persistence
-//! counters — note the zeros where a conventional NVM structure would pay
-//! a flush + fence per operation.
+//! Note the persistence counters at the end: zeros where a conventional
+//! NVM structure would pay a flush + fence per operation.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use incll_repro::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. An arena stands in for an NVM device mapping.
-    let arena = PArena::builder().capacity_bytes(64 << 20).build()?;
-    superblock::format(&arena);
+    // 1. An arena stands in for an NVM device mapping ("tracked" journals
+    //    every store so we can simulate a power failure later).
+    let arena = PArena::builder()
+        .capacity_bytes(64 << 20)
+        .tracked(true)
+        .build()?;
 
-    // 2. Create the durable tree (per-thread allocator + log slots).
-    let tree = DurableMasstree::create(
-        &arena,
-        DurableConfig {
-            threads: 2,
-            log_bytes_per_thread: 4 << 20,
-            incll_enabled: true,
-        },
-    )?;
-    let ctx = tree.thread_ctx(0);
+    // 2. One call does it all: format the blank arena and create a fresh
+    //    store (on an existing arena the same call recovers instead).
+    let options = Options::new().threads(2).log_bytes_per_thread(4 << 20);
+    let (store, report) = Store::open(&arena, options.clone())?;
+    assert!(report.created);
 
-    // 3. Ordinary map operations. Every mutation is crash-recoverable,
-    //    yet none of these flushes a cache line.
-    tree.put(&ctx, b"tuesday", 2);
-    tree.put(&ctx, b"wednesday", 3);
-    tree.put(&ctx, b"thursday", 4);
-    tree.put(&ctx, b"a-key-longer-than-eight-bytes", 99);
+    // 3. Sessions come from a bounded RAII pool — no raw thread ids.
+    let sess = store.session()?;
 
-    assert_eq!(tree.get(&ctx, b"wednesday"), Some(3));
-    assert_eq!(tree.get(&ctx, b"friday"), None);
-    assert_eq!(tree.put(&ctx, b"tuesday", 20), Some(2)); // update
-    assert!(tree.remove(&ctx, b"thursday"));
+    // 4. Values are byte slices in durable, size-classed buffers; the
+    //    `_u64` forms cover the paper's 8-byte payloads. Every mutation is
+    //    crash-recoverable, yet none of these flushes a cache line.
+    store.put(&sess, b"tuesday", b"taco night")?;
+    store.put(&sess, b"wednesday", b"leftovers, obviously")?;
+    store.put(&sess, b"thursday", &vec![42u8; 300])?; // 320-byte class
+    store.put_u64(&sess, b"visits", 7);
+
+    assert_eq!(
+        store.get(&sess, b"wednesday").as_deref(),
+        Some(&b"leftovers, obviously"[..])
+    );
+    assert_eq!(store.get(&sess, b"friday"), None);
+    assert_eq!(
+        store.put(&sess, b"tuesday", b"pizza night")?.as_deref(),
+        Some(&b"taco night"[..]),
+        "put returns the previous value"
+    );
+    assert_eq!(store.get_u64(&sess, b"visits"), Some(7));
+    assert!(store.remove(&sess, b"thursday"));
 
     println!("contents in key order:");
-    tree.scan(&ctx, b"", usize::MAX, &mut |key, val| {
-        println!("  {:<32} => {val}", String::from_utf8_lossy(key));
-    });
+    for (key, value) in store.iter(&sess) {
+        println!(
+            "  {:<12} => {} bytes: {:?}",
+            String::from_utf8_lossy(&key),
+            value.len(),
+            String::from_utf8_lossy(&value[..value.len().min(20)]),
+        );
+    }
 
-    // 4. A checkpoint: one whole-cache flush makes everything above
+    // 5. A checkpoint: one whole-cache flush makes everything above
     //    durable. With the paper's 64 ms cadence this runs in the
     //    background (see `AdvanceDriver`).
-    let epoch = tree.epoch_manager().advance();
+    let epoch = store.checkpoint();
     println!("\ncheckpointed; now in epoch {epoch}");
 
-    // 5. The paper's economics, visible in the counters.
-    let s = arena.stats().snapshot();
+    // 6. Doomed work: written after the checkpoint, erased by the crash.
+    store.put(&sess, b"tuesday", b"doomed edit")?;
+    store.put(&sess, b"doomed-key", b"never checkpointed")?;
+
+    drop(sess);
+    drop(store);
+    arena.crash_seeded(2024); // *** power failure ***
+    println!("*** CRASH ***");
+
+    // 7. The same open call now recovers: state rolls back to the last
+    //    epoch boundary.
+    let (store, report) = Store::open(&arena, options)?;
+    assert!(!report.created);
+    println!(
+        "recovered: failed epoch {}, {} log entries replayed in {:?}",
+        report.failed_epoch, report.replayed_entries, report.replay_time
+    );
+    let sess = store.session()?;
+    assert_eq!(
+        store.get(&sess, b"tuesday").as_deref(),
+        Some(&b"pizza night"[..]),
+        "checkpointed value survived the crash"
+    );
+    assert_eq!(
+        store.get(&sess, b"doomed-key"),
+        None,
+        "doomed write rolled back"
+    );
+
+    // 8. The paper's economics, visible in the counters.
+    let s = store.arena().stats().snapshot();
     println!("\npersistence counters:");
     println!("  cache-line write-backs (clwb): {}", s.clwb);
     println!("  persistence fences (sfence):   {}", s.sfence);

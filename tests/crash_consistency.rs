@@ -2,6 +2,10 @@
 //! "intentionally crashing the system at random points, launching a new
 //! process, and checking that the system's state matched the state at the
 //! beginning of the failed epoch."
+//!
+//! Everything runs through the public `Store`/`Session` facade, in two
+//! registers: the paper's 8-byte payloads (`put_u64`) and variable-length
+//! byte-slice values — each crash scenario has both.
 
 use std::collections::BTreeMap;
 
@@ -9,11 +13,9 @@ use incll_repro::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-const CONFIG: DurableConfig = DurableConfig {
-    threads: 2,
-    log_bytes_per_thread: 1 << 20,
-    incll_enabled: true,
-};
+fn options() -> Options {
+    Options::new().threads(2).log_bytes_per_thread(1 << 20)
+}
 
 fn tracked_arena() -> PArena {
     PArena::builder()
@@ -23,25 +25,24 @@ fn tracked_arena() -> PArena {
         .unwrap()
 }
 
-fn collect(tree: &DurableMasstree, ctx: &DCtx) -> Vec<(Vec<u8>, u64)> {
-    let mut out = Vec::new();
-    tree.scan(ctx, b"", usize::MAX, &mut |k, v| out.push((k.to_vec(), v)));
-    out
+fn collect(store: &Store, sess: &Session) -> Vec<(Vec<u8>, Vec<u8>)> {
+    store.iter(sess).collect()
 }
 
-fn model_vec(m: &BTreeMap<Vec<u8>, u64>) -> Vec<(Vec<u8>, u64)> {
-    m.iter().map(|(k, v)| (k.clone(), *v)).collect()
+fn model_vec(m: &BTreeMap<Vec<u8>, Vec<u8>>) -> Vec<(Vec<u8>, Vec<u8>)> {
+    m.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
 }
 
-/// A random op applied to both tree and model.
+/// A random op applied to both store and model. Mixes short/long keys (so
+/// trie layers participate), and u64/byte-slice values (so both value
+/// paths participate).
 fn apply_random(
-    tree: &DurableMasstree,
-    ctx: &DCtx,
-    model: &mut BTreeMap<Vec<u8>, u64>,
+    store: &Store,
+    sess: &Session,
+    model: &mut BTreeMap<Vec<u8>, Vec<u8>>,
     rng: &mut StdRng,
     key_space: u64,
 ) {
-    // Mix short and long keys so trie layers participate.
     let k = rng.gen_range(0..key_space);
     let key: Vec<u8> = if k % 7 == 0 {
         format!("long-key-prefix-{k:08}").into_bytes()
@@ -49,17 +50,23 @@ fn apply_random(
         k.to_be_bytes().to_vec()
     };
     match rng.gen_range(0..10) {
-        0..=5 => {
-            let v = rng.gen();
-            tree.put(ctx, &key, v);
+        0..=2 => {
+            let v: u64 = rng.gen();
+            store.put_u64(sess, &key, v);
+            model.insert(key, v.to_le_bytes().to_vec());
+        }
+        3..=5 => {
+            let len = rng.gen_range(0..300usize);
+            let v: Vec<u8> = (0..len).map(|_| rng.gen_range(0..=255u64) as u8).collect();
+            store.put(sess, &key, &v).unwrap();
             model.insert(key, v);
         }
         6..=7 => {
-            tree.remove(ctx, &key);
+            store.remove(sess, &key);
             model.remove(&key);
         }
         _ => {
-            assert_eq!(tree.get(ctx, &key), model.get(&key).copied());
+            assert_eq!(store.get(sess, &key), model.get(&key).cloned());
         }
     }
 }
@@ -68,32 +75,32 @@ fn apply_random(
 fn hundred_seeded_crashes_match_checkpoints() {
     for seed in 0..40u64 {
         let arena = tracked_arena();
-        superblock::format(&arena);
-        let tree = DurableMasstree::create(&arena, CONFIG.clone()).unwrap();
-        let ctx = tree.thread_ctx(0);
+        let (store, _) = Store::open(&arena, options()).unwrap();
+        let sess = store.session().unwrap();
         let mut rng = StdRng::seed_from_u64(seed);
         let mut model = BTreeMap::new();
 
         // 1-3 committed epochs.
         for _ in 0..rng.gen_range(1..=3) {
             for _ in 0..rng.gen_range(5..300) {
-                apply_random(&tree, &ctx, &mut model, &mut rng, 150);
+                apply_random(&store, &sess, &mut model, &mut rng, 150);
             }
-            tree.epoch_manager().advance();
+            store.checkpoint();
         }
         let checkpoint = model_vec(&model);
 
         // Doomed epoch, then a seeded crash.
         for _ in 0..rng.gen_range(1..300) {
-            apply_random(&tree, &ctx, &mut model, &mut rng, 150);
+            apply_random(&store, &sess, &mut model, &mut rng, 150);
         }
-        drop(ctx);
-        drop(tree);
+        drop(sess);
+        drop(store);
         arena.crash_seeded(seed.wrapping_mul(0x9E37_79B9) + 1);
 
-        let (tree, _) = DurableMasstree::open(&arena, CONFIG.clone()).unwrap();
-        let ctx = tree.thread_ctx(0);
-        assert_eq!(collect(&tree, &ctx), checkpoint, "seed {seed}");
+        let (store, report) = Store::open(&arena, options()).unwrap();
+        assert!(!report.created);
+        let sess = store.session().unwrap();
+        assert_eq!(collect(&store, &sess), checkpoint, "seed {seed}");
     }
 }
 
@@ -101,42 +108,41 @@ fn hundred_seeded_crashes_match_checkpoints() {
 fn crash_chain_with_work_between_crashes() {
     // Crash, recover, commit new work, crash again — repeatedly.
     let arena = tracked_arena();
-    superblock::format(&arena);
     let mut rng = StdRng::seed_from_u64(77);
     let mut model = BTreeMap::new();
 
-    let tree = DurableMasstree::create(&arena, CONFIG.clone()).unwrap();
+    let (store, _) = Store::open(&arena, options()).unwrap();
     {
-        let ctx = tree.thread_ctx(0);
+        let sess = store.session().unwrap();
         for _ in 0..200 {
-            apply_random(&tree, &ctx, &mut model, &mut rng, 100);
+            apply_random(&store, &sess, &mut model, &mut rng, 100);
         }
-        tree.epoch_manager().advance();
+        store.checkpoint();
     }
-    drop(tree);
+    drop(store);
     let mut checkpoint = model_vec(&model);
 
     for round in 0..6 {
         // Doomed work + crash.
         {
-            let (tree, _) = DurableMasstree::open(&arena, CONFIG.clone()).unwrap();
-            let ctx = tree.thread_ctx(0);
+            let (store, _) = Store::open(&arena, options()).unwrap();
+            let sess = store.session().unwrap();
             let mut doomed = model.clone();
             for _ in 0..rng.gen_range(1..150) {
-                apply_random(&tree, &ctx, &mut doomed, &mut rng, 100);
+                apply_random(&store, &sess, &mut doomed, &mut rng, 100);
             }
         }
         arena.crash_seeded(round * 13 + 5);
 
         // Recover, verify, commit fresh work.
-        let (tree, report) = DurableMasstree::open(&arena, CONFIG.clone()).unwrap();
+        let (store, report) = Store::open(&arena, options()).unwrap();
         assert!(report.failed_epochs.len() as u64 > round);
-        let ctx = tree.thread_ctx(0);
-        assert_eq!(collect(&tree, &ctx), checkpoint, "round {round}");
+        let sess = store.session().unwrap();
+        assert_eq!(collect(&store, &sess), checkpoint, "round {round}");
         for _ in 0..rng.gen_range(1..100) {
-            apply_random(&tree, &ctx, &mut model, &mut rng, 100);
+            apply_random(&store, &sess, &mut model, &mut rng, 100);
         }
-        tree.epoch_manager().advance();
+        store.checkpoint();
         checkpoint = model_vec(&model);
     }
 }
@@ -146,84 +152,87 @@ fn immediate_crash_after_recovery_is_safe() {
     // Crash during the very first epoch after a recovery (recovery writes
     // themselves are unflushed and must replay idempotently).
     let arena = tracked_arena();
-    superblock::format(&arena);
     let mut model = BTreeMap::new();
     {
-        let tree = DurableMasstree::create(&arena, CONFIG.clone()).unwrap();
-        let ctx = tree.thread_ctx(0);
+        let (store, _) = Store::open(&arena, options()).unwrap();
+        let sess = store.session().unwrap();
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..300 {
-            apply_random(&tree, &ctx, &mut model, &mut rng, 80);
+            apply_random(&store, &sess, &mut model, &mut rng, 80);
         }
-        tree.epoch_manager().advance();
+        store.checkpoint();
         let mut doomed = model.clone();
         for _ in 0..100 {
-            apply_random(&tree, &ctx, &mut doomed, &mut rng, 80);
+            apply_random(&store, &sess, &mut doomed, &mut rng, 80);
         }
     }
     let checkpoint = model_vec(&model);
     for i in 0..8u64 {
         arena.crash_seeded(1000 + i);
-        let (tree, _) = DurableMasstree::open(&arena, CONFIG.clone()).unwrap();
-        let ctx = tree.thread_ctx(0);
+        let (store, _) = Store::open(&arena, options()).unwrap();
+        let sess = store.session().unwrap();
         // Touch some nodes (partial lazy recovery), then crash again.
         for k in 0..20u64 {
-            tree.get(&ctx, &k.to_be_bytes());
+            store.get(&sess, &k.to_be_bytes());
         }
     }
     arena.crash_seeded(9999);
-    let (tree, _) = DurableMasstree::open(&arena, CONFIG.clone()).unwrap();
-    let ctx = tree.thread_ctx(0);
-    assert_eq!(collect(&tree, &ctx), checkpoint);
+    let (store, _) = Store::open(&arena, options()).unwrap();
+    let sess = store.session().unwrap();
+    assert_eq!(collect(&store, &sess), checkpoint);
 }
 
 #[test]
 fn crash_with_multithreaded_doomed_epoch() {
-    // Multiple threads mutate during the doomed epoch; the crash happens
+    // Multiple sessions mutate during the doomed epoch; the crash happens
     // after they quiesce (the simulated power failure is a whole-machine
     // event; in-flight ops either completed their stores or not, which the
     // per-line cuts model).
     let arena = tracked_arena();
-    superblock::format(&arena);
-    let tree = DurableMasstree::create(&arena, CONFIG.clone()).unwrap();
+    let (store, _) = Store::open(&arena, options()).unwrap();
     {
-        let ctx = tree.thread_ctx(0);
+        let sess = store.session().unwrap();
         for i in 0..400u64 {
-            tree.put(&ctx, &i.to_be_bytes(), i);
+            store.put_u64(&sess, &i.to_be_bytes(), i);
         }
     }
-    tree.epoch_manager().advance();
+    store.checkpoint();
 
     std::thread::scope(|s| {
         for tid in 0..2usize {
-            let tree = tree.clone();
+            let store = store.clone();
             s.spawn(move || {
-                let ctx = tree.thread_ctx(tid);
+                let sess = store.session().unwrap();
                 let mut rng = StdRng::seed_from_u64(tid as u64);
                 for _ in 0..500 {
                     let k = rng.gen_range(0..400u64).to_be_bytes();
-                    match rng.gen_range(0..3) {
+                    match rng.gen_range(0..4) {
                         0 => {
-                            tree.put(&ctx, &k, rng.gen());
+                            store.put_u64(&sess, &k, rng.gen());
                         }
                         1 => {
-                            tree.remove(&ctx, &k);
+                            store
+                                .put(&sess, &k, &vec![1u8; rng.gen_range(0..200)])
+                                .unwrap();
+                        }
+                        2 => {
+                            store.remove(&sess, &k);
                         }
                         _ => {
-                            tree.get(&ctx, &k);
+                            store.get(&sess, &k);
                         }
                     }
                 }
             });
         }
     });
-    drop(tree);
+    drop(store);
     arena.crash_seeded(31337);
 
-    let (tree, _) = DurableMasstree::open(&arena, CONFIG.clone()).unwrap();
-    let ctx = tree.thread_ctx(0);
+    let (store, _) = Store::open(&arena, options()).unwrap();
+    let sess = store.session().unwrap();
     for i in 0..400u64 {
-        assert_eq!(tree.get(&ctx, &i.to_be_bytes()), Some(i), "key {i}");
+        assert_eq!(store.get_u64(&sess, &i.to_be_bytes()), Some(i), "key {i}");
     }
 }
 
@@ -233,29 +242,70 @@ fn value_buffers_revert_with_contents_intact() {
     // never overwritten during the next epoch, so reverted pointers see
     // intact contents.
     let arena = tracked_arena();
-    superblock::format(&arena);
-    let tree = DurableMasstree::create(&arena, CONFIG.clone()).unwrap();
+    let (store, _) = Store::open(&arena, options()).unwrap();
     {
-        let ctx = tree.thread_ctx(0);
+        let sess = store.session().unwrap();
         for i in 0..200u64 {
-            tree.put(&ctx, &i.to_be_bytes(), i * 7);
+            store.put_u64(&sess, &i.to_be_bytes(), i * 7);
         }
     }
-    tree.epoch_manager().advance();
+    store.checkpoint();
     {
-        let ctx = tree.thread_ctx(0);
+        let sess = store.session().unwrap();
         // Update every key several times (buffer churn + reuse pressure).
         for round in 0..3u64 {
             for i in 0..200u64 {
-                tree.put(&ctx, &i.to_be_bytes(), round * 1000 + i);
+                store.put_u64(&sess, &i.to_be_bytes(), round * 1000 + i);
             }
         }
     }
-    drop(tree);
+    drop(store);
     arena.crash_seeded(404);
-    let (tree, _) = DurableMasstree::open(&arena, CONFIG.clone()).unwrap();
-    let ctx = tree.thread_ctx(0);
+    let (store, _) = Store::open(&arena, options()).unwrap();
+    let sess = store.session().unwrap();
     for i in 0..200u64 {
-        assert_eq!(tree.get(&ctx, &i.to_be_bytes()), Some(i * 7), "key {i}");
+        assert_eq!(
+            store.get_u64(&sess, &i.to_be_bytes()),
+            Some(i * 7),
+            "key {i}"
+        );
+    }
+}
+
+#[test]
+fn byte_value_buffers_revert_with_contents_intact() {
+    // Byte-value twin of the above: churn crosses size classes in both
+    // directions before the crash.
+    let arena = tracked_arena();
+    let val = |i: u64, round: u64| -> Vec<u8> {
+        let len = ((i * 13 + round * 101) % 500) as usize;
+        (0..len).map(|j| (i as u8).wrapping_add(j as u8)).collect()
+    };
+    let (store, _) = Store::open(&arena, options()).unwrap();
+    {
+        let sess = store.session().unwrap();
+        for i in 0..200u64 {
+            store.put(&sess, &i.to_be_bytes(), &val(i, 0)).unwrap();
+        }
+    }
+    store.checkpoint();
+    {
+        let sess = store.session().unwrap();
+        for round in 1..4u64 {
+            for i in 0..200u64 {
+                store.put(&sess, &i.to_be_bytes(), &val(i, round)).unwrap();
+            }
+        }
+    }
+    drop(store);
+    arena.crash_seeded(405);
+    let (store, _) = Store::open(&arena, options()).unwrap();
+    let sess = store.session().unwrap();
+    for i in 0..200u64 {
+        assert_eq!(
+            store.get(&sess, &i.to_be_bytes()),
+            Some(val(i, 0)),
+            "key {i}"
+        );
     }
 }

@@ -1,6 +1,7 @@
-//! All three systems (MT, MT+, INCLL) and a reference `BTreeMap` must
-//! agree on every operation result for identical operation tapes — the
-//! durability machinery must be semantically invisible.
+//! All three systems (MT, MT+, INCLL-behind-`Store`) and a reference
+//! `BTreeMap` must agree on every operation result for identical
+//! operation tapes — the durability machinery must be semantically
+//! invisible. A second tape checks byte-slice values against the model.
 
 use std::collections::BTreeMap;
 
@@ -32,26 +33,6 @@ fn random_tape(seed: u64, len: usize) -> Vec<TapeOp> {
         .collect()
 }
 
-/// Applies the tape, returning one observation per op.
-fn observe<T, C>(
-    tree: &T,
-    ctx: &C,
-    tape: &[TapeOp],
-    put: impl Fn(&T, &C, &[u8], u64) -> Option<u64>,
-    get: impl Fn(&T, &C, &[u8]) -> Option<u64>,
-    remove: impl Fn(&T, &C, &[u8]) -> bool,
-    scan: impl Fn(&T, &C, &[u8], usize) -> Vec<(Vec<u8>, u64)>,
-) -> Vec<String> {
-    tape.iter()
-        .map(|op| match op {
-            TapeOp::Put(k, v) => format!("{:?}", put(tree, ctx, k, *v)),
-            TapeOp::Get(k) => format!("{:?}", get(tree, ctx, k)),
-            TapeOp::Remove(k) => format!("{:?}", remove(tree, ctx, k)),
-            TapeOp::Scan(k, n) => format!("{:?}", scan(tree, ctx, k, *n)),
-        })
-        .collect()
-}
-
 fn model_observe(tape: &[TapeOp]) -> Vec<String> {
     let mut m: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
     tape.iter()
@@ -72,20 +53,45 @@ fn model_observe(tape: &[TapeOp]) -> Vec<String> {
 }
 
 fn masstree_observe(tree: &Masstree, tape: &[TapeOp]) -> Vec<String> {
-    let ctx = tree.thread_ctx(0);
-    observe(
-        tree,
-        &ctx,
-        tape,
-        |t, c, k, v| t.put(c, k, v),
-        |t, c, k| t.get(c, k),
-        |t, c, k| t.remove(c, k),
-        |t, c, k, n| {
-            let mut out = Vec::new();
-            t.scan(c, k, n, &mut |k, v| out.push((k.to_vec(), v)));
-            out
-        },
-    )
+    let ctx = tree.bench_ctx(0);
+    tape.iter()
+        .map(|op| match op {
+            TapeOp::Put(k, v) => format!("{:?}", tree.put(&ctx, k, *v)),
+            TapeOp::Get(k) => format!("{:?}", tree.get(&ctx, k)),
+            TapeOp::Remove(k) => format!("{:?}", tree.remove(&ctx, k)),
+            TapeOp::Scan(k, n) => {
+                let mut out = Vec::new();
+                tree.scan(&ctx, k, *n, &mut |k, v| out.push((k.to_vec(), v)));
+                format!("{out:?}")
+            }
+        })
+        .collect()
+}
+
+/// Observes the tape through the `Store` facade's u64 convenience forms,
+/// with periodic checkpoints interleaved.
+fn store_observe(store: &Store, tape: &[TapeOp], checkpoint_every: usize) -> Vec<String> {
+    let sess = store.session().unwrap();
+    tape.iter()
+        .enumerate()
+        .map(|(i, op)| {
+            if i % checkpoint_every == checkpoint_every - 1 {
+                store.checkpoint();
+            }
+            match op {
+                TapeOp::Put(k, v) => format!("{:?}", store.put_u64(&sess, k, *v)),
+                TapeOp::Get(k) => format!("{:?}", store.get_u64(&sess, k)),
+                TapeOp::Remove(k) => format!("{:?}", store.remove(&sess, k)),
+                TapeOp::Scan(k, n) => {
+                    let mut out = Vec::new();
+                    store.scan(&sess, k, *n, &mut |k, v| {
+                        out.push((k.to_vec(), u64::from_le_bytes(v[..8].try_into().unwrap())))
+                    });
+                    format!("{out:?}")
+                }
+            }
+        })
+        .collect()
 }
 
 #[test]
@@ -108,40 +114,19 @@ fn four_implementations_agree() {
             let tree = Masstree::new(mgr, TransientAlloc::new(AllocMode::Pool, 1, Some(pool)));
             assert_eq!(masstree_observe(&tree, &tape), expect, "MT+ seed {seed}");
         }
-        // INCLL (with periodic checkpoints interleaved)
+        // INCLL behind the Store facade (with periodic checkpoints)
         {
             let arena = PArena::builder().capacity_bytes(64 << 20).build().unwrap();
-            superblock::format(&arena);
-            let tree = DurableMasstree::create(
+            let (store, _) = Store::open(
                 &arena,
-                DurableConfig {
-                    threads: 1,
-                    log_bytes_per_thread: 1 << 20,
-                    incll_enabled: true,
-                },
+                Options::new().threads(1).log_bytes_per_thread(1 << 20),
             )
             .unwrap();
-            let ctx = tree.thread_ctx(0);
-            let got: Vec<String> = tape
-                .iter()
-                .enumerate()
-                .map(|(i, op)| {
-                    if i % 500 == 499 {
-                        tree.epoch_manager().advance();
-                    }
-                    match op {
-                        TapeOp::Put(k, v) => format!("{:?}", tree.put(&ctx, k, *v)),
-                        TapeOp::Get(k) => format!("{:?}", tree.get(&ctx, k)),
-                        TapeOp::Remove(k) => format!("{:?}", tree.remove(&ctx, k)),
-                        TapeOp::Scan(k, n) => {
-                            let mut out = Vec::new();
-                            tree.scan(&ctx, k, *n, &mut |k, v| out.push((k.to_vec(), v)));
-                            format!("{out:?}")
-                        }
-                    }
-                })
-                .collect();
-            assert_eq!(got, expect, "INCLL seed {seed}");
+            assert_eq!(
+                store_observe(&store, &tape, 500),
+                expect,
+                "INCLL seed {seed}"
+            );
         }
     }
 }
@@ -151,35 +136,64 @@ fn logging_mode_agrees_too() {
     let tape = random_tape(99, 3_000);
     let expect = model_observe(&tape);
     let arena = PArena::builder().capacity_bytes(64 << 20).build().unwrap();
-    superblock::format(&arena);
-    let tree = DurableMasstree::create(
+    let (store, _) = Store::open(
         &arena,
-        DurableConfig {
-            threads: 1,
-            log_bytes_per_thread: 4 << 20,
-            incll_enabled: false, // LOGGING ablation
-        },
+        Options::new()
+            .threads(1)
+            .log_bytes_per_thread(4 << 20)
+            .incll(false), // LOGGING ablation
     )
     .unwrap();
-    let ctx = tree.thread_ctx(0);
-    let got: Vec<String> = tape
-        .iter()
-        .enumerate()
-        .map(|(i, op)| {
-            if i % 300 == 299 {
-                tree.epoch_manager().advance();
+    assert_eq!(store_observe(&store, &tape, 300), expect);
+}
+
+#[test]
+fn byte_values_agree_with_model() {
+    // The byte-slice twin: random variable-length values against a
+    // `BTreeMap<Vec<u8>, Vec<u8>>`, through puts/gets/removes/iterators.
+    let mut rng = StdRng::seed_from_u64(12);
+    let arena = PArena::builder().capacity_bytes(64 << 20).build().unwrap();
+    let (store, _) = Store::open(
+        &arena,
+        Options::new().threads(1).log_bytes_per_thread(1 << 20),
+    )
+    .unwrap();
+    let sess = store.session().unwrap();
+    let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+    for step in 0..6_000 {
+        if step % 500 == 499 {
+            store.checkpoint();
+        }
+        let klen = rng.gen_range(0..24);
+        let key: Vec<u8> = (0..klen).map(|_| rng.gen_range(b'a'..=b'd')).collect();
+        match rng.gen_range(0..10) {
+            0..=4 => {
+                let len = rng.gen_range(0..400usize);
+                let v: Vec<u8> = (0..len).map(|_| rng.gen_range(0..=255u64) as u8).collect();
+                assert_eq!(
+                    store.put(&sess, &key, &v).unwrap(),
+                    model.insert(key, v),
+                    "step {step}"
+                );
             }
-            match op {
-                TapeOp::Put(k, v) => format!("{:?}", tree.put(&ctx, k, *v)),
-                TapeOp::Get(k) => format!("{:?}", tree.get(&ctx, k)),
-                TapeOp::Remove(k) => format!("{:?}", tree.remove(&ctx, k)),
-                TapeOp::Scan(k, n) => {
-                    let mut out = Vec::new();
-                    tree.scan(&ctx, k, *n, &mut |k, v| out.push((k.to_vec(), v)));
-                    format!("{out:?}")
-                }
+            5..=6 => {
+                assert_eq!(
+                    store.get(&sess, &key),
+                    model.get(&key).cloned(),
+                    "step {step}"
+                );
             }
-        })
-        .collect();
+            7..=8 => {
+                assert_eq!(
+                    store.remove(&sess, &key),
+                    model.remove(&key).is_some(),
+                    "step {step}"
+                );
+            }
+            _ => {}
+        }
+    }
+    let got: Vec<(Vec<u8>, Vec<u8>)> = store.iter(&sess).collect();
+    let expect: Vec<(Vec<u8>, Vec<u8>)> = model.into_iter().collect();
     assert_eq!(got, expect);
 }

@@ -1,4 +1,6 @@
-//! Property-based tests on the core data structures and invariants.
+//! Property-based tests on the core data structures and invariants,
+//! driven through the public `Store` facade (the allocator-header
+//! properties live in `incll-palloc`'s own suite).
 
 use std::collections::BTreeMap;
 
@@ -8,7 +10,6 @@ use proptest::prelude::*;
 use incll::layout::val_incll;
 use incll_masstree::key::{entry_cmp, ikey_of, KeyCursor, KLEN_LAYER};
 use incll_masstree::Permutation;
-use incll_palloc::header;
 
 // ---------------------------------------------------------------------
 // Permutation algebra
@@ -66,31 +67,6 @@ proptest! {
         prop_assert_eq!(val_incll::idx(w), idx);
         prop_assert_eq!(val_incll::low16(w), ep);
     }
-
-    /// Allocator header packing is lossless and the torn-write counter
-    /// detection triggers exactly on counter mismatch.
-    #[test]
-    fn palloc_header_roundtrip(ptr in 0u64..(1 << 44), c in 0u8..4, ep in any::<u16>()) {
-        let ptr = ptr << 4;
-        let w = header::pack(ptr, c, ep);
-        prop_assert_eq!(header::ptr(w), ptr);
-        prop_assert_eq!(header::counter(w), c);
-        prop_assert_eq!(header::epoch16(w), ep);
-    }
-
-    #[test]
-    fn palloc_header_torn_detection(p0 in 0u64..(1 << 40), p1 in 0u64..(1 << 40), c0 in 0u8..4, c1 in 0u8..4) {
-        let w0 = header::pack(p0 << 4, c0, 1);
-        let w1 = header::pack(p1 << 4, c1, 2);
-        let d = header::decode(w0, w1, |_| false);
-        if c0 != c1 {
-            prop_assert!(d.torn);
-            prop_assert_eq!(d.next, p1 << 4); // word1 is authoritative
-        } else {
-            prop_assert!(!d.torn);
-            prop_assert_eq!(d.next, p0 << 4);
-        }
-    }
 }
 
 // ---------------------------------------------------------------------
@@ -146,12 +122,13 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
-// Tree vs model under random op tapes (single-threaded)
+// Store vs model under random op tapes (single session)
 // ---------------------------------------------------------------------
 
 #[derive(Debug, Clone)]
 enum Op {
     Put(u8, u64),
+    PutBytes(u8, Vec<u8>),
     Remove(u8),
     Get(u8),
     Advance,
@@ -159,54 +136,104 @@ enum Op {
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        4 => (any::<u8>(), any::<u64>()).prop_map(|(k, v)| Op::Put(k, v)),
+        3 => (any::<u8>(), any::<u64>()).prop_map(|(k, v)| Op::Put(k, v)),
+        3 => (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..512))
+            .prop_map(|(k, v)| Op::PutBytes(k, v)),
         2 => any::<u8>().prop_map(Op::Remove),
         2 => any::<u8>().prop_map(Op::Get),
         1 => Just(Op::Advance),
     ]
 }
 
+fn open_store(arena: &PArena) -> Store {
+    Store::open(
+        arena,
+        Options::new().threads(1).log_bytes_per_thread(1 << 20),
+    )
+    .unwrap()
+    .0
+}
+
+/// Applies `op` to both the store and the model.
+fn apply(store: &Store, sess: &Session, model: &mut BTreeMap<u8, Vec<u8>>, op: &Op) {
+    match op {
+        Op::Put(k, v) => {
+            store.put_u64(sess, &[*k], *v);
+            model.insert(*k, v.to_le_bytes().to_vec());
+        }
+        Op::PutBytes(k, v) => {
+            store.put(sess, &[*k], v).unwrap();
+            model.insert(*k, v.clone());
+        }
+        Op::Remove(k) => {
+            store.remove(sess, &[*k]);
+            model.remove(k);
+        }
+        Op::Get(k) => {
+            store.get(sess, &[*k]);
+        }
+        Op::Advance => {
+            store.checkpoint();
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
-    /// The durable tree agrees with a BTreeMap across epoch boundaries.
+    /// The durable store agrees with a BTreeMap across epoch boundaries,
+    /// with u64 and variable-length byte values interleaved.
     #[test]
-    fn durable_tree_matches_model(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+    fn durable_store_matches_model(ops in proptest::collection::vec(op_strategy(), 1..300)) {
         let arena = PArena::builder().capacity_bytes(32 << 20).build().unwrap();
-        superblock::format(&arena);
-        let tree = DurableMasstree::create(&arena, DurableConfig {
-            threads: 1,
-            log_bytes_per_thread: 1 << 20,
-            incll_enabled: true,
-        }).unwrap();
-        let ctx = tree.thread_ctx(0);
-        let mut model: BTreeMap<u8, u64> = BTreeMap::new();
-        for op in ops {
+        let store = open_store(&arena);
+        let sess = store.session().unwrap();
+        let mut model: BTreeMap<u8, Vec<u8>> = BTreeMap::new();
+        for op in &ops {
+            // Observed results must agree op-by-op...
             match op {
                 Op::Put(k, v) => {
-                    prop_assert_eq!(tree.put(&ctx, &[k], v), model.insert(k, v));
+                    let old = store.put_u64(&sess, &[*k], *v);
+                    let model_old = model.insert(*k, v.to_le_bytes().to_vec());
+                    match &model_old {
+                        None => prop_assert_eq!(old, None),
+                        Some(b) if b.len() == 8 => {
+                            prop_assert_eq!(
+                                old,
+                                Some(u64::from_le_bytes(b[..8].try_into().unwrap()))
+                            );
+                        }
+                        // The prior value wasn't 8 bytes: the convenience
+                        // form's return is unspecified beyond presence
+                        // (use `put` to see the full previous bytes).
+                        Some(_) => prop_assert!(old.is_some()),
+                    }
+                }
+                Op::PutBytes(k, v) => {
+                    prop_assert_eq!(store.put(&sess, &[*k], v).unwrap(), model.insert(*k, v.clone()));
                 }
                 Op::Remove(k) => {
-                    prop_assert_eq!(tree.remove(&ctx, &[k]), model.remove(&k).is_some());
+                    prop_assert_eq!(store.remove(&sess, &[*k]), model.remove(k).is_some());
                 }
                 Op::Get(k) => {
-                    prop_assert_eq!(tree.get(&ctx, &[k]), model.get(&k).copied());
+                    prop_assert_eq!(store.get(&sess, &[*k]), model.get(k).cloned());
                 }
                 Op::Advance => {
-                    tree.epoch_manager().advance();
+                    store.checkpoint();
                 }
             }
         }
-        let mut scanned = Vec::new();
-        tree.scan(&ctx, b"", usize::MAX, &mut |k, v| scanned.push((k[0], v)));
-        let expect: Vec<(u8, u64)> = model.into_iter().collect();
+        // ...and so must the final iteration order.
+        let scanned: Vec<(u8, Vec<u8>)> = store.iter(&sess).map(|(k, v)| (k[0], v)).collect();
+        let expect: Vec<(u8, Vec<u8>)> = model.into_iter().collect();
         prop_assert_eq!(scanned, expect);
     }
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
-    /// Crash consistency as a property: any op tape, any crash seed —
-    /// recovery lands exactly on the checkpoint.
+    /// Crash consistency as a property: any op tape of variable-length
+    /// values interleaved with epoch advances, any crash seed — recovery
+    /// lands exactly on the state at the last checkpoint.
     #[test]
     fn crash_recovers_to_checkpoint(
         committed in proptest::collection::vec(op_strategy(), 0..120),
@@ -218,41 +245,28 @@ proptest! {
             .tracked(true)
             .build()
             .unwrap();
-        superblock::format(&arena);
-        let config = DurableConfig {
-            threads: 1,
-            log_bytes_per_thread: 1 << 20,
-            incll_enabled: true,
-        };
-        let tree = DurableMasstree::create(&arena, config.clone()).unwrap();
-        let mut model: BTreeMap<u8, u64> = BTreeMap::new();
+        let store = open_store(&arena);
+        let mut model: BTreeMap<u8, Vec<u8>> = BTreeMap::new();
         {
-            let ctx = tree.thread_ctx(0);
-            for op in committed {
-                match op {
-                    Op::Put(k, v) => { tree.put(&ctx, &[k], v); model.insert(k, v); }
-                    Op::Remove(k) => { tree.remove(&ctx, &[k]); model.remove(&k); }
-                    Op::Get(k) => { tree.get(&ctx, &[k]); }
-                    Op::Advance => { tree.epoch_manager().advance(); }
-                }
+            let sess = store.session().unwrap();
+            for op in &committed {
+                apply(&store, &sess, &mut model, op);
             }
-            tree.epoch_manager().advance(); // the checkpoint
-            for op in doomed {
-                match op {
-                    Op::Put(k, v) => { tree.put(&ctx, &[k], v); }
-                    Op::Remove(k) => { tree.remove(&ctx, &[k]); }
-                    Op::Get(k) => { tree.get(&ctx, &[k]); }
-                    Op::Advance => {} // keep the doomed epoch open
+            store.checkpoint(); // the checkpoint
+            let mut doomed_model = model.clone();
+            for op in &doomed {
+                if matches!(op, Op::Advance) {
+                    continue; // keep the doomed epoch open
                 }
+                apply(&store, &sess, &mut doomed_model, op);
             }
         }
-        drop(tree);
+        drop(store);
         arena.crash_seeded(crash_seed);
-        let (tree, _) = DurableMasstree::open(&arena, config).unwrap();
-        let ctx = tree.thread_ctx(0);
-        let mut scanned = Vec::new();
-        tree.scan(&ctx, b"", usize::MAX, &mut |k, v| scanned.push((k[0], v)));
-        let expect: Vec<(u8, u64)> = model.into_iter().collect();
+        let store = open_store(&arena);
+        let sess = store.session().unwrap();
+        let scanned: Vec<(u8, Vec<u8>)> = store.iter(&sess).map(|(k, v)| (k[0], v)).collect();
+        let expect: Vec<(u8, Vec<u8>)> = model.into_iter().collect();
         prop_assert_eq!(scanned, expect);
     }
 }

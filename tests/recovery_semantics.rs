@@ -1,48 +1,108 @@
-//! Recovery-protocol semantics across crates: reports, failed-epoch
-//! accumulation, log-capacity behavior, and allocator/tree agreement
-//! after restarts.
+//! Recovery-protocol semantics across crates, via the `Store` facade:
+//! unified-open behavior, reports, failed-epoch accumulation, and
+//! allocator/tree agreement after restarts.
 
 use incll_repro::prelude::*;
 
-fn config() -> DurableConfig {
-    DurableConfig {
-        threads: 2,
-        log_bytes_per_thread: 1 << 20,
-        incll_enabled: true,
-    }
+fn options() -> Options {
+    Options::new().threads(2).log_bytes_per_thread(1 << 20)
 }
 
 fn tracked() -> PArena {
-    let a = PArena::builder()
+    PArena::builder()
         .capacity_bytes(64 << 20)
         .tracked(true)
         .build()
-        .unwrap();
-    superblock::format(&a);
-    a
+        .unwrap()
+}
+
+#[test]
+fn open_formats_creates_then_recovers() {
+    // The unified lifecycle: blank arena -> format + create; existing
+    // store -> recover — same call, distinguished by the report.
+    let arena = tracked();
+    let (store, r1) = Store::open(&arena, options()).unwrap();
+    assert!(r1.created);
+    assert_eq!(r1.failed_epoch, 0);
+    assert_eq!(r1.replayed_entries, 0);
+    {
+        let sess = store.session().unwrap();
+        store.put(&sess, b"k", b"v").unwrap();
+        store.checkpoint();
+    }
+    drop(store);
+    let (store, r2) = Store::open(&arena, options()).unwrap();
+    assert!(!r2.created, "second open must recover, not re-create");
+    let sess = store.session().unwrap();
+    assert_eq!(store.get(&sess, b"k").as_deref(), Some(&b"v"[..]));
+}
+
+#[test]
+fn session_pool_is_bounded_and_raii() {
+    let arena = tracked();
+    let (store, _) = Store::open(&arena, options()).unwrap();
+    let s0 = store.session().unwrap();
+    let s1 = store.session().unwrap();
+    assert_ne!(s0.tid(), s1.tid());
+    // Pool of 2 exhausted: the third acquisition reports, not corrupts.
+    match store.session() {
+        Err(Error::TooManyThreads { limit }) => assert_eq!(limit, 2),
+        other => panic!("expected TooManyThreads, got {other:?}"),
+    }
+    // RAII: dropping a session frees its slot for reuse.
+    let freed = s0.tid();
+    drop(s0);
+    let s2 = store.session().unwrap();
+    assert_eq!(s2.tid(), freed);
+    drop(s1);
+    drop(s2);
+    // And the pool refills completely.
+    let all: Vec<Session> = (0..2).map(|_| store.session().unwrap()).collect();
+    assert_eq!(all.len(), 2);
+}
+
+#[test]
+fn oversized_values_error_cleanly() {
+    let arena = tracked();
+    let (store, _) = Store::open(&arena, options()).unwrap();
+    let sess = store.session().unwrap();
+    store.put(&sess, b"k", &vec![1u8; MAX_VALUE_BYTES]).unwrap();
+    match store.put(&sess, b"k", &vec![2u8; MAX_VALUE_BYTES + 1]) {
+        Err(Error::ValueTooLarge { size, max }) => {
+            assert_eq!(size, MAX_VALUE_BYTES + 1);
+            assert_eq!(max, MAX_VALUE_BYTES);
+        }
+        other => panic!("expected ValueTooLarge, got {other:?}"),
+    }
+    // The store is untouched by the failed put.
+    assert_eq!(
+        store.get(&sess, b"k").map(|v| v.len()),
+        Some(MAX_VALUE_BYTES)
+    );
 }
 
 #[test]
 fn recovery_report_counts_replayed_entries() {
     let arena = tracked();
-    let tree = DurableMasstree::create(&arena, config()).unwrap();
+    let (store, _) = Store::open(&arena, options()).unwrap();
     {
-        let ctx = tree.thread_ctx(0);
+        let sess = store.session().unwrap();
         for i in 0..50u64 {
-            tree.put(&ctx, &i.to_be_bytes(), i);
+            store.put_u64(&sess, &i.to_be_bytes(), i);
         }
-        tree.epoch_manager().advance();
+        store.checkpoint();
         // Force external logging: remove-then-insert in one epoch.
         for i in 0..20u64 {
-            tree.remove(&ctx, &i.to_be_bytes());
-            tree.put(&ctx, &(100 + i).to_be_bytes(), i);
+            store.remove(&sess, &i.to_be_bytes());
+            store.put_u64(&sess, &(100 + i).to_be_bytes(), i);
         }
     }
-    let logged = arena.stats().ext_nodes_logged();
+    let logged = store.arena().stats().ext_nodes_logged();
     assert!(logged > 0, "the hazard path must have logged nodes");
-    drop(tree);
+    drop(store);
     arena.crash_seeded(8);
-    let (_, report) = DurableMasstree::open(&arena, config()).unwrap();
+    let (_, report) = Store::open(&arena, options()).unwrap();
+    assert!(!report.created);
     assert!(report.replayed_entries > 0);
     assert!(report.replayed_bytes >= report.replayed_entries * 8);
     assert_eq!(report.failed_epoch, 2);
@@ -52,38 +112,38 @@ fn recovery_report_counts_replayed_entries() {
 #[test]
 fn failed_epochs_accumulate_across_crashes() {
     let arena = tracked();
-    let tree = DurableMasstree::create(&arena, config()).unwrap();
+    let (store, _) = Store::open(&arena, options()).unwrap();
     {
-        let ctx = tree.thread_ctx(0);
-        tree.put(&ctx, b"x", 1);
-        tree.epoch_manager().advance();
+        let sess = store.session().unwrap();
+        store.put_u64(&sess, b"x", 1);
+        store.checkpoint();
     }
-    drop(tree);
+    drop(store);
     for round in 0..5u64 {
         arena.crash_seeded(round);
-        let (tree, report) = DurableMasstree::open(&arena, config()).unwrap();
+        let (store, report) = Store::open(&arena, options()).unwrap();
         assert_eq!(report.failed_epochs.len(), round as usize + 1);
-        let ctx = tree.thread_ctx(0);
-        assert_eq!(tree.get(&ctx, b"x"), Some(1));
+        let sess = store.session().unwrap();
+        assert_eq!(store.get_u64(&sess, b"x"), Some(1));
         // Doomed mutation each round (never checkpointed).
-        tree.put(&ctx, b"doomed", round);
+        store.put_u64(&sess, b"doomed", round);
     }
 }
 
 #[test]
 fn exec_epoch_monotonically_grows() {
     let arena = tracked();
-    let tree = DurableMasstree::create(&arena, config()).unwrap();
-    tree.epoch_manager().advance();
-    tree.epoch_manager().advance();
-    let before = tree.epoch_manager().current_epoch();
-    drop(tree);
+    let (store, _) = Store::open(&arena, options()).unwrap();
+    store.checkpoint();
+    store.checkpoint();
+    let before = store.epoch_manager().current_epoch();
+    drop(store);
     arena.crash_seeded(1);
-    let (tree, _) = DurableMasstree::open(&arena, config()).unwrap();
-    assert!(tree.epoch_manager().current_epoch() > before);
+    let (store, _) = Store::open(&arena, options()).unwrap();
+    assert!(store.epoch_manager().current_epoch() > before);
     assert_eq!(
-        tree.epoch_manager().exec_epoch(),
-        tree.epoch_manager().current_epoch()
+        store.epoch_manager().exec_epoch(),
+        store.epoch_manager().current_epoch()
     );
 }
 
@@ -92,69 +152,76 @@ fn checkpoint_after_recovery_clears_failed_run() {
     // Once an epoch completes post-recovery, older log debris must never
     // replay again.
     let arena = tracked();
-    let tree = DurableMasstree::create(&arena, config()).unwrap();
+    let (store, _) = Store::open(&arena, options()).unwrap();
     {
-        let ctx = tree.thread_ctx(0);
+        let sess = store.session().unwrap();
         for i in 0..30u64 {
-            tree.put(&ctx, &i.to_be_bytes(), i);
+            store.put_u64(&sess, &i.to_be_bytes(), i);
         }
-        tree.epoch_manager().advance();
+        store.checkpoint();
         for i in 0..30u64 {
-            tree.put(&ctx, &i.to_be_bytes(), 999);
+            store.put_u64(&sess, &i.to_be_bytes(), 999);
         }
     }
-    drop(tree);
+    drop(store);
     arena.crash_seeded(3);
-    let (tree, r1) = DurableMasstree::open(&arena, config()).unwrap();
+    let (store, r1) = Store::open(&arena, options()).unwrap();
     assert!(r1.replayed_entries > 0 || arena.stats().ext_nodes_logged() == 0);
     {
-        let ctx = tree.thread_ctx(0);
+        let sess = store.session().unwrap();
         for i in 0..30u64 {
-            tree.put(&ctx, &i.to_be_bytes(), 7);
+            store.put_u64(&sess, &i.to_be_bytes(), 7);
         }
-        tree.epoch_manager().advance(); // completes: resets the log
+        store.checkpoint(); // completes: resets the log
     }
-    drop(tree);
+    drop(store);
     arena.crash_seeded(4);
-    let (tree, r2) = DurableMasstree::open(&arena, config()).unwrap();
+    let (store, r2) = Store::open(&arena, options()).unwrap();
     assert_eq!(
         r2.replayed_entries, 0,
         "a completed checkpoint must invalidate old entries"
     );
-    let ctx = tree.thread_ctx(0);
+    let sess = store.session().unwrap();
     for i in 0..30u64 {
-        assert_eq!(tree.get(&ctx, &i.to_be_bytes()), Some(7));
+        assert_eq!(store.get_u64(&sess, &i.to_be_bytes()), Some(7));
     }
 }
 
 #[test]
 fn allocator_and_tree_agree_after_recovery() {
-    // Every value reachable from the tree reads back correctly after a
-    // crash + recovery + further churn (no use-after-free of buffers).
+    // Every value reachable from the store reads back correctly after a
+    // crash + recovery + further churn (no use-after-free of buffers) —
+    // exercised across size classes via byte values.
     let arena = tracked();
-    let tree = DurableMasstree::create(&arena, config()).unwrap();
+    let bval = |i: u64, tag: u64| -> Vec<u8> {
+        let len = ((i * 31 + tag) % 400) as usize;
+        (0..len)
+            .map(|j| (tag as u8).wrapping_add(j as u8))
+            .collect()
+    };
+    let (store, _) = Store::open(&arena, options()).unwrap();
     {
-        let ctx = tree.thread_ctx(0);
+        let sess = store.session().unwrap();
         for i in 0..300u64 {
-            tree.put(&ctx, &i.to_be_bytes(), i);
+            store.put(&sess, &i.to_be_bytes(), &bval(i, 0)).unwrap();
         }
-        tree.epoch_manager().advance();
+        store.checkpoint();
         for i in 0..300u64 {
-            tree.put(&ctx, &i.to_be_bytes(), i + 1000); // churn buffers
+            store.put(&sess, &i.to_be_bytes(), &bval(i, 1)).unwrap(); // churn buffers
         }
     }
-    drop(tree);
+    drop(store);
     arena.crash_seeded(12);
-    let (tree, _) = DurableMasstree::open(&arena, config()).unwrap();
-    let ctx = tree.thread_ctx(0);
+    let (store, _) = Store::open(&arena, options()).unwrap();
+    let sess = store.session().unwrap();
     // Post-recovery churn reuses reverted buffers.
     for i in 0..300u64 {
-        assert_eq!(tree.get(&ctx, &i.to_be_bytes()), Some(i));
-        tree.put(&ctx, &i.to_be_bytes(), i + 5000);
+        assert_eq!(store.get(&sess, &i.to_be_bytes()), Some(bval(i, 0)));
+        store.put(&sess, &i.to_be_bytes(), &bval(i, 5)).unwrap();
     }
-    tree.epoch_manager().advance();
+    store.checkpoint();
     for i in 0..300u64 {
-        assert_eq!(tree.get(&ctx, &i.to_be_bytes()), Some(i + 5000));
+        assert_eq!(store.get(&sess, &i.to_be_bytes()), Some(bval(i, 5)));
     }
 }
 
@@ -163,50 +230,49 @@ fn clean_restart_cycles_preserve_data() {
     let arena = tracked();
     let mut expected = Vec::new();
     {
-        let tree = DurableMasstree::create(&arena, config()).unwrap();
-        let ctx = tree.thread_ctx(0);
+        let (store, _) = Store::open(&arena, options()).unwrap();
+        let sess = store.session().unwrap();
         for i in 0..100u64 {
-            tree.put(&ctx, &i.to_be_bytes(), i);
-            expected.push((i.to_be_bytes().to_vec(), i));
+            store.put_u64(&sess, &i.to_be_bytes(), i);
+            expected.push((i.to_be_bytes().to_vec(), i.to_le_bytes().to_vec()));
         }
-        tree.epoch_manager().advance();
+        store.checkpoint();
     }
     for cycle in 0..4u64 {
-        let (tree, _) = DurableMasstree::open(&arena, config()).unwrap();
-        let ctx = tree.thread_ctx(0);
-        let mut got = Vec::new();
-        tree.scan(&ctx, b"", usize::MAX, &mut |k, v| got.push((k.to_vec(), v)));
+        let (store, _) = Store::open(&arena, options()).unwrap();
+        let sess = store.session().unwrap();
+        let got: Vec<(Vec<u8>, Vec<u8>)> = store.iter(&sess).collect();
         assert_eq!(got, expected, "cycle {cycle}");
         // Add one key per cycle, checkpoint it.
         let k = (1000 + cycle).to_be_bytes();
-        tree.put(&ctx, &k, cycle);
-        expected.push((k.to_vec(), cycle));
+        store.put_u64(&sess, &k, cycle);
+        expected.push((k.to_vec(), cycle.to_le_bytes().to_vec()));
         expected.sort();
-        tree.epoch_manager().advance();
+        store.checkpoint();
     }
 }
 
 #[test]
 fn stats_reflect_recovery_work() {
     let arena = tracked();
-    let tree = DurableMasstree::create(&arena, config()).unwrap();
+    let (store, _) = Store::open(&arena, options()).unwrap();
     {
-        let ctx = tree.thread_ctx(0);
+        let sess = store.session().unwrap();
         for i in 0..100u64 {
-            tree.put(&ctx, &i.to_be_bytes(), i);
+            store.put_u64(&sess, &i.to_be_bytes(), i);
         }
-        tree.epoch_manager().advance();
+        store.checkpoint();
         for i in 0..100u64 {
-            tree.put(&ctx, &i.to_be_bytes(), i * 2);
+            store.put_u64(&sess, &i.to_be_bytes(), i * 2);
         }
     }
-    drop(tree);
+    drop(store);
     arena.crash_seeded(21);
     let before = arena.stats().snapshot();
-    let (tree, _) = DurableMasstree::open(&arena, config()).unwrap();
-    let ctx = tree.thread_ctx(0);
+    let (store, _) = Store::open(&arena, options()).unwrap();
+    let sess = store.session().unwrap();
     let mut n = 0u64;
-    tree.scan(&ctx, b"", usize::MAX, &mut |_, _| n += 1);
+    store.scan(&sess, b"", usize::MAX, &mut |_, _| n += 1);
     let d = arena.stats().snapshot().delta(&before);
     assert_eq!(n, 100);
     assert!(

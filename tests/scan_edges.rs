@@ -1,97 +1,97 @@
-//! Scan edge cases on the durable tree: empty trees, boundary starts,
-//! layer crossings, limits, and scans racing recovery.
+//! Scan edge cases on the durable store: empty stores, boundary starts,
+//! layer crossings, limits, iterator range bounds, and scans racing
+//! recovery.
 
 use incll_repro::prelude::*;
 
-fn tree() -> (PArena, DurableMasstree) {
+fn store() -> (PArena, Store, Session) {
     let arena = PArena::builder()
         .capacity_bytes(32 << 20)
         .tracked(true)
         .build()
         .unwrap();
-    superblock::format(&arena);
-    let t = DurableMasstree::create(
+    let (s, _) = Store::open(
         &arena,
-        DurableConfig {
-            threads: 1,
-            log_bytes_per_thread: 1 << 20,
-            incll_enabled: true,
-        },
+        Options::new().threads(1).log_bytes_per_thread(1 << 20),
     )
     .unwrap();
-    (arena, t)
+    let sess = s.session().unwrap();
+    (arena, s, sess)
+}
+
+fn val_of(v: &[u8]) -> u64 {
+    u64::from_le_bytes(v[..8].try_into().unwrap())
 }
 
 #[test]
-fn scan_of_empty_tree_returns_nothing() {
-    let (_a, t) = tree();
-    let ctx = t.thread_ctx(0);
+fn scan_of_empty_store_returns_nothing() {
+    let (_a, s, sess) = store();
     let mut hits = 0;
-    assert_eq!(t.scan(&ctx, b"", 10, &mut |_, _| hits += 1), 0);
-    assert_eq!(t.scan(&ctx, b"zzz", usize::MAX, &mut |_, _| hits += 1), 0);
+    assert_eq!(s.scan(&sess, b"", 10, &mut |_, _| hits += 1), 0);
+    assert_eq!(s.scan(&sess, b"zzz", usize::MAX, &mut |_, _| hits += 1), 0);
     assert_eq!(hits, 0);
+    assert_eq!(s.iter(&sess).count(), 0);
 }
 
 #[test]
 fn scan_limit_zero_is_a_noop() {
-    let (_a, t) = tree();
-    let ctx = t.thread_ctx(0);
-    t.put(&ctx, b"a", 1);
-    assert_eq!(t.scan(&ctx, b"", 0, &mut |_, _| panic!("no visits")), 0);
+    let (_a, s, sess) = store();
+    s.put(&sess, b"a", b"1").unwrap();
+    assert_eq!(s.scan(&sess, b"", 0, &mut |_, _| panic!("no visits")), 0);
 }
 
 #[test]
 fn scan_start_past_last_key() {
-    let (_a, t) = tree();
-    let ctx = t.thread_ctx(0);
+    let (_a, s, sess) = store();
     for i in 0..50u64 {
-        t.put(&ctx, &i.to_be_bytes(), i);
+        s.put_u64(&sess, &i.to_be_bytes(), i);
     }
     let mut hits = 0;
-    t.scan(&ctx, &100u64.to_be_bytes(), 10, &mut |_, _| hits += 1);
+    s.scan(&sess, &100u64.to_be_bytes(), 10, &mut |_, _| hits += 1);
     assert_eq!(hits, 0);
 }
 
 #[test]
 fn scan_start_exactly_on_a_key_is_inclusive() {
-    let (_a, t) = tree();
-    let ctx = t.thread_ctx(0);
+    let (_a, s, sess) = store();
     for i in 0..20u64 {
-        t.put(&ctx, &i.to_be_bytes(), i);
+        s.put_u64(&sess, &i.to_be_bytes(), i);
     }
     let mut got = Vec::new();
-    t.scan(&ctx, &7u64.to_be_bytes(), 3, &mut |_, v| got.push(v));
+    s.scan(&sess, &7u64.to_be_bytes(), 3, &mut |_, v| {
+        got.push(val_of(v))
+    });
     assert_eq!(got, vec![7, 8, 9]);
 }
 
 #[test]
 fn scan_start_between_keys_rounds_up() {
-    let (_a, t) = tree();
-    let ctx = t.thread_ctx(0);
+    let (_a, s, sess) = store();
     for i in (0..40u64).step_by(4) {
-        t.put(&ctx, &i.to_be_bytes(), i);
+        s.put_u64(&sess, &i.to_be_bytes(), i);
     }
     let mut got = Vec::new();
-    t.scan(&ctx, &5u64.to_be_bytes(), 2, &mut |_, v| got.push(v));
+    s.scan(&sess, &5u64.to_be_bytes(), 2, &mut |_, v| {
+        got.push(val_of(v))
+    });
     assert_eq!(got, vec![8, 12]);
 }
 
 #[test]
 fn scan_descends_into_layers_at_the_start_key() {
-    let (_a, t) = tree();
-    let ctx = t.thread_ctx(0);
+    let (_a, s, sess) = store();
     // One slice prefix with several suffixes → a sub-layer.
     for suffix in ["", "-a", "-b", "-c"] {
-        t.put(
-            &ctx,
+        s.put_u64(
+            &sess,
             format!("prefix01{suffix}").as_bytes(),
             suffix.len() as u64,
         );
     }
-    t.put(&ctx, b"prefix02", 99);
+    s.put_u64(&sess, b"prefix02", 99);
     // Start *inside* the layer: must pick up -b, -c, then the next slice.
     let mut got = Vec::new();
-    t.scan(&ctx, b"prefix01-b", 10, &mut |k, _| {
+    s.scan(&sess, b"prefix01-b", 10, &mut |k, _| {
         got.push(String::from_utf8_lossy(k).into_owned())
     });
     assert_eq!(got, vec!["prefix01-b", "prefix01-c", "prefix02"]);
@@ -99,29 +99,34 @@ fn scan_descends_into_layers_at_the_start_key() {
 
 #[test]
 fn scan_emits_full_keys_across_layers() {
-    let (_a, t) = tree();
-    let ctx = t.thread_ctx(0);
+    let (_a, s, sess) = store();
     let long = vec![b'q'; 30];
-    t.put(&ctx, &long, 1);
-    t.put(&ctx, b"q", 2);
-    let mut got = Vec::new();
-    t.scan(&ctx, b"", 10, &mut |k, v| got.push((k.to_vec(), v)));
-    assert_eq!(got, vec![(b"q".to_vec(), 2), (long.clone(), 1)]);
+    s.put(&sess, &long, b"deep").unwrap();
+    s.put(&sess, b"q", b"shallow").unwrap();
+    let got: Vec<(Vec<u8>, Vec<u8>)> = s.iter(&sess).collect();
+    assert_eq!(
+        got,
+        vec![
+            (b"q".to_vec(), b"shallow".to_vec()),
+            (long.clone(), b"deep".to_vec()),
+        ]
+    );
 }
 
 #[test]
 fn scan_spanning_many_leaves_with_removals() {
-    let (_a, t) = tree();
-    let ctx = t.thread_ctx(0);
+    let (_a, s, sess) = store();
     for i in 0..600u64 {
-        t.put(&ctx, &i.to_be_bytes(), i);
+        s.put_u64(&sess, &i.to_be_bytes(), i);
     }
     // Punch holes (including whole-leaf ranges).
     for i in 100..250u64 {
-        assert!(t.remove(&ctx, &i.to_be_bytes()));
+        assert!(s.remove(&sess, &i.to_be_bytes()));
     }
     let mut got = Vec::new();
-    t.scan(&ctx, &90u64.to_be_bytes(), 20, &mut |_, v| got.push(v));
+    s.scan(&sess, &90u64.to_be_bytes(), 20, &mut |_, v| {
+        got.push(val_of(v))
+    });
     let expect: Vec<u64> = (90..100).chain(250..260).collect();
     assert_eq!(
         got, expect,
@@ -129,37 +134,123 @@ fn scan_spanning_many_leaves_with_removals() {
     );
 }
 
+// ---------------------------------------------------------------------
+// The iterator form
+// ---------------------------------------------------------------------
+
 #[test]
-fn scan_immediately_after_recovery_forces_lazy_repairs() {
-    let (arena, t) = tree();
-    {
-        let ctx = t.thread_ctx(0);
-        for i in 0..300u64 {
-            t.put(&ctx, &i.to_be_bytes(), i);
-        }
-        t.epoch_manager().advance();
-        for i in 0..300u64 {
-            t.put(&ctx, &i.to_be_bytes(), 0xDEAD);
-        }
+fn range_bounds_cover_all_four_shapes() {
+    let (_a, s, sess) = store();
+    for i in 0..20u64 {
+        s.put_u64(&sess, &i.to_be_bytes(), i);
     }
-    drop(t);
-    arena.crash_seeded(55);
-    let (t2, _) = DurableMasstree::open(
+    let k = |i: u64| i.to_be_bytes();
+    let vals = |it: RangeScan<'_>| -> Vec<u64> { it.map(|(_, v)| val_of(&v)).collect() };
+
+    // start..end (half-open)
+    assert_eq!(vals(s.range(&sess, &k(5)[..]..&k(9)[..])), vec![5, 6, 7, 8]);
+    // start..=end (inclusive)
+    assert_eq!(
+        vals(s.range(&sess, &k(5)[..]..=&k(9)[..])),
+        vec![5, 6, 7, 8, 9]
+    );
+    // ..end (from the start)
+    assert_eq!(vals(s.range(&sess, ..&k(3)[..])), vec![0, 1, 2]);
+    // start.. (to the end)
+    assert_eq!(vals(s.range(&sess, &k(17)[..]..)), vec![17, 18, 19]);
+    // full
+    assert_eq!(vals(s.iter(&sess)).len(), 20);
+    // empty range
+    assert_eq!(
+        vals(s.range(&sess, &k(9)[..]..&k(5)[..])),
+        Vec::<u64>::new()
+    );
+}
+
+#[test]
+fn range_spans_many_refill_batches() {
+    // More keys than one internal batch: the iterator must stitch batches
+    // without gaps or duplicates.
+    let (_a, s, sess) = store();
+    for i in 0..1000u64 {
+        s.put_u64(&sess, &i.to_be_bytes(), i);
+    }
+    let got: Vec<u64> = s
+        .range(&sess, &100u64.to_be_bytes()[..]..&900u64.to_be_bytes()[..])
+        .map(|(_, v)| val_of(&v))
+        .collect();
+    let expect: Vec<u64> = (100..900).collect();
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn range_excluded_start_and_prefix_keys() {
+    let (_a, s, sess) = store();
+    for key in [&b"app"[..], b"apple", b"apple-pie", b"banana"] {
+        s.put(&sess, key, key).unwrap();
+    }
+    // An Excluded start on an existing key skips exactly that key (the
+    // next key up may be its extension).
+    use std::ops::Bound;
+    let got: Vec<Vec<u8>> = s
+        .range::<&[u8], _>(&sess, (Bound::Excluded(&b"apple"[..]), Bound::Unbounded))
+        .map(|(key, _)| key)
+        .collect();
+    assert_eq!(got, vec![b"apple-pie".to_vec(), b"banana".to_vec()]);
+}
+
+#[test]
+fn range_sees_checkpointed_state_after_crash() {
+    let (arena, s, sess) = store();
+    for i in 0..50u64 {
+        s.put_u64(&sess, &i.to_be_bytes(), i);
+    }
+    s.checkpoint();
+    for i in 50..80u64 {
+        s.put_u64(&sess, &i.to_be_bytes(), i); // doomed
+    }
+    drop(sess);
+    drop(s);
+    arena.crash_seeded(77);
+    let (s, _) = Store::open(
         &arena,
-        DurableConfig {
-            threads: 1,
-            log_bytes_per_thread: 1 << 20,
-            incll_enabled: true,
-        },
+        Options::new().threads(1).log_bytes_per_thread(1 << 20),
     )
     .unwrap();
-    let ctx = t2.thread_ctx(0);
+    let sess = s.session().unwrap();
+    assert_eq!(s.iter(&sess).count(), 50);
+}
+
+#[test]
+fn scan_immediately_after_recovery_forces_lazy_repairs() {
+    let (arena, s, sess) = store();
+    for i in 0..300u64 {
+        s.put_u64(&sess, &i.to_be_bytes(), i);
+    }
+    s.checkpoint();
+    for i in 0..300u64 {
+        s.put_u64(&sess, &i.to_be_bytes(), 0xDEAD);
+    }
+    drop(sess);
+    drop(s);
+    arena.crash_seeded(55);
+    let (s2, _) = Store::open(
+        &arena,
+        Options::new().threads(1).log_bytes_per_thread(1 << 20),
+    )
+    .unwrap();
+    let sess = s2.session().unwrap();
     // The very first operation is a full scan: every leaf recovers lazily
     // under the scan's feet.
-    let mut got = Vec::new();
-    t2.scan(&ctx, b"", usize::MAX, &mut |k, v| {
-        got.push((u64::from_be_bytes(k.try_into().unwrap()), v))
-    });
+    let got: Vec<(u64, u64)> = s2
+        .iter(&sess)
+        .map(|(k, v)| {
+            (
+                u64::from_be_bytes(k.as_slice().try_into().unwrap()),
+                val_of(&v),
+            )
+        })
+        .collect();
     let expect: Vec<(u64, u64)> = (0..300).map(|i| (i, i)).collect();
     assert_eq!(got, expect);
     assert!(arena.stats().nodes_lazy_recovered() > 0);
@@ -171,7 +262,7 @@ fn transient_tree_scan_edges_match() {
     let arena = PArena::builder().capacity_bytes(1 << 20).build().unwrap();
     let mgr = EpochManager::new(arena, EpochOptions::transient());
     let t = Masstree::new(mgr, TransientAlloc::new(AllocMode::Global, 1, None));
-    let ctx = t.thread_ctx(0);
+    let ctx = t.bench_ctx(0);
     let mut hits = 0;
     assert_eq!(t.scan(&ctx, b"", 10, &mut |_, _| hits += 1), 0);
     for i in (0..40u64).step_by(4) {
