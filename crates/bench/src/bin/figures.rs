@@ -4,7 +4,8 @@
 //! cargo run --release -p incll-bench --bin figures -- <experiment> [options]
 //!
 //! experiments:
-//!   fig2 fig3 fig4 fig5 fig6 fig7 fig8 flushcost recovery ablation all
+//!   fig2 fig3 fig4 fig5 fig6 fig7 fig8 flushcost recovery ablation
+//!   shard_scaling all
 //!
 //! options:
 //!   --paper            paper-scale parameters (20M keys, 8x1M ops)
@@ -61,7 +62,8 @@ fn parse_args() -> Args {
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: figures <fig2|fig3|fig4|fig5|fig6|fig7|fig8|flushcost|recovery|ablation|all> \
+        "usage: figures <fig2|fig3|fig4|fig5|fig6|fig7|fig8|flushcost|recovery|ablation\
+         |shard_scaling|all> \
          [--paper] [--scale F] [--keys N] [--ops N] [--threads N] [--out DIR]"
     );
     std::process::exit(2);
@@ -157,6 +159,7 @@ fn main() {
             "flushcost" => ("flushcost", vec![experiments::flush_cost(p)]),
             "recovery" => ("recovery", vec![experiments::recovery_time(p)]),
             "ablation" => ("ablation", vec![experiments::ablation_internal(p)]),
+            "shard_scaling" => ("shard_scaling", vec![experiments::shard_scaling(p)]),
             other => usage(&format!("unknown experiment {other}")),
         };
         save(&args.out, file, &tables);
@@ -174,6 +177,7 @@ fn main() {
             "flushcost",
             "recovery",
             "ablation",
+            "shard_scaling",
         ] {
             println!("---- {name} ----");
             results.push(run_one(name));

@@ -538,6 +538,107 @@ pub fn recovery_time(p: &ExpParams) -> Table {
 }
 
 // =====================================================================
+// Shard scaling — N trees under one epoch vs the single-tree baseline
+// =====================================================================
+
+/// The shard counts the scaling experiment sweeps.
+pub const SHARD_SWEEP: &[usize] = &[1, 2, 4, 8];
+
+/// Shard scaling: the same multi-thread workloads against 1/2/4/8
+/// keyspace shards. The contended column interleaves monotonically
+/// increasing keys across all threads — on one shard every insert lands
+/// on the same right-edge leaf; hash routing spreads that hot edge over
+/// the shards, so throughput should grow with the shard count. The
+/// YCSB-A column shows the (near-contention-free) uniform mix for
+/// contrast, and the scan column proves the k-way merge still visits
+/// every key in global order.
+pub fn shard_scaling(p: &ExpParams) -> Table {
+    use incll_ycsb::KvBench;
+
+    let mut t = Table::new(
+        "Shard scaling: throughput vs shard count (same thread count)",
+        &[
+            "shards",
+            "seq_put_mops",
+            "vs 1 shard",
+            "ycsb_a_mops",
+            "scan_keys",
+        ],
+    );
+    let threads = p.threads.max(2);
+    let total_puts = p.ops_per_thread * threads as u64;
+    let mut base = 0.0f64;
+    for &shards in SHARD_SWEEP {
+        let mut cfg = p.sys_config();
+        cfg.threads = threads;
+        cfg.shards = shards;
+        // The experiment inserts `total_puts` sequential keys *and* (for
+        // the YCSB phase) `total_puts` preloaded storage keys — size the
+        // arena from that, not from `p.keys`, or a large --ops exhausts it.
+        cfg.keys = (2 * total_puts).max(p.keys);
+        let sys = build_incll(&cfg);
+        let store = &sys.store;
+        assert_eq!(store.bench_shards(), shards);
+
+        // Contended phase: interleaved ascending keys from every thread.
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for tid in 0..threads {
+                let store = store.clone();
+                s.spawn(move || {
+                    let sess = store.session().expect("one slot per driver thread");
+                    let mut i = tid as u64;
+                    while i < total_puts {
+                        store.put_u64(&sess, &i.to_be_bytes(), i);
+                        i += threads as u64;
+                    }
+                });
+            }
+        });
+        let put_mops = total_puts as f64 / t0.elapsed().as_secs_f64() / 1e6;
+        if shards == 1 {
+            base = put_mops;
+        }
+
+        // Merged-scan proof: every sequentially-inserted key, globally
+        // ordered (before the YCSB phase adds its own key encoding).
+        let scanned;
+        {
+            let sess = store.session().expect("scan session");
+            let mut last: Option<Vec<u8>> = None;
+            let mut ordered = true;
+            scanned = store.scan(&sess, b"", usize::MAX, &mut |k, _| {
+                if let Some(prev) = &last {
+                    ordered &= prev.as_slice() < k;
+                }
+                last = Some(k.to_vec());
+            });
+            assert_eq!(scanned as u64, total_puts, "merge must visit every key");
+            assert!(ordered, "merge must yield global key order");
+        }
+
+        // Uniform YCSB-A for contrast, on a properly preloaded keyspace
+        // (the driver addresses scrambled `storage_key`s, not the
+        // sequential keys above).
+        load(store, total_puts, threads);
+        let mut rc = p.run_config(Mix::A, Dist::Uniform);
+        rc.threads = threads;
+        rc.nkeys = total_puts;
+        let ycsb = run(store, &rc).mops();
+
+        t.push(vec![
+            shards.to_string(),
+            f2(put_mops),
+            pct(base, put_mops),
+            f2(ycsb),
+            scanned.to_string(),
+        ]);
+    }
+    t.print();
+    t
+}
+
+// =====================================================================
 // §6.1 — InCLL-for-interior-nodes ablation
 // =====================================================================
 

@@ -36,6 +36,9 @@ pub struct SystemConfig {
     /// Epoch length for the background driver; `None` = no driver (tests
     /// advance manually).
     pub epoch_interval: Option<Duration>,
+    /// Keyspace shards for the durable system (power of two; 1 = the
+    /// paper's single-tree configuration).
+    pub shards: usize,
 }
 
 impl SystemConfig {
@@ -49,6 +52,7 @@ impl SystemConfig {
             incll: true,
             log_bytes_per_thread: 32 << 20,
             epoch_interval: Some(DEFAULT_EPOCH_INTERVAL),
+            shards: 1,
         }
     }
 
@@ -93,9 +97,10 @@ impl TransientSystem {
 /// A built durable system: store facade, mid-level tree, arena, driver.
 pub struct DurableSystem {
     driver: Option<AdvanceDriver>,
-    /// The public facade (sessions, byte values).
+    /// The public facade (sessions, byte values, shard routing).
     pub store: Store,
-    /// The tree under test (mid-level API; same instance the store wraps).
+    /// The tree under test (mid-level API; the store's shard-0 tree —
+    /// shard-aware experiments drive `store` instead).
     pub tree: DurableMasstree,
     /// The arena (latency knobs, stats).
     pub arena: PArena,
@@ -145,7 +150,8 @@ pub fn build_incll(cfg: &SystemConfig) -> DurableSystem {
     let options = Options::new()
         .threads(cfg.threads)
         .log_bytes_per_thread(cfg.log_bytes_per_thread)
-        .incll(cfg.incll);
+        .incll(cfg.incll)
+        .shards(cfg.shards);
     let (store, _report) = Store::open(&arena, options).expect("arena sized for the key count");
     let tree = store.masstree().clone();
     let driver = cfg
@@ -194,6 +200,24 @@ mod tests {
         let inc = build_incll(&cfg);
         load(&inc.tree, cfg.keys, cfg.threads);
         assert_eq!(run(&inc.tree, &rc).ops, 4_000);
+    }
+
+    #[test]
+    fn sharded_durable_system_serves_the_workload() {
+        let mut cfg = tiny_cfg();
+        cfg.shards = 4;
+        let sys = build_incll(&cfg);
+        assert_eq!(sys.store.shard_count(), 4);
+        load(&sys.store, cfg.keys, cfg.threads);
+        let rc = RunConfig {
+            threads: 2,
+            ops_per_thread: 2_000,
+            nkeys: cfg.keys,
+            mix: Mix::E, // scans exercise the k-way merge
+            dist: Dist::Uniform,
+            seed: 11,
+        };
+        assert_eq!(run(&sys.store, &rc).ops, 4_000);
     }
 
     #[test]

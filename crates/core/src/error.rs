@@ -33,6 +33,33 @@ pub enum Error {
         /// The configured slot count.
         limit: usize,
     },
+    /// The arena carries an InCLL superblock of a different on-media
+    /// layout version (e.g. pre-shard media); opening it would
+    /// misinterpret the layout, and formatting it would destroy data, so
+    /// neither happens.
+    UnsupportedLayout {
+        /// The version found on media.
+        found: u64,
+        /// The version this build reads and writes.
+        expected: u64,
+    },
+    /// The requested shard count does not match the count fixed when the
+    /// store was formatted ([`crate::Options::shards`] is a format-time
+    /// property; reopen with the on-media value).
+    ShardMismatch {
+        /// The shard count the caller asked for.
+        requested: usize,
+        /// The shard count recorded in the superblock.
+        on_media: usize,
+    },
+    /// The requested shard count is not a power of two in
+    /// `1..=`[`incll_pmem::superblock::MAX_SHARDS`].
+    InvalidShardCount {
+        /// The offending count.
+        requested: usize,
+        /// The largest supported count.
+        max: usize,
+    },
     /// An internal subsystem reported a condition with no dedicated
     /// variant (future-proofing against `#[non_exhaustive]` sources).
     Internal(String),
@@ -50,6 +77,30 @@ impl std::fmt::Display for Error {
                     f,
                     "no usable thread slot: the store has {limit} (all in use, \
                      or the requested tid is out of range)"
+                )
+            }
+            Error::UnsupportedLayout { found, expected } => {
+                write!(
+                    f,
+                    "arena holds an InCLL store with on-media layout version \
+                     {found}, but this build speaks version {expected}"
+                )
+            }
+            Error::ShardMismatch {
+                requested,
+                on_media,
+            } => {
+                write!(
+                    f,
+                    "shard count is fixed at format time: the store on media \
+                     has {on_media} shard(s), but {requested} were requested"
+                )
+            }
+            Error::InvalidShardCount { requested, max } => {
+                write!(
+                    f,
+                    "invalid shard count {requested}: must be a power of two \
+                     between 1 and {max}"
                 )
             }
             Error::Internal(what) => write!(f, "internal error: {what}"),
@@ -100,6 +151,18 @@ mod tests {
                 max: MAX_VALUE_BYTES,
             },
             Error::TooManyThreads { limit: 4 },
+            Error::UnsupportedLayout {
+                found: 1,
+                expected: 2,
+            },
+            Error::ShardMismatch {
+                requested: 4,
+                on_media: 2,
+            },
+            Error::InvalidShardCount {
+                requested: 3,
+                max: 64,
+            },
         ];
         for e in errs {
             let s = e.to_string();

@@ -27,7 +27,8 @@
 //! The supported front door is the [`Store`] facade: one call opens (or
 //! formats + creates, or recovers) a store; RAII [`Session`]s replace raw
 //! thread ids; values are byte slices backed by size-classed durable
-//! buffers.
+//! buffers; [`Options::shards`] hash partitions the keyspace over N
+//! independent trees under one epoch domain.
 //!
 //! ```
 //! use incll_pmem::PArena;
@@ -37,30 +38,41 @@
 //! // An arena stands in for an NVM device mapping.
 //! let arena = PArena::builder().capacity_bytes(16 << 20).build()?;
 //!
-//! // Blank arena -> format + create; existing store -> recover.
-//! let opts = Options::new().threads(1).log_bytes_per_thread(1 << 20);
+//! // Blank arena -> format + create; existing store -> recover. The
+//! // shard count is fixed here, at format time: 4 independent InCLL
+//! // trees, one shared epoch (shards(1), the default, is the paper's
+//! // single-tree system).
+//! let opts = Options::new()
+//!     .threads(1)
+//!     .log_bytes_per_thread(1 << 20)
+//!     .shards(4);
 //! let (store, report) = Store::open(&arena, opts)?;
 //! assert!(report.created);
+//! assert_eq!(store.shard_count(), 4);
 //!
 //! let sess = store.session()?; // slot released when `sess` drops
-//! store.put(&sess, b"durable-key", b"any bytes at all")?;
+//! store.put(&sess, b"durable-key", b"any bytes at all")?; // routed by key hash
 //! assert_eq!(
 //!     store.get(&sess, b"durable-key").as_deref(),
 //!     Some(&b"any bytes at all"[..]),
 //! );
 //! store.put_u64(&sess, b"counter", 7); // the paper's 8-byte payloads
 //!
-//! // Checkpoint: everything written so far survives any later crash.
+//! // Checkpoint: everything written so far — on every shard — survives
+//! // any later crash (all shards share the one epoch boundary).
 //! store.checkpoint();
 //!
-//! // Ordered iteration (also: `store.scan` for the callback form).
+//! // Ordered iteration: a lazy k-way merge over the shard trees yields
+//! // global key order (also: `store.scan` for the callback form).
 //! for (key, value) in store.range(&sess, &b"a"[..]..&b"d"[..]) {
 //!     assert_eq!(key, b"counter");
 //!     assert_eq!(u64::from_le_bytes(value[..8].try_into()?), 7);
 //! }
 //!
 //! // ... a crash here (see `PArena::crash_seeded` in tracked mode) rolls
-//! // back to the checkpoint; `Store::open` on the same arena recovers.
+//! // every shard back to the checkpoint; `Store::open` on the same arena
+//! // recovers them all (per-shard counts in `report.per_shard`). Reopen
+//! // with the same `shards(4)` — a mismatch is a typed error.
 //! # Ok(())
 //! # }
 //! ```
@@ -74,13 +86,16 @@
 //! |--------|-----|
 //! | `superblock::format` + `DurableMasstree::create` / `open` | [`Store::open`] (format-if-empty, create-or-recover) |
 //! | `DurableConfig { .. }` | [`Options`] builder |
+//! | one tree behind `SB_TREE_ROOT` | [`Options::shards`]`(n)` — n root holders, fixed at format; `shards(1)` keeps the legacy media shape |
 //! | `tree.thread_ctx(tid).unwrap()` (unchecked `tid`) | [`Store::session`] (bounded RAII pool) |
-//! | `tree.put(&ctx, k, u64)` | [`Store::put`] (`&[u8]`) or [`Store::put_u64`] |
-//! | `tree.epoch_manager().advance()` | [`Store::checkpoint`] |
-//! | leaked `incll_palloc::Error` | crate-wide [`Error`] |
+//! | `tree.put(&ctx, k, u64)` | [`Store::put`] (`&[u8]`) or [`Store::put_u64`] (both shard-routed) |
+//! | `tree.scan(&ctx, ..)` (one tree) | [`Store::scan`] / [`Store::range`] (globally ordered k-way merge) |
+//! | `tree.epoch_manager().advance()` | [`Store::checkpoint`] (one boundary for all shards) |
+//! | leaked `incll_palloc::Error` | crate-wide [`Error`] (incl. [`Error::ShardMismatch`], [`Error::UnsupportedLayout`]) |
 //!
-//! [`DurableMasstree`] remains public as the mid-level API (the facade
-//! wraps it; [`Store::masstree`] is the escape hatch).
+//! [`DurableMasstree`] remains public as the mid-level API, but it speaks
+//! to **one shard's** tree ([`Store::masstree`] and [`Session::ctx`] are
+//! unstable escape hatches; [`DurableMasstree::shard`] reaches the rest).
 
 mod error;
 pub mod layout;
@@ -90,7 +105,7 @@ mod store;
 mod tree;
 
 pub use error::{Error, MAX_VALUE_BYTES};
-pub use recovery::RecoveryReport;
+pub use recovery::{RecoveryReport, ShardReplay};
 pub use store::{Options, RangeScan, Session, Store};
 pub use tree::{DCtx, DurableConfig, DurableMasstree, VALUE_BUF_BYTES};
 
@@ -107,6 +122,7 @@ mod tests {
             threads: 2,
             log_bytes_per_thread: 256 << 10,
             incll_enabled: true,
+            shards: 1,
         }
     }
 
@@ -631,6 +647,99 @@ mod tests {
         let ctx2 = tree2.thread_ctx(0).unwrap();
         let want: Vec<_> = expect.into_iter().collect();
         assert_eq!(collect(&tree2, &ctx2), want);
+    }
+
+    // ---------------- sharding (mid-level) ----------------
+
+    #[test]
+    fn shard_handles_are_independent_trees() {
+        let arena = PArena::builder().capacity_bytes(32 << 20).build().unwrap();
+        superblock::format(&arena);
+        let cfg = DurableConfig {
+            shards: 4,
+            ..small_config()
+        };
+        let t0 = DurableMasstree::create(&arena, cfg).unwrap();
+        assert_eq!(t0.shard_count(), 4);
+        let ctx = t0.thread_ctx(0).unwrap();
+        let t2 = t0.shard(2);
+        // The same key placed in two shards lives twice — placement is the
+        // caller's job at this level.
+        t0.put(&ctx, b"k", 10);
+        t2.put(&ctx, b"k", 20);
+        assert_eq!(t0.get(&ctx, b"k"), Some(10));
+        assert_eq!(t2.get(&ctx, b"k"), Some(20));
+        assert!(t0.remove(&ctx, b"k"));
+        assert_eq!(t0.get(&ctx, b"k"), None);
+        assert_eq!(t2.get(&ctx, b"k"), Some(20), "shard 2 must be untouched");
+        assert_eq!(t2.shard_id(), 2);
+        assert_eq!(t0.shard_id(), 0);
+    }
+
+    #[test]
+    fn shards_crash_and_recover_at_one_shared_boundary() {
+        let arena = PArena::builder()
+            .capacity_bytes(32 << 20)
+            .tracked(true)
+            .build()
+            .unwrap();
+        superblock::format(&arena);
+        let cfg = DurableConfig {
+            shards: 2,
+            ..small_config()
+        };
+        let tree = DurableMasstree::create(&arena, cfg.clone()).unwrap();
+        {
+            let ctx = tree.thread_ctx(0).unwrap();
+            let t1 = tree.shard(1);
+            for i in 0..50u64 {
+                tree.put(&ctx, &i.to_be_bytes(), i);
+                t1.put(&ctx, &i.to_be_bytes(), i + 1000);
+            }
+            tree.epoch_manager().advance(); // one boundary covers both
+            for i in 0..50u64 {
+                tree.put(&ctx, &i.to_be_bytes(), 9999); // doomed, shard 0
+                t1.put(&ctx, &(i + 50).to_be_bytes(), 9999); // doomed, shard 1
+            }
+        }
+        drop(tree);
+        arena.crash_seeded(17);
+        let (tree2, report) = DurableMasstree::open(&arena, cfg).unwrap();
+        assert_eq!(report.per_shard.len(), 2);
+        assert_eq!(
+            report
+                .per_shard
+                .iter()
+                .map(|s| s.replayed_entries)
+                .sum::<u64>(),
+            report.replayed_entries
+        );
+        let ctx = tree2.thread_ctx(0).unwrap();
+        let t1 = tree2.shard(1);
+        for i in 0..50u64 {
+            assert_eq!(tree2.get(&ctx, &i.to_be_bytes()), Some(i));
+            assert_eq!(t1.get(&ctx, &i.to_be_bytes()), Some(i + 1000));
+            assert_eq!(t1.get(&ctx, &(i + 50).to_be_bytes()), None);
+        }
+    }
+
+    #[test]
+    fn shard_routing_is_stable_and_in_range() {
+        let arena = PArena::builder().capacity_bytes(32 << 20).build().unwrap();
+        superblock::format(&arena);
+        let cfg = DurableConfig {
+            shards: 8,
+            ..small_config()
+        };
+        let tree = DurableMasstree::create(&arena, cfg).unwrap();
+        let mut hit = [false; 8];
+        for i in 0..512u64 {
+            let s = tree.shard_for(&i.to_be_bytes());
+            assert!(s < 8);
+            assert_eq!(s, tree.shard_for(&i.to_be_bytes()), "stable");
+            hit[s] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "512 keys must touch all 8 shards");
     }
 
     #[test]

@@ -35,6 +35,18 @@ use incll_pmem::{superblock, PArena};
 use crate::error::Error;
 use crate::tree::{DurableConfig, DurableMasstree, Inner};
 
+/// Replay work attributed to one keyspace shard (log entries carry the
+/// owning shard's tag; see `incll_extlog`).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ShardReplay {
+    /// The shard index.
+    pub shard: usize,
+    /// External-log entries replayed into this shard's tree.
+    pub replayed_entries: u64,
+    /// Bytes copied back into this shard's tree.
+    pub replayed_bytes: u64,
+}
+
 /// What recovery did; the §6.3 experiment reports these numbers.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RecoveryReport {
@@ -51,6 +63,11 @@ pub struct RecoveryReport {
     pub replayed_bytes: u64,
     /// Wall-clock time of the eager phase (log replay).
     pub replay_time: Duration,
+    /// Replay work per shard (one entry per shard, indexed by shard id;
+    /// empty when the store was freshly created). All shards recover under
+    /// the one shared epoch, so their entries sum to
+    /// [`RecoveryReport::replayed_entries`].
+    pub per_shard: Vec<ShardReplay>,
 }
 
 impl DurableMasstree {
@@ -62,7 +79,9 @@ impl DurableMasstree {
     /// # Errors
     ///
     /// Fails if the failed-epoch set is full
-    /// ([`incll_pmem::Error::FailedEpochSetFull`]).
+    /// ([`incll_pmem::Error::FailedEpochSetFull`]), or with
+    /// [`Error::ShardMismatch`] when `config.shards` differs from the
+    /// count fixed at create.
     ///
     /// # Panics
     ///
@@ -72,6 +91,16 @@ impl DurableMasstree {
             superblock::is_formatted(arena) && arena.pread_u64(superblock::SB_TREE_META) == 1,
             "arena holds no durable tree; call create first"
         );
+        // 0. The shard count is a format-time property: every root holder,
+        //    and every key's routing, depends on it.
+        crate::tree::validate_shard_count(config.shards)?;
+        let on_media = (arena.pread_u64(superblock::SB_SHARD_COUNT) as usize).max(1);
+        if config.shards != on_media {
+            return Err(Error::ShardMismatch {
+                requested: config.shards,
+                on_media,
+            });
+        }
         // 1. Record the failed epoch.
         let failed_epoch = arena.pread_u64(superblock::SB_CUR_EPOCH).max(1);
         superblock::record_failed_epoch(arena, failed_epoch)?;
@@ -114,20 +143,39 @@ impl DurableMasstree {
         // 4. Allocator repair.
         let alloc = PAlloc::open(arena, exec);
 
-        let tree = DurableMasstree {
-            inner: Arc::new(Inner {
-                arena: arena.clone(),
-                mgr,
-                alloc,
-                log,
-                failed: failed.clone(),
-                exec_epoch: exec,
-                rec_locks: (0..crate::tree::REC_LOCKS)
-                    .map(|_| Mutex::new(()))
-                    .collect(),
-                incll_enabled: config.incll_enabled,
-            }),
-        };
+        // Attribute replay work per shard from the entry tags. Every shard
+        // rolled back to the same boundary — the failed-epoch set and the
+        // epoch restart above are global — so shards with no entries still
+        // get a (zeroed) row.
+        let per_shard: Vec<ShardReplay> = (0..on_media)
+            .map(|s| {
+                let counts = replay
+                    .per_tag
+                    .iter()
+                    .find(|t| t.tag as usize == s)
+                    .copied()
+                    .unwrap_or_default();
+                ShardReplay {
+                    shard: s,
+                    replayed_entries: counts.entries,
+                    replayed_bytes: counts.bytes,
+                }
+            })
+            .collect();
+
+        let tree = DurableMasstree::from_inner(Arc::new(Inner {
+            arena: arena.clone(),
+            mgr,
+            alloc,
+            log,
+            failed: failed.clone(),
+            exec_epoch: exec,
+            rec_locks: (0..crate::tree::REC_LOCKS)
+                .map(|_| Mutex::new(()))
+                .collect(),
+            incll_enabled: config.incll_enabled,
+            shard_count: on_media,
+        }));
         tree.attach_hooks();
         let report = RecoveryReport {
             created: false,
@@ -136,6 +184,7 @@ impl DurableMasstree {
             replayed_entries: replay.entries_applied,
             replayed_bytes: replay.bytes_applied,
             replay_time,
+            per_shard,
         };
         Ok((tree, report))
     }

@@ -15,7 +15,11 @@
 //!   (§5), with [`Store::put_u64`]/[`Store::get_u64`] as the paper's
 //!   8-byte-payload convenience.
 //! * **Scans** — callback ([`Store::scan`]) and iterator
-//!   ([`Store::range`], [`Store::iter`]) forms.
+//!   ([`Store::range`], [`Store::iter`]) forms, both in global key order.
+//! * **Sharding** — [`Options::shards`] hash partitions the keyspace over
+//!   N independent durable trees under one epoch domain: point ops route
+//!   by key hash, scans k-way merge, checkpoints and crash recovery cover
+//!   every shard at the same boundary.
 //!
 //! ```
 //! use incll_pmem::PArena;
@@ -51,7 +55,7 @@ use crate::tree::{DCtx, DurableConfig, DurableMasstree};
 /// Builder-style construction options for [`Store::open`].
 ///
 /// The defaults match [`DurableConfig::default`]: 8 thread slots, 16 MiB
-/// of external log per thread, InCLL enabled.
+/// of external log per thread, InCLL enabled, 1 shard.
 #[derive(Debug, Clone)]
 pub struct Options {
     config: DurableConfig,
@@ -86,8 +90,26 @@ impl Options {
         self
     }
 
-    /// The low-level configuration these options describe.
-    pub fn to_config(&self) -> DurableConfig {
+    /// Keyspace shard count: the store holds `shards` independent durable
+    /// trees under one epoch domain, and routes every operation by key
+    /// hash. Must be a power of two in
+    /// `1..=`[`incll_pmem::superblock::MAX_SHARDS`]; the default 1
+    /// reproduces the unsharded layout and behavior exactly.
+    ///
+    /// The count is **fixed at format time**: it decides where every key
+    /// lives, so reopening an existing store with a different value is a
+    /// typed error ([`crate::Error::ShardMismatch`]), never a silent
+    /// re-rout.
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards;
+        self
+    }
+
+    /// The low-level configuration these options describe (crate-internal:
+    /// the mid-level [`DurableConfig`] is not part of the facade's stable
+    /// surface).
+    pub(crate) fn to_config(&self) -> DurableConfig {
         self.config.clone()
     }
 }
@@ -137,10 +159,12 @@ impl Session {
         self.ctx.pin()
     }
 
-    /// The mid-level per-thread context (escape hatch for APIs that still
-    /// speak [`DurableMasstree`]). Using this keeps the slot under the
-    /// pool's accounting — prefer it over a separate
-    /// [`DurableMasstree::thread_ctx`] call, which the pool cannot see.
+    /// The mid-level per-thread context — an **unstable escape hatch** for
+    /// APIs that still speak [`DurableMasstree`]; its shape may change in
+    /// any release. Using it keeps the slot under the pool's accounting —
+    /// prefer it over a separate [`DurableMasstree::thread_ctx`] call,
+    /// which the pool cannot see. See [`Store::masstree`] for the routing
+    /// hazards of bypassing the facade on a sharded store.
     pub fn ctx(&self) -> &DCtx {
         &self.ctx
     }
@@ -160,10 +184,22 @@ impl std::fmt::Debug for Session {
 
 /// A durable, crash-recoverable key-value store (see module docs).
 ///
-/// Cheap to clone; all clones share the underlying tree and session pool.
+/// Cheap to clone; all clones share the underlying trees and session pool.
+///
+/// # Sharding
+///
+/// When opened with [`Options::shards`]` > 1`, the keyspace is hash
+/// partitioned over that many independent durable trees. Point operations
+/// route by key hash; [`Store::scan`], [`Store::range`] and [`Store::iter`]
+/// merge the per-shard trees lazily into one globally key-ordered stream.
+/// All shards share one epoch domain: a [`Store::checkpoint`] (or the
+/// background driver) makes every shard durable at the same boundary, and
+/// a crash rolls every shard back to that same boundary.
 #[derive(Clone)]
 pub struct Store {
-    tree: DurableMasstree,
+    /// One handle per shard; `shards[0]` doubles as the lifecycle handle
+    /// (epoch manager, allocator, arena).
+    shards: Vec<DurableMasstree>,
     slots: Arc<SlotPool>,
 }
 
@@ -172,15 +208,31 @@ impl Store {
     /// for: **format** if the arena is blank, **create** if it holds no
     /// store yet, **recover** otherwise (uniform across crashes and clean
     /// shutdowns). The report says which path ran
-    /// ([`RecoveryReport::created`]) and what recovery replayed.
+    /// ([`RecoveryReport::created`]) and what recovery replayed — per
+    /// shard, in [`RecoveryReport::per_shard`].
     ///
     /// # Errors
     ///
-    /// Arena exhaustion while creating, or a full failed-epoch set while
-    /// recovering.
+    /// Arena exhaustion while creating; a full failed-epoch set while
+    /// recovering; [`Error::UnsupportedLayout`] when the arena carries a
+    /// superblock of a different on-media version (e.g. pre-shard media —
+    /// never silently reformatted); [`Error::InvalidShardCount`] /
+    /// [`Error::ShardMismatch`] when [`Options::shards`] is malformed or
+    /// disagrees with the count fixed at format time.
     pub fn open(arena: &PArena, options: Options) -> Result<(Store, RecoveryReport), Error> {
         let config = options.to_config();
+        // Reject malformed options before any media write: a blank arena
+        // handed a bad shard count must stay blank.
+        crate::tree::validate_shard_count(config.shards)?;
         if !superblock::is_formatted(arena) {
+            if superblock::has_magic(arena) {
+                // A store from another layout generation: refuse to guess,
+                // and above all refuse to reformat over it.
+                return Err(Error::UnsupportedLayout {
+                    found: superblock::raw_version(arena),
+                    expected: superblock::VERSION,
+                });
+            }
             superblock::format(arena);
         }
         let (tree, report) = if arena.pread_u64(superblock::SB_TREE_META) == 1 {
@@ -194,11 +246,13 @@ impl Store {
                 replayed_entries: 0,
                 replayed_bytes: 0,
                 replay_time: Duration::ZERO,
+                per_shard: Vec::new(),
             };
             (tree, report)
         };
         let slots = SlotPool::new(tree.allocator().threads());
-        Ok((Store { tree, slots }, report))
+        let shards = (0..tree.shard_count()).map(|i| tree.shard(i)).collect();
+        Ok((Store { shards, slots }, report))
     }
 
     /// Acquires a session slot from the bounded pool.
@@ -211,8 +265,7 @@ impl Store {
         let tid = self.slots.free.lock().pop().ok_or(Error::TooManyThreads {
             limit: self.slots.limit,
         })?;
-        let ctx = self
-            .tree
+        let ctx = self.shards[0]
             .thread_ctx(tid)
             .expect("pool slots are within the configured range");
         Ok(Session {
@@ -226,6 +279,12 @@ impl Store {
     // Operations
     // ==================================================================
 
+    /// The shard tree `key` routes to.
+    #[inline]
+    fn route(&self, key: &[u8]) -> &DurableMasstree {
+        &self.shards[crate::tree::shard_of(key, self.shards.len())]
+    }
+
     /// Inserts or updates `key`, returning a copy of the previous value.
     ///
     /// The value lands in a fresh length-prefixed durable buffer from the
@@ -236,17 +295,17 @@ impl Store {
     ///
     /// [`Error::ValueTooLarge`] above [`crate::MAX_VALUE_BYTES`].
     pub fn put(&self, sess: &Session, key: &[u8], value: &[u8]) -> Result<Option<Vec<u8>>, Error> {
-        self.tree.put_bytes(&sess.ctx, key, value)
+        self.route(key).put_bytes(&sess.ctx, key, value)
     }
 
     /// Looks up `key`, returning a copy of its value.
     pub fn get(&self, sess: &Session, key: &[u8]) -> Option<Vec<u8>> {
-        self.tree.get_bytes(&sess.ctx, key)
+        self.route(key).get_bytes(&sess.ctx, key)
     }
 
     /// Removes `key`, returning whether it was present.
     pub fn remove(&self, sess: &Session, key: &[u8]) -> bool {
-        self.tree.remove(&sess.ctx, key)
+        self.route(key).remove(&sess.ctx, key)
     }
 
     /// [`Store::put`] for the paper's 8-byte payloads (stored
@@ -256,16 +315,19 @@ impl Store {
     /// value was itself 8 bytes; for mixed-width keys use [`Store::put`],
     /// which returns the full previous value.
     pub fn put_u64(&self, sess: &Session, key: &[u8], value: u64) -> Option<u64> {
-        self.tree.put(&sess.ctx, key, value)
+        self.route(key).put(&sess.ctx, key, value)
     }
 
     /// [`Store::get`] for the paper's 8-byte payloads.
     pub fn get_u64(&self, sess: &Session, key: &[u8]) -> Option<u64> {
-        self.tree.get(&sess.ctx, key)
+        self.route(key).get(&sess.ctx, key)
     }
 
-    /// Scans at most `limit` keys ≥ `start` in order, passing each
-    /// (key, value) pair to `f`. Returns the number visited.
+    /// Scans at most `limit` keys ≥ `start` in **global** key order,
+    /// passing each (key, value) pair to `f`. Returns the number visited.
+    ///
+    /// On a sharded store this is the k-way merge of the per-shard trees;
+    /// with one shard it is the tree's native scan.
     pub fn scan(
         &self,
         sess: &Session,
@@ -273,10 +335,29 @@ impl Store {
         limit: usize,
         f: &mut dyn FnMut(&[u8], &[u8]),
     ) -> usize {
-        self.tree.scan_bytes(&sess.ctx, start, limit, f)
+        if self.shards.len() == 1 {
+            return self.shards[0].scan_bytes(&sess.ctx, start, limit, f);
+        }
+        if limit == 0 {
+            return 0;
+        }
+        let mut merge = self.range(sess, start..);
+        // Small limits must not pull a full batch per shard: each cursor
+        // copies every fetched value, so clamp the refill size.
+        merge.batch = limit.min(RANGE_BATCH);
+        let mut visited = 0usize;
+        for (key, value) in merge {
+            f(&key, &value);
+            visited += 1;
+            if visited == limit {
+                break;
+            }
+        }
+        visited
     }
 
-    /// Iterates `(key, value)` pairs over a key range, in order.
+    /// Iterates `(key, value)` pairs over a key range, in **global** key
+    /// order (a lazy k-way merge over the per-shard trees).
     ///
     /// Bounds are byte strings: `store.range(&sess, &b"a"[..]..&b"m"[..])`.
     /// For the full store use [`Store::iter`].
@@ -298,10 +379,15 @@ impl Store {
         RangeScan {
             store: self,
             sess,
-            next_start: Some(start),
             end,
-            buf: VecDeque::new(),
             batch: RANGE_BATCH,
+            cursors: (0..self.shards.len())
+                .map(|shard| ShardCursor {
+                    shard,
+                    next_start: Some(start.clone()),
+                    buf: VecDeque::new(),
+                })
+                .collect(),
         }
     }
 
@@ -314,21 +400,24 @@ impl Store {
     // Lifecycle & introspection
     // ==================================================================
 
-    /// Takes a checkpoint now: everything written so far survives any
-    /// later crash. Returns the new epoch. (Background cadence:
-    /// [`incll_epoch::AdvanceDriver`] on [`Store::epoch_manager`].)
+    /// Takes a checkpoint now: everything written so far — across **all**
+    /// shards — survives any later crash. Returns the new epoch. The one
+    /// shared epoch manager flushes every shard at the same boundary;
+    /// there is no per-shard checkpoint state to diverge. (Background
+    /// cadence: [`incll_epoch::AdvanceDriver`] on [`Store::epoch_manager`].)
     pub fn checkpoint(&self) -> u64 {
-        self.tree.epoch_manager().advance()
+        self.shards[0].epoch_manager().advance()
     }
 
-    /// The epoch authority driving fine-grain checkpoints.
+    /// The epoch authority driving fine-grain checkpoints (shared by every
+    /// shard).
     pub fn epoch_manager(&self) -> &EpochManager {
-        self.tree.epoch_manager()
+        self.shards[0].epoch_manager()
     }
 
     /// The underlying arena (stats counters, latency knobs).
     pub fn arena(&self) -> &PArena {
-        self.tree.arena()
+        self.shards[0].arena()
     }
 
     /// The configured session-slot count.
@@ -336,16 +425,35 @@ impl Store {
         self.slots.limit
     }
 
-    /// The mid-level tree this store wraps (escape hatch; the facade is
-    /// the supported surface).
+    /// The keyspace shard count fixed when this store was formatted.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index `key` routes to (stable across restarts).
+    pub fn shard_of(&self, key: &[u8]) -> usize {
+        crate::tree::shard_of(key, self.shards.len())
+    }
+
+    /// The mid-level tree behind **shard 0** — an **unstable escape
+    /// hatch**; the facade is the supported surface and this accessor's
+    /// shape may change in any release. Reach the other shards through
+    /// [`DurableMasstree::shard`].
     ///
-    /// The session pool and [`DurableMasstree::thread_ctx`] hand out the
-    /// **same** per-thread slots without knowing about each other: do not
-    /// run a raw `thread_ctx(tid)` context concurrently with sessions, or
-    /// two owners of one allocator free list / log buffer can race. Use
-    /// [`Session::ctx`] to reach mid-level APIs from a pooled slot.
+    /// Two hazards when bypassing the facade:
+    ///
+    /// * **Slots** — the session pool and [`DurableMasstree::thread_ctx`]
+    ///   hand out the **same** per-thread slots without knowing about each
+    ///   other: do not run a raw `thread_ctx(tid)` context concurrently
+    ///   with sessions, or two owners of one allocator free list / log
+    ///   buffer can race. Use [`Session::ctx`] to reach mid-level APIs
+    ///   from a pooled slot.
+    /// * **Routing** — on a sharded store a `DurableMasstree` handle
+    ///   speaks to one shard's tree only; a key written there is invisible
+    ///   to the facade unless it lives on its hash shard
+    ///   ([`Store::shard_of`]).
     pub fn masstree(&self) -> &DurableMasstree {
-        &self.tree
+        &self.shards[0]
     }
 }
 
@@ -353,42 +461,55 @@ impl std::fmt::Debug for Store {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Store")
             .field("threads", &self.slots.limit)
-            .field("tree", &self.tree)
+            .field("shards", &self.shards.len())
+            .field("tree", &self.shards[0])
             .finish()
     }
 }
 
-/// Keys-in-batches pull iterator returned by [`Store::range`].
+/// Keys-in-batches pull iterator returned by [`Store::range`]: a lazy
+/// k-way merge over one batched cursor per shard, yielding global key
+/// order.
 ///
-/// Each refill runs one bounded scan; mutations racing the iterator are
-/// seen or missed per batch exactly as they would be by the equivalent
-/// sequence of [`Store::scan`] calls.
+/// Each refill runs one bounded scan on one shard; mutations racing the
+/// iterator are seen or missed per batch exactly as they would be by the
+/// equivalent sequence of [`Store::scan`] calls. Keys are unique across
+/// shards (each key routes to exactly one), so the merge needs no
+/// tie-breaking.
 pub struct RangeScan<'s> {
     store: &'s Store,
     sess: &'s Session,
-    /// Start key of the next batch; `None` once exhausted.
-    next_start: Option<Vec<u8>>,
     end: Bound<Vec<u8>>,
-    buf: VecDeque<(Vec<u8>, Vec<u8>)>,
     batch: usize,
+    cursors: Vec<ShardCursor>,
+}
+
+/// One shard's position in the merge.
+struct ShardCursor {
+    shard: usize,
+    /// Start key of the shard's next batch; `None` once exhausted.
+    next_start: Option<Vec<u8>>,
+    buf: VecDeque<(Vec<u8>, Vec<u8>)>,
 }
 
 /// Keys fetched per refill.
 const RANGE_BATCH: usize = 64;
 
-impl RangeScan<'_> {
-    fn refill(&mut self) {
+impl ShardCursor {
+    /// Pulls the next batch from this cursor's shard tree. After this
+    /// returns, either `buf` is non-empty or `next_start` is `None`.
+    fn refill(&mut self, store: &Store, sess: &Session, end: &Bound<Vec<u8>>, batch: usize) {
         let Some(start) = self.next_start.take() else {
             return;
         };
         let mut visited = 0usize;
         let mut past_end = false;
-        let (buf, end) = (&mut self.buf, &self.end);
-        let tree = self.store.masstree();
+        let buf = &mut self.buf;
+        let tree = &store.shards[self.shard];
         let arena = tree.arena();
         // scan_raw yields value-buffer offsets, so each in-bound value is
         // copied exactly once (directly into the batch).
-        tree.scan_raw(self.sess.ctx(), &start, self.batch, &mut |k, vbuf| {
+        tree.scan_raw(sess.ctx(), &start, batch, &mut |k, vbuf| {
             visited += 1;
             if past_end {
                 return;
@@ -400,9 +521,9 @@ impl RangeScan<'_> {
             buf.push_back((k.to_vec(), crate::tree::read_value_bytes(arena, vbuf)));
         });
         // Re-arm only if this batch was full and still inside the bound.
-        // `buf` was empty on entry (the iterator drains it before
-        // refilling), so its back is the last visited in-bound key.
-        if visited == self.batch && !past_end {
+        // `buf` was empty on entry (the merge drains a cursor before
+        // refilling it), so its back is the last visited in-bound key.
+        if visited == batch && !past_end {
             if let Some((last, _)) = self.buf.back() {
                 self.next_start = Some(successor(last.clone()));
             }
@@ -414,13 +535,22 @@ impl Iterator for RangeScan<'_> {
     type Item = (Vec<u8>, Vec<u8>);
 
     fn next(&mut self) -> Option<Self::Item> {
-        loop {
-            if let Some(pair) = self.buf.pop_front() {
-                return Some(pair);
+        // Refill any drained-but-live cursor, then pop the smallest head.
+        // Shard counts are small (≤ 64), so a linear min beats a heap.
+        for c in &mut self.cursors {
+            if c.buf.is_empty() && c.next_start.is_some() {
+                c.refill(self.store, self.sess, &self.end, self.batch);
             }
-            self.next_start.as_ref()?;
-            self.refill();
         }
+        let mut min: Option<usize> = None;
+        for (i, c) in self.cursors.iter().enumerate() {
+            if let Some((head, _)) = c.buf.front() {
+                if min.is_none_or(|m| head < &self.cursors[m].buf.front().expect("non-empty").0) {
+                    min = Some(i);
+                }
+            }
+        }
+        self.cursors[min?].buf.pop_front()
     }
 }
 

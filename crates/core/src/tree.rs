@@ -59,6 +59,10 @@ pub struct DurableConfig {
     pub log_bytes_per_thread: usize,
     /// `false` selects the paper's LOGGING ablation: external log only.
     pub incll_enabled: bool,
+    /// Keyspace shards: independent tree roots under the one epoch domain
+    /// (power of two, `1..=`[`superblock::MAX_SHARDS`]). Fixed at create;
+    /// opens must pass the created value.
+    pub shards: usize,
 }
 
 impl Default for DurableConfig {
@@ -67,8 +71,20 @@ impl Default for DurableConfig {
             threads: 8,
             log_bytes_per_thread: 16 << 20,
             incll_enabled: true,
+            shards: 1,
         }
     }
+}
+
+/// Checks that `shards` is a power of two in `1..=MAX_SHARDS`.
+pub(crate) fn validate_shard_count(shards: usize) -> Result<(), Error> {
+    if shards == 0 || shards > superblock::MAX_SHARDS || !shards.is_power_of_two() {
+        return Err(Error::InvalidShardCount {
+            requested: shards,
+            max: superblock::MAX_SHARDS,
+        });
+    }
+    Ok(())
 }
 
 /// Per-thread operation context.
@@ -107,15 +123,30 @@ pub(crate) struct Inner {
     pub(crate) exec_epoch: u64,
     pub(crate) rec_locks: Vec<Mutex<()>>,
     pub(crate) incll_enabled: bool,
+    /// Keyspace shards sharing this state (trees, allocator, log, epochs).
+    pub(crate) shard_count: usize,
 }
 
 /// A durable, crash-recoverable Masstree in persistent memory.
 ///
 /// See the crate docs for a usage walk-through; constructors live on this
 /// type ([`DurableMasstree::create`], [`DurableMasstree::open`]).
+///
+/// # Sharding
+///
+/// A store formatted with more than one shard holds that many independent
+/// tree roots over shared plumbing (one allocator, one external log, one
+/// epoch domain). A `DurableMasstree` handle speaks to **one** shard's
+/// tree — constructors return the shard-0 handle; [`DurableMasstree::shard`]
+/// derives handles for the others. Key routing lives a level up, in
+/// [`crate::Store`]; at this level the caller owns placement.
 #[derive(Clone)]
 pub struct DurableMasstree {
     pub(crate) inner: Arc<Inner>,
+    /// Superblock offset of this handle's root-holder cell.
+    root_holder: u64,
+    /// The shard this handle is rooted in (tags its log entries).
+    shard_id: usize,
 }
 
 enum Search {
@@ -155,6 +186,7 @@ impl DurableMasstree {
             superblock::is_formatted(arena),
             "arena must be formatted before create"
         );
+        crate::tree::validate_shard_count(config.shards)?;
         let mgr = EpochManager::new(arena.clone(), EpochOptions::durable());
         let alloc = PAlloc::create(arena, config.threads)?;
         let log = ExtLog::create(arena, config.threads, config.log_bytes_per_thread)?;
@@ -169,15 +201,70 @@ impl DurableMasstree {
             exec_epoch: arena.pread_u64(superblock::SB_EXEC_EPOCH).max(1),
             rec_locks: (0..REC_LOCKS).map(|_| Mutex::new(())).collect(),
             incll_enabled: config.incll_enabled,
+            shard_count: config.shards,
         });
-        let tree = DurableMasstree { inner };
-        let root = tree.new_leaf(0, epoch, /*is_root*/ true, /*locked*/ false)?;
-        arena.pwrite_u64(superblock::SB_TREE_ROOT, root);
+        let tree = DurableMasstree {
+            inner,
+            root_holder: superblock::shard_root_holder(0),
+            shard_id: 0,
+        };
+        // One empty root leaf per shard, each behind its own holder cell.
+        for s in 0..config.shards {
+            let root = tree.new_leaf(0, epoch, /*is_root*/ true, /*locked*/ false)?;
+            arena.pwrite_u64(superblock::shard_root_holder(s), root);
+        }
+        arena.pwrite_u64(superblock::SB_SHARD_COUNT, config.shards as u64);
         arena.pwrite_u64(superblock::SB_TREE_META, 1);
         tree.attach_hooks();
-        // mkfs moment: the empty tree becomes the first durable checkpoint.
+        // mkfs moment: the empty trees become the first durable checkpoint.
         arena.global_flush();
         Ok(tree)
+    }
+
+    /// The shard count fixed when this store was created.
+    pub fn shard_count(&self) -> usize {
+        self.inner.shard_count
+    }
+
+    /// The shard this handle is rooted in.
+    pub fn shard_id(&self) -> usize {
+        self.shard_id
+    }
+
+    /// A handle rooted in shard `i`, sharing all state (allocator, log,
+    /// epoch manager, sessions) with this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.shard_count()`.
+    pub fn shard(&self, i: usize) -> DurableMasstree {
+        assert!(
+            i < self.inner.shard_count,
+            "shard {i} out of range (store has {})",
+            self.inner.shard_count
+        );
+        DurableMasstree {
+            inner: Arc::clone(&self.inner),
+            root_holder: superblock::shard_root_holder(i),
+            shard_id: i,
+        }
+    }
+
+    /// The shard `key` routes to under the store-level hash partitioning
+    /// (FNV-1a over the key bytes, masked by the power-of-two count).
+    /// Stable across restarts — it is part of the on-media contract.
+    pub fn shard_for(&self, key: &[u8]) -> usize {
+        shard_of(key, self.inner.shard_count)
+    }
+
+    /// Wraps recovered shared state into the shard-0 handle (recovery's
+    /// constructor; `create` builds its own).
+    pub(crate) fn from_inner(inner: Arc<Inner>) -> Self {
+        DurableMasstree {
+            inner,
+            root_holder: superblock::shard_root_holder(0),
+            shard_id: 0,
+        }
     }
 
     pub(crate) fn attach_hooks(&self) {
@@ -353,7 +440,7 @@ impl DurableMasstree {
         // SAFETY: as for `get`.
         unsafe {
             self.scan_layer(
-                superblock::SB_TREE_ROOT,
+                self.root_holder,
                 Some(KeyCursor::new(start)),
                 &mut prefix,
                 &mut remaining,
@@ -425,9 +512,12 @@ impl DurableMasstree {
     // The InCLL engine (Listing 3)
     // ==================================================================
 
-    /// Logs the leaf image externally (sealed before return).
+    /// Logs the leaf image externally (sealed before return), tagged with
+    /// this handle's shard so recovery can attribute replay work.
     fn log_node(&self, tid: usize, epoch: u64, node: u64) {
-        self.inner.log.log_object(tid, epoch, node, NODE_BYTES);
+        self.inner
+            .log
+            .log_object_tagged(tid, epoch, node, NODE_BYTES, self.shard_id as u16);
     }
 
     /// `InCLL()` for permutation-only mutations (insert/remove).
@@ -529,7 +619,13 @@ impl DurableMasstree {
     fn log_holder(&self, tid: usize, epoch: u64, holder: u64) {
         let a = &self.inner.arena;
         if a.pread_u64(holder + 8) != epoch {
-            self.inner.log.log_object(tid, epoch, holder, HOLDER_BYTES);
+            self.inner.log.log_object_tagged(
+                tid,
+                epoch,
+                holder,
+                HOLDER_BYTES,
+                self.shard_id as u16,
+            );
             a.pwrite_u64_release(holder + 8, epoch);
         }
     }
@@ -731,7 +827,7 @@ impl DurableMasstree {
         unsafe {
             let a = &self.inner.arena;
             let mut cur = KeyCursor::new(key);
-            let mut holder = superblock::SB_TREE_ROOT;
+            let mut holder = self.root_holder;
             'layer: loop {
                 let ikey = cur.ikey();
                 let target = search_klenx(&cur);
@@ -835,7 +931,7 @@ impl DurableMasstree {
             let a = &self.inner.arena;
             let tid = ctx.tid;
             let mut cur = KeyCursor::new(key);
-            let mut holder = superblock::SB_TREE_ROOT;
+            let mut holder = self.root_holder;
             'layer: loop {
                 let ikey = cur.ikey();
                 let target = search_klenx(&cur);
@@ -988,7 +1084,7 @@ impl DurableMasstree {
             let a = &self.inner.arena;
             let tid = ctx.tid;
             let mut cur = KeyCursor::new(key);
-            let mut holder = superblock::SB_TREE_ROOT;
+            let mut holder = self.root_holder;
             'layer: loop {
                 let ikey = cur.ikey();
                 let target = search_klenx(&cur);
@@ -1364,6 +1460,18 @@ fn pv_store_parent(a: &PArena, node: u64, parent: u64) {
     a.pwrite_u64_release(node + OFF_PARENT, parent);
 }
 
+/// Routes a key to one of `shards` (power-of-two) keyspace shards: FNV-1a
+/// 64 over the key bytes, masked. Part of the on-media contract — the
+/// same key must route identically across restarts.
+#[inline]
+pub(crate) fn shard_of(key: &[u8], shards: usize) -> usize {
+    if shards <= 1 {
+        0
+    } else {
+        (incll_extlog::fnv1a64(key) as usize) & (shards - 1)
+    }
+}
+
 // ======================================================================
 // Value-buffer codec (`[len: u64][payload bytes]`, size-classed)
 // ======================================================================
@@ -1398,6 +1506,8 @@ impl std::fmt::Debug for DurableMasstree {
             .field("exec_epoch", &self.inner.exec_epoch)
             .field("incll_enabled", &self.inner.incll_enabled)
             .field("failed_epochs", &self.inner.failed.len())
+            .field("shard", &self.shard_id)
+            .field("shard_count", &self.inner.shard_count)
             .finish()
     }
 }

@@ -1,7 +1,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::EpochManager;
 
@@ -9,7 +9,9 @@ use crate::EpochManager;
 /// mirroring the paper's 64 ms checkpoint cadence.
 ///
 /// The driver stops (and joins its thread) on [`AdvanceDriver::stop`] or
-/// drop.
+/// drop. Stopping is prompt regardless of the interval: the thread waits
+/// in `park_timeout` slices and is unparked by `stop`, so a driver on a
+/// multi-second cadence still joins in microseconds.
 ///
 /// # Example
 ///
@@ -43,9 +45,18 @@ impl AdvanceDriver {
             .name("incll-epoch-driver".into())
             .spawn(move || {
                 while !stop2.load(Ordering::Acquire) {
-                    std::thread::sleep(interval);
-                    if stop2.load(Ordering::Acquire) {
-                        break;
+                    // Interruptible wait: `stop` unparks us, and spurious
+                    // wakeups just re-check the deadline.
+                    let deadline = Instant::now() + interval;
+                    loop {
+                        if stop2.load(Ordering::Acquire) {
+                            return;
+                        }
+                        let now = Instant::now();
+                        if now >= deadline {
+                            break;
+                        }
+                        std::thread::park_timeout(deadline - now);
                     }
                     mgr.advance();
                 }
@@ -57,7 +68,7 @@ impl AdvanceDriver {
         }
     }
 
-    /// Stops the driver and joins its thread.
+    /// Stops the driver and joins its thread (promptly, even mid-interval).
     pub fn stop(mut self) {
         self.shutdown();
     }
@@ -65,6 +76,7 @@ impl AdvanceDriver {
     fn shutdown(&mut self) {
         self.stop.store(true, Ordering::Release);
         if let Some(t) = self.thread.take() {
+            t.thread().unpark();
             let _ = t.join();
         }
     }
@@ -116,6 +128,38 @@ mod tests {
         let settled = mgr.current_epoch();
         std::thread::sleep(Duration::from_millis(10));
         assert_eq!(mgr.current_epoch(), settled);
+    }
+
+    #[test]
+    fn stop_is_prompt_even_with_a_long_interval() {
+        // Regression: the driver used to sleep out its full interval
+        // before noticing `stop`; with a 60 s cadence that hung drop for
+        // a minute. The parked wait must join far inside one interval.
+        let arena = PArena::builder().capacity_bytes(1 << 20).build().unwrap();
+        superblock::format(&arena);
+        let mgr = EpochManager::new(arena, EpochOptions::durable());
+        let driver = AdvanceDriver::spawn(mgr.clone(), Duration::from_secs(60));
+        std::thread::sleep(Duration::from_millis(20));
+        let t0 = std::time::Instant::now();
+        driver.stop();
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "stop took {:?}, must not wait out the 60 s interval",
+            t0.elapsed()
+        );
+        assert_eq!(mgr.current_epoch(), 1, "no advance fired mid-interval");
+    }
+
+    #[test]
+    fn drop_is_prompt_even_with_a_long_interval() {
+        let arena = PArena::builder().capacity_bytes(1 << 20).build().unwrap();
+        superblock::format(&arena);
+        let mgr = EpochManager::new(arena, EpochOptions::transient());
+        let t0 = std::time::Instant::now();
+        {
+            let _driver = AdvanceDriver::spawn(mgr, Duration::from_secs(60));
+        }
+        assert!(t0.elapsed() < Duration::from_secs(5));
     }
 
     #[test]

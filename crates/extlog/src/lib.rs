@@ -36,9 +36,31 @@ pub use checksum::fnv1a64;
 /// Fixed per-entry header size in bytes.
 const HEADER: u64 = 32;
 
+/// The header's third word packs the payload length (low 48 bits) with an
+/// opaque caller tag (high 16 bits — the durable tree stores the owning
+/// shard id there so recovery can attribute replay work per shard).
+const LEN_MASK: u64 = (1 << 48) - 1;
+
+#[inline]
+fn pack_len(len: u64, tag: u16) -> u64 {
+    debug_assert!(len <= LEN_MASK);
+    len | (tag as u64) << 48
+}
+
 /// Per-thread append state, padded to avoid false sharing.
 #[repr(align(64))]
 struct Cursor(AtomicU64);
+
+/// Per-tag replay totals (see [`ExtLog::log_object_tagged`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TagCounts {
+    /// The caller-supplied entry tag.
+    pub tag: u16,
+    /// Entries replayed carrying this tag.
+    pub entries: u64,
+    /// Payload bytes replayed carrying this tag.
+    pub bytes: u64,
+}
 
 /// Report returned by [`ExtLog::replay`].
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
@@ -54,6 +76,28 @@ pub struct ReplayReport {
     /// durable tree re-derives child parent pointers from restored
     /// interior images).
     pub applied: Vec<(u64, u64)>,
+    /// Replay totals grouped by entry tag, ascending by tag (tags that
+    /// never appeared are absent).
+    pub per_tag: Vec<TagCounts>,
+}
+
+impl ReplayReport {
+    fn count_tag(&mut self, tag: u16, bytes: u64) {
+        match self.per_tag.binary_search_by_key(&tag, |t| t.tag) {
+            Ok(i) => {
+                self.per_tag[i].entries += 1;
+                self.per_tag[i].bytes += bytes;
+            }
+            Err(i) => self.per_tag.insert(
+                i,
+                TagCounts {
+                    tag,
+                    entries: 1,
+                    bytes,
+                },
+            ),
+        }
+    }
 }
 
 /// The external undo log: per-thread durable append buffers.
@@ -159,12 +203,22 @@ impl ExtLog {
     ///
     /// Each slot is single-writer: callers pass their own thread's slot.
     ///
+    /// Entries carry tag 0; use [`ExtLog::log_object_tagged`] to attribute
+    /// them (the durable tree tags each entry with its shard id).
+    ///
     /// # Panics
     ///
     /// Panics if the slot's buffer is full (size the log for the worst-case
     /// nodes-per-epoch; the paper measures 84 K nodes per 64 ms epoch on a
     /// 1 M-key tree, §6.3) or if `slot` is out of range.
     pub fn log_object(&self, slot: usize, epoch: u64, target: u64, len: usize) {
+        self.log_object_tagged(slot, epoch, target, len, 0);
+    }
+
+    /// [`ExtLog::log_object`] with an opaque 16-bit `tag` sealed into the
+    /// entry header; [`ExtLog::replay`] aggregates applied entries per tag
+    /// ([`ReplayReport::per_tag`]).
+    pub fn log_object_tagged(&self, slot: usize, epoch: u64, target: u64, len: usize, tag: u16) {
         let need = HEADER + ((len as u64 + 7) & !7);
         let cur = self.cursors[slot].0.load(Ordering::Relaxed);
         assert!(
@@ -188,13 +242,14 @@ impl ExtLog {
                 .pwrite_bytes(base + HEADER + copied as u64, &chunk[..n]);
             copied += n;
         }
-        let sum = checksum::seal(hash, epoch, target, len as u64);
+        let len_word = pack_len(len as u64, tag);
+        let sum = checksum::seal(hash, epoch, target, len_word);
 
         // Header second; the entry is only valid once the checksum matches,
         // so a torn entry is detected and ignored by replay.
         self.arena.pwrite_u64(base, epoch);
         self.arena.pwrite_u64(base + 8, target);
-        self.arena.pwrite_u64(base + 16, len as u64);
+        self.arena.pwrite_u64(base + 16, len_word);
         self.arena.pwrite_u64(base + 24, sum);
 
         // Seal: entry durable before the caller's modification.
@@ -235,8 +290,10 @@ impl ExtLog {
                 let base = slot_base + cur;
                 let epoch = self.arena.pread_u64(base);
                 let target = self.arena.pread_u64(base + 8);
-                let len = self.arena.pread_u64(base + 16);
+                let len_word = self.arena.pread_u64(base + 16);
                 let sum = self.arena.pread_u64(base + 24);
+                let len = len_word & LEN_MASK;
+                let tag = (len_word >> 48) as u16;
                 if epoch < min_epoch
                     || epoch > max_epoch
                     || len == 0
@@ -255,7 +312,7 @@ impl ExtLog {
                     hash = checksum::fnv1a64_update(hash, &chunk[..n]);
                     copied += n;
                 }
-                if checksum::seal(hash, epoch, target, len) != sum {
+                if checksum::seal(hash, epoch, target, len_word) != sum {
                     break; // torn tail entry: its modification never started
                 }
                 // Apply: copy the pre-image back.
@@ -270,6 +327,7 @@ impl ExtLog {
                 report.entries_applied += 1;
                 report.bytes_applied += len;
                 report.applied.push((target, len));
+                report.count_tag(tag, len);
                 cur += HEADER + ((len + 7) & !7);
             }
             self.cursors[slot].0.store(cur, Ordering::Relaxed);
@@ -472,6 +530,60 @@ mod tests {
         for _ in 0..10 {
             log.log_object(0, 1, obj, 320);
         }
+    }
+
+    #[test]
+    fn tagged_entries_replay_and_aggregate_per_tag() {
+        let (arena, log, obj) = setup(1);
+        let obj2 = arena.carve(64, 64).unwrap();
+        fill(&arena, obj, 100);
+        log.log_object_tagged(0, 1, obj, 320, 3);
+        arena.pwrite_u64(obj2, 9);
+        log.log_object_tagged(0, 1, obj2, 64, 1);
+        log.log_object_tagged(0, 1, obj2, 64, 3);
+        fill(&arena, obj, 999);
+        arena.pwrite_u64(obj2, 0);
+        let r = log.replay(1, 1);
+        assert_eq!(r.entries_applied, 3);
+        assert!(check(&arena, obj, 100));
+        assert_eq!(arena.pread_u64(obj2), 9);
+        assert_eq!(
+            r.per_tag,
+            vec![
+                TagCounts {
+                    tag: 1,
+                    entries: 1,
+                    bytes: 64
+                },
+                TagCounts {
+                    tag: 3,
+                    entries: 2,
+                    bytes: 384
+                },
+            ]
+        );
+        // Untagged entries land on tag 0.
+        log.reset();
+        log.log_object(0, 2, obj, 320);
+        let r = log.replay(2, 2);
+        assert_eq!(r.per_tag.len(), 1);
+        assert_eq!(r.per_tag[0].tag, 0);
+    }
+
+    #[test]
+    fn tag_is_covered_by_the_checksum() {
+        // Flipping the tag bits of a sealed entry must invalidate it: a
+        // torn header cannot silently reattribute (or resize) an entry.
+        let (arena, log, obj) = setup(1);
+        fill(&arena, obj, 100);
+        log.log_object_tagged(0, 1, obj, 320, 7);
+        fill(&arena, obj, 500);
+        let base = arena.pread_u64(superblock::SB_EXTLOG_OFF);
+        let w = arena.pread_u64(base + 16);
+        arena.pwrite_u64(base + 16, (w & LEN_MASK) | (8u64 << 48));
+        let r = log.replay(1, 1);
+        assert_eq!(r.entries_applied, 0);
+        assert!(check(&arena, obj, 500));
     }
 
     #[test]

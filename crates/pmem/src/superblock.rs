@@ -18,18 +18,21 @@
 //! | 64     | 1       | magic, version, durable current epoch, first epoch of current execution |
 //! | 128    | 2–16    | failed-epoch set: count + up to 119 epochs |
 //! | 1088   | 17      | allocator bump watermark InCLL triple |
-//! | 1152   | 18      | tree root pointer + tree metadata |
+//! | 1152   | 18      | shard-0 root holder + tree metadata + shard count |
 //! | 1216   | 19      | external-log region descriptor |
 //! | 1280   | 20–43   | allocator class heads, one line each (24 classes) |
-//! | 2816   | 44–63   | spare |
+//! | 2816   | 44–59   | shard root-holder table (shards 1..64, 16 B cells) |
+//! | 3840   | 60–63   | spare |
 //! | 4096   | —       | start of carvable space |
 
 use crate::{Error, PArena, Result};
 
 /// Identifies a formatted InCLL arena.
 pub const MAGIC: u64 = 0x19C1_1C05_A5B1_2019;
-/// On-media format version.
-pub const VERSION: u64 = 1;
+/// On-media format version. Version 2 added the shard table
+/// ([`SB_SHARD_COUNT`], [`shard_root_holder`]); version-1 media has no
+/// shard count and must be rejected by openers, not reinterpreted.
+pub const VERSION: u64 = 2;
 
 /// Offset of the magic word.
 pub const SB_MAGIC: u64 = 64;
@@ -59,13 +62,43 @@ pub const SB_BUMP_INCLL: u64 = 1096;
 /// Offset of the watermark log's epoch tag.
 pub const SB_BUMP_EPOCH: u64 = 1104;
 
-/// Offset of the durable tree-root pointer (a root-holder cell).
+/// Offset of the durable tree-root pointer (a root-holder cell). Under
+/// sharding this is **shard 0's** holder — the legacy single-tree layout
+/// is exactly the `shard_count == 1` case (see [`shard_root_holder`]).
 pub const SB_TREE_ROOT: u64 = 1152;
 /// Offset of the root holder's logged-epoch tag (holders are externally
 /// logged at most once per epoch; the tag enforces it).
 pub const SB_TREE_ROOT_TAG: u64 = 1160;
 /// Offset of tree metadata (initialisation flag).
 pub const SB_TREE_META: u64 = 1168;
+/// Offset of the keyspace shard count, fixed at store creation (power of
+/// two, `1..=`[`MAX_SHARDS`]; 0 on media that predates store creation).
+pub const SB_SHARD_COUNT: u64 = 1176;
+
+/// Offset of the shard root-holder table: one 16-byte holder/tag cell per
+/// shard **after the first** (shard 0 keeps the legacy
+/// [`SB_TREE_ROOT`]/[`SB_TREE_ROOT_TAG`] pair, so a 1-shard store is
+/// byte-identical to the pre-shard layout outside the version and count
+/// words).
+pub const SB_SHARD_TABLE: u64 = 2816;
+/// Maximum shard count (the table holds `MAX_SHARDS - 1` cells).
+pub const MAX_SHARDS: usize = 64;
+
+/// The superblock offset of shard `i`'s root-holder cell (its logged-epoch
+/// tag lives at `+8`).
+///
+/// # Panics
+///
+/// Panics if `i >= MAX_SHARDS`.
+#[inline]
+pub const fn shard_root_holder(i: usize) -> u64 {
+    assert!(i < MAX_SHARDS, "shard index out of range");
+    if i == 0 {
+        SB_TREE_ROOT
+    } else {
+        SB_SHARD_TABLE + (i as u64 - 1) * 16
+    }
+}
 
 /// Offset of the external-log region pointer.
 pub const SB_EXTLOG_OFF: u64 = 1216;
@@ -102,9 +135,24 @@ pub fn format(arena: &PArena) {
     arena.set_bump(CARVE_START);
 }
 
-/// Returns `true` if the arena carries a valid superblock.
+/// Returns `true` if the arena carries a valid superblock of the
+/// **current** layout version.
 pub fn is_formatted(arena: &PArena) -> bool {
     arena.pread_u64(SB_MAGIC) == MAGIC && arena.pread_u64(SB_VERSION) == VERSION
+}
+
+/// Returns `true` if the arena carries the InCLL magic at all, regardless
+/// of layout version. Openers use this to distinguish "blank, safe to
+/// format" from "formatted with an incompatible layout" — the latter must
+/// surface a typed error, never a silent reformat.
+pub fn has_magic(arena: &PArena) -> bool {
+    arena.pread_u64(SB_MAGIC) == MAGIC
+}
+
+/// The on-media layout version word (meaningful only when
+/// [`has_magic`] is true).
+pub fn raw_version(arena: &PArena) -> u64 {
+    arena.pread_u64(SB_VERSION)
 }
 
 /// Appends `epoch` to the durable failed-epoch set (idempotent), flushing
@@ -164,6 +212,38 @@ mod tests {
         assert_ne!(SB_BUMP / 64, SB_TREE_ROOT / 64);
         assert!(SB_FAILED_ARR + (MAX_FAILED_EPOCHS as u64) * 8 <= SB_BUMP);
         assert!(SB_PALLOC_HEADS + (PALLOC_MAX_CLASSES as u64) * 64 <= CARVE_START);
+        // The shard table must sit past the allocator heads and fit in
+        // front of the carvable space.
+        assert!(SB_SHARD_TABLE >= SB_PALLOC_HEADS + (PALLOC_MAX_CLASSES as u64) * 64);
+        assert!(shard_root_holder(MAX_SHARDS - 1) + 16 <= CARVE_START);
+    }
+
+    #[test]
+    fn shard_holder_cells_are_distinct_and_aligned() {
+        assert_eq!(shard_root_holder(0), SB_TREE_ROOT);
+        let holders: Vec<u64> = (0..MAX_SHARDS).map(shard_root_holder).collect();
+        for (i, &h) in holders.iter().enumerate() {
+            assert_eq!(h % 16, 0, "holder {i} must be 16-byte aligned");
+            for &other in &holders[i + 1..] {
+                assert!(other >= h + 16, "holder cells must not overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn version_probes_distinguish_blank_stale_and_current() {
+        let a = arena();
+        assert!(!has_magic(&a));
+        format(&a);
+        assert!(has_magic(&a));
+        assert!(is_formatted(&a));
+        assert_eq!(raw_version(&a), VERSION);
+        // A pre-shard (v1) superblock keeps its magic but is no longer
+        // "formatted" in the current sense.
+        a.pwrite_u64(SB_VERSION, 1);
+        assert!(has_magic(&a));
+        assert!(!is_formatted(&a));
+        assert_eq!(raw_version(&a), 1);
     }
 
     #[test]

@@ -44,6 +44,13 @@ pub trait KvBench: Send + Sync {
     fn bench_get_bytes(&self, ctx: &Self::Ctx, key: &[u8]) -> Option<Vec<u8>> {
         self.bench_get(ctx, key).map(|v| v.to_le_bytes().to_vec())
     }
+
+    /// Keyspace shards this store partitions over (1 for unsharded
+    /// systems). Experiments report it so shard-scaling runs are
+    /// self-describing.
+    fn bench_shards(&self) -> usize {
+        1
+    }
 }
 
 impl KvBench for incll_masstree::Masstree {
@@ -104,7 +111,9 @@ impl KvBench for incll::Store {
         self.put_u64(ctx, key, val);
     }
     fn bench_scan(&self, ctx: &Self::Ctx, start: &[u8], n: usize) -> usize {
-        self.masstree().scan(ctx.ctx(), start, n, &mut |_, _| {})
+        // The facade scan merges across shards, so E-mix scans measure the
+        // shard-aware path (on one shard it is the tree's native scan).
+        self.scan(ctx, start, n, &mut |_, _| {})
     }
     fn bench_put_bytes(&self, ctx: &Self::Ctx, key: &[u8], val: &[u8]) {
         self.put(ctx, key, val)
@@ -112,6 +121,9 @@ impl KvBench for incll::Store {
     }
     fn bench_get_bytes(&self, ctx: &Self::Ctx, key: &[u8]) -> Option<Vec<u8>> {
         self.get(ctx, key)
+    }
+    fn bench_shards(&self) -> usize {
+        self.shard_count()
     }
 }
 
@@ -265,6 +277,7 @@ mod tests {
                 threads: 2,
                 log_bytes_per_thread: 1 << 20,
                 incll_enabled: true,
+                shards: 1,
             },
         )
         .unwrap();

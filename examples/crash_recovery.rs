@@ -26,7 +26,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .capacity_bytes(64 << 20)
         .tracked(true) // journal stores so we can crash adversarially
         .build()?;
-    let options = Options::new().threads(1).log_bytes_per_thread(4 << 20);
+    // Four keyspace shards: the crash cuts land across all of them, and
+    // recovery must roll every shard back to the same epoch boundary.
+    let options = Options::new()
+        .threads(1)
+        .log_bytes_per_thread(4 << 20)
+        .shards(4);
     let (store, _) = Store::open(&arena, options.clone())?;
     let sess = store.session()?;
     let mut rng = StdRng::seed_from_u64(2024);
@@ -78,6 +83,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "recovered: failed epoch {}, {} log entries replayed in {:?}",
         report.failed_epoch, report.replayed_entries, report.replay_time
     );
+    for s in &report.per_shard {
+        println!(
+            "  shard {}: {} entries / {} bytes replayed",
+            s.shard, s.replayed_entries, s.replayed_bytes
+        );
+    }
 
     // Verify: contents must equal the last checkpoint exactly.
     let sess = store.session()?;

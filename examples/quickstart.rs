@@ -19,7 +19,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. One call does it all: format the blank arena and create a fresh
     //    store (on an existing arena the same call recovers instead).
-    let options = Options::new().threads(2).log_bytes_per_thread(4 << 20);
+    //    `shards(2)` splits the keyspace over two independent InCLL trees
+    //    under one epoch — fixed at format time, so recovery below passes
+    //    the same options.
+    let options = Options::new()
+        .threads(2)
+        .log_bytes_per_thread(4 << 20)
+        .shards(2);
     let (store, report) = Store::open(&arena, options.clone())?;
     assert!(report.created);
 

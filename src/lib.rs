@@ -11,7 +11,9 @@
 
 /// One-stop imports for examples and integration tests.
 pub mod prelude {
-    pub use incll::{Error, Options, RangeScan, RecoveryReport, Session, Store, MAX_VALUE_BYTES};
+    pub use incll::{
+        Error, Options, RangeScan, RecoveryReport, Session, ShardReplay, Store, MAX_VALUE_BYTES,
+    };
     pub use incll_epoch::{AdvanceDriver, EpochManager, EpochOptions, DEFAULT_EPOCH_INTERVAL};
     pub use incll_masstree::{AllocMode, Masstree, TransientAlloc, TreeCtx};
     pub use incll_pmem::{PArena, PPtr, StatsSnapshot};

@@ -18,14 +18,15 @@ fn val_of(v: &[u8]) -> u64 {
 
 /// Every worker writes values tagged with its session id into its own key
 /// slice; afterwards each key holds a value its owner wrote.
-fn stress_durable(incll_enabled: bool) {
+fn stress_durable(incll_enabled: bool, shards: usize) {
     let arena = PArena::builder().capacity_bytes(128 << 20).build().unwrap();
     let (store, _) = Store::open(
         &arena,
         Options::new()
             .threads(WORKERS)
             .log_bytes_per_thread(8 << 20)
-            .incll(incll_enabled),
+            .incll(incll_enabled)
+            .shards(shards),
     )
     .unwrap();
     let driver = AdvanceDriver::spawn(store.epoch_manager().clone(), Duration::from_millis(4));
@@ -93,12 +94,20 @@ fn stress_durable(incll_enabled: bool) {
 
 #[test]
 fn durable_store_concurrent_stress() {
-    stress_durable(true);
+    stress_durable(true, 1);
 }
 
 #[test]
 fn logging_mode_concurrent_stress() {
-    stress_durable(false);
+    stress_durable(false, 1);
+}
+
+#[test]
+fn sharded_store_concurrent_stress() {
+    // Same ownership/coherence bar with the keyspace hash partitioned:
+    // routing must never send two workers' slices to each other, and the
+    // full-store iteration at the end is the k-way merge under load.
+    stress_durable(true, 8);
 }
 
 #[test]
@@ -200,12 +209,21 @@ fn transient_trees_concurrent_stress() {
 
 #[test]
 fn concurrent_scans_with_writers() {
+    for shards in [1usize, 4] {
+        concurrent_scans_with_writers_at(shards);
+    }
+}
+
+/// Scanners must observe sorted, in-range keys while a writer churns —
+/// with `shards > 1` every scan is a live k-way merge racing the writer.
+fn concurrent_scans_with_writers_at(shards: usize) {
     let arena = PArena::builder().capacity_bytes(64 << 20).build().unwrap();
     let (store, _) = Store::open(
         &arena,
         Options::new()
             .threads(WORKERS)
-            .log_bytes_per_thread(4 << 20),
+            .log_bytes_per_thread(4 << 20)
+            .shards(shards),
     )
     .unwrap();
     {

@@ -237,6 +237,71 @@ fn crash_with_multithreaded_doomed_epoch() {
 }
 
 #[test]
+fn crash_rolls_every_shard_back_to_the_same_checkpoint() {
+    // The cross-shard atomicity claim: the doomed epoch touches all
+    // shards; the per-line crash cuts land "between" their flushes; every
+    // shard must still recover to the same (one) checkpoint epoch.
+    for seed in 0..20u64 {
+        let arena = tracked_arena();
+        let opts = options().shards(4);
+        let (store, _) = Store::open(&arena, opts.clone()).unwrap();
+        let mut model = BTreeMap::new();
+        {
+            let sess = store.session().unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..250 {
+                apply_random(&store, &sess, &mut model, &mut rng, 200);
+            }
+            store.checkpoint();
+            // Doomed work, forced onto every shard.
+            let mut touched = [false; 4];
+            let mut doomed = model.clone();
+            let mut i = 0u64;
+            while !touched.iter().all(|&t| t) || i < 200 {
+                let key = (seed * 100_000 + i).to_be_bytes();
+                touched[store.shard_of(&key)] = true;
+                store.put_u64(&sess, &key, i);
+                doomed.insert(key.to_vec(), i.to_le_bytes().to_vec());
+                i += 1;
+            }
+        }
+        drop(store);
+        arena.crash_seeded(seed.wrapping_mul(0x5851_F42D) + 3);
+
+        let (store, report) = Store::open(&arena, opts).unwrap();
+        // One failed epoch for the whole store — shards cannot diverge.
+        assert!(!report.created);
+        assert_eq!(report.per_shard.len(), 4);
+        assert_eq!(
+            report
+                .per_shard
+                .iter()
+                .map(|s| s.replayed_entries)
+                .sum::<u64>(),
+            report.replayed_entries,
+            "per-shard attribution must cover every replayed entry"
+        );
+        let sess = store.session().unwrap();
+        assert_eq!(collect(&store, &sess), model_vec(&model), "seed {seed}");
+        // Per-shard view: each shard tree holds exactly the checkpointed
+        // keys that route to it.
+        for s in 0..4 {
+            let shard = store.masstree().shard(s);
+            let mut keys = Vec::new();
+            shard.scan_bytes(sess.ctx(), b"", usize::MAX, &mut |k, _| {
+                keys.push(k.to_vec())
+            });
+            let expect: Vec<Vec<u8>> = model
+                .keys()
+                .filter(|k| store.shard_of(k) == s)
+                .cloned()
+                .collect();
+            assert_eq!(keys, expect, "seed {seed}, shard {s}");
+        }
+    }
+}
+
+#[test]
 fn value_buffers_revert_with_contents_intact() {
     // The §5 EBR argument: buffers referenced at the epoch boundary are
     // never overwritten during the next epoch, so reverted pointers see

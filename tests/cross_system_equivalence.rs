@@ -114,18 +114,23 @@ fn four_implementations_agree() {
             let tree = Masstree::new(mgr, TransientAlloc::new(AllocMode::Pool, 1, Some(pool)));
             assert_eq!(masstree_observe(&tree, &tape), expect, "MT+ seed {seed}");
         }
-        // INCLL behind the Store facade (with periodic checkpoints)
-        {
+        // INCLL behind the Store facade (with periodic checkpoints), at
+        // several shard counts — routing and merged scans must be
+        // semantically invisible too.
+        for shards in [1usize, 4] {
             let arena = PArena::builder().capacity_bytes(64 << 20).build().unwrap();
             let (store, _) = Store::open(
                 &arena,
-                Options::new().threads(1).log_bytes_per_thread(1 << 20),
+                Options::new()
+                    .threads(1)
+                    .log_bytes_per_thread(1 << 20)
+                    .shards(shards),
             )
             .unwrap();
             assert_eq!(
                 store_observe(&store, &tape, 500),
                 expect,
-                "INCLL seed {seed}"
+                "INCLL seed {seed} shards {shards}"
             );
         }
     }

@@ -145,13 +145,23 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     ]
 }
 
-fn open_store(arena: &PArena) -> Store {
+fn open_store(arena: &PArena, shards: usize) -> Store {
     Store::open(
         arena,
-        Options::new().threads(1).log_bytes_per_thread(1 << 20),
+        Options::new()
+            .threads(1)
+            .log_bytes_per_thread(1 << 20)
+            .shards(shards),
     )
     .unwrap()
     .0
+}
+
+/// The shard counts the store-level properties sweep (1 = the unsharded
+/// baseline; 2 and 4 exercise routing, merged scans, and cross-shard
+/// crash atomicity).
+fn shard_strategy() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(1usize), Just(2), Just(4)]
 }
 
 /// Applies `op` to both the store and the model.
@@ -181,11 +191,15 @@ fn apply(store: &Store, sess: &Session, model: &mut BTreeMap<u8, Vec<u8>>, op: &
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
     /// The durable store agrees with a BTreeMap across epoch boundaries,
-    /// with u64 and variable-length byte values interleaved.
+    /// with u64 and variable-length byte values interleaved — at every
+    /// shard count (routing + the merged iterator must be transparent).
     #[test]
-    fn durable_store_matches_model(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+    fn durable_store_matches_model(
+        ops in proptest::collection::vec(op_strategy(), 1..300),
+        shards in shard_strategy(),
+    ) {
         let arena = PArena::builder().capacity_bytes(32 << 20).build().unwrap();
-        let store = open_store(&arena);
+        let store = open_store(&arena, shards);
         let sess = store.session().unwrap();
         let mut model: BTreeMap<u8, Vec<u8>> = BTreeMap::new();
         for op in &ops {
@@ -231,21 +245,25 @@ proptest! {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
-    /// Crash consistency as a property: any op tape of variable-length
-    /// values interleaved with epoch advances, any crash seed — recovery
-    /// lands exactly on the state at the last checkpoint.
+    /// Crash consistency as a property, at every shard count: any op tape
+    /// of variable-length values interleaved with epoch advances — the
+    /// tail may itself contain advances, so the crash can land an
+    /// arbitrary distance past the last completed boundary — plus any
+    /// crash seed. Recovery lands exactly on the state at the last
+    /// completed checkpoint, on **every** shard at once.
     #[test]
     fn crash_recovers_to_checkpoint(
         committed in proptest::collection::vec(op_strategy(), 0..120),
         doomed in proptest::collection::vec(op_strategy(), 1..120),
         crash_seed in any::<u64>(),
+        shards in shard_strategy(),
     ) {
         let arena = PArena::builder()
             .capacity_bytes(32 << 20)
             .tracked(true)
             .build()
             .unwrap();
-        let store = open_store(&arena);
+        let store = open_store(&arena, shards);
         let mut model: BTreeMap<u8, Vec<u8>> = BTreeMap::new();
         {
             let sess = store.session().unwrap();
@@ -255,15 +273,17 @@ proptest! {
             store.checkpoint(); // the checkpoint
             let mut doomed_model = model.clone();
             for op in &doomed {
-                if matches!(op, Op::Advance) {
-                    continue; // keep the doomed epoch open
-                }
                 apply(&store, &sess, &mut doomed_model, op);
+                if matches!(op, Op::Advance) {
+                    // A mid-tape advance completed: everything before it —
+                    // across all shards — is now the recovery target.
+                    model = doomed_model.clone();
+                }
             }
         }
         drop(store);
         arena.crash_seeded(crash_seed);
-        let store = open_store(&arena);
+        let store = open_store(&arena, shards);
         let sess = store.session().unwrap();
         let scanned: Vec<(u8, Vec<u8>)> = store.iter(&sess).map(|(k, v)| (k[0], v)).collect();
         let expect: Vec<(u8, Vec<u8>)> = model.into_iter().collect();

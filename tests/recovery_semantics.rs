@@ -130,6 +130,134 @@ fn failed_epochs_accumulate_across_crashes() {
     }
 }
 
+// ---------------------------------------------------------------------
+// Shard-aware open: typed errors and per-shard reports
+// ---------------------------------------------------------------------
+
+#[test]
+fn shard_count_mismatch_is_a_typed_error() {
+    let arena = tracked();
+    let (store, _) = Store::open(&arena, options().shards(2)).unwrap();
+    {
+        let sess = store.session().unwrap();
+        store.put_u64(&sess, b"k", 7);
+        store.checkpoint();
+    }
+    drop(store);
+    match Store::open(&arena, options().shards(4)) {
+        Err(Error::ShardMismatch {
+            requested,
+            on_media,
+        }) => {
+            assert_eq!((requested, on_media), (4, 2));
+        }
+        other => panic!("expected ShardMismatch, got {other:?}"),
+    }
+    // The store is intact and reopens fine with the formatted count.
+    let (store, report) = Store::open(&arena, options().shards(2)).unwrap();
+    assert!(!report.created);
+    let sess = store.session().unwrap();
+    assert_eq!(store.get_u64(&sess, b"k"), Some(7));
+}
+
+#[test]
+fn invalid_shard_counts_are_rejected_before_touching_media() {
+    for bad in [0usize, 3, 6, 65, 128] {
+        let arena = tracked();
+        match Store::open(&arena, options().shards(bad)) {
+            Err(Error::InvalidShardCount { requested, .. }) => assert_eq!(requested, bad),
+            other => panic!("shards({bad}): expected InvalidShardCount, got {other:?}"),
+        }
+        // The blank arena must still be blank — the rejected open may not
+        // have formatted it on the way to the error.
+        assert!(
+            !incll_pmem::superblock::has_magic(&arena),
+            "shards({bad}): rejected open must not format the arena"
+        );
+    }
+}
+
+#[test]
+fn pre_shard_layout_is_a_typed_error_not_a_reformat() {
+    use incll_pmem::superblock;
+    let arena = tracked();
+    let (store, _) = Store::open(&arena, options()).unwrap();
+    {
+        let sess = store.session().unwrap();
+        store.put_u64(&sess, b"precious", 1);
+        store.checkpoint();
+    }
+    drop(store);
+    // Rewind the version word to the pre-shard layout generation.
+    arena.pwrite_u64(superblock::SB_VERSION, 1);
+    match Store::open(&arena, options()) {
+        Err(Error::UnsupportedLayout { found, expected }) => {
+            assert_eq!(found, 1);
+            assert_eq!(expected, superblock::VERSION);
+        }
+        other => panic!("expected UnsupportedLayout, got {other:?}"),
+    }
+    // Crucially, the refused open must not have wiped anything: restoring
+    // the version word brings the data back.
+    arena.pwrite_u64(superblock::SB_VERSION, superblock::VERSION);
+    let (store, _) = Store::open(&arena, options()).unwrap();
+    let sess = store.session().unwrap();
+    assert_eq!(store.get_u64(&sess, b"precious"), Some(1));
+}
+
+#[test]
+fn recovery_report_aggregates_per_shard_counts() {
+    let arena = tracked();
+    let opts = options().shards(4);
+    let (store, _) = Store::open(&arena, opts.clone()).unwrap();
+    {
+        let sess = store.session().unwrap();
+        for i in 0..80u64 {
+            store.put_u64(&sess, &i.to_be_bytes(), i);
+        }
+        store.checkpoint();
+        // Force external logging on every shard: remove-then-insert in
+        // one epoch is the InCLLp hazard path.
+        for i in 0..80u64 {
+            store.remove(&sess, &i.to_be_bytes());
+            store.put_u64(&sess, &(1000 + i).to_be_bytes(), i);
+        }
+    }
+    drop(store);
+    arena.crash_seeded(44);
+    let (_, report) = Store::open(&arena, opts).unwrap();
+    assert_eq!(report.per_shard.len(), 4);
+    for (i, s) in report.per_shard.iter().enumerate() {
+        assert_eq!(s.shard, i);
+    }
+    assert_eq!(
+        report
+            .per_shard
+            .iter()
+            .map(|s| s.replayed_entries)
+            .sum::<u64>(),
+        report.replayed_entries
+    );
+    assert_eq!(
+        report
+            .per_shard
+            .iter()
+            .map(|s| s.replayed_bytes)
+            .sum::<u64>(),
+        report.replayed_bytes
+    );
+    assert!(
+        report
+            .per_shard
+            .iter()
+            .filter(|s| s.replayed_entries > 0)
+            .count()
+            >= 2,
+        "the hazard churn must have logged on several shards: {:?}",
+        report.per_shard
+    );
+}
+
 #[test]
 fn exec_epoch_monotonically_grows() {
     let arena = tracked();

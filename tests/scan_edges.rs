@@ -1,10 +1,14 @@
 //! Scan edge cases on the durable store: empty stores, boundary starts,
-//! layer crossings, limits, iterator range bounds, and scans racing
-//! recovery.
+//! layer crossings, limits, iterator range bounds, scans racing recovery,
+//! and the k-way merge across keyspace shards.
 
 use incll_repro::prelude::*;
 
-fn store() -> (PArena, Store, Session) {
+/// Shard counts the merge-sensitive cases run at (1 = the native
+/// single-tree scan, 2 and 8 = genuine merges).
+const SHARD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn store_with(shards: usize) -> (PArena, Store, Session) {
     let arena = PArena::builder()
         .capacity_bytes(32 << 20)
         .tracked(true)
@@ -12,11 +16,18 @@ fn store() -> (PArena, Store, Session) {
         .unwrap();
     let (s, _) = Store::open(
         &arena,
-        Options::new().threads(1).log_bytes_per_thread(1 << 20),
+        Options::new()
+            .threads(1)
+            .log_bytes_per_thread(1 << 20)
+            .shards(shards),
     )
     .unwrap();
     let sess = s.session().unwrap();
     (arena, s, sess)
+}
+
+fn store() -> (PArena, Store, Session) {
+    store_with(1)
 }
 
 fn val_of(v: &[u8]) -> u64 {
@@ -254,6 +265,163 @@ fn scan_immediately_after_recovery_forces_lazy_repairs() {
     let expect: Vec<(u64, u64)> = (0..300).map(|i| (i, i)).collect();
     assert_eq!(got, expect);
     assert!(arena.stats().nodes_lazy_recovered() > 0);
+}
+
+// ---------------------------------------------------------------------
+// Merged scans across shard boundaries
+// ---------------------------------------------------------------------
+
+#[test]
+fn reverse_ordered_inserts_scan_globally_sorted_at_every_shard_count() {
+    for shards in SHARD_COUNTS {
+        let (_a, s, sess) = store_with(shards);
+        assert_eq!(s.shard_count(), shards);
+        // Insert in strictly descending order so no shard receives its
+        // keys pre-sorted relative to the others' interleaving.
+        for i in (0..500u64).rev() {
+            s.put_u64(&sess, &i.to_be_bytes(), i);
+        }
+        let got: Vec<u64> = s
+            .iter(&sess)
+            .map(|(k, _)| u64::from_be_bytes(k.as_slice().try_into().unwrap()))
+            .collect();
+        let expect: Vec<u64> = (0..500).collect();
+        assert_eq!(got, expect, "shards={shards}");
+        // The callback form agrees, including mid-stream starts + limits.
+        let mut vals = Vec::new();
+        s.scan(&sess, &123u64.to_be_bytes(), 7, &mut |_, v| {
+            vals.push(u64::from_le_bytes(v[..8].try_into().unwrap()))
+        });
+        assert_eq!(vals, (123..130).collect::<Vec<u64>>(), "shards={shards}");
+    }
+}
+
+#[test]
+fn empty_and_singleton_shards_do_not_disturb_the_merge() {
+    // 8 shards, 3 keys: most shards are empty, and the merge must neither
+    // stall on them nor invent entries.
+    let (_a, s, sess) = store_with(8);
+    let keys: [&[u8]; 3] = [b"alpha", b"mid", b"zed"];
+    for k in keys {
+        s.put(&sess, k, k).unwrap();
+    }
+    let got: Vec<Vec<u8>> = s.iter(&sess).map(|(k, _)| k).collect();
+    assert_eq!(
+        got,
+        vec![b"alpha".to_vec(), b"mid".to_vec(), b"zed".to_vec()]
+    );
+    let mut hits = 0;
+    assert_eq!(s.scan(&sess, b"aa", usize::MAX, &mut |_, _| hits += 1), 3);
+    assert_eq!(hits, 3);
+    assert_eq!(s.scan(&sess, b"zz", 10, &mut |_, _| panic!("past end")), 0);
+}
+
+#[test]
+fn range_confined_to_a_single_shard_hit() {
+    // Keys chosen so a whole contiguous key range lives on one shard:
+    // the merge must drain that one cursor and ignore the rest.
+    let (_a, s, sess) = store_with(8);
+    // Find 6 keys routing to shard 0 and give them a common prefix region.
+    let mut on_shard0 = Vec::new();
+    let mut elsewhere = Vec::new();
+    for i in 0..4000u64 {
+        let key = format!("key-{i:06}").into_bytes();
+        if s.shard_of(&key) == 0 && on_shard0.len() < 6 {
+            on_shard0.push(key);
+        } else if elsewhere.len() < 50 {
+            elsewhere.push(key);
+        }
+    }
+    assert_eq!(on_shard0.len(), 6, "4000 candidates must yield 6 hits");
+    for k in on_shard0.iter().chain(&elsewhere) {
+        s.put(&sess, k, k).unwrap();
+    }
+    // A range holding exactly one shard-0 key.
+    let target = &on_shard0[2];
+    let got: Vec<Vec<u8>> = s
+        .range(&sess, target.as_slice()..=target.as_slice())
+        .map(|(k, _)| k)
+        .collect();
+    assert_eq!(got, vec![target.clone()]);
+}
+
+#[test]
+fn bound_exclusive_edges_hold_at_every_shard_count() {
+    use std::ops::Bound;
+    for shards in SHARD_COUNTS {
+        let (_a, s, sess) = store_with(shards);
+        for i in 0..40u64 {
+            s.put_u64(&sess, &i.to_be_bytes(), i);
+        }
+        let k = |i: u64| i.to_be_bytes();
+        let vals = |it: RangeScan<'_>| -> Vec<u64> {
+            it.map(|(key, _)| u64::from_be_bytes(key.as_slice().try_into().unwrap()))
+                .collect()
+        };
+        // Excluded start, excluded end.
+        let got = vals(s.range::<&[u8], _>(
+            &sess,
+            (Bound::Excluded(&k(10)[..]), Bound::Excluded(&k(14)[..])),
+        ));
+        assert_eq!(got, vec![11, 12, 13], "shards={shards}");
+        // Excluded start == last key -> empty.
+        let got = vals(s.range::<&[u8], _>(&sess, (Bound::Excluded(&k(39)[..]), Bound::Unbounded)));
+        assert_eq!(got, Vec::<u64>::new(), "shards={shards}");
+        // Inverted exclusive range -> empty, at any shard count.
+        let got = vals(s.range(&sess, &k(20)[..]..&k(10)[..]));
+        assert_eq!(got, Vec::<u64>::new(), "shards={shards}");
+        // Half-open range straddling everything.
+        let got = vals(s.range(&sess, &k(38)[..]..&k(40)[..]));
+        assert_eq!(got, vec![38, 39], "shards={shards}");
+    }
+}
+
+#[test]
+fn merged_range_spans_many_refill_batches_on_sharded_stores() {
+    // More keys than one per-shard batch (64): cursors re-arm mid-merge.
+    for shards in [2usize, 8] {
+        let (_a, s, sess) = store_with(shards);
+        for i in 0..1500u64 {
+            s.put_u64(&sess, &i.to_be_bytes(), i);
+        }
+        let got: Vec<u64> = s
+            .range(&sess, &100u64.to_be_bytes()[..]..&1400u64.to_be_bytes()[..])
+            .map(|(_, v)| val_of(&v))
+            .collect();
+        let expect: Vec<u64> = (100..1400).collect();
+        assert_eq!(got, expect, "shards={shards}");
+    }
+}
+
+#[test]
+fn sharded_scan_sees_checkpointed_state_after_crash() {
+    for shards in SHARD_COUNTS {
+        let (arena, s, sess) = store_with(shards);
+        for i in 0..120u64 {
+            s.put_u64(&sess, &i.to_be_bytes(), i);
+        }
+        s.checkpoint();
+        for i in 120..200u64 {
+            s.put_u64(&sess, &i.to_be_bytes(), i); // doomed, lands on all shards
+        }
+        drop(sess);
+        drop(s);
+        arena.crash_seeded(2000 + shards as u64);
+        let (s, _) = Store::open(
+            &arena,
+            Options::new()
+                .threads(1)
+                .log_bytes_per_thread(1 << 20)
+                .shards(shards),
+        )
+        .unwrap();
+        let sess = s.session().unwrap();
+        let got: Vec<u64> = s
+            .iter(&sess)
+            .map(|(k, _)| u64::from_be_bytes(k.as_slice().try_into().unwrap()))
+            .collect();
+        assert_eq!(got, (0..120).collect::<Vec<u64>>(), "shards={shards}");
+    }
 }
 
 #[test]
