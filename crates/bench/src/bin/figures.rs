@@ -2,10 +2,11 @@
 //!
 //! ```text
 //! cargo run --release -p incll-bench --bin figures -- <experiment> [options]
+//! cargo run --release -p incll-bench --bin figures -- --compare old.json new.json
 //!
 //! experiments:
 //!   fig2 fig3 fig4 fig5 fig6 fig7 fig8 flushcost recovery ablation
-//!   shard_scaling all
+//!   shard_scaling epoch_domains all
 //!
 //! options:
 //!   --paper            paper-scale parameters (20M keys, 8x1M ops)
@@ -14,12 +15,17 @@
 //!   --ops N            ops per thread override
 //!   --threads N        driver threads override
 //!   --out DIR          also write tables to DIR (default: results)
+//!
+//! `--compare A B` runs no experiments: it parses two `BENCH_results.json`
+//! files and prints per-experiment deltas (rows matched by label, numeric
+//! cells diffed as percentages).
 //! ```
 
 use std::fs;
 use std::path::PathBuf;
 use std::time::{SystemTime, UNIX_EPOCH};
 
+use incll_bench::compare;
 use incll_bench::experiments::{self, json_string, ExpParams, Table};
 
 struct Args {
@@ -31,6 +37,15 @@ struct Args {
 fn parse_args() -> Args {
     let mut args = std::env::args().skip(1);
     let experiment = args.next().unwrap_or_else(|| usage("missing experiment"));
+    if experiment == "--compare" {
+        let old = args
+            .next()
+            .unwrap_or_else(|| usage("--compare needs OLD.json NEW.json"));
+        let new = args
+            .next()
+            .unwrap_or_else(|| usage("--compare needs OLD.json NEW.json"));
+        run_compare(&old, &new);
+    }
     let mut params = ExpParams::default_scale();
     let mut scale = 1.0f64;
     let mut out = PathBuf::from("results");
@@ -63,10 +78,36 @@ fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
         "usage: figures <fig2|fig3|fig4|fig5|fig6|fig7|fig8|flushcost|recovery|ablation\
-         |shard_scaling|all> \
-         [--paper] [--scale F] [--keys N] [--ops N] [--threads N] [--out DIR]"
+         |shard_scaling|epoch_domains|all> \
+         [--paper] [--scale F] [--keys N] [--ops N] [--threads N] [--out DIR]\n\
+         \x20      figures --compare OLD.json NEW.json"
     );
     std::process::exit(2);
+}
+
+/// `--compare OLD NEW`: print per-experiment deltas and exit.
+fn run_compare(old_path: &str, new_path: &str) -> ! {
+    let load = |path: &str| -> compare::Json {
+        let text = fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        compare::parse_json(&text).unwrap_or_else(|e| {
+            eprintln!("error: {path} is not valid BENCH_results.json: {e}");
+            std::process::exit(2);
+        })
+    };
+    let (old, new) = (load(old_path), load(new_path));
+    match compare::render_comparison(&old, &new) {
+        Ok(report) => {
+            print!("{report}");
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn size_sweep(p: &ExpParams) -> Vec<u64> {
@@ -160,6 +201,7 @@ fn main() {
             "recovery" => ("recovery", vec![experiments::recovery_time(p)]),
             "ablation" => ("ablation", vec![experiments::ablation_internal(p)]),
             "shard_scaling" => ("shard_scaling", vec![experiments::shard_scaling(p)]),
+            "epoch_domains" => ("epoch_domains", vec![experiments::epoch_domains(p)]),
             other => usage(&format!("unknown experiment {other}")),
         };
         save(&args.out, file, &tables);
@@ -178,6 +220,7 @@ fn main() {
             "recovery",
             "ablation",
             "shard_scaling",
+            "epoch_domains",
         ] {
             println!("---- {name} ----");
             results.push(run_one(name));

@@ -1,0 +1,437 @@
+//! Cross-run comparison of `BENCH_results.json` files.
+//!
+//! `figures --compare old.json new.json` diffs two result files written by
+//! [`crate::experiments::Table::to_json`]'s envelope: experiments present
+//! in both runs are matched by name, their tables by title, their rows by
+//! first cell, and every numeric cell gets a delta. The parser below is a
+//! minimal hand-rolled JSON reader — the workspace builds without
+//! crates.io, so there is no serde — that accepts exactly (a superset of)
+//! what the writer emits.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value (only the shapes the results file uses).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (kept as f64; the file only holds integers and
+    /// fixed-point decimals).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, insertion order not preserved (keys are unique).
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// Returns a human-readable message with the byte offset of the first
+/// syntax error.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut map = BTreeMap::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = match parse_value(b, pos)? {
+                    Json::Str(s) => s,
+                    other => return Err(format!("object key must be a string, got {other:?}")),
+                };
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                let val = parse_value(b, pos)?;
+                map.insert(key, val);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(map));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut arr = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(arr));
+            }
+            loop {
+                arr.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(arr));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => {
+            *pos += 1;
+            let mut out = String::new();
+            loop {
+                match b.get(*pos) {
+                    None => return Err("unterminated string".into()),
+                    Some(b'"') => {
+                        *pos += 1;
+                        return Ok(Json::Str(out));
+                    }
+                    Some(b'\\') => {
+                        *pos += 1;
+                        match b.get(*pos) {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'u') => {
+                                let hex =
+                                    b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
+                                let code = u32::from_str_radix(
+                                    std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                    16,
+                                )
+                                .map_err(|e| e.to_string())?;
+                                out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                                *pos += 4;
+                            }
+                            other => return Err(format!("bad escape {other:?}")),
+                        }
+                        *pos += 1;
+                    }
+                    Some(&c) => {
+                        // Multibyte UTF-8 passes through byte by byte; the
+                        // input is a valid &str so reassembly is safe.
+                        let start = *pos;
+                        let mut end = *pos + 1;
+                        if c >= 0x80 {
+                            while end < b.len() && b[end] & 0xC0 == 0x80 {
+                                end += 1;
+                            }
+                        }
+                        out.push_str(
+                            std::str::from_utf8(&b[start..end]).map_err(|e| e.to_string())?,
+                        );
+                        *pos = end;
+                    }
+                }
+            }
+        }
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let s = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+            s.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("bad number {s:?} at byte {start}"))
+        }
+    }
+}
+
+/// A cell is "numeric" for diffing when it parses as a number after
+/// stripping a leading `+` and trailing `%`/`x` decoration (throughput,
+/// percentages, reduction factors).
+fn numeric(cell: &str) -> Option<f64> {
+    let trimmed = cell
+        .trim()
+        .trim_start_matches('+')
+        .trim_end_matches('%')
+        .trim_end_matches('x');
+    if trimmed.is_empty() {
+        return None;
+    }
+    trimmed.parse::<f64>().ok()
+}
+
+/// Renders the per-experiment deltas between two parsed result files.
+///
+/// # Errors
+///
+/// Returns a message if either file is missing the expected envelope.
+pub fn render_comparison(old: &Json, new: &Json) -> Result<String, String> {
+    let old_exp = old
+        .get("experiments")
+        .ok_or("old file has no \"experiments\" object")?;
+    let new_exp = new
+        .get("experiments")
+        .ok_or("new file has no \"experiments\" object")?;
+    let (Json::Obj(old_map), Json::Obj(new_map)) = (old_exp, new_exp) else {
+        return Err("\"experiments\" is not an object".into());
+    };
+
+    let mut out = String::new();
+    for (stamp, file) in [(old, "old"), (new, "new")] {
+        let when = match stamp.get("generated_unix") {
+            Some(Json::Num(n)) => *n as u64,
+            _ => 0,
+        };
+        let _ = writeln!(out, "{file}: generated_unix={when}");
+    }
+    out.push('\n');
+
+    for (name, new_tables) in new_map {
+        let Some(old_tables) = old_map.get(name) else {
+            let _ = writeln!(out, "# {name}: only in new run (no baseline)\n");
+            continue;
+        };
+        let _ = writeln!(out, "# {name}");
+        let empty = Vec::new();
+        let old_tables = old_tables.as_arr().unwrap_or(&empty);
+        let new_tables = new_tables.as_arr().unwrap_or(&empty);
+        for nt in new_tables {
+            let title = nt.get("title").and_then(Json::as_str).unwrap_or("?");
+            let Some(ot) = old_tables
+                .iter()
+                .find(|t| t.get("title").and_then(Json::as_str) == Some(title))
+            else {
+                let _ = writeln!(out, "  table {title:?}: only in new run");
+                continue;
+            };
+            let _ = writeln!(out, "  {title}");
+            diff_table(&mut out, ot, nt);
+        }
+        out.push('\n');
+    }
+    for name in old_map.keys() {
+        if !new_map.contains_key(name) {
+            let _ = writeln!(out, "# {name}: only in old run (dropped?)\n");
+        }
+    }
+    Ok(out)
+}
+
+fn diff_table(out: &mut String, old: &Json, new: &Json) {
+    let empty = Vec::new();
+    let header: Vec<&str> = new
+        .get("header")
+        .and_then(Json::as_arr)
+        .unwrap_or(&empty)
+        .iter()
+        .filter_map(Json::as_str)
+        .collect();
+    let rows = |t: &Json| -> Vec<Vec<String>> {
+        t.get("rows")
+            .and_then(Json::as_arr)
+            .unwrap_or(&empty)
+            .iter()
+            .map(|r| {
+                r.as_arr()
+                    .unwrap_or(&empty)
+                    .iter()
+                    .map(|c| c.as_str().unwrap_or("").to_string())
+                    .collect()
+            })
+            .collect()
+    };
+    let old_rows = rows(old);
+    let new_rows = rows(new);
+    // Rows are matched by their label columns: every leading cell that is
+    // non-numeric in the new row (experiments key rows by 1–2 label
+    // cells: "shards", "mode", "workload" + "dist", ...).
+    let label_width = |row: &[String]| {
+        row.iter()
+            .take_while(|c| numeric(c).is_none())
+            .count()
+            .max(1)
+    };
+    for nrow in &new_rows {
+        let w = label_width(nrow);
+        let Some(orow) = old_rows
+            .iter()
+            .find(|r| r.len() >= w && r[..w] == nrow[..w])
+        else {
+            let _ = writeln!(out, "    {}: new row", nrow[..w].join(" "));
+            continue;
+        };
+        let mut cells = Vec::new();
+        for (i, ncell) in nrow.iter().enumerate().skip(w) {
+            let col = header.get(i).copied().unwrap_or("?");
+            match (orow.get(i).and_then(|c| numeric(c)), numeric(ncell)) {
+                (Some(a), Some(b)) => {
+                    let delta = if a.abs() > f64::EPSILON {
+                        format!("{:+.1}%", (b - a) / a * 100.0)
+                    } else {
+                        "n/a".into()
+                    };
+                    cells.push(format!("{col}: {a} -> {b} ({delta})"));
+                }
+                _ => {
+                    if orow.get(i).map(String::as_str) != Some(ncell.as_str()) {
+                        cells.push(format!(
+                            "{col}: {:?} -> {ncell:?}",
+                            orow.get(i).map(String::as_str).unwrap_or("")
+                        ));
+                    }
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            "    {}: {}",
+            nrow[..w].join(" "),
+            if cells.is_empty() {
+                "unchanged".to_string()
+            } else {
+                cells.join(", ")
+            }
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_writer_shape() {
+        let j = parse_json(
+            r#"{"generated_unix":123,"params":{"keys":1000},
+               "experiments":{"e1":[{"title":"T","header":["k","v"],
+               "rows":[["a","1.5"],["b","2.0"]]}]}}"#,
+        )
+        .unwrap();
+        assert_eq!(j.get("generated_unix"), Some(&Json::Num(123.0)));
+        let tables = j.get("experiments").unwrap().get("e1").unwrap();
+        assert_eq!(tables.as_arr().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn parses_escapes_and_unicode() {
+        let j = parse_json(r#"["a\nb", "A", "é"]"#).unwrap();
+        assert_eq!(
+            j,
+            Json::Arr(vec![
+                Json::Str("a\nb".into()),
+                Json::Str("A".into()),
+                Json::Str("é".into())
+            ])
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("123 45").is_err());
+    }
+
+    #[test]
+    fn numeric_strips_decorations() {
+        assert_eq!(numeric("1.50"), Some(1.5));
+        assert_eq!(numeric("+12.5%"), Some(12.5));
+        assert_eq!(numeric("3.0x"), Some(3.0));
+        assert_eq!(numeric("uniform"), None);
+    }
+
+    #[test]
+    fn comparison_reports_deltas_per_row() {
+        let old = parse_json(
+            r#"{"generated_unix":1,"experiments":{"shard_scaling":[
+               {"title":"T","header":["shards","mops"],
+                "rows":[["1","1.0"],["2","2.0"]]}]}}"#,
+        )
+        .unwrap();
+        let new = parse_json(
+            r#"{"generated_unix":2,"experiments":{"shard_scaling":[
+               {"title":"T","header":["shards","mops"],
+                "rows":[["1","1.1"],["2","1.0"],["4","4.0"]]}]}}"#,
+        )
+        .unwrap();
+        let report = render_comparison(&old, &new).unwrap();
+        assert!(report.contains("+10.0%"), "report: {report}");
+        assert!(report.contains("-50.0%"), "report: {report}");
+        assert!(report.contains("4: new row"), "report: {report}");
+    }
+
+    #[test]
+    fn comparison_flags_missing_experiments() {
+        let old = parse_json(r#"{"experiments":{"gone":[{"title":"T","header":[],"rows":[]}]}}"#)
+            .unwrap();
+        let new = parse_json(r#"{"experiments":{}}"#).unwrap();
+        let report = render_comparison(&old, &new).unwrap();
+        assert!(report.contains("only in old run"));
+    }
+}

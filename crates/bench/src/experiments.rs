@@ -639,6 +639,169 @@ pub fn shard_scaling(p: &ExpParams) -> Table {
 }
 
 // =====================================================================
+// Epoch domains — per-shard checkpoint cadence vs the global barrier
+// =====================================================================
+
+/// Shards used by the epoch-domains experiment.
+const DOMAIN_SHARDS: usize = 4;
+
+/// Epoch domains: contended inserts into hot shards while a cold-shard
+/// scan runs concurrently, under two checkpoint regimes on the **same**
+/// 4-shard store:
+///
+/// * `global` — one cadence advances every domain at each tick (the PR-3
+///   barrier: every advance quiesces all sessions, including the scanner,
+///   and pays the whole store's flush);
+/// * `per_shard` — each domain is advanced on its own cadence only when
+///   dirty (the dirty-work heuristic): hot-shard advances never stall the
+///   cold-shard scanner, and the clean cold shard is never advanced at
+///   all.
+///
+/// Reports insert and scan throughput, advances taken, and an
+/// advance-stall histogram (p50/p99/max of the advance's quiesce + flush
+/// + hook time).
+pub fn epoch_domains(p: &ExpParams) -> Table {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    let mut t = Table::new(
+        "Epoch domains: per-shard cadence vs global barrier (contended inserts + cold-shard scan)",
+        &[
+            "mode",
+            "put_mops",
+            "scan_mops",
+            "advances",
+            "stall_p50_us",
+            "stall_p99_us",
+            "stall_max_us",
+        ],
+    );
+    let threads = p.threads.max(2);
+    let run_for = Duration::from_millis(600);
+    let tick = Duration::from_millis(8);
+
+    // The inserters cycle over a bounded key span (fresh inserts on the
+    // first pass, contended updates after), so memory stays steady via
+    // epoch-based buffer recycling however fast the host is.
+    let span = 200_000u64;
+
+    for mode in ["global", "per_shard"] {
+        let mut cfg = p.sys_config();
+        cfg.threads = threads + 1; // +1 session slot for the scanner
+        cfg.shards = DOMAIN_SHARDS;
+        cfg.epoch_interval = None; // the experiment drives (and times) advances
+        cfg.keys = (2 * span).max(p.keys); // arena sizing
+        let sys = build_incll(&cfg);
+        let store = &sys.store;
+
+        // The cold shard: preloaded, scanned, never written during the
+        // run. Keys are routed by hash, so pick per-key.
+        let cold = DOMAIN_SHARDS - 1;
+        {
+            let sess = store.session().expect("preload session");
+            let mut loaded = 0u64;
+            let mut i = 0u64;
+            while loaded < 20_000 {
+                let key = i.to_be_bytes();
+                if store.shard_of(&key) == cold {
+                    store.put_u64(&sess, &key, i);
+                    loaded += 1;
+                }
+                i += 1;
+            }
+        }
+        store.checkpoint();
+
+        let stop = AtomicBool::new(false);
+        let puts = AtomicU64::new(0);
+        let scanned = AtomicU64::new(0);
+        let mut stalls_us: Vec<u64> = Vec::new();
+        std::thread::scope(|s| {
+            // Hot inserters: interleaved ascending keys, skipping the cold
+            // shard — on each hot shard every insert lands on the same
+            // right-edge leaf (the contended workload).
+            for tid in 0..threads {
+                let store = store.clone();
+                let stop = &stop;
+                let puts = &puts;
+                s.spawn(move || {
+                    let sess = store.session().expect("inserter session");
+                    let mut n = 0u64;
+                    let mut i = tid as u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let key = (i % span).to_be_bytes();
+                        if store.shard_of(&key) != cold {
+                            store.put_u64(&sess, &key, i);
+                            n += 1;
+                        }
+                        i += threads as u64;
+                    }
+                    puts.fetch_add(n, Ordering::Relaxed);
+                });
+            }
+            // Cold-shard scanner: repeated bounded scans over the cold
+            // shard's own tree (pins only that shard's domain).
+            {
+                let store = store.clone();
+                let stop = &stop;
+                let scanned = &scanned;
+                s.spawn(move || {
+                    let sess = store.session().expect("scanner session");
+                    let shard = store.masstree().shard(cold);
+                    let mut n = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        n += shard.scan(sess.ctx(), b"", 512, &mut |_, _| {}) as u64;
+                    }
+                    scanned.fetch_add(n, Ordering::Relaxed);
+                });
+            }
+            // Advancer: the checkpoint regime under test, timed per
+            // advance. Deadline-based ticking: both regimes target the
+            // same checkpoint cadence, and a slow barrier eats into its
+            // own next period instead of silently checkpointing less
+            // often.
+            let t0 = Instant::now();
+            let mut next = t0 + tick;
+            while t0.elapsed() < run_for {
+                let now = Instant::now();
+                if now < next {
+                    std::thread::sleep(next - now);
+                }
+                next += tick;
+                if mode == "global" {
+                    let a0 = Instant::now();
+                    store.checkpoint();
+                    stalls_us.push(a0.elapsed().as_micros() as u64);
+                } else {
+                    let mgr = store.epoch_manager();
+                    for d in 0..DOMAIN_SHARDS {
+                        if mgr.domain_dirty(d) {
+                            let a0 = Instant::now();
+                            store.checkpoint_shard(d);
+                            stalls_us.push(a0.elapsed().as_micros() as u64);
+                        }
+                    }
+                }
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        let secs = run_for.as_secs_f64();
+        stalls_us.sort_unstable();
+        let pick = |q: usize| stalls_us[(stalls_us.len() - 1) * q / 100];
+        t.push(vec![
+            mode.into(),
+            f2(puts.load(Ordering::Relaxed) as f64 / secs / 1e6),
+            f2(scanned.load(Ordering::Relaxed) as f64 / secs / 1e6),
+            stalls_us.len().to_string(),
+            pick(50).to_string(),
+            pick(99).to_string(),
+            stalls_us.last().copied().unwrap_or(0).to_string(),
+        ]);
+    }
+    t.print();
+    t
+}
+
+// =====================================================================
 // §6.1 — InCLL-for-interior-nodes ablation
 // =====================================================================
 

@@ -11,6 +11,7 @@
 //! so the whole suite runs in CI time; `--paper` selects the paper's
 //! 20 M-key / 8 M-op configuration.
 
+pub mod compare;
 pub mod experiments;
 pub mod systems;
 

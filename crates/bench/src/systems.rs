@@ -37,8 +37,14 @@ pub struct SystemConfig {
     /// advance manually).
     pub epoch_interval: Option<Duration>,
     /// Keyspace shards for the durable system (power of two; 1 = the
-    /// paper's single-tree configuration).
+    /// paper's single-tree configuration). Each shard is its own epoch
+    /// domain with an independent checkpoint cadence.
     pub shards: usize,
+    /// Emulated cost of one **scoped** (per-domain) flush, used by
+    /// sharded systems' per-shard advances. `None` models a dirty-line
+    /// write-back walk over one shard's working set: `wbinvd_ns /
+    /// shards`.
+    pub scoped_flush_ns: Option<u64>,
 }
 
 impl SystemConfig {
@@ -53,6 +59,7 @@ impl SystemConfig {
             log_bytes_per_thread: 32 << 20,
             epoch_interval: Some(DEFAULT_EPOCH_INTERVAL),
             shards: 1,
+            scoped_flush_ns: None,
         }
     }
 
@@ -147,6 +154,12 @@ pub fn build_incll(cfg: &SystemConfig) -> DurableSystem {
         .sfence_latency_ns(cfg.sfence_ns)
         .build()
         .unwrap();
+    // Sharded advances issue scoped flushes; emulate one shard's share of
+    // the whole-cache cost unless overridden.
+    arena.latency().set_scoped_flush_ns(
+        cfg.scoped_flush_ns
+            .unwrap_or(cfg.wbinvd_ns / cfg.shards.max(1) as u64),
+    );
     let options = Options::new()
         .threads(cfg.threads)
         .log_bytes_per_thread(cfg.log_bytes_per_thread)

@@ -28,7 +28,8 @@
 //! formats + creates, or recovers) a store; RAII [`Session`]s replace raw
 //! thread ids; values are byte slices backed by size-classed durable
 //! buffers; [`Options::shards`] hash partitions the keyspace over N
-//! independent trees under one epoch domain.
+//! independent trees, **each with its own epoch domain** — its own
+//! checkpoint cadence, its own crash boundary.
 //!
 //! ```
 //! use incll_pmem::PArena;
@@ -40,8 +41,8 @@
 //!
 //! // Blank arena -> format + create; existing store -> recover. The
 //! // shard count is fixed here, at format time: 4 independent InCLL
-//! // trees, one shared epoch (shards(1), the default, is the paper's
-//! // single-tree system).
+//! // trees, each its own epoch domain (shards(1), the default, is the
+//! // paper's single-tree system).
 //! let opts = Options::new()
 //!     .threads(1)
 //!     .log_bytes_per_thread(1 << 20)
@@ -58,8 +59,16 @@
 //! );
 //! store.put_u64(&sess, b"counter", 7); // the paper's 8-byte payloads
 //!
-//! // Checkpoint: everything written so far — on every shard — survives
-//! // any later crash (all shards share the one epoch boundary).
+//! // Allocation-free reads: reuse one buffer across lookups.
+//! let mut buf = Vec::new();
+//! assert!(store.get_into(&sess, b"durable-key", &mut buf));
+//!
+//! // Scoped checkpoint: only `durable-key`'s shard flushes, and only
+//! // sessions pinned in that shard stall — cold shards never notice.
+//! store.checkpoint_shard(store.shard_of(b"durable-key"));
+//!
+//! // Barrier checkpoint: every shard at once (one cross-shard
+//! // point-in-time).
 //! store.checkpoint();
 //!
 //! // Ordered iteration: a lazy k-way merge over the shard trees yields
@@ -70,12 +79,39 @@
 //! }
 //!
 //! // ... a crash here (see `PArena::crash_seeded` in tracked mode) rolls
-//! // every shard back to the checkpoint; `Store::open` on the same arena
-//! // recovers them all (per-shard counts in `report.per_shard`). Reopen
-//! // with the same `shards(4)` — a mismatch is a typed error.
+//! // each shard back to ITS OWN last completed boundary; `Store::open`
+//! // on the same arena recovers them all (per-shard epochs and replay
+//! // counts in `report.per_shard`). Reopen with the same `shards(4)` —
+//! // a mismatch is a typed error.
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Crash semantics under independent cadences
+//!
+//! With more than one shard, checkpoints are **per shard**: shard `s`
+//! advances its own epoch domain (on [`Store::checkpoint_shard`] or a
+//! per-domain driver cadence), flushing only its own dirty lines, and a
+//! crash rolls each shard back to *that shard's* last completed boundary.
+//! Concretely:
+//!
+//! * **Per-key durability is unchanged.** A key lives on exactly one
+//!   shard forever (hash routing is part of the on-media contract), so
+//!   "my write survives once its shard checkpoints" is the same guarantee
+//!   the global epoch gave — reachable sooner, because a hot shard can
+//!   run a tight cadence without paying for cold ones.
+//! * **Cross-shard points-in-time are independent.** After a crash, shard
+//!   `a` may recover newer state than shard `b`. A multi-key invariant
+//!   spanning shards is only crash-atomic if it is made durable by the
+//!   all-domains barrier [`Store::checkpoint`] (which advances every
+//!   domain, yielding one common boundary) — or kept within one shard.
+//! * **Recovery names each boundary.** [`RecoveryReport::per_shard`]
+//!   carries every shard's failed and recovered epochs; shard 0's pair
+//!   doubles as the legacy top-level fields.
+//!
+//! `shards(1)` has a single domain and reproduces the paper's semantics
+//! (and media behavior) exactly: one barrier, one whole-cache flush, one
+//! boundary.
 //!
 //! # Migrating from the pre-`Store` API
 //!
@@ -86,12 +122,17 @@
 //! |--------|-----|
 //! | `superblock::format` + `DurableMasstree::create` / `open` | [`Store::open`] (format-if-empty, create-or-recover) |
 //! | `DurableConfig { .. }` | [`Options`] builder |
-//! | one tree behind `SB_TREE_ROOT` | [`Options::shards`]`(n)` — n root holders, fixed at format; `shards(1)` keeps the legacy media shape |
+//! | one tree behind `SB_TREE_ROOT` | [`Options::shards`]`(n)` — n root holders + n epoch-domain cells, fixed at format; `shards(1)` keeps the legacy cell positions |
 //! | `tree.thread_ctx(tid).unwrap()` (unchecked `tid`) | [`Store::session`] (bounded RAII pool) |
 //! | `tree.put(&ctx, k, u64)` | [`Store::put`] (`&[u8]`) or [`Store::put_u64`] (both shard-routed) |
+//! | `tree.get(&ctx, k)` + per-get allocation | [`Store::get`], or [`Store::get_into`] reusing a caller buffer |
 //! | `tree.scan(&ctx, ..)` (one tree) | [`Store::scan`] / [`Store::range`] (globally ordered k-way merge) |
-//! | `tree.epoch_manager().advance()` | [`Store::checkpoint`] (one boundary for all shards) |
+//! | `tree.epoch_manager().advance()` | [`Store::checkpoint`] (all-domains barrier) or [`Store::checkpoint_shard`] (one shard's scoped boundary) |
+//! | one global epoch for all shards (layout v2) | one epoch **domain per shard** (layout v3): independent cadences, per-shard failed-epoch sets, per-shard recovery — see the crash-semantics section above |
 //! | leaked `incll_palloc::Error` | crate-wide [`Error`] (incl. [`Error::ShardMismatch`], [`Error::UnsupportedLayout`]) |
+//!
+//! On-media layouts are version-screened: v3 (this build) refuses v1/v2
+//! media with a typed [`Error::UnsupportedLayout`] — never a reformat.
 //!
 //! [`DurableMasstree`] remains public as the mid-level API, but it speaks
 //! to **one shard's** tree ([`Store::masstree`] and [`Session::ctx`] are

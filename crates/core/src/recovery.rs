@@ -1,26 +1,38 @@
-//! Post-crash recovery orchestration (§4.3).
+//! Post-crash recovery orchestration (§4.3), per epoch domain.
 //!
 //! Opening a durable tree after a failure (or a clean shutdown — the
-//! procedure is uniform):
+//! procedure is uniform) runs the paper's recovery once **per shard**,
+//! each against that shard's own epoch timeline:
 //!
-//! 1. The durable epoch counter names the failed epoch; it joins the
-//!    durable failed-epoch set (idempotent across repeated crashes).
-//! 2. The external log replays every sealed entry of the *contiguous run*
-//!    of failed epochs ending at the crash — older failed-epoch debris is
-//!    inert (completed epochs separated them from the crash; see
-//!    `incll-extlog`). Entries are independent, so replay order is free.
-//! 3. The epoch counters restart durably past the failed epoch. This is
-//!    the only flush recovery performs: new work is tagged with the new
-//!    epoch, so the new epoch number must be durable before work begins.
-//! 4. The allocator repairs its head cells and watermark.
+//! 1. Each shard's durable epoch counter names *its* failed epoch; it
+//!    joins the shard's durable failed-epoch set (idempotent across
+//!    repeated crashes).
+//! 2. The shard's external-log buffers replay every sealed entry of the
+//!    *contiguous run* of that shard's failed epochs ending at the crash —
+//!    older failed-epoch debris is inert (completed epochs separated them
+//!    from the crash; see `incll-extlog`). Entries are independent, so
+//!    replay order is free.
+//! 3. The shard's epoch counters restart durably past its failed epoch.
+//!    This is the only flush recovery performs: new work is tagged with
+//!    the new epoch, so the new epoch number must be durable before work
+//!    begins.
+//! 4. The allocator repairs its head cells (per domain) and watermark.
 //! 5. Everything else — permutation and value rollbacks, lock-word
 //!    reinitialisation — happens **lazily** on first access to each node
 //!    (Listing 4), so restart latency is the log-replay time, not a tree
 //!    walk.
 //!
+//! Because every shard checkpoints on its own cadence, the recovered
+//! shards do **not** share a point in time: shard `a` restarts at its own
+//! last completed boundary, shard `b` at its (possibly much newer) one.
+//! Per-key durability is unchanged — a key's shard checkpointed it or it
+//! rolls back — but cross-shard invariants must be enforced above this
+//! layer (or by [`crate::Store::checkpoint`], the all-domains barrier).
+//!
 //! Re-crashing during recovery is safe: nothing above is destructive
-//! before its effect is re-derivable, and the failed-epoch set keeps
-//! growing until a checkpoint completes.
+//! before its effect is re-derivable, and each failed-epoch set keeps
+//! growing until one of that shard's checkpoints completes (which also
+//! compacts it; see `incll-pmem`'s `prune_failed_epochs`).
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -45,6 +57,12 @@ pub struct ShardReplay {
     pub replayed_entries: u64,
     /// Bytes copied back into this shard's tree.
     pub replayed_bytes: u64,
+    /// The epoch of **this shard** the crash interrupted (shards
+    /// checkpoint independently, so these differ across shards).
+    pub failed_epoch: u64,
+    /// The epoch this shard's new execution starts at (its recovered
+    /// boundary + 1).
+    pub recovered_epoch: u64,
 }
 
 /// What recovery did; the §6.3 experiment reports these numbers.
@@ -53,35 +71,40 @@ pub struct RecoveryReport {
     /// `true` when [`crate::Store::open`] found no existing store and
     /// created a fresh one (nothing below applies in that case).
     pub created: bool,
-    /// The epoch the crash interrupted.
+    /// The epoch the crash interrupted in **shard 0** (the whole store's
+    /// failed epoch on an unsharded store; per-shard epochs are in
+    /// [`RecoveryReport::per_shard`]).
     pub failed_epoch: u64,
-    /// All durable failed epochs after recording this crash.
+    /// Shard 0's durable failed epochs after recording this crash.
     pub failed_epochs: Vec<u64>,
-    /// External-log entries replayed.
+    /// External-log entries replayed, across all shards.
     pub replayed_entries: u64,
-    /// Bytes copied back by replay.
+    /// Bytes copied back by replay, across all shards.
     pub replayed_bytes: u64,
-    /// Wall-clock time of the eager phase (log replay).
+    /// Wall-clock time of the eager phase (log replay, all shards).
     pub replay_time: Duration,
-    /// Replay work per shard (one entry per shard, indexed by shard id;
-    /// empty when the store was freshly created). All shards recover under
-    /// the one shared epoch, so their entries sum to
-    /// [`RecoveryReport::replayed_entries`].
+    /// Replay work and recovered boundary per shard (one entry per shard,
+    /// indexed by shard id; empty when the store was freshly created).
+    /// Each shard recovers to **its own** last completed epoch; the
+    /// entries' counts sum to [`RecoveryReport::replayed_entries`].
     pub per_shard: Vec<ShardReplay>,
 }
 
 impl DurableMasstree {
-    /// Recovers a durable tree from a crashed (or cleanly closed) arena.
+    /// Recovers a durable tree from a crashed (or cleanly closed) arena,
+    /// rolling **each shard back to its own** last completed epoch
+    /// boundary.
     ///
     /// Most callers want [`crate::Store::open`], which formats/creates on
     /// first use and recovers otherwise.
     ///
     /// # Errors
     ///
-    /// Fails if the failed-epoch set is full
-    /// ([`incll_pmem::Error::FailedEpochSetFull`]), or with
-    /// [`Error::ShardMismatch`] when `config.shards` differs from the
-    /// count fixed at create.
+    /// Fails if a shard's failed-epoch set is full
+    /// ([`incll_pmem::Error::FailedEpochSetFull`] — only possible after
+    /// many crashes with **no** completed checkpoint in between, since
+    /// checkpoints compact the sets), or with [`Error::ShardMismatch`]
+    /// when `config.shards` differs from the count fixed at create.
     ///
     /// # Panics
     ///
@@ -92,7 +115,7 @@ impl DurableMasstree {
             "arena holds no durable tree; call create first"
         );
         // 0. The shard count is a format-time property: every root holder,
-        //    and every key's routing, depends on it.
+        //    every epoch-domain cell, and every key's routing depends on it.
         crate::tree::validate_shard_count(config.shards)?;
         let on_media = (arena.pread_u64(superblock::SB_SHARD_COUNT) as usize).max(1);
         if config.shards != on_media {
@@ -101,24 +124,46 @@ impl DurableMasstree {
                 on_media,
             });
         }
-        // 1. Record the failed epoch.
-        let failed_epoch = arena.pread_u64(superblock::SB_CUR_EPOCH).max(1);
-        superblock::record_failed_epoch(arena, failed_epoch)?;
-        let failed = superblock::failed_epochs(arena);
 
-        // 2. Replay the contiguous failed run ending at the crash.
-        let mut min = failed_epoch;
-        while min > 1 && failed.contains(&(min - 1)) {
-            min -= 1;
-        }
         let log = ExtLog::open(arena);
         let t0 = Instant::now();
-        let replay = log.replay(min, failed_epoch);
+        let mut per_shard = Vec::with_capacity(on_media);
+        let mut failed_sets = Vec::with_capacity(on_media);
+        let mut exec_epochs = Vec::with_capacity(on_media);
+        let mut applied: Vec<(u64, u64)> = Vec::new();
+        let mut total_entries = 0u64;
+        let mut total_bytes = 0u64;
+        for d in 0..on_media {
+            // 1. Record this shard's failed epoch.
+            let failed_epoch = arena.pread_u64(superblock::domain_cur_epoch_off(d)).max(1);
+            superblock::record_failed_epoch_for(arena, d, failed_epoch)?;
+            let failed = superblock::failed_epochs_for(arena, d);
+
+            // 2. Replay the shard's contiguous failed run ending at the
+            //    crash, from its own log buffers, filtered by its tag.
+            let mut min = failed_epoch;
+            while min > 1 && failed.contains(&(min - 1)) {
+                min -= 1;
+            }
+            let replay = log.replay_domain(d, min, failed_epoch);
+            total_entries += replay.entries_applied;
+            total_bytes += replay.bytes_applied;
+            applied.extend(replay.applied);
+            per_shard.push(ShardReplay {
+                shard: d,
+                replayed_entries: replay.entries_applied,
+                replayed_bytes: replay.bytes_applied,
+                failed_epoch,
+                recovered_epoch: failed_epoch + 1,
+            });
+            failed_sets.push(failed);
+            exec_epochs.push(failed_epoch + 1);
+        }
         // Structural post-pass: parent pointers are not individually
         // logged (see `tree.rs::split_interior`); the restored interior
         // images are the ground truth for child membership, so re-derive
         // every child's parent word from them. Idempotent, unordered.
-        for &(target, len) in &replay.applied {
+        for &(target, len) in &applied {
             if len == crate::layout::NODE_BYTES as u64 {
                 let m = arena.pread_u64(target + crate::layout::OFF_META);
                 if m & crate::layout::meta::IS_LEAF == 0 {
@@ -135,41 +180,31 @@ impl DurableMasstree {
         }
         let replay_time = t0.elapsed();
 
-        // 3. Restart the epochs durably past the failure.
-        let exec = failed_epoch + 1;
-        let mgr = EpochManager::new(arena.clone(), EpochOptions::durable());
-        mgr.restart_at(exec);
+        // 3. Restart each shard's epochs durably past its own failure.
+        let mgr = EpochManager::with_domains(arena.clone(), EpochOptions::durable(), on_media);
+        for (d, &exec) in exec_epochs.iter().enumerate() {
+            mgr.restart_domain_at(d, exec);
+        }
 
-        // 4. Allocator repair.
-        let alloc = PAlloc::open(arena, exec);
+        // 4. Allocator repair, per domain.
+        let alloc = PAlloc::open_sharded(arena, &exec_epochs);
 
-        // Attribute replay work per shard from the entry tags. Every shard
-        // rolled back to the same boundary — the failed-epoch set and the
-        // epoch restart above are global — so shards with no entries still
-        // get a (zeroed) row.
-        let per_shard: Vec<ShardReplay> = (0..on_media)
-            .map(|s| {
-                let counts = replay
-                    .per_tag
-                    .iter()
-                    .find(|t| t.tag as usize == s)
-                    .copied()
-                    .unwrap_or_default();
-                ShardReplay {
-                    shard: s,
-                    replayed_entries: counts.entries,
-                    replayed_bytes: counts.bytes,
-                }
-            })
-            .collect();
-
+        let report = RecoveryReport {
+            created: false,
+            failed_epoch: per_shard[0].failed_epoch,
+            failed_epochs: failed_sets[0].clone(),
+            replayed_entries: total_entries,
+            replayed_bytes: total_bytes,
+            replay_time,
+            per_shard,
+        };
         let tree = DurableMasstree::from_inner(Arc::new(Inner {
             arena: arena.clone(),
             mgr,
             alloc,
             log,
-            failed: failed.clone(),
-            exec_epoch: exec,
+            failed: failed_sets,
+            exec_epochs,
             rec_locks: (0..crate::tree::REC_LOCKS)
                 .map(|_| Mutex::new(()))
                 .collect(),
@@ -177,15 +212,6 @@ impl DurableMasstree {
             shard_count: on_media,
         }));
         tree.attach_hooks();
-        let report = RecoveryReport {
-            created: false,
-            failed_epoch,
-            failed_epochs: failed,
-            replayed_entries: replay.entries_applied,
-            replayed_bytes: replay.bytes_applied,
-            replay_time,
-            per_shard,
-        };
         Ok((tree, report))
     }
 }

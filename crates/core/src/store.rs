@@ -17,9 +17,11 @@
 //! * **Scans** — callback ([`Store::scan`]) and iterator
 //!   ([`Store::range`], [`Store::iter`]) forms, both in global key order.
 //! * **Sharding** — [`Options::shards`] hash partitions the keyspace over
-//!   N independent durable trees under one epoch domain: point ops route
-//!   by key hash, scans k-way merge, checkpoints and crash recovery cover
-//!   every shard at the same boundary.
+//!   N independent durable trees, **each with its own epoch domain**:
+//!   point ops route by key hash, scans k-way merge, and every shard
+//!   checkpoints ([`Store::checkpoint_shard`]) and crash-recovers on its
+//!   own cadence ([`Store::checkpoint`] remains the all-shards barrier).
+//!   See the crate docs' "crash semantics under independent cadences".
 //!
 //! ```
 //! use incll_pmem::PArena;
@@ -91,7 +93,7 @@ impl Options {
     }
 
     /// Keyspace shard count: the store holds `shards` independent durable
-    /// trees under one epoch domain, and routes every operation by key
+    /// trees, one epoch domain each, and routes every operation by key
     /// hash. Must be a power of two in
     /// `1..=`[`incll_pmem::superblock::MAX_SHARDS`]; the default 1
     /// reproduces the unsharded layout and behavior exactly.
@@ -154,9 +156,17 @@ impl Session {
         self.tid
     }
 
-    /// Pins the current epoch for a multi-operation sequence.
+    /// Pins shard 0's epoch domain for a multi-operation sequence. Each
+    /// shard checkpoints independently; use [`Session::pin_shard`] (with
+    /// [`Store::shard_of`]) to hold a specific shard's boundary.
     pub fn pin(&self) -> Guard<'_> {
         self.ctx.pin()
+    }
+
+    /// Pins shard `shard`'s epoch domain: that shard cannot take a
+    /// checkpoint while the guard lives.
+    pub fn pin_shard(&self, shard: usize) -> Guard<'_> {
+        self.ctx.pin_shard(shard)
     }
 
     /// The mid-level per-thread context — an **unstable escape hatch** for
@@ -192,9 +202,11 @@ impl std::fmt::Debug for Session {
 /// partitioned over that many independent durable trees. Point operations
 /// route by key hash; [`Store::scan`], [`Store::range`] and [`Store::iter`]
 /// merge the per-shard trees lazily into one globally key-ordered stream.
-/// All shards share one epoch domain: a [`Store::checkpoint`] (or the
-/// background driver) makes every shard durable at the same boundary, and
-/// a crash rolls every shard back to that same boundary.
+/// Every shard is its **own epoch domain**: [`Store::checkpoint_shard`]
+/// (or a per-domain driver cadence) makes one shard durable, stalling
+/// only sessions pinned in it, and a crash rolls each shard back to its
+/// own last completed boundary. [`Store::checkpoint`] is the all-domains
+/// barrier yielding one common cross-shard point-in-time.
 #[derive(Clone)]
 pub struct Store {
     /// One handle per shard; `shards[0]` doubles as the lifecycle handle
@@ -303,6 +315,33 @@ impl Store {
         self.route(key).get_bytes(&sess.ctx, key)
     }
 
+    /// Looks up `key`, writing its value into `out` (cleared first) and
+    /// returning whether the key was present. The allocation-free twin of
+    /// [`Store::get`]: the caller's buffer (and its capacity) is reused
+    /// across lookups, eliminating the per-`get` allocation on byte-value
+    /// hot paths.
+    ///
+    /// ```
+    /// # use incll_pmem::PArena;
+    /// # use incll::{Options, Store};
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// # let arena = PArena::builder().capacity_bytes(16 << 20).build()?;
+    /// # let (store, _) = Store::open(&arena, Options::new().threads(1)
+    /// #     .log_bytes_per_thread(1 << 20))?;
+    /// # let sess = store.session()?;
+    /// store.put(&sess, b"k", b"value bytes")?;
+    /// let mut buf = Vec::new();
+    /// assert!(store.get_into(&sess, b"k", &mut buf));
+    /// assert_eq!(&buf, b"value bytes");
+    /// assert!(!store.get_into(&sess, b"missing", &mut buf));
+    /// assert!(buf.is_empty());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn get_into(&self, sess: &Session, key: &[u8], out: &mut Vec<u8>) -> bool {
+        self.route(key).get_bytes_into(&sess.ctx, key, out)
+    }
+
     /// Removes `key`, returning whether it was present.
     pub fn remove(&self, sess: &Session, key: &[u8]) -> bool {
         self.route(key).remove(&sess.ctx, key)
@@ -400,13 +439,32 @@ impl Store {
     // Lifecycle & introspection
     // ==================================================================
 
-    /// Takes a checkpoint now: everything written so far — across **all**
-    /// shards — survives any later crash. Returns the new epoch. The one
-    /// shared epoch manager flushes every shard at the same boundary;
-    /// there is no per-shard checkpoint state to diverge. (Background
-    /// cadence: [`incll_epoch::AdvanceDriver`] on [`Store::epoch_manager`].)
+    /// Takes a checkpoint of **every** shard now (the all-domains
+    /// barrier): everything written so far — on every shard — survives
+    /// any later crash. Advances each shard's epoch domain in shard
+    /// order; returns shard 0's new epoch.
+    ///
+    /// For a scoped checkpoint that stalls only one shard's sessions, use
+    /// [`Store::checkpoint_shard`]. (Background cadence:
+    /// [`incll_epoch::AdvanceDriver`] — per-domain cadences via
+    /// [`incll_epoch::AdvanceDriver::spawn_per_domain`] — on
+    /// [`Store::epoch_manager`].)
     pub fn checkpoint(&self) -> u64 {
         self.shards[0].epoch_manager().advance()
+    }
+
+    /// Takes a checkpoint of shard `shard` only: everything written to
+    /// **that shard** so far survives any later crash, and only sessions
+    /// currently operating in that shard are (briefly) stalled. Other
+    /// shards' epochs, logs and in-flight work are untouched. Returns the
+    /// shard's new epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= self.shard_count()`.
+    pub fn checkpoint_shard(&self, shard: usize) -> u64 {
+        assert!(shard < self.shards.len(), "shard out of range");
+        self.shards[0].epoch_manager().advance_domain(shard)
     }
 
     /// The epoch authority driving fine-grain checkpoints (shared by every

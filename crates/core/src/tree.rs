@@ -26,7 +26,7 @@ use incll_epoch::{EpochManager, EpochOptions, Guard, ThreadHandle};
 use incll_extlog::ExtLog;
 use incll_masstree::key::{entry_cmp, ikey_bytes, search_klenx, KeyCursor, KLEN_LAYER};
 use incll_palloc::PAlloc;
-use incll_pmem::{superblock, PArena};
+use incll_pmem::{superblock, FlushDomainScope, PArena};
 
 use crate::error::{Error, MAX_VALUE_BYTES};
 use crate::layout::{
@@ -59,7 +59,7 @@ pub struct DurableConfig {
     pub log_bytes_per_thread: usize,
     /// `false` selects the paper's LOGGING ablation: external log only.
     pub incll_enabled: bool,
-    /// Keyspace shards: independent tree roots under the one epoch domain
+    /// Keyspace shards: independent tree roots, one epoch domain each
     /// (power of two, `1..=`[`superblock::MAX_SHARDS`]). Fixed at create;
     /// opens must pass the created value.
     pub shards: usize,
@@ -99,10 +99,18 @@ impl DCtx {
         self.tid
     }
 
-    /// Pins the current epoch (exposed for multi-op transactions in
-    /// examples/benchmarks).
+    /// Pins shard 0's epoch domain (exposed for multi-op transactions in
+    /// examples/benchmarks). On a sharded store each shard advances
+    /// independently; pin the shard you operate in with
+    /// [`DCtx::pin_shard`].
     pub fn pin(&self) -> Guard<'_> {
         self.handle.pin()
+    }
+
+    /// Pins shard `shard`'s epoch domain: that shard cannot checkpoint
+    /// while the guard lives.
+    pub fn pin_shard(&self, shard: usize) -> Guard<'_> {
+        self.handle.pin_domain(shard)
     }
 }
 
@@ -117,13 +125,17 @@ pub(crate) struct Inner {
     pub(crate) mgr: EpochManager,
     pub(crate) alloc: PAlloc,
     pub(crate) log: ExtLog,
-    /// Durable failed-epoch set, loaded at open (empty on a fresh create).
-    pub(crate) failed: Vec<u64>,
-    /// First epoch of this execution; nodes stamped older need recovery.
-    pub(crate) exec_epoch: u64,
+    /// Durable failed-epoch set **per shard**, loaded at open (empty on a
+    /// fresh create). Shard `s`'s nodes are only ever rolled back against
+    /// `failed[s]` — each shard crashes and recovers on its own timeline.
+    pub(crate) failed: Vec<Vec<u64>>,
+    /// First epoch of each shard's current execution; nodes stamped older
+    /// than their shard's entry need lazy recovery.
+    pub(crate) exec_epochs: Vec<u64>,
     pub(crate) rec_locks: Vec<Mutex<()>>,
     pub(crate) incll_enabled: bool,
-    /// Keyspace shards sharing this state (trees, allocator, log, epochs).
+    /// Keyspace shards sharing this state (allocator, log; one epoch
+    /// domain and one tree root per shard).
     pub(crate) shard_count: usize,
 }
 
@@ -135,18 +147,25 @@ pub(crate) struct Inner {
 /// # Sharding
 ///
 /// A store formatted with more than one shard holds that many independent
-/// tree roots over shared plumbing (one allocator, one external log, one
-/// epoch domain). A `DurableMasstree` handle speaks to **one** shard's
-/// tree — constructors return the shard-0 handle; [`DurableMasstree::shard`]
-/// derives handles for the others. Key routing lives a level up, in
-/// [`crate::Store`]; at this level the caller owns placement.
+/// tree roots, each with its **own epoch domain** — its own counter,
+/// advance cadence, log buffers, allocator lists and failed-epoch set —
+/// over one shared arena. A `DurableMasstree` handle speaks to **one**
+/// shard's tree: its operations pin that shard's domain and its writes
+/// land in that shard's persistence scope. Constructors return the
+/// shard-0 handle; [`DurableMasstree::shard`] derives handles for the
+/// others. Key routing lives a level up, in [`crate::Store`]; at this
+/// level the caller owns placement.
 #[derive(Clone)]
 pub struct DurableMasstree {
     pub(crate) inner: Arc<Inner>,
     /// Superblock offset of this handle's root-holder cell.
     root_holder: u64,
-    /// The shard this handle is rooted in (tags its log entries).
+    /// The shard this handle is rooted in: its epoch domain, its log
+    /// buffers, its allocator lists.
     shard_id: usize,
+    /// Cached `inner.exec_epochs[shard_id]` (the `maybe_recover` hot-path
+    /// comparison must not chase a Vec).
+    exec_epoch: u64,
 }
 
 enum Search {
@@ -187,9 +206,16 @@ impl DurableMasstree {
             "arena must be formatted before create"
         );
         crate::tree::validate_shard_count(config.shards)?;
-        let mgr = EpochManager::new(arena.clone(), EpochOptions::durable());
-        let alloc = PAlloc::create(arena, config.threads)?;
-        let log = ExtLog::create(arena, config.threads, config.log_bytes_per_thread)?;
+        // One epoch domain, one log buffer set and one allocator list set
+        // per shard: every shard checkpoints on its own timeline.
+        let mgr = EpochManager::with_domains(arena.clone(), EpochOptions::durable(), config.shards);
+        let alloc = PAlloc::create_sharded(arena, config.threads, config.shards)?;
+        let log = ExtLog::create_sharded(
+            arena,
+            config.threads,
+            config.log_bytes_per_thread,
+            config.shards,
+        )?;
         let epoch = mgr.current_epoch();
 
         let inner = Arc::new(Inner {
@@ -197,21 +223,20 @@ impl DurableMasstree {
             mgr,
             alloc,
             log,
-            failed: Vec::new(),
-            exec_epoch: arena.pread_u64(superblock::SB_EXEC_EPOCH).max(1),
+            failed: vec![Vec::new(); config.shards],
+            exec_epochs: vec![arena.pread_u64(superblock::SB_EXEC_EPOCH).max(1); config.shards],
             rec_locks: (0..REC_LOCKS).map(|_| Mutex::new(())).collect(),
             incll_enabled: config.incll_enabled,
             shard_count: config.shards,
         });
-        let tree = DurableMasstree {
-            inner,
-            root_holder: superblock::shard_root_holder(0),
-            shard_id: 0,
-        };
-        // One empty root leaf per shard, each behind its own holder cell.
+        let tree = Self::shard_handle(&inner, 0);
+        // One empty root leaf per shard, each behind its own holder cell,
+        // plus the shard's durable epoch-domain cell.
         for s in 0..config.shards {
             let root = tree.new_leaf(0, epoch, /*is_root*/ true, /*locked*/ false)?;
             arena.pwrite_u64(superblock::shard_root_holder(s), root);
+            arena.pwrite_u64(superblock::domain_cur_epoch_off(s), 1);
+            arena.pwrite_u64(superblock::domain_exec_epoch_off(s), 1);
         }
         arena.pwrite_u64(superblock::SB_SHARD_COUNT, config.shards as u64);
         arena.pwrite_u64(superblock::SB_TREE_META, 1);
@@ -243,11 +268,7 @@ impl DurableMasstree {
             "shard {i} out of range (store has {})",
             self.inner.shard_count
         );
-        DurableMasstree {
-            inner: Arc::clone(&self.inner),
-            root_holder: superblock::shard_root_holder(i),
-            shard_id: i,
-        }
+        Self::shard_handle(&self.inner, i)
     }
 
     /// The shard `key` routes to under the store-level hash partitioning
@@ -260,24 +281,62 @@ impl DurableMasstree {
     /// Wraps recovered shared state into the shard-0 handle (recovery's
     /// constructor; `create` builds its own).
     pub(crate) fn from_inner(inner: Arc<Inner>) -> Self {
-        DurableMasstree {
-            inner,
-            root_holder: superblock::shard_root_holder(0),
-            shard_id: 0,
-        }
+        Self::shard_handle(&inner, 0)
     }
 
     pub(crate) fn attach_hooks(&self) {
-        // Weak: the hook lives inside the epoch manager, which `Inner`
+        // Weak: the hooks live inside the epoch manager, which `Inner`
         // owns — a strong capture would cycle and leak the whole arena.
-        let weak = Arc::downgrade(&self.inner);
-        self.inner.mgr.add_advance_hook(Box::new(move |new_epoch| {
-            if let Some(inner) = weak.upgrade() {
-                // The preceding flush made all logged pre-images obsolete.
-                inner.log.reset();
-                inner.alloc.on_epoch_boundary(new_epoch);
-            }
-        }));
+        for d in 0..self.inner.shard_count {
+            // Pre-flush (quiesced, before the checkpoint flush): the
+            // failed-epoch-set compaction sweep. When shard `d` still has
+            // durable failed entries, eagerly lazy-recover every leaf of
+            // its tree and re-tag its allocator lists, so the flush that
+            // follows persists a state in which no node or header needs a
+            // rollback keyed to those entries.
+            let weak = Arc::downgrade(&self.inner);
+            self.inner.mgr.add_pre_flush_hook_on(
+                d,
+                Box::new(move |finishing_epoch| {
+                    if let Some(inner) = weak.upgrade() {
+                        if !superblock::failed_epochs_for(&inner.arena, d).is_empty() {
+                            DurableMasstree::shard_handle(&inner, d).sweep_recover();
+                            inner.alloc.normalize_lists(d, finishing_epoch);
+                        }
+                    }
+                }),
+            );
+            // Boundary (after the flush + durable epoch bump): discard the
+            // shard's undo log, release its pending frees, and prune the
+            // failed entries the sweep above made unreferenceable (every
+            // entry predates the epoch whose checkpoint just completed).
+            let weak = Arc::downgrade(&self.inner);
+            self.inner.mgr.add_advance_hook_on(
+                d,
+                Box::new(move |new_epoch| {
+                    if let Some(inner) = weak.upgrade() {
+                        // The preceding flush made all of this shard's
+                        // logged pre-images obsolete.
+                        inner.log.reset_domain(d);
+                        inner.alloc.on_domain_boundary(d, new_epoch);
+                        superblock::prune_failed_epochs(&inner.arena, d, new_epoch);
+                    }
+                }),
+            );
+        }
+    }
+
+    /// The one construction site for shard handles: derives the root
+    /// holder and the cached exec epoch from `shard` (every other
+    /// constructor delegates here so the caching invariant lives in one
+    /// place).
+    fn shard_handle(inner: &Arc<Inner>, shard: usize) -> DurableMasstree {
+        DurableMasstree {
+            inner: Arc::clone(inner),
+            root_holder: superblock::shard_root_holder(shard),
+            shard_id: shard,
+            exec_epoch: inner.exec_epochs[shard],
+        }
     }
 
     /// The epoch manager (drive it with
@@ -323,19 +382,54 @@ impl DurableMasstree {
     // Public operations
     // ==================================================================
 
+    /// Pins this handle's shard domain and enters its flush scope (ops on
+    /// shard `s` stall only behind shard `s`'s advances, and their writes
+    /// are covered by shard `s`'s scoped checkpoint flush).
+    #[inline]
+    fn enter<'c>(&self, ctx: &'c DCtx) -> (Guard<'c>, FlushDomainScope) {
+        (
+            ctx.handle.pin_domain(self.shard_id),
+            FlushDomainScope::enter(self.shard_id as u16),
+        )
+    }
+
+    /// [`DurableMasstree::enter`] for mutating operations: also stamps the
+    /// shard's domain dirty so lazily cadenced drivers checkpoint it.
+    #[inline]
+    fn enter_mut<'c>(&self, ctx: &'c DCtx) -> (Guard<'c>, FlushDomainScope) {
+        (
+            ctx.handle.pin_domain_mut(self.shard_id),
+            FlushDomainScope::enter(self.shard_id as u16),
+        )
+    }
+
     /// Looks up `key`, returning its `u64` payload
     /// (the [`DurableMasstree::put`] convenience encoding).
     pub fn get(&self, ctx: &DCtx, key: &[u8]) -> Option<u64> {
-        let _g = ctx.handle.pin();
+        let _g = self.enter(ctx);
         // SAFETY: guard pinned; offsets reachable from the root are nodes.
         unsafe { self.get_inner(key, read_value_u64) }
     }
 
     /// Looks up `key`, returning a copy of its byte-slice value.
     pub fn get_bytes(&self, ctx: &DCtx, key: &[u8]) -> Option<Vec<u8>> {
-        let _g = ctx.handle.pin();
+        let _g = self.enter(ctx);
         // SAFETY: as for `get`.
         unsafe { self.get_inner(key, read_value_bytes) }
+    }
+
+    /// Looks up `key`, appending its value to `out` (which is cleared
+    /// first). Returns whether the key was present. The allocation-free
+    /// twin of [`DurableMasstree::get_bytes`]: the caller's buffer is
+    /// reused across lookups.
+    pub fn get_bytes_into(&self, ctx: &DCtx, key: &[u8], out: &mut Vec<u8>) -> bool {
+        out.clear();
+        let _g = self.enter(ctx);
+        // SAFETY: as for `get`.
+        unsafe {
+            self.get_inner(key, |a, buf| read_value_bytes_into(a, buf, out))
+                .is_some()
+        }
     }
 
     /// Inserts or updates `key` with a `u64` payload (stored little-endian
@@ -351,7 +445,7 @@ impl DurableMasstree {
     /// Panics when the arena is exhausted (use
     /// [`DurableMasstree::put_bytes`] for the error-returning form).
     pub fn put(&self, ctx: &DCtx, key: &[u8], val: u64) -> Option<u64> {
-        let g = ctx.handle.pin();
+        let (g, _s) = self.enter_mut(ctx);
         let epoch = g.epoch();
         // SAFETY: as for `get`.
         unsafe { self.put_inner(ctx, epoch, key, &val.to_le_bytes(), read_value_u64) }
@@ -379,7 +473,7 @@ impl DurableMasstree {
                 max: MAX_VALUE_BYTES,
             });
         }
-        let g = ctx.handle.pin();
+        let (g, _s) = self.enter_mut(ctx);
         let epoch = g.epoch();
         // SAFETY: as for `get`.
         unsafe { self.put_inner(ctx, epoch, key, val, read_value_bytes) }
@@ -387,7 +481,7 @@ impl DurableMasstree {
 
     /// Removes `key`, returning whether it was present.
     pub fn remove(&self, ctx: &DCtx, key: &[u8]) -> bool {
-        let g = ctx.handle.pin();
+        let (g, _s) = self.enter_mut(ctx);
         let epoch = g.epoch();
         // SAFETY: as for `get`.
         unsafe { self.remove_inner(ctx, epoch, key) }
@@ -434,7 +528,7 @@ impl DurableMasstree {
         if limit == 0 {
             return 0;
         }
-        let _g = ctx.handle.pin();
+        let _g = self.enter(ctx);
         let mut remaining = limit;
         let mut prefix = Vec::with_capacity(start.len() + 8);
         // SAFETY: as for `get`.
@@ -462,7 +556,10 @@ impl DurableMasstree {
         locked: bool,
     ) -> Result<u64, incll_palloc::Error> {
         let a = &self.inner.arena;
-        let off = self.inner.alloc.alloc_aligned64(tid, epoch, NODE_BYTES)?;
+        let off = self
+            .inner
+            .alloc
+            .alloc_aligned64_in(tid, self.shard_id, epoch, NODE_BYTES)?;
         let mut vflags = pv::IS_LEAF;
         let mut mflags = meta::IS_LEAF | meta::INS_ALLOWED | meta::LOGGED;
         if is_root {
@@ -494,7 +591,10 @@ impl DurableMasstree {
         locked: bool,
     ) -> Result<u64, incll_palloc::Error> {
         let a = &self.inner.arena;
-        let off = self.inner.alloc.alloc_aligned64(tid, epoch, NODE_BYTES)?;
+        let off = self
+            .inner
+            .alloc
+            .alloc_aligned64_in(tid, self.shard_id, epoch, NODE_BYTES)?;
         let mut vflags = 0;
         let mut mflags = meta::LOGGED;
         if is_root {
@@ -512,12 +612,14 @@ impl DurableMasstree {
     // The InCLL engine (Listing 3)
     // ==================================================================
 
-    /// Logs the leaf image externally (sealed before return), tagged with
-    /// this handle's shard so recovery can attribute replay work.
+    /// Logs the leaf image externally (sealed before return) into this
+    /// shard's (thread, domain) buffer, tagged with the shard id, so the
+    /// shard's recovery replays — and its boundary discards — exactly its
+    /// own entries.
     fn log_node(&self, tid: usize, epoch: u64, node: u64) {
         self.inner
             .log
-            .log_object_tagged(tid, epoch, node, NODE_BYTES, self.shard_id as u16);
+            .log_object_in(tid, self.shard_id, epoch, node, NODE_BYTES);
     }
 
     /// `InCLL()` for permutation-only mutations (insert/remove).
@@ -619,13 +721,9 @@ impl DurableMasstree {
     fn log_holder(&self, tid: usize, epoch: u64, holder: u64) {
         let a = &self.inner.arena;
         if a.pread_u64(holder + 8) != epoch {
-            self.inner.log.log_object_tagged(
-                tid,
-                epoch,
-                holder,
-                HOLDER_BYTES,
-                self.shard_id as u16,
-            );
+            self.inner
+                .log
+                .log_object_in(tid, self.shard_id, epoch, holder, HOLDER_BYTES);
             a.pwrite_u64_release(holder + 8, epoch);
         }
     }
@@ -648,11 +746,13 @@ impl DurableMasstree {
     // ==================================================================
 
     /// Recovery check on every node access: nodes stamped before this
-    /// execution are repaired in place before use.
+    /// shard's execution are repaired in place before use (against this
+    /// shard's failed-epoch set — each shard rolls back to its own
+    /// boundary).
     #[inline]
     pub(crate) fn maybe_recover(&self, node: u64) {
         let m = self.inner.arena.pread_u64(node + OFF_META);
-        if meta::epoch(m) >= self.inner.exec_epoch {
+        if meta::epoch(m) >= self.exec_epoch {
             return;
         }
         self.recover_node_slow(node);
@@ -662,16 +762,18 @@ impl DurableMasstree {
     fn recover_node_slow(&self, node: u64) {
         let inner = &self.inner;
         let a = &inner.arena;
+        let failed = &inner.failed[self.shard_id];
+        let exec_epoch = self.exec_epoch;
         let _g = inner.rec_locks[(node as usize >> 6) % REC_LOCKS].lock();
         let m = a.pread_u64(node + OFF_META);
         let node_epoch = meta::epoch(m);
-        if node_epoch >= inner.exec_epoch {
+        if node_epoch >= exec_epoch {
             return; // someone else repaired it while we waited
         }
         let is_leaf = m & meta::IS_LEAF != 0;
         if is_leaf {
             // InCLLp: roll the permutation back to the epoch start.
-            if inner.failed.contains(&node_epoch) {
+            if failed.contains(&node_epoch) {
                 let logged = a.pread_u64(node + OFF_PERM_INCLL);
                 a.pwrite_u64(node + OFF_PERM, logged);
             }
@@ -689,11 +791,11 @@ impl DurableMasstree {
                 let idx = val_incll::idx(w);
                 if idx != val_incll::INVALID_IDX && idx < LEAF_WIDTH {
                     let e = val_incll::full_epoch(w, node_epoch);
-                    if inner.failed.contains(&e) {
+                    if failed.contains(&e) {
                         a.pwrite_u64(node + off_val(idx), val_incll::ptr(w));
                     }
                 }
-                a.pwrite_u64_release(node + incll, val_incll::invalid(inner.exec_epoch as u16));
+                a.pwrite_u64_release(node + incll, val_incll::invalid(exec_epoch as u16));
             }
             a.stats().add_lazy_recovered();
         }
@@ -713,8 +815,61 @@ impl DurableMasstree {
         let kind = m & (meta::IS_LEAF | meta::IS_ROOT);
         a.pwrite_u64_release(
             node + OFF_META,
-            meta::with_epoch(kind | meta::INS_ALLOWED, inner.exec_epoch),
+            meta::with_epoch(kind | meta::INS_ALLOWED, exec_epoch),
         );
+    }
+
+    /// Eagerly lazy-recovers **every** leaf of this shard's tree (layer
+    /// roots included) — the failed-epoch-set compaction sweep. Runs in
+    /// the shard's pre-flush advance hook, with the shard's threads
+    /// quiesced, so no pins or version validation are needed; after the
+    /// checkpoint flush that follows, no durable node of this shard still
+    /// references an old failed epoch and the shard's set can be pruned.
+    pub(crate) fn sweep_recover(&self) {
+        // SAFETY: quiesced advance context — this shard has no concurrent
+        // mutators, and holders reachable from the root are live.
+        unsafe { self.sweep_layer_quiesced(self.root_holder) }
+    }
+
+    unsafe fn sweep_layer_quiesced(&self, holder: u64) {
+        unsafe {
+            let a = &self.inner.arena;
+            let mut n = a.pread_u64(holder);
+            if n == 0 {
+                return;
+            }
+            // Descend to the leftmost leaf, repairing interiors on the way.
+            loop {
+                self.maybe_recover(n);
+                let m = a.pread_u64(n + OFF_META);
+                if m & meta::IS_LEAF != 0 {
+                    break;
+                }
+                let child = a.pread_u64(n + off_int_child(0));
+                if child == 0 {
+                    return;
+                }
+                n = child;
+            }
+            // Walk the leaf chain, recursing into sub-layers.
+            let mut lf = n;
+            loop {
+                self.maybe_recover(lf);
+                let perm = self.perm_of(lf);
+                for pos in 0..perm.len() {
+                    let slot = perm.slot_at(pos);
+                    if self.klenx_at(lf, slot) == KLEN_LAYER {
+                        // The slot's value is the sub-layer's holder cell.
+                        self.sweep_layer_quiesced(a.pread_u64(lf + off_val(slot)));
+                    }
+                }
+                let next = a.pread_u64(lf + OFF_NEXT);
+                if next == 0 {
+                    return;
+                }
+                lf = next;
+            }
+        }
     }
 
     // ==================================================================
@@ -823,7 +978,11 @@ impl DurableMasstree {
     // get
     // ==================================================================
 
-    unsafe fn get_inner<R>(&self, key: &[u8], read: impl Fn(&PArena, u64) -> R) -> Option<R> {
+    unsafe fn get_inner<R>(
+        &self,
+        key: &[u8],
+        mut read: impl FnMut(&PArena, u64) -> R,
+    ) -> Option<R> {
         unsafe {
             let a = &self.inner.arena;
             let mut cur = KeyCursor::new(key);
@@ -886,10 +1045,10 @@ impl DurableMasstree {
 
     /// Allocates a fresh length-prefixed value buffer holding `data`.
     fn new_value_buf(&self, tid: usize, epoch: u64, data: &[u8]) -> Result<u64, Error> {
-        let buf = self
-            .inner
-            .alloc
-            .alloc(tid, epoch, value_buf_size(data.len()))?;
+        let buf =
+            self.inner
+                .alloc
+                .alloc_in(tid, self.shard_id, epoch, value_buf_size(data.len()))?;
         // Plain stores, no flush: the checkpoint flush persists contents,
         // and a crash reverts both the buffer and every reference (§5).
         self.inner.arena.pwrite_u64(buf, data.len() as u64);
@@ -903,7 +1062,9 @@ impl DurableMasstree {
     /// during the following epoch).
     fn free_value_buf(&self, tid: usize, epoch: u64, buf: u64) {
         let len = self.inner.arena.pread_u64(buf) as usize;
-        self.inner.alloc.free(tid, epoch, buf, value_buf_size(len));
+        self.inner
+            .alloc
+            .free_in(tid, self.shard_id, epoch, buf, value_buf_size(len));
     }
 
     unsafe fn put_inner<R>(
@@ -1047,7 +1208,10 @@ impl DurableMasstree {
         self.set_klenx(leaf, slot, klenx);
         a.pwrite_u64(leaf + off_val(slot), val);
         a.pwrite_u64_release(leaf + OFF_PERM, perm.raw());
-        let holder = self.inner.alloc.alloc(tid, epoch, HOLDER_BYTES)?;
+        let holder = self
+            .inner
+            .alloc
+            .alloc_in(tid, self.shard_id, epoch, HOLDER_BYTES)?;
         a.pwrite_u64(holder, leaf);
         // Fresh holder: tag it as already logged this epoch (a crash
         // reverts the whole allocation, so no pre-image is needed).
@@ -1500,12 +1664,22 @@ pub(crate) fn read_value_bytes(a: &PArena, buf: u64) -> Vec<u8> {
     out
 }
 
+/// Appends a buffer's payload to `out` (the allocation-free read path:
+/// `out`'s capacity is the caller's to reuse).
+pub(crate) fn read_value_bytes_into(a: &PArena, buf: u64, out: &mut Vec<u8>) {
+    let len = a.pread_u64(buf) as usize;
+    debug_assert!(len <= MAX_VALUE_BYTES, "corrupt value-buffer length");
+    let start = out.len();
+    out.resize(start + len, 0);
+    a.pread_bytes(buf + 8, &mut out[start..]);
+}
+
 impl std::fmt::Debug for DurableMasstree {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DurableMasstree")
-            .field("exec_epoch", &self.inner.exec_epoch)
+            .field("exec_epoch", &self.exec_epoch)
             .field("incll_enabled", &self.inner.incll_enabled)
-            .field("failed_epochs", &self.inner.failed.len())
+            .field("failed_epochs", &self.inner.failed[self.shard_id].len())
             .field("shard", &self.shard_id)
             .field("shard_count", &self.inner.shard_count)
             .finish()

@@ -36,8 +36,41 @@ pub struct AdvanceDriver {
     thread: Option<JoinHandle<()>>,
 }
 
+/// One domain's cadence in a per-domain driver
+/// ([`AdvanceDriver::spawn_per_domain`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DomainCadence {
+    /// Target time between this domain's advances.
+    pub interval: Duration,
+    /// Skip an advance when the domain saw no pins since its last one
+    /// (the dirty-work heuristic: a clean domain has nothing to flush and
+    /// nothing new to checkpoint, so stalling its — nonexistent — writers
+    /// buys nothing). The skipped tick still reschedules normally.
+    pub skip_clean: bool,
+}
+
+impl DomainCadence {
+    /// A cadence advancing every `interval`, skipping clean domains.
+    pub fn lazy(interval: Duration) -> Self {
+        DomainCadence {
+            interval,
+            skip_clean: true,
+        }
+    }
+
+    /// A cadence advancing every `interval` unconditionally.
+    pub fn eager(interval: Duration) -> Self {
+        DomainCadence {
+            interval,
+            skip_clean: false,
+        }
+    }
+}
+
 impl AdvanceDriver {
-    /// Spawns a driver advancing `mgr` every `interval`.
+    /// Spawns a driver advancing every domain of `mgr` (in index order)
+    /// every `interval` — the single global cadence. For independent
+    /// per-domain cadences see [`AdvanceDriver::spawn_per_domain`].
     pub fn spawn(mgr: EpochManager, interval: Duration) -> Self {
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = stop.clone();
@@ -59,6 +92,58 @@ impl AdvanceDriver {
                         std::thread::park_timeout(deadline - now);
                     }
                     mgr.advance();
+                }
+            })
+            .expect("spawn epoch driver");
+        AdvanceDriver {
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    /// Spawns a driver scheduling each domain on its **own** cadence: a
+    /// hot shard can checkpoint every few milliseconds while cold shards
+    /// tick lazily (or, with [`DomainCadence::lazy`], not at all while
+    /// idle). One background thread serves every domain, always advancing
+    /// the earliest-deadline domain next.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cadences.len() != mgr.domains()`.
+    pub fn spawn_per_domain(mgr: EpochManager, cadences: Vec<DomainCadence>) -> Self {
+        assert_eq!(
+            cadences.len(),
+            mgr.domains(),
+            "one cadence per epoch domain"
+        );
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let thread = std::thread::Builder::new()
+            .name("incll-epoch-driver".into())
+            .spawn(move || {
+                let now = Instant::now();
+                let mut deadlines: Vec<Instant> =
+                    cadences.iter().map(|c| now + c.interval).collect();
+                loop {
+                    let (d, &deadline) = deadlines
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, t)| **t)
+                        .expect("at least one domain");
+                    loop {
+                        if stop2.load(Ordering::Acquire) {
+                            return;
+                        }
+                        let now = Instant::now();
+                        if now >= deadline {
+                            break;
+                        }
+                        std::thread::park_timeout(deadline - now);
+                    }
+                    if !cadences[d].skip_clean || mgr.domain_dirty(d) {
+                        mgr.advance_domain(d);
+                    }
+                    deadlines[d] = Instant::now() + cadences[d].interval;
                 }
             })
             .expect("spawn epoch driver");
@@ -160,6 +245,56 @@ mod tests {
             let _driver = AdvanceDriver::spawn(mgr, Duration::from_secs(60));
         }
         assert!(t0.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn per_domain_driver_runs_independent_cadences() {
+        let arena = PArena::builder().capacity_bytes(1 << 20).build().unwrap();
+        superblock::format(&arena);
+        let mgr = EpochManager::with_domains(arena, EpochOptions::durable(), 2);
+        // Domain 0 hot (2 ms, eager), domain 1 cold (lazy: skip while
+        // clean, so it must never advance — nothing ever pins it).
+        let driver = AdvanceDriver::spawn_per_domain(
+            mgr.clone(),
+            vec![
+                DomainCadence::eager(Duration::from_millis(2)),
+                DomainCadence::lazy(Duration::from_millis(2)),
+            ],
+        );
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while mgr.current_epoch_of(0) < 4 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        driver.stop();
+        assert!(mgr.current_epoch_of(0) >= 4, "hot domain must tick");
+        assert_eq!(
+            mgr.current_epoch_of(1),
+            1,
+            "clean lazy domain must be skipped"
+        );
+    }
+
+    #[test]
+    fn lazy_cadence_advances_once_dirty() {
+        let arena = PArena::builder().capacity_bytes(1 << 20).build().unwrap();
+        superblock::format(&arena);
+        let mgr = EpochManager::with_domains(arena, EpochOptions::durable(), 2);
+        let driver = AdvanceDriver::spawn_per_domain(
+            mgr.clone(),
+            vec![
+                DomainCadence::lazy(Duration::from_millis(2)),
+                DomainCadence::lazy(Duration::from_millis(2)),
+            ],
+        );
+        let h = mgr.register();
+        drop(h.pin_domain_mut(1)); // dirty domain 1 only
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while mgr.current_epoch_of(1) < 2 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        driver.stop();
+        assert!(mgr.current_epoch_of(1) >= 2, "dirty domain must advance");
+        assert_eq!(mgr.current_epoch_of(0), 1);
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Epoch management for fine-grain checkpointing.
+//! Epoch management for fine-grain checkpointing, organised as
+//! independent per-shard epoch **domains**.
 //!
 //! The paper partitions execution into short epochs (64 ms). At the start of
 //! each epoch every worker thread is briefly quiesced at a **global
@@ -9,16 +10,30 @@
 //! freed in epoch *e* may be reused from *e + 1* on, which is exactly the
 //! property the durable allocator's recovery argument needs (§5).
 //!
+//! A single-domain [`EpochManager`] (the default) is exactly that global
+//! epoch. With [`EpochManager::with_domains`], each keyspace shard gets
+//! its **own** counter, quiescence set, advance path and boundary hooks:
+//! advancing one domain quiesces only the threads pinned in it
+//! ([`ThreadHandle::pin_domain`]) and issues a *scoped* flush
+//! ([`incll_pmem::PArena::flush_domain`]) covering only that domain's
+//! dirty lines, so a hot shard can checkpoint on a tight cadence while
+//! cold shards idle — without ever stalling each other.
+//!
 //! This crate provides:
 //!
-//! * [`EpochManager`] — global epoch word, thread registration, the
-//!   Dekker-style pin/advance protocol, durable epoch recording, and
-//!   epoch-boundary hooks.
-//! * [`ThreadHandle`]/[`Guard`] — per-thread epoch pinning. Every data
-//!   structure operation runs inside a guard; the epoch cannot advance
-//!   while any guard is live.
-//! * [`AdvanceDriver`] — a background thread advancing the epoch on a
-//!   timer, like the paper's 64 ms cadence.
+//! * [`EpochManager`] — the domain array: per-domain epoch words, thread
+//!   registration, the Dekker-style pin/advance protocol, durable epoch
+//!   recording, boundary hooks, and pre-flush hooks (where failed-epoch
+//!   compaction sweeps run).
+//! * [`ThreadHandle`]/[`Guard`] — per-thread, per-domain epoch pinning.
+//!   Every data structure operation runs inside a guard; a domain cannot
+//!   advance while any of *its* guards is live. Mutating operations pin
+//!   with [`ThreadHandle::pin_domain_mut`], which feeds the dirty-work
+//!   heuristic ([`EpochManager::domain_dirty`]).
+//! * [`AdvanceDriver`] — a background thread advancing on a timer, like
+//!   the paper's 64 ms cadence; [`AdvanceDriver::spawn_per_domain`] gives
+//!   every domain an independent cadence ([`DomainCadence`]), optionally
+//!   skipping domains with no dirty work.
 //!
 //! # Example
 //!
@@ -44,7 +59,7 @@
 mod driver;
 mod manager;
 
-pub use driver::AdvanceDriver;
+pub use driver::{AdvanceDriver, DomainCadence};
 pub use manager::{AdvanceHook, EpochManager, EpochOptions, Guard, ThreadHandle};
 
 /// The paper's epoch length: 64 ms (Masstree's reclamation interval, §4).

@@ -3,7 +3,7 @@ use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
 
-use incll_pmem::{superblock, PArena};
+use incll_pmem::{superblock, FlushDomainScope, PArena};
 
 /// A callback run at every epoch boundary with the new epoch number.
 pub type AdvanceHook = Box<dyn Fn(u64) + Send + Sync>;
@@ -11,11 +11,14 @@ pub type AdvanceHook = Box<dyn Fn(u64) + Send + Sync>;
 /// What an [`EpochManager`] does at each epoch boundary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EpochOptions {
-    /// Flush the whole cache ([`PArena::global_flush`]) before bumping the
-    /// epoch — the checkpoint step. On for the durable system; off for the
-    /// MT+ baseline (which has the barrier but no persistence).
+    /// Flush at each advance — the checkpoint step. A single-domain
+    /// manager flushes the whole cache ([`PArena::global_flush`]); a
+    /// multi-domain manager issues a scoped flush
+    /// ([`PArena::flush_domain`]) covering only the advancing domain's
+    /// dirty lines (plus shared lines). On for the durable system; off for
+    /// the MT+ baseline (which has the barrier but no persistence).
     pub flush_on_advance: bool,
-    /// Persist the epoch counter in the superblock (`clwb` + `sfence`).
+    /// Persist the epoch counters in the superblock (`clwb` + `sfence`).
     /// On for the durable system; off for transient baselines.
     pub durable_epoch: bool,
 }
@@ -38,35 +41,59 @@ impl EpochOptions {
     }
 }
 
-/// Per-registered-thread state.
+/// Per-registered-thread state: one pin word per domain.
 ///
-/// `state` is 0 when the thread is quiescent (no live guard) and 1 when it
-/// is inside a guard; `dead` marks deregistered threads the advancer must
-/// skip.
-struct Slot {
-    state: AtomicU64,
+/// `states[d]` is 0 when the thread is quiescent in domain `d` (no live
+/// guard) and 1 when it is inside a guard; `wrote[d]` records the domain's
+/// advance sequence number at the thread's last **write** pin (the
+/// dirty-work signal — read pins leave nothing to checkpoint); `dead`
+/// marks deregistered threads the advancer must skip.
+struct SlotRow {
+    states: Vec<AtomicU64>,
+    wrote: Vec<AtomicU64>,
     dead: AtomicBool,
+}
+
+/// The per-domain half of the manager: its own epoch counter, quiescence
+/// flag, parking, advance serialisation, and hook lists.
+struct DomainState {
+    /// Source of truth for the running system; mirrors the durable counter.
+    epoch: AtomicU64,
+    /// First epoch of this execution (recovery sets it past failed epochs).
+    exec: AtomicU64,
+    /// Set while an advance is quiescing/working; gates `pin`.
+    advancing: AtomicBool,
+    /// Serialises this domain's advancers.
+    advance_lock: Mutex<()>,
+    /// Parking for threads that hit this domain's barrier mid-advance.
+    park_lock: Mutex<()>,
+    park_cv: Condvar,
+    /// Hooks run after quiescence but *before* the checkpoint flush, with
+    /// the finishing epoch (compaction sweeps live here: their writes are
+    /// covered by the very flush that follows).
+    pre_flush_hooks: Mutex<Vec<AdvanceHook>>,
+    /// Hooks run after the durable epoch bump, with the new epoch.
+    hooks: Mutex<Vec<AdvanceHook>>,
+    /// Completed advances of this domain (the dirty-work clock).
+    seq: AtomicU64,
 }
 
 struct Shared {
     arena: PArena,
-    /// Source of truth for the running system; mirrors the durable counter.
-    global_epoch: AtomicU64,
-    /// First epoch of this execution (recovery sets it past failed epochs).
-    exec_epoch: AtomicU64,
-    /// Set while an advance is quiescing/working; gates `pin`.
-    advancing: AtomicBool,
-    /// Serialises advancers.
-    advance_lock: Mutex<()>,
-    /// Parking for threads that hit the barrier mid-advance.
-    park_lock: Mutex<()>,
-    park_cv: Condvar,
-    slots: Mutex<Vec<Arc<Slot>>>,
-    hooks: Mutex<Vec<AdvanceHook>>,
+    domains: Vec<DomainState>,
+    slots: Mutex<Vec<Arc<SlotRow>>>,
     options: EpochOptions,
 }
 
-/// The global epoch authority (see crate docs).
+/// The epoch authority (see crate docs): an array of independent epoch
+/// **domains**, one per keyspace shard.
+///
+/// A single-domain manager (the default, [`EpochManager::new`]) behaves
+/// exactly like the paper's global epoch: one counter, one barrier, a
+/// whole-cache flush per advance. [`EpochManager::with_domains`] gives
+/// every shard its own counter, quiescence set and advance path, so a hot
+/// shard can checkpoint on a tight cadence while cold shards advance
+/// lazily — and an advance only stalls threads pinned in *that* domain.
 ///
 /// Cloneable handle; all clones share state.
 #[derive(Clone)]
@@ -75,32 +102,58 @@ pub struct EpochManager {
 }
 
 impl EpochManager {
-    /// Creates a manager over `arena`.
+    /// Creates a single-domain manager over `arena` (the paper's global
+    /// epoch).
     ///
     /// With [`EpochOptions::durable`] the starting epoch is read from the
     /// superblock (which must be formatted); otherwise it starts at 1.
     pub fn new(arena: PArena, options: EpochOptions) -> Self {
-        let start = if options.durable_epoch {
-            arena.pread_u64(superblock::SB_CUR_EPOCH).max(1)
-        } else {
-            1
-        };
-        let exec = if options.durable_epoch {
-            arena.pread_u64(superblock::SB_EXEC_EPOCH).max(1)
-        } else {
-            1
-        };
+        Self::with_domains(arena, options, 1)
+    }
+
+    /// Creates a manager with `domains` independent epoch domains.
+    ///
+    /// Domain `d`'s durable counters live in the superblock's domain table
+    /// (domain 0 on the legacy cells), so each domain restarts from its own
+    /// boundary after a crash.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domains` is 0 or exceeds
+    /// [`incll_pmem::superblock::MAX_SHARDS`].
+    pub fn with_domains(arena: PArena, options: EpochOptions, domains: usize) -> Self {
+        assert!(
+            (1..=superblock::MAX_SHARDS).contains(&domains),
+            "domain count {domains} out of range"
+        );
+        let states = (0..domains)
+            .map(|d| {
+                let (start, exec) = if options.durable_epoch {
+                    (
+                        arena.pread_u64(superblock::domain_cur_epoch_off(d)).max(1),
+                        arena.pread_u64(superblock::domain_exec_epoch_off(d)).max(1),
+                    )
+                } else {
+                    (1, 1)
+                };
+                DomainState {
+                    epoch: AtomicU64::new(start),
+                    exec: AtomicU64::new(exec),
+                    advancing: AtomicBool::new(false),
+                    advance_lock: Mutex::new(()),
+                    park_lock: Mutex::new(()),
+                    park_cv: Condvar::new(),
+                    pre_flush_hooks: Mutex::new(Vec::new()),
+                    hooks: Mutex::new(Vec::new()),
+                    seq: AtomicU64::new(0),
+                }
+            })
+            .collect();
         EpochManager {
             shared: Arc::new(Shared {
                 arena,
-                global_epoch: AtomicU64::new(start),
-                exec_epoch: AtomicU64::new(exec),
-                advancing: AtomicBool::new(false),
-                advance_lock: Mutex::new(()),
-                park_lock: Mutex::new(()),
-                park_cv: Condvar::new(),
+                domains: states,
                 slots: Mutex::new(Vec::new()),
-                hooks: Mutex::new(Vec::new()),
                 options,
             }),
         }
@@ -111,78 +164,142 @@ impl EpochManager {
         &self.shared.arena
     }
 
-    /// The current epoch number.
-    #[inline]
-    pub fn current_epoch(&self) -> u64 {
-        self.shared.global_epoch.load(Ordering::Acquire)
+    /// Number of epoch domains.
+    pub fn domains(&self) -> usize {
+        self.shared.domains.len()
     }
 
-    /// The first epoch of the current execution (`currExecEpoch` in
+    /// The current epoch of domain 0 (the whole manager's epoch when
+    /// single-domain).
+    #[inline]
+    pub fn current_epoch(&self) -> u64 {
+        self.current_epoch_of(0)
+    }
+
+    /// The current epoch of domain `d`.
+    #[inline]
+    pub fn current_epoch_of(&self, d: usize) -> u64 {
+        self.shared.domains[d].epoch.load(Ordering::Acquire)
+    }
+
+    /// The first epoch of domain 0's current execution (`currExecEpoch` in
     /// Listing 4). Nodes stamped with an older epoch need lazy recovery.
     #[inline]
     pub fn exec_epoch(&self) -> u64 {
-        self.shared.exec_epoch.load(Ordering::Acquire)
+        self.exec_epoch_of(0)
     }
 
-    /// Updates epoch state after recovery: the new execution starts at
-    /// `epoch`, durably recorded.
+    /// The first epoch of domain `d`'s current execution.
+    #[inline]
+    pub fn exec_epoch_of(&self, d: usize) -> u64 {
+        self.shared.domains[d].exec.load(Ordering::Acquire)
+    }
+
+    /// Updates every domain's epoch state after recovery to the same
+    /// `epoch` (single-domain convenience; per-shard recovery uses
+    /// [`EpochManager::restart_domain_at`] with each shard's own boundary).
     pub fn restart_at(&self, epoch: u64) {
+        for d in 0..self.domains() {
+            self.restart_domain_at(d, epoch);
+        }
+    }
+
+    /// Updates domain `d`'s epoch state after recovery: its new execution
+    /// starts at `epoch`, durably recorded.
+    pub fn restart_domain_at(&self, d: usize, epoch: u64) {
         let sh = &self.shared;
-        sh.global_epoch.store(epoch, Ordering::Release);
-        sh.exec_epoch.store(epoch, Ordering::Release);
+        let dom = &sh.domains[d];
+        dom.epoch.store(epoch, Ordering::Release);
+        dom.exec.store(epoch, Ordering::Release);
         if sh.options.durable_epoch {
-            sh.arena.pwrite_u64(superblock::SB_CUR_EPOCH, epoch);
-            sh.arena.pwrite_u64(superblock::SB_EXEC_EPOCH, epoch);
-            sh.arena.clwb(superblock::SB_CUR_EPOCH);
+            sh.arena
+                .pwrite_u64(superblock::domain_cur_epoch_off(d), epoch);
+            sh.arena
+                .pwrite_u64(superblock::domain_exec_epoch_off(d), epoch);
+            sh.arena.clwb(superblock::domain_cur_epoch_off(d));
+            sh.arena.clwb(superblock::domain_exec_epoch_off(d));
             sh.arena.sfence();
         }
     }
 
-    /// Registers the calling thread, returning its pinning handle.
+    /// Registers the calling thread, returning its pinning handle (valid
+    /// for every domain).
     pub fn register(&self) -> ThreadHandle {
-        let slot = Arc::new(Slot {
-            state: AtomicU64::new(0),
+        let n = self.domains();
+        let row = Arc::new(SlotRow {
+            states: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            // u64::MAX: "never wrote", distinct from any seq value.
+            wrote: (0..n).map(|_| AtomicU64::new(u64::MAX)).collect(),
             dead: AtomicBool::new(false),
         });
-        self.shared.slots.lock().push(slot.clone());
+        self.shared.slots.lock().push(row.clone());
         ThreadHandle {
             mgr: self.clone(),
-            slot,
-            depth: std::cell::Cell::new(0),
+            row,
+            depth: (0..n).map(|_| std::cell::Cell::new(0)).collect(),
         }
     }
 
-    /// Adds a hook run at every epoch boundary, after the flush and the
-    /// durable epoch bump, while all threads are quiesced. The argument is
-    /// the *new* epoch number.
+    /// Adds a hook run at every **domain-0** epoch boundary, after the
+    /// flush and the durable epoch bump, while that domain's threads are
+    /// quiesced. The argument is the *new* epoch number. (Per-domain
+    /// registration: [`EpochManager::add_advance_hook_on`].)
     pub fn add_advance_hook(&self, hook: AdvanceHook) {
-        self.shared.hooks.lock().push(hook);
+        self.add_advance_hook_on(0, hook);
     }
 
-    /// Advances to the next epoch: quiesce all threads → flush the cache
-    /// (checkpoint) → durably bump the epoch → run boundary hooks → resume.
+    /// Adds a boundary hook on domain `d`.
+    pub fn add_advance_hook_on(&self, d: usize, hook: AdvanceHook) {
+        self.shared.domains[d].hooks.lock().push(hook);
+    }
+
+    /// Adds a hook on domain `d` run at each of its advances *after*
+    /// quiescence but *before* the checkpoint flush, with the finishing
+    /// epoch number. Writes made here are covered by the flush that
+    /// immediately follows — the slot used by failed-epoch-set compaction
+    /// sweeps.
+    pub fn add_pre_flush_hook_on(&self, d: usize, hook: AdvanceHook) {
+        self.shared.domains[d].pre_flush_hooks.lock().push(hook);
+    }
+
+    /// Advances every domain in index order (domain 0 first), returning
+    /// domain 0's new epoch — the all-domains checkpoint barrier.
+    pub fn advance(&self) -> u64 {
+        let first = self.advance_domain(0);
+        for d in 1..self.domains() {
+            self.advance_domain(d);
+        }
+        first
+    }
+
+    /// Advances domain `d` to its next epoch: quiesce the threads pinned
+    /// in `d` → run `d`'s pre-flush hooks → flush (whole-cache when
+    /// single-domain, scoped to `d` otherwise) → durably bump `d`'s epoch
+    /// → run `d`'s boundary hooks → resume.
     ///
-    /// Returns the new epoch number.
+    /// Returns the domain's new epoch number. Threads pinned in *other*
+    /// domains are never stalled.
     ///
     /// # Deadlocks
     ///
-    /// Must not be called while the calling thread holds a [`Guard`]; the
-    /// advance waits for all guards to drop.
-    pub fn advance(&self) -> u64 {
+    /// Must not be called while the calling thread holds a [`Guard`] on
+    /// `d`; the advance waits for all of `d`'s guards to drop.
+    pub fn advance_domain(&self, d: usize) -> u64 {
         let sh = &self.shared;
-        let _adv = sh.advance_lock.lock();
+        let dom = &sh.domains[d];
+        let _adv = dom.advance_lock.lock();
 
         // Dekker-style handshake with `pin`: set the flag, then wait for
-        // every live slot to be quiescent.
-        sh.advancing.store(true, Ordering::SeqCst);
-        let slots: Vec<Arc<Slot>> = {
+        // every live slot to be quiescent in this domain.
+        dom.advancing.store(true, Ordering::SeqCst);
+        let slots: Vec<Arc<SlotRow>> = {
             let mut guard = sh.slots.lock();
             guard.retain(|s| !s.dead.load(Ordering::Acquire));
             guard.clone()
         };
         for slot in &slots {
             let mut spins = 0u32;
-            while slot.state.load(Ordering::SeqCst) != 0 {
+            while slot.states[d].load(Ordering::SeqCst) != 0 {
                 spins += 1;
                 if spins < 64 {
                     std::hint::spin_loop();
@@ -192,30 +309,59 @@ impl EpochManager {
             }
         }
 
-        // --- All threads quiesced: the checkpoint moment. ---
-        if sh.options.flush_on_advance {
-            // Everything written during the finishing epoch becomes durable.
-            sh.arena.global_flush();
+        // --- Domain quiesced: the checkpoint moment. Everything the
+        // hooks and the epoch bump write below belongs to this domain's
+        // persistence scope.
+        let _scope = FlushDomainScope::enter(d as u16);
+        let cur = dom.epoch.load(Ordering::Relaxed);
+        for hook in dom.pre_flush_hooks.lock().iter() {
+            hook(cur);
         }
-        let new_epoch = sh.global_epoch.load(Ordering::Relaxed) + 1;
+        if sh.options.flush_on_advance {
+            if sh.domains.len() == 1 {
+                // Single domain: the paper's whole-cache flush.
+                sh.arena.global_flush();
+            } else {
+                // Scoped: only lines dirtied under this domain (+ shared).
+                sh.arena.flush_domain(d as u16);
+            }
+        }
+        let new_epoch = cur + 1;
         if sh.options.durable_epoch {
             // The epoch only "completes" once the successor number is
-            // durable; a crash before this point rolls back to the previous
-            // boundary (conservative but consistent).
-            sh.arena.pwrite_u64(superblock::SB_CUR_EPOCH, new_epoch);
-            sh.arena.clwb(superblock::SB_CUR_EPOCH);
+            // durable; a crash before this point rolls this domain back to
+            // its previous boundary (conservative but consistent).
+            sh.arena
+                .pwrite_u64(superblock::domain_cur_epoch_off(d), new_epoch);
+            sh.arena.clwb(superblock::domain_cur_epoch_off(d));
             sh.arena.sfence();
         }
-        sh.global_epoch.store(new_epoch, Ordering::Release);
-        for hook in sh.hooks.lock().iter() {
+        dom.epoch.store(new_epoch, Ordering::Release);
+        for hook in dom.hooks.lock().iter() {
             hook(new_epoch);
         }
+        dom.seq.fetch_add(1, Ordering::Release);
 
-        // Resume the world.
-        sh.advancing.store(false, Ordering::SeqCst);
-        let _pl = sh.park_lock.lock();
-        sh.park_cv.notify_all();
+        // Resume this domain's world.
+        dom.advancing.store(false, Ordering::SeqCst);
+        let _pl = dom.park_lock.lock();
+        dom.park_cv.notify_all();
         new_epoch
+    }
+
+    /// Whether domain `d` has seen any **write** pin
+    /// ([`ThreadHandle::pin_domain_mut`]) since its last completed advance
+    /// — the dirty-work heuristic the driver uses to skip advancing clean
+    /// domains (a domain with no dirty lines has nothing to flush and
+    /// nothing new to checkpoint; read-only traffic never forces an
+    /// advance).
+    pub fn domain_dirty(&self, d: usize) -> bool {
+        let seq = self.shared.domains[d].seq.load(Ordering::Acquire);
+        let slots = self.shared.slots.lock();
+        slots
+            .iter()
+            .filter(|s| !s.dead.load(Ordering::Acquire))
+            .any(|s| s.wrote[d].load(Ordering::Relaxed) == seq)
     }
 
     /// Number of live registered threads (for diagnostics).
@@ -229,6 +375,7 @@ impl EpochManager {
 impl std::fmt::Debug for EpochManager {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EpochManager")
+            .field("domains", &self.domains())
             .field("epoch", &self.current_epoch())
             .field("exec_epoch", &self.exec_epoch())
             .field("options", &self.shared.options)
@@ -239,36 +386,69 @@ impl std::fmt::Debug for EpochManager {
 /// A registered thread's pinning handle. Not `Sync`: one per thread.
 pub struct ThreadHandle {
     mgr: EpochManager,
-    slot: Arc<Slot>,
-    /// Re-entrant pin depth (inner pins are free).
-    depth: std::cell::Cell<u32>,
+    row: Arc<SlotRow>,
+    /// Re-entrant pin depth per domain (inner pins are free).
+    depth: Vec<std::cell::Cell<u32>>,
 }
 
 impl ThreadHandle {
-    /// Pins the current epoch, blocking briefly if an advance is in
-    /// progress (the paper's per-epoch global barrier).
+    /// Pins domain 0's current epoch — the whole system's epoch on a
+    /// single-domain manager. See [`ThreadHandle::pin_domain`].
     #[inline]
     pub fn pin(&self) -> Guard<'_> {
-        if self.depth.get() == 0 {
+        self.pin_domain(0)
+    }
+
+    /// Pins domain `d`'s current epoch, blocking briefly if that domain's
+    /// advance is in progress (the per-epoch barrier, now scoped: only
+    /// this domain's advances ever stall this pin). For operations that
+    /// will *mutate* the domain, use [`ThreadHandle::pin_domain_mut`] so
+    /// the dirty-work heuristic sees the write.
+    #[inline]
+    pub fn pin_domain(&self, d: usize) -> Guard<'_> {
+        self.pin_inner(d, false)
+    }
+
+    /// [`ThreadHandle::pin_domain`] for a mutating operation: additionally
+    /// stamps the domain dirty, so a lazily cadenced driver
+    /// ([`crate::DomainCadence::lazy`]) knows the next advance has work.
+    #[inline]
+    pub fn pin_domain_mut(&self, d: usize) -> Guard<'_> {
+        self.pin_inner(d, true)
+    }
+
+    #[inline]
+    fn pin_inner(&self, d: usize, write: bool) -> Guard<'_> {
+        let dom = &self.mgr.shared.domains[d];
+        if self.depth[d].get() == 0 {
             loop {
                 // Announce activity first, then re-check the flag: the
                 // advancer uses the opposite order (SeqCst both sides).
-                self.slot.state.store(1, Ordering::SeqCst);
-                if !self.mgr.shared.advancing.load(Ordering::SeqCst) {
+                self.row.states[d].store(1, Ordering::SeqCst);
+                if !dom.advancing.load(Ordering::SeqCst) {
                     break;
                 }
                 // Barrier hit: step back and park until the advance ends.
-                self.slot.state.store(0, Ordering::SeqCst);
-                let mut pl = self.mgr.shared.park_lock.lock();
-                if self.mgr.shared.advancing.load(Ordering::SeqCst) {
-                    self.mgr.shared.park_cv.wait(&mut pl);
+                self.row.states[d].store(0, Ordering::SeqCst);
+                let mut pl = dom.park_lock.lock();
+                if dom.advancing.load(Ordering::SeqCst) {
+                    dom.park_cv.wait(&mut pl);
                 }
             }
         }
-        self.depth.set(self.depth.get() + 1);
+        if write {
+            // Even for nested pins: an inner write under an outer read
+            // guard must still mark the domain dirty.
+            let seq = dom.seq.load(Ordering::Acquire);
+            if self.row.wrote[d].load(Ordering::Relaxed) != seq {
+                self.row.wrote[d].store(seq, Ordering::Relaxed);
+            }
+        }
+        self.depth[d].set(self.depth[d].get() + 1);
         Guard {
             handle: self,
-            epoch: self.mgr.current_epoch(),
+            domain: d,
+            epoch: self.mgr.current_epoch_of(d),
         }
     }
 
@@ -280,23 +460,27 @@ impl ThreadHandle {
 
 impl Drop for ThreadHandle {
     fn drop(&mut self) {
-        self.slot.dead.store(true, Ordering::Release);
-        self.slot.state.store(0, Ordering::SeqCst);
+        self.row.dead.store(true, Ordering::Release);
+        for s in &self.row.states {
+            s.store(0, Ordering::SeqCst);
+        }
     }
 }
 
 impl std::fmt::Debug for ThreadHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ThreadHandle")
-            .field("pinned", &(self.depth.get() > 0))
+            .field("pinned", &self.depth.iter().any(|d| d.get() > 0))
             .finish()
     }
 }
 
-/// An epoch pin: while any guard is live the epoch cannot advance, so all
-/// reads/writes made under it belong to [`Guard::epoch`].
+/// An epoch pin on one domain: while any guard is live that domain's epoch
+/// cannot advance, so all reads/writes made under it belong to
+/// [`Guard::epoch`] of [`Guard::domain`].
 pub struct Guard<'h> {
     handle: &'h ThreadHandle,
+    domain: usize,
     epoch: u64,
 }
 
@@ -307,6 +491,12 @@ impl Guard<'_> {
         self.epoch
     }
 
+    /// The domain this guard pinned.
+    #[inline]
+    pub fn domain(&self) -> usize {
+        self.domain
+    }
+
     /// The owning manager.
     pub fn manager(&self) -> &EpochManager {
         &self.handle.mgr
@@ -315,17 +505,21 @@ impl Guard<'_> {
 
 impl Drop for Guard<'_> {
     fn drop(&mut self) {
-        let d = self.handle.depth.get() - 1;
-        self.handle.depth.set(d);
+        let cell = &self.handle.depth[self.domain];
+        let d = cell.get() - 1;
+        cell.set(d);
         if d == 0 {
-            self.handle.slot.state.store(0, Ordering::SeqCst);
+            self.handle.row.states[self.domain].store(0, Ordering::SeqCst);
         }
     }
 }
 
 impl std::fmt::Debug for Guard<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Guard").field("epoch", &self.epoch).finish()
+        f.debug_struct("Guard")
+            .field("domain", &self.domain)
+            .field("epoch", &self.epoch)
+            .finish()
     }
 }
 
@@ -338,6 +532,12 @@ mod tests {
         let arena = PArena::builder().capacity_bytes(1 << 20).build().unwrap();
         superblock::format(&arena);
         EpochManager::new(arena, EpochOptions::durable())
+    }
+
+    fn durable_mgr_domains(n: usize) -> EpochManager {
+        let arena = PArena::builder().capacity_bytes(1 << 20).build().unwrap();
+        superblock::format(&arena);
+        EpochManager::with_domains(arena, EpochOptions::durable(), n)
     }
 
     #[test]
@@ -397,6 +597,39 @@ mod tests {
         mgr.advance();
         mgr.advance();
         assert_eq!(*seen.lock(), vec![2, 3]);
+    }
+
+    #[test]
+    fn pre_flush_hooks_see_the_finishing_epoch() {
+        let mgr = durable_mgr();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = seen.clone();
+        mgr.add_pre_flush_hook_on(0, Box::new(move |e| seen2.lock().push(e)));
+        mgr.advance();
+        mgr.advance();
+        assert_eq!(*seen.lock(), vec![1, 2]);
+    }
+
+    #[test]
+    fn pre_flush_hook_writes_are_covered_by_the_checkpoint() {
+        let arena = PArena::builder()
+            .capacity_bytes(1 << 20)
+            .tracked(true)
+            .build()
+            .unwrap();
+        superblock::format(&arena);
+        arena.global_flush();
+        let off = arena.carve(64, 64).unwrap();
+        let mgr = EpochManager::with_domains(arena.clone(), EpochOptions::durable(), 2);
+        let a2 = arena.clone();
+        mgr.add_pre_flush_hook_on(1, Box::new(move |_| a2.pwrite_u64(off, 0xC0)));
+        mgr.advance_domain(1);
+        arena.crash_seeded(3);
+        assert_eq!(
+            arena.pread_u64(off),
+            0xC0,
+            "pre-flush writes must be durable after the advance"
+        );
     }
 
     #[test]
@@ -476,5 +709,129 @@ mod tests {
         assert_eq!(mgr.current_epoch(), 7);
         assert_eq!(mgr.exec_epoch(), 7);
         assert_eq!(mgr.arena().pread_u64(superblock::SB_EXEC_EPOCH), 7);
+    }
+
+    // ---------------- multi-domain ----------------
+
+    #[test]
+    fn domains_advance_independently() {
+        let mgr = durable_mgr_domains(3);
+        assert_eq!(mgr.domains(), 3);
+        mgr.advance_domain(1);
+        mgr.advance_domain(1);
+        mgr.advance_domain(2);
+        assert_eq!(mgr.current_epoch_of(0), 1);
+        assert_eq!(mgr.current_epoch_of(1), 3);
+        assert_eq!(mgr.current_epoch_of(2), 2);
+        // Each domain's durable counter tracks its own epoch.
+        let a = mgr.arena();
+        assert_eq!(a.pread_u64(superblock::domain_cur_epoch_off(0)), 1);
+        assert_eq!(a.pread_u64(superblock::domain_cur_epoch_off(1)), 3);
+        assert_eq!(a.pread_u64(superblock::domain_cur_epoch_off(2)), 2);
+    }
+
+    #[test]
+    fn multi_domain_reopen_reads_per_domain_epochs() {
+        let arena = PArena::builder().capacity_bytes(1 << 20).build().unwrap();
+        superblock::format(&arena);
+        {
+            let mgr = EpochManager::with_domains(arena.clone(), EpochOptions::durable(), 2);
+            mgr.advance_domain(1);
+            mgr.advance_domain(1);
+        }
+        let mgr2 = EpochManager::with_domains(arena, EpochOptions::durable(), 2);
+        assert_eq!(mgr2.current_epoch_of(0), 1);
+        assert_eq!(mgr2.current_epoch_of(1), 3);
+    }
+
+    #[test]
+    fn multi_domain_advance_uses_scoped_flush() {
+        let mgr = durable_mgr_domains(2);
+        mgr.advance_domain(1);
+        assert_eq!(mgr.arena().stats().global_flush(), 0);
+        assert_eq!(mgr.arena().stats().scoped_flush(), 1);
+        // The all-domains barrier issues one scoped flush per domain.
+        mgr.advance();
+        assert_eq!(mgr.arena().stats().scoped_flush(), 3);
+    }
+
+    #[test]
+    fn advance_of_one_domain_does_not_stall_other_domains_pins() {
+        let mgr = durable_mgr_domains(2);
+        // Keep domain 1's advance window open.
+        mgr.add_advance_hook_on(
+            1,
+            Box::new(|_| std::thread::sleep(Duration::from_millis(80))),
+        );
+        let mgr2 = mgr.clone();
+        let t = std::thread::spawn(move || mgr2.advance_domain(1));
+        std::thread::sleep(Duration::from_millis(10));
+        let h = mgr.register();
+        let t0 = std::time::Instant::now();
+        let g = h.pin_domain(0); // must NOT park behind domain 1's advance
+        assert!(
+            t0.elapsed() < Duration::from_millis(40),
+            "domain-0 pin stalled behind domain-1 advance"
+        );
+        drop(g);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn advance_waits_only_for_its_own_domains_guards() {
+        let mgr = durable_mgr_domains(2);
+        let h = mgr.register();
+        let g0 = h.pin_domain(0); // held across domain 1's advance
+        let mgr2 = mgr.clone();
+        let t = std::thread::spawn(move || mgr2.advance_domain(1));
+        t.join().unwrap(); // completes even though domain 0 is pinned
+        assert_eq!(mgr.current_epoch_of(1), 2);
+        drop(g0);
+    }
+
+    #[test]
+    fn domain_dirty_tracks_write_pins_per_domain() {
+        let mgr = durable_mgr_domains(2);
+        let h = mgr.register();
+        assert!(!mgr.domain_dirty(0));
+        assert!(!mgr.domain_dirty(1));
+        // Read pins never dirty a domain: a scanner must not force
+        // checkpoints on a cold shard.
+        drop(h.pin_domain(1));
+        assert!(!mgr.domain_dirty(1));
+        drop(h.pin_domain_mut(1));
+        assert!(!mgr.domain_dirty(0));
+        assert!(mgr.domain_dirty(1));
+        mgr.advance_domain(1);
+        assert!(!mgr.domain_dirty(1), "advance resets the dirty signal");
+        drop(h.pin_domain_mut(1));
+        assert!(mgr.domain_dirty(1));
+    }
+
+    #[test]
+    fn nested_write_pin_under_read_guard_marks_dirty() {
+        let mgr = durable_mgr_domains(1);
+        let h = mgr.register();
+        let outer = h.pin_domain(0);
+        let inner = h.pin_domain_mut(0);
+        assert!(mgr.domain_dirty(0));
+        drop(inner);
+        drop(outer);
+    }
+
+    #[test]
+    fn per_domain_guards_nest_independently() {
+        let mgr = durable_mgr_domains(2);
+        let h = mgr.register();
+        let g0 = h.pin_domain(0);
+        let g1 = h.pin_domain(1);
+        assert_eq!(g0.domain(), 0);
+        assert_eq!(g1.domain(), 1);
+        drop(g1);
+        mgr.advance_domain(1); // domain 0 still pinned; must not matter
+        drop(g0);
+        mgr.advance_domain(0);
+        assert_eq!(mgr.current_epoch_of(0), 2);
+        assert_eq!(mgr.current_epoch_of(1), 2);
     }
 }

@@ -18,13 +18,27 @@
 //! can replay them in any order or in parallel (§4.2).
 //!
 //! The log is *logically* discarded at every epoch boundary — after the
-//! whole-cache flush, all logged pre-images are obsolete — by resetting the
-//! per-thread append cursors. Entries are never erased; epoch tags plus the
+//! checkpoint flush, all logged pre-images are obsolete — by resetting the
+//! per-slot append cursors. Entries are never erased; epoch tags plus the
 //! contiguous-failed-run rule (see [`ExtLog::replay`]) make stale entries
 //! inert. Crucially, cursors are **not** reset by recovery itself: replay
 //! writes are unflushed, so the pre-images they came from must survive
 //! until the first post-recovery checkpoint (the paper: "if the system
 //! crashes before recovery is complete, it can be applied again").
+//!
+//! # Epoch domains
+//!
+//! Under per-shard epoch domains the log region is subdivided into one
+//! append buffer per **(thread, domain)** pair, because the per-domain
+//! state above — discard cursors at *that domain's* boundary, replay *that
+//! domain's* contiguous failed run — only works if one buffer never mixes
+//! entries from two domains' epoch timelines. [`ExtLog::create_sharded`]
+//! fixes the domain count on media ([`superblock::SB_EXTLOG_DOMAINS`]);
+//! [`ExtLog::log_object_in`] appends to the caller's (thread, domain)
+//! buffer, sealing the domain id into the checksummed entry tag;
+//! [`ExtLog::reset_domain`] and [`ExtLog::replay_domain`] scope discard
+//! and replay to one domain. A 1-domain log is bit-identical to the
+//! pre-domain layout.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -129,14 +143,19 @@ impl ReplayReport {
 pub struct ExtLog {
     arena: PArena,
     region: u64,
-    per_thread: u64,
-    slots: usize,
+    /// Capacity of one (thread, domain) buffer, in bytes.
+    per_slot: u64,
+    /// Thread slots.
+    threads: usize,
+    /// Epoch domains (1 = the legacy single-domain layout).
+    domains: usize,
+    /// One cursor per (thread, domain), thread-major.
     cursors: Vec<Cursor>,
 }
 
 impl ExtLog {
-    /// Carves a fresh log region for `slots` threads of `per_thread` bytes
-    /// each and records it in the superblock.
+    /// Carves a fresh single-domain log region for `slots` threads of
+    /// `per_thread` bytes each and records it in the superblock.
     ///
     /// # Errors
     ///
@@ -146,15 +165,44 @@ impl ExtLog {
     ///
     /// Panics if `slots` is zero.
     pub fn create(arena: &PArena, slots: usize, per_thread: usize) -> incll_pmem::Result<Self> {
-        assert!(slots > 0, "external log needs at least one slot");
-        let per_thread = (per_thread as u64 + 63) & !63;
-        let region = arena.carve(per_thread as usize * slots, 64)?;
+        Self::create_sharded(arena, slots, per_thread, 1)
+    }
+
+    /// Carves a fresh log region subdivided per (thread, domain): each of
+    /// `threads` thread slots gets `domains` independent buffers of
+    /// `per_thread / domains` bytes (the per-thread total is unchanged by
+    /// sharding), and the layout is recorded in the superblock.
+    ///
+    /// # Errors
+    ///
+    /// Propagates arena carve failures ([`incll_pmem::Error::OutOfMemory`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` or `domains` is zero.
+    pub fn create_sharded(
+        arena: &PArena,
+        threads: usize,
+        per_thread: usize,
+        domains: usize,
+    ) -> incll_pmem::Result<Self> {
+        assert!(threads > 0, "external log needs at least one slot");
+        assert!(domains > 0, "external log needs at least one domain");
+        let per_slot = ((per_thread / domains) as u64 + 63) & !63;
+        let region = arena.carve(per_slot as usize * threads * domains, 64)?;
         arena.pwrite_u64(superblock::SB_EXTLOG_OFF, region);
-        arena.pwrite_u64(superblock::SB_EXTLOG_THREADS, slots as u64);
-        arena.pwrite_u64(superblock::SB_EXTLOG_PER_THREAD, per_thread);
-        arena.clwb_range(superblock::SB_EXTLOG_OFF, 24);
+        arena.pwrite_u64(superblock::SB_EXTLOG_THREADS, threads as u64);
+        arena.pwrite_u64(superblock::SB_EXTLOG_PER_THREAD, per_slot);
+        arena.pwrite_u64(superblock::SB_EXTLOG_DOMAINS, domains as u64);
+        arena.clwb_range(superblock::SB_EXTLOG_OFF, 32);
         arena.sfence();
-        Ok(Self::with_layout(arena.clone(), region, per_thread, slots))
+        Ok(Self::with_layout(
+            arena.clone(),
+            region,
+            per_slot,
+            threads,
+            domains,
+        ))
     }
 
     /// Opens the log recorded in the superblock of a recovered arena.
@@ -168,43 +216,76 @@ impl ExtLog {
     /// Panics if the superblock carries no log descriptor.
     pub fn open(arena: &PArena) -> Self {
         let region = arena.pread_u64(superblock::SB_EXTLOG_OFF);
-        let slots = arena.pread_u64(superblock::SB_EXTLOG_THREADS) as usize;
-        let per_thread = arena.pread_u64(superblock::SB_EXTLOG_PER_THREAD);
+        let threads = arena.pread_u64(superblock::SB_EXTLOG_THREADS) as usize;
+        let per_slot = arena.pread_u64(superblock::SB_EXTLOG_PER_THREAD);
+        // 0 reads as 1 so a descriptor written without the domain word
+        // (tests poking at raw layouts) stays interpretable.
+        let domains = (arena.pread_u64(superblock::SB_EXTLOG_DOMAINS) as usize).max(1);
         assert!(
-            region != 0 && slots > 0,
+            region != 0 && threads > 0,
             "arena has no external log descriptor"
         );
-        Self::with_layout(arena.clone(), region, per_thread, slots)
+        Self::with_layout(arena.clone(), region, per_slot, threads, domains)
     }
 
-    fn with_layout(arena: PArena, region: u64, per_thread: u64, slots: usize) -> Self {
+    fn with_layout(
+        arena: PArena,
+        region: u64,
+        per_slot: u64,
+        threads: usize,
+        domains: usize,
+    ) -> Self {
         ExtLog {
             arena,
             region,
-            per_thread,
-            slots,
-            cursors: (0..slots).map(|_| Cursor(AtomicU64::new(0))).collect(),
+            per_slot,
+            threads,
+            domains,
+            cursors: (0..threads * domains)
+                .map(|_| Cursor(AtomicU64::new(0)))
+                .collect(),
         }
     }
 
     /// Number of per-thread slots.
     pub fn slots(&self) -> usize {
-        self.slots
+        self.threads
     }
 
-    /// Bytes currently appended in `slot`.
+    /// Number of epoch domains the region is subdivided for.
+    pub fn domains(&self) -> usize {
+        self.domains
+    }
+
+    /// The raw buffer index of `(thread, domain)`.
+    #[inline]
+    fn slot_index(&self, thread: usize, domain: usize) -> usize {
+        debug_assert!(thread < self.threads && domain < self.domains);
+        thread * self.domains + domain
+    }
+
+    /// Bytes currently appended in thread `slot`'s domain-0 buffer.
     pub fn used(&self, slot: usize) -> u64 {
-        self.cursors[slot].0.load(Ordering::Relaxed)
+        self.used_in(slot, 0)
+    }
+
+    /// Bytes currently appended in `(thread, domain)`'s buffer.
+    pub fn used_in(&self, thread: usize, domain: usize) -> u64 {
+        self.cursors[self.slot_index(thread, domain)]
+            .0
+            .load(Ordering::Relaxed)
     }
 
     /// Logs the `len` bytes at arena offset `target` as an undo entry for
-    /// `epoch`, making the entry durable (`clwb` + `sfence`) before
-    /// returning. The caller may modify the object only after this returns.
+    /// `epoch` in thread `slot`'s **domain-0** buffer, making the entry
+    /// durable (`clwb` + `sfence`) before returning. The caller may modify
+    /// the object only after this returns.
     ///
     /// Each slot is single-writer: callers pass their own thread's slot.
     ///
-    /// Entries carry tag 0; use [`ExtLog::log_object_tagged`] to attribute
-    /// them (the durable tree tags each entry with its shard id).
+    /// Entries carry tag 0; use [`ExtLog::log_object_in`] on a sharded log
+    /// (the durable tree tags each entry with its shard id), or
+    /// [`ExtLog::log_object_tagged`] for an arbitrary tag.
     ///
     /// # Panics
     ///
@@ -215,19 +296,41 @@ impl ExtLog {
         self.log_object_tagged(slot, epoch, target, len, 0);
     }
 
+    /// Logs an undo entry for `epoch` **of domain `domain`** in
+    /// `(thread, domain)`'s buffer. The domain id is sealed into the
+    /// checksummed entry tag, so replay can verify attribution.
+    ///
+    /// # Panics
+    ///
+    /// As for [`ExtLog::log_object`], plus out-of-range `domain`.
+    pub fn log_object_in(&self, thread: usize, domain: usize, epoch: u64, target: u64, len: usize) {
+        self.append(
+            self.slot_index(thread, domain),
+            epoch,
+            target,
+            len,
+            domain as u16,
+        );
+    }
+
     /// [`ExtLog::log_object`] with an opaque 16-bit `tag` sealed into the
     /// entry header; [`ExtLog::replay`] aggregates applied entries per tag
-    /// ([`ReplayReport::per_tag`]).
+    /// ([`ReplayReport::per_tag`]). Appends to thread `slot`'s domain-0
+    /// buffer.
     pub fn log_object_tagged(&self, slot: usize, epoch: u64, target: u64, len: usize, tag: u16) {
+        self.append(self.slot_index(slot, 0), epoch, target, len, tag);
+    }
+
+    fn append(&self, slot: usize, epoch: u64, target: u64, len: usize, tag: u16) {
         let need = HEADER + ((len as u64 + 7) & !7);
         let cur = self.cursors[slot].0.load(Ordering::Relaxed);
         assert!(
-            cur + need <= self.per_thread,
+            cur + need <= self.per_slot,
             "external log slot {slot} overflow: {cur} + {need} > {}; \
              increase per-thread log capacity",
-            self.per_thread
+            self.per_slot
         );
-        let base = self.region + (slot as u64) * self.per_thread + cur;
+        let base = self.region + (slot as u64) * self.per_slot + cur;
 
         // Payload first (chunked copy arena->arena), checksum streamed.
         let mut hash = checksum::FNV_OFFSET;
@@ -260,31 +363,82 @@ impl ExtLog {
         self.arena.stats().add_ext_logged(len as u64);
     }
 
-    /// Logically discards the log (epoch-boundary hook, after the global
-    /// flush has made every pre-image obsolete).
+    /// Logically discards the whole log (epoch-boundary hook on a
+    /// single-domain store, after the checkpoint flush has made every
+    /// pre-image obsolete).
     pub fn reset(&self) {
         for c in &self.cursors {
             c.0.store(0, Ordering::Relaxed);
         }
     }
 
-    /// Replays every valid entry whose epoch lies in
-    /// `[min_epoch, max_epoch]` — the contiguous run of failed epochs
-    /// ending at the crashed epoch — copying pre-images back over their
-    /// objects. Scanning stops at the first entry that is torn or outside
-    /// the range (stale debris from completed epochs); cursors are
+    /// Logically discards one domain's buffers (that domain's
+    /// epoch-boundary hook): its completed epoch's pre-images are obsolete,
+    /// while other domains' still-at-risk entries are untouched.
+    pub fn reset_domain(&self, domain: usize) {
+        for t in 0..self.threads {
+            self.cursors[self.slot_index(t, domain)]
+                .0
+                .store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Replays every valid entry (in every domain's buffers) whose epoch
+    /// lies in `[min_epoch, max_epoch]` — the contiguous run of failed
+    /// epochs ending at the crashed epoch — copying pre-images back over
+    /// their objects. Scanning stops at the first entry that is torn or
+    /// outside the range (stale debris from completed epochs); cursors are
     /// repositioned to the end of each valid prefix so subsequent appends
     /// preserve still-needed entries.
     ///
     /// Replay performs no flushes: if the system crashes again before the
     /// next checkpoint, the entries are simply replayed again (§4.3).
+    ///
+    /// Single-domain form; per-shard recovery uses
+    /// [`ExtLog::replay_domain`] with each shard's own failed run.
     pub fn replay(&self, min_epoch: u64, max_epoch: u64) -> ReplayReport {
         let mut report = ReplayReport::default();
-        for slot in 0..self.slots {
-            let slot_base = self.region + (slot as u64) * self.per_thread;
+        for slot in 0..self.threads * self.domains {
+            self.replay_slot(slot, min_epoch, max_epoch, None, &mut report);
+        }
+        self.arena.stats().add_ext_replayed(report.entries_applied);
+        report
+    }
+
+    /// Replays domain `domain`'s buffers only, filtering by the **pair**
+    /// of shard tag and that shard's failed-epoch run `[min_epoch,
+    /// max_epoch]`: an entry must both live in the domain's buffer and
+    /// carry the domain's sealed tag to be applied (a mismatched tag is
+    /// treated as corruption and stops the slot's scan, exactly like a
+    /// torn checksum).
+    pub fn replay_domain(&self, domain: usize, min_epoch: u64, max_epoch: u64) -> ReplayReport {
+        let mut report = ReplayReport::default();
+        for t in 0..self.threads {
+            self.replay_slot(
+                self.slot_index(t, domain),
+                min_epoch,
+                max_epoch,
+                Some(domain as u16),
+                &mut report,
+            );
+        }
+        self.arena.stats().add_ext_replayed(report.entries_applied);
+        report
+    }
+
+    fn replay_slot(
+        &self,
+        slot: usize,
+        min_epoch: u64,
+        max_epoch: u64,
+        require_tag: Option<u16>,
+        report: &mut ReplayReport,
+    ) {
+        {
+            let slot_base = self.region + (slot as u64) * self.per_slot;
             let mut cur = 0u64;
             loop {
-                if cur + HEADER > self.per_thread {
+                if cur + HEADER > self.per_slot {
                     break;
                 }
                 let base = slot_base + cur;
@@ -297,7 +451,8 @@ impl ExtLog {
                 if epoch < min_epoch
                     || epoch > max_epoch
                     || len == 0
-                    || cur + HEADER + len > self.per_thread
+                    || cur + HEADER + len > self.per_slot
+                    || require_tag.is_some_and(|t| t != tag)
                 {
                     break;
                 }
@@ -333,16 +488,15 @@ impl ExtLog {
             self.cursors[slot].0.store(cur, Ordering::Relaxed);
             report.scan_stopped_at.push(cur);
         }
-        self.arena.stats().add_ext_replayed(report.entries_applied);
-        report
     }
 }
 
 impl std::fmt::Debug for ExtLog {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ExtLog")
-            .field("slots", &self.slots)
-            .field("per_thread", &self.per_thread)
+            .field("threads", &self.threads)
+            .field("domains", &self.domains)
+            .field("per_slot", &self.per_slot)
             .finish()
     }
 }
@@ -584,6 +738,83 @@ mod tests {
         let r = log.replay(1, 1);
         assert_eq!(r.entries_applied, 0);
         assert!(check(&arena, obj, 500));
+    }
+
+    #[test]
+    fn domain_buffers_reset_and_replay_independently() {
+        let arena = PArena::builder().capacity_bytes(1 << 20).build().unwrap();
+        superblock::format(&arena);
+        let log = ExtLog::create_sharded(&arena, 1, 16 * 1024, 2).unwrap();
+        assert_eq!(log.domains(), 2);
+        let obj0 = arena.carve(64, 64).unwrap();
+        let obj1 = arena.carve(64, 64).unwrap();
+
+        // Domain 0 in its epoch 4, domain 1 in its (independent) epoch 9.
+        arena.pwrite_u64(obj0, 100);
+        log.log_object_in(0, 0, 4, obj0, 64);
+        arena.pwrite_u64(obj0, 999);
+        arena.pwrite_u64(obj1, 200);
+        log.log_object_in(0, 1, 9, obj1, 64);
+        arena.pwrite_u64(obj1, 999);
+
+        // Domain 0 completes its epoch: only its buffer resets.
+        log.reset_domain(0);
+        assert_eq!(log.used_in(0, 0), 0);
+        assert!(log.used_in(0, 1) > 0);
+
+        // Domain 1 crashes in epoch 9: replay touches only domain 1.
+        let r = log.replay_domain(1, 9, 9);
+        assert_eq!(r.entries_applied, 1);
+        assert_eq!(arena.pread_u64(obj1), 200);
+        assert_eq!(arena.pread_u64(obj0), 999, "domain 0 must be untouched");
+        assert_eq!(r.per_tag.len(), 1);
+        assert_eq!(r.per_tag[0].tag, 1);
+    }
+
+    #[test]
+    fn replay_domain_rejects_mismatched_tags() {
+        // A domain buffer holding an entry sealed with a different tag is
+        // corrupt; the scan must stop without applying it.
+        let arena = PArena::builder().capacity_bytes(1 << 20).build().unwrap();
+        superblock::format(&arena);
+        let log = ExtLog::create_sharded(&arena, 1, 16 * 1024, 2).unwrap();
+        let obj = arena.carve(64, 64).unwrap();
+        arena.pwrite_u64(obj, 7);
+        log.log_object_in(0, 1, 3, obj, 64);
+        arena.pwrite_u64(obj, 8);
+        // Rewrite the tag (re-sealing the checksum so only the tag check
+        // can reject it).
+        let base = arena.pread_u64(superblock::SB_EXTLOG_OFF) + log.per_slot;
+        let len_word = pack_len(64, 0);
+        let mut hash = checksum::FNV_OFFSET;
+        let mut chunk = [0u8; 64];
+        arena.pread_bytes(base + HEADER, &mut chunk);
+        hash = checksum::fnv1a64_update(hash, &chunk);
+        arena.pwrite_u64(base + 16, len_word);
+        arena.pwrite_u64(base + 24, checksum::seal(hash, 3, obj, len_word));
+        let r = log.replay_domain(1, 3, 3);
+        assert_eq!(r.entries_applied, 0, "foreign tag must not replay");
+        assert_eq!(arena.pread_u64(obj), 8);
+    }
+
+    #[test]
+    fn sharded_layout_survives_reopen() {
+        let arena = PArena::builder().capacity_bytes(1 << 20).build().unwrap();
+        superblock::format(&arena);
+        let obj = arena.carve(64, 64).unwrap();
+        {
+            let log = ExtLog::create_sharded(&arena, 2, 8 * 1024, 4).unwrap();
+            arena.pwrite_u64(obj, 5);
+            log.log_object_in(1, 3, 7, obj, 64);
+            arena.pwrite_u64(obj, 6);
+        }
+        let log2 = ExtLog::open(&arena);
+        assert_eq!(log2.slots(), 2);
+        assert_eq!(log2.domains(), 4);
+        let r = log2.replay_domain(3, 7, 7);
+        assert_eq!(r.entries_applied, 1);
+        assert_eq!(arena.pread_u64(obj), 5);
+        assert_eq!(log2.used_in(1, 3), r.scan_stopped_at[1]);
     }
 
     #[test]

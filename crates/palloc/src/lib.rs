@@ -20,6 +20,28 @@
 //!
 //! No `clwb`/`sfence` ever executes on the allocation or free path.
 //!
+//! # Epoch domains
+//!
+//! Under per-shard epoch domains every epoch-tagged undo in this allocator
+//! must be keyed to exactly **one** domain's timeline, or a head cell
+//! touched by two shards could not be rolled back per shard. The free
+//! lists therefore become per-**(thread, domain)**-per-class
+//! ([`PAlloc::create_sharded`], [`PAlloc::alloc_in`]): every object is
+//! owned for life by the shard whose tree references it (keys never
+//! migrate between shards), so its header epochs, its head cells and its
+//! pending-list residency all live on that shard's timeline — allocated
+//! under the shard's epoch, spliced at the shard's boundary, repaired
+//! against the shard's failed set.
+//!
+//! The bump **watermark** is the one genuinely shared cell (one arena,
+//! one carve frontier). A single in-line epoch tag cannot arbitrate
+//! between domains, so multi-domain allocators persist the watermark
+//! *eagerly* at each (rare, slab-granular) carve instead of InCLL-logging
+//! it: a crash then never rolls the watermark back, and slabs carved in a
+//! failed epoch are leaked (bounded by the slabs carved in that epoch)
+//! rather than un-carved. Single-domain allocators keep the paper's
+//! flush-free InCLL watermark exactly.
+//!
 //! # Example
 //!
 //! ```
@@ -97,14 +119,17 @@ impl From<incll_pmem::Error> for Error {
 
 struct Inner {
     arena: PArena,
-    /// Base of the head-cell region: `nthreads × TOTAL_CLASSES` cache lines.
+    /// Base of the head-cell region:
+    /// `nthreads × ndomains × TOTAL_CLASSES` cache lines.
     root: u64,
     nthreads: usize,
-    /// Low 32 bits of every durable failed epoch (object headers store
-    /// 32-bit epochs).
-    failed_low32: Vec<u32>,
-    /// Full failed epochs (head cells store full epochs).
-    failed_full: Vec<u64>,
+    /// Epoch domains (1 = the legacy single-timeline allocator).
+    ndomains: usize,
+    /// Low 32 bits of every durable failed epoch, per domain (object
+    /// headers store 32-bit epochs).
+    failed_low32: Vec<Vec<u32>>,
+    /// Full failed epochs, per domain (head cells store full epochs).
+    failed_full: Vec<Vec<u64>>,
     /// Serialises durable-watermark updates (slab carving is rare).
     watermark: Mutex<()>,
 }
@@ -127,18 +152,37 @@ impl PAlloc {
     ///
     /// Panics if `nthreads` is zero.
     pub fn create(arena: &PArena, nthreads: usize) -> Result<Self, Error> {
+        Self::create_sharded(arena, nthreads, 1)
+    }
+
+    /// Creates a fresh allocator whose free lists are segregated per
+    /// **(thread, domain)**: allocations under domain `d`
+    /// ([`PAlloc::alloc_in`]) come from, and return to, lists whose undo
+    /// tags live entirely on `d`'s epoch timeline. See the crate docs'
+    /// epoch-domains section.
+    ///
+    /// # Errors
+    ///
+    /// Propagates arena carve failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nthreads` or `ndomains` is zero.
+    pub fn create_sharded(arena: &PArena, nthreads: usize, ndomains: usize) -> Result<Self, Error> {
         assert!(nthreads > 0, "allocator needs at least one thread slot");
-        let region = (nthreads * TOTAL_CLASSES) as u64 * cell::CELL_BYTES;
+        assert!(ndomains > 0, "allocator needs at least one epoch domain");
+        let region = (nthreads * ndomains * TOTAL_CLASSES) as u64 * cell::CELL_BYTES;
         let root = arena.carve(region as usize, 64)?;
         // Head cells start zeroed (alloc_zeroed arena).
         arena.pwrite_u64(superblock::SB_PALLOC_HEADS, root);
         arena.pwrite_u64(superblock::SB_PALLOC_HEADS + 8, nthreads as u64);
         arena.pwrite_u64(superblock::SB_PALLOC_HEADS + 16, TOTAL_CLASSES as u64);
+        arena.pwrite_u64(superblock::SB_PALLOC_HEADS + 24, ndomains as u64);
         // Durable watermark starts at the current bump.
         arena.pwrite_u64(superblock::SB_BUMP, arena.bump());
         arena.pwrite_u64(superblock::SB_BUMP_INCLL, arena.bump());
         arena.pwrite_u64(superblock::SB_BUMP_EPOCH, 0);
-        arena.clwb_range(superblock::SB_PALLOC_HEADS, 24);
+        arena.clwb_range(superblock::SB_PALLOC_HEADS, 32);
         arena.clwb(superblock::SB_BUMP);
         arena.sfence();
         Ok(PAlloc {
@@ -146,42 +190,72 @@ impl PAlloc {
                 arena: arena.clone(),
                 root,
                 nthreads,
-                failed_low32: Vec::new(),
-                failed_full: Vec::new(),
+                ndomains,
+                failed_low32: vec![Vec::new(); ndomains],
+                failed_full: vec![Vec::new(); ndomains],
                 watermark: Mutex::new(()),
             }),
         })
     }
 
-    /// Reopens the allocator after a crash: re-synchronises the bump
-    /// watermark, repairs every head cell whose epoch tag names a failed
-    /// epoch, and splices surviving pending lists (their objects were freed
-    /// in completed epochs and are safe to reuse).
-    ///
-    /// `exec_epoch` is the first epoch of the new execution; recovery
-    /// writes are tagged with it. Replays cleanly if interrupted by another
-    /// crash (no flushes are issued, matching §4.3).
+    /// Reopens a single-domain allocator after a crash. See
+    /// [`PAlloc::open_sharded`].
     ///
     /// # Panics
     ///
-    /// Panics if the arena carries no allocator root.
+    /// Panics if the arena carries no allocator root, or if it was created
+    /// with more than one domain.
     pub fn open(arena: &PArena, exec_epoch: u64) -> Self {
+        Self::open_sharded(arena, &[exec_epoch])
+    }
+
+    /// Reopens the allocator after a crash: re-synchronises the bump
+    /// watermark, repairs every head cell whose epoch tag names a failed
+    /// epoch **of its own domain**, and splices surviving pending lists
+    /// (their objects were freed in completed epochs of their domain and
+    /// are safe to reuse).
+    ///
+    /// `exec_epochs[d]` is the first epoch of domain `d`'s new execution;
+    /// recovery writes to `d`'s state are tagged with it. Replays cleanly
+    /// if interrupted by another crash (no flushes are issued, matching
+    /// §4.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena carries no allocator root or if
+    /// `exec_epochs.len()` differs from the domain count fixed at create.
+    pub fn open_sharded(arena: &PArena, exec_epochs: &[u64]) -> Self {
         let root = arena.pread_u64(superblock::SB_PALLOC_HEADS);
         let nthreads = arena.pread_u64(superblock::SB_PALLOC_HEADS + 8) as usize;
+        let ndomains = (arena.pread_u64(superblock::SB_PALLOC_HEADS + 24) as usize).max(1);
         assert!(
             root != 0 && nthreads > 0,
             "arena has no allocator root; format + create first"
         );
-        let failed_full = superblock::failed_epochs(arena);
-        let failed_low32: Vec<u32> = failed_full.iter().map(|&e| e as u32).collect();
+        assert_eq!(
+            exec_epochs.len(),
+            ndomains,
+            "one exec epoch per allocator domain"
+        );
+        let failed_full: Vec<Vec<u64>> = (0..ndomains)
+            .map(|d| superblock::failed_epochs_for(arena, d))
+            .collect();
+        let failed_low32: Vec<Vec<u32>> = failed_full
+            .iter()
+            .map(|f| f.iter().map(|&e| e as u32).collect())
+            .collect();
 
-        // Watermark: revert to the epoch-start value if the failed epoch
-        // carved slabs, then resync the transient bump.
-        let we = arena.pread_u64(superblock::SB_BUMP_EPOCH);
-        if we != 0 && failed_full.contains(&we) {
-            let logged = arena.pread_u64(superblock::SB_BUMP_INCLL);
-            arena.pwrite_u64(superblock::SB_BUMP, logged);
-            arena.pwrite_u64_release(superblock::SB_BUMP_EPOCH, exec_epoch);
+        // Watermark. Single domain: revert to the epoch-start value if the
+        // tagged epoch failed (the InCLL protocol). Multi domain: the
+        // watermark is persisted eagerly at each carve and never rolled
+        // back (doomed-epoch slabs leak instead; see crate docs).
+        if ndomains == 1 {
+            let we = arena.pread_u64(superblock::SB_BUMP_EPOCH);
+            if we != 0 && failed_full[0].contains(&we) {
+                let logged = arena.pread_u64(superblock::SB_BUMP_INCLL);
+                arena.pwrite_u64(superblock::SB_BUMP, logged);
+                arena.pwrite_u64_release(superblock::SB_BUMP_EPOCH, exec_epochs[0]);
+            }
         }
         arena.set_bump(arena.pread_u64(superblock::SB_BUMP));
 
@@ -190,26 +264,33 @@ impl PAlloc {
                 arena: arena.clone(),
                 root,
                 nthreads,
+                ndomains,
                 failed_low32,
                 failed_full,
                 watermark: Mutex::new(()),
             }),
         };
-        // Repair all head cells eagerly (nthreads × classes lines).
+        // Repair all head cells eagerly (threads × domains × classes
+        // lines), each against its own domain's failed set.
         for t in 0..nthreads {
-            for c in 0..TOTAL_CLASSES {
-                let cell = this.cell(t, c);
-                cell::recover_cell(
-                    arena,
-                    cell,
-                    |e| this.inner.failed_full.contains(&e),
-                    exec_epoch,
-                );
+            for (d, &exec) in exec_epochs.iter().enumerate() {
+                for c in 0..TOTAL_CLASSES {
+                    let cell = this.cell(t, d, c);
+                    cell::recover_cell(
+                        arena,
+                        cell,
+                        |e| this.inner.failed_full[d].contains(&e),
+                        exec,
+                    );
+                }
             }
         }
         // Surviving pending objects were freed in completed epochs: they
-        // are reusable now. Splice them in, logged under the new epoch.
-        this.on_epoch_boundary(exec_epoch);
+        // are reusable now. Splice them in, logged under each domain's new
+        // epoch.
+        for (d, &exec) in exec_epochs.iter().enumerate() {
+            this.on_domain_boundary(d, exec);
+        }
         this
     }
 
@@ -223,96 +304,173 @@ impl PAlloc {
         self.inner.nthreads
     }
 
-    #[inline]
-    fn cell(&self, thread: usize, class: usize) -> u64 {
-        debug_assert!(thread < self.inner.nthreads && class < TOTAL_CLASSES);
-        self.inner.root + ((thread * TOTAL_CLASSES + class) as u64) * cell::CELL_BYTES
+    /// Number of epoch domains the free lists are segregated for.
+    pub fn domains(&self) -> usize {
+        self.inner.ndomains
     }
 
     #[inline]
-    fn is_failed_low32(&self, e: u32) -> bool {
+    fn cell(&self, thread: usize, domain: usize, class: usize) -> u64 {
+        debug_assert!(
+            thread < self.inner.nthreads && domain < self.inner.ndomains && class < TOTAL_CLASSES
+        );
+        let idx = (thread * self.inner.ndomains + domain) * TOTAL_CLASSES + class;
+        self.inner.root + (idx as u64) * cell::CELL_BYTES
+    }
+
+    #[inline]
+    fn is_failed_low32(&self, domain: usize, e: u32) -> bool {
         // Empty in any execution that never crashed: a single predictable
         // branch on the hot path.
-        !self.inner.failed_low32.is_empty() && self.inner.failed_low32.contains(&e)
+        let f = &self.inner.failed_low32[domain];
+        !f.is_empty() && f.contains(&e)
     }
 
-    /// Allocates `size` bytes for `thread` during `epoch`, returning the
-    /// payload offset (16-byte aligned). Performs **no** write-backs or
-    /// fences.
+    /// Allocates `size` bytes for `thread` during `epoch` of domain 0,
+    /// returning the payload offset (16-byte aligned). Performs **no**
+    /// write-backs or fences. (Domain-routed form: [`PAlloc::alloc_in`].)
     ///
     /// # Errors
     ///
     /// [`Error::UnsupportedSize`] above the largest class;
     /// [`Error::Pmem`] when the arena is exhausted.
     pub fn alloc(&self, thread: usize, epoch: u64, size: usize) -> Result<u64, Error> {
+        self.alloc_in(thread, 0, epoch, size)
+    }
+
+    /// Allocates `size` bytes for `thread` under domain `domain`, whose
+    /// current epoch is `epoch`. The object comes from (and its undo tags
+    /// live on) that domain's timeline; it must be freed back to the same
+    /// domain ([`PAlloc::free_in`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`PAlloc::alloc`].
+    pub fn alloc_in(
+        &self,
+        thread: usize,
+        domain: usize,
+        epoch: u64,
+        size: usize,
+    ) -> Result<u64, Error> {
         let class = class_for(size).ok_or(Error::UnsupportedSize { size })?;
-        self.alloc_class(thread, epoch, class)
+        self.alloc_class(thread, domain, epoch, class)
     }
 
     /// Like [`PAlloc::alloc`] but the returned payload offset is 64-byte
     /// (cache-line) aligned — used for durable tree nodes, whose embedded
-    /// logs rely on exact line placement.
+    /// logs rely on exact line placement. Domain 0.
     ///
     /// # Errors
     ///
     /// As for [`PAlloc::alloc`].
     pub fn alloc_aligned64(&self, thread: usize, epoch: u64, size: usize) -> Result<u64, Error> {
+        self.alloc_aligned64_in(thread, 0, epoch, size)
+    }
+
+    /// [`PAlloc::alloc_aligned64`] under domain `domain`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`PAlloc::alloc`].
+    pub fn alloc_aligned64_in(
+        &self,
+        thread: usize,
+        domain: usize,
+        epoch: u64,
+        size: usize,
+    ) -> Result<u64, Error> {
         let class = class_for_aligned64(size).ok_or(Error::UnsupportedSize { size })?;
-        let payload = self.alloc_class(thread, epoch, class)?;
+        let payload = self.alloc_class(thread, domain, epoch, class)?;
         debug_assert_eq!(payload % 64, 0);
         Ok(payload)
     }
 
-    fn alloc_class(&self, thread: usize, epoch: u64, class: usize) -> Result<u64, Error> {
+    fn alloc_class(
+        &self,
+        thread: usize,
+        domain: usize,
+        epoch: u64,
+        class: usize,
+    ) -> Result<u64, Error> {
         let arena = &self.inner.arena;
-        let cell = self.cell(thread, class);
+        let cell = self.cell(thread, domain, class);
         let mut head = cell::free_head(arena, cell);
         if head == 0 {
-            self.refill(thread, class, epoch)?;
+            self.refill(thread, domain, class, epoch)?;
             head = cell::free_head(arena, cell);
         }
         // Decode (and crash-repair) the popped object's header to find the
         // next free object.
         let w0 = arena.pread_u64(head);
         let w1 = arena.pread_u64(head + 8);
-        let decoded = header::decode(w0, w1, |e| self.is_failed_low32(e));
+        let decoded = header::decode(w0, w1, |e| self.is_failed_low32(domain, e));
         cell::set_free_head(arena, cell, epoch, decoded.next);
         arena.stats().add_palloc_alloc();
         Ok(head + HEADER_BYTES as u64)
     }
 
     /// Returns the object at `payload` (from [`PAlloc::alloc`]) of `size`
-    /// bytes to `thread`'s pending list. The object becomes allocatable at
-    /// the next epoch boundary (epoch-based reclamation). Performs **no**
-    /// write-backs or fences.
+    /// bytes to `thread`'s domain-0 pending list. The object becomes
+    /// allocatable at the next epoch boundary (epoch-based reclamation).
+    /// Performs **no** write-backs or fences.
     ///
     /// # Panics
     ///
     /// Panics if `size` does not map to a class (it must be the size passed
     /// to `alloc`, or any size in the same class).
     pub fn free(&self, thread: usize, epoch: u64, payload: u64, size: usize) {
-        let class = class_for(size).expect("free of unsupported size");
-        self.free_class(thread, epoch, payload, class);
+        self.free_in(thread, 0, epoch, payload, size);
     }
 
-    /// Returns a 64-aligned object from [`PAlloc::alloc_aligned64`].
+    /// Returns an object to `thread`'s pending list **of domain `domain`**
+    /// — the domain it was allocated under; it becomes allocatable at that
+    /// domain's next boundary, once the freeing shard's epoch (which also
+    /// removed the last reference) can no longer be rolled back.
+    ///
+    /// # Panics
+    ///
+    /// As for [`PAlloc::free`].
+    pub fn free_in(&self, thread: usize, domain: usize, epoch: u64, payload: u64, size: usize) {
+        let class = class_for(size).expect("free of unsupported size");
+        self.free_class(thread, domain, epoch, payload, class);
+    }
+
+    /// Returns a 64-aligned object from [`PAlloc::alloc_aligned64`]
+    /// (domain 0).
     ///
     /// # Panics
     ///
     /// Panics if `size` does not map to an aligned class.
     pub fn free_aligned64(&self, thread: usize, epoch: u64, payload: u64, size: usize) {
-        let class = class_for_aligned64(size).expect("free of unsupported aligned size");
-        self.free_class(thread, epoch, payload, class);
+        self.free_aligned64_in(thread, 0, epoch, payload, size);
     }
 
-    fn free_class(&self, thread: usize, epoch: u64, payload: u64, class: usize) {
+    /// [`PAlloc::free_aligned64`] into domain `domain`'s pending list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` does not map to an aligned class.
+    pub fn free_aligned64_in(
+        &self,
+        thread: usize,
+        domain: usize,
+        epoch: u64,
+        payload: u64,
+        size: usize,
+    ) {
+        let class = class_for_aligned64(size).expect("free of unsupported aligned size");
+        self.free_class(thread, domain, epoch, payload, class);
+    }
+
+    fn free_class(&self, thread: usize, domain: usize, epoch: u64, payload: u64, class: usize) {
         let arena = &self.inner.arena;
-        let cell = self.cell(thread, class);
+        let cell = self.cell(thread, domain, class);
         let obj = payload - HEADER_BYTES as u64;
 
         cell::log_pending(arena, cell, epoch);
         let old_head = cell::pend_head(arena, cell);
-        self.write_obj_next(obj, old_head, epoch);
+        self.write_obj_next(obj, old_head, epoch, domain);
         cell::set_pend_head(arena, cell, obj);
         if cell::pend_tail(arena, cell) == 0 {
             cell::set_pend_tail(arena, cell, obj);
@@ -324,12 +482,12 @@ impl PAlloc {
     /// modification in `epoch` rewrites both words (log word first, then
     /// current word, same line) with an incremented torn-write counter;
     /// later modifications in the same epoch touch only the current word.
-    fn write_obj_next(&self, obj: u64, next: u64, epoch: u64) {
+    fn write_obj_next(&self, obj: u64, next: u64, epoch: u64, domain: usize) {
         let arena = &self.inner.arena;
         let e32 = epoch as u32;
         let w0 = arena.pread_u64(obj);
         let w1 = arena.pread_u64(obj + 8);
-        let decoded = header::decode(w0, w1, |e| self.is_failed_low32(e));
+        let decoded = header::decode(w0, w1, |e| self.is_failed_low32(domain, e));
         if decoded.torn || header::epoch32(w0, w1) != e32 {
             let nc = header::counter(w1).wrapping_add(1) & 3;
             // Log the *crash-repaired* current next, not the raw current
@@ -354,7 +512,7 @@ impl PAlloc {
 
     /// Carves a fresh slab for (thread, class) and chains it onto the free
     /// list, durably logging the watermark move.
-    fn refill(&self, thread: usize, class: usize, epoch: u64) -> Result<(), Error> {
+    fn refill(&self, thread: usize, domain: usize, class: usize, epoch: u64) -> Result<(), Error> {
         let arena = &self.inner.arena;
         let stride = classes::stride(class) as u64;
         let head_off = classes::header_off_in_stride(class) as u64;
@@ -362,19 +520,31 @@ impl PAlloc {
         let slab = arena.carve(stride as usize * SLAB_OBJECTS, align)?;
         {
             let _g = self.inner.watermark.lock();
-            // InCLL-log the durable watermark on its first move this epoch.
-            if arena.pread_u64(superblock::SB_BUMP_EPOCH) != epoch {
-                let old = arena.pread_u64(superblock::SB_BUMP);
-                arena.pwrite_u64(superblock::SB_BUMP_INCLL, old);
-                arena.pwrite_u64_release(superblock::SB_BUMP_EPOCH, epoch);
-                arena.stats().add_incll_alloc();
+            if self.inner.ndomains == 1 {
+                // InCLL-log the durable watermark on its first move this
+                // epoch (the paper's flush-free protocol).
+                if arena.pread_u64(superblock::SB_BUMP_EPOCH) != epoch {
+                    let old = arena.pread_u64(superblock::SB_BUMP);
+                    arena.pwrite_u64(superblock::SB_BUMP_INCLL, old);
+                    arena.pwrite_u64_release(superblock::SB_BUMP_EPOCH, epoch);
+                    arena.stats().add_incll_alloc();
+                }
+                arena.pwrite_u64_release(superblock::SB_BUMP, arena.bump());
+            } else {
+                // Multi-domain: a single epoch tag cannot arbitrate
+                // between timelines, so persist the watermark eagerly.
+                // The fence precedes the head swing below, so any durable
+                // pointer into the slab implies a durable watermark past
+                // it; a crash leaks (never un-carves) doomed slabs.
+                arena.pwrite_u64_release(superblock::SB_BUMP, arena.bump());
+                arena.clwb(superblock::SB_BUMP);
+                arena.sfence();
             }
-            arena.pwrite_u64_release(superblock::SB_BUMP, arena.bump());
         }
         // Chain the fresh objects: slab[i].next = slab[i+1]; the last one
         // points at the current free head. Fresh headers need no logging:
-        // a crash reverts the watermark and un-carves them wholesale.
-        let cell = self.cell(thread, class);
+        // a crash reverts the head swing and the slab is unreachable.
+        let cell = self.cell(thread, domain, class);
         let cur_head = cell::free_head(arena, cell);
         let e32 = epoch as u32;
         for i in 0..SLAB_OBJECTS {
@@ -391,16 +561,23 @@ impl PAlloc {
         Ok(())
     }
 
-    /// Epoch-boundary hook: splices every pending list onto its free list,
-    /// making objects freed in the finished epoch allocatable. Runs while
-    /// all threads are quiesced; all writes are InCLL-logged under
-    /// `new_epoch`, so a crash mid-epoch reverts the splice and the objects
-    /// simply wait in pending — never leaked.
+    /// Domain-0 epoch-boundary hook; see [`PAlloc::on_domain_boundary`].
     pub fn on_epoch_boundary(&self, new_epoch: u64) {
+        self.on_domain_boundary(0, new_epoch);
+    }
+
+    /// Epoch-boundary hook for domain `domain`: splices every one of its
+    /// pending lists onto the matching free list, making objects freed in
+    /// the domain's finished epoch allocatable. Runs while the domain's
+    /// threads are quiesced; all writes are InCLL-logged under
+    /// `new_epoch`, so a crash mid-epoch reverts the splice and the
+    /// objects simply wait in pending — never leaked. Other domains'
+    /// pending lists (whose frees may still roll back) are untouched.
+    pub fn on_domain_boundary(&self, domain: usize, new_epoch: u64) {
         let arena = &self.inner.arena;
         for t in 0..self.inner.nthreads {
             for c in 0..TOTAL_CLASSES {
-                let cell = self.cell(t, c);
+                let cell = self.cell(t, domain, c);
                 let phead = cell::pend_head(arena, cell);
                 if phead == 0 {
                     continue;
@@ -409,7 +586,7 @@ impl PAlloc {
                 debug_assert_ne!(ptail, 0, "pending list with head but no tail");
                 let fhead = cell::free_head(arena, cell);
                 // tail.next := old free head (tail was the oldest pending).
-                self.write_obj_next(ptail, fhead, new_epoch);
+                self.write_obj_next(ptail, fhead, new_epoch, domain);
                 cell::set_free_head(arena, cell, new_epoch, phead);
                 cell::log_pending(arena, cell, new_epoch);
                 cell::set_pend_head(arena, cell, 0);
@@ -418,30 +595,82 @@ impl PAlloc {
         }
     }
 
-    /// Registers the boundary hook on an epoch manager.
+    /// Registers the boundary hook for every domain on an epoch manager.
     pub fn attach(&self, mgr: &EpochManager) {
-        let this = self.clone();
-        mgr.add_advance_hook(Box::new(move |new_epoch| {
-            this.on_epoch_boundary(new_epoch);
-        }));
+        for d in 0..self.inner.ndomains {
+            let this = self.clone();
+            mgr.add_advance_hook_on(
+                d,
+                Box::new(move |new_epoch| {
+                    this.on_domain_boundary(d, new_epoch);
+                }),
+            );
+        }
     }
 
-    /// Walks the free list of `(thread, class)`, returning the object
-    /// offsets (diagnostics / tests). Applies the same header repair logic
-    /// as `alloc`.
+    /// Failed-epoch-set **compaction sweep** for `domain`, run inside the
+    /// domain's advance (quiesced, pre-flush): rewrites the header of
+    /// every object reachable from the domain's free and pending lists so
+    /// it is tagged with the current (`epoch`) timeline position instead
+    /// of any historic epoch. After the checkpoint flush that follows, no
+    /// durable list-reachable header can need a rollback keyed to an
+    /// older failed epoch, so those entries may be pruned
+    /// ([`incll_pmem::superblock::prune_failed_epochs`]).
+    ///
+    /// Objects *not* on any list (live allocations) may keep stale tags:
+    /// their next header write re-logs from the decoded state, and a
+    /// stale undo value only survives into a list when the push that
+    /// wrote it is itself rolled back — which re-orphans the object.
+    pub fn normalize_lists(&self, domain: usize, epoch: u64) {
+        let arena = &self.inner.arena;
+        let e32 = epoch as u32;
+        for t in 0..self.inner.nthreads {
+            for c in 0..TOTAL_CLASSES {
+                let cell = self.cell(t, domain, c);
+                for head in [cell::free_head(arena, cell), cell::pend_head(arena, cell)] {
+                    let mut cur = head;
+                    let mut hops = 0usize;
+                    while cur != 0 {
+                        let w0 = arena.pread_u64(cur);
+                        let w1 = arena.pread_u64(cur + 8);
+                        let decoded = header::decode(w0, w1, |e| self.is_failed_low32(domain, e));
+                        if decoded.torn || header::epoch32(w0, w1) != e32 {
+                            self.write_obj_next(cur, decoded.next, epoch, domain);
+                        }
+                        cur = decoded.next;
+                        hops += 1;
+                        assert!(hops <= 10_000_000, "list cycle during normalization");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Walks the free list of `(thread, domain 0, class)`, returning the
+    /// object offsets (diagnostics / tests). Applies the same header
+    /// repair logic as `alloc`.
     ///
     /// # Panics
     ///
     /// Panics if the list contains a cycle.
     pub fn free_list(&self, thread: usize, class: usize) -> Vec<u64> {
+        self.free_list_in(thread, 0, class)
+    }
+
+    /// Walks the free list of `(thread, domain, class)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list contains a cycle.
+    pub fn free_list_in(&self, thread: usize, domain: usize, class: usize) -> Vec<u64> {
         let arena = &self.inner.arena;
         let mut out = Vec::new();
-        let mut cur = cell::free_head(arena, self.cell(thread, class));
+        let mut cur = cell::free_head(arena, self.cell(thread, domain, class));
         while cur != 0 {
             out.push(cur);
             let w0 = arena.pread_u64(cur);
             let w1 = arena.pread_u64(cur + 8);
-            cur = header::decode(w0, w1, |e| self.is_failed_low32(e)).next;
+            cur = header::decode(w0, w1, |e| self.is_failed_low32(domain, e)).next;
             assert!(
                 out.len() <= 1_000_000,
                 "free list cycle detected for thread {thread} class {class}"
@@ -450,20 +679,30 @@ impl PAlloc {
         out
     }
 
-    /// Walks the pending list of `(thread, class)` (diagnostics / tests).
+    /// Walks the pending list of `(thread, domain 0, class)` (diagnostics
+    /// / tests).
     ///
     /// # Panics
     ///
     /// Panics if the list contains a cycle.
     pub fn pending_list(&self, thread: usize, class: usize) -> Vec<u64> {
+        self.pending_list_in(thread, 0, class)
+    }
+
+    /// Walks the pending list of `(thread, domain, class)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list contains a cycle.
+    pub fn pending_list_in(&self, thread: usize, domain: usize, class: usize) -> Vec<u64> {
         let arena = &self.inner.arena;
         let mut out = Vec::new();
-        let mut cur = cell::pend_head(arena, self.cell(thread, class));
+        let mut cur = cell::pend_head(arena, self.cell(thread, domain, class));
         while cur != 0 {
             out.push(cur);
             let w0 = arena.pread_u64(cur);
             let w1 = arena.pread_u64(cur + 8);
-            cur = header::decode(w0, w1, |e| self.is_failed_low32(e)).next;
+            cur = header::decode(w0, w1, |e| self.is_failed_low32(domain, e)).next;
             assert!(out.len() <= 1_000_000, "pending list cycle detected");
         }
         out
@@ -474,6 +713,7 @@ impl std::fmt::Debug for PAlloc {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PAlloc")
             .field("threads", &self.inner.nthreads)
+            .field("domains", &self.inner.ndomains)
             .field("classes", &TOTAL_CLASSES)
             .finish()
     }
@@ -910,6 +1150,136 @@ mod tests {
                 checkpoint = live.clone();
             }
         }
+    }
+
+    // ---------------- epoch domains ----------------
+
+    fn tracked_sharded(nthreads: usize, ndomains: usize) -> (PArena, PAlloc) {
+        let arena = PArena::builder()
+            .capacity_bytes(8 << 20)
+            .tracked(true)
+            .build()
+            .unwrap();
+        superblock::format(&arena);
+        let alloc = PAlloc::create_sharded(&arena, nthreads, ndomains).unwrap();
+        arena.global_flush(); // creation state is durable
+        (arena, alloc)
+    }
+
+    #[test]
+    fn domains_have_independent_lists() {
+        let arena = PArena::builder().capacity_bytes(8 << 20).build().unwrap();
+        superblock::format(&arena);
+        let alloc = PAlloc::create_sharded(&arena, 1, 2).unwrap();
+        assert_eq!(alloc.domains(), 2);
+        let x = alloc.alloc_in(0, 0, 1, 32).unwrap();
+        let y = alloc.alloc_in(0, 1, 5, 32).unwrap();
+        assert_ne!(x, y);
+        alloc.free_in(0, 0, 1, x, 32);
+        alloc.free_in(0, 1, 5, y, 32);
+        assert_eq!(alloc.pending_list_in(0, 0, class_for(32).unwrap()).len(), 1);
+        assert_eq!(alloc.pending_list_in(0, 1, class_for(32).unwrap()).len(), 1);
+        // Only domain 1's boundary splices domain 1's pendings.
+        alloc.on_domain_boundary(1, 6);
+        assert_eq!(alloc.pending_list_in(0, 0, class_for(32).unwrap()).len(), 1);
+        assert!(alloc
+            .pending_list_in(0, 1, class_for(32).unwrap())
+            .is_empty());
+        assert_eq!(alloc.alloc_in(0, 1, 6, 32).unwrap(), y, "spliced -> reused");
+    }
+
+    #[test]
+    fn domain_crash_reverts_only_that_domains_lists() {
+        // Both domains warm their lists, checkpoint at their own (different)
+        // epochs, then domain 1 churns in a doomed epoch and crashes.
+        // Domain 1's pops revert to its boundary; domain 0 is untouched.
+        let (arena, alloc) = tracked_sharded(1, 2);
+        let class = class_for(32).unwrap();
+        let keep = alloc.alloc_in(0, 0, 1, 32).unwrap();
+        // Warm domain 1's free list inside its epoch 5.
+        let w = alloc.alloc_in(0, 1, 5, 32).unwrap();
+        alloc.free_in(0, 1, 5, w, 32);
+        // Both domains complete a checkpoint (the test flushes everything:
+        // a superset of the scoped flush, always legal).
+        arena.pwrite_u64(superblock::domain_cur_epoch_off(0), 2);
+        arena.pwrite_u64(superblock::domain_cur_epoch_off(1), 6);
+        arena.global_flush();
+        alloc.on_domain_boundary(0, 2);
+        alloc.on_domain_boundary(1, 6);
+        let d0_free = alloc.free_list_in(0, 0, class);
+        // The boundary splices above ran *after* the flush (tags epoch
+        // 2/6), mirroring the real advance; flush again so the spliced
+        // state is the durable baseline.
+        arena.global_flush();
+        let d1_free = alloc.free_list_in(0, 1, class);
+
+        // Domain 1 churns in its (doomed) epoch 6, then crashes.
+        alloc.alloc_in(0, 1, 6, 32).unwrap();
+        alloc.alloc_in(0, 1, 6, 32).unwrap();
+        superblock::record_failed_epoch_for(&arena, 1, 6).unwrap();
+        arena.crash_seeded(21);
+
+        let alloc2 = PAlloc::open_sharded(&arena, &[3, 7]);
+        assert_eq!(
+            alloc2.free_list_in(0, 0, class),
+            d0_free,
+            "domain 0 must keep its completed state"
+        );
+        assert_eq!(
+            alloc2.free_list_in(0, 1, class),
+            d1_free,
+            "domain 1 must revert to its own boundary"
+        );
+        // And the kept domain-0 object is still absent from every list.
+        let keep_obj = keep - HEADER_BYTES as u64;
+        assert!(!alloc2.free_list_in(0, 0, class).contains(&keep_obj));
+        assert!(!alloc2.free_list_in(0, 1, class).contains(&keep_obj));
+    }
+
+    #[test]
+    fn multi_domain_watermark_is_eager_and_never_reverts() {
+        let (arena, alloc) = tracked_sharded(1, 2);
+        let before = arena.pread_u64(superblock::SB_BUMP);
+        let sfences = arena.stats().sfence();
+        alloc.alloc_in(0, 1, 1, 320).unwrap(); // forces a slab carve
+        let after = arena.pread_u64(superblock::SB_BUMP);
+        assert!(after > before, "watermark persisted at carve");
+        assert!(arena.stats().sfence() > sfences, "carve fences eagerly");
+        superblock::record_failed_epoch_for(&arena, 1, 1).unwrap();
+        arena.crash_seeded(3);
+        let _alloc2 = PAlloc::open_sharded(&arena, &[2, 2]);
+        assert_eq!(
+            arena.pread_u64(superblock::SB_BUMP),
+            after,
+            "multi-domain watermark must not roll back (doomed slabs leak)"
+        );
+    }
+
+    #[test]
+    fn normalize_lists_retags_reachable_headers() {
+        let (_arena, alloc) = tracked_sharded(1, 2);
+        let class = class_for(32).unwrap();
+        // Build a free list whose headers are tagged with epoch 1, plus a
+        // pending object tagged epoch 2.
+        let a = alloc.alloc_in(0, 1, 1, 32).unwrap();
+        alloc.free_in(0, 1, 2, a, 32);
+        alloc.normalize_lists(1, 9);
+        let arena = alloc.arena().clone();
+        for obj in alloc
+            .free_list_in(0, 1, class)
+            .into_iter()
+            .chain(alloc.pending_list_in(0, 1, class))
+        {
+            let w0 = arena.pread_u64(obj);
+            let w1 = arena.pread_u64(obj + 8);
+            assert_eq!(
+                header::epoch32(w0, w1),
+                9,
+                "every reachable header must carry the sweep epoch"
+            );
+        }
+        // Lists are structurally unchanged by normalization.
+        assert_eq!(alloc.pending_list_in(0, 1, class).len(), 1);
     }
 
     #[test]

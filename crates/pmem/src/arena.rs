@@ -7,6 +7,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::journal::Journal;
+pub use crate::journal::DOMAIN_SHARED;
 use crate::latency::{spin_ns, LatencyModel};
 use crate::stats::Stats;
 use crate::superblock;
@@ -14,6 +15,47 @@ use crate::{Error, Result};
 
 /// Cache-line size assumed throughout the system, in bytes.
 pub const CACHE_LINE: usize = 64;
+
+std::thread_local! {
+    /// The epoch domain the calling thread is currently mutating under
+    /// (see [`FlushDomainScope`]). [`DOMAIN_SHARED`] outside any scope.
+    static CURRENT_DOMAIN: std::cell::Cell<u16> = const { std::cell::Cell::new(DOMAIN_SHARED) };
+}
+
+/// RAII scope tagging every tracked store the current thread makes with an
+/// epoch-domain id, so a later [`PArena::flush_domain`] call covers them.
+///
+/// The durable tree enters a scope for the owning shard around every
+/// operation; code running outside any scope (formatting, shared
+/// bookkeeping) dirties lines as [`DOMAIN_SHARED`], which **every** scoped
+/// flush covers. Scopes nest; the previous domain is restored on drop.
+///
+/// Tagging affects only *tracked* arenas (the crash simulator); fast-mode
+/// stores ignore it.
+#[derive(Debug)]
+pub struct FlushDomainScope {
+    prev: u16,
+}
+
+impl FlushDomainScope {
+    /// Enters a scope: stores by this thread are tagged with `domain`
+    /// until the returned guard drops.
+    pub fn enter(domain: u16) -> Self {
+        let prev = CURRENT_DOMAIN.with(|d| d.replace(domain));
+        FlushDomainScope { prev }
+    }
+}
+
+impl Drop for FlushDomainScope {
+    fn drop(&mut self) {
+        CURRENT_DOMAIN.with(|d| d.set(self.prev));
+    }
+}
+
+#[inline]
+fn current_domain() -> u16 {
+    CURRENT_DOMAIN.with(|d| d.get())
+}
 
 /// Minimum carve alignment; guarantees persistent-pointer low bits are zero
 /// (the paper packs pointers assuming 16-byte allocation alignment, §4.1.3).
@@ -350,6 +392,7 @@ impl PArena {
                 line,
                 within,
                 &value.to_le_bytes(),
+                current_domain(),
                 || self.read_line(line),
                 || self.atom(offset).store(value, order),
             );
@@ -380,6 +423,7 @@ impl PArena {
                 line,
                 within,
                 &new.to_le_bytes(),
+                current_domain(),
                 || self.read_line(line),
                 || {
                     out = self
@@ -396,6 +440,7 @@ impl PArena {
                     line,
                     within,
                     &actual.to_le_bytes(),
+                    current_domain(),
                     || self.read_line(line),
                     || {},
                 );
@@ -419,6 +464,7 @@ impl PArena {
                 within,
                 // Placeholder; corrected below once the result is known.
                 &[0u8; 8],
+                current_domain(),
                 || self.read_line(line),
                 || {
                     prev = self.atom(offset).fetch_add(delta, Ordering::AcqRel);
@@ -429,6 +475,7 @@ impl PArena {
                 line,
                 within,
                 &new.to_le_bytes(),
+                current_domain(),
                 || self.read_line(line),
                 || {},
             );
@@ -459,6 +506,7 @@ impl PArena {
                     line,
                     within,
                     slice,
+                    current_domain(),
                     || self.read_line(line),
                     || {
                         // SAFETY: in-bounds (asserted above); caller owns the
@@ -547,6 +595,22 @@ impl PArena {
         spin_ns(self.inner.latency.wbinvd_ns());
     }
 
+    /// Scoped flush: everything stored under [`FlushDomainScope`]s for
+    /// `domain` — plus all [`DOMAIN_SHARED`] lines — is durable when this
+    /// returns. The per-shard-epoch analogue of [`PArena::global_flush`]:
+    /// a dirty-line write-back walk rather than `wbinvd`, so other
+    /// domains' working sets keep their cache residency (and, in tracked
+    /// mode, their crash exposure). Injects the configured scoped-flush
+    /// latency.
+    pub fn flush_domain(&self, domain: u16) {
+        fence(Ordering::SeqCst);
+        self.inner.stats.add_scoped_flush();
+        if self.inner.tracked {
+            self.inner.journal.flush_domain(domain);
+        }
+        spin_ns(self.inner.latency.scoped_flush_ns());
+    }
+
     // ------------------------------------------------------------------
     // Crash injection (tracked mode)
     // ------------------------------------------------------------------
@@ -557,6 +621,13 @@ impl PArena {
     /// [`PArena::global_flush`].
     pub fn unpersisted_lines(&self) -> usize {
         self.inner.journal.unpersisted_lines()
+    }
+
+    /// Number of cache lines holding unpersisted stores dirtied under
+    /// `domain` (shared lines count for every domain). Always 0 in fast
+    /// mode.
+    pub fn unpersisted_lines_in(&self, domain: u16) -> usize {
+        self.inner.journal.unpersisted_lines_in(domain)
     }
 
     /// Simulates a power failure with a seeded RNG choosing, per cache
@@ -735,6 +806,44 @@ mod tests {
         for i in 0..128 {
             assert_eq!(a.pread_u64(off + i * 8), i + 1);
         }
+    }
+
+    #[test]
+    fn scoped_flush_covers_own_domain_and_shared_only() {
+        let a = arena(true);
+        let base = a.carve(256, 64).unwrap();
+        {
+            let _s = FlushDomainScope::enter(1);
+            a.pwrite_u64(base, 11);
+        }
+        {
+            let _s = FlushDomainScope::enter(2);
+            a.pwrite_u64(base + 64, 22);
+        }
+        a.pwrite_u64(base + 128, 33); // untagged -> shared
+        assert_eq!(a.unpersisted_lines_in(1), 2);
+        a.flush_domain(1);
+        a.crash_with(|_, _| 0);
+        assert_eq!(a.pread_u64(base), 11, "domain-1 line durable");
+        assert_eq!(a.pread_u64(base + 64), 0, "domain-2 line reverted");
+        assert_eq!(a.pread_u64(base + 128), 33, "shared line durable");
+        assert_eq!(a.stats().scoped_flush(), 1);
+    }
+
+    #[test]
+    fn flush_domain_scopes_nest_and_restore() {
+        let a = arena(true);
+        let base = a.carve(192, 64).unwrap();
+        let _outer = FlushDomainScope::enter(7);
+        {
+            let _inner = FlushDomainScope::enter(9);
+            a.pwrite_u64(base, 1);
+        }
+        a.pwrite_u64(base + 64, 2);
+        a.flush_domain(9);
+        a.crash_with(|_, _| 0);
+        assert_eq!(a.pread_u64(base), 1);
+        assert_eq!(a.pread_u64(base + 64), 0, "outer-scope line not flushed");
     }
 
     #[test]

@@ -25,6 +25,13 @@ use crate::arena::CACHE_LINE;
 
 const SHARDS: usize = 64;
 
+/// The domain tag carried by stores made outside any flush-domain scope
+/// (and by lines dirtied under more than one domain). Shared lines are
+/// flushed by **every** scoped flush, so tagging conservatively only ever
+/// makes *more* state durable — which is always a legal PCSO outcome (a
+/// cache line may be evicted, i.e. persisted, at any moment).
+pub const DOMAIN_SHARED: u16 = u16::MAX;
+
 /// One recorded (unpersisted) store within a single cache line.
 #[derive(Clone)]
 struct StoreRec {
@@ -45,6 +52,9 @@ struct LineState {
     /// `clwb` snapshot awaiting an `sfence`: `(snapshot, stores.len() at
     /// clwb time)`.
     pending: Option<([u8; CACHE_LINE], usize)>,
+    /// The epoch domain that dirtied this line, or [`DOMAIN_SHARED`] when
+    /// stores from more than one domain (or untagged stores) touched it.
+    domain: u16,
 }
 
 /// The tracked-mode store journal. Internal to the arena.
@@ -79,6 +89,7 @@ impl Journal {
         line: u64,
         off: usize,
         data: &[u8],
+        domain: u16,
         read_line: impl FnOnce() -> [u8; CACHE_LINE],
         apply: impl FnOnce(),
     ) {
@@ -88,7 +99,11 @@ impl Journal {
             base: read_line(),
             stores: Vec::new(),
             pending: None,
+            domain,
         });
+        if entry.domain != domain {
+            entry.domain = DOMAIN_SHARED;
+        }
         let mut rec = StoreRec {
             off: off as u8,
             len: data.len() as u8,
@@ -142,9 +157,41 @@ impl Journal {
         }
     }
 
+    /// Declares durable (with current content) every line dirtied under
+    /// `domain`, plus every [`DOMAIN_SHARED`] line — the scoped-flush
+    /// semantics used by per-shard epoch advances. Lines owned by other
+    /// domains keep their journal entries (and their crash exposure).
+    pub(crate) fn flush_domain(&self, domain: u16) {
+        for shard in &self.shards {
+            shard
+                .lock()
+                .retain(|_, st| st.domain != domain && st.domain != DOMAIN_SHARED);
+        }
+        // pending_lines is deliberately left alone: ids whose entries were
+        // just flushed are harmless (`sfence` skips lines with no journal
+        // entry), while "cleaning" the list here would race a concurrent
+        // clwb→sfence pair on another domain — taking the list out, even
+        // briefly, makes that thread's sfence promote nothing and silently
+        // revokes a durability guarantee it already returned with.
+    }
+
     /// Number of cache lines holding unpersisted stores.
     pub(crate) fn unpersisted_lines(&self) -> usize {
         self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Number of cache lines holding unpersisted stores dirtied under
+    /// `domain` (shared lines are counted for every domain).
+    pub(crate) fn unpersisted_lines_in(&self, domain: u16) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .values()
+                    .filter(|st| st.domain == domain || st.domain == DOMAIN_SHARED)
+                    .count()
+            })
+            .sum()
     }
 
     /// Simulates a power failure.
@@ -195,7 +242,7 @@ mod tests {
     #[test]
     fn store_then_full_crash_keeps_store() {
         let j = Journal::new();
-        j.record_store(5, 0, &7u64.to_le_bytes(), zero_line, || {});
+        j.record_store(5, 0, &7u64.to_le_bytes(), DOMAIN_SHARED, zero_line, || {});
         let mut seen = Vec::new();
         j.crash_with(|_, n| n, |line, buf| seen.push((line, buf[0])));
         assert_eq!(seen, vec![(5, 7)]);
@@ -205,7 +252,7 @@ mod tests {
     #[test]
     fn store_then_zero_prefix_crash_reverts() {
         let j = Journal::new();
-        j.record_store(5, 0, &7u64.to_le_bytes(), zero_line, || {});
+        j.record_store(5, 0, &7u64.to_le_bytes(), DOMAIN_SHARED, zero_line, || {});
         let mut seen = Vec::new();
         j.crash_with(|_, _| 0, |line, buf| seen.push((line, buf[0])));
         assert_eq!(seen, vec![(5, 0)]);
@@ -214,9 +261,9 @@ mod tests {
     #[test]
     fn same_line_stores_apply_in_order() {
         let j = Journal::new();
-        j.record_store(1, 0, &[1], zero_line, || {});
-        j.record_store(1, 0, &[2], zero_line, || {});
-        j.record_store(1, 8, &[9], zero_line, || {});
+        j.record_store(1, 0, &[1], DOMAIN_SHARED, zero_line, || {});
+        j.record_store(1, 0, &[2], DOMAIN_SHARED, zero_line, || {});
+        j.record_store(1, 8, &[9], DOMAIN_SHARED, zero_line, || {});
         // Prefix of 2: second store to byte 0 wins, byte 8 still zero.
         let mut byte0 = 0xff;
         let mut byte8 = 0xff;
@@ -233,7 +280,7 @@ mod tests {
     #[test]
     fn clwb_without_sfence_guarantees_nothing() {
         let j = Journal::new();
-        j.record_store(3, 0, &[1], zero_line, || {});
+        j.record_store(3, 0, &[1], DOMAIN_SHARED, zero_line, || {});
         j.clwb(3, || {
             let mut l = zero_line();
             l[0] = 1;
@@ -248,7 +295,7 @@ mod tests {
     #[test]
     fn clwb_sfence_promotes_to_durable() {
         let j = Journal::new();
-        j.record_store(3, 0, &[1], zero_line, || {});
+        j.record_store(3, 0, &[1], DOMAIN_SHARED, zero_line, || {});
         j.clwb(3, || {
             let mut l = zero_line();
             l[0] = 1;
@@ -265,13 +312,13 @@ mod tests {
     #[test]
     fn stores_after_clwb_remain_at_risk() {
         let j = Journal::new();
-        j.record_store(3, 0, &[1], zero_line, || {});
+        j.record_store(3, 0, &[1], DOMAIN_SHARED, zero_line, || {});
         j.clwb(3, || {
             let mut l = zero_line();
             l[0] = 1;
             l
         });
-        j.record_store(3, 1, &[2], zero_line, || {});
+        j.record_store(3, 1, &[2], DOMAIN_SHARED, zero_line, || {});
         j.sfence();
         assert_eq!(j.unpersisted_lines(), 1);
         let mut bytes = (0xff, 0xff);
@@ -284,7 +331,7 @@ mod tests {
     fn flush_all_makes_everything_durable() {
         let j = Journal::new();
         for line in 0..10 {
-            j.record_store(line, 0, &[line as u8 + 1], zero_line, || {});
+            j.record_store(line, 0, &[line as u8 + 1], DOMAIN_SHARED, zero_line, || {});
         }
         assert_eq!(j.unpersisted_lines(), 10);
         j.flush_all();
@@ -292,10 +339,71 @@ mod tests {
     }
 
     #[test]
+    fn flush_domain_retires_only_that_domain_and_shared() {
+        let j = Journal::new();
+        j.record_store(1, 0, &[1], 3, zero_line, || {});
+        j.record_store(2, 0, &[2], 5, zero_line, || {});
+        j.record_store(3, 0, &[3], DOMAIN_SHARED, zero_line, || {});
+        assert_eq!(j.unpersisted_lines_in(3), 2); // own line + shared
+        j.flush_domain(3);
+        assert_eq!(j.unpersisted_lines(), 1);
+        // Only domain 5's line still reverts on crash.
+        let mut seen = Vec::new();
+        j.crash_with(|_, _| 0, |line, _| seen.push(line));
+        assert_eq!(seen, vec![2]);
+    }
+
+    #[test]
+    fn mixed_domain_line_becomes_shared() {
+        let j = Journal::new();
+        j.record_store(7, 0, &[1], 3, zero_line, || {});
+        j.record_store(7, 8, &[2], 5, zero_line, || {});
+        // Either domain's flush now covers the line.
+        j.flush_domain(5);
+        assert_eq!(j.unpersisted_lines(), 0);
+    }
+
+    #[test]
+    fn foreign_domain_flush_does_not_steal_a_pending_clwb() {
+        // Regression: flush_domain used to rebuild pending_lines, and a
+        // scoped flush landing between another thread's clwb and sfence
+        // stole the pending id — the sfence then promoted nothing and the
+        // "durable" store could still revert at a crash.
+        let j = Journal::new();
+        j.record_store(4, 0, &[1], 0, zero_line, || {});
+        j.clwb(4, || {
+            let mut l = zero_line();
+            l[0] = 1;
+            l
+        });
+        j.flush_domain(1); // different domain: must not touch line 4
+        j.sfence();
+        assert_eq!(j.unpersisted_lines(), 0, "the clwb+sfence must promote");
+        let mut crashed = 0;
+        j.crash_with(|_, _| 0, |_, _| crashed += 1);
+        assert_eq!(crashed, 0, "the fenced store must be durable");
+    }
+
+    #[test]
+    fn flush_domain_drops_pending_clwb_of_flushed_lines() {
+        let j = Journal::new();
+        j.record_store(4, 0, &[1], 2, zero_line, || {});
+        j.clwb(4, || {
+            let mut l = zero_line();
+            l[0] = 1;
+            l
+        });
+        j.flush_domain(2);
+        // The pending snapshot is gone with the entry; sfence is a no-op.
+        j.sfence();
+        assert_eq!(j.unpersisted_lines(), 0);
+    }
+
+    #[test]
     fn independent_lines_cut_independently() {
         let j = Journal::new();
-        j.record_store(1, 0, &[1], zero_line, || {});
-        j.record_store(2, 0, &[1], zero_line, || {});
+        j.record_store(1, 0, &[1], DOMAIN_SHARED, zero_line, || {});
+        j.record_store(2, 0, &[1], DOMAIN_SHARED, zero_line, || {});
         let mut results = HashMap::new();
         j.crash_with(
             |line, n| if line == 1 { n } else { 0 },

@@ -19,6 +19,9 @@ pub struct LatencyModel {
     /// Delay injected by every
     /// [`global_flush`](crate::PArena::global_flush), in ns.
     wbinvd_ns: AtomicU64,
+    /// Delay injected by every
+    /// [`flush_domain`](crate::PArena::flush_domain), in ns.
+    scoped_flush_ns: AtomicU64,
 }
 
 impl LatencyModel {
@@ -45,6 +48,19 @@ impl LatencyModel {
     /// Returns the configured whole-cache-flush delay in nanoseconds.
     pub fn wbinvd_ns(&self) -> u64 {
         self.wbinvd_ns.load(Ordering::Relaxed)
+    }
+
+    /// Sets the scoped (per-domain) flush delay in nanoseconds. A scoped
+    /// flush write-backs one domain's dirty lines instead of the whole
+    /// cache, so benchmarks typically configure a fraction of the
+    /// `wbinvd` cost here.
+    pub fn set_scoped_flush_ns(&self, ns: u64) {
+        self.scoped_flush_ns.store(ns, Ordering::Relaxed);
+    }
+
+    /// Returns the configured scoped-flush delay in nanoseconds.
+    pub fn scoped_flush_ns(&self) -> u64 {
+        self.scoped_flush_ns.load(Ordering::Relaxed)
     }
 }
 

@@ -45,7 +45,7 @@ mod pptr;
 mod stats;
 pub mod superblock;
 
-pub use arena::{PArena, PArenaBuilder, CACHE_LINE};
+pub use arena::{FlushDomainScope, PArena, PArenaBuilder, CACHE_LINE, DOMAIN_SHARED};
 pub use error::Error;
 pub use latency::{spin_ns, LatencyModel};
 pub use pptr::PPtr;

@@ -67,6 +67,8 @@ stats_fields! {
     sfence,
     /// Whole-cache flushes (`wbinvd` analogue) issued at epoch boundaries.
     global_flush,
+    /// Scoped (per-domain) flushes issued at per-shard epoch boundaries.
+    scoped_flush,
     /// Nodes copied into the external undo log.
     ext_nodes_logged,
     /// Interior (non-leaf) nodes among those (§6.1 ablation).
@@ -115,6 +117,12 @@ impl Stats {
     #[inline]
     pub fn add_global_flush(&self) {
         Self::add(&self.global_flush, 1);
+    }
+
+    /// Records a scoped (per-domain) flush.
+    #[inline]
+    pub fn add_scoped_flush(&self) {
+        Self::add(&self.scoped_flush, 1);
     }
 
     /// Records one externally logged node of `bytes` payload.

@@ -1,9 +1,9 @@
 //! Durable superblock layout: fixed offsets shared by all subsystems.
 //!
-//! The first 4 KiB of the arena act like a filesystem superblock. Each
-//! subsystem owns a region (documented below) and accesses it through its
-//! own logic; this module only centralises the offsets so they cannot
-//! collide, plus the format/open handshake.
+//! The first [`CARVE_START`] bytes of the arena act like a filesystem
+//! superblock. Each subsystem owns a region (documented below) and accesses
+//! it through its own logic; this module only centralises the offsets so
+//! they cannot collide, plus the format/open handshake.
 //!
 //! Cache-line discipline matters here: every field group that is protected
 //! by an in-cache-line log (the allocator's bump watermark and free-list
@@ -12,46 +12,58 @@
 //!
 //! Layout (byte offsets from the arena base; line = 64 B):
 //!
-//! | Offset | Line(s) | Contents |
-//! |--------|---------|----------|
-//! | 0      | 0       | reserved (offset 0 is the null `PPtr`) |
-//! | 64     | 1       | magic, version, durable current epoch, first epoch of current execution |
-//! | 128    | 2–16    | failed-epoch set: count + up to 119 epochs |
-//! | 1088   | 17      | allocator bump watermark InCLL triple |
-//! | 1152   | 18      | shard-0 root holder + tree metadata + shard count |
-//! | 1216   | 19      | external-log region descriptor |
-//! | 1280   | 20–43   | allocator class heads, one line each (24 classes) |
-//! | 2816   | 44–59   | shard root-holder table (shards 1..64, 16 B cells) |
-//! | 3840   | 60–63   | spare |
-//! | 4096   | —       | start of carvable space |
+//! | Offset | Line(s)  | Contents |
+//! |--------|----------|----------|
+//! | 0      | 0        | reserved (offset 0 is the null `PPtr`) |
+//! | 64     | 1        | magic, version, shard-0 durable current epoch, shard-0 first epoch of current execution |
+//! | 128    | 2–16     | shard-0 failed-epoch set: count + up to 119 epochs |
+//! | 1088   | 17       | allocator bump watermark InCLL triple |
+//! | 1152   | 18       | shard-0 root holder + tree metadata + shard count |
+//! | 1216   | 19       | external-log region descriptor (incl. domain count) |
+//! | 1280   | 20–43    | allocator class heads descriptor + head lines |
+//! | 2816   | 44–59    | shard root-holder table (shards 1..64, 16 B cells) |
+//! | 3840   | 60–63    | spare |
+//! | 4096   | 64–190   | epoch-domain table: per-shard epoch counters + failed sets (shards 1..64, 128 B cells) |
+//! | 12160  | 190–191  | spare |
+//! | 12288  | —        | start of carvable space |
+//!
+//! Shard 0's epoch counters and failed-epoch set stay on the **legacy
+//! cells** (offsets 64–1088), so a `shards(1)` store keeps the pre-domain
+//! cell positions; shards 1..63 get a 128-byte cell each in the domain
+//! table, holding their own durable current/exec epoch pair and a (smaller)
+//! failed-epoch set.
 
 use crate::{Error, PArena, Result};
 
 /// Identifies a formatted InCLL arena.
 pub const MAGIC: u64 = 0x19C1_1C05_A5B1_2019;
-/// On-media format version. Version 2 added the shard table
-/// ([`SB_SHARD_COUNT`], [`shard_root_holder`]); version-1 media has no
-/// shard count and must be rejected by openers, not reinterpreted.
-pub const VERSION: u64 = 2;
+/// On-media format version. Version 3 added the per-shard epoch-domain
+/// table ([`SB_DOMAIN_TABLE`]) and moved [`CARVE_START`] past it; version 2
+/// added the shard table ([`SB_SHARD_COUNT`], [`shard_root_holder`]);
+/// version-1 media has neither. Older media must be rejected by openers,
+/// not reinterpreted.
+pub const VERSION: u64 = 3;
 
 /// Offset of the magic word.
 pub const SB_MAGIC: u64 = 64;
 /// Offset of the format version.
 pub const SB_VERSION: u64 = 72;
-/// Offset of the durable current-epoch word (see `incll-epoch`).
+/// Offset of shard 0's durable current-epoch word (see `incll-epoch`).
 pub const SB_CUR_EPOCH: u64 = 80;
-/// Offset of the first-epoch-of-current-execution word.
+/// Offset of shard 0's first-epoch-of-current-execution word.
 pub const SB_EXEC_EPOCH: u64 = 88;
 
-/// Offset of the failed-epoch count.
+/// Offset of shard 0's failed-epoch count.
 pub const SB_FAILED_CNT: u64 = 128;
-/// Offset of the failed-epoch array (u64 entries).
+/// Offset of shard 0's failed-epoch array (u64 entries).
 pub const SB_FAILED_ARR: u64 = 136;
-/// Capacity of the failed-epoch set.
+/// Capacity of shard 0's failed-epoch set.
 ///
-/// Each entry is one crash survived by this arena. The array is bounded;
-/// see DESIGN.md for the rationale (compaction would require proving no
-/// node still carries an older `nodeEpoch`).
+/// Each entry is one crash survived by this arena since the last completed
+/// checkpoint: completed checkpoints prune the set (see
+/// [`prune_failed_epochs`] and the compaction pass in `incll`'s advance
+/// hooks), so the bound is on crashes *between* checkpoints, not on the
+/// arena's lifetime.
 pub const MAX_FAILED_EPOCHS: usize = 119;
 
 /// Offset of the allocator bump-watermark InCLL triple
@@ -104,16 +116,106 @@ pub const fn shard_root_holder(i: usize) -> u64 {
 pub const SB_EXTLOG_OFF: u64 = 1216;
 /// Offset of the external-log thread-count word.
 pub const SB_EXTLOG_THREADS: u64 = 1224;
-/// Offset of the external-log per-thread capacity word.
+/// Offset of the external-log per-slot capacity word.
 pub const SB_EXTLOG_PER_THREAD: u64 = 1232;
+/// Offset of the external-log domain-count word (v3; 0 reads as 1 so
+/// domain-oblivious media stays interpretable).
+pub const SB_EXTLOG_DOMAINS: u64 = 1240;
 
 /// Offset of the first allocator class-head line.
 pub const SB_PALLOC_HEADS: u64 = 1280;
 /// Maximum number of allocator size classes (one line each).
 pub const PALLOC_MAX_CLASSES: usize = 24;
 
-/// First carvable offset (end of the superblock).
-pub const CARVE_START: u64 = 4096;
+// ---------------------------------------------------------------------
+// Epoch-domain table (v3)
+// ---------------------------------------------------------------------
+
+/// Offset of the epoch-domain table: one [`DOMAIN_CELL_BYTES`] cell per
+/// shard **after the first** (shard 0 keeps the legacy epoch and
+/// failed-set cells, preserving the pre-domain positions for `shards(1)`
+/// media).
+///
+/// Cell layout (byte offsets within the cell):
+///
+/// ```text
+/// +0  durable current epoch    +8  first epoch of current execution
+/// +16 failed-epoch count       +24 failed epochs (up to 13 × u64)
+/// ```
+pub const SB_DOMAIN_TABLE: u64 = 4096;
+/// Bytes per epoch-domain cell (two cache lines).
+pub const DOMAIN_CELL_BYTES: u64 = 128;
+/// Failed-epoch capacity of a non-zero shard's domain cell. Smaller than
+/// shard 0's legacy [`MAX_FAILED_EPOCHS`]; compaction at completed
+/// checkpoints keeps both far from full.
+pub const MAX_FAILED_EPOCHS_SHARD: usize = 13;
+
+#[inline]
+const fn domain_cell(shard: usize) -> u64 {
+    assert!(shard >= 1 && shard < MAX_SHARDS, "domain cell out of range");
+    SB_DOMAIN_TABLE + (shard as u64 - 1) * DOMAIN_CELL_BYTES
+}
+
+/// The offset of shard `i`'s durable current-epoch word.
+///
+/// # Panics
+///
+/// Panics if `i >= MAX_SHARDS`.
+#[inline]
+pub const fn domain_cur_epoch_off(i: usize) -> u64 {
+    if i == 0 {
+        SB_CUR_EPOCH
+    } else {
+        domain_cell(i)
+    }
+}
+
+/// The offset of shard `i`'s first-epoch-of-current-execution word.
+///
+/// # Panics
+///
+/// Panics if `i >= MAX_SHARDS`.
+#[inline]
+pub const fn domain_exec_epoch_off(i: usize) -> u64 {
+    if i == 0 {
+        SB_EXEC_EPOCH
+    } else {
+        domain_cell(i) + 8
+    }
+}
+
+/// The offset of shard `i`'s failed-epoch count word.
+#[inline]
+const fn failed_cnt_off(i: usize) -> u64 {
+    if i == 0 {
+        SB_FAILED_CNT
+    } else {
+        domain_cell(i) + 16
+    }
+}
+
+/// The offset of shard `i`'s failed-epoch array.
+#[inline]
+const fn failed_arr_off(i: usize) -> u64 {
+    if i == 0 {
+        SB_FAILED_ARR
+    } else {
+        domain_cell(i) + 24
+    }
+}
+
+/// The failed-epoch capacity of shard `i`'s set.
+#[inline]
+pub const fn failed_capacity(i: usize) -> usize {
+    if i == 0 {
+        MAX_FAILED_EPOCHS
+    } else {
+        MAX_FAILED_EPOCHS_SHARD
+    }
+}
+
+/// First carvable offset (end of the superblock + domain table).
+pub const CARVE_START: u64 = 12288;
 
 /// Formats a fresh arena: writes magic/version, zeroes all superblock
 /// fields, and flushes the superblock.
@@ -155,44 +257,106 @@ pub fn raw_version(arena: &PArena) -> u64 {
     arena.pread_u64(SB_VERSION)
 }
 
-/// Appends `epoch` to the durable failed-epoch set (idempotent), flushing
-/// the update.
+/// Appends `epoch` to shard 0's durable failed-epoch set. See
+/// [`record_failed_epoch_for`].
 ///
 /// # Errors
 ///
 /// [`Error::FailedEpochSetFull`] once [`MAX_FAILED_EPOCHS`] crashes have
-/// been recorded.
+/// accumulated without a completed checkpoint.
 pub fn record_failed_epoch(arena: &PArena, epoch: u64) -> Result<()> {
-    let cnt = arena.pread_u64(SB_FAILED_CNT) as usize;
-    for i in 0..cnt.min(MAX_FAILED_EPOCHS) {
-        if arena.pread_u64(SB_FAILED_ARR + (i as u64) * 8) == epoch {
+    record_failed_epoch_for(arena, 0, epoch)
+}
+
+/// Appends `epoch` to shard `shard`'s durable failed-epoch set
+/// (idempotent), flushing the update.
+///
+/// # Errors
+///
+/// [`Error::FailedEpochSetFull`] once [`failed_capacity`] crashes have
+/// been recorded for the shard without an intervening completed
+/// checkpoint (which prunes the set).
+pub fn record_failed_epoch_for(arena: &PArena, shard: usize, epoch: u64) -> Result<()> {
+    let cap = failed_capacity(shard);
+    let arr = failed_arr_off(shard);
+    let cnt_off = failed_cnt_off(shard);
+    let cnt = arena.pread_u64(cnt_off) as usize;
+    for i in 0..cnt.min(cap) {
+        if arena.pread_u64(arr + (i as u64) * 8) == epoch {
             return Ok(()); // already recorded (re-crash during recovery)
         }
     }
-    if cnt >= MAX_FAILED_EPOCHS {
+    if cnt >= cap {
         return Err(Error::FailedEpochSetFull);
     }
     // Entry first, count second: a torn append is invisible.
-    arena.pwrite_u64(SB_FAILED_ARR + (cnt as u64) * 8, epoch);
-    arena.clwb(SB_FAILED_ARR + (cnt as u64) * 8);
+    arena.pwrite_u64(arr + (cnt as u64) * 8, epoch);
+    arena.clwb(arr + (cnt as u64) * 8);
     arena.sfence();
-    arena.pwrite_u64(SB_FAILED_CNT, cnt as u64 + 1);
-    arena.clwb(SB_FAILED_CNT);
+    arena.pwrite_u64(cnt_off, cnt as u64 + 1);
+    arena.clwb(cnt_off);
     arena.sfence();
     Ok(())
 }
 
-/// Reads the durable failed-epoch set.
+/// Reads shard 0's durable failed-epoch set.
 pub fn failed_epochs(arena: &PArena) -> Vec<u64> {
-    let cnt = (arena.pread_u64(SB_FAILED_CNT) as usize).min(MAX_FAILED_EPOCHS);
+    failed_epochs_for(arena, 0)
+}
+
+/// Reads shard `shard`'s durable failed-epoch set.
+pub fn failed_epochs_for(arena: &PArena, shard: usize) -> Vec<u64> {
+    let cap = failed_capacity(shard);
+    let arr = failed_arr_off(shard);
+    let cnt = (arena.pread_u64(failed_cnt_off(shard)) as usize).min(cap);
     (0..cnt)
-        .map(|i| arena.pread_u64(SB_FAILED_ARR + (i as u64) * 8))
+        .map(|i| arena.pread_u64(arr + (i as u64) * 8))
         .collect()
 }
 
-/// Returns `true` if `epoch` is in the durable failed-epoch set.
+/// Returns `true` if `epoch` is in shard 0's durable failed-epoch set.
 pub fn is_failed_epoch(arena: &PArena, epoch: u64) -> bool {
     failed_epochs(arena).contains(&epoch)
+}
+
+/// Compacts shard `shard`'s durable failed-epoch set, keeping only entries
+/// `>= keep_from` — the caller passes the epoch whose checkpoint just
+/// completed, pruning every entry the completed checkpoint made
+/// unreferenceable.
+///
+/// Crash-safe without any extra logging: entries are compacted in place
+/// *before* the count shrinks, and every intermediate entry word holds a
+/// value from the original set, so a torn prune only leaves a (safe,
+/// conservative) superset of the compacted set. No-op when nothing is
+/// prunable.
+///
+/// # Safety contract (caller's)
+///
+/// Pruning an entry is only sound once no durable node or allocator header
+/// can still need a rollback keyed to it — `incll`'s advance-time
+/// compaction pass establishes that by sweeping the shard's nodes and
+/// allocator lists *before* the checkpoint flush that precedes this call.
+pub fn prune_failed_epochs(arena: &PArena, shard: usize, keep_from: u64) {
+    let entries = failed_epochs_for(arena, shard);
+    let keep: Vec<u64> = entries
+        .iter()
+        .copied()
+        .filter(|&e| e >= keep_from)
+        .collect();
+    if keep.len() == entries.len() {
+        return;
+    }
+    let arr = failed_arr_off(shard);
+    for (i, &e) in keep.iter().enumerate() {
+        arena.pwrite_u64(arr + (i as u64) * 8, e);
+    }
+    if !keep.is_empty() {
+        arena.clwb_range(arr, keep.len() * 8);
+        arena.sfence();
+    }
+    arena.pwrite_u64(failed_cnt_off(shard), keep.len() as u64);
+    arena.clwb(failed_cnt_off(shard));
+    arena.sfence();
 }
 
 #[cfg(test)]
@@ -211,11 +375,16 @@ mod tests {
         assert_ne!(SB_MAGIC / 64, SB_FAILED_CNT / 64);
         assert_ne!(SB_BUMP / 64, SB_TREE_ROOT / 64);
         assert!(SB_FAILED_ARR + (MAX_FAILED_EPOCHS as u64) * 8 <= SB_BUMP);
-        assert!(SB_PALLOC_HEADS + (PALLOC_MAX_CLASSES as u64) * 64 <= CARVE_START);
-        // The shard table must sit past the allocator heads and fit in
-        // front of the carvable space.
-        assert!(SB_SHARD_TABLE >= SB_PALLOC_HEADS + (PALLOC_MAX_CLASSES as u64) * 64);
-        assert!(shard_root_holder(MAX_SHARDS - 1) + 16 <= CARVE_START);
+        assert!(SB_PALLOC_HEADS + (PALLOC_MAX_CLASSES as u64) * 64 <= SB_SHARD_TABLE);
+        // The shard table must sit past the allocator heads and in front
+        // of the domain table, which in turn fits before carvable space.
+        assert!(shard_root_holder(MAX_SHARDS - 1) + 16 <= SB_DOMAIN_TABLE);
+        assert!(
+            domain_cur_epoch_off(MAX_SHARDS - 1) + DOMAIN_CELL_BYTES <= CARVE_START,
+            "domain table must fit before carvable space"
+        );
+        // A domain cell must hold its epochs, count and full failed array.
+        assert!(24 + (MAX_FAILED_EPOCHS_SHARD as u64) * 8 <= DOMAIN_CELL_BYTES);
     }
 
     #[test]
@@ -231,6 +400,20 @@ mod tests {
     }
 
     #[test]
+    fn domain_cells_are_distinct_and_legacy_anchored() {
+        assert_eq!(domain_cur_epoch_off(0), SB_CUR_EPOCH);
+        assert_eq!(domain_exec_epoch_off(0), SB_EXEC_EPOCH);
+        assert_eq!(failed_capacity(0), MAX_FAILED_EPOCHS);
+        let cells: Vec<u64> = (1..MAX_SHARDS).map(domain_cur_epoch_off).collect();
+        for (i, &c) in cells.iter().enumerate() {
+            assert_eq!(c % 64, 0, "domain cell {i} must start a cache line");
+            for &other in &cells[i + 1..] {
+                assert!(other >= c + DOMAIN_CELL_BYTES);
+            }
+        }
+    }
+
+    #[test]
     fn version_probes_distinguish_blank_stale_and_current() {
         let a = arena();
         assert!(!has_magic(&a));
@@ -238,12 +421,14 @@ mod tests {
         assert!(has_magic(&a));
         assert!(is_formatted(&a));
         assert_eq!(raw_version(&a), VERSION);
-        // A pre-shard (v1) superblock keeps its magic but is no longer
-        // "formatted" in the current sense.
-        a.pwrite_u64(SB_VERSION, 1);
-        assert!(has_magic(&a));
-        assert!(!is_formatted(&a));
-        assert_eq!(raw_version(&a), 1);
+        // Pre-domain (v1/v2) superblocks keep their magic but are no
+        // longer "formatted" in the current sense.
+        for stale in [1, 2] {
+            a.pwrite_u64(SB_VERSION, stale);
+            assert!(has_magic(&a));
+            assert!(!is_formatted(&a));
+            assert_eq!(raw_version(&a), stale);
+        }
     }
 
     #[test]
@@ -270,6 +455,18 @@ mod tests {
     }
 
     #[test]
+    fn per_shard_failed_sets_are_independent() {
+        let a = arena();
+        format(&a);
+        record_failed_epoch_for(&a, 0, 5).unwrap();
+        record_failed_epoch_for(&a, 3, 9).unwrap();
+        record_failed_epoch_for(&a, 3, 11).unwrap();
+        assert_eq!(failed_epochs_for(&a, 0), vec![5]);
+        assert_eq!(failed_epochs_for(&a, 3), vec![9, 11]);
+        assert!(failed_epochs_for(&a, 1).is_empty());
+    }
+
+    #[test]
     fn failed_epoch_set_fills_up() {
         let a = arena();
         format(&a);
@@ -282,6 +479,48 @@ mod tests {
         ));
         // Existing entries still readable and idempotent re-record still ok.
         record_failed_epoch(&a, 100).unwrap();
+    }
+
+    #[test]
+    fn shard_failed_epoch_set_fills_at_shard_capacity() {
+        let a = arena();
+        format(&a);
+        for e in 0..MAX_FAILED_EPOCHS_SHARD as u64 {
+            record_failed_epoch_for(&a, 2, e + 100).unwrap();
+        }
+        assert!(matches!(
+            record_failed_epoch_for(&a, 2, 5),
+            Err(Error::FailedEpochSetFull)
+        ));
+    }
+
+    #[test]
+    fn prune_drops_only_older_entries() {
+        let a = arena();
+        format(&a);
+        for e in [4u64, 7, 9, 12] {
+            record_failed_epoch(&a, e).unwrap();
+        }
+        prune_failed_epochs(&a, 0, 9);
+        assert_eq!(failed_epochs(&a), vec![9, 12]);
+        // Pruning everything empties the set and re-recording works.
+        prune_failed_epochs(&a, 0, u64::MAX);
+        assert!(failed_epochs(&a).is_empty());
+        record_failed_epoch(&a, 20).unwrap();
+        assert_eq!(failed_epochs(&a), vec![20]);
+    }
+
+    #[test]
+    fn prune_unblocks_a_full_set() {
+        let a = arena();
+        format(&a);
+        for e in 0..MAX_FAILED_EPOCHS_SHARD as u64 {
+            record_failed_epoch_for(&a, 1, e + 10).unwrap();
+        }
+        assert!(record_failed_epoch_for(&a, 1, 999).is_err());
+        prune_failed_epochs(&a, 1, u64::MAX);
+        record_failed_epoch_for(&a, 1, 999).unwrap();
+        assert_eq!(failed_epochs_for(&a, 1), vec![999]);
     }
 
     #[test]

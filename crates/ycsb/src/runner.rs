@@ -45,6 +45,23 @@ pub trait KvBench: Send + Sync {
         self.bench_get(ctx, key).map(|v| v.to_le_bytes().to_vec())
     }
 
+    /// Buffer-reusing lookup: writes the value into `out` (cleared first)
+    /// and returns whether the key was present. The driver's read path
+    /// calls this with one buffer per worker, so stores with a native
+    /// `get_into` (the durable [`incll::Store`]) serve reads without a
+    /// per-operation allocation. The default re-encodes the `u64` payload
+    /// — also allocation-free.
+    fn bench_get_into(&self, ctx: &Self::Ctx, key: &[u8], out: &mut Vec<u8>) -> bool {
+        out.clear();
+        match self.bench_get(ctx, key) {
+            Some(v) => {
+                out.extend_from_slice(&v.to_le_bytes());
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Keyspace shards this store partitions over (1 for unsharded
     /// systems). Experiments report it so shard-scaling runs are
     /// self-describing.
@@ -93,6 +110,9 @@ impl KvBench for incll::DurableMasstree {
     fn bench_get_bytes(&self, ctx: &Self::Ctx, key: &[u8]) -> Option<Vec<u8>> {
         self.get_bytes(ctx, key)
     }
+    fn bench_get_into(&self, ctx: &Self::Ctx, key: &[u8], out: &mut Vec<u8>) -> bool {
+        self.get_bytes_into(ctx, key, out)
+    }
 }
 
 impl KvBench for incll::Store {
@@ -121,6 +141,9 @@ impl KvBench for incll::Store {
     }
     fn bench_get_bytes(&self, ctx: &Self::Ctx, key: &[u8]) -> Option<Vec<u8>> {
         self.get(ctx, key)
+    }
+    fn bench_get_into(&self, ctx: &Self::Ctx, key: &[u8], out: &mut Vec<u8>) -> bool {
+        self.get_into(ctx, key, out)
     }
     fn bench_shards(&self) -> usize {
         self.shard_count()
@@ -199,11 +222,13 @@ pub fn run<K: KvBench>(store: &K, cfg: &RunConfig) -> RunResult {
                 let ctx = store.bench_ctx(tid);
                 let mut stream = OpStream::with_zipf(cfg2.mix, cfg2.nkeys, zipf);
                 let mut rng = StdRng::seed_from_u64(cfg2.seed ^ (tid as u64) << 32 | tid as u64);
+                // One value buffer per worker, reused across every read.
+                let mut readbuf = Vec::with_capacity(64);
                 barrier.wait();
                 for _ in 0..cfg2.ops_per_thread {
                     match stream.next_op(&mut rng) {
                         Op::Read(i) => {
-                            store.bench_get(&ctx, &storage_key(i));
+                            store.bench_get_into(&ctx, &storage_key(i), &mut readbuf);
                         }
                         Op::Put(i, v) => {
                             store.bench_put(&ctx, &storage_key(i), v);
@@ -351,5 +376,32 @@ mod tests {
             store.bench_get_bytes(&sess, b"k").as_deref(),
             Some(&b"a considerably longer byte value"[..])
         );
+    }
+
+    #[test]
+    fn get_into_reuses_the_buffer_on_every_impl() {
+        // Transient default: re-encoded u64 payload, no allocation.
+        let t = mt();
+        let ctx = t.bench_ctx(0);
+        t.bench_put(&ctx, b"k", 7);
+        let mut buf = Vec::new();
+        assert!(t.bench_get_into(&ctx, b"k", &mut buf));
+        assert_eq!(buf, 7u64.to_le_bytes());
+        assert!(!t.bench_get_into(&ctx, b"missing", &mut buf));
+        assert!(buf.is_empty());
+
+        // Durable store: native buffer-reusing read.
+        let arena = PArena::builder().capacity_bytes(64 << 20).build().unwrap();
+        let opts = incll::Options::new()
+            .threads(1)
+            .log_bytes_per_thread(1 << 20);
+        let (store, _) = incll::Store::open(&arena, opts).unwrap();
+        let sess = store.bench_ctx(0);
+        store.bench_put_bytes(&sess, b"k", b"reused-buffer value");
+        let mut buf = Vec::with_capacity(64);
+        let cap = buf.capacity();
+        assert!(store.bench_get_into(&sess, b"k", &mut buf));
+        assert_eq!(&buf, b"reused-buffer value");
+        assert_eq!(buf.capacity(), cap, "short values must reuse capacity");
     }
 }

@@ -14,7 +14,9 @@ pub mod prelude {
     pub use incll::{
         Error, Options, RangeScan, RecoveryReport, Session, ShardReplay, Store, MAX_VALUE_BYTES,
     };
-    pub use incll_epoch::{AdvanceDriver, EpochManager, EpochOptions, DEFAULT_EPOCH_INTERVAL};
+    pub use incll_epoch::{
+        AdvanceDriver, DomainCadence, EpochManager, EpochOptions, DEFAULT_EPOCH_INTERVAL,
+    };
     pub use incll_masstree::{AllocMode, Masstree, TransientAlloc, TreeCtx};
     pub use incll_pmem::{PArena, PPtr, StatsSnapshot};
     pub use incll_ycsb::{load, run, storage_key, Dist, KvBench, Mix, RunConfig};

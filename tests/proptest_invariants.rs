@@ -145,6 +145,18 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     ]
 }
 
+/// Data ops only (no all-shard advances): the per-shard-boundary property
+/// schedules its own `checkpoint_shard` calls.
+fn data_op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (any::<u8>(), any::<u64>()).prop_map(|(k, v)| Op::Put(k, v)),
+        3 => (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..512))
+            .prop_map(|(k, v)| Op::PutBytes(k, v)),
+        2 => any::<u8>().prop_map(Op::Remove),
+        2 => any::<u8>().prop_map(Op::Get),
+    ]
+}
+
 fn open_store(arena: &PArena, shards: usize) -> Store {
     Store::open(
         arena,
@@ -288,5 +300,106 @@ proptest! {
         let scanned: Vec<(u8, Vec<u8>)> = store.iter(&sess).map(|(k, v)| (k[0], v)).collect();
         let expect: Vec<(u8, Vec<u8>)> = model.into_iter().collect();
         prop_assert_eq!(scanned, expect);
+    }
+}
+
+/// Copies `working`'s entries for every key routed to `shard` into
+/// `expect` (and removes the absent ones): the model-side image of "shard
+/// `shard` just completed a checkpoint".
+fn commit_shard(
+    expect: &mut BTreeMap<u8, Vec<u8>>,
+    working: &BTreeMap<u8, Vec<u8>>,
+    store: &Store,
+    shard: usize,
+) {
+    for k in 0..=255u8 {
+        if store.shard_of(&[k]) == shard {
+            match working.get(&k) {
+                Some(v) => {
+                    expect.insert(k, v.clone());
+                }
+                None => {
+                    expect.remove(&k);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    /// The tentpole's crash matrix: shards ∈ {1, 2, 4}, each shard given a
+    /// **different** number of `checkpoint_shard` advances interleaved
+    /// with random mutation rounds, then a seeded crash. Recovery must
+    /// land every shard on **its own** last completed boundary — shards
+    /// that advanced recently keep their recent writes, shards that did
+    /// not roll all the way back to the initial barrier — and the report
+    /// must name each shard's failed/recovered epochs exactly.
+    #[test]
+    fn per_shard_boundaries_recover_independently(
+        committed in proptest::collection::vec(data_op_strategy(), 0..60),
+        rounds in proptest::collection::vec(
+            proptest::collection::vec(data_op_strategy(), 1..40), 1..4),
+        advance_quota in proptest::collection::vec(0usize..4, 4..5),
+        crash_seed in any::<u64>(),
+        shards in shard_strategy(),
+    ) {
+        let arena = PArena::builder()
+            .capacity_bytes(32 << 20)
+            .tracked(true)
+            .build()
+            .unwrap();
+        let store = open_store(&arena, shards);
+        let mut working: BTreeMap<u8, Vec<u8>> = BTreeMap::new();
+        let mut advances_done = vec![0u64; shards];
+        let expect = {
+            let sess = store.session().unwrap();
+            for op in &committed {
+                apply(&store, &sess, &mut working, op);
+            }
+            store.checkpoint(); // the common barrier every shard starts from
+            let mut expect = working.clone();
+            for (round, chunk) in rounds.iter().enumerate() {
+                for op in chunk {
+                    apply(&store, &sess, &mut working, op);
+                }
+                // Stagger per-shard checkpoints: shard s advances in the
+                // first `advance_quota[s]` rounds only, so the boundaries
+                // drift apart.
+                for s in 0..shards {
+                    if advance_quota[s] > round {
+                        store.checkpoint_shard(s);
+                        advances_done[s] += 1;
+                        commit_shard(&mut expect, &working, &store, s);
+                    }
+                }
+            }
+            expect
+        };
+        drop(store);
+        arena.crash_seeded(crash_seed);
+
+        let (store, report) = Store::open(
+            &arena,
+            Options::new()
+                .threads(1)
+                .log_bytes_per_thread(1 << 20)
+                .shards(shards),
+        )
+        .unwrap();
+        // Each shard's failed epoch is exactly its own advance history:
+        // epoch 1 at create, +1 for the common barrier, +1 per
+        // checkpoint_shard.
+        prop_assert_eq!(report.per_shard.len(), shards);
+        for (s, rep) in report.per_shard.iter().enumerate() {
+            prop_assert_eq!(rep.shard, s);
+            prop_assert_eq!(rep.failed_epoch, 2 + advances_done[s],
+                "shard {} advanced {} times", s, advances_done[s]);
+            prop_assert_eq!(rep.recovered_epoch, rep.failed_epoch + 1);
+        }
+        let sess = store.session().unwrap();
+        let scanned: Vec<(u8, Vec<u8>)> = store.iter(&sess).map(|(k, v)| (k[0], v)).collect();
+        let want: Vec<(u8, Vec<u8>)> = expect.into_iter().collect();
+        prop_assert_eq!(scanned, want);
     }
 }

@@ -206,6 +206,178 @@ fn pre_shard_layout_is_a_typed_error_not_a_reformat() {
 }
 
 #[test]
+fn v1_and_v2_media_fail_typed_without_reformat() {
+    use incll_pmem::superblock;
+    // Fabricate pre-v3 superblocks: magic + stale version + plausible
+    // field debris. The v3 opener must return UnsupportedLayout and leave
+    // every byte alone — never "helpfully" reformat over user data.
+    for stale_version in [1u64, 2] {
+        let arena = tracked();
+        arena.pwrite_u64(superblock::SB_MAGIC, superblock::MAGIC);
+        arena.pwrite_u64(superblock::SB_VERSION, stale_version);
+        arena.pwrite_u64(superblock::SB_CUR_EPOCH, 9);
+        arena.pwrite_u64(superblock::SB_TREE_META, 1);
+        arena.pwrite_u64(superblock::SB_SHARD_COUNT, 2);
+        let before: Vec<u64> = (0..64u64).map(|i| arena.pread_u64(i * 8 + 64)).collect();
+        match Store::open(&arena, options()) {
+            Err(Error::UnsupportedLayout { found, expected }) => {
+                assert_eq!(found, stale_version);
+                assert_eq!(expected, superblock::VERSION);
+            }
+            other => panic!("v{stale_version}: expected UnsupportedLayout, got {other:?}"),
+        }
+        let after: Vec<u64> = (0..64u64).map(|i| arena.pread_u64(i * 8 + 64)).collect();
+        assert_eq!(
+            before, after,
+            "v{stale_version}: refused open must not write"
+        );
+    }
+}
+
+#[test]
+fn truncated_or_garbage_shard_table_still_fails_typed() {
+    use incll_pmem::superblock;
+    // v2 media whose shard table region is garbage (a torn migration, a
+    // truncated copy): version screening must reject it before any code
+    // path interprets the table.
+    let arena = tracked();
+    arena.pwrite_u64(superblock::SB_MAGIC, superblock::MAGIC);
+    arena.pwrite_u64(superblock::SB_VERSION, 2);
+    arena.pwrite_u64(superblock::SB_TREE_META, 1);
+    arena.pwrite_u64(superblock::SB_SHARD_COUNT, 999); // absurd count
+    for i in 0..32u64 {
+        // Garbage holder cells across the v2 shard-table region.
+        arena.pwrite_u64(superblock::SB_SHARD_TABLE + i * 8, 0xDEAD_BEEF ^ i);
+    }
+    match Store::open(&arena, options()) {
+        Err(Error::UnsupportedLayout { found, .. }) => assert_eq!(found, 2),
+        other => panic!("expected UnsupportedLayout, got {other:?}"),
+    }
+    // The garbage is untouched (no repair attempts on foreign layouts).
+    for i in 0..32u64 {
+        assert_eq!(
+            arena.pread_u64(superblock::SB_SHARD_TABLE + i * 8),
+            0xDEAD_BEEF ^ i
+        );
+    }
+}
+
+#[test]
+fn failed_epoch_set_compacts_at_checkpoints() {
+    use incll_pmem::superblock;
+    // Regression for unbounded failed-epoch growth: more crash/recover
+    // rounds than MAX_FAILED_EPOCHS (119) used to end in
+    // FailedEpochSetFull, because entries were never pruned. Now each
+    // completed checkpoint sweeps the trees + allocator lists and compacts
+    // every entry older than itself, so the set stays tiny forever.
+    let arena = tracked();
+    {
+        let (store, _) = Store::open(&arena, options()).unwrap();
+        let sess = store.session().unwrap();
+        for i in 0..40u64 {
+            store.put_u64(&sess, &i.to_be_bytes(), i);
+        }
+        store.checkpoint();
+    }
+    for round in 0..(incll_pmem::superblock::MAX_FAILED_EPOCHS as u64 + 20) {
+        arena.crash_seeded(round * 7 + 1);
+        let (store, report) = Store::open(&arena, options())
+            .unwrap_or_else(|e| panic!("round {round}: open failed with {e}"));
+        assert!(
+            report.failed_epochs.len() <= 3,
+            "round {round}: set must stay compacted, got {:?}",
+            report.failed_epochs
+        );
+        let sess = store.session().unwrap();
+        // Doomed churn so every round has rollback work, then a committed
+        // checkpoint whose advance compacts the set.
+        store.put_u64(&sess, &(round % 40).to_be_bytes(), 9999);
+        store.checkpoint();
+        assert!(
+            superblock::failed_epochs(&arena).is_empty(),
+            "round {round}: the completed checkpoint must prune the set"
+        );
+        store.put_u64(&sess, b"doomed-tail", round); // dies with the crash
+    }
+    // Data is still exactly the per-round committed state.
+    let (store, _) = Store::open(&arena, options()).unwrap();
+    let sess = store.session().unwrap();
+    assert_eq!(store.get_u64(&sess, b"doomed-tail"), None);
+    let mut n = 0;
+    store.scan(&sess, b"", usize::MAX, &mut |_, _| n += 1);
+    assert_eq!(n, 40);
+}
+
+#[test]
+fn sharded_failed_sets_compact_independently() {
+    use incll_pmem::superblock;
+    // A hot shard checkpointing on its own cadence compacts its own set
+    // while a never-advancing shard keeps accumulating — bounded only by
+    // its (now-pruneable) capacity.
+    let arena = tracked();
+    let opts = options().shards(2);
+    // Find one key per shard.
+    let (store, _) = Store::open(&arena, opts.clone()).unwrap();
+    let key_for = |shard: usize| {
+        (0u64..)
+            .map(|i| i.to_be_bytes())
+            .find(|k| store.shard_of(k) == shard)
+            .unwrap()
+    };
+    let (k0, k1) = (key_for(0), key_for(1));
+    {
+        let sess = store.session().unwrap();
+        store.put_u64(&sess, &k0, 1);
+        store.put_u64(&sess, &k1, 1);
+        store.checkpoint();
+    }
+    drop(store);
+    // Stay inside shard 1's capacity: a shard that *never* completes a
+    // checkpoint is still bounded by its set size — compaction needs a
+    // completed boundary to anchor to.
+    let rounds = superblock::MAX_FAILED_EPOCHS_SHARD as u64 - 2;
+    for round in 0..rounds {
+        arena.crash_seeded(round + 900);
+        let (store, _) = Store::open(&arena, opts.clone()).unwrap();
+        let sess = store.session().unwrap();
+        // Shard 0 commits work and checkpoints (compacting its set);
+        // shard 1 only ever does doomed work, so its set keeps growing.
+        store.put_u64(&sess, &k0, round);
+        store.checkpoint_shard(0);
+        assert!(superblock::failed_epochs_for(&arena, 0).is_empty());
+        assert_eq!(
+            superblock::failed_epochs_for(&arena, 1).len(),
+            round as usize + 1,
+            "shard 1 has never checkpointed: its set must accumulate"
+        );
+        store.put_u64(&sess, &k1, round); // doomed every round
+    }
+    // Shard 1 finally checkpoints: its set compacts too, unblocking
+    // unlimited further crashes, and both shards carry their own
+    // boundaries' data.
+    arena.crash_seeded(990);
+    let (store, report) = Store::open(&arena, opts.clone()).unwrap();
+    assert!(report.per_shard[1].failed_epoch > 1);
+    {
+        let sess = store.session().unwrap();
+        assert_eq!(store.get_u64(&sess, &k1), Some(1), "shard 1 rolls back");
+        assert_eq!(store.get_u64(&sess, &k0), Some(rounds - 1));
+        store.checkpoint_shard(1);
+    }
+    assert!(superblock::failed_epochs_for(&arena, 1).is_empty());
+    drop(store);
+    // And the compacted shard survives many more crash rounds.
+    for round in 0..5u64 {
+        arena.crash_seeded(round + 2000);
+        let (store, _) = Store::open(&arena, opts.clone()).unwrap();
+        let sess = store.session().unwrap();
+        store.put_u64(&sess, &k1, 100 + round);
+        store.checkpoint_shard(1);
+        assert!(superblock::failed_epochs_for(&arena, 1).is_empty());
+    }
+}
+
+#[test]
 fn recovery_report_aggregates_per_shard_counts() {
     let arena = tracked();
     let opts = options().shards(4);
