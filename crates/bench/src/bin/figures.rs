@@ -2,11 +2,11 @@
 //!
 //! ```text
 //! cargo run --release -p incll-bench --bin figures -- <experiment> [options]
-//! cargo run --release -p incll-bench --bin figures -- --compare old.json new.json
+//! cargo run --release -p incll-bench --bin figures -- --compare old.json new.json [--regressions-only]
 //!
 //! experiments:
 //!   fig2 fig3 fig4 fig5 fig6 fig7 fig8 flushcost recovery ablation
-//!   shard_scaling epoch_domains all
+//!   shard_scaling epoch_domains recovery_latency all
 //!
 //! options:
 //!   --paper            paper-scale parameters (20M keys, 8x1M ops)
@@ -18,7 +18,10 @@
 //!
 //! `--compare A B` runs no experiments: it parses two `BENCH_results.json`
 //! files and prints per-experiment deltas (rows matched by label, numeric
-//! cells diffed as percentages).
+//! cells diffed as percentages). With `--regressions-only` it exits
+//! nonzero when any numeric cell regressed beyond the threshold **or**
+//! when an experiment has no baseline in the old file (a missing baseline
+//! is reported as `new`, never silently treated as "no change").
 //! ```
 
 use std::fs;
@@ -44,7 +47,12 @@ fn parse_args() -> Args {
         let new = args
             .next()
             .unwrap_or_else(|| usage("--compare needs OLD.json NEW.json"));
-        run_compare(&old, &new);
+        let regressions_only = match args.next().as_deref() {
+            None => false,
+            Some("--regressions-only") => true,
+            Some(other) => usage(&format!("unknown --compare flag {other}")),
+        };
+        run_compare(&old, &new, regressions_only);
     }
     let mut params = ExpParams::default_scale();
     let mut scale = 1.0f64;
@@ -78,15 +86,18 @@ fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
         "usage: figures <fig2|fig3|fig4|fig5|fig6|fig7|fig8|flushcost|recovery|ablation\
-         |shard_scaling|epoch_domains|all> \
+         |shard_scaling|epoch_domains|recovery_latency|all> \
          [--paper] [--scale F] [--keys N] [--ops N] [--threads N] [--out DIR]\n\
-         \x20      figures --compare OLD.json NEW.json"
+         \x20      figures --compare OLD.json NEW.json [--regressions-only]"
     );
     std::process::exit(2);
 }
 
-/// `--compare OLD NEW`: print per-experiment deltas and exit.
-fn run_compare(old_path: &str, new_path: &str) -> ! {
+/// `--compare OLD NEW [--regressions-only]`: print per-experiment deltas
+/// and exit. In regressions-only mode the exit code gates: 1 when any
+/// cell regressed beyond the threshold or any experiment had no baseline
+/// (reported as `new` — never silently "no change"), 0 otherwise.
+fn run_compare(old_path: &str, new_path: &str, regressions_only: bool) -> ! {
     let load = |path: &str| -> compare::Json {
         let text = fs::read_to_string(path).unwrap_or_else(|e| {
             eprintln!("error: cannot read {path}: {e}");
@@ -98,9 +109,27 @@ fn run_compare(old_path: &str, new_path: &str) -> ! {
         })
     };
     let (old, new) = (load(old_path), load(new_path));
-    match compare::render_comparison(&old, &new) {
-        Ok(report) => {
+    match compare::compare_runs(&old, &new) {
+        Ok((report, summary)) => {
             print!("{report}");
+            if !regressions_only {
+                std::process::exit(0);
+            }
+            for r in &summary.regressions {
+                eprintln!("regression: {r}");
+            }
+            for n in &summary.new_experiments {
+                eprintln!("no baseline (new): {n}");
+            }
+            if summary.should_fail() {
+                eprintln!(
+                    "--regressions-only: failing ({} regression(s), {} unbaselined)",
+                    summary.regressions.len(),
+                    summary.new_experiments.len()
+                );
+                std::process::exit(1);
+            }
+            println!("--regressions-only: clean");
             std::process::exit(0);
         }
         Err(e) => {
@@ -202,6 +231,7 @@ fn main() {
             "ablation" => ("ablation", vec![experiments::ablation_internal(p)]),
             "shard_scaling" => ("shard_scaling", vec![experiments::shard_scaling(p)]),
             "epoch_domains" => ("epoch_domains", vec![experiments::epoch_domains(p)]),
+            "recovery_latency" => ("recovery_latency", vec![experiments::recovery_latency(p)]),
             other => usage(&format!("unknown experiment {other}")),
         };
         save(&args.out, file, &tables);
@@ -221,6 +251,7 @@ fn main() {
             "ablation",
             "shard_scaling",
             "epoch_domains",
+            "recovery_latency",
         ] {
             println!("---- {name} ----");
             results.push(run_one(name));

@@ -226,12 +226,79 @@ fn numeric(cell: &str) -> Option<f64> {
     trimmed.parse::<f64>().ok()
 }
 
+/// Numeric cells that shrink by more than this (or grow, for
+/// lower-is-better columns) count as regressions in
+/// [`ComparisonSummary::regressions`]. Generous on purpose: these are
+/// wall-clock benchmarks, not unit tests.
+pub const REGRESSION_THRESHOLD_PCT: f64 = 10.0;
+
+/// Machine-readable outcome of a comparison, for exit-code decisions
+/// (`figures --compare --regressions-only`).
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct ComparisonSummary {
+    /// Experiments present only in the **new** file. A missing baseline is
+    /// *not* "no change": regression-gating modes must fail on these,
+    /// because nothing was compared.
+    pub new_experiments: Vec<String>,
+    /// Experiments present only in the **old** file (dropped from the new
+    /// run).
+    pub missing_experiments: Vec<String>,
+    /// Human-readable `experiment/table/row/column` descriptions of every
+    /// numeric cell that moved in the bad direction by more than
+    /// [`REGRESSION_THRESHOLD_PCT`].
+    pub regressions: Vec<String>,
+}
+
+impl ComparisonSummary {
+    /// Whether a regression-gating caller should fail: an actual
+    /// regression, or an experiment with no baseline to compare against.
+    pub fn should_fail(&self) -> bool {
+        !self.regressions.is_empty() || !self.new_experiments.is_empty()
+    }
+}
+
+/// Which way a numeric column is allowed to move before the gate calls it
+/// a regression. `None` means the column is direction-neutral (volumes,
+/// configuration echoes like replayed-entry counts or key counts): it is
+/// still diffed in the report, but never gates.
+fn gated_direction(col: &str) -> Option<Direction> {
+    let c = col.to_ascii_lowercase();
+    let has = |pats: &[&str]| pats.iter().any(|p| c.contains(p));
+    if has(&[
+        "entries", "bytes", "keys", "nodes", "count", "advances", "workers", "shards", "threads",
+    ]) {
+        None
+    } else if has(&["_ms", "_us", "_ns", "time", "stall", "latency"]) {
+        Some(Direction::LowerIsBetter)
+    } else {
+        Some(Direction::HigherIsBetter)
+    }
+}
+
+/// See [`gated_direction`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    HigherIsBetter,
+    LowerIsBetter,
+}
+
 /// Renders the per-experiment deltas between two parsed result files.
 ///
 /// # Errors
 ///
 /// Returns a message if either file is missing the expected envelope.
 pub fn render_comparison(old: &Json, new: &Json) -> Result<String, String> {
+    compare_runs(old, new).map(|(report, _)| report)
+}
+
+/// [`render_comparison`] plus the [`ComparisonSummary`] gating callers
+/// need: which experiments had no baseline, which were dropped, and which
+/// numeric cells regressed beyond [`REGRESSION_THRESHOLD_PCT`].
+///
+/// # Errors
+///
+/// As for [`render_comparison`].
+pub fn compare_runs(old: &Json, new: &Json) -> Result<(String, ComparisonSummary), String> {
     let old_exp = old
         .get("experiments")
         .ok_or("old file has no \"experiments\" object")?;
@@ -243,6 +310,7 @@ pub fn render_comparison(old: &Json, new: &Json) -> Result<String, String> {
     };
 
     let mut out = String::new();
+    let mut summary = ComparisonSummary::default();
     for (stamp, file) in [(old, "old"), (new, "new")] {
         let when = match stamp.get("generated_unix") {
             Some(Json::Num(n)) => *n as u64,
@@ -254,7 +322,11 @@ pub fn render_comparison(old: &Json, new: &Json) -> Result<String, String> {
 
     for (name, new_tables) in new_map {
         let Some(old_tables) = old_map.get(name) else {
-            let _ = writeln!(out, "# {name}: only in new run (no baseline)\n");
+            let _ = writeln!(
+                out,
+                "# {name}: new (no baseline in old run — not compared)\n"
+            );
+            summary.new_experiments.push(name.clone());
             continue;
         };
         let _ = writeln!(out, "# {name}");
@@ -267,23 +339,31 @@ pub fn render_comparison(old: &Json, new: &Json) -> Result<String, String> {
                 .iter()
                 .find(|t| t.get("title").and_then(Json::as_str) == Some(title))
             else {
-                let _ = writeln!(out, "  table {title:?}: only in new run");
+                let _ = writeln!(out, "  table {title:?}: new (no baseline)");
+                summary.new_experiments.push(format!("{name}/{title}"));
                 continue;
             };
             let _ = writeln!(out, "  {title}");
-            diff_table(&mut out, ot, nt);
+            diff_table(&mut out, ot, nt, name, &mut summary);
         }
         out.push('\n');
     }
     for name in old_map.keys() {
         if !new_map.contains_key(name) {
             let _ = writeln!(out, "# {name}: only in old run (dropped?)\n");
+            summary.missing_experiments.push(name.clone());
         }
     }
-    Ok(out)
+    Ok((out, summary))
 }
 
-fn diff_table(out: &mut String, old: &Json, new: &Json) {
+fn diff_table(
+    out: &mut String,
+    old: &Json,
+    new: &Json,
+    experiment: &str,
+    summary: &mut ComparisonSummary,
+) {
     let empty = Vec::new();
     let header: Vec<&str> = new
         .get("header")
@@ -310,7 +390,11 @@ fn diff_table(out: &mut String, old: &Json, new: &Json) {
     let new_rows = rows(new);
     // Rows are matched by their label columns: every leading cell that is
     // non-numeric in the new row (experiments key rows by 1–2 label
-    // cells: "shards", "mode", "workload" + "dist", ...).
+    // cells: "shards", "mode", "workload" + "dist", ...). When a table
+    // keys rows by *numeric* columns with duplicates (recovery_latency:
+    // shards × workers), the one-cell prefix is ambiguous — widen the key
+    // until it selects at most one baseline row, so every row is diffed
+    // against its true counterpart, never a sibling cell's.
     let label_width = |row: &[String]| {
         row.iter()
             .take_while(|c| numeric(c).is_none())
@@ -318,11 +402,19 @@ fn diff_table(out: &mut String, old: &Json, new: &Json) {
             .max(1)
     };
     for nrow in &new_rows {
-        let w = label_width(nrow);
-        let Some(orow) = old_rows
-            .iter()
-            .find(|r| r.len() >= w && r[..w] == nrow[..w])
-        else {
+        let mut w = label_width(nrow);
+        let matching = |w: usize| {
+            old_rows
+                .iter()
+                .filter(|r| r.len() >= w && r[..w] == nrow[..w])
+                .collect::<Vec<_>>()
+        };
+        let mut matches = matching(w);
+        while matches.len() > 1 && w < nrow.len() {
+            w += 1;
+            matches = matching(w);
+        }
+        let Some(orow) = matches.first() else {
             let _ = writeln!(out, "    {}: new row", nrow[..w].join(" "));
             continue;
         };
@@ -332,7 +424,19 @@ fn diff_table(out: &mut String, old: &Json, new: &Json) {
             match (orow.get(i).and_then(|c| numeric(c)), numeric(ncell)) {
                 (Some(a), Some(b)) => {
                     let delta = if a.abs() > f64::EPSILON {
-                        format!("{:+.1}%", (b - a) / a * 100.0)
+                        let pct = (b - a) / a * 100.0;
+                        let bad = match gated_direction(col) {
+                            None => false,
+                            Some(Direction::LowerIsBetter) => pct > REGRESSION_THRESHOLD_PCT,
+                            Some(Direction::HigherIsBetter) => pct < -REGRESSION_THRESHOLD_PCT,
+                        };
+                        if bad {
+                            summary.regressions.push(format!(
+                                "{experiment}: {} {col}: {a} -> {b} ({pct:+.1}%)",
+                                nrow[..w].join(" "),
+                            ));
+                        }
+                        format!("{pct:+.1}%")
                     } else {
                         "n/a".into()
                     };
@@ -431,7 +535,151 @@ mod tests {
         let old = parse_json(r#"{"experiments":{"gone":[{"title":"T","header":[],"rows":[]}]}}"#)
             .unwrap();
         let new = parse_json(r#"{"experiments":{}}"#).unwrap();
-        let report = render_comparison(&old, &new).unwrap();
+        let (report, summary) = compare_runs(&old, &new).unwrap();
         assert!(report.contains("only in old run"));
+        assert_eq!(summary.missing_experiments, vec!["gone".to_string()]);
+        // A dropped experiment alone is loud but not a gating failure.
+        assert!(!summary.should_fail());
+    }
+
+    #[test]
+    fn experiment_missing_from_old_is_new_not_no_change() {
+        // Regression: an experiment absent from the baseline used to read
+        // like "no change"; it must be reported as `new` and fail the
+        // regression gate (nothing was compared).
+        let old = parse_json(r#"{"experiments":{}}"#).unwrap();
+        let new = parse_json(
+            r#"{"experiments":{"recovery_latency":[
+               {"title":"T","header":["shards","replay_ms"],
+                "rows":[["4","3.0"]]}]}}"#,
+        )
+        .unwrap();
+        let (report, summary) = compare_runs(&old, &new).unwrap();
+        assert!(report.contains("new (no baseline"), "report: {report}");
+        assert!(!report.contains("unchanged"), "report: {report}");
+        assert_eq!(
+            summary.new_experiments,
+            vec!["recovery_latency".to_string()]
+        );
+        assert!(summary.regressions.is_empty());
+        assert!(summary.should_fail(), "no baseline must fail the gate");
+    }
+
+    #[test]
+    fn regressions_respect_column_direction() {
+        let old = parse_json(
+            r#"{"experiments":{"e":[
+               {"title":"T","header":["shards","mops","replay_ms"],
+                "rows":[["1","2.0","10.0"],["2","2.0","10.0"],["4","2.0","10.0"]]}]}}"#,
+        )
+        .unwrap();
+        // Row 1: throughput halves (regression). Row 2: replay_ms doubles
+        // (regression: lower is better). Row 4: throughput up + replay
+        // down (improvements only).
+        let new = parse_json(
+            r#"{"experiments":{"e":[
+               {"title":"T","header":["shards","mops","replay_ms"],
+                "rows":[["1","1.0","10.0"],["2","2.0","20.0"],["4","3.0","5.0"]]}]}}"#,
+        )
+        .unwrap();
+        let (_, summary) = compare_runs(&old, &new).unwrap();
+        assert_eq!(summary.regressions.len(), 2, "{:?}", summary.regressions);
+        assert!(summary.regressions[0].contains("mops"));
+        assert!(summary.regressions[1].contains("replay_ms"));
+        assert!(summary.should_fail());
+    }
+
+    #[test]
+    fn duplicate_numeric_keys_widen_until_rows_match_their_counterparts() {
+        // recovery_latency keys rows by (shards, workers) — both numeric,
+        // shards duplicated. Each new row must diff against its own
+        // baseline row, not the first row sharing a shard count.
+        let old = parse_json(
+            r#"{"experiments":{"recovery_latency":[
+               {"title":"T","header":["shards","workers","replay_ms"],
+                "rows":[["4","1","3.0"],["4","2","2.5"],["4","4","2.0"]]}]}}"#,
+        )
+        .unwrap();
+        // workers=4 regresses 2.0 -> 2.8 (+40%); workers=1 improves.
+        let new = parse_json(
+            r#"{"experiments":{"recovery_latency":[
+               {"title":"T","header":["shards","workers","replay_ms"],
+                "rows":[["4","1","2.9"],["4","2","2.5"],["4","4","2.8"]]}]}}"#,
+        )
+        .unwrap();
+        let (report, summary) = compare_runs(&old, &new).unwrap();
+        assert_eq!(
+            summary.regressions.len(),
+            1,
+            "only the workers=4 cell regressed: {:?}\n{report}",
+            summary.regressions
+        );
+        assert!(
+            summary.regressions[0].contains("4 4"),
+            "regression must be attributed to the (4, 4) row: {:?}",
+            summary.regressions
+        );
+        // And a row with no baseline counterpart is reported as new, not
+        // silently matched to a sibling.
+        let grown = parse_json(
+            r#"{"experiments":{"recovery_latency":[
+               {"title":"T","header":["shards","workers","replay_ms"],
+                "rows":[["4","1","3.0"],["4","8","1.5"]]}]}}"#,
+        )
+        .unwrap();
+        let (report, summary) = compare_runs(&old, &grown).unwrap();
+        assert!(report.contains("4 8: new row"), "report: {report}");
+        assert!(summary.regressions.is_empty());
+    }
+
+    #[test]
+    fn direction_neutral_volume_columns_never_gate() {
+        // Replayed-entry counts are volumes, not better/worse: a big drop
+        // must diff in the report but never fail the gate.
+        let old = parse_json(
+            r#"{"experiments":{"e":[{"title":"T","header":["mode","entries","mops"],
+                "rows":[["a","1000","2.0"]]}]}}"#,
+        )
+        .unwrap();
+        let new = parse_json(
+            r#"{"experiments":{"e":[{"title":"T","header":["mode","entries","mops"],
+                "rows":[["a","500","2.0"]]}]}}"#,
+        )
+        .unwrap();
+        let (report, summary) = compare_runs(&old, &new).unwrap();
+        assert!(report.contains("entries: 1000 -> 500"), "still diffed");
+        assert!(summary.regressions.is_empty(), "{:?}", summary.regressions);
+        assert!(!summary.should_fail());
+    }
+
+    #[test]
+    fn small_noise_is_not_a_regression() {
+        let old = parse_json(
+            r#"{"experiments":{"e":[{"title":"T","header":["k","mops"],
+                "rows":[["a","100.0"]]}]}}"#,
+        )
+        .unwrap();
+        let new = parse_json(
+            r#"{"experiments":{"e":[{"title":"T","header":["k","mops"],
+                "rows":[["a","95.0"]]}]}}"#,
+        )
+        .unwrap();
+        let (_, summary) = compare_runs(&old, &new).unwrap();
+        assert!(summary.regressions.is_empty());
+        assert!(!summary.should_fail());
+    }
+
+    #[test]
+    fn new_table_within_known_experiment_also_gates() {
+        let old =
+            parse_json(r#"{"experiments":{"e":[{"title":"T1","header":[],"rows":[]}]}}"#).unwrap();
+        let new = parse_json(
+            r#"{"experiments":{"e":[{"title":"T1","header":[],"rows":[]},
+                                     {"title":"T2","header":[],"rows":[]}]}}"#,
+        )
+        .unwrap();
+        let (_, summary) = compare_runs(&old, &new).unwrap();
+        assert_eq!(summary.new_experiments, vec!["e/T2".to_string()]);
+        assert!(summary.should_fail());
     }
 }

@@ -108,10 +108,28 @@
 //! * **Recovery names each boundary.** [`RecoveryReport::per_shard`]
 //!   carries every shard's failed and recovered epochs; shard 0's pair
 //!   doubles as the legacy top-level fields.
+//! * **Recovery is parallel — and deterministic.** [`Store::open`]
+//!   spreads the per-shard recovery steps (failed-epoch resolution, log
+//!   replay, parent re-derivation, epoch restart, allocator repair) over
+//!   up to [`Options::recovery_threads`] workers, one strided shard
+//!   subset each. Every durable object is owned by exactly one shard for
+//!   life — log buffers are per-(thread × shard), allocator lists and
+//!   carve regions are per-shard, epoch and watermark cells sit on
+//!   per-shard cache lines — so the workers write disjoint state and the
+//!   recovered arena is **byte-identical at every worker count**,
+//!   including 1. The knob changes restart latency only, never the
+//!   outcome ([`RecoveryReport::parallel_workers`] and per-shard
+//!   [`ShardReplay::replay_time`] report what ran); the crash-matrix
+//!   suite asserts the equivalence cell by cell.
+//! * **Allocation is per-shard too.** Each shard owns a carve region
+//!   with its own InCLL-logged watermark (superblock v4), so slab carves
+//!   never cross shards and a crash rolls each frontier back on its own
+//!   timeline — slabs carved in a doomed epoch un-carve instead of
+//!   leaking, and the carve path stays flush-free.
 //!
 //! `shards(1)` has a single domain and reproduces the paper's semantics
 //! (and media behavior) exactly: one barrier, one whole-cache flush, one
-//! boundary.
+//! boundary, one carve frontier.
 //!
 //! # Migrating from the pre-`Store` API
 //!
@@ -129,9 +147,10 @@
 //! | `tree.scan(&ctx, ..)` (one tree) | [`Store::scan`] / [`Store::range`] (globally ordered k-way merge) |
 //! | `tree.epoch_manager().advance()` | [`Store::checkpoint`] (all-domains barrier) or [`Store::checkpoint_shard`] (one shard's scoped boundary) |
 //! | one global epoch for all shards (layout v2) | one epoch **domain per shard** (layout v3): independent cadences, per-shard failed-epoch sets, per-shard recovery — see the crash-semantics section above |
+//! | one shared carve frontier, sequential replay (layout v3) | **per-shard allocator arenas** (layout v4): one carve region + InCLL watermark line per shard (doomed slabs un-carve; the multi-domain eager watermark flush is gone), and [`Options::recovery_threads`] replays shards in parallel (`INCLL_RECOVERY_THREADS` env default) |
 //! | leaked `incll_palloc::Error` | crate-wide [`Error`] (incl. [`Error::ShardMismatch`], [`Error::UnsupportedLayout`]) |
 //!
-//! On-media layouts are version-screened: v3 (this build) refuses v1/v2
+//! On-media layouts are version-screened: v4 (this build) refuses v1–v3
 //! media with a typed [`Error::UnsupportedLayout`] — never a reformat.
 //!
 //! [`DurableMasstree`] remains public as the mid-level API, but it speaks
@@ -164,6 +183,7 @@ mod tests {
             log_bytes_per_thread: 256 << 10,
             incll_enabled: true,
             shards: 1,
+            recovery_threads: 1,
         }
     }
 

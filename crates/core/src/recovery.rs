@@ -1,4 +1,5 @@
-//! Post-crash recovery orchestration (§4.3), per epoch domain.
+//! Post-crash recovery orchestration (§4.3), per epoch domain — in
+//! parallel across shards.
 //!
 //! Opening a durable tree after a failure (or a clean shutdown — the
 //! procedure is uniform) runs the paper's recovery once **per shard**,
@@ -16,11 +17,28 @@
 //!    This is the only flush recovery performs: new work is tagged with
 //!    the new epoch, so the new epoch number must be durable before work
 //!    begins.
-//! 4. The allocator repairs its head cells (per domain) and watermark.
+//! 4. The allocator repairs the shard's head cells and reverts the
+//!    shard's carve watermark (un-carving doomed slabs).
 //! 5. Everything else — permutation and value rollbacks, lock-word
 //!    reinitialisation — happens **lazily** on first access to each node
 //!    (Listing 4), so restart latency is the log-replay time, not a tree
 //!    walk.
+//!
+//! # Recovery parallelism
+//!
+//! Since the log buffers are per-(thread × shard) and every durable
+//! object — node, holder cell, value buffer, allocator list, watermark
+//! line, epoch cell — is owned by exactly one shard for life, the
+//! per-shard recovery steps touch **disjoint** state. [`DurableMasstree::open`]
+//! therefore spreads them over up to [`DurableConfig::recovery_threads`]
+//! workers, each owning a strided subset of the shards; steps 1–4 run
+//! start-to-finish per shard inside one worker, mirroring how *Adaptive
+//! Logging* exploits partitioned logs for parallel replay. The recovered
+//! state is **byte-identical at every worker count** (including 1): no
+//! two shards share a cache line of recovered state, so interleaving
+//! cannot change any outcome — only the restart wall-clock. The
+//! [`RecoveryReport`] carries the worker count actually used and each
+//! shard's replay wall time.
 //!
 //! Because every shard checkpoints on its own cadence, the recovered
 //! shards do **not** share a point in time: shard `a` restarts at its own
@@ -63,6 +81,12 @@ pub struct ShardReplay {
     /// The epoch this shard's new execution starts at (its recovered
     /// boundary + 1).
     pub recovered_epoch: u64,
+    /// Wall-clock time of this shard's eager recovery (log replay, parent
+    /// re-derivation, epoch restart, allocator repair) inside its worker.
+    /// With parallel recovery these overlap; they sum to more than
+    /// [`RecoveryReport::replay_time`] when the workers actually ran
+    /// concurrently.
+    pub replay_time: Duration,
 }
 
 /// What recovery did; the §6.3 experiment reports these numbers.
@@ -83,6 +107,12 @@ pub struct RecoveryReport {
     pub replayed_bytes: u64,
     /// Wall-clock time of the eager phase (log replay, all shards).
     pub replay_time: Duration,
+    /// Recovery workers used: `min(recovery_threads, shards)`; 1 means
+    /// the shards were replayed sequentially, 0 that the store was
+    /// freshly created and nothing was recovered. The recovered *state*
+    /// is identical at every worker count (see the module docs) — only
+    /// the wall-clock changes.
+    pub parallel_workers: usize,
     /// Replay work and recovered boundary per shard (one entry per shard,
     /// indexed by shard id; empty when the store was freshly created).
     /// Each shard recovers to **its own** last completed epoch; the
@@ -90,10 +120,58 @@ pub struct RecoveryReport {
     pub per_shard: Vec<ShardReplay>,
 }
 
+/// Runs `f(shard)` for every shard, spread over `workers` threads (worker
+/// `w` owns the strided subset `w, w+workers, ...`), and returns the
+/// results indexed by shard. `workers == 1` runs inline. The closure is
+/// called exactly once per shard; cross-shard ordering is unspecified —
+/// callers must only do shard-owned work inside.
+fn run_per_shard<T, F>(workers: usize, shards: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if workers <= 1 || shards <= 1 {
+        return (0..shards).map(f).collect();
+    }
+    let mut out: Vec<Option<T>> = std::iter::repeat_with(|| None).take(shards).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let f = &f;
+                s.spawn(move || {
+                    (w..shards)
+                        .step_by(workers)
+                        .map(|d| (d, f(d)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            for (d, v) in h.join().expect("recovery worker panicked") {
+                out[d] = Some(v);
+            }
+        }
+    });
+    out.into_iter()
+        .map(|v| v.expect("every shard visited exactly once"))
+        .collect()
+}
+
+/// Per-shard result of the failed-epoch resolution phase.
+struct Resolved {
+    /// The shard's interrupted epoch.
+    failed_epoch: u64,
+    /// The shard's durable failed-epoch set after recording it.
+    failed: Vec<u64>,
+    /// Start of the contiguous failed run ending at the crash.
+    run_min: u64,
+}
+
 impl DurableMasstree {
     /// Recovers a durable tree from a crashed (or cleanly closed) arena,
     /// rolling **each shard back to its own** last completed epoch
-    /// boundary.
+    /// boundary — with up to [`DurableConfig::recovery_threads`] shards
+    /// recovering concurrently (see the module docs).
     ///
     /// Most callers want [`crate::Store::open`], which formats/creates on
     /// first use and recovers otherwise.
@@ -124,78 +202,106 @@ impl DurableMasstree {
                 on_media,
             });
         }
+        let workers = config.recovery_threads.max(1).min(on_media);
 
         let log = ExtLog::open(arena);
         let t0 = Instant::now();
-        let mut per_shard = Vec::with_capacity(on_media);
-        let mut failed_sets = Vec::with_capacity(on_media);
-        let mut exec_epochs = Vec::with_capacity(on_media);
-        let mut applied: Vec<(u64, u64)> = Vec::new();
-        let mut total_entries = 0u64;
-        let mut total_bytes = 0u64;
-        for d in 0..on_media {
-            // 1. Record this shard's failed epoch.
+
+        // Phase 1 (parallel over shards): record each shard's failed epoch
+        // and compute its contiguous failed run. Each shard writes only
+        // its own superblock cells.
+        let resolved = run_per_shard(workers, on_media, |d| -> Result<Resolved, Error> {
             let failed_epoch = arena.pread_u64(superblock::domain_cur_epoch_off(d)).max(1);
             superblock::record_failed_epoch_for(arena, d, failed_epoch)?;
             let failed = superblock::failed_epochs_for(arena, d);
-
-            // 2. Replay the shard's contiguous failed run ending at the
-            //    crash, from its own log buffers, filtered by its tag.
-            let mut min = failed_epoch;
-            while min > 1 && failed.contains(&(min - 1)) {
-                min -= 1;
+            let mut run_min = failed_epoch;
+            while run_min > 1 && failed.contains(&(run_min - 1)) {
+                run_min -= 1;
             }
-            let replay = log.replay_domain(d, min, failed_epoch);
-            total_entries += replay.entries_applied;
-            total_bytes += replay.bytes_applied;
-            applied.extend(replay.applied);
-            per_shard.push(ShardReplay {
+            Ok(Resolved {
+                failed_epoch,
+                failed,
+                run_min,
+            })
+        });
+        // Surface errors deterministically: lowest shard index first.
+        let mut failed_sets = Vec::with_capacity(on_media);
+        let mut exec_epochs = Vec::with_capacity(on_media);
+        let mut runs = Vec::with_capacity(on_media);
+        for r in resolved {
+            let r = r?;
+            failed_sets.push(r.failed);
+            exec_epochs.push(r.failed_epoch + 1);
+            runs.push((r.run_min, r.failed_epoch));
+        }
+
+        // Shared handles the per-shard workers repair through. Built
+        // between the phases: the epoch manager snapshots the (not yet
+        // restarted) durable counters, and the allocator snapshots the
+        // (now complete) failed-epoch sets.
+        let mgr = EpochManager::with_domains(arena.clone(), EpochOptions::durable(), on_media);
+        let alloc = PAlloc::open_staged(arena, on_media);
+
+        // Phase 2 (parallel over shards): replay the shard's own log
+        // buffers, re-derive parent pointers from its restored interiors,
+        // restart its epoch domain, and repair its allocator state — all
+        // shard-owned, so workers never touch a common cache line.
+        let per_shard: Vec<ShardReplay> = run_per_shard(workers, on_media, |d| {
+            let ts = Instant::now();
+            let (run_min, failed_epoch) = runs[d];
+
+            // 2a. Replay the shard's contiguous failed run ending at the
+            //     crash, from its own buffers, filtered by its tag.
+            let replay = log.replay_domain(d, run_min, failed_epoch);
+
+            // 2b. Structural post-pass: parent pointers are not
+            //     individually logged (see `tree.rs::split_interior`); the
+            //     restored interior images are the ground truth for child
+            //     membership, so re-derive every child's parent word from
+            //     them. Idempotent, unordered; children belong to the same
+            //     shard as their interior.
+            for &(target, len) in &replay.applied {
+                if len == crate::layout::NODE_BYTES as u64 {
+                    let m = arena.pread_u64(target + crate::layout::OFF_META);
+                    if m & crate::layout::meta::IS_LEAF == 0 {
+                        let n = (arena.pread_u64(target + crate::layout::OFF_INT_NKEYS) as usize)
+                            .min(crate::layout::INT_WIDTH);
+                        for i in 0..=n {
+                            let child = arena.pread_u64(target + crate::layout::off_int_child(i));
+                            if child != 0 {
+                                arena.pwrite_u64(child + crate::layout::OFF_PARENT, target);
+                            }
+                        }
+                    }
+                }
+            }
+
+            // 2c. Restart the shard's epochs durably past its own failure.
+            mgr.restart_domain_at(d, failed_epoch + 1);
+
+            // 2d. Allocator repair: head cells, watermark revert
+            //     (un-carving doomed slabs), pending-list splice.
+            alloc.recover_domain(d, failed_epoch + 1);
+
+            ShardReplay {
                 shard: d,
                 replayed_entries: replay.entries_applied,
                 replayed_bytes: replay.bytes_applied,
                 failed_epoch,
                 recovered_epoch: failed_epoch + 1,
-            });
-            failed_sets.push(failed);
-            exec_epochs.push(failed_epoch + 1);
-        }
-        // Structural post-pass: parent pointers are not individually
-        // logged (see `tree.rs::split_interior`); the restored interior
-        // images are the ground truth for child membership, so re-derive
-        // every child's parent word from them. Idempotent, unordered.
-        for &(target, len) in &applied {
-            if len == crate::layout::NODE_BYTES as u64 {
-                let m = arena.pread_u64(target + crate::layout::OFF_META);
-                if m & crate::layout::meta::IS_LEAF == 0 {
-                    let n = (arena.pread_u64(target + crate::layout::OFF_INT_NKEYS) as usize)
-                        .min(crate::layout::INT_WIDTH);
-                    for i in 0..=n {
-                        let child = arena.pread_u64(target + crate::layout::off_int_child(i));
-                        if child != 0 {
-                            arena.pwrite_u64(child + crate::layout::OFF_PARENT, target);
-                        }
-                    }
-                }
+                replay_time: ts.elapsed(),
             }
-        }
+        });
         let replay_time = t0.elapsed();
-
-        // 3. Restart each shard's epochs durably past its own failure.
-        let mgr = EpochManager::with_domains(arena.clone(), EpochOptions::durable(), on_media);
-        for (d, &exec) in exec_epochs.iter().enumerate() {
-            mgr.restart_domain_at(d, exec);
-        }
-
-        // 4. Allocator repair, per domain.
-        let alloc = PAlloc::open_sharded(arena, &exec_epochs);
 
         let report = RecoveryReport {
             created: false,
             failed_epoch: per_shard[0].failed_epoch,
             failed_epochs: failed_sets[0].clone(),
-            replayed_entries: total_entries,
-            replayed_bytes: total_bytes,
+            replayed_entries: per_shard.iter().map(|s| s.replayed_entries).sum(),
+            replayed_bytes: per_shard.iter().map(|s| s.replayed_bytes).sum(),
             replay_time,
+            parallel_workers: workers,
             per_shard,
         };
         let tree = DurableMasstree::from_inner(Arc::new(Inner {

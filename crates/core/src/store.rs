@@ -108,6 +108,20 @@ impl Options {
         self
     }
 
+    /// Worker threads [`Store::open`] spreads per-shard crash recovery
+    /// over (clamped to the shard count; values below 1 read as 1 =
+    /// sequential replay). Purely a restart-latency knob: the recovered
+    /// state is byte-identical at every worker count, because each shard's
+    /// recovery touches only shard-owned state.
+    ///
+    /// Defaults to the `INCLL_RECOVERY_THREADS` environment variable when
+    /// set, else 1.
+    #[must_use]
+    pub fn recovery_threads(mut self, workers: usize) -> Self {
+        self.config.recovery_threads = workers.max(1);
+        self
+    }
+
     /// The low-level configuration these options describe (crate-internal:
     /// the mid-level [`DurableConfig`] is not part of the facade's stable
     /// surface).
@@ -258,6 +272,7 @@ impl Store {
                 replayed_entries: 0,
                 replayed_bytes: 0,
                 replay_time: Duration::ZERO,
+                parallel_workers: 0,
                 per_shard: Vec::new(),
             };
             (tree, report)

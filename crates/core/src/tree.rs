@@ -63,6 +63,25 @@ pub struct DurableConfig {
     /// (power of two, `1..=`[`superblock::MAX_SHARDS`]). Fixed at create;
     /// opens must pass the created value.
     pub shards: usize,
+    /// Worker threads [`DurableMasstree::open`] spreads per-shard recovery
+    /// over (clamped to the shard count; 1 = sequential replay). Recovered
+    /// state is byte-identical at every worker count — shards recover on
+    /// disjoint state — so this is purely a restart-latency knob.
+    ///
+    /// Defaults to the `INCLL_RECOVERY_THREADS` environment variable when
+    /// set (so a whole test suite can be rerun under parallel recovery),
+    /// else 1.
+    pub recovery_threads: usize,
+}
+
+/// The default for [`DurableConfig::recovery_threads`]: the
+/// `INCLL_RECOVERY_THREADS` environment override, or 1 (sequential).
+pub(crate) fn default_recovery_threads() -> usize {
+    std::env::var("INCLL_RECOVERY_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
 }
 
 impl Default for DurableConfig {
@@ -72,6 +91,7 @@ impl Default for DurableConfig {
             log_bytes_per_thread: 16 << 20,
             incll_enabled: true,
             shards: 1,
+            recovery_threads: default_recovery_threads(),
         }
     }
 }
@@ -207,15 +227,18 @@ impl DurableMasstree {
         );
         crate::tree::validate_shard_count(config.shards)?;
         // One epoch domain, one log buffer set and one allocator list set
-        // per shard: every shard checkpoints on its own timeline.
+        // per shard: every shard checkpoints on its own timeline. The log
+        // region is carved *before* the allocator: a multi-domain
+        // allocator splits all remaining carvable space into per-shard
+        // regions and must be the last create-time carver.
         let mgr = EpochManager::with_domains(arena.clone(), EpochOptions::durable(), config.shards);
-        let alloc = PAlloc::create_sharded(arena, config.threads, config.shards)?;
         let log = ExtLog::create_sharded(
             arena,
             config.threads,
             config.log_bytes_per_thread,
             config.shards,
         )?;
+        let alloc = PAlloc::create_sharded(arena, config.threads, config.shards)?;
         let epoch = mgr.current_epoch();
 
         let inner = Arc::new(Inner {

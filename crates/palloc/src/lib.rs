@@ -33,14 +33,22 @@
 //! under the shard's epoch, spliced at the shard's boundary, repaired
 //! against the shard's failed set.
 //!
-//! The bump **watermark** is the one genuinely shared cell (one arena,
-//! one carve frontier). A single in-line epoch tag cannot arbitrate
-//! between domains, so multi-domain allocators persist the watermark
-//! *eagerly* at each (rare, slab-granular) carve instead of InCLL-logging
-//! it: a crash then never rolls the watermark back, and slabs carved in a
-//! failed epoch are leaked (bounded by the slabs carved in that epoch)
-//! rather than un-carved. Single-domain allocators keep the paper's
-//! flush-free InCLL watermark exactly.
+//! The bump **watermark** is per shard too (superblock layout v4): a
+//! multi-domain allocator splits the arena's remaining carvable space into
+//! one equal **region per domain** at create time
+//! ([`PAlloc::create_sharded`] must therefore be the last create-time
+//! carver), and each region gets its own carve frontier with its own
+//! durable InCLL watermark triple on a dedicated cache line
+//! ([`incll_pmem::superblock::shard_bump_off`]). Slab carves never cross
+//! shards, the frontier's epoch tag lives on the owning shard's own
+//! timeline, and the paper's flush-free watermark protocol applies per
+//! shard: a crash rolls each shard's frontier back to its epoch-start
+//! value, so slabs carved in a doomed epoch **un-carve** — nothing leaks,
+//! and no `clwb`/`sfence` ever runs on the carve path. (Earlier multi-
+//! domain builds shared one frontier and had to persist it eagerly at
+//! every carve, leaking doomed slabs; that workaround is gone.)
+//! Single-domain allocators keep the paper's single shared frontier and
+//! media shape exactly.
 //!
 //! # Example
 //!
@@ -59,6 +67,7 @@
 //! # }
 //! ```
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -130,8 +139,16 @@ struct Inner {
     failed_low32: Vec<Vec<u32>>,
     /// Full failed epochs, per domain (head cells store full epochs).
     failed_full: Vec<Vec<u64>>,
-    /// Serialises durable-watermark updates (slab carving is rare).
-    watermark: Mutex<()>,
+    /// Per-domain carve region `[start, limit)`. Multi-domain only (the
+    /// v4 arena split); empty for a single-domain allocator, which carves
+    /// from the arena's shared frontier.
+    regions: Vec<(u64, u64)>,
+    /// Per-domain transient carve frontier, mirroring the domain's durable
+    /// watermark. Multi-domain only.
+    frontier: Vec<AtomicU64>,
+    /// Serialises each domain's durable-watermark updates (slab carving is
+    /// rare); one lock per domain so carves never contend across shards.
+    carve_locks: Vec<Mutex<()>>,
 }
 
 /// The durable allocator (see crate docs). Cheap to clone.
@@ -161,9 +178,17 @@ impl PAlloc {
     /// tags live entirely on `d`'s epoch timeline. See the crate docs'
     /// epoch-domains section.
     ///
+    /// With more than one domain the allocator also **splits the arena**:
+    /// all remaining carvable space is claimed and divided into one equal
+    /// region per domain, each with its own carve frontier and durable
+    /// InCLL watermark (slab carves never cross shards). The split claims
+    /// the rest of the arena, so this must be the *last* create-time
+    /// carver — carve shared regions (e.g. the external log) first.
+    ///
     /// # Errors
     ///
-    /// Propagates arena carve failures.
+    /// Propagates arena carve failures (including an arena too small to
+    /// give every domain a useful region).
     ///
     /// # Panics
     ///
@@ -178,12 +203,47 @@ impl PAlloc {
         arena.pwrite_u64(superblock::SB_PALLOC_HEADS + 8, nthreads as u64);
         arena.pwrite_u64(superblock::SB_PALLOC_HEADS + 16, TOTAL_CLASSES as u64);
         arena.pwrite_u64(superblock::SB_PALLOC_HEADS + 24, ndomains as u64);
-        // Durable watermark starts at the current bump.
-        arena.pwrite_u64(superblock::SB_BUMP, arena.bump());
-        arena.pwrite_u64(superblock::SB_BUMP_INCLL, arena.bump());
-        arena.pwrite_u64(superblock::SB_BUMP_EPOCH, 0);
+
+        let (regions, frontier) = if ndomains == 1 {
+            // Single domain: the paper's shared frontier on the legacy
+            // cells, no split.
+            arena.pwrite_u64(superblock::SB_ARENA_SPLIT, 0);
+            arena.pwrite_u64(superblock::SB_BUMP, arena.bump());
+            arena.pwrite_u64(superblock::SB_BUMP_INCLL, arena.bump());
+            arena.pwrite_u64(superblock::SB_BUMP_EPOCH, 0);
+            arena.clwb(superblock::SB_BUMP);
+            (Vec::new(), Vec::new())
+        } else {
+            // Split everything that remains into one region per domain.
+            let base = (arena.bump() + 63) & !63;
+            let avail = (arena.capacity() as u64).saturating_sub(base);
+            let per = (avail / ndomains as u64) & !63;
+            // Every domain must at least fit one slab of the largest class.
+            let min_region = (classes::stride(TOTAL_CLASSES - 1) * SLAB_OBJECTS) as u64;
+            if per < min_region {
+                return Err(Error::Pmem(incll_pmem::Error::OutOfMemory {
+                    requested: (min_region as usize) * ndomains,
+                    capacity: arena.capacity(),
+                }));
+            }
+            let split = arena.carve((per * ndomains as u64) as usize, 64)?;
+            arena.pwrite_u64(superblock::SB_ARENA_SPLIT, split);
+            arena.pwrite_u64(superblock::SB_ARENA_REGION_BYTES, per);
+            arena.clwb(superblock::SB_ARENA_SPLIT);
+            let mut regions = Vec::with_capacity(ndomains);
+            let mut frontier = Vec::with_capacity(ndomains);
+            for d in 0..ndomains {
+                let start = split + d as u64 * per;
+                regions.push((start, start + per));
+                frontier.push(AtomicU64::new(start));
+                arena.pwrite_u64(superblock::shard_bump_off(d), start);
+                arena.pwrite_u64(superblock::shard_bump_incll_off(d), start);
+                arena.pwrite_u64(superblock::shard_bump_epoch_off(d), 0);
+                arena.clwb(superblock::shard_bump_off(d));
+            }
+            (regions, frontier)
+        };
         arena.clwb_range(superblock::SB_PALLOC_HEADS, 32);
-        arena.clwb(superblock::SB_BUMP);
         arena.sfence();
         Ok(PAlloc {
             inner: Arc::new(Inner {
@@ -193,7 +253,9 @@ impl PAlloc {
                 ndomains,
                 failed_low32: vec![Vec::new(); ndomains],
                 failed_full: vec![Vec::new(); ndomains],
-                watermark: Mutex::new(()),
+                regions,
+                frontier,
+                carve_locks: (0..ndomains).map(|_| Mutex::new(())).collect(),
             }),
         })
     }
@@ -209,34 +271,59 @@ impl PAlloc {
         Self::open_sharded(arena, &[exec_epoch])
     }
 
-    /// Reopens the allocator after a crash: re-synchronises the bump
-    /// watermark, repairs every head cell whose epoch tag names a failed
-    /// epoch **of its own domain**, and splices surviving pending lists
-    /// (their objects were freed in completed epochs of their domain and
-    /// are safe to reuse).
+    /// Reopens the allocator after a crash: re-synchronises each domain's
+    /// carve frontier, repairs every head cell whose epoch tag names a
+    /// failed epoch **of its own domain**, and splices surviving pending
+    /// lists (their objects were freed in completed epochs of their domain
+    /// and are safe to reuse).
     ///
     /// `exec_epochs[d]` is the first epoch of domain `d`'s new execution;
     /// recovery writes to `d`'s state are tagged with it. Replays cleanly
     /// if interrupted by another crash (no flushes are issued, matching
     /// §4.3).
     ///
+    /// This is the sequential convenience; parallel per-shard recovery
+    /// uses [`PAlloc::open_staged`] once and then calls
+    /// [`PAlloc::recover_domain`] from one worker per shard.
+    ///
     /// # Panics
     ///
     /// Panics if the arena carries no allocator root or if
     /// `exec_epochs.len()` differs from the domain count fixed at create.
     pub fn open_sharded(arena: &PArena, exec_epochs: &[u64]) -> Self {
+        let this = Self::open_staged(arena, exec_epochs.len());
+        for (d, &exec) in exec_epochs.iter().enumerate() {
+            this.recover_domain(d, exec);
+        }
+        this
+    }
+
+    /// Stage one of recovery: rebuilds the allocator handle from the
+    /// superblock descriptor — domain count, regions, failed-epoch sets —
+    /// **without repairing anything**. Every domain must then be repaired
+    /// exactly once via [`PAlloc::recover_domain`] before it serves
+    /// allocations; distinct domains may be repaired concurrently (each
+    /// repair touches only that domain's head cells, watermark line and
+    /// object headers).
+    ///
+    /// The failed-epoch sets are snapshotted here, so the caller must have
+    /// recorded every crashed epoch
+    /// ([`incll_pmem::superblock::record_failed_epoch_for`]) for **all**
+    /// domains before calling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena carries no allocator root or if `ndomains`
+    /// differs from the domain count fixed at create.
+    pub fn open_staged(arena: &PArena, ndomains: usize) -> Self {
         let root = arena.pread_u64(superblock::SB_PALLOC_HEADS);
         let nthreads = arena.pread_u64(superblock::SB_PALLOC_HEADS + 8) as usize;
-        let ndomains = (arena.pread_u64(superblock::SB_PALLOC_HEADS + 24) as usize).max(1);
+        let on_media = (arena.pread_u64(superblock::SB_PALLOC_HEADS + 24) as usize).max(1);
         assert!(
             root != 0 && nthreads > 0,
             "arena has no allocator root; format + create first"
         );
-        assert_eq!(
-            exec_epochs.len(),
-            ndomains,
-            "one exec epoch per allocator domain"
-        );
+        assert_eq!(ndomains, on_media, "one exec epoch per allocator domain");
         let failed_full: Vec<Vec<u64>> = (0..ndomains)
             .map(|d| superblock::failed_epochs_for(arena, d))
             .collect();
@@ -245,21 +332,32 @@ impl PAlloc {
             .map(|f| f.iter().map(|&e| e as u32).collect())
             .collect();
 
-        // Watermark. Single domain: revert to the epoch-start value if the
-        // tagged epoch failed (the InCLL protocol). Multi domain: the
-        // watermark is persisted eagerly at each carve and never rolled
-        // back (doomed-epoch slabs leak instead; see crate docs).
+        let (regions, frontier) = if ndomains == 1 {
+            (Vec::new(), Vec::new())
+        } else {
+            let split = arena.pread_u64(superblock::SB_ARENA_SPLIT);
+            let per = arena.pread_u64(superblock::SB_ARENA_REGION_BYTES);
+            assert!(
+                split != 0 && per != 0,
+                "multi-domain allocator without an arena split descriptor"
+            );
+            // The regions claimed the rest of the arena at create; reflect
+            // that in the transient global frontier.
+            arena.set_bump(split + per * ndomains as u64);
+            let regions: Vec<(u64, u64)> = (0..ndomains as u64)
+                .map(|d| (split + d * per, split + (d + 1) * per))
+                .collect();
+            // Frontiers start at the raw durable watermark; recover_domain
+            // rolls each back past its failed epochs.
+            let frontier = (0..ndomains)
+                .map(|d| AtomicU64::new(arena.pread_u64(superblock::shard_bump_off(d))))
+                .collect();
+            (regions, frontier)
+        };
         if ndomains == 1 {
-            let we = arena.pread_u64(superblock::SB_BUMP_EPOCH);
-            if we != 0 && failed_full[0].contains(&we) {
-                let logged = arena.pread_u64(superblock::SB_BUMP_INCLL);
-                arena.pwrite_u64(superblock::SB_BUMP, logged);
-                arena.pwrite_u64_release(superblock::SB_BUMP_EPOCH, exec_epochs[0]);
-            }
+            arena.set_bump(arena.pread_u64(superblock::SB_BUMP));
         }
-        arena.set_bump(arena.pread_u64(superblock::SB_BUMP));
-
-        let this = PAlloc {
+        PAlloc {
             inner: Arc::new(Inner {
                 arena: arena.clone(),
                 root,
@@ -267,31 +365,59 @@ impl PAlloc {
                 ndomains,
                 failed_low32,
                 failed_full,
-                watermark: Mutex::new(()),
+                regions,
+                frontier,
+                carve_locks: (0..ndomains).map(|_| Mutex::new(())).collect(),
             }),
-        };
-        // Repair all head cells eagerly (threads × domains × classes
-        // lines), each against its own domain's failed set.
-        for t in 0..nthreads {
-            for (d, &exec) in exec_epochs.iter().enumerate() {
-                for c in 0..TOTAL_CLASSES {
-                    let cell = this.cell(t, d, c);
-                    cell::recover_cell(
-                        arena,
-                        cell,
-                        |e| this.inner.failed_full[d].contains(&e),
-                        exec,
-                    );
-                }
+        }
+    }
+
+    /// Stage two of recovery, for one domain: reverts the domain's carve
+    /// watermark if its epoch tag names a failed epoch (un-carving slabs
+    /// doomed with the epoch), repairs the domain's head cells against its
+    /// own failed set, and splices its surviving pending lists under
+    /// `exec_epoch`.
+    ///
+    /// Touches only domain-owned state, so distinct domains may run
+    /// concurrently from different recovery workers; the result is
+    /// byte-identical to running the domains sequentially in any order.
+    /// Idempotent under re-crash (no flushes; §4.3).
+    pub fn recover_domain(&self, domain: usize, exec_epoch: u64) {
+        let arena = &self.inner.arena;
+        let failed = &self.inner.failed_full[domain];
+        // Watermark: the InCLL revert, per shard since v4 (a single-domain
+        // allocator's shard-0 triple is the legacy shared one).
+        let we = arena.pread_u64(superblock::shard_bump_epoch_off(domain));
+        if we != 0 && failed.contains(&we) {
+            let logged = arena.pread_u64(superblock::shard_bump_incll_off(domain));
+            arena.pwrite_u64(superblock::shard_bump_off(domain), logged);
+            arena.pwrite_u64_release(superblock::shard_bump_epoch_off(domain), exec_epoch);
+        }
+        let wm = arena.pread_u64(superblock::shard_bump_off(domain));
+        if self.inner.ndomains == 1 {
+            arena.set_bump(wm);
+        } else {
+            self.inner.frontier[domain].store(wm, Ordering::Relaxed);
+        }
+        // Head cells: threads × classes lines of this domain, each against
+        // the domain's own failed set.
+        for t in 0..self.inner.nthreads {
+            for c in 0..TOTAL_CLASSES {
+                let cell = self.cell(t, domain, c);
+                cell::recover_cell(arena, cell, |e| failed.contains(&e), exec_epoch);
             }
         }
-        // Surviving pending objects were freed in completed epochs: they
-        // are reusable now. Splice them in, logged under each domain's new
-        // epoch.
-        for (d, &exec) in exec_epochs.iter().enumerate() {
-            this.on_domain_boundary(d, exec);
-        }
-        this
+        // Surviving pending objects were freed in completed epochs of this
+        // domain: they are reusable now. Splice them in, logged under the
+        // domain's new epoch.
+        self.on_domain_boundary(domain, exec_epoch);
+    }
+
+    /// The carve region `[start, limit)` owned by `domain`, or `None` on a
+    /// single-domain allocator (which carves from the arena's shared
+    /// frontier). Diagnostics / tests.
+    pub fn region_of(&self, domain: usize) -> Option<(u64, u64)> {
+        self.inner.regions.get(domain).copied()
     }
 
     /// The arena this allocator carves from.
@@ -510,36 +636,60 @@ impl PAlloc {
         }
     }
 
-    /// Carves a fresh slab for (thread, class) and chains it onto the free
-    /// list, durably logging the watermark move.
+    /// Carves `size` bytes (aligned) from `domain`'s own region. The
+    /// caller holds the domain's carve lock and logs the watermark move.
+    fn carve_in(&self, domain: usize, size: u64, align: u64) -> Result<u64, Error> {
+        let (start, limit) = self.inner.regions[domain];
+        debug_assert!(start > 0);
+        let cur = self.inner.frontier[domain].load(Ordering::Relaxed);
+        let aligned = (cur + align - 1) & !(align - 1);
+        let end = aligned + size;
+        if end > limit {
+            return Err(Error::Pmem(incll_pmem::Error::OutOfMemory {
+                requested: size as usize,
+                capacity: (limit - start) as usize,
+            }));
+        }
+        self.inner.frontier[domain].store(end, Ordering::Relaxed);
+        Ok(aligned)
+    }
+
+    /// Carves a fresh slab for (thread, domain, class) and chains it onto
+    /// the free list, InCLL-logging the owning frontier's watermark move
+    /// on the domain's own epoch timeline — no write-backs, no fences; a
+    /// crash in a failed epoch rolls the frontier back and the slab
+    /// un-carves.
     fn refill(&self, thread: usize, domain: usize, class: usize, epoch: u64) -> Result<(), Error> {
         let arena = &self.inner.arena;
         let stride = classes::stride(class) as u64;
         let head_off = classes::header_off_in_stride(class) as u64;
-        let align = if classes::is_aligned64(class) { 64 } else { 16 };
-        let slab = arena.carve(stride as usize * SLAB_OBJECTS, align)?;
+        let align = if classes::is_aligned64(class) {
+            64u64
+        } else {
+            16
+        };
+        let slab;
         {
-            let _g = self.inner.watermark.lock();
+            let _g = self.inner.carve_locks[domain].lock();
+            let new_frontier;
             if self.inner.ndomains == 1 {
-                // InCLL-log the durable watermark on its first move this
-                // epoch (the paper's flush-free protocol).
-                if arena.pread_u64(superblock::SB_BUMP_EPOCH) != epoch {
-                    let old = arena.pread_u64(superblock::SB_BUMP);
-                    arena.pwrite_u64(superblock::SB_BUMP_INCLL, old);
-                    arena.pwrite_u64_release(superblock::SB_BUMP_EPOCH, epoch);
-                    arena.stats().add_incll_alloc();
-                }
-                arena.pwrite_u64_release(superblock::SB_BUMP, arena.bump());
+                slab = arena.carve(stride as usize * SLAB_OBJECTS, align as usize)?;
+                new_frontier = arena.bump();
             } else {
-                // Multi-domain: a single epoch tag cannot arbitrate
-                // between timelines, so persist the watermark eagerly.
-                // The fence precedes the head swing below, so any durable
-                // pointer into the slab implies a durable watermark past
-                // it; a crash leaks (never un-carves) doomed slabs.
-                arena.pwrite_u64_release(superblock::SB_BUMP, arena.bump());
-                arena.clwb(superblock::SB_BUMP);
-                arena.sfence();
+                slab = self.carve_in(domain, stride * SLAB_OBJECTS as u64, align)?;
+                new_frontier = self.inner.frontier[domain].load(Ordering::Relaxed);
             }
+            // InCLL-log the domain's durable watermark on its first move
+            // this epoch (the paper's flush-free protocol, per shard: the
+            // triple shares one cache line and the epoch tag lives on the
+            // carving shard's own timeline).
+            if arena.pread_u64(superblock::shard_bump_epoch_off(domain)) != epoch {
+                let old = arena.pread_u64(superblock::shard_bump_off(domain));
+                arena.pwrite_u64(superblock::shard_bump_incll_off(domain), old);
+                arena.pwrite_u64_release(superblock::shard_bump_epoch_off(domain), epoch);
+                arena.stats().add_incll_alloc();
+            }
+            arena.pwrite_u64_release(superblock::shard_bump_off(domain), new_frontier);
         }
         // Chain the fresh objects: slab[i].next = slab[i+1]; the last one
         // points at the current free head. Fresh headers need no logging:
@@ -1237,22 +1387,108 @@ mod tests {
     }
 
     #[test]
-    fn multi_domain_watermark_is_eager_and_never_reverts() {
+    fn multi_domain_regions_are_disjoint_and_cover_all_domains() {
+        let (_arena, alloc) = tracked_sharded(2, 4);
+        let regions: Vec<(u64, u64)> = (0..4).map(|d| alloc.region_of(d).unwrap()).collect();
+        for (d, &(s, l)) in regions.iter().enumerate() {
+            assert!(s < l, "region {d} must be non-empty");
+            assert_eq!(s % 64, 0);
+            for &(s2, _) in &regions[d + 1..] {
+                assert!(s2 >= l, "regions must not overlap");
+            }
+        }
+        // Allocations land inside their own domain's region.
+        for (d, &(s, l)) in regions.iter().enumerate() {
+            let p = alloc.alloc_in(0, d, 1, 32).unwrap();
+            assert!(p >= s && p + 32 <= l, "domain {d} payload outside region");
+        }
+    }
+
+    #[test]
+    fn single_domain_allocator_has_no_regions() {
+        let (_a, alloc) = fresh(1);
+        assert_eq!(alloc.region_of(0), None);
+    }
+
+    #[test]
+    fn multi_domain_carve_path_is_flush_free() {
+        // The v4 frontier is InCLL-logged per shard: not a single fence or
+        // write-back on the carve path (the deleted workaround fenced
+        // every carve).
         let (arena, alloc) = tracked_sharded(1, 2);
-        let before = arena.pread_u64(superblock::SB_BUMP);
-        let sfences = arena.stats().sfence();
-        alloc.alloc_in(0, 1, 1, 320).unwrap(); // forces a slab carve
-        let after = arena.pread_u64(superblock::SB_BUMP);
-        assert!(after > before, "watermark persisted at carve");
-        assert!(arena.stats().sfence() > sfences, "carve fences eagerly");
-        superblock::record_failed_epoch_for(&arena, 1, 1).unwrap();
+        let base = arena.stats().snapshot();
+        alloc.alloc_in(0, 0, 1, 320).unwrap(); // forces a slab carve
+        alloc.alloc_in(0, 1, 5, 700).unwrap(); // and on the other shard
+        let d = arena.stats().snapshot().delta(&base);
+        assert_eq!(d.clwb, 0, "carve path must not write back");
+        assert_eq!(d.sfence, 0, "carve path must not fence");
+    }
+
+    #[test]
+    fn multi_domain_watermark_reverts_and_doomed_slabs_uncarve() {
+        let (arena, alloc) = tracked_sharded(1, 2);
+        // Checkpoint both domains at their own epochs.
+        arena.pwrite_u64(superblock::domain_cur_epoch_off(0), 2);
+        arena.pwrite_u64(superblock::domain_cur_epoch_off(1), 6);
+        arena.global_flush();
+        let wm0 = arena.pread_u64(superblock::shard_bump_off(0));
+        let wm1 = arena.pread_u64(superblock::shard_bump_off(1));
+
+        // Domain 1 carves slabs in its doomed epoch 6; domain 0 carves in
+        // its epoch 2, which will complete.
+        alloc.alloc_in(0, 1, 6, 320).unwrap();
+        alloc.alloc_in(0, 1, 6, 700).unwrap();
+        alloc.alloc_in(0, 0, 2, 320).unwrap();
+        arena.pwrite_u64(superblock::domain_cur_epoch_off(0), 3);
+        arena.global_flush(); // domain 0's epoch 2 completes (superset flush)
+        let wm0_after = arena.pread_u64(superblock::shard_bump_off(0));
+        assert!(wm0_after > wm0, "domain 0's frontier moved");
+
+        superblock::record_failed_epoch_for(&arena, 1, 6).unwrap();
         arena.crash_seeded(3);
-        let _alloc2 = PAlloc::open_sharded(&arena, &[2, 2]);
+        let alloc2 = PAlloc::open_sharded(&arena, &[4, 7]);
         assert_eq!(
-            arena.pread_u64(superblock::SB_BUMP),
-            after,
-            "multi-domain watermark must not roll back (doomed slabs leak)"
+            arena.pread_u64(superblock::shard_bump_off(1)),
+            wm1,
+            "doomed domain-1 slabs must un-carve (frontier reverts)"
         );
+        assert_eq!(
+            arena.pread_u64(superblock::shard_bump_off(0)),
+            wm0_after,
+            "domain 0's completed carve must survive"
+        );
+        // The reverted frontier hands the same space out again.
+        let p = alloc2.alloc_in(0, 1, 7, 320).unwrap();
+        let (s, l) = alloc2.region_of(1).unwrap();
+        assert!(p >= s && p < l);
+    }
+
+    #[test]
+    fn domain_region_exhaustion_is_a_typed_error() {
+        // A domain can only carve from its own region: exhausting it
+        // errors even though other domains still have space.
+        let arena = PArena::builder().capacity_bytes(8 << 20).build().unwrap();
+        superblock::format(&arena);
+        let alloc = PAlloc::create_sharded(&arena, 1, 2).unwrap();
+        let (s, l) = alloc.region_of(0).unwrap();
+        let per_slab = (classes::stride(class_for(4096).unwrap()) * SLAB_OBJECTS) as u64;
+        let mut got = 0u64;
+        let err = loop {
+            match alloc.alloc_in(0, 0, 1, 4096) {
+                Ok(_) => got += 1,
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(
+            err,
+            Error::Pmem(incll_pmem::Error::OutOfMemory { .. })
+        ));
+        assert!(
+            got >= (l - s) / per_slab / 2,
+            "most of the region is usable"
+        );
+        // The sibling domain is unaffected.
+        alloc.alloc_in(0, 1, 1, 4096).unwrap();
     }
 
     #[test]

@@ -22,6 +22,9 @@ pub struct LatencyModel {
     /// Delay injected by every
     /// [`flush_domain`](crate::PArena::flush_domain), in ns.
     scoped_flush_ns: AtomicU64,
+    /// Emulated NVM streaming-read time per KiB scanned by recovery
+    /// replay, in ns (0 = off).
+    replay_read_ns_per_kb: AtomicU64,
 }
 
 impl LatencyModel {
@@ -61,6 +64,42 @@ impl LatencyModel {
     /// Returns the configured scoped-flush delay in nanoseconds.
     pub fn scoped_flush_ns(&self) -> u64 {
         self.scoped_flush_ns.load(Ordering::Relaxed)
+    }
+
+    /// Sets the emulated NVM streaming-read cost of recovery replay, in
+    /// nanoseconds per KiB of log scanned (e.g. 1 GiB/s per stream ≈
+    /// 1000 ns/KiB). Default 0: off.
+    ///
+    /// Replay streams megabytes of sealed log per buffer; at that scale a
+    /// recovery worker is *waiting on the device*, not on a pipeline
+    /// stall, so [`LatencyModel::stall_replay_read`] models the wait as
+    /// descheduled time (`thread::sleep`) rather than a spin — which is
+    /// also what lets concurrent recovery workers overlap their streams'
+    /// device time, the memory-level parallelism that partitioned-log
+    /// parallel recovery exploits on real NVM.
+    pub fn set_replay_read_ns_per_kb(&self, ns: u64) {
+        self.replay_read_ns_per_kb.store(ns, Ordering::Relaxed);
+    }
+
+    /// Returns the configured replay streaming-read cost (ns per KiB).
+    pub fn replay_read_ns_per_kb(&self) -> u64 {
+        self.replay_read_ns_per_kb.load(Ordering::Relaxed)
+    }
+
+    /// Emulates the NVM device time of streaming `bytes` of log during
+    /// recovery replay (no-op unless
+    /// [`LatencyModel::set_replay_read_ns_per_kb`] configured a rate).
+    /// Called once per replayed log buffer, so the sleep granularity is
+    /// hundreds of microseconds — far above timer slop.
+    pub fn stall_replay_read(&self, bytes: u64) {
+        let per_kb = self.replay_read_ns_per_kb();
+        if per_kb == 0 || bytes == 0 {
+            return;
+        }
+        let ns = bytes.saturating_mul(per_kb) / 1024;
+        if ns > 0 {
+            std::thread::sleep(std::time::Duration::from_nanos(ns));
+        }
     }
 }
 

@@ -17,32 +17,39 @@
 //! | 0      | 0        | reserved (offset 0 is the null `PPtr`) |
 //! | 64     | 1        | magic, version, shard-0 durable current epoch, shard-0 first epoch of current execution |
 //! | 128    | 2–16     | shard-0 failed-epoch set: count + up to 119 epochs |
-//! | 1088   | 17       | allocator bump watermark InCLL triple |
+//! | 1088   | 17       | shard-0 allocator bump watermark InCLL triple |
 //! | 1152   | 18       | shard-0 root holder + tree metadata + shard count |
 //! | 1216   | 19       | external-log region descriptor (incl. domain count) |
 //! | 1280   | 20–43    | allocator class heads descriptor + head lines |
 //! | 2816   | 44–59    | shard root-holder table (shards 1..64, 16 B cells) |
-//! | 3840   | 60–63    | spare |
+//! | 3840   | 60       | per-shard carve-region descriptor (split base + region bytes) |
+//! | 3904   | 61–63    | spare |
 //! | 4096   | 64–190   | epoch-domain table: per-shard epoch counters + failed sets (shards 1..64, 128 B cells) |
 //! | 12160  | 190–191  | spare |
-//! | 12288  | —        | start of carvable space |
+//! | 12288  | 192–254  | per-shard watermark table: one InCLL triple line per shard 1..64 |
+//! | 16320  | 255      | spare |
+//! | 16384  | —        | start of carvable space |
 //!
-//! Shard 0's epoch counters and failed-epoch set stay on the **legacy
-//! cells** (offsets 64–1088), so a `shards(1)` store keeps the pre-domain
-//! cell positions; shards 1..63 get a 128-byte cell each in the domain
-//! table, holding their own durable current/exec epoch pair and a (smaller)
-//! failed-epoch set.
+//! Shard 0's epoch counters, failed-epoch set and watermark triple stay on
+//! the **legacy cells** (offsets 64–1152), so a `shards(1)` store keeps
+//! the pre-domain cell positions; shards 1..63 get a 128-byte cell each in
+//! the domain table (their own durable current/exec epoch pair plus a
+//! smaller failed-epoch set) and — since v4 — a dedicated watermark line
+//! each in the per-shard watermark table, so concurrent slab carves on
+//! different shards never share a cache line.
 
 use crate::{Error, PArena, Result};
 
 /// Identifies a formatted InCLL arena.
 pub const MAGIC: u64 = 0x19C1_1C05_A5B1_2019;
-/// On-media format version. Version 3 added the per-shard epoch-domain
-/// table ([`SB_DOMAIN_TABLE`]) and moved [`CARVE_START`] past it; version 2
-/// added the shard table ([`SB_SHARD_COUNT`], [`shard_root_holder`]);
-/// version-1 media has neither. Older media must be rejected by openers,
-/// not reinterpreted.
-pub const VERSION: u64 = 3;
+/// On-media format version. Version 4 added the per-shard allocator
+/// arenas: the carve-region descriptor ([`SB_ARENA_SPLIT`]), the per-shard
+/// watermark table ([`SB_SHARD_BUMP_TABLE`]) and another [`CARVE_START`]
+/// move. Version 3 added the per-shard epoch-domain table
+/// ([`SB_DOMAIN_TABLE`]); version 2 added the shard table
+/// ([`SB_SHARD_COUNT`], [`shard_root_holder`]); version-1 media has
+/// neither. Older media must be rejected by openers, not reinterpreted.
+pub const VERSION: u64 = 4;
 
 /// Offset of the magic word.
 pub const SB_MAGIC: u64 = 64;
@@ -66,13 +73,26 @@ pub const SB_FAILED_ARR: u64 = 136;
 /// arena's lifetime.
 pub const MAX_FAILED_EPOCHS: usize = 119;
 
-/// Offset of the allocator bump-watermark InCLL triple
-/// (watermark, watermarkInCLL, epoch — one cache line).
+/// Offset of **shard 0's** allocator bump-watermark InCLL triple
+/// (watermark, watermarkInCLL, epoch — one cache line). On a `shards(1)`
+/// store this is the whole arena's single carve frontier (the pre-v4
+/// meaning); under per-shard arenas (v4) it is shard 0's frontier, with
+/// shards 1..63 on [`SB_SHARD_BUMP_TABLE`] lines.
 pub const SB_BUMP: u64 = 1088;
 /// Offset of the logged (epoch-start) watermark.
 pub const SB_BUMP_INCLL: u64 = 1096;
 /// Offset of the watermark log's epoch tag.
 pub const SB_BUMP_EPOCH: u64 = 1104;
+
+/// Offset of the per-shard carve-region descriptor (v4): the base offset
+/// of the region array the allocator split the carvable space into at
+/// create time, or 0 on a store whose allocator was created single-domain
+/// (one shared frontier, the pre-v4 shape).
+pub const SB_ARENA_SPLIT: u64 = 3840;
+/// Offset of the bytes-per-shard-region word (v4; meaningful only when
+/// [`SB_ARENA_SPLIT`] is nonzero). Shard `s`'s region is
+/// `[split + s·region_bytes, split + (s+1)·region_bytes)`.
+pub const SB_ARENA_REGION_BYTES: u64 = 3848;
 
 /// Offset of the durable tree-root pointer (a root-holder cell). Under
 /// sharding this is **shard 0's** holder — the legacy single-tree layout
@@ -214,8 +234,55 @@ pub const fn failed_capacity(i: usize) -> usize {
     }
 }
 
-/// First carvable offset (end of the superblock + domain table).
-pub const CARVE_START: u64 = 12288;
+// ---------------------------------------------------------------------
+// Per-shard watermark table (v4)
+// ---------------------------------------------------------------------
+
+/// Offset of the per-shard watermark table: one full cache line per shard
+/// **after the first** (shard 0 keeps the legacy [`SB_BUMP`] triple),
+/// holding that shard's carve-frontier InCLL triple:
+///
+/// ```text
+/// +0  watermark    +8  watermarkInCLL    +16 epoch tag
+/// ```
+///
+/// Each shard's triple lives on its own line, so the same-line-ordering
+/// (InCLL) protocol applies per shard and concurrent carves on different
+/// shards never contend on a cache line. The epoch tag is on the owning
+/// shard's **own** timeline — exactly the single-domain watermark
+/// protocol, instantiated once per shard.
+pub const SB_SHARD_BUMP_TABLE: u64 = 12288;
+
+/// The offset of shard `i`'s durable carve watermark.
+///
+/// # Panics
+///
+/// Panics if `i >= MAX_SHARDS`.
+#[inline]
+pub const fn shard_bump_off(i: usize) -> u64 {
+    assert!(i < MAX_SHARDS, "shard index out of range");
+    if i == 0 {
+        SB_BUMP
+    } else {
+        SB_SHARD_BUMP_TABLE + (i as u64 - 1) * 64
+    }
+}
+
+/// The offset of shard `i`'s logged (epoch-start) watermark.
+#[inline]
+pub const fn shard_bump_incll_off(i: usize) -> u64 {
+    shard_bump_off(i) + 8
+}
+
+/// The offset of shard `i`'s watermark-log epoch tag.
+#[inline]
+pub const fn shard_bump_epoch_off(i: usize) -> u64 {
+    shard_bump_off(i) + 16
+}
+
+/// First carvable offset (end of the superblock + domain and watermark
+/// tables).
+pub const CARVE_START: u64 = 16384;
 
 /// Formats a fresh arena: writes magic/version, zeroes all superblock
 /// fields, and flushes the superblock.
@@ -377,14 +444,39 @@ mod tests {
         assert!(SB_FAILED_ARR + (MAX_FAILED_EPOCHS as u64) * 8 <= SB_BUMP);
         assert!(SB_PALLOC_HEADS + (PALLOC_MAX_CLASSES as u64) * 64 <= SB_SHARD_TABLE);
         // The shard table must sit past the allocator heads and in front
-        // of the domain table, which in turn fits before carvable space.
+        // of the domain table, which in turn fits before the watermark
+        // table, which fits before carvable space.
         assert!(shard_root_holder(MAX_SHARDS - 1) + 16 <= SB_DOMAIN_TABLE);
         assert!(
-            domain_cur_epoch_off(MAX_SHARDS - 1) + DOMAIN_CELL_BYTES <= CARVE_START,
-            "domain table must fit before carvable space"
+            domain_cur_epoch_off(MAX_SHARDS - 1) + DOMAIN_CELL_BYTES <= SB_SHARD_BUMP_TABLE,
+            "domain table must fit before the watermark table"
+        );
+        assert!(
+            shard_bump_off(MAX_SHARDS - 1) + 64 <= CARVE_START,
+            "watermark table must fit before carvable space"
         );
         // A domain cell must hold its epochs, count and full failed array.
         assert!(24 + (MAX_FAILED_EPOCHS_SHARD as u64) * 8 <= DOMAIN_CELL_BYTES);
+        // The carve-region descriptor must not collide with its neighbours.
+        assert!(SB_ARENA_SPLIT >= shard_root_holder(MAX_SHARDS - 1) + 16);
+        assert!(SB_ARENA_REGION_BYTES + 8 <= domain_cur_epoch_off(1));
+    }
+
+    #[test]
+    fn shard_bump_triples_are_line_exclusive_and_legacy_anchored() {
+        assert_eq!(shard_bump_off(0), SB_BUMP);
+        assert_eq!(shard_bump_incll_off(0), SB_BUMP_INCLL);
+        assert_eq!(shard_bump_epoch_off(0), SB_BUMP_EPOCH);
+        let lines: Vec<u64> = (0..MAX_SHARDS).map(|i| shard_bump_off(i) / 64).collect();
+        for (i, &l) in lines.iter().enumerate() {
+            assert_eq!(shard_bump_off(i) % 64, 0, "triple {i} must start a line");
+            // The whole triple shares one line (the InCLL requirement)...
+            assert_eq!(shard_bump_epoch_off(i) / 64, l);
+            // ...and no two shards share a line (no cross-shard contention).
+            for &other in &lines[i + 1..] {
+                assert_ne!(l, other, "watermark lines must be per shard");
+            }
+        }
     }
 
     #[test]
@@ -421,9 +513,9 @@ mod tests {
         assert!(has_magic(&a));
         assert!(is_formatted(&a));
         assert_eq!(raw_version(&a), VERSION);
-        // Pre-domain (v1/v2) superblocks keep their magic but are no
-        // longer "formatted" in the current sense.
-        for stale in [1, 2] {
+        // Pre-arena-split (v1/v2/v3) superblocks keep their magic but are
+        // no longer "formatted" in the current sense.
+        for stale in [1, 2, 3] {
             a.pwrite_u64(SB_VERSION, stale);
             assert!(has_magic(&a));
             assert!(!is_formatted(&a));

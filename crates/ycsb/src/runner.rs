@@ -303,6 +303,7 @@ mod tests {
                 log_bytes_per_thread: 1 << 20,
                 incll_enabled: true,
                 shards: 1,
+                recovery_threads: 1,
             },
         )
         .unwrap();

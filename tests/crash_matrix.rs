@@ -1,0 +1,416 @@
+//! Deterministic crash-injection torture matrix for **parallel per-shard
+//! recovery** and **per-shard allocator arenas**.
+//!
+//! Sweeps shards {1, 2, 4, 8} × recovery workers {1, 2, 4} × crash points
+//! {mid-replay, mid-carve, mid-compaction}. Every cell drives the same
+//! deterministic history (per-shard staggered checkpoints, a
+//! crash-point-specific doomed phase, a seeded PCSO crash), recovers with
+//! the cell's worker count, and asserts:
+//!
+//! * every shard lands **exactly** on its own recovered epoch (tracked by
+//!   a per-shard epoch mirror, off-by-one intolerant);
+//! * the surviving contents equal the per-shard committed model;
+//! * the report attributes replay per shard and names the worker count.
+//!
+//! A separate battery proves **parallel ≡ sequential**: the identical
+//! history is run twice — byte-identical up to the final crash — then
+//! recovered once with 1 worker and once with 4, and the two arenas must
+//! agree on every byte (a full-arena digest), not merely on visible
+//! contents.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use incll_repro::prelude::*;
+
+const SHARD_SWEEP: &[usize] = &[1, 2, 4, 8];
+const WORKER_SWEEP: &[usize] = &[1, 2, 4];
+
+/// Where in the lifecycle the (final) crash lands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CrashPoint {
+    /// Crash, recover (replay runs, nothing checkpoints), then crash
+    /// again mid-recovery-epoch with no new work: the second recovery
+    /// must re-replay to the same state (§4.3 idempotence), per shard.
+    Replay,
+    /// The doomed epoch allocates values in size classes never touched
+    /// before, forcing fresh slab carves on every shard's own frontier;
+    /// the crash must un-carve them (v4 watermark rollback).
+    Carve,
+    /// A first crash leaves failed-epoch debris; a completed checkpoint
+    /// then runs the compaction sweep (eager lazy-recovery + list
+    /// re-tagging + prune) before the doomed phase and final crash.
+    Compaction,
+}
+
+const CRASH_POINTS: &[CrashPoint] = &[
+    CrashPoint::Replay,
+    CrashPoint::Carve,
+    CrashPoint::Compaction,
+];
+
+fn tracked() -> PArena {
+    PArena::builder()
+        .capacity_bytes(32 << 20)
+        .tracked(true)
+        .build()
+        .unwrap()
+}
+
+fn options(shards: usize, workers: usize) -> Options {
+    Options::new()
+        .threads(1)
+        .log_bytes_per_thread(1 << 20)
+        .shards(shards)
+        .recovery_threads(workers)
+}
+
+/// Deterministic variable-length value: spans the small/medium classes.
+fn bval(i: u64) -> Vec<u8> {
+    let len = ((i * 37) % 347) as usize;
+    (0..len).map(|j| (i as u8).wrapping_add(j as u8)).collect()
+}
+
+/// A value in a size class the staggered phases never touch (600 → 768,
+/// 1500 → 2048, 3500 → 4096): allocating one forces a fresh slab carve.
+fn carve_val(i: u64) -> Vec<u8> {
+    let len = [600usize, 1500, 3500][(i % 3) as usize];
+    vec![i as u8; len]
+}
+
+/// Copies `working`'s mappings for every key routed to `shard` into
+/// `expect` (insertions and removals): the model image of "shard `shard`
+/// just completed a checkpoint".
+fn commit_shard(
+    expect: &mut BTreeMap<Vec<u8>, Vec<u8>>,
+    working: &BTreeMap<Vec<u8>, Vec<u8>>,
+    store: &Store,
+    shard: usize,
+) {
+    let keys: BTreeSet<Vec<u8>> = expect.keys().chain(working.keys()).cloned().collect();
+    for k in keys {
+        if store.shard_of(&k) == shard {
+            match working.get(&k) {
+                Some(v) => {
+                    expect.insert(k, v.clone());
+                }
+                None => {
+                    expect.remove(&k);
+                }
+            }
+        }
+    }
+}
+
+/// FNV-1a over every byte of the arena (u64-stride): two arenas with equal
+/// digests hold identical contents.
+fn arena_digest(arena: &PArena) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut buf = [0u8; 4096];
+    let cap = arena.capacity() as u64;
+    let mut off = 0u64;
+    while off < cap {
+        let n = ((cap - off) as usize).min(4096);
+        arena.pread_bytes(off, &mut buf[..n]);
+        for w in buf[..n].chunks(8) {
+            let mut word = [0u8; 8];
+            word[..w.len()].copy_from_slice(w);
+            h ^= u64::from_le_bytes(word);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        off += n as u64;
+    }
+    h
+}
+
+/// What one matrix cell produced, for cross-cell comparison.
+struct CellOutcome {
+    expect: BTreeMap<Vec<u8>, Vec<u8>>,
+    /// Per-shard failed/recovered epochs from the final report.
+    per_shard: Vec<(u64, u64, u64)>, // (failed, recovered, entries)
+    digest: u64,
+}
+
+/// Drives the deterministic history for one cell and recovers with
+/// `final_workers`. Intermediate recoveries (the extra crash/reopen
+/// rounds of `Replay` / `Compaction`) use `mid_workers`, so the
+/// byte-equivalence battery can hold everything before the final crash
+/// identical while varying only the final recovery.
+fn run_cell(
+    shards: usize,
+    point: CrashPoint,
+    mid_workers: usize,
+    final_workers: usize,
+) -> CellOutcome {
+    let arena = tracked();
+    // Per-shard epoch mirror: create leaves every shard at epoch 1; every
+    // advance (+1), every crash/reopen (+1, restart past the failure).
+    let mut epochs = vec![1u64; shards];
+    let mut working: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+    let mut expect: BTreeMap<Vec<u8>, Vec<u8>>;
+
+    let (store, r) = Store::open(&arena, options(shards, mid_workers)).unwrap();
+    assert!(r.created);
+    {
+        let sess = store.session().unwrap();
+        // Committed base: keys 0..80, then the common barrier.
+        for i in 0..80u64 {
+            store.put(&sess, &i.to_be_bytes(), &bval(i)).unwrap();
+            working.insert(i.to_be_bytes().to_vec(), bval(i));
+        }
+        store.checkpoint();
+        for e in &mut epochs {
+            *e += 1;
+        }
+        expect = working.clone();
+
+        // Staggered per-shard boundaries: two rounds of churn; shard s
+        // checkpoints in the first (s % 3) rounds only, so the per-shard
+        // boundaries drift apart deterministically.
+        for round in 0..2u64 {
+            for i in 0..40u64 {
+                let k = 1000 + round * 100 + i;
+                store.put(&sess, &k.to_be_bytes(), &bval(k)).unwrap();
+                working.insert(k.to_be_bytes().to_vec(), bval(k));
+            }
+            for i in 0..10u64 {
+                let k = (round * 13 + i * 3) % 80;
+                store.remove(&sess, &k.to_be_bytes());
+                working.remove(k.to_be_bytes().as_slice());
+            }
+            for (s, e) in epochs.iter_mut().enumerate() {
+                if round < (s % 3) as u64 {
+                    store.checkpoint_shard(s);
+                    *e += 1;
+                    commit_shard(&mut expect, &working, &store, s);
+                }
+            }
+        }
+    }
+
+    // Crash-point-specific tail. Every branch ends with the store dropped
+    // and the *final* seeded crash taken.
+    match point {
+        CrashPoint::Carve => {
+            // Doomed phase forcing fresh slab carves on every shard: big
+            // values in classes no earlier phase touched.
+            let sess = store.session().unwrap();
+            for i in 0..30u64 {
+                let k = 5000 + i;
+                store.put(&sess, &k.to_be_bytes(), &carve_val(i)).unwrap();
+            }
+            drop(sess);
+            drop(store);
+            arena.crash_seeded(0xC0FFEE ^ shards as u64);
+        }
+        CrashPoint::Replay => {
+            // Doomed churn, crash, one *completed* recovery (replay runs,
+            // nothing checkpoints), then an immediate second crash: the
+            // final recovery must re-replay to the identical state.
+            let sess = store.session().unwrap();
+            for i in 0..40u64 {
+                let k = 2000 + i;
+                store.put(&sess, &k.to_be_bytes(), &bval(k)).unwrap();
+            }
+            drop(sess);
+            drop(store);
+            arena.crash_seeded(0xA11CE ^ shards as u64);
+            let (store2, r2) = Store::open(&arena, options(shards, mid_workers)).unwrap();
+            assert!(!r2.created);
+            for e in &mut epochs {
+                *e += 1;
+            }
+            drop(store2);
+            arena.crash_seeded(0xB0B ^ shards as u64);
+        }
+        CrashPoint::Compaction => {
+            // First crash leaves failed debris; a completed checkpoint
+            // then compacts (sweep + re-tag + prune) before the doomed
+            // phase and the final crash.
+            drop(store);
+            arena.crash_seeded(0xD00D ^ shards as u64);
+            let (store2, r2) = Store::open(&arena, options(shards, mid_workers)).unwrap();
+            assert!(!r2.created);
+            for e in &mut epochs {
+                *e += 1;
+            }
+            // The crash rolled the un-checkpointed staggered churn back:
+            // the live state is exactly the per-shard committed model.
+            working = expect.clone();
+            {
+                let sess = store2.session().unwrap();
+                for i in 0..30u64 {
+                    let k = 3000 + i;
+                    store2.put(&sess, &k.to_be_bytes(), &bval(k)).unwrap();
+                    working.insert(k.to_be_bytes().to_vec(), bval(k));
+                }
+                store2.checkpoint(); // the compaction pass runs here
+                for e in &mut epochs {
+                    *e += 1;
+                }
+                expect = working.clone();
+                for i in 0..20u64 {
+                    let k = 4000 + i;
+                    store2.put(&sess, &k.to_be_bytes(), &bval(k)).unwrap();
+                }
+            }
+            drop(store2);
+            arena.crash_seeded(0xFACADE ^ shards as u64);
+        }
+    }
+
+    // The measured recovery: the cell's worker count.
+    let (store, report) = Store::open(&arena, options(shards, final_workers)).unwrap();
+    assert!(!report.created);
+    assert_eq!(
+        report.parallel_workers,
+        final_workers.min(shards),
+        "workers are clamped to the shard count"
+    );
+    assert_eq!(report.per_shard.len(), shards);
+    for (s, rep) in report.per_shard.iter().enumerate() {
+        assert_eq!(rep.shard, s);
+        assert_eq!(
+            rep.failed_epoch, epochs[s],
+            "{point:?} shards={shards} workers={final_workers}: shard {s} \
+             must fail at exactly its own epoch"
+        );
+        assert_eq!(rep.recovered_epoch, rep.failed_epoch + 1);
+    }
+    assert_eq!(
+        report.replayed_entries,
+        report
+            .per_shard
+            .iter()
+            .map(|s| s.replayed_entries)
+            .sum::<u64>()
+    );
+    if point == CrashPoint::Compaction {
+        // The completed checkpoint compacted shard 0's set: only epochs
+        // at/after the compacting boundary may remain (plus this crash).
+        assert!(
+            report.failed_epochs.len() <= 2,
+            "{point:?}: compaction must have pruned shard 0's set, got {:?}",
+            report.failed_epochs
+        );
+    }
+
+    // Contents: every shard exactly at its own committed boundary.
+    {
+        let sess = store.session().unwrap();
+        let got: Vec<(Vec<u8>, Vec<u8>)> = store.iter(&sess).collect();
+        let want: Vec<(Vec<u8>, Vec<u8>)> = expect.clone().into_iter().collect();
+        assert_eq!(
+            got, want,
+            "{point:?} shards={shards} workers={final_workers}: contents \
+             must match the per-shard committed model"
+        );
+    }
+    drop(store);
+    let digest = arena_digest(&arena);
+
+    CellOutcome {
+        expect,
+        per_shard: report
+            .per_shard
+            .iter()
+            .map(|s| (s.failed_epoch, s.recovered_epoch, s.replayed_entries))
+            .collect(),
+        digest,
+    }
+}
+
+/// The full matrix, one crash point per test so failures name their cell.
+fn run_matrix(point: CrashPoint) {
+    for &shards in SHARD_SWEEP {
+        // All worker counts of one (shards, point) cell must agree on
+        // everything observable — the matrix's sequential ≡ parallel
+        // claim at the model level (the byte-level twin is below).
+        let mut baseline: Option<CellOutcome> = None;
+        for &workers in WORKER_SWEEP {
+            let out = run_cell(shards, point, 1, workers);
+            if let Some(base) = &baseline {
+                assert_eq!(
+                    base.expect, out.expect,
+                    "{point:?} shards={shards}: model must not depend on workers"
+                );
+                assert_eq!(
+                    base.per_shard, out.per_shard,
+                    "{point:?} shards={shards} workers={workers}: per-shard \
+                     epochs/replay must not depend on workers"
+                );
+                assert_eq!(
+                    base.digest, out.digest,
+                    "{point:?} shards={shards} workers={workers}: recovered \
+                     arenas must be byte-identical"
+                );
+            } else {
+                baseline = Some(out);
+            }
+        }
+    }
+}
+
+#[test]
+fn crash_matrix_mid_carve() {
+    run_matrix(CrashPoint::Carve);
+}
+
+#[test]
+fn crash_matrix_mid_replay() {
+    run_matrix(CrashPoint::Replay);
+}
+
+#[test]
+fn crash_matrix_mid_compaction() {
+    run_matrix(CrashPoint::Compaction);
+}
+
+#[test]
+fn recovered_store_stays_writable_and_durable_at_every_cell_shape() {
+    // Liveness after the worst cell shapes: a recovered store must accept
+    // new work, checkpoint it, and survive one more crash.
+    for &shards in &[1usize, 8] {
+        for &point in CRASH_POINTS {
+            let arena = tracked();
+            let mut epochs = vec![1u64; shards];
+            {
+                let (store, _) = Store::open(&arena, options(shards, 2)).unwrap();
+                let sess = store.session().unwrap();
+                for i in 0..40u64 {
+                    store.put(&sess, &i.to_be_bytes(), &bval(i)).unwrap();
+                }
+                store.checkpoint();
+                for e in &mut epochs {
+                    *e += 1;
+                }
+                let sz = match point {
+                    CrashPoint::Carve => 2000,
+                    _ => 64,
+                };
+                store.put(&sess, b"doomed", &vec![9u8; sz]).unwrap();
+            }
+            arena.crash_seeded(7 ^ shards as u64);
+            if point == CrashPoint::Replay {
+                let (s2, _) = Store::open(&arena, options(shards, 4)).unwrap();
+                drop(s2);
+                for e in &mut epochs {
+                    *e += 1;
+                }
+                arena.crash_seeded(8 ^ shards as u64);
+            }
+            let (store, _) = Store::open(&arena, options(shards, 4)).unwrap();
+            {
+                let sess = store.session().unwrap();
+                assert_eq!(store.get(&sess, b"doomed"), None);
+                store.put(&sess, b"after", b"alive").unwrap();
+                store.checkpoint();
+            }
+            drop(store);
+            arena.crash_seeded(9 ^ shards as u64);
+            let (store, _) = Store::open(&arena, options(shards, 1)).unwrap();
+            let sess = store.session().unwrap();
+            assert_eq!(store.get(&sess, b"after").as_deref(), Some(&b"alive"[..]));
+            assert_eq!(store.get(&sess, &0u64.to_be_bytes()), Some(bval(0)));
+        }
+    }
+}

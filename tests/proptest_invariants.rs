@@ -158,21 +158,31 @@ fn data_op_strategy() -> impl Strategy<Value = Op> {
 }
 
 fn open_store(arena: &PArena, shards: usize) -> Store {
+    open_store_with(arena, shards, 1).0
+}
+
+fn open_store_with(arena: &PArena, shards: usize, workers: usize) -> (Store, RecoveryReport) {
     Store::open(
         arena,
         Options::new()
             .threads(1)
             .log_bytes_per_thread(1 << 20)
-            .shards(shards),
+            .shards(shards)
+            .recovery_threads(workers),
     )
     .unwrap()
-    .0
 }
 
 /// The shard counts the store-level properties sweep (1 = the unsharded
 /// baseline; 2 and 4 exercise routing, merged scans, and cross-shard
 /// crash atomicity).
 fn shard_strategy() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(1usize), Just(2), Just(4)]
+}
+
+/// Recovery worker counts the crash properties sweep: every tape is
+/// model-checked under both sequential (1) and parallel recovery.
+fn worker_strategy() -> impl Strategy<Value = usize> {
     prop_oneof![Just(1usize), Just(2), Just(4)]
 }
 
@@ -257,18 +267,21 @@ proptest! {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
-    /// Crash consistency as a property, at every shard count: any op tape
-    /// of variable-length values interleaved with epoch advances — the
-    /// tail may itself contain advances, so the crash can land an
-    /// arbitrary distance past the last completed boundary — plus any
-    /// crash seed. Recovery lands exactly on the state at the last
-    /// completed checkpoint, on **every** shard at once.
+    /// Crash consistency as a property, at every shard count **and every
+    /// recovery worker count**: any op tape of variable-length values
+    /// interleaved with epoch advances — the tail may itself contain
+    /// advances, so the crash can land an arbitrary distance past the
+    /// last completed boundary — plus any crash seed. Recovery lands
+    /// exactly on the state at the last completed checkpoint, on
+    /// **every** shard at once, whether the shards replay sequentially
+    /// or in parallel.
     #[test]
     fn crash_recovers_to_checkpoint(
         committed in proptest::collection::vec(op_strategy(), 0..120),
         doomed in proptest::collection::vec(op_strategy(), 1..120),
         crash_seed in any::<u64>(),
         shards in shard_strategy(),
+        workers in worker_strategy(),
     ) {
         let arena = PArena::builder()
             .capacity_bytes(32 << 20)
@@ -295,7 +308,8 @@ proptest! {
         }
         drop(store);
         arena.crash_seeded(crash_seed);
-        let store = open_store(&arena, shards);
+        let (store, report) = open_store_with(&arena, shards, workers);
+        prop_assert_eq!(report.parallel_workers, workers.min(shards));
         let sess = store.session().unwrap();
         let scanned: Vec<(u8, Vec<u8>)> = store.iter(&sess).map(|(k, v)| (k[0], v)).collect();
         let expect: Vec<(u8, Vec<u8>)> = model.into_iter().collect();
@@ -343,6 +357,7 @@ proptest! {
         advance_quota in proptest::collection::vec(0usize..4, 4..5),
         crash_seed in any::<u64>(),
         shards in shard_strategy(),
+        workers in worker_strategy(),
     ) {
         let arena = PArena::builder()
             .capacity_bytes(32 << 20)
@@ -379,17 +394,11 @@ proptest! {
         drop(store);
         arena.crash_seeded(crash_seed);
 
-        let (store, report) = Store::open(
-            &arena,
-            Options::new()
-                .threads(1)
-                .log_bytes_per_thread(1 << 20)
-                .shards(shards),
-        )
-        .unwrap();
+        let (store, report) = open_store_with(&arena, shards, workers);
         // Each shard's failed epoch is exactly its own advance history:
         // epoch 1 at create, +1 for the common barrier, +1 per
-        // checkpoint_shard.
+        // checkpoint_shard. True at every recovery worker count.
+        prop_assert_eq!(report.parallel_workers, workers.min(shards));
         prop_assert_eq!(report.per_shard.len(), shards);
         for (s, rep) in report.per_shard.iter().enumerate() {
             prop_assert_eq!(rep.shard, s);
@@ -401,5 +410,52 @@ proptest! {
         let scanned: Vec<(u8, Vec<u8>)> = store.iter(&sess).map(|(k, v)| (k[0], v)).collect();
         let want: Vec<(u8, Vec<u8>)> = expect.into_iter().collect();
         prop_assert_eq!(scanned, want);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-shard allocator arenas: carve frontiers never overlap
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    /// Any interleaving of allocations across domains, threads, size
+    /// classes and epochs: every payload stays inside its own domain's
+    /// carve region, and no two live payloads overlap — per-shard carve
+    /// frontiers never hand out the same slab twice, within or across
+    /// shards.
+    #[test]
+    fn per_shard_carve_frontiers_never_hand_out_overlapping_slabs(
+        tape in proptest::collection::vec(
+            (0usize..4, 0usize..2, 0usize..5, 1u64..4), 1..150),
+        domains in prop_oneof![Just(2usize), Just(4)],
+    ) {
+        use incll_palloc::PAlloc;
+        use incll_pmem::superblock;
+
+        let arena = PArena::builder().capacity_bytes(32 << 20).build().unwrap();
+        superblock::format(&arena);
+        let alloc = PAlloc::create_sharded(&arena, 2, domains).unwrap();
+        // Sizes spanning several classes, including slab-forcing big ones.
+        let sizes = [16usize, 100, 600, 1500, 3500];
+        let mut live: Vec<(u64, u64, usize)> = Vec::new(); // (start, end, domain)
+        for &(d, t, szi, epoch) in &tape {
+            let d = d % domains;
+            let size = sizes[szi];
+            let p = alloc.alloc_in(t, d, epoch, size).unwrap();
+            let end = p + size as u64;
+            let (rs, rl) = alloc.region_of(d).unwrap();
+            prop_assert!(
+                p >= rs && end <= rl,
+                "payload [{p:#x}, {end:#x}) escaped domain {d}'s region [{rs:#x}, {rl:#x})"
+            );
+            for &(q, qe, qd) in &live {
+                prop_assert!(
+                    end <= q || qe <= p,
+                    "[{p:#x}, {end:#x}) of domain {d} overlaps [{q:#x}, {qe:#x}) of domain {qd}"
+                );
+            }
+            live.push((p, end, d));
+        }
     }
 }

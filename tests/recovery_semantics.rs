@@ -206,12 +206,14 @@ fn pre_shard_layout_is_a_typed_error_not_a_reformat() {
 }
 
 #[test]
-fn v1_and_v2_media_fail_typed_without_reformat() {
+fn v1_v2_and_v3_media_fail_typed_without_reformat() {
     use incll_pmem::superblock;
-    // Fabricate pre-v3 superblocks: magic + stale version + plausible
-    // field debris. The v3 opener must return UnsupportedLayout and leave
-    // every byte alone — never "helpfully" reformat over user data.
-    for stale_version in [1u64, 2] {
+    // Fabricate pre-v4 superblocks: magic + stale version + plausible
+    // field debris (v3 media is a real shape: per-shard epoch domains but
+    // one shared carve frontier and no watermark table). The v4 opener
+    // must return UnsupportedLayout and leave every byte alone — never
+    // "helpfully" reformat over user data.
+    for stale_version in [1u64, 2, 3] {
         let arena = tracked();
         arena.pwrite_u64(superblock::SB_MAGIC, superblock::MAGIC);
         arena.pwrite_u64(superblock::SB_VERSION, stale_version);
@@ -428,6 +430,55 @@ fn recovery_report_aggregates_per_shard_counts() {
         "the hazard churn must have logged on several shards: {:?}",
         report.per_shard
     );
+}
+
+#[test]
+fn recovery_report_names_workers_and_per_shard_times() {
+    let arena = tracked();
+    let opts = |workers: usize| options().shards(8).recovery_threads(workers);
+    let (store, created) = Store::open(&arena, opts(1)).unwrap();
+    assert_eq!(
+        created.parallel_workers, 0,
+        "a created store recovered nothing; no workers ran"
+    );
+    {
+        let sess = store.session().unwrap();
+        for i in 0..60u64 {
+            store.put_u64(&sess, &i.to_be_bytes(), i);
+        }
+        store.checkpoint();
+        for i in 0..60u64 {
+            store.remove(&sess, &i.to_be_bytes());
+            store.put_u64(&sess, &(500 + i).to_be_bytes(), i);
+        }
+    }
+    drop(store);
+    arena.crash_seeded(51);
+    // Asking for more workers than shards clamps to the shard count.
+    let (store, report) = Store::open(&arena, opts(16)).unwrap();
+    assert_eq!(report.parallel_workers, 8, "clamped to the shard count");
+    assert_eq!(report.per_shard.len(), 8);
+    for s in &report.per_shard {
+        assert_eq!(s.recovered_epoch, s.failed_epoch + 1);
+    }
+    // Per-shard wall times are recorded inside the workers; the overall
+    // eager phase must at least cover the slowest shard's time.
+    let max_shard = report
+        .per_shard
+        .iter()
+        .map(|s| s.replay_time)
+        .max()
+        .unwrap();
+    assert!(
+        report.replay_time >= max_shard,
+        "the eager phase ({:?}) must cover the slowest shard ({max_shard:?})",
+        report.replay_time
+    );
+    drop(store);
+    arena.crash_seeded(52);
+    // Sequential recovery (explicit, immune to INCLL_RECOVERY_THREADS).
+    let (_, report) = Store::open(&arena, opts(1)).unwrap();
+    assert_eq!(report.parallel_workers, 1);
 }
 
 #[test]
