@@ -6,7 +6,7 @@
 //!
 //! experiments:
 //!   fig2 fig3 fig4 fig5 fig6 fig7 fig8 flushcost recovery ablation
-//!   shard_scaling epoch_domains recovery_latency all
+//!   shard_scaling epoch_domains recovery_latency read_path all
 //!
 //! options:
 //!   --paper            paper-scale parameters (20M keys, 8x1M ops)
@@ -86,7 +86,7 @@ fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
         "usage: figures <fig2|fig3|fig4|fig5|fig6|fig7|fig8|flushcost|recovery|ablation\
-         |shard_scaling|epoch_domains|recovery_latency|all> \
+         |shard_scaling|epoch_domains|recovery_latency|read_path|all> \
          [--paper] [--scale F] [--keys N] [--ops N] [--threads N] [--out DIR]\n\
          \x20      figures --compare OLD.json NEW.json [--regressions-only]"
     );
@@ -232,6 +232,10 @@ fn main() {
             "shard_scaling" => ("shard_scaling", vec![experiments::shard_scaling(p)]),
             "epoch_domains" => ("epoch_domains", vec![experiments::epoch_domains(p)]),
             "recovery_latency" => ("recovery_latency", vec![experiments::recovery_latency(p)]),
+            "read_path" => {
+                let (t1, t2) = experiments::read_path(p);
+                ("read_path", vec![t1, t2])
+            }
             other => usage(&format!("unknown experiment {other}")),
         };
         save(&args.out, file, &tables);
@@ -252,6 +256,7 @@ fn main() {
             "shard_scaling",
             "epoch_domains",
             "recovery_latency",
+            "read_path",
         ] {
             println!("---- {name} ----");
             results.push(run_one(name));

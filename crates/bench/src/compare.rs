@@ -311,6 +311,10 @@ pub fn compare_runs(old: &Json, new: &Json) -> Result<(String, ComparisonSummary
 
     let mut out = String::new();
     let mut summary = ComparisonSummary::default();
+    // Per-experiment (goodness, rendered delta) pairs over every *gated*
+    // numeric cell, for the one-line summary table at the end. Goodness
+    // is direction-adjusted: positive always means "moved the good way".
+    let mut deltas: BTreeMap<String, Vec<(f64, String)>> = BTreeMap::new();
     for (stamp, file) in [(old, "old"), (new, "new")] {
         let when = match stamp.get("generated_unix") {
             Some(Json::Num(n)) => *n as u64,
@@ -344,7 +348,14 @@ pub fn compare_runs(old: &Json, new: &Json) -> Result<(String, ComparisonSummary
                 continue;
             };
             let _ = writeln!(out, "  {title}");
-            diff_table(&mut out, ot, nt, name, &mut summary);
+            diff_table(
+                &mut out,
+                ot,
+                nt,
+                name,
+                &mut summary,
+                deltas.entry(name.clone()).or_default(),
+            );
         }
         out.push('\n');
     }
@@ -354,7 +365,42 @@ pub fn compare_runs(old: &Json, new: &Json) -> Result<(String, ComparisonSummary
             summary.missing_experiments.push(name.clone());
         }
     }
+    out.push_str(&summary_table(&deltas));
     Ok((out, summary))
+}
+
+/// One line per compared experiment: the best and worst direction-adjusted
+/// move over its gated numeric cells. A quick scan answers "which
+/// experiment moved, and which way" without reading the per-row diff.
+fn summary_table(deltas: &BTreeMap<String, Vec<(f64, String)>>) -> String {
+    if deltas.is_empty() {
+        return String::new();
+    }
+    let mut rows = vec![(
+        "experiment".to_string(),
+        "best".to_string(),
+        "worst".to_string(),
+    )];
+    for (name, cells) in deltas {
+        let best = cells
+            .iter()
+            .max_by(|a, b| a.0.total_cmp(&b.0))
+            .map(|(_, s)| s.clone())
+            .unwrap_or_else(|| "n/a".into());
+        let worst = cells
+            .iter()
+            .min_by(|a, b| a.0.total_cmp(&b.0))
+            .map(|(_, s)| s.clone())
+            .unwrap_or_else(|| "n/a".into());
+        rows.push((name.clone(), best, worst));
+    }
+    let w0 = rows.iter().map(|r| r.0.len()).max().unwrap_or(0);
+    let w1 = rows.iter().map(|r| r.1.len()).max().unwrap_or(0);
+    let mut out = String::from("== summary (best/worst gated delta per experiment) ==\n");
+    for (name, best, worst) in rows {
+        let _ = writeln!(out, "{name:w0$}  {best:w1$}  {worst}");
+    }
+    out
 }
 
 fn diff_table(
@@ -363,6 +409,7 @@ fn diff_table(
     new: &Json,
     experiment: &str,
     summary: &mut ComparisonSummary,
+    deltas: &mut Vec<(f64, String)>,
 ) {
     let empty = Vec::new();
     let header: Vec<&str> = new
@@ -425,11 +472,18 @@ fn diff_table(
                 (Some(a), Some(b)) => {
                     let delta = if a.abs() > f64::EPSILON {
                         let pct = (b - a) / a * 100.0;
-                        let bad = match gated_direction(col) {
-                            None => false,
-                            Some(Direction::LowerIsBetter) => pct > REGRESSION_THRESHOLD_PCT,
-                            Some(Direction::HigherIsBetter) => pct < -REGRESSION_THRESHOLD_PCT,
+                        let (bad, goodness) = match gated_direction(col) {
+                            None => (false, None),
+                            Some(Direction::LowerIsBetter) => {
+                                (pct > REGRESSION_THRESHOLD_PCT, Some(-pct))
+                            }
+                            Some(Direction::HigherIsBetter) => {
+                                (pct < -REGRESSION_THRESHOLD_PCT, Some(pct))
+                            }
                         };
+                        if let Some(g) = goodness {
+                            deltas.push((g, format!("{pct:+.1}% {col}")));
+                        }
                         if bad {
                             summary.regressions.push(format!(
                                 "{experiment}: {} {col}: {a} -> {b} ({pct:+.1}%)",
@@ -667,6 +721,57 @@ mod tests {
         let (_, summary) = compare_runs(&old, &new).unwrap();
         assert!(summary.regressions.is_empty());
         assert!(!summary.should_fail());
+    }
+
+    #[test]
+    fn summary_table_picks_direction_adjusted_best_and_worst() {
+        // Three gated cells move: mops +20% (good), replay_ms -30% (good —
+        // lower is better, goodness +30), stall_p99_us +50% (bad, goodness
+        // -50). Best must be the replay drop, worst the stall growth, each
+        // shown with its *raw* signed delta and column name.
+        let old = parse_json(
+            r#"{"experiments":{"e":[
+               {"title":"T","header":["k","mops","replay_ms","stall_p99_us","keys"],
+                "rows":[["a","1.0","10.0","10.0","100"]]}]}}"#,
+        )
+        .unwrap();
+        let new = parse_json(
+            r#"{"experiments":{"e":[
+               {"title":"T","header":["k","mops","replay_ms","stall_p99_us","keys"],
+                "rows":[["a","1.2","7.0","15.0","200"]]}]}}"#,
+        )
+        .unwrap();
+        let (report, _) = compare_runs(&old, &new).unwrap();
+        assert!(report.contains("== summary"), "report: {report}");
+        let line = report
+            .lines()
+            .find(|l| l.starts_with("e ") && l.contains('%'))
+            .expect("summary row for e");
+        assert!(line.contains("-30.0% replay_ms"), "best: {line}");
+        assert!(line.contains("+50.0% stall_p99_us"), "worst: {line}");
+        // The neutral `keys` column doubled but never enters the summary.
+        assert!(!line.contains("keys"), "neutral col leaked: {line}");
+    }
+
+    #[test]
+    fn summary_table_handles_experiments_without_gated_deltas() {
+        let old = parse_json(
+            r#"{"experiments":{"e":[{"title":"T","header":["mode","keys"],
+                "rows":[["a","100"]]}]}}"#,
+        )
+        .unwrap();
+        let new = parse_json(
+            r#"{"experiments":{"e":[{"title":"T","header":["mode","keys"],
+                "rows":[["a","100"]]}]}}"#,
+        )
+        .unwrap();
+        let (report, _) = compare_runs(&old, &new).unwrap();
+        let line = report
+            .lines()
+            .skip_while(|l| !l.starts_with("== summary"))
+            .find(|l| l.starts_with("e "))
+            .expect("summary row");
+        assert!(line.contains("n/a"), "line: {line}");
     }
 
     #[test]

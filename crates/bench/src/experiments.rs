@@ -5,7 +5,7 @@
 
 use std::time::{Duration, Instant};
 
-use incll_ycsb::{load, run, Dist, Mix, RunConfig};
+use incll_ycsb::{load, run, run_with_reads, Dist, Mix, ReadMode, RunConfig};
 
 use crate::systems::{build_incll, build_mt, build_mtplus, SystemConfig};
 
@@ -933,6 +933,206 @@ pub fn epoch_domains(p: &ExpParams) -> Table {
     }
     t.print();
     t
+}
+
+// =====================================================================
+// Read path — zero-copy gets and epoch-snapshot scans
+// =====================================================================
+
+/// Driver thread counts the read-path experiment sweeps.
+pub const READ_PATH_THREADS: &[usize] = &[1, 4];
+/// Shard counts the read-path experiment sweeps.
+pub const READ_PATH_SHARDS: &[usize] = &[1, 8];
+/// Value size preloaded for the read-mode throughput table.
+pub const READ_PATH_VAL_BYTES: usize = 64;
+
+/// Read path: the three read modes (allocating `get`, buffer-reusing
+/// `get_into`, borrowed zero-copy `get_ref`) on the read-heavy YCSB
+/// mixes, plus the scan-vs-advance stall histogram before/after
+/// epoch-snapshot scans.
+///
+/// Table 1 runs YCSB-B (95 % reads) and YCSB-C (read-only) over each
+/// read mode at 1/4 driver threads × 1/8 shards on the durable store,
+/// preloaded with [`READ_PATH_VAL_BYTES`]-byte values (one cache line —
+/// a small web-service object, not the paper's bare 8-byte register, so
+/// the copying reads pay a real memcpy). The modes differ only in how
+/// `Op::Read` is served: `get` allocates a fresh `Vec` per hit,
+/// `get_into` copies into a reused buffer, and `get_ref` borrows the
+/// value bytes in place under an epoch read pin — no allocation, no
+/// copy.
+///
+/// Table 2 times `checkpoint_shard(0)` on a 1-shard store while a
+/// scanner loops over the whole keyspace, under two scan disciplines:
+///
+/// * `pinned_scan` — the mid-level tree scan, which holds the shard's
+///   epoch pin for the scan's **whole lifetime** (the pre-snapshot
+///   behavior of the facade's scans): every advance waits out the
+///   in-flight full scan;
+/// * `snapshot_scan` — the facade's batched scan, which pins only per
+///   batch refill: an advance waits at most one bounded refill.
+///
+/// The stall columns are the p50/p99/max of the advance's quiesce +
+/// flush + hook time, the [`epoch_domains`] metric.
+pub fn read_path(p: &ExpParams) -> (Table, Table) {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    // ---------------- Table 1: read-mode throughput ----------------
+    let mut t1 = Table::new(
+        "Read path: YCSB-B/C throughput by read mode (get vs get_into vs get_ref)",
+        &[
+            "mix",
+            "threads",
+            "shards",
+            "get_mops",
+            "get_into_mops",
+            "get_ref_mops",
+            "ref_vs_get",
+        ],
+    );
+    for &shards in READ_PATH_SHARDS {
+        for &threads in READ_PATH_THREADS {
+            let mut cfg = p.sys_config();
+            cfg.threads = threads.max(2); // slots for drivers and loader
+            cfg.shards = shards;
+            let sys = build_incll(&cfg);
+            {
+                // Preload cache-line-sized byte values (not `load`'s u64
+                // registers) so alloc-and-copy reads have real work.
+                let sess = sys.store.session().expect("loader session");
+                let val = [0x5Au8; READ_PATH_VAL_BYTES];
+                for i in 0..p.keys {
+                    sys.store
+                        .put(&sess, &incll_ycsb::storage_key(i), &val)
+                        .expect("fits size class");
+                }
+            }
+            for mix in [Mix::B, Mix::C] {
+                let mut rc = p.run_config(mix, Dist::Uniform);
+                rc.threads = threads;
+                let mops = |mode| run_with_reads(&sys.store, &rc, mode).mops();
+                let alloc = mops(ReadMode::Alloc);
+                let into = mops(ReadMode::Into);
+                let byref = mops(ReadMode::Ref);
+                t1.push(vec![
+                    mix.label().into(),
+                    threads.to_string(),
+                    shards.to_string(),
+                    f2(alloc),
+                    f2(into),
+                    f2(byref),
+                    pct(alloc, byref),
+                ]);
+            }
+        }
+    }
+    t1.print();
+
+    // ------------- Table 2: scan-vs-advance stall histogram -------------
+    let mut t2 = Table::new(
+        "Read path: advance stall while a long scan runs (pinned vs snapshot scan)",
+        &[
+            "mode",
+            "scanned_keys",
+            "advances",
+            "stall_p50_us",
+            "stall_p99_us",
+            "stall_max_us",
+        ],
+    );
+    let keys = p.keys.clamp(2_000, 200_000);
+    let run_for = Duration::from_millis(400);
+    let tick = Duration::from_millis(8);
+    for mode in ["pinned_scan", "snapshot_scan"] {
+        let mut cfg = p.sys_config();
+        cfg.threads = 3; // scanner + writer (+ headroom)
+        cfg.shards = 1;
+        cfg.epoch_interval = None; // the experiment drives (and times) advances
+        cfg.keys = keys;
+        // Both disciplines pay the emulated flush identically; zero it so
+        // the stall columns isolate the quiesce wait — the part the scan
+        // discipline actually changes.
+        cfg.wbinvd_ns = 0;
+        let sys = build_incll(&cfg);
+        let store = &sys.store;
+        load(store, keys, 2);
+        store.checkpoint();
+
+        let stop = AtomicBool::new(false);
+        let scanned = AtomicU64::new(0);
+        let mut stalls_us: Vec<u64> = Vec::new();
+        std::thread::scope(|s| {
+            // The long scanner: repeated whole-keyspace scans. The pinned
+            // discipline is the mid-level tree scan (one pin across the
+            // whole pass); the snapshot discipline is the facade scan
+            // (one short pin per batch refill).
+            {
+                let store = store.clone();
+                let stop = &stop;
+                let scanned = &scanned;
+                s.spawn(move || {
+                    let sess = store.session().expect("scanner session");
+                    let mut n = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        n += if mode == "pinned_scan" {
+                            store
+                                .masstree()
+                                .scan(sess.ctx(), b"", usize::MAX, &mut |_, _| {})
+                                as u64
+                        } else {
+                            store.scan(&sess, b"", usize::MAX, &mut |_, _| {}) as u64
+                        };
+                    }
+                    scanned.fetch_add(n, Ordering::Relaxed);
+                });
+            }
+            // A low-duty writer keeps the domain dirty so every advance
+            // has real flush + hook work, without competing for the CPU
+            // (its own pin must not be what the advance waits on).
+            {
+                let store = store.clone();
+                let stop = &stop;
+                s.spawn(move || {
+                    let sess = store.session().expect("writer session");
+                    let mut i = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        for _ in 0..16 {
+                            store.put_u64(&sess, &incll_ycsb::storage_key(i % keys), i);
+                            i += 1;
+                        }
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                });
+            }
+            // Advancer: deadline-ticking scoped checkpoints, timed. With a
+            // pinned scanner each advance waits out the in-flight full
+            // scan; with snapshot scans it waits at most one batch.
+            let t0 = Instant::now();
+            let mut next = t0 + tick;
+            while t0.elapsed() < run_for {
+                let now = Instant::now();
+                if now < next {
+                    std::thread::sleep(next - now);
+                }
+                next += tick;
+                let a0 = Instant::now();
+                store.checkpoint_shard(0);
+                stalls_us.push(a0.elapsed().as_micros() as u64);
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        stalls_us.sort_unstable();
+        let pick = |q: usize| stalls_us[(stalls_us.len() - 1) * q / 100];
+        t2.push(vec![
+            mode.into(),
+            scanned.load(Ordering::Relaxed).to_string(),
+            stalls_us.len().to_string(),
+            pick(50).to_string(),
+            pick(99).to_string(),
+            stalls_us.last().copied().unwrap_or(0).to_string(),
+        ]);
+    }
+    t2.print();
+    (t1, t2)
 }
 
 // =====================================================================

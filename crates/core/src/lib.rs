@@ -63,6 +63,12 @@
 //! let mut buf = Vec::new();
 //! assert!(store.get_into(&sess, b"durable-key", &mut buf));
 //!
+//! // Zero-copy reads: borrow the value bytes in place. The view holds a
+//! // read pin on the key's shard until dropped (see "Read semantics").
+//! let v = store.get_ref(&sess, b"durable-key").expect("present");
+//! assert_eq!(&*v, b"any bytes at all");
+//! drop(v);
+//!
 //! // Scoped checkpoint: only `durable-key`'s shard flushes, and only
 //! // sessions pinned in that shard stall — cold shards never notice.
 //! store.checkpoint_shard(store.shard_of(b"durable-key"));
@@ -131,6 +137,42 @@
 //! (and media behavior) exactly: one barrier, one whole-cache flush, one
 //! boundary, one carve frontier.
 //!
+//! # Read semantics
+//!
+//! The read path is decoupled from the persistence path: reads take a
+//! cheap **read pin** on their shard's epoch domain (one transient slot
+//! store — no log-buffer write, no arena write, and never a "dirty"
+//! stamp, so pure-read traffic leaves lazily cadenced checkpoint timers
+//! idle).
+//!
+//! **What a [`ValueRef`] may observe.** [`Store::get_ref`] returns the
+//! key's value validated under the leaf's version check at lookup time,
+//! borrowed in place from the durable buffer. While the view lives, its
+//! shard cannot pass an epoch boundary, and the allocator only recycles
+//! freed buffers *at* a boundary — so the viewed bytes cannot be reused.
+//! A concurrent overwrite or remove of the key swaps the tree's pointer
+//! to a fresh buffer and frees the old one, but the free path rewrites
+//! only the 16-byte allocator header in front of the payload, never the
+//! payload itself: a held `ValueRef` therefore always reads an intact,
+//! complete value — possibly superseded, never torn.
+//! [`ValueRef::is_stale`] reports supersession by re-checking the header
+//! words against a lookup-time snapshot (exact across epoch boundaries,
+//! best-effort within one epoch). Across an *advance* the view simply
+//! keeps reading the same bytes — advances flush caches, they do not
+//! move live data — but note the pin itself is what delays that shard's
+//! advance, so long-held views should be dropped (or copied with
+//! [`ValueRef::to_vec`]) before blocking.
+//!
+//! **Why snapshot scans can't block advances.** [`Store::range`] /
+//! [`Store::iter`] / [`Store::scan`] hold **no** pin between items: each
+//! per-shard cursor pins its shard only while refilling one bounded
+//! batch (copying the batch out under the pin), then re-finds its
+//! position by a fresh key-based descent on the next refill. A scan held
+//! open for minutes therefore never delays any shard's
+//! `advance_domain`; the stream is a sequence of per-batch epoch
+//! snapshots, globally key-ordered, equivalent to the matching sequence
+//! of bounded `scan` calls.
+//!
 //! # Migrating from the pre-`Store` API
 //!
 //! Earlier revisions exposed the plumbing directly; the mapping is
@@ -143,8 +185,9 @@
 //! | one tree behind `SB_TREE_ROOT` | [`Options::shards`]`(n)` — n root holders + n epoch-domain cells, fixed at format; `shards(1)` keeps the legacy cell positions |
 //! | `tree.thread_ctx(tid).unwrap()` (unchecked `tid`) | [`Store::session`] (bounded RAII pool) |
 //! | `tree.put(&ctx, k, u64)` | [`Store::put`] (`&[u8]`) or [`Store::put_u64`] (both shard-routed) |
-//! | `tree.get(&ctx, k)` + per-get allocation | [`Store::get`], or [`Store::get_into`] reusing a caller buffer |
+//! | `tree.get(&ctx, k)` + per-get allocation | [`Store::get`], [`Store::get_into`] reusing a caller buffer, or zero-copy [`Store::get_ref`] (all routed through the borrowed read path) |
 //! | `tree.scan(&ctx, ..)` (one tree) | [`Store::scan`] / [`Store::range`] (globally ordered k-way merge) |
+//! | scans pinned their shard's epoch for the scan's whole lifetime | `range`/`iter`/`scan` pin per **batch refill** only — a long scan never blocks any shard's checkpoint |
 //! | `tree.epoch_manager().advance()` | [`Store::checkpoint`] (all-domains barrier) or [`Store::checkpoint_shard`] (one shard's scoped boundary) |
 //! | one global epoch for all shards (layout v2) | one epoch **domain per shard** (layout v3): independent cadences, per-shard failed-epoch sets, per-shard recovery — see the crash-semantics section above |
 //! | one shared carve frontier, sequential replay (layout v3) | **per-shard allocator arenas** (layout v4): one carve region + InCLL watermark line per shard (doomed slabs un-carve; the multi-domain eager watermark flush is gone), and [`Options::recovery_threads`] replays shards in parallel (`INCLL_RECOVERY_THREADS` env default) |
@@ -167,7 +210,7 @@ mod tree;
 pub use error::{Error, MAX_VALUE_BYTES};
 pub use recovery::{RecoveryReport, ShardReplay};
 pub use store::{Options, RangeScan, Session, Store};
-pub use tree::{DCtx, DurableConfig, DurableMasstree, VALUE_BUF_BYTES};
+pub use tree::{DCtx, DurableConfig, DurableMasstree, ReadGuard, ValueRef, VALUE_BUF_BYTES};
 
 #[cfg(test)]
 mod tests {

@@ -14,6 +14,9 @@
 //!   values in and out of length-prefixed, size-classed durable buffers
 //!   (§5), with [`Store::put_u64`]/[`Store::get_u64`] as the paper's
 //!   8-byte-payload convenience.
+//! * **Zero-copy reads** — [`Store::get_ref`] returns a borrowed
+//!   [`ValueRef`] view of the value bytes in place, backed by an epoch
+//!   read pin; `get`/`get_into`/`get_u64` are wrappers over it.
 //! * **Scans** — callback ([`Store::scan`]) and iterator
 //!   ([`Store::range`], [`Store::iter`]) forms, both in global key order.
 //! * **Sharding** — [`Options::shards`] hash partitions the keyspace over
@@ -52,7 +55,7 @@ use incll_pmem::{superblock, PArena};
 
 use crate::error::Error;
 use crate::recovery::RecoveryReport;
-use crate::tree::{DCtx, DurableConfig, DurableMasstree};
+use crate::tree::{DCtx, DurableConfig, DurableMasstree, ValueRef};
 
 /// Builder-style construction options for [`Store::open`].
 ///
@@ -325,9 +328,45 @@ impl Store {
         self.route(key).put_bytes(&sess.ctx, key, value)
     }
 
+    /// Looks up `key`, returning a **borrowed, zero-copy** view of its
+    /// value bytes in place in the durable buffer.
+    ///
+    /// The returned [`ValueRef`] dereferences to `&[u8]` without copying
+    /// a byte; it holds a read pin on the key's shard, so that one shard
+    /// cannot checkpoint until the view is dropped (other shards are
+    /// unaffected). Concurrent overwrites or removes of the key leave the
+    /// viewed bytes intact — the reader always sees a complete old-or-
+    /// current value, never a torn one — and can be detected with
+    /// [`ValueRef::is_stale`]. [`Store::get`], [`Store::get_into`] and
+    /// [`Store::get_u64`] are all thin wrappers over this method.
+    ///
+    /// ```
+    /// # use incll_pmem::PArena;
+    /// # use incll::{Options, Store};
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// # let arena = PArena::builder().capacity_bytes(16 << 20).build()?;
+    /// # let (store, _) = Store::open(&arena, Options::new().threads(1)
+    /// #     .log_bytes_per_thread(1 << 20))?;
+    /// # let sess = store.session()?;
+    /// store.put(&sess, b"k", b"value bytes")?;
+    /// let v = store.get_ref(&sess, b"k").unwrap();
+    /// assert_eq!(&*v, b"value bytes"); // no allocation, no copy
+    /// assert!(!v.is_stale());
+    /// drop(v); // releases the shard's read pin
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn get_ref<'s>(&'s self, sess: &'s Session, key: &[u8]) -> Option<ValueRef<'s>> {
+        self.route(key).get_ref(&sess.ctx, key)
+    }
+
     /// Looks up `key`, returning a copy of its value.
+    ///
+    /// Exactly [`Store::get_ref`] + [`ValueRef::to_vec`]: one allocation
+    /// and one copy per hit. Prefer [`Store::get_ref`] on read-heavy hot
+    /// paths and [`Store::get_into`] when a reusable buffer is at hand.
     pub fn get(&self, sess: &Session, key: &[u8]) -> Option<Vec<u8>> {
-        self.route(key).get_bytes(&sess.ctx, key)
+        self.get_ref(sess, key).map(|v| v.to_vec())
     }
 
     /// Looks up `key`, writing its value into `out` (cleared first) and
@@ -354,7 +393,14 @@ impl Store {
     /// # }
     /// ```
     pub fn get_into(&self, sess: &Session, key: &[u8], out: &mut Vec<u8>) -> bool {
-        self.route(key).get_bytes_into(&sess.ctx, key, out)
+        out.clear();
+        match self.get_ref(sess, key) {
+            Some(v) => {
+                out.extend_from_slice(&v);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Removes `key`, returning whether it was present.
@@ -373,15 +419,24 @@ impl Store {
     }
 
     /// [`Store::get`] for the paper's 8-byte payloads.
+    ///
+    /// Routed through the borrowed read path: equivalent to
+    /// `store.get(&sess, key)` followed by a little-endian `u64` decode
+    /// of the 8-byte value, but decodes in place via
+    /// [`ValueRef::as_u64`] — no allocation, no byte copy.
     pub fn get_u64(&self, sess: &Session, key: &[u8]) -> Option<u64> {
-        self.route(key).get(&sess.ctx, key)
+        self.get_ref(sess, key).map(|v| v.as_u64())
     }
 
     /// Scans at most `limit` keys ≥ `start` in **global** key order,
     /// passing each (key, value) pair to `f`. Returns the number visited.
     ///
-    /// On a sharded store this is the k-way merge of the per-shard trees;
-    /// with one shard it is the tree's native scan.
+    /// On a sharded store this is the k-way merge of the per-shard trees.
+    /// Like [`Store::range`], the scan is an **epoch-snapshot** scan: it
+    /// pins a shard's epoch only for the duration of each batch refill
+    /// (never across calls to `f`), so an arbitrarily long or slow scan
+    /// never blocks any shard's checkpoint — `f` may itself call
+    /// [`Store::checkpoint_shard`].
     pub fn scan(
         &self,
         sess: &Session,
@@ -389,9 +444,6 @@ impl Store {
         limit: usize,
         f: &mut dyn FnMut(&[u8], &[u8]),
     ) -> usize {
-        if self.shards.len() == 1 {
-            return self.shards[0].scan_bytes(&sess.ctx, start, limit, f);
-        }
         if limit == 0 {
             return 0;
         }
@@ -415,6 +467,14 @@ impl Store {
     ///
     /// Bounds are byte strings: `store.range(&sess, &b"a"[..]..&b"m"[..])`.
     /// For the full store use [`Store::iter`].
+    ///
+    /// The iterator is an **epoch-snapshot** scan: no epoch pin is held
+    /// between `next()` calls. Each shard cursor pins its shard's domain
+    /// only while refilling one bounded batch, then re-finds its position
+    /// by a fresh descent from the successor of the last key it saw — so
+    /// a scan held open indefinitely never delays any shard's
+    /// `advance_domain`, and checkpoints taken mid-scan are perfectly
+    /// legal (each batch observes a state at least as new as the last).
     pub fn range<'s, K, R>(&'s self, sess: &'s Session, bounds: R) -> RangeScan<'s>
     where
         K: AsRef<[u8]>,
@@ -544,11 +604,16 @@ impl std::fmt::Debug for Store {
 /// k-way merge over one batched cursor per shard, yielding global key
 /// order.
 ///
-/// Each refill runs one bounded scan on one shard; mutations racing the
-/// iterator are seen or missed per batch exactly as they would be by the
-/// equivalent sequence of [`Store::scan`] calls. Keys are unique across
-/// shards (each key routes to exactly one), so the merge needs no
-/// tie-breaking.
+/// Each refill runs one bounded scan on one shard under a short read pin
+/// released before the refill returns — the iterator holds **no** epoch
+/// pin between `next()` calls, so shards checkpoint freely mid-scan. A
+/// cursor revalidates its position on every refill by descending afresh
+/// from the successor of the last key it yielded (positions are keys,
+/// not node pointers, so advances and even node splits between batches
+/// are harmless). Mutations racing the iterator are seen or missed per
+/// batch exactly as they would be by the equivalent sequence of
+/// [`Store::scan`] calls. Keys are unique across shards (each key routes
+/// to exactly one), so the merge needs no tie-breaking.
 pub struct RangeScan<'s> {
     store: &'s Store,
     sess: &'s Session,

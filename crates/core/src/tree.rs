@@ -140,6 +140,157 @@ impl std::fmt::Debug for DCtx {
     }
 }
 
+/// The epoch pin backing a borrowed read ([`ValueRef`]).
+///
+/// While a `ReadGuard` lives, its shard's epoch domain cannot advance, so
+/// epoch-based reclamation cannot recycle any buffer the reader still
+/// holds a [`ValueRef`] into. It is a *read* pin
+/// ([`ThreadHandle::pin_domain_read`]): it writes no log-buffer or arena
+/// byte and never marks the domain dirty, so holding one briefly is free
+/// — but holding one across long pauses delays that one shard's
+/// checkpoints, exactly like an open transaction. Drop it (by dropping
+/// the `ValueRef`) before blocking.
+pub struct ReadGuard<'s> {
+    guard: Guard<'s>,
+    shard: usize,
+}
+
+impl ReadGuard<'_> {
+    /// The epoch pinned by this guard.
+    pub fn epoch(&self) -> u64 {
+        self.guard.epoch()
+    }
+
+    /// The shard (epoch domain) this guard pins.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+}
+
+impl std::fmt::Debug for ReadGuard<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReadGuard")
+            .field("shard", &self.shard)
+            .field("epoch", &self.epoch())
+            .finish()
+    }
+}
+
+/// A borrowed, zero-copy view of one value's durable bytes, returned by
+/// [`DurableMasstree::get_ref`] / [`crate::Store::get_ref`].
+///
+/// Dereferences to the payload byte slice **in place** — no allocation,
+/// no copy; the backing [`ReadGuard`] keeps the shard's epoch open so the
+/// buffer cannot be recycled while the view lives.
+///
+/// # What a `ValueRef` may observe
+///
+/// The bytes were the key's current value at lookup time (validated under
+/// the leaf's version check). A *concurrent overwrite or remove* of the
+/// same key does not disturb them: puts swap in a fresh buffer and only
+/// pass the old one to the allocator, whose free path rewrites just the
+/// 16-byte object *header* in front of the payload — never the payload
+/// itself — and cannot recycle the buffer before an epoch boundary this
+/// pin blocks. So a held `ValueRef` always reads an intact, complete
+/// value (possibly superseded), never a torn one.
+///
+/// [`ValueRef::is_stale`] detects supersession: it re-reads the buffer's
+/// header words and compares them against the snapshot taken at lookup.
+/// Any cross-epoch free rewrites both words (bumping the §5.1 ABA
+/// counter) and is always detected; a same-epoch free is detected on a
+/// best-effort basis (see [`PAlloc::payload_header_words`]). Either way
+/// the payload bytes remain the intact old value.
+pub struct ValueRef<'s> {
+    arena: &'s PArena,
+    alloc: &'s PAlloc,
+    /// Offset of the `[len: u64][payload]` value buffer.
+    buf: u64,
+    len: usize,
+    /// Header-word snapshot taken at lookup, for [`ValueRef::is_stale`].
+    hdr: (u64, u64),
+    pin: ReadGuard<'s>,
+}
+
+impl<'s> ValueRef<'s> {
+    /// Payload length in bytes.
+    #[allow(clippy::len_without_is_empty)] // is_empty comes via Deref<[u8]>
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Decodes the payload as the `u64` convenience encoding
+    /// (little-endian, as written by [`DurableMasstree::put`] /
+    /// [`crate::Store::put_u64`]). Meaningful only for 8-byte values.
+    pub fn as_u64(&self) -> u64 {
+        u64::from_le(self.arena.pread_u64(self.buf + 8))
+    }
+
+    /// Copies the payload out (the escape hatch back to owned data; this
+    /// is exactly what the allocating `get` does).
+    pub fn to_vec(&self) -> Vec<u8> {
+        (**self).to_vec()
+    }
+
+    /// Whether the value has been superseded (overwritten or removed)
+    /// since lookup, detected by re-reading the buffer's allocator header
+    /// words against the snapshot taken at lookup. The payload bytes stay
+    /// the intact old value either way — this is a freshness signal, not
+    /// a validity one. Detection is exact across epoch boundaries and
+    /// best-effort within one epoch (see the type docs).
+    pub fn is_stale(&self) -> bool {
+        self.alloc.payload_header_words(self.buf) != self.hdr
+    }
+
+    /// The epoch this view is pinned in.
+    pub fn epoch(&self) -> u64 {
+        self.pin.epoch()
+    }
+
+    /// The shard the value lives in.
+    pub fn shard(&self) -> usize {
+        self.pin.shard()
+    }
+
+    /// The allocator size class (index into
+    /// [`incll_palloc::CLASS_SIZES`]) serving this value's buffer —
+    /// derived from the validated length prefix, the same arithmetic the
+    /// free path uses.
+    pub fn size_class(&self) -> usize {
+        incll_palloc::class_for(value_buf_size(self.len)).expect("value_buf_size is never zero")
+    }
+}
+
+impl std::ops::Deref for ValueRef<'_> {
+    type Target = [u8];
+
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        // SAFETY: `buf + 8 .. buf + 8 + len` lies inside the arena
+        // mapping (the length prefix was read under the leaf version
+        // check and bounds are debug-asserted by `ptr_at`), and the held
+        // epoch pin keeps the allocator from recycling the buffer, so the
+        // bytes stay valid and unmutated for the borrow's lifetime.
+        unsafe { std::slice::from_raw_parts(self.arena.ptr_at(self.buf + 8), self.len) }
+    }
+}
+
+impl AsRef<[u8]> for ValueRef<'_> {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl std::fmt::Debug for ValueRef<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ValueRef")
+            .field("len", &self.len)
+            .field("shard", &self.pin.shard)
+            .field("epoch", &self.epoch())
+            .field("stale", &self.is_stale())
+            .finish()
+    }
+}
+
 pub(crate) struct Inner {
     pub(crate) arena: PArena,
     pub(crate) mgr: EpochManager,
@@ -405,13 +556,15 @@ impl DurableMasstree {
     // Public operations
     // ==================================================================
 
-    /// Pins this handle's shard domain and enters its flush scope (ops on
-    /// shard `s` stall only behind shard `s`'s advances, and their writes
-    /// are covered by shard `s`'s scoped checkpoint flush).
+    /// Pins this handle's shard domain (the cheap **read** pin — no
+    /// log-buffer touch, never dirties the domain) and enters its flush
+    /// scope (ops on shard `s` stall only behind shard `s`'s advances,
+    /// and any writes they do make — lazy-recovery repairs on the read
+    /// path — are covered by shard `s`'s scoped checkpoint flush).
     #[inline]
     fn enter<'c>(&self, ctx: &'c DCtx) -> (Guard<'c>, FlushDomainScope) {
         (
-            ctx.handle.pin_domain(self.shard_id),
+            ctx.handle.pin_domain_read(self.shard_id),
             FlushDomainScope::enter(self.shard_id as u16),
         )
     }
@@ -453,6 +606,49 @@ impl DurableMasstree {
             self.get_inner(key, |a, buf| read_value_bytes_into(a, buf, out))
                 .is_some()
         }
+    }
+
+    /// Looks up `key`, returning a **borrowed, zero-copy** view of its
+    /// value bytes in the durable buffer — the `(ptr, len, class)`-shaped
+    /// lookup. No byte is copied; the returned [`ValueRef`] dereferences
+    /// to the payload in place and holds a read pin on this shard's epoch
+    /// domain, so the shard cannot checkpoint (and the allocator cannot
+    /// recycle the buffer) until the view is dropped.
+    ///
+    /// The view is validated at construction: the leaf's version is
+    /// re-checked after the slot read (so the buffer was `key`'s current
+    /// value at that instant) and the buffer's allocator header words are
+    /// snapshotted for later [`ValueRef::is_stale`] checks. See
+    /// [`ValueRef`] for the full read-semantics contract.
+    pub fn get_ref<'s>(&'s self, ctx: &'s DCtx, key: &[u8]) -> Option<ValueRef<'s>> {
+        let guard = ctx.handle.pin_domain_read(self.shard_id);
+        let alloc = &self.inner.alloc;
+        let found = {
+            // Lazy-recovery repairs during the descent are writes; scope
+            // them to this shard for the lookup only — the returned view
+            // itself never writes, so it does not hold the scope.
+            let _scope = FlushDomainScope::enter(self.shard_id as u16);
+            // SAFETY: guard pinned; offsets reachable from the root are
+            // nodes.
+            unsafe {
+                self.get_inner(key, |a, buf| {
+                    let len = a.pread_u64(buf) as usize;
+                    debug_assert!(len <= MAX_VALUE_BYTES, "corrupt value-buffer length");
+                    (buf, len, alloc.payload_header_words(buf))
+                })
+            }
+        };
+        found.map(|(buf, len, hdr)| ValueRef {
+            arena: &self.inner.arena,
+            alloc,
+            buf,
+            len,
+            hdr,
+            pin: ReadGuard {
+                guard,
+                shard: self.shard_id,
+            },
+        })
     }
 
     /// Inserts or updates `key` with a `u64` payload (stored little-endian

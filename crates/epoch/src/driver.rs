@@ -42,10 +42,13 @@ pub struct AdvanceDriver {
 pub struct DomainCadence {
     /// Target time between this domain's advances.
     pub interval: Duration,
-    /// Skip an advance when the domain saw no pins since its last one
-    /// (the dirty-work heuristic: a clean domain has nothing to flush and
-    /// nothing new to checkpoint, so stalling its — nonexistent — writers
-    /// buys nothing). The skipped tick still reschedules normally.
+    /// Skip an advance when the domain saw no **write** pins since its
+    /// last one (the dirty-work heuristic: a clean domain has nothing to
+    /// flush and nothing new to checkpoint, so stalling its — nonexistent
+    /// — writers buys nothing). Read-only pins — borrowed `get_ref`
+    /// lookups, snapshot-scan batch refills — never count as dirty work,
+    /// so a pure-read workload leaves a lazy cadence idle forever. The
+    /// skipped tick still reschedules normally.
     pub skip_clean: bool,
 }
 
@@ -295,6 +298,42 @@ mod tests {
         driver.stop();
         assert!(mgr.current_epoch_of(1) >= 2, "dirty domain must advance");
         assert_eq!(mgr.current_epoch_of(0), 1);
+    }
+
+    #[test]
+    fn lazy_cadence_ignores_read_pins() {
+        // Regression for the read-path contract: read-only pins (both the
+        // generic `pin_domain` and the explicit `pin_domain_read`) must
+        // not mark a domain dirty, so a pure-scan workload hammering a
+        // lazily cadenced domain leaves its checkpoint timer idle.
+        let arena = PArena::builder().capacity_bytes(1 << 20).build().unwrap();
+        superblock::format(&arena);
+        let mgr = EpochManager::with_domains(arena, EpochOptions::durable(), 2);
+        let driver = AdvanceDriver::spawn_per_domain(
+            mgr.clone(),
+            vec![
+                DomainCadence::lazy(Duration::from_millis(1)),
+                DomainCadence::lazy(Duration::from_millis(1)),
+            ],
+        );
+        let h = mgr.register();
+        let t0 = std::time::Instant::now();
+        while t0.elapsed() < Duration::from_millis(20) {
+            drop(h.pin_domain(0));
+            drop(h.pin_domain_read(0));
+            drop(h.pin_domain_read(1));
+        }
+        driver.stop();
+        assert_eq!(
+            mgr.current_epoch_of(0),
+            1,
+            "read pins must not dirty domain 0"
+        );
+        assert_eq!(
+            mgr.current_epoch_of(1),
+            1,
+            "read pins must not dirty domain 1"
+        );
     }
 
     #[test]

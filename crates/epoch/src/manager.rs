@@ -413,6 +413,21 @@ impl ThreadHandle {
         self.pin_inner(d, false)
     }
 
+    /// [`ThreadHandle::pin_domain`] with the read-path contract spelled
+    /// out: the cheap pin for borrowed reads and snapshot scans. It
+    /// performs **no** arena or log-buffer write of any kind — the pin is
+    /// one store to this thread's transient slot word plus one atomic
+    /// epoch load — and it never stamps the domain dirty, so a pure-read
+    /// workload (point `get`s, long scans) leaves a lazily cadenced
+    /// driver ([`crate::DomainCadence::lazy`]) completely idle. Guard
+    /// semantics are identical to [`ThreadHandle::pin_domain`]: while the
+    /// guard lives the domain cannot advance, so epoch-based reclamation
+    /// cannot recycle anything the reader can still observe.
+    #[inline]
+    pub fn pin_domain_read(&self, d: usize) -> Guard<'_> {
+        self.pin_inner(d, false)
+    }
+
     /// [`ThreadHandle::pin_domain`] for a mutating operation: additionally
     /// stamps the domain dirty, so a lazily cadenced driver
     /// ([`crate::DomainCadence::lazy`]) knows the next advance has work.

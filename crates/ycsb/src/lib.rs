@@ -36,6 +36,6 @@ pub mod runner;
 pub mod workload;
 pub mod zipf;
 
-pub use runner::{load, run, KvBench, RunConfig, RunResult};
+pub use runner::{load, run, run_with_reads, KvBench, ReadMode, RunConfig, RunResult};
 pub use workload::{storage_key, Dist, Mix, Op, OpStream};
 pub use zipf::{ScrambledZipfian, Zipfian};

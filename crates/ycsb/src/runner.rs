@@ -62,6 +62,14 @@ pub trait KvBench: Send + Sync {
         }
     }
 
+    /// Borrowed lookup: touch the value bytes in place without copying
+    /// them out, returning whether the key was present. Stores with a
+    /// zero-copy read path (the durable [`incll::Store`]'s `get_ref`)
+    /// override this; the default falls back to the plain lookup.
+    fn bench_get_ref(&self, ctx: &Self::Ctx, key: &[u8]) -> bool {
+        self.bench_get(ctx, key).is_some()
+    }
+
     /// Keyspace shards this store partitions over (1 for unsharded
     /// systems). Experiments report it so shard-scaling runs are
     /// self-describing.
@@ -145,6 +153,11 @@ impl KvBench for incll::Store {
     fn bench_get_into(&self, ctx: &Self::Ctx, key: &[u8], out: &mut Vec<u8>) -> bool {
         self.get_into(ctx, key, out)
     }
+    fn bench_get_ref(&self, ctx: &Self::Ctx, key: &[u8]) -> bool {
+        // Decode in place so the value bytes are actually touched (a fair
+        // comparison against the copying paths), with zero allocation.
+        self.get_ref(ctx, key).map(|v| v.as_u64()).is_some()
+    }
     fn bench_shards(&self) -> usize {
         self.shard_count()
     }
@@ -201,8 +214,44 @@ pub fn load<K: KvBench>(store: &K, nkeys: u64, threads: usize) {
     });
 }
 
-/// Runs the workload, returning aggregate throughput.
+/// How the driver serves `Op::Read`s — the read-path comparison axis of
+/// the `read_path` experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReadMode {
+    /// Allocating lookup ([`KvBench::bench_get_bytes`]): one fresh `Vec`
+    /// per hit.
+    Alloc,
+    /// Buffer-reusing lookup ([`KvBench::bench_get_into`]): copies into
+    /// one per-worker buffer. The historical driver default.
+    Into,
+    /// Borrowed lookup ([`KvBench::bench_get_ref`]): zero-copy, reads the
+    /// value in place under an epoch read pin.
+    Ref,
+}
+
+impl ReadMode {
+    /// All modes, in cost order.
+    pub const ALL: [ReadMode; 3] = [ReadMode::Alloc, ReadMode::Into, ReadMode::Ref];
+
+    /// Display label (`get`, `get_into`, `get_ref`).
+    pub fn label(self) -> &'static str {
+        match self {
+            ReadMode::Alloc => "get",
+            ReadMode::Into => "get_into",
+            ReadMode::Ref => "get_ref",
+        }
+    }
+}
+
+/// Runs the workload, returning aggregate throughput. Reads go through
+/// the buffer-reusing path ([`ReadMode::Into`]); use
+/// [`run_with_reads`] to pick a different read path.
 pub fn run<K: KvBench>(store: &K, cfg: &RunConfig) -> RunResult {
+    run_with_reads(store, cfg, ReadMode::Into)
+}
+
+/// [`run`] with an explicit read path for `Op::Read`s.
+pub fn run_with_reads<K: KvBench>(store: &K, cfg: &RunConfig, mode: ReadMode) -> RunResult {
     let barrier = Barrier::new(cfg.threads + 1);
     let total_ops = AtomicU64::new(0);
     // Zipfian tables are O(nkeys) to build: construct one and share.
@@ -227,9 +276,17 @@ pub fn run<K: KvBench>(store: &K, cfg: &RunConfig) -> RunResult {
                 barrier.wait();
                 for _ in 0..cfg2.ops_per_thread {
                     match stream.next_op(&mut rng) {
-                        Op::Read(i) => {
-                            store.bench_get_into(&ctx, &storage_key(i), &mut readbuf);
-                        }
+                        Op::Read(i) => match mode {
+                            ReadMode::Alloc => {
+                                store.bench_get_bytes(&ctx, &storage_key(i));
+                            }
+                            ReadMode::Into => {
+                                store.bench_get_into(&ctx, &storage_key(i), &mut readbuf);
+                            }
+                            ReadMode::Ref => {
+                                store.bench_get_ref(&ctx, &storage_key(i));
+                            }
+                        },
                         Op::Put(i, v) => {
                             store.bench_put(&ctx, &storage_key(i), v);
                         }
@@ -348,6 +405,35 @@ mod tests {
         // Load went through the u64 path; spot-check via the facade.
         let sess = store.session().unwrap();
         assert!(store.get_u64(&sess, &storage_key(0)).is_some());
+    }
+
+    #[test]
+    fn every_read_mode_runs_on_the_store_facade() {
+        let arena = PArena::builder().capacity_bytes(64 << 20).build().unwrap();
+        let opts = incll::Options::new()
+            .threads(2)
+            .log_bytes_per_thread(1 << 20);
+        let (store, _) = incll::Store::open(&arena, opts).unwrap();
+        load(&store, 200, 2);
+        for mode in ReadMode::ALL {
+            let res = run_with_reads(
+                &store,
+                &RunConfig {
+                    threads: 2,
+                    ops_per_thread: 300,
+                    nkeys: 200,
+                    mix: Mix::B,
+                    dist: Dist::Uniform,
+                    seed: 3,
+                },
+                mode,
+            );
+            assert_eq!(res.ops, 600, "mode {mode:?}");
+        }
+        // The borrowed path really serves hits and misses.
+        let sess = store.bench_ctx(0);
+        assert!(store.bench_get_ref(&sess, &storage_key(0)));
+        assert!(!store.bench_get_ref(&sess, b"never-loaded"));
     }
 
     #[test]

@@ -3,8 +3,8 @@
 //! each), background checkpointing with an **independent per-shard
 //! cadence** (hot shards tick at the paper's 64 ms, clean shards are
 //! skipped), concurrent worker sessions from the RAII pool, byte-slice
-//! and `u64` traffic, explicit scoped checkpoints, a simulated restart,
-//! and a YCSB-style traffic report.
+//! and `u64` traffic (allocating and zero-copy reads), explicit scoped
+//! checkpoints, a simulated restart, and a YCSB-style traffic report.
 //!
 //! Run with: `cargo run --release --example kvstore`
 
@@ -66,8 +66,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                             value[..8].copy_from_slice(&i.to_le_bytes());
                             store.put(&sess, &key, &value).expect("fits size class");
                         }
-                        _ => {
+                        2 => {
                             store.get(&sess, &key);
+                        }
+                        _ => {
+                            // The zero-copy read: borrow the durable bytes
+                            // in place under a short epoch pin — no
+                            // allocation on the hot serving path.
+                            if let Some(v) = store.get_ref(&sess, &key) {
+                                std::hint::black_box(v.len());
+                            }
                         }
                     }
                     i += WORKERS as u64;

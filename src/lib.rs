@@ -12,7 +12,8 @@
 /// One-stop imports for examples and integration tests.
 pub mod prelude {
     pub use incll::{
-        Error, Options, RangeScan, RecoveryReport, Session, ShardReplay, Store, MAX_VALUE_BYTES,
+        Error, Options, RangeScan, ReadGuard, RecoveryReport, Session, ShardReplay, Store,
+        ValueRef, MAX_VALUE_BYTES,
     };
     pub use incll_epoch::{
         AdvanceDriver, DomainCadence, EpochManager, EpochOptions, DEFAULT_EPOCH_INTERVAL,
