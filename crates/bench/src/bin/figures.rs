@@ -6,7 +6,7 @@
 //!
 //! experiments:
 //!   fig2 fig3 fig4 fig5 fig6 fig7 fig8 flushcost recovery ablation
-//!   shard_scaling epoch_domains recovery_latency read_path all
+//!   shard_scaling epoch_domains recovery_latency read_path txn_batches all
 //!
 //! options:
 //!   --paper            paper-scale parameters (20M keys, 8x1M ops)
@@ -86,7 +86,7 @@ fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
         "usage: figures <fig2|fig3|fig4|fig5|fig6|fig7|fig8|flushcost|recovery|ablation\
-         |shard_scaling|epoch_domains|recovery_latency|read_path|all> \
+         |shard_scaling|epoch_domains|recovery_latency|read_path|txn_batches|all> \
          [--paper] [--scale F] [--keys N] [--ops N] [--threads N] [--out DIR]\n\
          \x20      figures --compare OLD.json NEW.json [--regressions-only]"
     );
@@ -236,6 +236,7 @@ fn main() {
                 let (t1, t2) = experiments::read_path(p);
                 ("read_path", vec![t1, t2])
             }
+            "txn_batches" => ("txn_batches", vec![experiments::txn_batches(p)]),
             other => usage(&format!("unknown experiment {other}")),
         };
         save(&args.out, file, &tables);
@@ -257,6 +258,7 @@ fn main() {
             "epoch_domains",
             "recovery_latency",
             "read_path",
+            "txn_batches",
         ] {
             println!("---- {name} ----");
             results.push(run_one(name));

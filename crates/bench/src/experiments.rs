@@ -1136,6 +1136,117 @@ pub fn read_path(p: &ExpParams) -> (Table, Table) {
 }
 
 // =====================================================================
+// Write batches — atomic cross-shard groups vs per-key vs barrier
+// =====================================================================
+
+/// Keys per atomic group in the txn-batches experiment.
+pub const TXN_BATCH_GROUP: usize = 8;
+/// Shards the txn-batches experiment runs on.
+pub const TXN_BATCH_SHARDS: usize = 8;
+
+/// Write batches: committing groups of [`TXN_BATCH_GROUP`] cross-shard
+/// puts under three disciplines on the same 8-shard store:
+///
+/// * `batched` — one [`incll::WriteBatch`] commit per group: intents +
+///   one durable batch-table record make the group crash-atomic across
+///   shards, with no epoch barrier on the write path;
+/// * `per_key` — plain individual puts: fastest, but a crash can tear
+///   the group (the baseline the batch pays its atomicity tax against);
+/// * `checkpoint_barrier` — individual puts followed by a full
+///   [`incll::Store::checkpoint`]: the only pre-batch way to make a
+///   cross-shard group crash-atomic, paying an all-domains quiesce +
+///   flush per group.
+///
+/// Reports write throughput and the p50/p99/max per-group commit
+/// latency. The batched mode's tail latency includes batch-table slot
+/// evictions (a full table forces boundaries on the victim's shards) —
+/// the cost of unbounded in-flight batches between checkpoints.
+pub fn txn_batches(p: &ExpParams) -> Table {
+    let mut t = Table::new(
+        "Write batches: cross-shard groups — batched vs per-key vs checkpoint barrier",
+        &[
+            "mode",
+            "groups",
+            "put_kops",
+            "vs batched",
+            "commit_p50_us",
+            "commit_p99_us",
+            "commit_max_us",
+        ],
+    );
+    let k = TXN_BATCH_GROUP;
+    let groups = ((p.ops_per_thread as usize) / k).clamp(50, 1_500);
+
+    let mut base = 0.0f64;
+    for mode in ["batched", "per_key", "checkpoint_barrier"] {
+        // The barrier mode pays a full store checkpoint per group: cap its
+        // group count so the experiment stays runnable at every scale (the
+        // per-group latency columns are unaffected).
+        let groups = if mode == "checkpoint_barrier" {
+            groups.min(200)
+        } else {
+            groups
+        };
+        let mut cfg = p.sys_config();
+        cfg.threads = 2;
+        cfg.shards = TXN_BATCH_SHARDS;
+        cfg.keys = ((groups * k) as u64 * 2).max(p.keys); // arena sizing
+        let sys = build_incll(&cfg);
+        let store = &sys.store;
+        let sess = store.session().expect("driver session");
+
+        let mut lat_us: Vec<u64> = Vec::with_capacity(groups);
+        let t0 = Instant::now();
+        for g in 0..groups {
+            let val = (g as u64).to_le_bytes();
+            let g0 = Instant::now();
+            match mode {
+                "batched" => {
+                    let mut b = sess.batch();
+                    for j in 0..k {
+                        let key = incll_ycsb::storage_key((g * k + j) as u64);
+                        b.put(&key, &val).expect("within batch caps");
+                    }
+                    b.commit().expect("batch commits");
+                }
+                "per_key" => {
+                    for j in 0..k {
+                        let key = incll_ycsb::storage_key((g * k + j) as u64);
+                        store.put(&sess, &key, &val).expect("fits size class");
+                    }
+                }
+                _ => {
+                    for j in 0..k {
+                        let key = incll_ycsb::storage_key((g * k + j) as u64);
+                        store.put(&sess, &key, &val).expect("fits size class");
+                    }
+                    store.checkpoint(); // atomicity via the global barrier
+                }
+            }
+            lat_us.push(g0.elapsed().as_micros() as u64);
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        let kops = (groups * k) as f64 / secs / 1e3;
+        if mode == "batched" {
+            base = kops;
+        }
+        lat_us.sort_unstable();
+        let pick = |q: usize| lat_us[(lat_us.len() - 1) * q / 100];
+        t.push(vec![
+            mode.into(),
+            groups.to_string(),
+            f2(kops),
+            pct(base, kops),
+            pick(50).to_string(),
+            pick(99).to_string(),
+            lat_us.last().copied().unwrap_or(0).to_string(),
+        ]);
+    }
+    t.print();
+    t
+}
+
+// =====================================================================
 // §6.1 — InCLL-for-interior-nodes ablation
 // =====================================================================
 

@@ -1,0 +1,551 @@
+//! Cross-shard atomic write batches: the mini-transaction layer.
+//!
+//! Since every shard checkpoints and recovers on its own epoch timeline
+//! (PR 4), a multi-key write spanning shards is not crash-atomic by
+//! itself: a crash can persist shard `a`'s half at its boundary while
+//! shard `b`'s half rolls back. [`WriteBatch`] restores atomicity for
+//! exactly those writes, without giving up the per-shard cadence:
+//!
+//! 1. **Stage** — [`Session::batch`] collects puts/deletes in DRAM; no
+//!    tree or media byte is touched until commit.
+//! 2. **Intent entries** — commit assigns a monotonic durable batch id
+//!    ([`incll_pmem::superblock::next_batch_id`]) and appends one
+//!    *intent* entry per operation into the owning shard's external-log
+//!    buffer ([`incll_extlog::ExtLog::log_intent_in`]) — a new tagged
+//!    entry kind beside the undo entries, checksummed the same way.
+//!    Intents are redo records: recovery replays them *forward*, never
+//!    into an object.
+//! 3. **Commit record** — one durable `(batch id, shard mask)` slot write
+//!    in the superblock batch table
+//!    ([`incll_pmem::superblock::set_batch_slot`], layout v5) marks the
+//!    batch committed. This is the atomicity point: a batch id present in
+//!    the table is committed everywhere, an absent id nowhere.
+//! 4. **Apply** — the staged operations run through the ordinary put /
+//!    remove paths while every touched shard is pinned
+//!    (`ThreadHandle::pin_domains_mut`, ascending shard order), so each
+//!    shard's half lands in a single epoch of that shard.
+//!
+//! Per-shard recovery resolves in-doubt batches deterministically: the
+//! replay scan surfaces each shard's intents, and intents whose batch id
+//! has a durable commit record are **redone** through the normal put /
+//! remove paths (idempotent — a second crash replays them again), while
+//! intents with no commit record are **dropped**. Resolution is per-shard
+//! work on shard-owned state, so it is byte-identical at every
+//! `recovery_threads` count.
+//!
+//! A shard's epoch boundary makes its applied half durable and
+//! simultaneously discards its log buffers — so the boundary hook also
+//! retires the shard's bit from every batch-table slot
+//! ([`incll_pmem::superblock::clear_batch_shard`]). A slot whose mask
+//! drains to zero is reusable; when all [`superblock::BATCH_SLOTS`] are
+//! still live, commit evicts the slot covering the fewest shards by
+//! forcing those shards over a boundary first.
+//!
+//! **Single-shard batches take none of this machinery**: when every
+//! staged key routes to one shard (always true with `shards(1)`), commit
+//! holds one mutating pin on that shard across the ordinary put / remove
+//! calls — same-epoch atomicity with no batch id, no intents, no commit
+//! record. `shards(1)` media and semantics are unchanged.
+
+use incll_pmem::{superblock, PArena};
+
+use crate::error::{Error, MAX_VALUE_BYTES};
+use crate::store::{Session, Store};
+use crate::tree::Inner;
+
+/// Most operations one [`WriteBatch`] can stage. Every staged op becomes
+/// an intent entry in the committing thread's external-log buffers, so
+/// the cap bounds the log space a single commit can pin between
+/// checkpoints.
+pub const MAX_BATCH_OPS: usize = 1024;
+
+/// Intent-payload op kinds (`[kind: u64][key_len: u64][key][val]`).
+const KIND_PUT: u64 = 0;
+const KIND_DELETE: u64 = 1;
+
+/// In-memory mirror of the superblock batch table: one `(batch id,
+/// shard mask)` pair per slot, `id == 0` meaning empty. Guarded by
+/// `Inner::batches`, which doubles as the global commit lock (commits
+/// are rare and cross-shard by definition; serializing them keeps the
+/// slot protocol trivial).
+pub(crate) struct BatchSlots {
+    pub(crate) slots: [(u64, u64); superblock::BATCH_SLOTS],
+}
+
+impl BatchSlots {
+    /// Snapshots the durable table (create loads all-zero slots; open
+    /// loads whatever survived the crash).
+    pub(crate) fn load(arena: &PArena) -> Self {
+        let mut slots = [(0u64, 0u64); superblock::BATCH_SLOTS];
+        for (i, s) in slots.iter_mut().enumerate() {
+            *s = superblock::batch_slot(arena, i);
+        }
+        BatchSlots { slots }
+    }
+
+    /// Retires shard `d` from every slot, durable word and mirror both.
+    /// Called at shard `d`'s epoch boundary (its intents just became
+    /// non-replayable) and during eviction (after forcing that boundary).
+    fn clear_shard(&mut self, arena: &PArena, d: usize) {
+        for (i, s) in self.slots.iter_mut().enumerate() {
+            if s.0 != 0 && s.1 & (1u64 << d) != 0 {
+                superblock::clear_batch_shard(arena, i, d);
+                s.1 &= !(1u64 << d);
+            }
+        }
+    }
+
+    /// Picks the slot the next commit record will use: any drained slot,
+    /// else evict the live slot covering the fewest shards by forcing
+    /// each covered shard over an epoch boundary (that makes the victim's
+    /// intents non-replayable, so its commit record is moot). Returns
+    /// with the chosen slot's mirror mask at zero.
+    fn acquire(&mut self, inner: &Inner) -> usize {
+        if let Some(i) = self
+            .slots
+            .iter()
+            .position(|&(id, mask)| id == 0 || mask == 0)
+        {
+            return i;
+        }
+        let victim = (0..self.slots.len())
+            .min_by_key(|&i| self.slots[i].1.count_ones())
+            .expect("table has slots");
+        let mask = self.slots[victim].1;
+        for d in 0..64 {
+            if mask & (1u64 << d) != 0 {
+                // The boundary hook cannot take `Inner::batches` (we hold
+                // it), so mirror its clearing here ourselves.
+                inner.mgr.advance_domain(d);
+                self.clear_shard(&inner.arena, d);
+            }
+        }
+        debug_assert_eq!(self.slots[victim].1, 0);
+        victim
+    }
+}
+
+impl Inner {
+    /// Boundary-hook half of the slot lifecycle: shard `d` just completed
+    /// a checkpoint (discarding its log, intents included), so no commit
+    /// record needs to name it any more.
+    ///
+    /// `try_lock`: a commit in flight holds the table lock — possibly
+    /// while *forcing* this very advance during eviction. Skipping is
+    /// safe because a stale mask bit is conservative: it only delays slot
+    /// reuse (commit matching is by id, never by mask), and the next
+    /// boundary clears it.
+    pub(crate) fn retire_batch_shard(&self, d: usize) {
+        if let Some(mut table) = self.batches.try_lock() {
+            table.clear_shard(&self.arena, d);
+        }
+    }
+}
+
+/// One staged operation.
+enum BatchOp {
+    Put { key: Vec<u8>, val: Vec<u8> },
+    Delete { key: Vec<u8> },
+}
+
+impl BatchOp {
+    fn key(&self) -> &[u8] {
+        match self {
+            BatchOp::Put { key, .. } | BatchOp::Delete { key } => key,
+        }
+    }
+
+    /// The intent-entry payload: `[kind: u64][key_len: u64][key][val]`,
+    /// little-endian words (deletes carry no value bytes).
+    fn encode(&self) -> Vec<u8> {
+        let (kind, key, val): (u64, &[u8], &[u8]) = match self {
+            BatchOp::Put { key, val } => (KIND_PUT, key, val),
+            BatchOp::Delete { key } => (KIND_DELETE, key, &[]),
+        };
+        let mut out = Vec::with_capacity(16 + key.len() + val.len());
+        out.extend_from_slice(&kind.to_le_bytes());
+        out.extend_from_slice(&(key.len() as u64).to_le_bytes());
+        out.extend_from_slice(key);
+        out.extend_from_slice(val);
+        out
+    }
+}
+
+/// A decoded intent payload (recovery's redo view of one staged op).
+pub(crate) enum RedoOp<'a> {
+    Put { key: &'a [u8], val: &'a [u8] },
+    Delete { key: &'a [u8] },
+}
+
+/// Decodes an intent payload written by [`BatchOp::encode`]. `None` on a
+/// malformed payload — unreachable for entries that passed the log's
+/// checksum, but recovery treats it as a skip rather than a panic.
+pub(crate) fn decode_intent(payload: &[u8]) -> Option<RedoOp<'_>> {
+    if payload.len() < 16 {
+        return None;
+    }
+    let kind = u64::from_le_bytes(payload[0..8].try_into().expect("8 bytes"));
+    let key_len = u64::from_le_bytes(payload[8..16].try_into().expect("8 bytes")) as usize;
+    let rest = &payload[16..];
+    if key_len > rest.len() {
+        return None;
+    }
+    let (key, val) = rest.split_at(key_len);
+    match kind {
+        KIND_PUT => Some(RedoOp::Put { key, val }),
+        KIND_DELETE if val.is_empty() => Some(RedoOp::Delete { key }),
+        _ => None,
+    }
+}
+
+/// A staged batch of puts/deletes that commits atomically across shards
+/// — **all** of it survives a crash, or **none** of it does, even when
+/// the staged keys route to shards on different checkpoint cadences.
+///
+/// Obtain via [`Session::batch`]; stage with [`WriteBatch::put`] /
+/// [`WriteBatch::delete`]; make it happen with [`WriteBatch::commit`].
+/// Dropping an uncommitted batch discards it without touching the store.
+/// See the module docs for the commit protocol and crash semantics.
+pub struct WriteBatch<'s> {
+    sess: &'s Session,
+    ops: Vec<BatchOp>,
+}
+
+impl<'s> WriteBatch<'s> {
+    pub(crate) fn new(sess: &'s Session) -> Self {
+        WriteBatch {
+            sess,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Stages an insert-or-update of `key`. Nothing is written until
+    /// [`WriteBatch::commit`]; within one batch, later ops on the same
+    /// key win (ops apply in staging order).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ValueTooLarge`] beyond [`MAX_VALUE_BYTES`];
+    /// [`Error::BatchTooLarge`] beyond [`MAX_BATCH_OPS`] staged ops.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<(), Error> {
+        if value.len() > MAX_VALUE_BYTES {
+            return Err(Error::ValueTooLarge {
+                size: value.len(),
+                max: MAX_VALUE_BYTES,
+            });
+        }
+        self.check_capacity()?;
+        self.ops.push(BatchOp::Put {
+            key: key.to_vec(),
+            val: value.to_vec(),
+        });
+        Ok(())
+    }
+
+    /// Stages a removal of `key` (a no-op at apply time if absent).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::BatchTooLarge`] beyond [`MAX_BATCH_OPS`] staged ops.
+    pub fn delete(&mut self, key: &[u8]) -> Result<(), Error> {
+        self.check_capacity()?;
+        self.ops.push(BatchOp::Delete { key: key.to_vec() });
+        Ok(())
+    }
+
+    fn check_capacity(&self) -> Result<(), Error> {
+        if self.ops.len() >= MAX_BATCH_OPS {
+            return Err(Error::BatchTooLarge {
+                ops: self.ops.len() + 1,
+                max: MAX_BATCH_OPS,
+            });
+        }
+        Ok(())
+    }
+
+    /// Staged operation count.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether nothing has been staged.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Commits the batch: after this returns, either every staged op is
+    /// applied (and will be *redone* by recovery if a crash intervenes
+    /// before the touched shards checkpoint), or — for a crash striking
+    /// mid-commit, before the commit record — none will survive.
+    ///
+    /// Returns the durable batch id, or `0` for the single-shard fast
+    /// path (every staged key on one shard: ops apply under a single
+    /// epoch pin with no batch id, intents, or commit record — exactly
+    /// the pre-batch scoped-flush behavior). An empty batch is a no-op
+    /// returning `0`.
+    ///
+    /// # Errors
+    ///
+    /// Arena exhaustion while applying ([`Error::Pmem`]). The commit
+    /// record is durable by then, so the batch is *logically* committed:
+    /// the next recovery completes it from its intents, but until then
+    /// live readers may observe the applied prefix. Treat apply errors
+    /// as fatal for the process.
+    pub fn commit(self) -> Result<u64, Error> {
+        self.run(true)
+    }
+
+    /// Crash-test seam: assigns the batch id and stages every intent
+    /// entry durably, then stops — no commit record, no apply. A crash
+    /// here is the "mid-batch" matrix point; recovery must drop the
+    /// batch on every shard. Single-shard batches stage nothing and
+    /// return `0` (their fast path has no intent phase at all).
+    #[doc(hidden)]
+    pub fn stage_without_commit(self) -> Result<u64, Error> {
+        self.run(false)
+    }
+
+    fn run(self, commit: bool) -> Result<u64, Error> {
+        if self.ops.is_empty() {
+            return Ok(0);
+        }
+        let store = self.sess.store();
+        let mut mask = 0u64;
+        for op in &self.ops {
+            mask |= 1u64 << store.shard_of(op.key());
+        }
+
+        if mask.count_ones() <= 1 {
+            if !commit {
+                return Ok(0);
+            }
+            // Fast path: one mutating pin holds the shard's epoch open
+            // across every op, so the whole batch lands in a single epoch
+            // of its single shard — crash-atomic with no media additions.
+            let shard = mask.trailing_zeros() as usize;
+            let _pin = self.sess.ctx().pin_shard_mut(shard);
+            self.apply(store)?;
+            return Ok(0);
+        }
+
+        let inner = &store.shard_tree(0).inner;
+        // The table lock is the global commit lock: one cross-shard
+        // commit at a time (the slot protocol and the durable id bump
+        // stay race-free; per-key throughput is unaffected).
+        let mut table = inner.batches.lock();
+        let slot = table.acquire(inner);
+        let id = superblock::next_batch_id(&inner.arena);
+        // Pin every touched shard (ascending, one consistent order) so
+        // intents are stamped with — and the apply below lands in — one
+        // epoch per shard.
+        let guards = self.sess.ctx().pin_shards_mut(mask);
+        let pinned: Vec<usize> = (0..64).filter(|d| mask & (1u64 << d) != 0).collect();
+        let tid = self.sess.tid();
+        for op in &self.ops {
+            let s = store.shard_of(op.key());
+            let g = pinned
+                .iter()
+                .position(|&d| d == s)
+                .expect("op shard pinned");
+            inner
+                .log
+                .log_intent_in(tid, s, guards[g].epoch(), id, &op.encode());
+        }
+        if !commit {
+            // Intents durable, commit record absent: the in-doubt state
+            // the crash matrix probes. The id was consumed (monotonicity
+            // is unconditional) but no slot names it.
+            return Ok(id);
+        }
+        // The atomicity point: one durable slot write.
+        superblock::set_batch_slot(&inner.arena, slot, id, mask);
+        table.slots[slot] = (id, mask);
+        self.apply(store)?;
+        Ok(id)
+    }
+
+    /// Applies the staged ops through the ordinary facade paths (the
+    /// caller holds whatever pins the path requires; nested pins on an
+    /// already-pinned shard share its epoch).
+    fn apply(&self, store: &Store) -> Result<(), Error> {
+        for op in &self.ops {
+            match op {
+                BatchOp::Put { key, val } => {
+                    store.put(self.sess, key, val)?;
+                }
+                BatchOp::Delete { key } => {
+                    store.remove(self.sess, key);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for WriteBatch<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WriteBatch")
+            .field("ops", &self.ops.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{Options, Store};
+    use incll_pmem::PArena;
+
+    fn open(shards: usize) -> (PArena, Store) {
+        let arena = PArena::builder()
+            .capacity_bytes(64 << 20)
+            .build()
+            .expect("arena");
+        let opts = Options::new()
+            .threads(2)
+            .log_bytes_per_thread(1 << 20)
+            .shards(shards);
+        let (store, _) = Store::open(&arena, opts).expect("open");
+        (arena, store)
+    }
+
+    #[test]
+    fn intent_payload_roundtrips() {
+        let put = BatchOp::Put {
+            key: b"k1".to_vec(),
+            val: b"value bytes".to_vec(),
+        };
+        match decode_intent(&put.encode()) {
+            Some(RedoOp::Put { key, val }) => {
+                assert_eq!(key, b"k1");
+                assert_eq!(val, b"value bytes");
+            }
+            _ => panic!("put payload decoded wrong"),
+        }
+        let del = BatchOp::Delete {
+            key: b"gone".to_vec(),
+        };
+        match decode_intent(&del.encode()) {
+            Some(RedoOp::Delete { key }) => assert_eq!(key, b"gone"),
+            _ => panic!("delete payload decoded wrong"),
+        }
+        assert!(decode_intent(b"short").is_none());
+        // key_len past the end must not panic.
+        let mut bad = 0u64.to_le_bytes().to_vec();
+        bad.extend_from_slice(&1000u64.to_le_bytes());
+        assert!(decode_intent(&bad).is_none());
+    }
+
+    #[test]
+    fn single_shard_batch_touches_no_batch_media() {
+        let (arena, store) = open(1);
+        let sess = store.session().expect("session");
+        let mut b = sess.batch();
+        b.put(b"a", b"1").unwrap();
+        b.put(b"b", b"2").unwrap();
+        b.delete(b"a").unwrap();
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.commit().expect("commit"), 0, "fast path assigns no id");
+        assert_eq!(store.get(&sess, b"a"), None);
+        assert_eq!(store.get(&sess, b"b").as_deref(), Some(&b"2"[..]));
+        // No commit record, no id consumed: the batch table is untouched
+        // and the next cross-shard id is still the first.
+        for i in 0..superblock::BATCH_SLOTS {
+            assert_eq!(superblock::batch_slot(&arena, i), (0, 0));
+        }
+        assert_eq!(arena.pread_u64(superblock::SB_BATCH_NEXT_ID), 1);
+    }
+
+    #[test]
+    fn cross_shard_commit_writes_one_slot_then_boundaries_drain_it() {
+        let (arena, store) = open(4);
+        let sess = store.session().expect("session");
+        // Find keys on two distinct shards.
+        let k0 = b"key-000".to_vec();
+        let mut k1 = Vec::new();
+        for i in 0..1000u32 {
+            let k = format!("key-{i:03}").into_bytes();
+            if store.shard_of(&k) != store.shard_of(&k0) {
+                k1 = k;
+                break;
+            }
+        }
+        assert!(!k1.is_empty(), "found a second shard");
+        let mut b = sess.batch();
+        b.put(&k0, b"v0").unwrap();
+        b.put(&k1, b"v1").unwrap();
+        let id = b.commit().expect("commit");
+        assert!(id >= 1);
+        assert!(superblock::batch_is_committed(&arena, id));
+        assert_eq!(store.get(&sess, &k0).as_deref(), Some(&b"v0"[..]));
+        assert_eq!(store.get(&sess, &k1).as_deref(), Some(&b"v1"[..]));
+        // Both shards' boundaries retire their mask bits; the slot drains.
+        store.checkpoint();
+        let drained =
+            (0..superblock::BATCH_SLOTS).all(|i| superblock::batch_slot(&arena, i).1 == 0);
+        assert!(drained, "checkpoint barrier must drain every mask");
+        // Ids stay monotonic across commits.
+        let mut b = sess.batch();
+        b.put(&k0, b"v2").unwrap();
+        b.put(&k1, b"v3").unwrap();
+        let id2 = b.commit().expect("commit");
+        assert!(id2 > id);
+    }
+
+    #[test]
+    fn slot_eviction_forces_boundaries_instead_of_overflowing() {
+        let (_arena, store) = open(4);
+        let sess = store.session().expect("session");
+        let k0 = b"key-000".to_vec();
+        let mut k1 = Vec::new();
+        for i in 0..1000u32 {
+            let k = format!("key-{i:03}").into_bytes();
+            if store.shard_of(&k) != store.shard_of(&k0) {
+                k1 = k;
+                break;
+            }
+        }
+        // More cross-shard commits than table slots, with no checkpoint
+        // in between: acquire() must evict (forcing boundaries) rather
+        // than panic or corrupt earlier records.
+        for round in 0..(2 * superblock::BATCH_SLOTS as u32) {
+            let mut b = sess.batch();
+            b.put(&k0, format!("a{round}").as_bytes()).unwrap();
+            b.put(&k1, format!("b{round}").as_bytes()).unwrap();
+            b.commit().expect("commit");
+        }
+        assert_eq!(store.get(&sess, &k0).as_deref(), Some(&b"a15"[..]));
+        assert_eq!(store.get(&sess, &k1).as_deref(), Some(&b"b15"[..]));
+    }
+
+    #[test]
+    fn batch_cap_is_enforced() {
+        let (_arena, store) = open(1);
+        let sess = store.session().expect("session");
+        let mut b = sess.batch();
+        for i in 0..MAX_BATCH_OPS {
+            b.put(format!("k{i}").as_bytes(), b"v").unwrap();
+        }
+        assert!(matches!(
+            b.put(b"one-too-many", b"v"),
+            Err(Error::BatchTooLarge { .. })
+        ));
+        assert!(matches!(
+            b.delete(b"one-too-many"),
+            Err(Error::BatchTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn dropped_batch_is_a_no_op() {
+        let (_arena, store) = open(2);
+        let sess = store.session().expect("session");
+        let mut b = sess.batch();
+        b.put(b"ghost", b"never").unwrap();
+        drop(b);
+        assert_eq!(store.get(&sess, b"ghost"), None);
+        let empty = sess.batch();
+        assert!(empty.is_empty());
+        assert_eq!(empty.commit().expect("empty commit"), 0);
+    }
+}

@@ -60,6 +60,16 @@ pub enum Error {
         /// The largest supported count.
         max: usize,
     },
+    /// A [`crate::WriteBatch`] staged more operations than one batch can
+    /// carry ([`crate::MAX_BATCH_OPS`]): every staged op becomes an intent
+    /// entry in the per-thread external log, so the cap bounds the log
+    /// space one commit can pin. Split the work across batches.
+    BatchTooLarge {
+        /// The number of operations the caller tried to stage.
+        ops: usize,
+        /// The largest supported batch ([`crate::MAX_BATCH_OPS`]).
+        max: usize,
+    },
     /// An internal subsystem reported a condition with no dedicated
     /// variant (future-proofing against `#[non_exhaustive]` sources).
     Internal(String),
@@ -101,6 +111,13 @@ impl std::fmt::Display for Error {
                     f,
                     "invalid shard count {requested}: must be a power of two \
                      between 1 and {max}"
+                )
+            }
+            Error::BatchTooLarge { ops, max } => {
+                write!(
+                    f,
+                    "write batch of {ops} operations exceeds the {max}-op \
+                     maximum"
                 )
             }
             Error::Internal(what) => write!(f, "internal error: {what}"),
@@ -162,6 +179,10 @@ mod tests {
             Error::InvalidShardCount {
                 requested: 3,
                 max: 64,
+            },
+            Error::BatchTooLarge {
+                ops: 2000,
+                max: 1024,
             },
         ];
         for e in errs {

@@ -137,6 +137,58 @@
 //! (and media behavior) exactly: one barrier, one whole-cache flush, one
 //! boundary, one carve frontier.
 //!
+//! # Batch atomicity and crash semantics
+//!
+//! [`Session::batch`] returns a [`WriteBatch`]: a staged set of puts and
+//! deletes that commits **atomically across shards** without the
+//! all-domains [`Store::checkpoint`] barrier. The contract:
+//!
+//! * **All or nothing, across cadences.** After any crash, recovery
+//!   surfaces either every operation of a committed batch or none of an
+//!   uncommitted one — even though each touched shard rolls back to its
+//!   own boundary. The atomicity point is one durable `(batch id, shard
+//!   mask)` record in the superblock batch table (layout v5): commit
+//!   first stages a checksummed *intent* entry per op in the owning
+//!   shard's external log, then flushes the commit record, then applies
+//!   the ops under per-shard epoch pins.
+//! * **Recovery resolves in-doubt batches deterministically.** Each
+//!   shard's replay surfaces its intents; a batch whose id is in the
+//!   durable table is *redone* through the ordinary put/remove paths
+//!   (idempotently — a re-crash replays the same intents again), any
+//!   other batch is *dropped*. Resolution is shard-owned work, so the
+//!   recovered bytes are identical at every [`Options::recovery_threads`]
+//!   count; [`ShardReplay::batches_redone`] /
+//!   [`ShardReplay::batches_dropped`] report what happened.
+//! * **Single-shard batches keep the fast path.** When every staged key
+//!   routes to one shard (always, with `shards(1)`), commit holds one
+//!   epoch pin across the ops — same-epoch atomicity with no batch id,
+//!   no intents, no commit record, and unchanged `shards(1)` media.
+//! * **Durability still arrives at the shard's boundary.** Commit makes
+//!   the batch *crash-atomic* immediately, not durable: each shard's
+//!   half persists when that shard next checkpoints (until then a crash
+//!   redoes it from the intents). The boundary also retires the shard's
+//!   bit from the batch table, draining slots for reuse.
+//! * **Scans stay torn-free.** A batch committing between two
+//!   [`Store::range`] refills is observed all-or-nothing by every
+//!   subsequent refill (see [`RangeScan`]).
+//!
+//! ```
+//! # use incll_pmem::PArena;
+//! # use incll::{Options, Store};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # let arena = PArena::builder().capacity_bytes(16 << 20).build()?;
+//! # let (store, _) = Store::open(&arena, Options::new().threads(1)
+//! #     .log_bytes_per_thread(1 << 20).shards(4))?;
+//! # let sess = store.session()?;
+//! let mut batch = sess.batch();
+//! batch.put(b"orders/42", b"placed")?;
+//! batch.put(b"inventory/widget", b"99")?;
+//! batch.delete(b"carts/alice")?;
+//! batch.commit()?; // crash-atomic across all three keys' shards
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! # Read semantics
 //!
 //! The read path is decoupled from the persistence path: reads take a
@@ -191,15 +243,17 @@
 //! | `tree.epoch_manager().advance()` | [`Store::checkpoint`] (all-domains barrier) or [`Store::checkpoint_shard`] (one shard's scoped boundary) |
 //! | one global epoch for all shards (layout v2) | one epoch **domain per shard** (layout v3): independent cadences, per-shard failed-epoch sets, per-shard recovery — see the crash-semantics section above |
 //! | one shared carve frontier, sequential replay (layout v3) | **per-shard allocator arenas** (layout v4): one carve region + InCLL watermark line per shard (doomed slabs un-carve; the multi-domain eager watermark flush is gone), and [`Options::recovery_threads`] replays shards in parallel (`INCLL_RECOVERY_THREADS` env default) |
+//! | cross-shard multi-key writes only via the `checkpoint()` barrier (layout v4) | **atomic write batches** (layout v5): [`Session::batch`] stages puts/deletes, commits via log intents + one durable batch-table record, and recovery redoes-or-drops in-doubt batches per shard — see "Batch atomicity and crash semantics" |
 //! | leaked `incll_palloc::Error` | crate-wide [`Error`] (incl. [`Error::ShardMismatch`], [`Error::UnsupportedLayout`]) |
 //!
-//! On-media layouts are version-screened: v4 (this build) refuses v1–v3
+//! On-media layouts are version-screened: v5 (this build) refuses v1–v4
 //! media with a typed [`Error::UnsupportedLayout`] — never a reformat.
 //!
 //! [`DurableMasstree`] remains public as the mid-level API, but it speaks
 //! to **one shard's** tree ([`Store::masstree`] and [`Session::ctx`] are
 //! unstable escape hatches; [`DurableMasstree::shard`] reaches the rest).
 
+mod batch;
 mod error;
 pub mod layout;
 pub mod pversion;
@@ -207,6 +261,7 @@ mod recovery;
 mod store;
 mod tree;
 
+pub use batch::{WriteBatch, MAX_BATCH_OPS};
 pub use error::{Error, MAX_VALUE_BYTES};
 pub use recovery::{RecoveryReport, ShardReplay};
 pub use store::{Options, RangeScan, Session, Store};

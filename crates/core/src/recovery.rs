@@ -19,7 +19,17 @@
 //!    begins.
 //! 4. The allocator repairs the shard's head cells and reverts the
 //!    shard's carve watermark (un-carving doomed slabs).
-//! 5. Everything else — permutation and value rollbacks, lock-word
+//! 5. The shard's in-doubt **write batches** are resolved (see
+//!    `crate::batch`): the replay scan surfaced the shard's intent
+//!    entries, and each batch with a durable commit record in the
+//!    superblock batch table is *redone* through the ordinary put /
+//!    remove paths, while a batch with no commit record is *dropped* —
+//!    so a cross-shard batch survives a crash everywhere or nowhere.
+//!    Redo is idempotent (a re-crash replays the same intents again) and
+//!    per-shard on shard-owned state, hence byte-identical at every
+//!    worker count. Counts land in [`ShardReplay::batches_redone`] /
+//!    [`ShardReplay::batches_dropped`].
+//! 6. Everything else — permutation and value rollbacks, lock-word
 //!    reinitialisation — happens **lazily** on first access to each node
 //!    (Listing 4), so restart latency is the log-replay time, not a tree
 //!    walk.
@@ -52,16 +62,18 @@
 //! growing until one of that shard's checkpoints completes (which also
 //! compacts it; see `incll-pmem`'s `prune_failed_epochs`).
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
 use incll_epoch::{EpochManager, EpochOptions};
-use incll_extlog::ExtLog;
+use incll_extlog::{ExtLog, IntentEntry};
 use incll_palloc::PAlloc;
 use incll_pmem::{superblock, PArena};
 
+use crate::batch::RedoOp;
 use crate::error::Error;
 use crate::tree::{DurableConfig, DurableMasstree, Inner};
 
@@ -87,6 +99,12 @@ pub struct ShardReplay {
     /// [`RecoveryReport::replay_time`] when the workers actually ran
     /// concurrently.
     pub replay_time: Duration,
+    /// In-doubt write batches whose commit record was durable: their
+    /// intent entries on this shard were redone (see `crate::batch`).
+    pub batches_redone: u64,
+    /// In-doubt write batches with no durable commit record: their intent
+    /// entries on this shard were dropped.
+    pub batches_dropped: u64,
 }
 
 /// What recovery did; the §6.3 experiment reports these numbers.
@@ -245,53 +263,94 @@ impl DurableMasstree {
         // Phase 2 (parallel over shards): replay the shard's own log
         // buffers, re-derive parent pointers from its restored interiors,
         // restart its epoch domain, and repair its allocator state — all
-        // shard-owned, so workers never touch a common cache line.
-        let per_shard: Vec<ShardReplay> = run_per_shard(workers, on_media, |d| {
-            let ts = Instant::now();
-            let (run_min, failed_epoch) = runs[d];
+        // shard-owned, so workers never touch a common cache line. The
+        // replay scan also surfaces the shard's batch intent entries,
+        // carried forward to the resolution phase below.
+        let replayed: Vec<(ShardReplay, Vec<IntentEntry>)> =
+            run_per_shard(workers, on_media, |d| {
+                let ts = Instant::now();
+                let (run_min, failed_epoch) = runs[d];
 
-            // 2a. Replay the shard's contiguous failed run ending at the
-            //     crash, from its own buffers, filtered by its tag.
-            let replay = log.replay_domain(d, run_min, failed_epoch);
+                // 2a. Replay the shard's contiguous failed run ending at the
+                //     crash, from its own buffers, filtered by its tag.
+                let replay = log.replay_domain(d, run_min, failed_epoch);
 
-            // 2b. Structural post-pass: parent pointers are not
-            //     individually logged (see `tree.rs::split_interior`); the
-            //     restored interior images are the ground truth for child
-            //     membership, so re-derive every child's parent word from
-            //     them. Idempotent, unordered; children belong to the same
-            //     shard as their interior.
-            for &(target, len) in &replay.applied {
-                if len == crate::layout::NODE_BYTES as u64 {
-                    let m = arena.pread_u64(target + crate::layout::OFF_META);
-                    if m & crate::layout::meta::IS_LEAF == 0 {
-                        let n = (arena.pread_u64(target + crate::layout::OFF_INT_NKEYS) as usize)
-                            .min(crate::layout::INT_WIDTH);
-                        for i in 0..=n {
-                            let child = arena.pread_u64(target + crate::layout::off_int_child(i));
-                            if child != 0 {
-                                arena.pwrite_u64(child + crate::layout::OFF_PARENT, target);
+                // 2b. Structural post-pass: parent pointers are not
+                //     individually logged (see `tree.rs::split_interior`); the
+                //     restored interior images are the ground truth for child
+                //     membership, so re-derive every child's parent word from
+                //     them. Idempotent, unordered; children belong to the same
+                //     shard as their interior.
+                for &(target, len) in &replay.applied {
+                    if len == crate::layout::NODE_BYTES as u64 {
+                        let m = arena.pread_u64(target + crate::layout::OFF_META);
+                        if m & crate::layout::meta::IS_LEAF == 0 {
+                            let n = (arena.pread_u64(target + crate::layout::OFF_INT_NKEYS)
+                                as usize)
+                                .min(crate::layout::INT_WIDTH);
+                            for i in 0..=n {
+                                let child =
+                                    arena.pread_u64(target + crate::layout::off_int_child(i));
+                                if child != 0 {
+                                    arena.pwrite_u64(child + crate::layout::OFF_PARENT, target);
+                                }
                             }
                         }
                     }
                 }
-            }
 
-            // 2c. Restart the shard's epochs durably past its own failure.
-            mgr.restart_domain_at(d, failed_epoch + 1);
+                // 2c. Restart the shard's epochs durably past its own failure.
+                mgr.restart_domain_at(d, failed_epoch + 1);
 
-            // 2d. Allocator repair: head cells, watermark revert
-            //     (un-carving doomed slabs), pending-list splice.
-            alloc.recover_domain(d, failed_epoch + 1);
+                // 2d. Allocator repair: head cells, watermark revert
+                //     (un-carving doomed slabs), pending-list splice.
+                alloc.recover_domain(d, failed_epoch + 1);
 
-            ShardReplay {
-                shard: d,
-                replayed_entries: replay.entries_applied,
-                replayed_bytes: replay.bytes_applied,
-                failed_epoch,
-                recovered_epoch: failed_epoch + 1,
-                replay_time: ts.elapsed(),
-            }
+                let shard_replay = ShardReplay {
+                    shard: d,
+                    replayed_entries: replay.entries_applied,
+                    replayed_bytes: replay.bytes_applied,
+                    failed_epoch,
+                    recovered_epoch: failed_epoch + 1,
+                    replay_time: ts.elapsed(),
+                    batches_redone: 0,
+                    batches_dropped: 0,
+                };
+                (shard_replay, replay.intents)
+            });
+        let (mut per_shard, intents): (Vec<ShardReplay>, Vec<Vec<IntentEntry>>) =
+            replayed.into_iter().unzip();
+
+        let tree = DurableMasstree::from_inner(Arc::new(Inner {
+            arena: arena.clone(),
+            mgr,
+            alloc,
+            log,
+            failed: failed_sets.clone(),
+            exec_epochs,
+            rec_locks: (0..crate::tree::REC_LOCKS)
+                .map(|_| Mutex::new(()))
+                .collect(),
+            incll_enabled: config.incll_enabled,
+            shard_count: on_media,
+            batches: Mutex::new(crate::batch::BatchSlots::load(arena)),
+        }));
+        tree.attach_hooks();
+
+        // Phase 3 (parallel over shards): resolve the shard's in-doubt
+        // batches against the durable batch table — redo committed
+        // intents through the ordinary put/remove paths at the restarted
+        // epoch, drop the rest. Still shard-owned work: thread slot 0's
+        // allocator lists and log buffers are per-(thread × shard), so
+        // two workers redoing different shards never share state, and
+        // the recovered bytes stay identical at every worker count.
+        let resolved = run_per_shard(workers, on_media, |d| {
+            resolve_in_doubt_batches(&tree, arena, d, &intents[d])
         });
+        for (d, (redone, dropped)) in resolved.into_iter().enumerate() {
+            per_shard[d].batches_redone = redone;
+            per_shard[d].batches_dropped = dropped;
+        }
         let replay_time = t0.elapsed();
 
         let report = RecoveryReport {
@@ -304,20 +363,57 @@ impl DurableMasstree {
             parallel_workers: workers,
             per_shard,
         };
-        let tree = DurableMasstree::from_inner(Arc::new(Inner {
-            arena: arena.clone(),
-            mgr,
-            alloc,
-            log,
-            failed: failed_sets,
-            exec_epochs,
-            rec_locks: (0..crate::tree::REC_LOCKS)
-                .map(|_| Mutex::new(()))
-                .collect(),
-            incll_enabled: config.incll_enabled,
-            shard_count: on_media,
-        }));
-        tree.attach_hooks();
         Ok((tree, report))
     }
+}
+
+/// Resolves one shard's in-doubt batches (phase 3): groups the shard's
+/// surfaced intents by batch id (ascending — a deterministic order), then
+/// redoes every batch with a durable commit record and drops the rest.
+/// Returns `(batches_redone, batches_dropped)`.
+///
+/// Redo runs through the ordinary put/remove paths on thread slot 0 —
+/// puts are last-write-wins and deletes are no-ops when absent, so a
+/// re-crash that replays the same intents again converges to the same
+/// bytes (the second recovery's undo replay first restores this pass's
+/// own pre-images).
+fn resolve_in_doubt_batches(
+    tree: &DurableMasstree,
+    arena: &PArena,
+    d: usize,
+    intents: &[IntentEntry],
+) -> (u64, u64) {
+    if intents.is_empty() {
+        return (0, 0);
+    }
+    let mut by_batch: BTreeMap<u64, Vec<&IntentEntry>> = BTreeMap::new();
+    for e in intents {
+        by_batch.entry(e.batch_id).or_default().push(e);
+    }
+    let shard = tree.shard(d);
+    let ctx = shard.thread_ctx(0).expect("thread slot 0 always exists");
+    let (mut redone, mut dropped) = (0u64, 0u64);
+    for (id, entries) in &by_batch {
+        if !superblock::batch_is_committed(arena, *id) {
+            dropped += 1;
+            continue;
+        }
+        for e in entries {
+            match crate::batch::decode_intent(&e.payload) {
+                Some(RedoOp::Put { key, val }) => {
+                    shard
+                        .put_bytes(&ctx, key, val)
+                        .expect("arena must fit a committed batch's redo");
+                }
+                Some(RedoOp::Delete { key }) => {
+                    shard.remove(&ctx, key);
+                }
+                // Unreachable for checksummed intents; never panic
+                // recovery over one undecodable payload.
+                None => {}
+            }
+        }
+        redone += 1;
+    }
+    (redone, dropped)
 }

@@ -165,6 +165,9 @@ pub struct Session {
     ctx: DCtx,
     pool: Arc<SlotPool>,
     tid: usize,
+    /// The owning store (clones share everything), so batch commit can
+    /// route staged keys and reach shared batch-commit state.
+    store: Store,
 }
 
 impl Session {
@@ -184,6 +187,37 @@ impl Session {
     /// checkpoint while the guard lives.
     pub fn pin_shard(&self, shard: usize) -> Guard<'_> {
         self.ctx.pin_shard(shard)
+    }
+
+    /// Starts an empty [`crate::WriteBatch`]: a staged set of puts and
+    /// deletes that commits **atomically across shards** — after a crash,
+    /// recovery surfaces either every operation of the batch or none of
+    /// them, even though the touched shards checkpoint on independent
+    /// cadences. Batches whose keys all land on one shard skip the
+    /// cross-shard machinery entirely (see `crate::batch`).
+    ///
+    /// ```
+    /// # use incll_pmem::PArena;
+    /// # use incll::{Options, Store};
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// # let arena = PArena::builder().capacity_bytes(16 << 20).build()?;
+    /// # let (store, _) = Store::open(&arena, Options::new().threads(1)
+    /// #     .log_bytes_per_thread(1 << 20).shards(2))?;
+    /// # let sess = store.session()?;
+    /// let mut batch = sess.batch();
+    /// batch.put(b"debit:alice", b"-10")?;
+    /// batch.put(b"credit:bob", b"+10")?;
+    /// batch.commit()?; // both keys or neither, on any crash
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn batch(&self) -> crate::batch::WriteBatch<'_> {
+        crate::batch::WriteBatch::new(self)
+    }
+
+    /// The owning store (batch commit's route back to shared state).
+    pub(crate) fn store(&self) -> &Store {
+        &self.store
     }
 
     /// The mid-level per-thread context — an **unstable escape hatch** for
@@ -302,6 +336,7 @@ impl Store {
             ctx,
             pool: Arc::clone(&self.slots),
             tid,
+            store: self.clone(),
         })
     }
 
@@ -568,6 +603,12 @@ impl Store {
         crate::tree::shard_of(key, self.shards.len())
     }
 
+    /// Shard `i`'s tree handle (crate-internal: batch commit and recovery
+    /// resolution reach per-shard state through it).
+    pub(crate) fn shard_tree(&self, i: usize) -> &DurableMasstree {
+        &self.shards[i]
+    }
+
     /// The mid-level tree behind **shard 0** — an **unstable escape
     /// hatch**; the facade is the supported surface and this accessor's
     /// shape may change in any release. Reach the other shards through
@@ -614,6 +655,23 @@ impl std::fmt::Debug for Store {
 /// batch exactly as they would be by the equivalent sequence of
 /// [`Store::scan`] calls. Keys are unique across shards (each key routes
 /// to exactly one), so the merge needs no tie-breaking.
+///
+/// # Interaction with [`crate::WriteBatch`] commits
+///
+/// A batch that commits **between** two refills is observed atomically
+/// by every refill that follows: commit applies all of its ops before
+/// returning, and each refill re-descends from the successor of the last
+/// yielded key, reading whatever is then current. So a later refill
+/// never shows a *torn* batch — a committed batch's op is visible to it
+/// exactly when every other op of that batch is already applied. (Keys
+/// the scan already passed are history: a batch writing behind the
+/// cursor is simply not revisited, same as any racing put.) A refill
+/// racing a commit's *apply phase* may still see its prefix — per-op
+/// visibility there is the same as for individual racing puts; only
+/// crash recovery and refills after commit returns get the all-or-
+/// nothing view. Shrink [`Store::scan`]'s `limit` (or a small batch) to
+/// tighten refill boundaries — the guarantee is per refill, not per
+/// `next()` call.
 pub struct RangeScan<'s> {
     store: &'s Store,
     sess: &'s Session,

@@ -132,6 +132,19 @@ impl DCtx {
     pub fn pin_shard(&self, shard: usize) -> Guard<'_> {
         self.handle.pin_domain(shard)
     }
+
+    /// Mutating pin on one shard (marks the domain dirty): the batch
+    /// fast path holds one of these across every op of a single-shard
+    /// batch so all of them land in one epoch.
+    pub(crate) fn pin_shard_mut(&self, shard: usize) -> Guard<'_> {
+        self.handle.pin_domain_mut(shard)
+    }
+
+    /// Mutating pins on every shard named by `mask`, taken in ascending
+    /// shard order (the batch-commit pin set; see `crate::batch`).
+    pub(crate) fn pin_shards_mut(&self, mask: u64) -> Vec<Guard<'_>> {
+        self.handle.pin_domains_mut(mask)
+    }
 }
 
 impl std::fmt::Debug for DCtx {
@@ -308,6 +321,10 @@ pub(crate) struct Inner {
     /// Keyspace shards sharing this state (allocator, log; one epoch
     /// domain and one tree root per shard).
     pub(crate) shard_count: usize,
+    /// Cross-shard batch-commit state: serializes commits and mirrors the
+    /// superblock batch table's `(id, shard-mask)` slots (see
+    /// `crate::batch`). Loaded from media at create/open.
+    pub(crate) batches: Mutex<crate::batch::BatchSlots>,
 }
 
 /// A durable, crash-recoverable Masstree in persistent memory.
@@ -402,6 +419,7 @@ impl DurableMasstree {
             rec_locks: (0..REC_LOCKS).map(|_| Mutex::new(())).collect(),
             incll_enabled: config.incll_enabled,
             shard_count: config.shards,
+            batches: Mutex::new(crate::batch::BatchSlots::load(arena)),
         });
         let tree = Self::shard_handle(&inner, 0);
         // One empty root leaf per shard, each behind its own holder cell,
@@ -494,6 +512,11 @@ impl DurableMasstree {
                         inner.log.reset_domain(d);
                         inner.alloc.on_domain_boundary(d, new_epoch);
                         superblock::prune_failed_epochs(&inner.arena, d, new_epoch);
+                        // The log reset just discarded this shard's batch
+                        // intents too, so no commit record needs to name
+                        // this shard any more: retire its bit from every
+                        // batch-table slot (see `crate::batch`).
+                        inner.retire_batch_shard(d);
                     }
                 }),
             );

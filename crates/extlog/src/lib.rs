@@ -55,6 +55,15 @@ const HEADER: u64 = 32;
 /// shard id there so recovery can attribute replay work per shard).
 const LEN_MASK: u64 = (1 << 48) - 1;
 
+/// Tag bit marking a batch **intent** entry (see [`ExtLog::log_intent_in`]).
+/// An intent shares its (thread, domain) buffer with that domain's undo
+/// entries — its tag is `domain | INTENT_TAG_BIT` — but carries a redo
+/// payload instead of a pre-image: replay checksum-validates it, collects
+/// it into [`ReplayReport::intents`], and skips it without copying
+/// anything back. Domain ids are shard indices (< 64), so the bit never
+/// collides with a real domain tag.
+pub const INTENT_TAG_BIT: u16 = 1 << 15;
+
 #[inline]
 fn pack_len(len: u64, tag: u16) -> u64 {
     debug_assert!(len <= LEN_MASK);
@@ -76,6 +85,22 @@ pub struct TagCounts {
     pub bytes: u64,
 }
 
+/// A batch intent entry surfaced (not applied) by replay: the staged redo
+/// payload of one batch operation on one shard, awaiting in-doubt
+/// resolution by the layer that owns the batch-commit table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntentEntry {
+    /// The thread slot the intent was appended from.
+    pub thread: usize,
+    /// The domain epoch the intent was staged in.
+    pub epoch: u64,
+    /// The batch id (stored in the entry's target word — intents have no
+    /// target object; they describe an operation, not a pre-image).
+    pub batch_id: u64,
+    /// The opaque redo payload, exactly as staged.
+    pub payload: Vec<u8>,
+}
+
 /// Report returned by [`ExtLog::replay`].
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct ReplayReport {
@@ -93,6 +118,11 @@ pub struct ReplayReport {
     /// Replay totals grouped by entry tag, ascending by tag (tags that
     /// never appeared are absent).
     pub per_tag: Vec<TagCounts>,
+    /// Batch intent entries found in the scanned valid prefixes, in slot
+    /// order then append order (deterministic at any caller parallelism
+    /// over distinct domains). Intents are validated and collected, never
+    /// applied — resolution belongs to the batch-commit layer.
+    pub intents: Vec<IntentEntry>,
 }
 
 impl ReplayReport {
@@ -313,6 +343,35 @@ impl ExtLog {
         );
     }
 
+    /// Stages a batch **intent** for `epoch` of domain `domain` in
+    /// `(thread, domain)`'s buffer, durable before return. The entry's
+    /// tag is `domain | `[`INTENT_TAG_BIT`] and its target word carries
+    /// `batch_id`; `payload` is an opaque redo description owned by the
+    /// batch layer. Replay of the domain validates and collects intents
+    /// ([`ReplayReport::intents`]) without applying them, and they are
+    /// discarded with the rest of the buffer at the domain's next epoch
+    /// boundary.
+    ///
+    /// # Panics
+    ///
+    /// As for [`ExtLog::log_object_in`].
+    pub fn log_intent_in(
+        &self,
+        thread: usize,
+        domain: usize,
+        epoch: u64,
+        batch_id: u64,
+        payload: &[u8],
+    ) {
+        self.append_slice(
+            self.slot_index(thread, domain),
+            epoch,
+            batch_id,
+            payload,
+            domain as u16 | INTENT_TAG_BIT,
+        );
+    }
+
     /// [`ExtLog::log_object`] with an opaque 16-bit `tag` sealed into the
     /// entry header; [`ExtLog::replay`] aggregates applied entries per tag
     /// ([`ReplayReport::per_tag`]). Appends to thread `slot`'s domain-0
@@ -356,6 +415,38 @@ impl ExtLog {
         self.arena.pwrite_u64(base + 24, sum);
 
         // Seal: entry durable before the caller's modification.
+        self.arena.clwb_range(base, (HEADER as usize) + len);
+        self.arena.sfence();
+
+        self.cursors[slot].0.store(cur + need, Ordering::Relaxed);
+        self.arena.stats().add_ext_logged(len as u64);
+    }
+
+    /// [`ExtLog::append`] twinned for a DRAM-sourced payload: intents are
+    /// staged from the caller's batch description, not copied out of the
+    /// arena. Same entry format, same durability protocol.
+    fn append_slice(&self, slot: usize, epoch: u64, target: u64, payload: &[u8], tag: u16) {
+        let len = payload.len();
+        let need = HEADER + ((len as u64 + 7) & !7);
+        let cur = self.cursors[slot].0.load(Ordering::Relaxed);
+        assert!(
+            cur + need <= self.per_slot,
+            "external log slot {slot} overflow: {cur} + {need} > {}; \
+             increase per-thread log capacity",
+            self.per_slot
+        );
+        let base = self.region + (slot as u64) * self.per_slot + cur;
+
+        self.arena.pwrite_bytes(base + HEADER, payload);
+        let len_word = pack_len(len as u64, tag);
+        let hash = checksum::fnv1a64_update(checksum::FNV_OFFSET, payload);
+        let sum = checksum::seal(hash, epoch, target, len_word);
+
+        self.arena.pwrite_u64(base, epoch);
+        self.arena.pwrite_u64(base + 8, target);
+        self.arena.pwrite_u64(base + 16, len_word);
+        self.arena.pwrite_u64(base + 24, sum);
+
         self.arena.clwb_range(base, (HEADER as usize) + len);
         self.arena.sfence();
 
@@ -456,11 +547,16 @@ impl ExtLog {
                 let sum = self.arena.pread_u64(base + 24);
                 let len = len_word & LEN_MASK;
                 let tag = (len_word >> 48) as u16;
+                let is_intent = tag & INTENT_TAG_BIT != 0;
+                // Three-way tag check under a required (domain) tag: the
+                // domain's own undo entries apply, its own intents are
+                // collected below, anything else is corruption and stops
+                // the slot scan like a torn checksum.
                 if epoch < min_epoch
                     || epoch > max_epoch
                     || len == 0
                     || cur + HEADER + len > self.per_slot
-                    || require_tag.is_some_and(|t| t != tag)
+                    || require_tag.is_some_and(|t| tag != t && tag != (t | INTENT_TAG_BIT))
                 {
                     break;
                 }
@@ -478,19 +574,33 @@ impl ExtLog {
                 if checksum::seal(hash, epoch, target, len_word) != sum {
                     break; // torn tail entry: its modification never started
                 }
-                // Apply: copy the pre-image back.
-                let mut copied = 0usize;
-                while copied < len as usize {
-                    let n = (len as usize - copied).min(512);
-                    self.arena
-                        .pread_bytes(base + HEADER + copied as u64, &mut chunk[..n]);
-                    self.arena.pwrite_bytes(target + copied as u64, &chunk[..n]);
-                    copied += n;
+                if is_intent {
+                    // Collect, never apply: the batch layer resolves
+                    // intents against the durable commit table after undo
+                    // replay finishes.
+                    let mut payload = vec![0u8; len as usize];
+                    self.arena.pread_bytes(base + HEADER, &mut payload);
+                    report.intents.push(IntentEntry {
+                        thread: slot / self.domains,
+                        epoch,
+                        batch_id: target,
+                        payload,
+                    });
+                } else {
+                    // Apply: copy the pre-image back.
+                    let mut copied = 0usize;
+                    while copied < len as usize {
+                        let n = (len as usize - copied).min(512);
+                        self.arena
+                            .pread_bytes(base + HEADER + copied as u64, &mut chunk[..n]);
+                        self.arena.pwrite_bytes(target + copied as u64, &chunk[..n]);
+                        copied += n;
+                    }
+                    report.entries_applied += 1;
+                    report.bytes_applied += len;
+                    report.applied.push((target, len));
+                    report.count_tag(tag, len);
                 }
-                report.entries_applied += 1;
-                report.bytes_applied += len;
-                report.applied.push((target, len));
-                report.count_tag(tag, len);
                 cur += HEADER + ((len + 7) & !7);
             }
             self.cursors[slot].0.store(cur, Ordering::Relaxed);
@@ -922,6 +1032,100 @@ mod tests {
         // tags — nothing leaked across reports.
         assert_eq!(reports[0].per_tag[0].tag, 0);
         assert_eq!(reports[2].per_tag[0].tag, 2);
+    }
+
+    #[test]
+    fn intents_are_collected_not_applied_and_cursor_skips_them() {
+        let arena = PArena::builder().capacity_bytes(1 << 20).build().unwrap();
+        superblock::format(&arena);
+        let log = ExtLog::create_sharded(&arena, 1, 16 * 1024, 2).unwrap();
+        let obj = arena.carve(64, 64).unwrap();
+
+        // Domain 1's buffer interleaves an undo entry, an intent, and
+        // another undo entry — all in epoch 7.
+        arena.pwrite_u64(obj, 111);
+        log.log_object_in(0, 1, 7, obj, 64);
+        arena.pwrite_u64(obj, 222);
+        log.log_intent_in(0, 1, 7, 42, b"put k=v");
+        arena.pwrite_u64(obj, 333);
+
+        let r = log.replay_domain(1, 7, 7);
+        assert_eq!(r.entries_applied, 1, "only the undo entry applies");
+        assert_eq!(arena.pread_u64(obj), 111, "pre-image restored");
+        assert_eq!(r.intents.len(), 1);
+        assert_eq!(r.intents[0].batch_id, 42);
+        assert_eq!(r.intents[0].epoch, 7);
+        assert_eq!(r.intents[0].thread, 0);
+        assert_eq!(r.intents[0].payload, b"put k=v");
+        // The cursor sits past BOTH entries: post-recovery appends must
+        // not clobber a still-needed intent.
+        assert_eq!(log.used_in(0, 1), r.scan_stopped_at[0]);
+        assert_eq!(log.used_in(0, 1), (HEADER + 64) + (HEADER + 8));
+    }
+
+    #[test]
+    fn torn_intent_stops_the_scan_without_surfacing() {
+        let arena = PArena::builder().capacity_bytes(1 << 20).build().unwrap();
+        superblock::format(&arena);
+        let log = ExtLog::create_sharded(&arena, 1, 16 * 1024, 1).unwrap();
+        log.log_intent_in(0, 0, 3, 9, b"payload-bytes");
+        // Corrupt the payload: the checksum no longer matches.
+        let base = arena.pread_u64(superblock::SB_EXTLOG_OFF);
+        arena.pwrite_u64(base + HEADER, 0xBAD);
+        let r = log.replay_domain(0, 3, 3);
+        assert!(r.intents.is_empty(), "torn intent must not surface");
+        assert_eq!(r.entries_applied, 0);
+    }
+
+    #[test]
+    fn foreign_domain_intent_tag_stops_the_scan() {
+        // An intent sealed for domain 2 sitting in domain 1's buffer is
+        // corruption, exactly like a foreign undo tag.
+        let arena = PArena::builder().capacity_bytes(1 << 20).build().unwrap();
+        superblock::format(&arena);
+        let log = ExtLog::create_sharded(&arena, 1, 16 * 1024, 3).unwrap();
+        log.log_intent_in(0, 1, 5, 77, b"x");
+        // Re-seal domain 1's entry with domain 2's intent tag.
+        let base = arena.pread_u64(superblock::SB_EXTLOG_OFF) + log.per_slot;
+        let len_word = pack_len(1, 2 | INTENT_TAG_BIT);
+        let hash = checksum::fnv1a64_update(checksum::FNV_OFFSET, b"x");
+        arena.pwrite_u64(base + 16, len_word);
+        arena.pwrite_u64(base + 24, checksum::seal(hash, 5, 77, len_word));
+        let r = log.replay_domain(1, 5, 5);
+        assert!(r.intents.is_empty());
+        assert_eq!(r.scan_stopped_at, vec![0]);
+    }
+
+    #[test]
+    fn untargeted_replay_also_surfaces_intents() {
+        let (arena, log, obj) = setup(1);
+        fill(&arena, obj, 100);
+        log.log_object(0, 1, obj, 320);
+        log.log_intent_in(0, 0, 1, 5, b"op");
+        fill(&arena, obj, 500);
+        let r = log.replay(1, 1);
+        assert_eq!(r.entries_applied, 1);
+        assert!(check(&arena, obj, 100));
+        assert_eq!(r.intents.len(), 1);
+        assert_eq!(r.intents[0].batch_id, 5);
+    }
+
+    #[test]
+    fn intent_is_durable_before_return() {
+        let arena = PArena::builder()
+            .capacity_bytes(1 << 20)
+            .tracked(true)
+            .build()
+            .unwrap();
+        superblock::format(&arena);
+        arena.global_flush();
+        let log = ExtLog::create(&arena, 1, 4 * 1024).unwrap();
+        log.log_intent_in(0, 0, 1, 8, b"durable-intent");
+        arena.crash_seeded(11);
+        let log2 = ExtLog::open(&arena);
+        let r = log2.replay_domain(0, 1, 1);
+        assert_eq!(r.intents.len(), 1, "sealed intent must survive a crash");
+        assert_eq!(r.intents[0].payload, b"durable-intent");
     }
 
     #[test]

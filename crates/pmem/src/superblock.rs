@@ -23,7 +23,8 @@
 //! | 1280   | 20–43    | allocator class heads descriptor + head lines |
 //! | 2816   | 44–59    | shard root-holder table (shards 1..64, 16 B cells) |
 //! | 3840   | 60       | per-shard carve-region descriptor (split base + region bytes) |
-//! | 3904   | 61–63    | spare |
+//! | 3904   | 61       | batch next-id word (monotonic durable batch-id allocator) |
+//! | 3968   | 62–63    | batch-commit table: 8 × 16 B (batch id, shard mask) slots |
 //! | 4096   | 64–190   | epoch-domain table: per-shard epoch counters + failed sets (shards 1..64, 128 B cells) |
 //! | 12160  | 190–191  | spare |
 //! | 12288  | 192–254  | per-shard watermark table: one InCLL triple line per shard 1..64 |
@@ -42,14 +43,16 @@ use crate::{Error, PArena, Result};
 
 /// Identifies a formatted InCLL arena.
 pub const MAGIC: u64 = 0x19C1_1C05_A5B1_2019;
-/// On-media format version. Version 4 added the per-shard allocator
+/// On-media format version. Version 5 added the batch-commit table
+/// ([`SB_BATCH_NEXT_ID`], [`SB_BATCH_TABLE`]) backing cross-shard atomic
+/// write batches. Version 4 added the per-shard allocator
 /// arenas: the carve-region descriptor ([`SB_ARENA_SPLIT`]), the per-shard
 /// watermark table ([`SB_SHARD_BUMP_TABLE`]) and another [`CARVE_START`]
 /// move. Version 3 added the per-shard epoch-domain table
 /// ([`SB_DOMAIN_TABLE`]); version 2 added the shard table
 /// ([`SB_SHARD_COUNT`], [`shard_root_holder`]); version-1 media has
 /// neither. Older media must be rejected by openers, not reinterpreted.
-pub const VERSION: u64 = 4;
+pub const VERSION: u64 = 5;
 
 /// Offset of the magic word.
 pub const SB_MAGIC: u64 = 64;
@@ -93,6 +96,93 @@ pub const SB_ARENA_SPLIT: u64 = 3840;
 /// [`SB_ARENA_SPLIT`] is nonzero). Shard `s`'s region is
 /// `[split + s·region_bytes, split + (s+1)·region_bytes)`.
 pub const SB_ARENA_REGION_BYTES: u64 = 3848;
+
+// ---------------------------------------------------------------------
+// Batch-commit table (v5)
+// ---------------------------------------------------------------------
+
+/// Offset of the durable next-batch-id word (v5). Monotonic: every
+/// cross-shard write batch takes the current value and durably bumps it
+/// **before** writing any intent entry, so a batch id on media is never
+/// reissued. Format initialises it to 1 (0 means "no batch" in the
+/// commit table below).
+pub const SB_BATCH_NEXT_ID: u64 = 3904;
+
+/// Offset of the batch-commit table (v5): [`BATCH_SLOTS`] slots of 16
+/// bytes each — word 0 the batch id (0 = empty slot), word 1 the mask of
+/// shards the batch touched (bit `s` = shard `s`; [`MAX_SHARDS`] is 64,
+/// so one word suffices).
+///
+/// A batch is **committed** iff some slot's id word equals its batch id
+/// exactly. Both words of a slot share one cache line, so the commit
+/// protocol (mask first, id second, same line) rides the InCLL
+/// same-line-ordering argument: a torn commit leaves the old id, never a
+/// new id with a stale mask.
+pub const SB_BATCH_TABLE: u64 = 3968;
+/// Number of batch-commit slots. Bounds the batches that can be in-doubt
+/// at once; committers reuse slots once every shard in a slot's mask has
+/// advanced past the batch's intents (see `incll`'s eviction protocol).
+pub const BATCH_SLOTS: usize = 8;
+
+/// The offset of batch-commit slot `i` (its shard-mask word lives at
+/// `+8`).
+///
+/// # Panics
+///
+/// Panics if `i >= BATCH_SLOTS`.
+#[inline]
+pub const fn batch_slot_off(i: usize) -> u64 {
+    assert!(i < BATCH_SLOTS, "batch slot out of range");
+    SB_BATCH_TABLE + (i as u64) * 16
+}
+
+/// Durably allocates the next batch id: reads the counter, bumps and
+/// flushes it, and returns the pre-bump value. A crash between the bump
+/// and the batch's first intent merely wastes an id.
+pub fn next_batch_id(arena: &PArena) -> u64 {
+    let id = arena.pread_u64(SB_BATCH_NEXT_ID).max(1);
+    arena.pwrite_u64(SB_BATCH_NEXT_ID, id + 1);
+    arena.clwb(SB_BATCH_NEXT_ID);
+    arena.sfence();
+    id
+}
+
+/// Reads batch-commit slot `i` as `(batch_id, shard_mask)`; id 0 means
+/// the slot is empty.
+pub fn batch_slot(arena: &PArena, i: usize) -> (u64, u64) {
+    let off = batch_slot_off(i);
+    (arena.pread_u64(off), arena.pread_u64(off + 8))
+}
+
+/// Durably writes the commit record for `batch_id` into slot `i`: mask
+/// first, id second — both on one line, one flush. After the fence the
+/// batch is committed; before it, the slot still names its previous
+/// occupant (or 0) and the batch is in doubt (recovery drops it).
+pub fn set_batch_slot(arena: &PArena, i: usize, batch_id: u64, shard_mask: u64) {
+    let off = batch_slot_off(i);
+    arena.pwrite_u64(off + 8, shard_mask);
+    arena.pwrite_u64(off, batch_id);
+    arena.clwb(off);
+    arena.sfence();
+}
+
+/// Clears shard `shard`'s bit in slot `i`'s durable mask (plain store, no
+/// flush — callers run this after the durable epoch bump that already
+/// made the batch's intents on that shard non-replayable, so losing the
+/// clear is merely conservative).
+pub fn clear_batch_shard(arena: &PArena, i: usize, shard: usize) {
+    let off = batch_slot_off(i);
+    let mask = arena.pread_u64(off + 8);
+    arena.pwrite_u64(off + 8, mask & !(1u64 << shard));
+}
+
+/// Returns `true` if `batch_id` has a durable commit record: some slot's
+/// id word matches it exactly. Exact match is the whole protocol —
+/// reused slots hold *different* ids, so an in-doubt batch can never
+/// alias a committed one.
+pub fn batch_is_committed(arena: &PArena, batch_id: u64) -> bool {
+    batch_id != 0 && (0..BATCH_SLOTS).any(|i| arena.pread_u64(batch_slot_off(i)) == batch_id)
+}
 
 /// Offset of the durable tree-root pointer (a root-holder cell). Under
 /// sharding this is **shard 0's** holder — the legacy single-tree layout
@@ -297,6 +387,7 @@ pub fn format(arena: &PArena) {
     arena.pwrite_u64(SB_EXEC_EPOCH, 1);
     arena.pwrite_u64(SB_BUMP, CARVE_START);
     arena.pwrite_u64(SB_BUMP_INCLL, CARVE_START);
+    arena.pwrite_u64(SB_BATCH_NEXT_ID, 1);
     // Magic last: a torn format leaves the arena unformatted.
     arena.pwrite_u64(SB_MAGIC, MAGIC);
     arena.clwb_range(64, (CARVE_START - 64) as usize);
@@ -459,7 +550,15 @@ mod tests {
         assert!(24 + (MAX_FAILED_EPOCHS_SHARD as u64) * 8 <= DOMAIN_CELL_BYTES);
         // The carve-region descriptor must not collide with its neighbours.
         assert!(SB_ARENA_SPLIT >= shard_root_holder(MAX_SHARDS - 1) + 16);
-        assert!(SB_ARENA_REGION_BYTES + 8 <= domain_cur_epoch_off(1));
+        const { assert!(SB_ARENA_REGION_BYTES + 8 <= SB_BATCH_NEXT_ID) };
+        // The batch next-id word and commit table sit between the carve
+        // descriptor and the domain table; each slot's two words share a
+        // line (the commit-ordering requirement).
+        const { assert!(SB_BATCH_NEXT_ID + 8 <= SB_BATCH_TABLE) };
+        assert!(batch_slot_off(BATCH_SLOTS - 1) + 16 <= SB_DOMAIN_TABLE);
+        for i in 0..BATCH_SLOTS {
+            assert_eq!(batch_slot_off(i) / 64, (batch_slot_off(i) + 8) / 64);
+        }
     }
 
     #[test]
@@ -513,9 +612,9 @@ mod tests {
         assert!(has_magic(&a));
         assert!(is_formatted(&a));
         assert_eq!(raw_version(&a), VERSION);
-        // Pre-arena-split (v1/v2/v3) superblocks keep their magic but are
-        // no longer "formatted" in the current sense.
-        for stale in [1, 2, 3] {
+        // Pre-batch-table (v1/v2/v3/v4) superblocks keep their magic but
+        // are no longer "formatted" in the current sense.
+        for stale in [1, 2, 3, 4] {
             a.pwrite_u64(SB_VERSION, stale);
             assert!(has_magic(&a));
             assert!(!is_formatted(&a));
@@ -613,6 +712,32 @@ mod tests {
         prune_failed_epochs(&a, 1, u64::MAX);
         record_failed_epoch_for(&a, 1, 999).unwrap();
         assert_eq!(failed_epochs_for(&a, 1), vec![999]);
+    }
+
+    #[test]
+    fn batch_ids_are_monotonic_and_commit_matches_exactly() {
+        let a = arena();
+        format(&a);
+        let b1 = next_batch_id(&a);
+        let b2 = next_batch_id(&a);
+        assert_eq!(b1, 1);
+        assert_eq!(b2, 2);
+        assert!(!batch_is_committed(&a, b1));
+        assert!(!batch_is_committed(&a, 0)); // 0 is "no batch", never committed
+        set_batch_slot(&a, 0, b1, 0b101);
+        assert!(batch_is_committed(&a, b1));
+        assert!(!batch_is_committed(&a, b2));
+        assert_eq!(batch_slot(&a, 0), (b1, 0b101));
+        // Clearing shard bits narrows the mask without touching the id.
+        clear_batch_shard(&a, 0, 2);
+        assert_eq!(batch_slot(&a, 0), (b1, 0b001));
+        clear_batch_shard(&a, 0, 0);
+        assert_eq!(batch_slot(&a, 0), (b1, 0));
+        assert!(batch_is_committed(&a, b1)); // commit survives mask drain
+                                             // Slot reuse: the old id disappears, the new one commits.
+        set_batch_slot(&a, 0, b2, 0b11);
+        assert!(!batch_is_committed(&a, b1));
+        assert!(batch_is_committed(&a, b2));
     }
 
     #[test]

@@ -36,6 +36,9 @@ pub mod runner;
 pub mod workload;
 pub mod zipf;
 
-pub use runner::{load, run, run_with_reads, KvBench, ReadMode, RunConfig, RunResult};
+pub use runner::{
+    load, run, run_full, run_with_reads, run_with_writes, KvBench, ReadMode, RunConfig, RunResult,
+    WriteMode,
+};
 pub use workload::{storage_key, Dist, Mix, Op, OpStream};
 pub use zipf::{ScrambledZipfian, Zipfian};

@@ -70,6 +70,17 @@ pub trait KvBench: Send + Sync {
         self.bench_get(ctx, key).is_some()
     }
 
+    /// Atomic multi-put: applies every `(key, value)` pair as one write
+    /// batch. The default issues the puts one by one — correct for
+    /// stores without batch support, but not atomic. The durable
+    /// [`incll::Store`] overrides this with a real `WriteBatch` commit,
+    /// so the group is crash-atomic even when the keys span shards.
+    fn bench_batch(&self, ctx: &Self::Ctx, ops: &[([u8; 8], u64)]) {
+        for (k, v) in ops {
+            self.bench_put(ctx, k, *v);
+        }
+    }
+
     /// Keyspace shards this store partitions over (1 for unsharded
     /// systems). Experiments report it so shard-scaling runs are
     /// self-describing.
@@ -158,6 +169,15 @@ impl KvBench for incll::Store {
         // comparison against the copying paths), with zero allocation.
         self.get_ref(ctx, key).map(|v| v.as_u64()).is_some()
     }
+    fn bench_batch(&self, ctx: &Self::Ctx, ops: &[([u8; 8], u64)]) {
+        let mut batch = ctx.batch();
+        for (k, v) in ops {
+            batch
+                .put(k, &v.to_le_bytes())
+                .expect("bench batches stay within the op cap");
+        }
+        batch.commit().expect("bench batches commit");
+    }
     fn bench_shards(&self) -> usize {
         self.shard_count()
     }
@@ -243,15 +263,56 @@ impl ReadMode {
     }
 }
 
+/// How the driver serves `Op::Put`s — the write-path comparison axis of
+/// the `txn_batches` experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WriteMode {
+    /// One put per operation. The historical driver default.
+    Single,
+    /// Buffer `batch_size` puts per worker and commit each group as one
+    /// atomic [`KvBench::bench_batch`] (a tail shorter than
+    /// `batch_size` commits at the end of the run).
+    BatchedWrites {
+        /// Puts per committed batch (clamped to at least 1).
+        batch_size: usize,
+    },
+}
+
+impl WriteMode {
+    /// Display label (`single` / `batch<N>`).
+    pub fn label(self) -> String {
+        match self {
+            WriteMode::Single => "single".to_owned(),
+            WriteMode::BatchedWrites { batch_size } => format!("batch{batch_size}"),
+        }
+    }
+}
+
 /// Runs the workload, returning aggregate throughput. Reads go through
-/// the buffer-reusing path ([`ReadMode::Into`]); use
-/// [`run_with_reads`] to pick a different read path.
+/// the buffer-reusing path ([`ReadMode::Into`]), writes are issued one
+/// put at a time; use [`run_with_reads`] / [`run_with_writes`] to pick
+/// a different path.
 pub fn run<K: KvBench>(store: &K, cfg: &RunConfig) -> RunResult {
     run_with_reads(store, cfg, ReadMode::Into)
 }
 
+/// [`run`] with an explicit write path for `Op::Put`s.
+pub fn run_with_writes<K: KvBench>(store: &K, cfg: &RunConfig, mode: WriteMode) -> RunResult {
+    run_full(store, cfg, ReadMode::Into, mode)
+}
+
 /// [`run`] with an explicit read path for `Op::Read`s.
 pub fn run_with_reads<K: KvBench>(store: &K, cfg: &RunConfig, mode: ReadMode) -> RunResult {
+    run_full(store, cfg, mode, WriteMode::Single)
+}
+
+/// The full driver: explicit read and write paths.
+pub fn run_full<K: KvBench>(
+    store: &K,
+    cfg: &RunConfig,
+    mode: ReadMode,
+    writes: WriteMode,
+) -> RunResult {
     let barrier = Barrier::new(cfg.threads + 1);
     let total_ops = AtomicU64::new(0);
     // Zipfian tables are O(nkeys) to build: construct one and share.
@@ -271,8 +332,14 @@ pub fn run_with_reads<K: KvBench>(store: &K, cfg: &RunConfig, mode: ReadMode) ->
                 let ctx = store.bench_ctx(tid);
                 let mut stream = OpStream::with_zipf(cfg2.mix, cfg2.nkeys, zipf);
                 let mut rng = StdRng::seed_from_u64(cfg2.seed ^ (tid as u64) << 32 | tid as u64);
-                // One value buffer per worker, reused across every read.
+                // One value buffer per worker, reused across every read,
+                // and one pending-put buffer for the batched write path.
                 let mut readbuf = Vec::with_capacity(64);
+                let batch_size = match writes {
+                    WriteMode::Single => 0,
+                    WriteMode::BatchedWrites { batch_size } => batch_size.max(1),
+                };
+                let mut pending: Vec<([u8; 8], u64)> = Vec::with_capacity(batch_size);
                 barrier.wait();
                 for _ in 0..cfg2.ops_per_thread {
                     match stream.next_op(&mut rng) {
@@ -288,12 +355,23 @@ pub fn run_with_reads<K: KvBench>(store: &K, cfg: &RunConfig, mode: ReadMode) ->
                             }
                         },
                         Op::Put(i, v) => {
-                            store.bench_put(&ctx, &storage_key(i), v);
+                            if batch_size == 0 {
+                                store.bench_put(&ctx, &storage_key(i), v);
+                            } else {
+                                pending.push((storage_key(i), v));
+                                if pending.len() >= batch_size {
+                                    store.bench_batch(&ctx, &pending);
+                                    pending.clear();
+                                }
+                            }
                         }
                         Op::Scan(i, n) => {
                             store.bench_scan(&ctx, &storage_key(i), n);
                         }
                     }
+                }
+                if !pending.is_empty() {
+                    store.bench_batch(&ctx, &pending); // the short tail
                 }
                 total_ops.fetch_add(cfg2.ops_per_thread, Ordering::Relaxed);
             });
@@ -434,6 +512,59 @@ mod tests {
         let sess = store.bench_ctx(0);
         assert!(store.bench_get_ref(&sess, &storage_key(0)));
         assert!(!store.bench_get_ref(&sess, b"never-loaded"));
+    }
+
+    #[test]
+    fn batched_writes_run_on_the_sharded_store_facade() {
+        let arena = PArena::builder().capacity_bytes(64 << 20).build().unwrap();
+        let opts = incll::Options::new()
+            .threads(2)
+            .log_bytes_per_thread(1 << 20)
+            .shards(4);
+        let (store, _) = incll::Store::open(&arena, opts).unwrap();
+        load(&store, 200, 2);
+        for batch_size in [1usize, 8] {
+            let res = run_with_writes(
+                &store,
+                &RunConfig {
+                    threads: 2,
+                    ops_per_thread: 300,
+                    nkeys: 200,
+                    mix: Mix::A,
+                    dist: Dist::Uniform,
+                    seed: 5,
+                },
+                WriteMode::BatchedWrites { batch_size },
+            );
+            assert_eq!(res.ops, 600, "batch_size {batch_size}");
+        }
+        assert_eq!(WriteMode::Single.label(), "single");
+        assert_eq!(WriteMode::BatchedWrites { batch_size: 8 }.label(), "batch8");
+    }
+
+    #[test]
+    fn bench_batch_applies_every_pair_on_every_impl() {
+        // Transient default: a plain put loop.
+        let t = mt();
+        let ctx = t.bench_ctx(0);
+        let ops: Vec<([u8; 8], u64)> = (0..5u64).map(|i| (storage_key(i), 100 + i)).collect();
+        t.bench_batch(&ctx, &ops);
+        for i in 0..5u64 {
+            assert_eq!(t.bench_get(&ctx, &storage_key(i)), Some(100 + i));
+        }
+
+        // Durable store: a real cross-shard WriteBatch commit.
+        let arena = PArena::builder().capacity_bytes(64 << 20).build().unwrap();
+        let opts = incll::Options::new()
+            .threads(1)
+            .log_bytes_per_thread(1 << 20)
+            .shards(4);
+        let (store, _) = incll::Store::open(&arena, opts).unwrap();
+        let sess = store.bench_ctx(0);
+        store.bench_batch(&sess, &ops);
+        for i in 0..5u64 {
+            assert_eq!(store.bench_get(&sess, &storage_key(i)), Some(100 + i));
+        }
     }
 
     #[test]

@@ -13,12 +13,14 @@
 pub mod prelude {
     pub use incll::{
         Error, Options, RangeScan, ReadGuard, RecoveryReport, Session, ShardReplay, Store,
-        ValueRef, MAX_VALUE_BYTES,
+        ValueRef, WriteBatch, MAX_BATCH_OPS, MAX_VALUE_BYTES,
     };
     pub use incll_epoch::{
         AdvanceDriver, DomainCadence, EpochManager, EpochOptions, DEFAULT_EPOCH_INTERVAL,
     };
     pub use incll_masstree::{AllocMode, Masstree, TransientAlloc, TreeCtx};
     pub use incll_pmem::{PArena, PPtr, StatsSnapshot};
-    pub use incll_ycsb::{load, run, storage_key, Dist, KvBench, Mix, RunConfig};
+    pub use incll_ycsb::{
+        load, run, run_with_writes, storage_key, Dist, KvBench, Mix, RunConfig, WriteMode,
+    };
 }

@@ -365,6 +365,212 @@ fn crash_matrix_mid_compaction() {
     run_matrix(CrashPoint::Compaction);
 }
 
+/// What one batch-crash cell produced, for cross-worker comparison.
+struct BatchCell {
+    got: Vec<(Vec<u8>, Vec<u8>)>,
+    redone: u64,
+    dropped: u64,
+    digest: u64,
+}
+
+/// Deterministic history ending in a crash with one cross-shard batch in
+/// flight: staged (intents durable, **no** commit record) when `commit`
+/// is false, fully committed (commit record durable, apply raced the
+/// crash arbitrarily — here it completed) when true. Recovers with
+/// `final_workers` and reports contents, batch-resolution counters, and
+/// the full-arena digest.
+fn run_batch_cell(shards: usize, commit: bool, final_workers: usize) -> BatchCell {
+    let arena = tracked();
+    let mut expect: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+
+    let (store, r) = Store::open(&arena, options(shards, 1)).unwrap();
+    assert!(r.created);
+    {
+        let sess = store.session().unwrap();
+        for i in 0..40u64 {
+            store.put(&sess, &i.to_be_bytes(), &bval(i)).unwrap();
+            expect.insert(i.to_be_bytes().to_vec(), bval(i));
+        }
+        store.checkpoint();
+
+        // The in-doubt batch: eight puts plus a delete of a committed
+        // key, spread across shards by the ordinary router.
+        let keys: Vec<Vec<u8>> = (0..8u64)
+            .map(|i| format!("batch/{i:02}").into_bytes())
+            .collect();
+        if shards > 1 {
+            let touched: BTreeSet<usize> = keys.iter().map(|k| store.shard_of(k)).collect();
+            assert!(
+                touched.len() >= 2,
+                "the battery needs a genuinely cross-shard batch"
+            );
+        }
+        let mut batch = sess.batch();
+        for (i, k) in keys.iter().enumerate() {
+            batch.put(k, &bval(9000 + i as u64)).unwrap();
+        }
+        batch.delete(&3u64.to_be_bytes()).unwrap();
+        let id = if commit {
+            batch.commit().unwrap()
+        } else {
+            batch.stage_without_commit().unwrap()
+        };
+        if shards > 1 {
+            assert!(id > 0, "a cross-shard batch must take the slow path");
+        }
+        if commit && shards > 1 {
+            // Committed cross-shard batches survive the crash: recovery
+            // redoes them from their durable intents.
+            for (i, k) in keys.iter().enumerate() {
+                expect.insert(k.clone(), bval(9000 + i as u64));
+            }
+            expect.remove(3u64.to_be_bytes().as_slice());
+        }
+        // `commit && shards == 1` is the fast path: same-epoch atomicity
+        // with no intents, so the pre-boundary crash rolls the whole
+        // batch back — exactly like a plain un-checkpointed put.
+    }
+    drop(store);
+    arena.crash_seeded(0xBA7C4 ^ shards as u64 ^ u64::from(commit));
+
+    let (store, report) = Store::open(&arena, options(shards, final_workers)).unwrap();
+    assert!(!report.created);
+    let redone: u64 = report.per_shard.iter().map(|s| s.batches_redone).sum();
+    let dropped: u64 = report.per_shard.iter().map(|s| s.batches_dropped).sum();
+    let got: Vec<(Vec<u8>, Vec<u8>)> = {
+        let sess = store.session().unwrap();
+        store.iter(&sess).collect()
+    };
+    let want: Vec<(Vec<u8>, Vec<u8>)> = expect.into_iter().collect();
+    assert_eq!(
+        got, want,
+        "commit={commit} shards={shards} workers={final_workers}: the batch \
+         must be all-present (committed) or all-absent (staged), never torn"
+    );
+    drop(store);
+    BatchCell {
+        got,
+        redone,
+        dropped,
+        digest: arena_digest(&arena),
+    }
+}
+
+#[test]
+fn mid_batch_crash_drops_the_batch_on_every_shard_identically() {
+    for &shards in &[2usize, 4, 8] {
+        let mut baseline: Option<BatchCell> = None;
+        for &workers in WORKER_SWEEP {
+            let out = run_batch_cell(shards, false, workers);
+            assert_eq!(out.redone, 0, "shards={shards}: nothing was committed");
+            assert!(
+                out.dropped >= 2,
+                "shards={shards}: every intent-holding shard must report the \
+                 staged batch dropped, got {}",
+                out.dropped
+            );
+            if let Some(base) = &baseline {
+                assert_eq!(base.got, out.got);
+                assert_eq!((base.redone, base.dropped), (out.redone, out.dropped));
+                assert_eq!(
+                    base.digest, out.digest,
+                    "shards={shards} workers={workers}: dropping an in-doubt \
+                     batch must be byte-identical at every worker count"
+                );
+            } else {
+                baseline = Some(out);
+            }
+        }
+    }
+}
+
+#[test]
+fn post_commit_crash_redoes_the_batch_on_every_shard_identically() {
+    for &shards in &[2usize, 4, 8] {
+        let mut baseline: Option<BatchCell> = None;
+        for &workers in WORKER_SWEEP {
+            let out = run_batch_cell(shards, true, workers);
+            assert_eq!(out.dropped, 0, "shards={shards}: the batch committed");
+            assert!(
+                out.redone >= 2,
+                "shards={shards}: every intent-holding shard must redo the \
+                 committed batch, got {}",
+                out.redone
+            );
+            if let Some(base) = &baseline {
+                assert_eq!(base.got, out.got);
+                assert_eq!((base.redone, base.dropped), (out.redone, out.dropped));
+                assert_eq!(
+                    base.digest, out.digest,
+                    "shards={shards} workers={workers}: redoing a committed \
+                     batch must be byte-identical at every worker count"
+                );
+            } else {
+                baseline = Some(out);
+            }
+        }
+    }
+}
+
+#[test]
+fn single_shard_batches_keep_the_fast_path_crash_shape() {
+    // shards(1) batches never write batch media: a pre-boundary crash
+    // rolls them back whole (same-epoch atomicity), and recovery has no
+    // batches to resolve.
+    for commit in [false, true] {
+        let out = run_batch_cell(1, commit, 1);
+        assert_eq!((out.redone, out.dropped), (0, 0));
+        assert!(
+            out.got.iter().all(|(k, _)| !k.starts_with(b"batch/")),
+            "commit={commit}: an un-checkpointed fast-path batch rolls back"
+        );
+        assert!(out
+            .got
+            .iter()
+            .any(|(k, _)| k == &3u64.to_be_bytes().to_vec()));
+    }
+}
+
+#[test]
+fn committed_batch_survives_a_second_crash_before_any_boundary() {
+    // Redo is idempotent: crash again after a recovery that redid the
+    // batch but before any shard checkpoints, and the second recovery
+    // must land on the identical state.
+    let shards = 4usize;
+    let arena = tracked();
+    let mut expect: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+    {
+        let (store, _) = Store::open(&arena, options(shards, 1)).unwrap();
+        let sess = store.session().unwrap();
+        for i in 0..40u64 {
+            store.put(&sess, &i.to_be_bytes(), &bval(i)).unwrap();
+            expect.insert(i.to_be_bytes().to_vec(), bval(i));
+        }
+        store.checkpoint();
+        let mut batch = sess.batch();
+        for i in 0..6u64 {
+            let k = format!("twice/{i}");
+            batch.put(k.as_bytes(), &bval(7000 + i)).unwrap();
+            expect.insert(k.into_bytes(), bval(7000 + i));
+        }
+        assert!(batch.commit().unwrap() > 0);
+    }
+    arena.crash_seeded(0x2CE);
+    let (store, r1) = Store::open(&arena, options(shards, 2)).unwrap();
+    assert!(r1.per_shard.iter().map(|s| s.batches_redone).sum::<u64>() >= 2);
+    drop(store); // no checkpoint: intents and commit record still live
+    arena.crash_seeded(0x2CF);
+    let (store, r2) = Store::open(&arena, options(shards, 4)).unwrap();
+    assert!(
+        r2.per_shard.iter().map(|s| s.batches_redone).sum::<u64>() >= 2,
+        "the second recovery must redo the still-unretired batch again"
+    );
+    let sess = store.session().unwrap();
+    let got: Vec<(Vec<u8>, Vec<u8>)> = store.iter(&sess).collect();
+    let want: Vec<(Vec<u8>, Vec<u8>)> = expect.into_iter().collect();
+    assert_eq!(got, want, "double-crash redo must be idempotent");
+}
+
 #[test]
 fn recovered_store_stays_writable_and_durable_at_every_cell_shape() {
     // Liveness after the worst cell shapes: a recovered store must accept

@@ -414,6 +414,187 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Cross-shard write batches vs the committed-batches-only model
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum BatchOpT {
+    Put(u8, u8),
+    Delete(u8),
+}
+
+impl BatchOpT {
+    fn key(&self) -> u8 {
+        match self {
+            BatchOpT::Put(k, _) | BatchOpT::Delete(k) => *k,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum BatchEvent {
+    /// Stage 1–8 mixed puts/deletes; commit the batch, or leave it
+    /// in-doubt (intents durable, no commit record).
+    Batch { ops: Vec<BatchOpT>, commit: bool },
+    /// `checkpoint_shard` on one shard: its fast-path batches become
+    /// durable, its intents are discarded, its batch-table bits retire.
+    AdvanceShard(u8),
+}
+
+fn batch_event_strategy() -> impl Strategy<Value = BatchEvent> {
+    let op = prop_oneof![
+        3 => (any::<u8>(), any::<u8>()).prop_map(|(k, v)| BatchOpT::Put(k, v)),
+        1 => any::<u8>().prop_map(BatchOpT::Delete),
+    ];
+    prop_oneof![
+        3 => (proptest::collection::vec(op, 1..9), any::<bool>())
+            .prop_map(|(ops, commit)| BatchEvent::Batch { ops, commit }),
+        1 => any::<u8>().prop_map(BatchEvent::AdvanceShard),
+    ]
+}
+
+/// Deterministic variable-length batch value.
+fn vval(seed: u8) -> Vec<u8> {
+    let len = (seed as usize * 7) % 48;
+    (0..len).map(|j| seed.wrapping_add(j as u8)).collect()
+}
+
+/// A resolved tape event, as it actually executed.
+enum BatchDone {
+    Batch {
+        ops: Vec<BatchOpT>,
+        committed: bool,
+        cross: bool,
+    },
+    Advance(usize),
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    /// The batch subsystem's crash property: random tapes of write
+    /// batches (sizes 1–8, mixed puts and deletes, committed or left
+    /// in-doubt) interleaved with per-shard advances, then a seeded
+    /// crash. The recovered contents must equal the
+    /// committed-batches-only model — in-doubt batches fully absent,
+    /// committed cross-shard batches fully present (redone from
+    /// intents), fast-path batches present exactly when their shard
+    /// checkpointed afterwards — under both sequential and parallel
+    /// recovery.
+    #[test]
+    fn batch_tapes_recover_to_committed_batches_only(
+        base in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..40),
+        events in proptest::collection::vec(batch_event_strategy(), 1..12),
+        crash_seed in any::<u64>(),
+        shards in shard_strategy(),
+        workers in prop_oneof![Just(1usize), Just(4)],
+    ) {
+        use std::collections::BTreeSet;
+
+        let arena = PArena::builder()
+            .capacity_bytes(32 << 20)
+            .tracked(true)
+            .build()
+            .unwrap();
+        let store = open_store(&arena, shards);
+        let mut base_model: BTreeMap<u8, Vec<u8>> = BTreeMap::new();
+        let mut done: Vec<BatchDone> = Vec::new();
+        {
+            let sess = store.session().unwrap();
+            for (k, v) in &base {
+                store.put(&sess, &[*k], &vval(*v)).unwrap();
+                base_model.insert(*k, vval(*v));
+            }
+            store.checkpoint(); // the barrier every shard starts from
+            let mut committed_cross = 0usize;
+            for ev in &events {
+                match ev {
+                    BatchEvent::Batch { ops, commit } => {
+                        let touched: BTreeSet<usize> =
+                            ops.iter().map(|o| store.shard_of(&[o.key()])).collect();
+                        let cross = touched.len() > 1;
+                        // The 8-slot batch table evicts by forcing
+                        // boundaries the model doesn't track: cap the
+                        // committed cross-shard batches in flight.
+                        let commit = *commit && !(cross && committed_cross >= 8);
+                        let mut b = sess.batch();
+                        for op in ops {
+                            match op {
+                                BatchOpT::Put(k, v) => b.put(&[*k], &vval(*v)).unwrap(),
+                                BatchOpT::Delete(k) => b.delete(&[*k]).unwrap(),
+                            }
+                        }
+                        let id = if commit {
+                            b.commit().unwrap()
+                        } else {
+                            b.stage_without_commit().unwrap()
+                        };
+                        prop_assert_eq!(id > 0, cross,
+                            "only cross-shard batches take the slow path");
+                        if commit && cross {
+                            committed_cross += 1;
+                        }
+                        done.push(BatchDone::Batch {
+                            ops: ops.clone(),
+                            committed: commit,
+                            cross,
+                        });
+                    }
+                    BatchEvent::AdvanceShard(s) => {
+                        let s = *s as usize % shards;
+                        store.checkpoint_shard(s);
+                        done.push(BatchDone::Advance(s));
+                    }
+                }
+            }
+        }
+        drop(store);
+        arena.crash_seeded(crash_seed);
+
+        let (store, report) = open_store_with(&arena, shards, workers);
+        prop_assert_eq!(report.parallel_workers, workers.min(shards));
+
+        // The model: a batch's ops survive iff it committed AND either it
+        // was cross-shard (recovery redoes it from its durable intents)
+        // or its one shard checkpointed after it (ordinary durability).
+        let mut last_adv = vec![None::<usize>; shards];
+        for (i, d) in done.iter().enumerate() {
+            if let BatchDone::Advance(s) = d {
+                last_adv[*s] = Some(i);
+            }
+        }
+        let mut expect = base_model;
+        for (i, d) in done.iter().enumerate() {
+            if let BatchDone::Batch { ops, committed, cross } = d {
+                if !committed {
+                    continue;
+                }
+                let durable = *cross || {
+                    let s = store.shard_of(&[ops[0].key()]);
+                    last_adv[s].is_some_and(|j| j > i)
+                };
+                if !durable {
+                    continue;
+                }
+                for op in ops {
+                    match op {
+                        BatchOpT::Put(k, v) => {
+                            expect.insert(*k, vval(*v));
+                        }
+                        BatchOpT::Delete(k) => {
+                            expect.remove(k);
+                        }
+                    }
+                }
+            }
+        }
+        let sess = store.session().unwrap();
+        let scanned: Vec<(u8, Vec<u8>)> = store.iter(&sess).map(|(k, v)| (k[0], v)).collect();
+        let want: Vec<(u8, Vec<u8>)> = expect.into_iter().collect();
+        prop_assert_eq!(scanned, want);
+    }
+}
+
+// ---------------------------------------------------------------------
 // Per-shard allocator arenas: carve frontiers never overlap
 // ---------------------------------------------------------------------
 

@@ -424,6 +424,112 @@ fn sharded_scan_sees_checkpointed_state_after_crash() {
     }
 }
 
+// ---------------------------------------------------------------------
+// Write batches committing between refills
+// ---------------------------------------------------------------------
+
+/// Base data for the refill-atomicity cases: 200 `a-` keys plus 6 `x-del-`
+/// victims, spread over 2 shards, so a paused merge holds per-shard
+/// buffers strictly inside the `a-` range.
+fn refill_fixture() -> (PArena, Store, Session) {
+    let (arena, s, sess) = store_with(2);
+    for i in 0..200u64 {
+        s.put(&sess, format!("a-{i:04}").as_bytes(), &i.to_le_bytes())
+            .unwrap();
+    }
+    for i in 0..6u64 {
+        s.put(&sess, format!("x-del-{i}").as_bytes(), b"victim")
+            .unwrap();
+    }
+    (arena, s, sess)
+}
+
+#[test]
+fn batch_committed_between_refills_lands_atomically_in_the_scan() {
+    // A cross-shard batch committing while a range scan is paused between
+    // refills must be observed all-or-nothing by every later refill: all
+    // of its not-yet-buffered effects appear, never a prefix.
+    let (_a, s, sess) = refill_fixture();
+    let mut it = s.iter(&sess);
+    // Drain past one internal refill (64) but keep every shard cursor
+    // alive and buffered well inside the `a-` range.
+    let mut seen: Vec<Vec<u8>> = Vec::new();
+    for _ in 0..74 {
+        seen.push(it.next().expect("200+ keys remain").0);
+    }
+
+    let mut batch = sess.batch();
+    for i in 0..8u64 {
+        batch
+            .put(format!("x-new-{i}").as_bytes(), &i.to_le_bytes())
+            .unwrap();
+    }
+    for i in 0..6u64 {
+        batch.delete(format!("x-del-{i}").as_bytes()).unwrap();
+    }
+    batch.put(b"a-0190", b"updated").unwrap();
+    assert!(
+        batch.commit().unwrap() > 0,
+        "the fixture batch must be cross-shard"
+    );
+
+    let rest: Vec<(Vec<u8>, Vec<u8>)> = it.collect();
+    let keys: Vec<&[u8]> = rest.iter().map(|(k, _)| k.as_slice()).collect();
+    // No tearing: every batch put is present, every batch delete absent.
+    for i in 0..8u64 {
+        let k = format!("x-new-{i}").into_bytes();
+        assert!(keys.contains(&k.as_slice()), "missing {i}: torn batch");
+    }
+    assert!(
+        !keys.iter().any(|k| k.starts_with(b"x-del-")),
+        "a deleted victim survived: torn batch"
+    );
+    assert_eq!(
+        rest.iter()
+            .find(|(k, _)| k == b"a-0190")
+            .map(|(_, v)| v.as_slice()),
+        Some(&b"updated"[..]),
+        "an ahead-of-cursor overwrite must surface at the next refill"
+    );
+    // The stitched stream stays sorted and duplicate-free.
+    let mut all = seen;
+    all.extend(rest.iter().map(|(k, _)| k.clone()));
+    let mut sorted = all.clone();
+    sorted.sort();
+    sorted.dedup();
+    assert_eq!(all, sorted, "refill stitching reordered or duplicated keys");
+}
+
+#[test]
+fn staged_batch_never_leaks_into_a_scan() {
+    // Intents without a commit record are staged media, not data: a scan
+    // paused across the staging must see none of it.
+    let (_a, s, sess) = refill_fixture();
+    let mut it = s.iter(&sess);
+    for _ in 0..74 {
+        it.next().expect("200+ keys remain");
+    }
+    let mut batch = sess.batch();
+    for i in 0..8u64 {
+        batch
+            .put(format!("x-new-{i}").as_bytes(), &i.to_le_bytes())
+            .unwrap();
+    }
+    batch.delete(b"x-del-0").unwrap();
+    assert!(batch.stage_without_commit().unwrap() > 0);
+
+    let rest: Vec<Vec<u8>> = it.map(|(k, _)| k).collect();
+    assert!(
+        !rest.iter().any(|k| k.starts_with(b"x-new-")),
+        "staged puts leaked into the scan"
+    );
+    assert_eq!(
+        rest.iter().filter(|k| k.starts_with(b"x-del-")).count(),
+        6,
+        "a staged delete took effect"
+    );
+}
+
 #[test]
 fn transient_tree_scan_edges_match() {
     // The same edge semantics hold for the MT baseline.
