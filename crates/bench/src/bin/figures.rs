@@ -6,7 +6,8 @@
 //!
 //! experiments:
 //!   fig2 fig3 fig4 fig5 fig6 fig7 fig8 flushcost recovery ablation
-//!   shard_scaling epoch_domains recovery_latency read_path txn_batches all
+//!   shard_scaling epoch_domains recovery_latency read_path txn_batches
+//!   adaptive_cadence all
 //!
 //! options:
 //!   --paper            paper-scale parameters (20M keys, 8x1M ops)
@@ -86,7 +87,8 @@ fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
         "usage: figures <fig2|fig3|fig4|fig5|fig6|fig7|fig8|flushcost|recovery|ablation\
-         |shard_scaling|epoch_domains|recovery_latency|read_path|txn_batches|all> \
+         |shard_scaling|epoch_domains|recovery_latency|read_path|txn_batches\
+         |adaptive_cadence|all> \
          [--paper] [--scale F] [--keys N] [--ops N] [--threads N] [--out DIR]\n\
          \x20      figures --compare OLD.json NEW.json [--regressions-only]"
     );
@@ -237,6 +239,13 @@ fn main() {
                 ("read_path", vec![t1, t2])
             }
             "txn_batches" => ("txn_batches", vec![experiments::txn_batches(p)]),
+            "adaptive_cadence" => (
+                "adaptive_cadence",
+                vec![
+                    experiments::adaptive_cadence(p),
+                    experiments::persistence_granularity(p),
+                ],
+            ),
             other => usage(&format!("unknown experiment {other}")),
         };
         save(&args.out, file, &tables);
@@ -259,6 +268,7 @@ fn main() {
             "recovery_latency",
             "read_path",
             "txn_batches",
+            "adaptive_cadence",
         ] {
             println!("---- {name} ----");
             results.push(run_one(name));

@@ -1291,3 +1291,332 @@ pub fn ablation_internal(p: &ExpParams) -> Table {
     t.print();
     t
 }
+
+// =====================================================================
+// Adaptive per-shard cadence + batched log-buffer appends
+// =====================================================================
+
+/// Shards the adaptive-cadence experiment runs on.
+pub const CADENCE_SHARDS: usize = 4;
+/// Static per-shard cadences (ms) the adaptive controller competes
+/// against; its `[min, max]` clamp spans the same range.
+pub const CADENCE_STATIC_MS: &[u64] = &[2, 10, 40];
+/// Run→crash→recover cycles per cadence mode. Several cycles, each
+/// crashing at an uncorrelated point of the checkpoint window, so no
+/// mode gets lucky with a crash right after (or right before) a
+/// boundary.
+pub const CADENCE_SEGMENTS: usize = 16;
+/// Persistence granularities (bytes) the buffered-append table sweeps.
+pub const GRANULARITY_SWEEP: &[usize] = &[0, 256, 4096];
+/// Puts per atomic batch in the granularity table.
+pub const GRANULARITY_BATCH: usize = 8;
+
+/// Adaptive vs static checkpoint cadences on a **skew-shifting**
+/// workload: a migrating tenant sweeps one shard's whole bucket
+/// uniformly (its undo footprint grows with the checkpoint window) and
+/// rotates across the 4 shards, while small Zipfian resident sets keep
+/// every shard mildly dirty.
+///
+/// Each mode runs [`CADENCE_SEGMENTS`] cycles of *run → fail → recover*:
+/// writers run for a fixed slice, the store is torn down mid-flight, and
+/// the reopen's undo replay back to each shard's last boundary is timed
+/// under an emulated NVM streaming-read cost. The score is **effective
+/// throughput over the whole horizon including recoveries** —
+/// `ops / (run + recovery)` — the quantity a cadence actually trades:
+/// checkpointing too often stalls writers on per-shard scoped flushes
+/// and once-per-epoch relogging, too rarely leaves long undo tails to
+/// replay. A static interval is wrong for some shard in every phase
+/// (the per-shard optimum tracks the shard's write rate, which the
+/// rotating hotspot keeps moving); the adaptive controller re-tunes
+/// each shard toward its own `target_dirty_bytes` equilibrium.
+///
+/// Runs the paper's external-LOGGING mode: with InCLL on, the in-line
+/// logs absorb nearly all undo traffic (the paper's point) and cadence
+/// barely moves the undo tail; the cadence trade-off is legible in the
+/// mode whose undo bytes are explicit.
+pub fn adaptive_cadence(p: &ExpParams) -> Table {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    use incll_epoch::{AdaptiveCadence, Cadence};
+    use incll_ycsb::{storage_key, ShiftingHotspot};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut t = Table::new(
+        "Adaptive vs static per-shard cadence on a skew-shifting workload (score includes recovery after each of the 16 mid-flight failures)",
+        &[
+            "cadence",
+            "put_mops",
+            "advances",
+            "skipped",
+            "crash_tail_kb",
+            "recovery_ms",
+            "eff_mops",
+        ],
+    );
+    // One writer: the cadence driver must actually *deliver* the tight
+    // intervals under test, and on small CPU budgets a pack of writers
+    // starves it into a blunt every-few-ms policy no matter what the
+    // cadence asks for — which would measure the scheduler, not the
+    // policy.
+    let threads = 1;
+    // Not a multiple of any swept interval: every static cadence crashes
+    // mid-window, so the measured undo tail reflects the cadence rather
+    // than a razor-edge race between the segment end and a boundary.
+    let seg = Duration::from_millis(415);
+    let keys = p.keys.clamp(4_000, 1_000_000);
+    let min = Duration::from_millis(CADENCE_STATIC_MS[0]);
+    let max = Duration::from_millis(*CADENCE_STATIC_MS.last().unwrap());
+
+    let mut modes: Vec<(String, Cadence)> = CADENCE_STATIC_MS
+        .iter()
+        .map(|&ms| {
+            (
+                format!("static_{ms}ms"),
+                Cadence::lazy(Duration::from_millis(ms)),
+            )
+        })
+        .collect();
+    modes.push((
+        "adaptive".into(),
+        Cadence::adaptive(AdaptiveCadence {
+            min,
+            max,
+            target_dirty_bytes: 224 << 10,
+            hysteresis: 2,
+        }),
+    ));
+
+    for (name, cadence) in modes {
+        let mut cfg = p.sys_config();
+        cfg.threads = threads;
+        cfg.shards = CADENCE_SHARDS;
+        cfg.keys = keys;
+        cfg.epoch_interval = None;
+        // Preload on a driverless store: no cadence ticks pollute the
+        // counters (or make preload duration mode-dependent); the mode's
+        // cadence arrives with the reopen below.
+        cfg.cadence = None;
+        cfg.incll = false;
+        cfg.sfence_ns = 600;
+        cfg.scoped_flush_ns = Some(1_000_000);
+        cfg.replay_read_ns_per_kb = 600_000;
+        let sys = build_incll(&cfg);
+        let arena = sys.arena.clone();
+        // The open used after each simulated failure: same shape the
+        // store runs with (cadence included, so each segment's driver
+        // comes back up with it).
+        let reopen_options = || {
+            incll::Options::new()
+                .threads(cfg.threads)
+                .log_bytes_per_thread(cfg.log_bytes_per_thread)
+                .incll(cfg.incll)
+                .shards(cfg.shards)
+                .persistence_granularity(cfg.persistence_granularity)
+                .cadence(cadence)
+        };
+        let store = sys.store.clone();
+        drop(sys); // keep exactly one owner; `store` is rebuilt per segment
+        {
+            let sess = store.session().expect("preload session");
+            let val = [7u8; 64];
+            for i in 0..keys {
+                store.put(&sess, &storage_key(i), &val).expect("preload");
+                // No driver is advancing epochs yet: bound the undo tail
+                // (and the per-slot log cursors) by hand.
+                if i % 20_000 == 19_999 {
+                    store.checkpoint();
+                }
+            }
+        }
+        store.checkpoint();
+        drop(store);
+        // Untimed cadenced reopen: segment 1 starts from a clean boundary
+        // with zeroed counters and the mode's own driver.
+        let (s0, _report) = incll::Store::open(&arena, reopen_options()).expect("cadenced open");
+        let mut store = s0;
+
+        // Per-thread generators survive the failures: the rotation and
+        // the RNG streams continue across segments.
+        let mut gens: Vec<(ShiftingHotspot, StdRng)> = (0..threads)
+            .map(|tid| {
+                (
+                    ShiftingHotspot::new(
+                        keys,
+                        CADENCE_SHARDS,
+                        |k| store.shard_of(k),
+                        220_000,
+                        0.7,
+                        128,
+                    ),
+                    StdRng::seed_from_u64(p.seed ^ ((tid as u64) << 17)),
+                )
+            })
+            .collect();
+
+        let (mut total, mut run_secs, mut rec_secs) = (0u64, 0.0f64, 0.0f64);
+        let (mut fired, mut skipped, mut tail_kb) = (0u64, 0u64, 0u64);
+        for _ in 0..CADENCE_SEGMENTS {
+            let stop = AtomicBool::new(false);
+            let puts = AtomicU64::new(0);
+            let t0 = Instant::now();
+            std::thread::scope(|s| {
+                for (hotspot, rng) in gens.iter_mut() {
+                    let store = store.clone();
+                    let stop = &stop;
+                    let puts = &puts;
+                    s.spawn(move || {
+                        let sess = store.session().expect("writer session");
+                        let val = [9u8; 64];
+                        let mut n = 0u64;
+                        while !stop.load(Ordering::Relaxed) {
+                            let idx = hotspot.next_index(rng);
+                            store
+                                .put(&sess, &storage_key(idx), &val)
+                                .expect("fits size class");
+                            n += 1;
+                        }
+                        puts.fetch_add(n, Ordering::Relaxed);
+                    });
+                }
+                std::thread::sleep(seg);
+                // Freeze the cadence *before* quiescing the writers: this
+                // teardown stands in for a power failure, and a backlogged
+                // driver must not spend the sudden idle time on one last
+                // catch-up advance that erases the very undo tail the
+                // reopen below is supposed to replay.
+                store.halt_cadence();
+                stop.store(true, Ordering::Relaxed);
+            });
+            run_secs += t0.elapsed().as_secs_f64();
+            total += puts.load(Ordering::Relaxed);
+
+            // Controller observations at this failure point (counters
+            // reset with the store, so sample before tearing it down).
+            for d in 0..CADENCE_SHARDS {
+                let st = store.shard_stats(d);
+                fired += st.advances_fired;
+                skipped += st.advances_skipped;
+                tail_kb += st.bytes_since_boundary >> 10;
+            }
+            drop(store); // the last owner: the cadence driver stops too
+
+            // Fail + recover: the reopen replays each shard's undo tail
+            // back to its last boundary — the exposure the cadence was
+            // (or wasn't) bounding — and doubles as the next segment's
+            // store.
+            let t0 = Instant::now();
+            let (s2, _report) = incll::Store::open(&arena, reopen_options()).expect("recovery");
+            rec_secs += t0.elapsed().as_secs_f64();
+            store = s2;
+        }
+        drop(store);
+
+        t.push(vec![
+            name,
+            f2(total as f64 / run_secs / 1e6),
+            fired.to_string(),
+            skipped.to_string(),
+            (tail_kb / CADENCE_SEGMENTS as u64).to_string(),
+            ((rec_secs * 1e3) as u64).to_string(),
+            f2(total as f64 / (run_secs + rec_secs) / 1e6),
+        ]);
+    }
+    t.print();
+    t
+}
+
+/// Buffered vs eager external-log persistence on small-value batched
+/// puts: groups of [`GRANULARITY_BATCH`] 64-byte-value updates commit
+/// atomically, so every group stages several pre-image entries plus its
+/// intent, swept over [`GRANULARITY_SWEEP`]. Granularity 0 is the
+/// legacy path — one `clwb`+`sfence` per entry; a nonzero granularity
+/// coalesces the group's entries and the intent's forced drain pays one
+/// `clwb_range`+`sfence` for all of them. With a realistic post-`sfence`
+/// NVM stall, cutting the fences per put is a direct throughput win.
+///
+/// Like [`adaptive_cadence`], runs the external-LOGGING mode so the
+/// append path under test is the one doing the undo logging.
+pub fn persistence_granularity(p: &ExpParams) -> Table {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    use incll_epoch::Cadence;
+    use incll_ycsb::storage_key;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let mut t = Table::new(
+        "Buffered log appends: persistence granularity vs small-value batched put throughput",
+        &["granularity", "put_mops", "fences_per_kop"],
+    );
+    let threads = p.threads.max(2);
+    let run_for = Duration::from_millis(400);
+    let keys = p.keys.clamp(4_000, 200_000);
+
+    for &gran in GRANULARITY_SWEEP {
+        let mut cfg = p.sys_config();
+        cfg.threads = threads;
+        cfg.keys = keys;
+        cfg.epoch_interval = None;
+        // A fixed lazy cadence so every mode pays the same once-per-epoch
+        // relogging; only the append path's flush discipline varies.
+        cfg.cadence = Some(Cadence::lazy(Duration::from_millis(10)));
+        cfg.incll = false;
+        cfg.sfence_ns = 600;
+        cfg.scoped_flush_ns = Some(10_000);
+        cfg.persistence_granularity = gran;
+        let sys = build_incll(&cfg);
+        let store = sys.store.clone();
+        {
+            let sess = store.session().expect("preload session");
+            let val = [7u8; 64];
+            for i in 0..keys {
+                store.put(&sess, &storage_key(i), &val).expect("preload");
+            }
+        }
+        store.checkpoint();
+
+        let before = sys.arena.stats().snapshot();
+        let stop = AtomicBool::new(false);
+        let puts = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for tid in 0..threads {
+                let store = store.clone();
+                let stop = &stop;
+                let puts = &puts;
+                let seed = p.seed;
+                s.spawn(move || {
+                    let sess = store.session().expect("writer session");
+                    let mut rng = StdRng::seed_from_u64(seed ^ ((tid as u64) << 23));
+                    let val = [11u8; 64];
+                    let mut n = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let mut b = sess.batch();
+                        for _ in 0..GRANULARITY_BATCH {
+                            let idx = rng.gen_range(0..keys);
+                            b.put(&storage_key(idx), &val).expect("within batch caps");
+                        }
+                        b.commit().expect("batch commits");
+                        n += GRANULARITY_BATCH as u64;
+                    }
+                    puts.fetch_add(n, Ordering::Relaxed);
+                });
+            }
+            std::thread::sleep(run_for);
+            stop.store(true, Ordering::Relaxed);
+        });
+        let d = sys.arena.stats().snapshot().delta(&before);
+        let total = puts.load(Ordering::Relaxed).max(1);
+        t.push(vec![
+            if gran == 0 {
+                "0 (eager)".into()
+            } else {
+                gran.to_string()
+            },
+            f2(total as f64 / run_for.as_secs_f64() / 1e6),
+            f2(d.sfence as f64 / (total as f64 / 1e3)),
+        ]);
+    }
+    t.print();
+    t
+}

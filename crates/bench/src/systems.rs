@@ -10,7 +10,7 @@
 use std::time::Duration;
 
 use incll::{DurableMasstree, Options, Store};
-use incll_epoch::{AdvanceDriver, EpochManager, EpochOptions, DEFAULT_EPOCH_INTERVAL};
+use incll_epoch::{AdvanceDriver, Cadence, EpochManager, EpochOptions, DEFAULT_EPOCH_INTERVAL};
 use incll_masstree::{AllocMode, Masstree, TransientAlloc};
 use incll_pmem::PArena;
 
@@ -45,6 +45,16 @@ pub struct SystemConfig {
     /// write-back walk over one shard's working set: `wbinvd_ns /
     /// shards`.
     pub scoped_flush_ns: Option<u64>,
+    /// Per-shard checkpoint cadence for the durable system's own driver
+    /// (every shard gets a copy). When set, it takes precedence over
+    /// `epoch_interval` and the store spawns (and owns) the driver.
+    pub cadence: Option<Cadence>,
+    /// External-log staging threshold in bytes (0 = eager per-entry
+    /// flushes, the legacy path).
+    pub persistence_granularity: usize,
+    /// Emulated NVM streaming-read cost replay pays per KB of valid log
+    /// prefix at recovery (0 = free).
+    pub replay_read_ns_per_kb: u64,
 }
 
 impl SystemConfig {
@@ -60,6 +70,9 @@ impl SystemConfig {
             epoch_interval: Some(DEFAULT_EPOCH_INTERVAL),
             shards: 1,
             scoped_flush_ns: None,
+            cadence: None,
+            persistence_granularity: 0,
+            replay_read_ns_per_kb: 0,
         }
     }
 
@@ -160,16 +173,28 @@ pub fn build_incll(cfg: &SystemConfig) -> DurableSystem {
         cfg.scoped_flush_ns
             .unwrap_or(cfg.wbinvd_ns / cfg.shards.max(1) as u64),
     );
-    let options = Options::new()
+    arena
+        .latency()
+        .set_replay_read_ns_per_kb(cfg.replay_read_ns_per_kb);
+    let mut options = Options::new()
         .threads(cfg.threads)
         .log_bytes_per_thread(cfg.log_bytes_per_thread)
         .incll(cfg.incll)
-        .shards(cfg.shards);
+        .shards(cfg.shards)
+        .persistence_granularity(cfg.persistence_granularity);
+    if let Some(c) = cfg.cadence {
+        options = options.cadence(c);
+    }
     let (store, _report) = Store::open(&arena, options).expect("arena sized for the key count");
     let tree = store.masstree().clone();
-    let driver = cfg
-        .epoch_interval
-        .map(|iv| AdvanceDriver::spawn(store.epoch_manager().clone(), iv));
+    // When the store owns a per-shard cadence driver, don't also spawn
+    // the legacy global one.
+    let driver = match cfg.cadence {
+        Some(_) => None,
+        None => cfg
+            .epoch_interval
+            .map(|iv| AdvanceDriver::spawn(store.epoch_manager().clone(), iv)),
+    };
     DurableSystem {
         driver,
         store,

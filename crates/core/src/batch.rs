@@ -325,6 +325,10 @@ impl<'s> WriteBatch<'s> {
             let shard = mask.trailing_zeros() as usize;
             let _pin = self.sess.ctx().pin_shard_mut(shard);
             self.apply(store)?;
+            // The inner facade pins saw an enclosing guard and left their
+            // log entries staged; persist the whole batch's run with one
+            // drain before the pin releases the shard for advances.
+            store.shard_tree(0).inner.log.drain(self.sess.tid(), shard);
             return Ok(0);
         }
 
@@ -361,6 +365,12 @@ impl<'s> WriteBatch<'s> {
         superblock::set_batch_slot(&inner.arena, slot, id, mask);
         table.slots[slot] = (id, mask);
         self.apply(store)?;
+        // As on the fast path: the applies above staged under this
+        // batch's guards, so drain each covered shard once while the
+        // pins still hold its domain open.
+        for &d in &pinned {
+            inner.log.drain(tid, d);
+        }
         Ok(id)
     }
 

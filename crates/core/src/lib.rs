@@ -137,6 +137,60 @@
 //! (and media behavior) exactly: one barrier, one whole-cache flush, one
 //! boundary, one carve frontier.
 //!
+//! # Cadence tuning and persistence granularity
+//!
+//! Two orthogonal knobs trade write-path cost against recovery cost:
+//! *when* each shard checkpoints ([`Options::cadence`]) and *how often*
+//! the external log pays an ordering fence ([`Options::persistence_granularity`]).
+//!
+//! **Checkpoint cadence.** [`Options::cadence`] picks the background
+//! driver's per-shard policy:
+//!
+//! * `Cadence::lazy(interval)` — fixed interval, but a tick whose shard
+//!   logged no bytes since its last boundary is *skipped* (counted in
+//!   [`ShardStats::advances_skipped`], not paid for). Good default for
+//!   read-mostly shards.
+//! * `Cadence::eager(interval)` — fixed interval, always advances.
+//!   Reproduces the paper's unconditional epoch clock.
+//! * `Cadence::adaptive(AdaptiveCadence { min, max, target_dirty_bytes,
+//!   hysteresis })` — each shard picks its own interval inside
+//!   `[min, max]`, aiming to accumulate about `target_dirty_bytes` of
+//!   logged bytes per checkpoint window. The controller starts every
+//!   shard at the geometric midpoint of the clamp, samples the shard's
+//!   write-rate counters every `min` (the observation tick is decoupled
+//!   from the advances themselves), and predicts the bytes the *current*
+//!   interval would accumulate. Predictions inside the dead band
+//!   `[target/2, target]` leave the interval alone; a prediction outside
+//!   it only moves the interval after `hysteresis` consecutive
+//!   same-direction observations, and the move re-targets directly to
+//!   `target_dirty_bytes / observed rate` (clamped to move only in the
+//!   agreed direction, and always inside `[min, max]`). Tightening also
+//!   pulls the shard's next advance deadline forward so a burst is
+//!   bounded promptly. Adaptive shards always skip clean ticks, and a
+//!   dirty shard never waits longer than `max` — the starvation bound.
+//!
+//! The static policies are degenerate adaptive configs (`min == max`
+//! pins the interval), so one code path serves all three. Live per-shard
+//! telemetry — current interval, bytes since boundary, advances fired
+//! and skipped — is one [`Store::shard_stats`] call away, and
+//! [`Store::halt_cadence`] freezes the driver (no further advances)
+//! without consuming the store, for controlled-teardown experiments.
+//!
+//! **Persistence granularity.** With the default
+//! `persistence_granularity(0)`, every external-log append is flushed
+//! and fenced individually — byte-for-byte the legacy write path. A
+//! non-zero granularity stages appends in a per-(thread × shard) buffer
+//! and pays one `clwb` range + `sfence` per `granularity` bytes instead
+//! of per entry, which matters exactly where the paper says it does: on
+//! small-value puts whose fence cost dominates. Crash semantics are
+//! unchanged because every place the log's durability is *observed*
+//! forces a drain first: releasing the outermost epoch pin, committing a
+//! write batch, and the epoch boundary itself (which runs while writers
+//! are quiesced, so a completed checkpoint never leaves staged bytes
+//! behind). A crash between drains can only lose entries from the
+//! still-open epoch — entries a crash could already lose under the
+//! per-entry path, since durability only ever arrives at the boundary.
+//!
 //! # Batch atomicity and crash semantics
 //!
 //! [`Session::batch`] returns a [`WriteBatch`]: a staged set of puts and
@@ -264,7 +318,7 @@ mod tree;
 pub use batch::{WriteBatch, MAX_BATCH_OPS};
 pub use error::{Error, MAX_VALUE_BYTES};
 pub use recovery::{RecoveryReport, ShardReplay};
-pub use store::{Options, RangeScan, Session, Store};
+pub use store::{Options, RangeScan, Session, ShardStats, Store};
 pub use tree::{DCtx, DurableConfig, DurableMasstree, ReadGuard, ValueRef, VALUE_BUF_BYTES};
 
 #[cfg(test)]
@@ -282,6 +336,7 @@ mod tests {
             incll_enabled: true,
             shards: 1,
             recovery_threads: 1,
+            persistence_granularity: 0,
         }
     }
 
@@ -303,6 +358,62 @@ mod tests {
     }
 
     // ---------------- functional (no crash) ----------------
+
+    #[test]
+    fn store_cadence_and_granularity_options_wire_through() {
+        use std::time::Duration;
+        let arena = PArena::builder().capacity_bytes(32 << 20).build().unwrap();
+        let cfg = incll_epoch::AdaptiveCadence {
+            min: Duration::from_millis(2),
+            max: Duration::from_millis(200),
+            target_dirty_bytes: 64 << 10,
+            hysteresis: 2,
+        };
+        let opts = Options::new()
+            .threads(2)
+            .log_bytes_per_thread(1 << 20)
+            .shards(2)
+            .cadence(cfg)
+            .persistence_granularity(4096);
+        let (store, _) = Store::open(&arena, opts).unwrap();
+        let sess = store.session().unwrap();
+        for i in 0..500u64 {
+            store.put_u64(&sess, &i.to_be_bytes(), i);
+        }
+        store.checkpoint();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while store.shard_stats(0).advances_skipped == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        for i in 0..store.shard_count() {
+            let s = store.shard_stats(i);
+            assert!(s.bytes_logged > 0, "shard {i} saw logged bytes");
+            assert_eq!(s.bytes_since_boundary, 0, "checkpoint snapshots bytes");
+            assert!(s.advances_fired >= 1);
+            let iv = s.current_interval.expect("cadence option spawns a driver");
+            assert!(iv >= cfg.min && iv <= cfg.max);
+            assert!(s.epoch >= 2);
+        }
+        assert!(
+            store.shard_stats(0).advances_skipped > 0,
+            "idle shards must be skipped by the adaptive driver"
+        );
+        // Dropping every clone stops the driver with it.
+        let epoch_at_drop = store.shard_stats(0).epoch;
+        drop(sess);
+        drop(store);
+        // No driver thread is left advancing the (still mapped) arena.
+        let (store2, _) = Store::open(
+            &arena,
+            Options::new()
+                .threads(2)
+                .log_bytes_per_thread(1 << 20)
+                .shards(2),
+        )
+        .unwrap();
+        assert!(store2.shard_stats(0).current_interval.is_none());
+        assert!(store2.shard_stats(0).epoch >= epoch_at_drop);
+    }
 
     #[test]
     fn put_get_update_remove() {
@@ -450,6 +561,67 @@ mod tests {
         let got = collect(&tree2, &ctx2);
         let want: Vec<_> = expect.into_iter().collect();
         assert_eq!(got, want, "seed {seed}: must match the checkpoint");
+    }
+
+    #[test]
+    fn crash_with_staged_undo_entries_recovers_to_the_last_boundary() {
+        // A crash landing while undo entries still sit in a DRAM staging
+        // buffer (appended, never drained) must behave as if those entries
+        // were never logged: replay's valid-prefix scan stops at the last
+        // drained entry and the tree recovers to its last completed
+        // boundary.
+        let (arena, tree) = fresh(true);
+        tree.inner.log.set_persistence_granularity(1 << 20);
+        let ctx = tree.thread_ctx(0).unwrap();
+        let mut expect = BTreeMap::new();
+        for i in 0..50u64 {
+            tree.put(&ctx, &i.to_be_bytes(), i);
+            expect.insert(i.to_be_bytes().to_vec(), i);
+        }
+        tree.epoch_manager().advance(); // the boundary to recover to
+
+        // Doomed-epoch work through the ordinary wrappers (each drains
+        // its own entries at return)...
+        for i in 50..60u64 {
+            tree.put(&ctx, &i.to_be_bytes(), i);
+        }
+
+        // ...then one raw entry staged mid-"operation": appended to the
+        // buffer, never drained — exactly the state a crash between an
+        // append and its drain leaves behind. Its durable sentinel target
+        // flips 0xAA → 0xBB; a drained entry would restore 0xAA at
+        // replay, the staged one must leave 0xBB alone.
+        let off = (arena.capacity() as u64) - 4096;
+        arena.pwrite_bytes(off, &[0xAA; 64]);
+        arena.clwb_range(off, 64);
+        arena.sfence();
+        let epoch = tree.epoch_manager().current_epoch_of(0);
+        tree.inner.log.log_object_in(0, 0, epoch, off, 64);
+        assert!(
+            tree.inner.log.staged_bytes(0, 0) >= 64,
+            "the raw append must still be staged"
+        );
+        arena.pwrite_bytes(off, &[0xBB; 64]);
+        arena.clwb_range(off, 64);
+        arena.sfence();
+
+        drop(ctx);
+        drop(tree);
+        // A power failure persisting nothing still in flight: the staged
+        // entry vanishes with the rest of the cache.
+        arena.crash_with(|_, _| 0);
+
+        let (tree2, _) = DurableMasstree::open(&arena, small_config()).unwrap();
+        let ctx2 = tree2.thread_ctx(0).unwrap();
+        let got = collect(&tree2, &ctx2);
+        let want: Vec<_> = expect.into_iter().collect();
+        assert_eq!(got, want, "must recover exactly to the boundary");
+        let mut buf = [0u8; 64];
+        arena.pread_bytes(off, &mut buf);
+        assert_eq!(
+            buf, [0xBB; 64],
+            "the undrained entry must be indistinguishable from never logged"
+        );
     }
 
     #[test]

@@ -50,7 +50,7 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
-use incll_epoch::{EpochManager, Guard};
+use incll_epoch::{AdvanceDriver, Cadence, EpochManager, Guard};
 use incll_pmem::{superblock, PArena};
 
 use crate::error::Error;
@@ -64,6 +64,7 @@ use crate::tree::{DCtx, DurableConfig, DurableMasstree, ValueRef};
 #[derive(Debug, Clone)]
 pub struct Options {
     config: DurableConfig,
+    cadence: Option<Cadence>,
 }
 
 impl Options {
@@ -71,6 +72,7 @@ impl Options {
     pub fn new() -> Self {
         Options {
             config: DurableConfig::default(),
+            cadence: None,
         }
     }
 
@@ -122,6 +124,37 @@ impl Options {
     #[must_use]
     pub fn recovery_threads(mut self, workers: usize) -> Self {
         self.config.recovery_threads = workers.max(1);
+        self
+    }
+
+    /// Background checkpoint cadence: [`Store::open`] spawns an
+    /// [`incll_epoch::AdvanceDriver`] applying this policy to **every**
+    /// shard's epoch domain, and the store owns the driver for its
+    /// lifetime (it stops when the last clone drops). Accepts a
+    /// [`Cadence`], an [`incll_epoch::DomainCadence`] (static), or an
+    /// [`incll_epoch::AdaptiveCadence`] (the measured controller) — see
+    /// the crate docs' "Cadence tuning and persistence granularity".
+    ///
+    /// Without this option no driver is spawned (today's behavior):
+    /// checkpoints come from explicit [`Store::checkpoint`] /
+    /// [`Store::checkpoint_shard`] calls or a driver the caller manages
+    /// on [`Store::epoch_manager`].
+    #[must_use]
+    pub fn cadence(mut self, cadence: impl Into<Cadence>) -> Self {
+        self.cadence = Some(cadence.into());
+        self
+    }
+
+    /// External-log batched-persistence threshold in bytes
+    /// ([`DurableConfig::persistence_granularity`]): 0 (the default)
+    /// keeps the paper's eager per-entry `clwb`+`sfence`; a nonzero value
+    /// coalesces appends into one flush+fence per that many staged bytes
+    /// — or fewer, at every mutating operation's return and every
+    /// checkpoint boundary, so crash semantics are unchanged. Purely a
+    /// runtime knob: any value opens any v5 media.
+    #[must_use]
+    pub fn persistence_granularity(mut self, bytes: usize) -> Self {
+        self.config.persistence_granularity = bytes;
         self
     }
 
@@ -264,6 +297,10 @@ pub struct Store {
     /// (epoch manager, allocator, arena).
     shards: Vec<DurableMasstree>,
     slots: Arc<SlotPool>,
+    /// The background cadence driver [`Options::cadence`] asked for
+    /// (`None` without that option). Shared by every clone; the driver
+    /// stops when the last clone drops.
+    driver: Option<Arc<AdvanceDriver>>,
 }
 
 impl Store {
@@ -315,8 +352,21 @@ impl Store {
             (tree, report)
         };
         let slots = SlotPool::new(tree.allocator().threads());
-        let shards = (0..tree.shard_count()).map(|i| tree.shard(i)).collect();
-        Ok((Store { shards, slots }, report))
+        let shards: Vec<DurableMasstree> = (0..tree.shard_count()).map(|i| tree.shard(i)).collect();
+        let driver = options.cadence.map(|c| {
+            Arc::new(AdvanceDriver::spawn_per_domain(
+                tree.epoch_manager().clone(),
+                vec![c; shards.len()],
+            ))
+        });
+        Ok((
+            Store {
+                shards,
+                slots,
+                driver,
+            },
+            report,
+        ))
     }
 
     /// Acquires a session slot from the bounded pool.
@@ -577,6 +627,20 @@ impl Store {
         self.shards[0].epoch_manager().advance_domain(shard)
     }
 
+    /// Permanently stops the background cadence driver, if
+    /// [`Options::cadence`] spawned one (no-op otherwise): no further
+    /// automatic checkpoints fire on any shard, while explicit
+    /// [`Store::checkpoint`] / [`Store::checkpoint_shard`] keep working.
+    /// For controlled teardowns: a crash-measurement harness freezes the
+    /// cadence *before* quiescing its writers, so a backlogged driver
+    /// can't spend the sudden idle time on a final catch-up advance that
+    /// erases the undo exposure the harness is about to measure.
+    pub fn halt_cadence(&self) {
+        if let Some(d) = &self.driver {
+            d.halt();
+        }
+    }
+
     /// The epoch authority driving fine-grain checkpoints (shared by every
     /// shard).
     pub fn epoch_manager(&self) -> &EpochManager {
@@ -601,6 +665,29 @@ impl Store {
     /// The shard index `key` routes to (stable across restarts).
     pub fn shard_of(&self, key: &[u8]) -> usize {
         crate::tree::shard_of(key, self.shards.len())
+    }
+
+    /// Checkpoint observability for shard `i`: the write-rate counters an
+    /// adaptive cadence controller steers by ([`ShardStats::bytes_logged`]
+    /// and friends), plus the shard's current epoch and — when
+    /// [`Options::cadence`] spawned the store's driver — the interval the
+    /// controller is currently running the shard at.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.shard_count()`.
+    pub fn shard_stats(&self, i: usize) -> ShardStats {
+        assert!(i < self.shards.len(), "shard out of range");
+        let mgr = self.epoch_manager();
+        let c = mgr.domain_counters(i);
+        ShardStats {
+            epoch: mgr.current_epoch_of(i),
+            bytes_logged: c.bytes_logged,
+            bytes_since_boundary: c.bytes_since_boundary,
+            advances_fired: c.advances_fired,
+            advances_skipped: c.advances_skipped,
+            current_interval: self.driver.as_ref().and_then(|d| d.current_interval(i)),
+        }
     }
 
     /// Shard `i`'s tree handle (crate-internal: batch commit and recovery
@@ -629,6 +716,30 @@ impl Store {
     pub fn masstree(&self) -> &DurableMasstree {
         &self.shards[0]
     }
+}
+
+/// One shard's checkpoint observability snapshot ([`Store::shard_stats`]).
+///
+/// The counter fields come from the shard's epoch domain
+/// ([`incll_epoch::EpochManager::domain_counters`]); they are what an
+/// [`incll_epoch::AdaptiveCadence`] controller observes per window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// The shard's current epoch.
+    pub epoch: u64,
+    /// Lifetime bytes externally logged under this shard's domain.
+    pub bytes_logged: u64,
+    /// Bytes logged since the shard's last completed checkpoint.
+    pub bytes_since_boundary: u64,
+    /// Checkpoints completed on this shard (driver ticks plus explicit
+    /// [`Store::checkpoint`]/[`Store::checkpoint_shard`] calls).
+    pub advances_fired: u64,
+    /// Driver ticks skipped because the shard was clean (the dirty-work
+    /// heuristic of lazy and adaptive cadences).
+    pub advances_skipped: u64,
+    /// The interval the store's cadence driver currently runs this shard
+    /// at; `None` when the store was opened without [`Options::cadence`].
+    pub current_interval: Option<Duration>,
 }
 
 impl std::fmt::Debug for Store {

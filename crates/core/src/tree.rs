@@ -72,6 +72,14 @@ pub struct DurableConfig {
     /// set (so a whole test suite can be rerun under parallel recovery),
     /// else 1.
     pub recovery_threads: usize,
+    /// External-log batched-persistence threshold in bytes; 0 (the
+    /// default) keeps the paper's per-entry `clwb`+`sfence` protocol
+    /// byte-for-byte. With a nonzero value, log appends stage and one
+    /// flush+fence covers each `persistence_granularity` bytes — or less,
+    /// at every mutating-operation return and every checkpoint boundary
+    /// (whichever comes first), so crash semantics are unchanged. A
+    /// runtime knob only: no on-media layout difference at any value.
+    pub persistence_granularity: usize,
 }
 
 /// The default for [`DurableConfig::recovery_threads`]: the
@@ -92,6 +100,7 @@ impl Default for DurableConfig {
             incll_enabled: true,
             shards: 1,
             recovery_threads: default_recovery_threads(),
+            persistence_granularity: 0,
         }
     }
 }
@@ -406,6 +415,7 @@ impl DurableMasstree {
             config.log_bytes_per_thread,
             config.shards,
         )?;
+        log.set_persistence_granularity(config.persistence_granularity as u64);
         let alloc = PAlloc::create_sharded(arena, config.threads, config.shards)?;
         let epoch = mgr.current_epoch();
 
@@ -491,6 +501,14 @@ impl DurableMasstree {
                 d,
                 Box::new(move |finishing_epoch| {
                     if let Some(inner) = weak.upgrade() {
+                        // Checkpoint boundaries force a log drain: the
+                        // finishing epoch's entries must be durable before
+                        // its checkpoint completes. Normally a no-op —
+                        // every mutating wrapper drains at pin release —
+                        // but mid-level callers bypassing the wrappers are
+                        // still covered here (writers are quiesced, so the
+                        // sweep is race-free).
+                        inner.log.drain_domain(d);
                         if !superblock::failed_epochs_for(&inner.arena, d).is_empty() {
                             DurableMasstree::shard_handle(&inner, d).sweep_recover();
                             inner.alloc.normalize_lists(d, finishing_epoch);
@@ -690,8 +708,17 @@ impl DurableMasstree {
         let (g, _s) = self.enter_mut(ctx);
         let epoch = g.epoch();
         // SAFETY: as for `get`.
-        unsafe { self.put_inner(ctx, epoch, key, &val.to_le_bytes(), read_value_u64) }
-            .expect("arena full")
+        let out = unsafe { self.put_inner(ctx, epoch, key, &val.to_le_bytes(), read_value_u64) }
+            .expect("arena full");
+        // Under batched log persistence, staging must not outlive the
+        // shard's outermost pin (see `ExtLog::set_persistence_granularity`):
+        // drain here unless an enclosing guard — a write batch's
+        // commit pin — still holds the domain open and will drain once
+        // for every op it covers.
+        if g.is_outermost() {
+            self.inner.log.drain(ctx.tid, self.shard_id);
+        }
+        out
     }
 
     /// Inserts or updates `key` with a byte-slice value (fresh size-classed
@@ -718,7 +745,12 @@ impl DurableMasstree {
         let (g, _s) = self.enter_mut(ctx);
         let epoch = g.epoch();
         // SAFETY: as for `get`.
-        unsafe { self.put_inner(ctx, epoch, key, val, read_value_bytes) }
+        let out = unsafe { self.put_inner(ctx, epoch, key, val, read_value_bytes) };
+        // Drain semantics as for `put`: outermost pin only.
+        if g.is_outermost() {
+            self.inner.log.drain(ctx.tid, self.shard_id);
+        }
+        out
     }
 
     /// Removes `key`, returning whether it was present.
@@ -726,7 +758,12 @@ impl DurableMasstree {
         let (g, _s) = self.enter_mut(ctx);
         let epoch = g.epoch();
         // SAFETY: as for `get`.
-        unsafe { self.remove_inner(ctx, epoch, key) }
+        let out = unsafe { self.remove_inner(ctx, epoch, key) };
+        // Drain semantics as for `put`: outermost pin only.
+        if g.is_outermost() {
+            self.inner.log.drain(ctx.tid, self.shard_id);
+        }
+        out
     }
 
     /// Scans at most `limit` keys ≥ `start` in order, passing each `u64`
@@ -862,6 +899,9 @@ impl DurableMasstree {
         self.inner
             .log
             .log_object_in(tid, self.shard_id, epoch, node, NODE_BYTES);
+        self.inner
+            .mgr
+            .note_logged_bytes(self.shard_id, NODE_BYTES as u64);
     }
 
     /// `InCLL()` for permutation-only mutations (insert/remove).
@@ -966,6 +1006,9 @@ impl DurableMasstree {
             self.inner
                 .log
                 .log_object_in(tid, self.shard_id, epoch, holder, HOLDER_BYTES);
+            self.inner
+                .mgr
+                .note_logged_bytes(self.shard_id, HOLDER_BYTES as u64);
             a.pwrite_u64_release(holder + 8, epoch);
         }
     }

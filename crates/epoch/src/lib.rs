@@ -32,8 +32,11 @@
 //!   heuristic ([`EpochManager::domain_dirty`]).
 //! * [`AdvanceDriver`] — a background thread advancing on a timer, like
 //!   the paper's 64 ms cadence; [`AdvanceDriver::spawn_per_domain`] gives
-//!   every domain an independent cadence ([`DomainCadence`]), optionally
-//!   skipping domains with no dirty work.
+//!   every domain an independent policy ([`Cadence`]): a fixed
+//!   [`DomainCadence`] (optionally skipping domains with no dirty work)
+//!   or an [`AdaptiveCadence`] controller that follows each domain's
+//!   measured write rate ([`EpochManager::domain_counters`]) between
+//!   `min` and `max`, with hysteresis damping.
 //!
 //! # Example
 //!
@@ -59,8 +62,8 @@
 mod driver;
 mod manager;
 
-pub use driver::{AdvanceDriver, DomainCadence};
-pub use manager::{AdvanceHook, EpochManager, EpochOptions, Guard, ThreadHandle};
+pub use driver::{AdaptiveCadence, AdvanceDriver, Cadence, DomainCadence};
+pub use manager::{AdvanceHook, DomainCounters, EpochManager, EpochOptions, Guard, ThreadHandle};
 
 /// The paper's epoch length: 64 ms (Masstree's reclamation interval, §4).
 pub const DEFAULT_EPOCH_INTERVAL: std::time::Duration = std::time::Duration::from_millis(64);

@@ -76,6 +76,32 @@ struct DomainState {
     hooks: Mutex<Vec<AdvanceHook>>,
     /// Completed advances of this domain (the dirty-work clock).
     seq: AtomicU64,
+    /// Lifetime bytes externally logged under this domain
+    /// ([`EpochManager::note_logged_bytes`]) — the write-rate signal an
+    /// adaptive cadence controller diffs per observation window.
+    bytes_logged: AtomicU64,
+    /// `bytes_logged` snapshot at this domain's last completed advance.
+    boundary_bytes: AtomicU64,
+    /// Advances completed / ticks skipped as clean (driver-reported).
+    advances_fired: AtomicU64,
+    advances_skipped: AtomicU64,
+}
+
+/// A snapshot of one domain's write-rate counters
+/// ([`EpochManager::domain_counters`]): the observations an adaptive
+/// checkpoint-cadence controller steers by, and what
+/// `Store::shard_stats` surfaces per shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DomainCounters {
+    /// Lifetime bytes externally logged under this domain.
+    pub bytes_logged: u64,
+    /// Bytes logged since the domain's last completed advance — the
+    /// domain's *current* dirty-work estimate.
+    pub bytes_since_boundary: u64,
+    /// Advances this domain completed.
+    pub advances_fired: u64,
+    /// Driver ticks skipped because the domain was clean.
+    pub advances_skipped: u64,
 }
 
 struct Shared {
@@ -146,6 +172,10 @@ impl EpochManager {
                     pre_flush_hooks: Mutex::new(Vec::new()),
                     hooks: Mutex::new(Vec::new()),
                     seq: AtomicU64::new(0),
+                    bytes_logged: AtomicU64::new(0),
+                    boundary_bytes: AtomicU64::new(0),
+                    advances_fired: AtomicU64::new(0),
+                    advances_skipped: AtomicU64::new(0),
                 }
             })
             .collect();
@@ -344,6 +374,9 @@ impl EpochManager {
         for hook in dom.hooks.lock().iter() {
             hook(new_epoch);
         }
+        dom.advances_fired.fetch_add(1, Ordering::Relaxed);
+        dom.boundary_bytes
+            .store(dom.bytes_logged.load(Ordering::Relaxed), Ordering::Relaxed);
         dom.seq.fetch_add(1, Ordering::Release);
 
         // Resume this domain's world.
@@ -366,6 +399,38 @@ impl EpochManager {
             .iter()
             .filter(|s| !s.dead.load(Ordering::Acquire))
             .any(|s| s.wrote[d].load(Ordering::Relaxed) == seq)
+    }
+
+    /// Credits `n` externally-logged bytes to domain `d` — the cheap
+    /// write-rate signal (one relaxed add) the logging path feeds and an
+    /// adaptive cadence controller ([`crate::AdaptiveCadence`]) consumes.
+    #[inline]
+    pub fn note_logged_bytes(&self, d: usize, n: u64) {
+        self.shared.domains[d]
+            .bytes_logged
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records that a driver tick skipped advancing domain `d` because it
+    /// was clean (pairs with the fired count bumped by
+    /// [`EpochManager::advance_domain`]).
+    #[inline]
+    pub fn note_advance_skipped(&self, d: usize) {
+        self.shared.domains[d]
+            .advances_skipped
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A snapshot of domain `d`'s write-rate counters.
+    pub fn domain_counters(&self, d: usize) -> DomainCounters {
+        let dom = &self.shared.domains[d];
+        let bytes = dom.bytes_logged.load(Ordering::Relaxed);
+        DomainCounters {
+            bytes_logged: bytes,
+            bytes_since_boundary: bytes.saturating_sub(dom.boundary_bytes.load(Ordering::Relaxed)),
+            advances_fired: dom.advances_fired.load(Ordering::Relaxed),
+            advances_skipped: dom.advances_skipped.load(Ordering::Relaxed),
+        }
     }
 
     /// Number of live registered threads (for diagnostics).
@@ -536,6 +601,16 @@ impl Guard<'_> {
     #[inline]
     pub fn domain(&self) -> usize {
         self.domain
+    }
+
+    /// Whether this is the thread's **outermost** live pin on its domain
+    /// (no enclosing guard). Pins are re-entrant; deferred per-pin work —
+    /// such as draining a staged log run before the domain may advance —
+    /// belongs to the outermost guard only, since inner guards release
+    /// while the domain is still held open.
+    #[inline]
+    pub fn is_outermost(&self) -> bool {
+        self.handle.depth[self.domain].get() == 1
     }
 
     /// The owning manager.
@@ -872,6 +947,29 @@ mod tests {
         assert!(!mgr.domain_dirty(1), "advance resets the dirty signal");
         drop(h.pin_domain_mut(1));
         assert!(mgr.domain_dirty(1));
+    }
+
+    #[test]
+    fn domain_counters_track_bytes_and_advances_per_domain() {
+        let mgr = durable_mgr_domains(2);
+        assert_eq!(mgr.domain_counters(0), DomainCounters::default());
+        mgr.note_logged_bytes(0, 100);
+        mgr.note_logged_bytes(0, 28);
+        mgr.note_logged_bytes(1, 7);
+        let c0 = mgr.domain_counters(0);
+        assert_eq!(c0.bytes_logged, 128);
+        assert_eq!(c0.bytes_since_boundary, 128);
+        assert_eq!(c0.advances_fired, 0);
+        mgr.advance_domain(0);
+        let c0 = mgr.domain_counters(0);
+        assert_eq!(c0.bytes_logged, 128, "lifetime count survives advances");
+        assert_eq!(c0.bytes_since_boundary, 0, "the boundary resets the window");
+        assert_eq!(c0.advances_fired, 1);
+        // Domain 1 is untouched by domain 0's advance.
+        assert_eq!(mgr.domain_counters(1).bytes_since_boundary, 7);
+        mgr.note_advance_skipped(1);
+        assert_eq!(mgr.domain_counters(1).advances_skipped, 1);
+        assert_eq!(mgr.domain_counters(0).advances_skipped, 0);
     }
 
     #[test]

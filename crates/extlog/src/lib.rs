@@ -26,6 +26,19 @@
 //! until the first post-recovery checkpoint (the paper: "if the system
 //! crashes before recovery is complete, it can be applied again").
 //!
+//! # Batched persistence
+//!
+//! Step 2's per-entry `clwb`+`sfence` is the default, but the fence cost
+//! dominates small entries. [`ExtLog::set_persistence_granularity`]
+//! switches appends to a **staged** protocol: entries accumulate in
+//! their (thread, domain) buffer and one `clwb_range`+`sfence` covers
+//! the whole run per `granularity` bytes — or earlier, at an explicit
+//! [`ExtLog::drain`] (issued by the owning layer whenever a mutating pin
+//! is released) or the domain's boundary ([`ExtLog::drain_domain`]).
+//! Crash semantics are unchanged: an un-drained entry is
+//! indistinguishable from one never logged, and the epoch rolls back to
+//! the last boundary either way.
+//!
 //! # Epoch domains
 //!
 //! Under per-shard epoch domains the log region is subdivided into one
@@ -73,6 +86,14 @@ fn pack_len(len: u64, tag: u16) -> u64 {
 /// Per-thread append state, padded to avoid false sharing.
 #[repr(align(64))]
 struct Cursor(AtomicU64);
+
+/// Start of a slot's **staged** (appended but not yet persisted) byte
+/// range, which always ends at the slot's cursor. `staged == cursor`
+/// means the slot is fully drained. Only meaningful under a nonzero
+/// [`ExtLog::set_persistence_granularity`]; the eager path keeps it
+/// pinned to the cursor.
+#[repr(align(64))]
+struct Staged(AtomicU64);
 
 /// Per-tag replay totals (see [`ExtLog::log_object_tagged`]).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -181,6 +202,11 @@ pub struct ExtLog {
     domains: usize,
     /// One cursor per (thread, domain), thread-major.
     cursors: Vec<Cursor>,
+    /// One staged-range start per (thread, domain), thread-major.
+    staged: Vec<Staged>,
+    /// Batched-persistence threshold in bytes; 0 = eager per-entry
+    /// `clwb`+`sfence` (the legacy protocol, byte-for-byte).
+    granularity: AtomicU64,
 }
 
 impl ExtLog {
@@ -274,7 +300,91 @@ impl ExtLog {
             cursors: (0..threads * domains)
                 .map(|_| Cursor(AtomicU64::new(0)))
                 .collect(),
+            staged: (0..threads * domains)
+                .map(|_| Staged(AtomicU64::new(0)))
+                .collect(),
+            granularity: AtomicU64::new(0),
         }
+    }
+
+    /// Sets the batched-persistence threshold: with `bytes == 0` (the
+    /// default) every append is made durable individually before it
+    /// returns — the paper's per-entry `clwb`+`sfence` protocol,
+    /// byte-for-byte. With `bytes > 0`, appends **stage**: entries
+    /// accumulate in their (thread, domain) buffer and one
+    /// `clwb_range`+`sfence` covers the whole staged run once it reaches
+    /// `bytes` — or earlier, at an explicit [`ExtLog::drain`] (the owning
+    /// layer calls it at every mutating-pin release) or the domain's
+    /// epoch boundary ([`ExtLog::drain_domain`]).
+    ///
+    /// Crash semantics are unchanged: an un-drained entry is
+    /// indistinguishable from one never logged — replay's valid-prefix
+    /// scan stops at it — and the epoch still rolls back to the last
+    /// boundary. Batch **intents** ([`ExtLog::log_intent_in`]) always
+    /// drain immediately (the staged run up to and including the intent),
+    /// because the batch-commit protocol needs them durable *and*
+    /// reachable through the prefix scan before the commit record.
+    ///
+    /// Set once, before appends begin (the store wires it from its open
+    /// options); it is not meant to be toggled mid-stream.
+    pub fn set_persistence_granularity(&self, bytes: u64) {
+        self.granularity.store(bytes, Ordering::Relaxed);
+    }
+
+    /// The current batched-persistence threshold (0 = eager).
+    pub fn persistence_granularity(&self) -> u64 {
+        self.granularity.load(Ordering::Relaxed)
+    }
+
+    /// Bytes appended to `(thread, domain)`'s buffer but not yet
+    /// persisted (staged behind the granularity threshold).
+    pub fn staged_bytes(&self, thread: usize, domain: usize) -> u64 {
+        let slot = self.slot_index(thread, domain);
+        self.cursors[slot]
+            .0
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.staged[slot].0.load(Ordering::Relaxed))
+    }
+
+    /// Persists `(thread, domain)`'s staged run, if any: one
+    /// `clwb_range` over it plus one `sfence`. The owning layer calls
+    /// this when a mutating pin is released, so staging never outlives
+    /// the operation that produced it. No-op when fully drained (in
+    /// particular, always, under eager granularity 0).
+    pub fn drain(&self, thread: usize, domain: usize) {
+        let slot = self.slot_index(thread, domain);
+        if self.drain_clwb(slot) {
+            self.arena.sfence();
+        }
+    }
+
+    /// Persists every thread's staged run in `domain` — the domain's
+    /// epoch-boundary drain (writers are quiesced there, so the sweep is
+    /// race-free). All slots' `clwb`s share a single trailing `sfence`.
+    pub fn drain_domain(&self, domain: usize) {
+        let mut any = false;
+        for t in 0..self.threads {
+            any |= self.drain_clwb(self.slot_index(t, domain));
+        }
+        if any {
+            self.arena.sfence();
+        }
+    }
+
+    /// Issues the `clwb_range` for `slot`'s staged run and marks it
+    /// drained; returns whether anything was staged. The caller owns the
+    /// trailing `sfence`.
+    fn drain_clwb(&self, slot: usize) -> bool {
+        let cur = self.cursors[slot].0.load(Ordering::Relaxed);
+        let start = self.staged[slot].0.load(Ordering::Relaxed);
+        if start >= cur {
+            return false;
+        }
+        let slot_base = self.region + (slot as u64) * self.per_slot;
+        self.arena
+            .clwb_range(slot_base + start, (cur - start) as usize);
+        self.staged[slot].0.store(cur, Ordering::Relaxed);
+        true
     }
 
     /// Number of per-thread slots.
@@ -414,17 +524,53 @@ impl ExtLog {
         self.arena.pwrite_u64(base + 16, len_word);
         self.arena.pwrite_u64(base + 24, sum);
 
-        // Seal: entry durable before the caller's modification.
-        self.arena.clwb_range(base, (HEADER as usize) + len);
-        self.arena.sfence();
-
-        self.cursors[slot].0.store(cur + need, Ordering::Relaxed);
+        // Seal: eagerly (durable before the caller's modification) or by
+        // staging behind the persistence-granularity threshold — see
+        // `seal_entry` for why a staged entry is still crash-safe.
+        self.seal_entry(slot, base, len, cur, need, false);
         self.arena.stats().add_ext_logged(len as u64);
+    }
+
+    /// Completes an appended entry's durability protocol and publishes
+    /// the slot cursor.
+    ///
+    /// Eager (granularity 0): `clwb` the entry, `sfence`, exactly the
+    /// legacy per-entry protocol. Buffered (granularity > 0): the entry
+    /// joins the slot's staged run, and one `clwb_range`+`sfence` covers
+    /// the whole run once it reaches the threshold (or immediately, with
+    /// `force` — the intent path). A crash while an entry is merely
+    /// staged is safe because the *caller's contract moves*: under
+    /// buffering the owning layer drains before releasing the mutating
+    /// pin, so the un-drained window only spans crash points where the
+    /// guarded modification is itself still unflushed — the epoch rolls
+    /// back to the last boundary and the entry is indistinguishable from
+    /// one never logged.
+    fn seal_entry(&self, slot: usize, base: u64, len: usize, cur: u64, need: u64, force: bool) {
+        let gran = self.granularity.load(Ordering::Relaxed);
+        if gran == 0 {
+            self.arena.clwb_range(base, (HEADER as usize) + len);
+            self.arena.sfence();
+            self.cursors[slot].0.store(cur + need, Ordering::Relaxed);
+            // Keep the staged mark pinned to the cursor so a later switch
+            // of drain paths never re-flushes eager history.
+            self.staged[slot].0.store(cur + need, Ordering::Relaxed);
+            return;
+        }
+        self.cursors[slot].0.store(cur + need, Ordering::Relaxed);
+        let start = self.staged[slot].0.load(Ordering::Relaxed);
+        let staged = cur + need - start;
+        if force || staged >= gran {
+            let slot_base = self.region + (slot as u64) * self.per_slot;
+            self.arena.clwb_range(slot_base + start, staged as usize);
+            self.arena.sfence();
+            self.staged[slot].0.store(cur + need, Ordering::Relaxed);
+        }
     }
 
     /// [`ExtLog::append`] twinned for a DRAM-sourced payload: intents are
     /// staged from the caller's batch description, not copied out of the
-    /// arena. Same entry format, same durability protocol.
+    /// arena. Same entry format; durability is always immediate (see
+    /// [`ExtLog::set_persistence_granularity`] on why intents drain).
     fn append_slice(&self, slot: usize, epoch: u64, target: u64, payload: &[u8], tag: u16) {
         let len = payload.len();
         let need = HEADER + ((len as u64 + 7) & !7);
@@ -447,10 +593,10 @@ impl ExtLog {
         self.arena.pwrite_u64(base + 16, len_word);
         self.arena.pwrite_u64(base + 24, sum);
 
-        self.arena.clwb_range(base, (HEADER as usize) + len);
-        self.arena.sfence();
-
-        self.cursors[slot].0.store(cur + need, Ordering::Relaxed);
+        // Intents force a drain of the staged run up to and including
+        // this entry: the batch protocol needs the intent reachable
+        // through the valid-prefix scan before the commit record lands.
+        self.seal_entry(slot, base, len, cur, need, true);
         self.arena.stats().add_ext_logged(len as u64);
     }
 
@@ -458,8 +604,9 @@ impl ExtLog {
     /// single-domain store, after the checkpoint flush has made every
     /// pre-image obsolete).
     pub fn reset(&self) {
-        for c in &self.cursors {
+        for (c, s) in self.cursors.iter().zip(&self.staged) {
             c.0.store(0, Ordering::Relaxed);
+            s.0.store(0, Ordering::Relaxed);
         }
     }
 
@@ -468,9 +615,9 @@ impl ExtLog {
     /// while other domains' still-at-risk entries are untouched.
     pub fn reset_domain(&self, domain: usize) {
         for t in 0..self.threads {
-            self.cursors[self.slot_index(t, domain)]
-                .0
-                .store(0, Ordering::Relaxed);
+            let slot = self.slot_index(t, domain);
+            self.cursors[slot].0.store(0, Ordering::Relaxed);
+            self.staged[slot].0.store(0, Ordering::Relaxed);
         }
     }
 
@@ -604,6 +751,9 @@ impl ExtLog {
                 cur += HEADER + ((len + 7) & !7);
             }
             self.cursors[slot].0.store(cur, Ordering::Relaxed);
+            // The surviving prefix is durable by construction; nothing is
+            // staged behind it.
+            self.staged[slot].0.store(cur, Ordering::Relaxed);
             report.scan_stopped_at.push(cur);
             // Emulated NVM device time for streaming this buffer's valid
             // prefix (no-op unless the latency model configures a rate;
@@ -1126,6 +1276,119 @@ mod tests {
         let r = log2.replay_domain(0, 1, 1);
         assert_eq!(r.intents.len(), 1, "sealed intent must survive a crash");
         assert_eq!(r.intents[0].payload, b"durable-intent");
+    }
+
+    #[test]
+    fn buffered_appends_coalesce_fences() {
+        // Same append sequence, eager vs granularity 4096: buffered must
+        // issue strictly fewer sfences, and a drain must make the whole
+        // run replayable.
+        let count_fences = |gran: u64| {
+            let arena = PArena::builder().capacity_bytes(1 << 20).build().unwrap();
+            superblock::format(&arena);
+            let log = ExtLog::create_sharded(&arena, 1, 32 * 1024, 2).unwrap();
+            log.set_persistence_granularity(gran);
+            let obj = arena.carve(64, 64).unwrap();
+            let before = arena.stats().snapshot().sfence;
+            for i in 0..16 {
+                arena.pwrite_u64(obj, i);
+                log.log_object_in(0, 1, 1, obj, 64);
+            }
+            arena.pwrite_u64(obj, 0xDEAD);
+            log.drain(0, 1);
+            assert_eq!(log.staged_bytes(0, 1), 0, "drain leaves nothing staged");
+            let fences = arena.stats().snapshot().sfence - before;
+            let r = log.replay_domain(1, 1, 1);
+            assert_eq!(r.entries_applied, 16, "drained run must fully replay");
+            // In-order replay leaves the last entry's pre-image.
+            assert_eq!(arena.pread_u64(obj), 15);
+            fences
+        };
+        let eager = count_fences(0);
+        let buffered = count_fences(4096);
+        assert_eq!(eager, 16, "eager mode fences per entry");
+        assert!(
+            buffered < eager,
+            "buffered ({buffered} fences) must coalesce below eager ({eager})"
+        );
+    }
+
+    #[test]
+    fn staged_entries_flush_at_the_granularity_threshold() {
+        let arena = PArena::builder().capacity_bytes(1 << 20).build().unwrap();
+        superblock::format(&arena);
+        let log = ExtLog::create(&arena, 1, 32 * 1024).unwrap();
+        log.set_persistence_granularity(256);
+        let obj = arena.carve(64, 64).unwrap();
+        arena.pwrite_u64(obj, 1);
+        // One 64-byte entry occupies HEADER + 64 = 96 bytes: two stage,
+        // the third crosses 256 and flushes the whole run.
+        log.log_object(0, 1, obj, 64);
+        assert_eq!(log.staged_bytes(0, 0), 96);
+        log.log_object(0, 1, obj, 64);
+        assert_eq!(log.staged_bytes(0, 0), 192);
+        log.log_object(0, 1, obj, 64);
+        assert_eq!(log.staged_bytes(0, 0), 0, "threshold crossing drains");
+        // Intents force a drain regardless of the threshold.
+        log.log_object(0, 1, obj, 64);
+        assert_eq!(log.staged_bytes(0, 0), 96);
+        log.log_intent_in(0, 0, 1, 5, b"op");
+        assert_eq!(log.staged_bytes(0, 0), 0, "intent drains the run");
+    }
+
+    #[test]
+    fn undrained_entry_is_indistinguishable_from_never_logged() {
+        // Crash with a non-empty staging buffer: the drained prefix
+        // replays, the staged tail does not — exactly the last-boundary
+        // rollback contract.
+        let arena = PArena::builder()
+            .capacity_bytes(1 << 20)
+            .tracked(true)
+            .build()
+            .unwrap();
+        superblock::format(&arena);
+        arena.global_flush();
+        let log = ExtLog::create(&arena, 1, 32 * 1024).unwrap();
+        log.set_persistence_granularity(1 << 20);
+        let a = arena.carve(64, 64).unwrap();
+        let b = arena.carve(64, 64).unwrap();
+        arena.pwrite_u64(a, 11);
+        log.log_object(0, 1, a, 64);
+        log.drain(0, 0); // a's entry durable
+        arena.pwrite_u64(a, 12);
+        arena.pwrite_u64(b, 21);
+        log.log_object(0, 1, b, 64); // staged only
+        assert!(log.staged_bytes(0, 0) > 0);
+        arena.crash_seeded(7);
+        let log2 = ExtLog::open(&arena);
+        let r = log2.replay(1, 1);
+        assert_eq!(r.entries_applied, 1, "only the drained entry survives");
+        assert_eq!(arena.pread_u64(a), 11, "drained pre-image restored");
+    }
+
+    #[test]
+    fn granularity_zero_matches_legacy_flush_traffic() {
+        // `persistence_granularity(0)` must reproduce today's per-entry
+        // protocol byte-for-byte: identical clwb/sfence counts and
+        // identical durable bytes versus a log never touched by the knob.
+        let run = |set_zero: bool| {
+            let arena = PArena::builder().capacity_bytes(1 << 20).build().unwrap();
+            superblock::format(&arena);
+            let log = ExtLog::create(&arena, 1, 32 * 1024).unwrap();
+            if set_zero {
+                log.set_persistence_granularity(0);
+            }
+            let obj = arena.carve(320, 64).unwrap();
+            fill(&arena, obj, 100);
+            for _ in 0..8 {
+                log.log_object(0, 1, obj, 320);
+            }
+            log.log_intent_in(0, 0, 1, 3, b"op");
+            log.drain(0, 0); // must be a no-op when eager
+            let s = arena.stats().snapshot();
+            (s.clwb, s.sfence, log.used(0))
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //!
 //! * [`zipf`] — Zipfian (θ = 0.99) and scrambled-Zipfian generators;
 //! * [`workload`] — the operation mixes and key mapping;
+//! * [`shift`] — a skew-shifting variant whose Zipfian hotspot rotates
+//!   across shards (for adaptive-cadence experiments);
 //! * [`runner`] — a multi-threaded load/run driver generic over the
 //!   three systems under test via [`runner::KvBench`].
 //!
@@ -33,6 +35,7 @@
 //! ```
 
 pub mod runner;
+pub mod shift;
 pub mod workload;
 pub mod zipf;
 
@@ -40,5 +43,6 @@ pub use runner::{
     load, run, run_full, run_with_reads, run_with_writes, KvBench, ReadMode, RunConfig, RunResult,
     WriteMode,
 };
+pub use shift::ShiftingHotspot;
 pub use workload::{storage_key, Dist, Mix, Op, OpStream};
 pub use zipf::{ScrambledZipfian, Zipfian};

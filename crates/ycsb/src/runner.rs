@@ -439,6 +439,7 @@ mod tests {
                 incll_enabled: true,
                 shards: 1,
                 recovery_threads: 1,
+                persistence_granularity: 0,
             },
         )
         .unwrap();

@@ -12,11 +12,12 @@
 /// One-stop imports for examples and integration tests.
 pub mod prelude {
     pub use incll::{
-        Error, Options, RangeScan, ReadGuard, RecoveryReport, Session, ShardReplay, Store,
-        ValueRef, WriteBatch, MAX_BATCH_OPS, MAX_VALUE_BYTES,
+        Error, Options, RangeScan, ReadGuard, RecoveryReport, Session, ShardReplay, ShardStats,
+        Store, ValueRef, WriteBatch, MAX_BATCH_OPS, MAX_VALUE_BYTES,
     };
     pub use incll_epoch::{
-        AdvanceDriver, DomainCadence, EpochManager, EpochOptions, DEFAULT_EPOCH_INTERVAL,
+        AdaptiveCadence, AdvanceDriver, Cadence, DomainCadence, DomainCounters, EpochManager,
+        EpochOptions, DEFAULT_EPOCH_INTERVAL,
     };
     pub use incll_masstree::{AllocMode, Masstree, TransientAlloc, TreeCtx};
     pub use incll_pmem::{PArena, PPtr, StatsSnapshot};

@@ -57,11 +57,16 @@ fn tracked() -> PArena {
 }
 
 fn options(shards: usize, workers: usize) -> Options {
+    options_g(shards, workers, 0)
+}
+
+fn options_g(shards: usize, workers: usize, gran: usize) -> Options {
     Options::new()
         .threads(1)
         .log_bytes_per_thread(1 << 20)
         .shards(shards)
         .recovery_threads(workers)
+        .persistence_granularity(gran)
 }
 
 /// Deterministic variable-length value: spans the small/medium classes.
@@ -140,6 +145,7 @@ fn run_cell(
     point: CrashPoint,
     mid_workers: usize,
     final_workers: usize,
+    gran: usize,
 ) -> CellOutcome {
     let arena = tracked();
     // Per-shard epoch mirror: create leaves every shard at epoch 1; every
@@ -148,7 +154,7 @@ fn run_cell(
     let mut working: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
     let mut expect: BTreeMap<Vec<u8>, Vec<u8>>;
 
-    let (store, r) = Store::open(&arena, options(shards, mid_workers)).unwrap();
+    let (store, r) = Store::open(&arena, options_g(shards, mid_workers, gran)).unwrap();
     assert!(r.created);
     {
         let sess = store.session().unwrap();
@@ -214,7 +220,7 @@ fn run_cell(
             drop(sess);
             drop(store);
             arena.crash_seeded(0xA11CE ^ shards as u64);
-            let (store2, r2) = Store::open(&arena, options(shards, mid_workers)).unwrap();
+            let (store2, r2) = Store::open(&arena, options_g(shards, mid_workers, gran)).unwrap();
             assert!(!r2.created);
             for e in &mut epochs {
                 *e += 1;
@@ -228,7 +234,7 @@ fn run_cell(
             // phase and the final crash.
             drop(store);
             arena.crash_seeded(0xD00D ^ shards as u64);
-            let (store2, r2) = Store::open(&arena, options(shards, mid_workers)).unwrap();
+            let (store2, r2) = Store::open(&arena, options_g(shards, mid_workers, gran)).unwrap();
             assert!(!r2.created);
             for e in &mut epochs {
                 *e += 1;
@@ -259,7 +265,7 @@ fn run_cell(
     }
 
     // The measured recovery: the cell's worker count.
-    let (store, report) = Store::open(&arena, options(shards, final_workers)).unwrap();
+    let (store, report) = Store::open(&arena, options_g(shards, final_workers, gran)).unwrap();
     assert!(!report.created);
     assert_eq!(
         report.parallel_workers,
@@ -327,7 +333,7 @@ fn run_matrix(point: CrashPoint) {
         // claim at the model level (the byte-level twin is below).
         let mut baseline: Option<CellOutcome> = None;
         for &workers in WORKER_SWEEP {
-            let out = run_cell(shards, point, 1, workers);
+            let out = run_cell(shards, point, 1, workers, 0);
             if let Some(base) = &baseline {
                 assert_eq!(
                     base.expect, out.expect,
@@ -380,10 +386,14 @@ struct BatchCell {
 /// `final_workers` and reports contents, batch-resolution counters, and
 /// the full-arena digest.
 fn run_batch_cell(shards: usize, commit: bool, final_workers: usize) -> BatchCell {
+    run_batch_cell_g(shards, commit, final_workers, 0)
+}
+
+fn run_batch_cell_g(shards: usize, commit: bool, final_workers: usize, gran: usize) -> BatchCell {
     let arena = tracked();
     let mut expect: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
 
-    let (store, r) = Store::open(&arena, options(shards, 1)).unwrap();
+    let (store, r) = Store::open(&arena, options_g(shards, 1, gran)).unwrap();
     assert!(r.created);
     {
         let sess = store.session().unwrap();
@@ -433,7 +443,7 @@ fn run_batch_cell(shards: usize, commit: bool, final_workers: usize) -> BatchCel
     drop(store);
     arena.crash_seeded(0xBA7C4 ^ shards as u64 ^ u64::from(commit));
 
-    let (store, report) = Store::open(&arena, options(shards, final_workers)).unwrap();
+    let (store, report) = Store::open(&arena, options_g(shards, final_workers, gran)).unwrap();
     assert!(!report.created);
     let redone: u64 = report.per_shard.iter().map(|s| s.batches_redone).sum();
     let dropped: u64 = report.per_shard.iter().map(|s| s.batches_dropped).sum();
@@ -617,6 +627,69 @@ fn recovered_store_stays_writable_and_durable_at_every_cell_shape() {
             let sess = store.session().unwrap();
             assert_eq!(store.get(&sess, b"after").as_deref(), Some(&b"alive"[..]));
             assert_eq!(store.get(&sess, &0u64.to_be_bytes()), Some(bval(0)));
+        }
+    }
+}
+
+/// The batched-append knob must be invisible to crash recovery: every
+/// matrix crash point, re-run with `persistence_granularity` ∈ {0, 256,
+/// 4096} and recovery workers ∈ {1, 4}, must land on the identical
+/// per-shard model, the identical per-shard report, and the identical
+/// arena bytes as the eager (granularity 0, sequential) baseline. The
+/// histories crash only at quiescent points, where every staging buffer
+/// has drained — exactly the guarantee the buffered path makes.
+#[test]
+fn granularity_sweep_recovers_byte_identical() {
+    const GRAN_SWEEP: &[usize] = &[0, 256, 4096];
+    for &point in CRASH_POINTS {
+        let baseline = run_cell(4, point, 1, 1, 0);
+        for &gran in GRAN_SWEEP {
+            for &workers in &[1usize, 4] {
+                if gran == 0 && workers == 1 {
+                    continue; // the baseline itself
+                }
+                let out = run_cell(4, point, 1, workers, gran);
+                assert_eq!(
+                    baseline.expect, out.expect,
+                    "{point:?} gran={gran} workers={workers}: model must not \
+                     depend on the persistence granularity"
+                );
+                assert_eq!(
+                    baseline.per_shard, out.per_shard,
+                    "{point:?} gran={gran} workers={workers}: per-shard \
+                     epochs/replay must not depend on the granularity"
+                );
+                assert_eq!(
+                    baseline.digest, out.digest,
+                    "{point:?} gran={gran} workers={workers}: buffered \
+                     appends must leave byte-identical recovered media"
+                );
+            }
+        }
+    }
+}
+
+/// The in-doubt-batch shapes under the same sweep: staged and committed
+/// cross-shard batches must resolve identically at every granularity.
+#[test]
+fn granularity_sweep_preserves_batch_resolution() {
+    for commit in [false, true] {
+        let baseline = run_batch_cell_g(4, commit, 1, 0);
+        for &gran in &[256usize, 4096] {
+            for &workers in &[1usize, 4] {
+                let out = run_batch_cell_g(4, commit, workers, gran);
+                assert_eq!(baseline.got, out.got, "commit={commit} gran={gran}");
+                assert_eq!(
+                    (baseline.redone, baseline.dropped),
+                    (out.redone, out.dropped),
+                    "commit={commit} gran={gran} workers={workers}"
+                );
+                assert_eq!(
+                    baseline.digest, out.digest,
+                    "commit={commit} gran={gran} workers={workers}: batch \
+                     resolution must be byte-identical at every granularity"
+                );
+            }
         }
     }
 }

@@ -162,13 +162,23 @@ fn open_store(arena: &PArena, shards: usize) -> Store {
 }
 
 fn open_store_with(arena: &PArena, shards: usize, workers: usize) -> (Store, RecoveryReport) {
+    open_store_with_g(arena, shards, workers, 0)
+}
+
+fn open_store_with_g(
+    arena: &PArena,
+    shards: usize,
+    workers: usize,
+    gran: usize,
+) -> (Store, RecoveryReport) {
     Store::open(
         arena,
         Options::new()
             .threads(1)
             .log_bytes_per_thread(1 << 20)
             .shards(shards)
-            .recovery_threads(workers),
+            .recovery_threads(workers)
+            .persistence_granularity(gran),
     )
     .unwrap()
 }
@@ -184,6 +194,14 @@ fn shard_strategy() -> impl Strategy<Value = usize> {
 /// model-checked under both sequential (1) and parallel recovery.
 fn worker_strategy() -> impl Strategy<Value = usize> {
     prop_oneof![Just(1usize), Just(2), Just(4)]
+}
+
+/// Persistence granularities the crash properties sweep: 0 is the eager
+/// legacy path (one fence per entry), 256 forces frequent threshold
+/// drains, 4096 leaves most drains to op boundaries. Crash semantics
+/// must not depend on the choice.
+fn granularity_strategy() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(0usize), Just(256), Just(4096)]
 }
 
 /// Applies `op` to both the store and the model.
@@ -282,13 +300,14 @@ proptest! {
         crash_seed in any::<u64>(),
         shards in shard_strategy(),
         workers in worker_strategy(),
+        gran in granularity_strategy(),
     ) {
         let arena = PArena::builder()
             .capacity_bytes(32 << 20)
             .tracked(true)
             .build()
             .unwrap();
-        let store = open_store(&arena, shards);
+        let store = open_store_with_g(&arena, shards, 1, gran).0;
         let mut model: BTreeMap<u8, Vec<u8>> = BTreeMap::new();
         {
             let sess = store.session().unwrap();
@@ -308,7 +327,7 @@ proptest! {
         }
         drop(store);
         arena.crash_seeded(crash_seed);
-        let (store, report) = open_store_with(&arena, shards, workers);
+        let (store, report) = open_store_with_g(&arena, shards, workers, gran);
         prop_assert_eq!(report.parallel_workers, workers.min(shards));
         let sess = store.session().unwrap();
         let scanned: Vec<(u8, Vec<u8>)> = store.iter(&sess).map(|(k, v)| (k[0], v)).collect();
@@ -358,13 +377,14 @@ proptest! {
         crash_seed in any::<u64>(),
         shards in shard_strategy(),
         workers in worker_strategy(),
+        gran in granularity_strategy(),
     ) {
         let arena = PArena::builder()
             .capacity_bytes(32 << 20)
             .tracked(true)
             .build()
             .unwrap();
-        let store = open_store(&arena, shards);
+        let store = open_store_with_g(&arena, shards, 1, gran).0;
         let mut working: BTreeMap<u8, Vec<u8>> = BTreeMap::new();
         let mut advances_done = vec![0u64; shards];
         let expect = {
@@ -394,7 +414,7 @@ proptest! {
         drop(store);
         arena.crash_seeded(crash_seed);
 
-        let (store, report) = open_store_with(&arena, shards, workers);
+        let (store, report) = open_store_with_g(&arena, shards, workers, gran);
         // Each shard's failed epoch is exactly its own advance history:
         // epoch 1 at create, +1 for the common barrier, +1 per
         // checkpoint_shard. True at every recovery worker count.
@@ -487,6 +507,7 @@ proptest! {
         crash_seed in any::<u64>(),
         shards in shard_strategy(),
         workers in prop_oneof![Just(1usize), Just(4)],
+        gran in granularity_strategy(),
     ) {
         use std::collections::BTreeSet;
 
@@ -495,7 +516,7 @@ proptest! {
             .tracked(true)
             .build()
             .unwrap();
-        let store = open_store(&arena, shards);
+        let store = open_store_with_g(&arena, shards, 1, gran).0;
         let mut base_model: BTreeMap<u8, Vec<u8>> = BTreeMap::new();
         let mut done: Vec<BatchDone> = Vec::new();
         {
@@ -550,7 +571,7 @@ proptest! {
         drop(store);
         arena.crash_seeded(crash_seed);
 
-        let (store, report) = open_store_with(&arena, shards, workers);
+        let (store, report) = open_store_with_g(&arena, shards, workers, gran);
         prop_assert_eq!(report.parallel_workers, workers.min(shards));
 
         // The model: a batch's ops survive iff it committed AND either it
