@@ -1528,12 +1528,16 @@ pub fn adaptive_cadence(p: &ExpParams) -> Table {
 
 /// Buffered vs eager external-log persistence on small-value batched
 /// puts: groups of [`GRANULARITY_BATCH`] 64-byte-value updates commit
-/// atomically, so every group stages several pre-image entries plus its
-/// intent, swept over [`GRANULARITY_SWEEP`]. Granularity 0 is the
-/// legacy path — one `clwb`+`sfence` per entry; a nonzero granularity
-/// coalesces the group's entries and the intent's forced drain pays one
-/// `clwb_range`+`sfence` for all of them. With a realistic post-`sfence`
-/// NVM stall, cutting the fences per put is a direct throughput win.
+/// atomically, so every group stages one intent entry per op, swept
+/// over [`GRANULARITY_SWEEP`]. Granularity 0 is the legacy path — one
+/// `clwb`+`sfence` per intent; a nonzero granularity stages the group's
+/// intents and the commit's pre-record drain pays one
+/// `clwb_range`+`sfence` per shard for all of them. Undo pre-images are
+/// *not* part of the batching: they seal before the modification they
+/// guard at every granularity (the write-ahead invariant), so both
+/// modes pay identical fences on that path. With a realistic
+/// post-`sfence` NVM stall, cutting the per-intent fences is a direct
+/// throughput win.
 ///
 /// Like [`adaptive_cadence`], runs the external-LOGGING mode so the
 /// append path under test is the one doing the undo logging.
@@ -1564,6 +1568,10 @@ pub fn persistence_granularity(p: &ExpParams) -> Table {
         cfg.incll = false;
         cfg.sfence_ns = 600;
         cfg.scoped_flush_ns = Some(10_000);
+        // Cross-shard batches are the batchable path: a single-shard
+        // store commits on the intent-free fast path, where a nonzero
+        // granularity has (by design) nothing left to coalesce.
+        cfg.shards = 4;
         cfg.persistence_granularity = gran;
         let sys = build_incll(&cfg);
         let store = sys.store.clone();

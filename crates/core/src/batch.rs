@@ -324,11 +324,10 @@ impl<'s> WriteBatch<'s> {
             // of its single shard — crash-atomic with no media additions.
             let shard = mask.trailing_zeros() as usize;
             let _pin = self.sess.ctx().pin_shard_mut(shard);
+            // The inner facade paths seal their own undo entries before
+            // each modification (write-ahead), so nothing is left staged
+            // when the pin releases the shard for advances.
             self.apply(store)?;
-            // The inner facade pins saw an enclosing guard and left their
-            // log entries staged; persist the whole batch's run with one
-            // drain before the pin releases the shard for advances.
-            store.shard_tree(0).inner.log.drain(self.sess.tid(), shard);
             return Ok(0);
         }
 
@@ -355,6 +354,16 @@ impl<'s> WriteBatch<'s> {
                 .log
                 .log_intent_in(tid, s, guards[g].epoch(), id, &op.encode());
         }
+        // Under a nonzero persistence granularity the intents above are
+        // merely staged: drain each covered shard's run now, so every
+        // intent is durable — and reachable through replay's
+        // valid-prefix scan — before anything durable can name the
+        // batch id. This is the batched-append payoff: one
+        // `clwb_range`+`sfence` per shard covers the whole group
+        // instead of one fence per intent.
+        for &d in &pinned {
+            inner.log.drain(tid, d);
+        }
         if !commit {
             // Intents durable, commit record absent: the in-doubt state
             // the crash matrix probes. The id was consumed (monotonicity
@@ -364,13 +373,10 @@ impl<'s> WriteBatch<'s> {
         // The atomicity point: one durable slot write.
         superblock::set_batch_slot(&inner.arena, slot, id, mask);
         table.slots[slot] = (id, mask);
+        // The applies seal their own undo entries before each
+        // modification (write-ahead), so nothing is left staged when the
+        // pins release the shards for advances.
         self.apply(store)?;
-        // As on the fast path: the applies above staged under this
-        // batch's guards, so drain each covered shard once while the
-        // pins still hold its domain open.
-        for &d in &pinned {
-            inner.log.drain(tid, d);
-        }
         Ok(id)
     }
 

@@ -179,17 +179,24 @@
 //! **Persistence granularity.** With the default
 //! `persistence_granularity(0)`, every external-log append is flushed
 //! and fenced individually — byte-for-byte the legacy write path. A
-//! non-zero granularity stages appends in a per-(thread × shard) buffer
-//! and pays one `clwb` range + `sfence` per `granularity` bytes instead
-//! of per entry, which matters exactly where the paper says it does: on
-//! small-value puts whose fence cost dominates. Crash semantics are
-//! unchanged because every place the log's durability is *observed*
-//! forces a drain first: releasing the outermost epoch pin, committing a
-//! write batch, and the epoch boundary itself (which runs while writers
-//! are quiesced, so a completed checkpoint never leaves staged bytes
-//! behind). A crash between drains can only lose entries from the
-//! still-open epoch — entries a crash could already lose under the
-//! per-entry path, since durability only ever arrives at the boundary.
+//! non-zero granularity batches the appends that can tolerate it.
+//! Which ones can is dictated by the write-ahead invariant: an undo
+//! pre-image guards an in-place node modification performed the moment
+//! the append returns, and a crash may persist *any* dirty line — the
+//! modified node included — so the pre-image must be durable before the
+//! modification is issued. Undo entries therefore **always seal before
+//! return**, at every granularity (a non-zero granularity only changes
+//! the seal from a per-entry `clwb` to one `clwb` range + `sfence` over
+//! the slot's staged run). What a non-zero granularity defers is batch
+//! *intent* entries, which guard nothing until their batch's commit
+//! record lands: a [`Session::batch`] stages one intent per op and pays
+//! one `clwb` range + `sfence` per shard — issued before the commit
+//! record — instead of one fence per intent, which is where the fence
+//! cost of small-value batched puts actually concentrates. Crash
+//! semantics are unchanged: a staged intent lost in a crash belongs to
+//! a batch with no commit record, which recovery drops either way, and
+//! the epoch boundary drains every buffer while writers are quiesced,
+//! so a completed checkpoint never leaves staged bytes behind.
 //!
 //! # Batch atomicity and crash semantics
 //!
@@ -564,12 +571,12 @@ mod tests {
     }
 
     #[test]
-    fn crash_with_staged_undo_entries_recovers_to_the_last_boundary() {
-        // A crash landing while undo entries still sit in a DRAM staging
-        // buffer (appended, never drained) must behave as if those entries
-        // were never logged: replay's valid-prefix scan stops at the last
-        // drained entry and the tree recovers to its last completed
-        // boundary.
+    fn crash_with_staged_intents_recovers_to_the_last_boundary() {
+        // A crash landing while a batch's intent entries still sit in a
+        // DRAM staging buffer (appended, never drained) must behave as if
+        // they were never staged: replay's valid-prefix scan stops at the
+        // last sealed entry, the batch has no commit record, and the tree
+        // recovers to its last completed boundary.
         let (arena, tree) = fresh(true);
         tree.inner.log.set_persistence_granularity(1 << 20);
         let ctx = tree.thread_ctx(0).unwrap();
@@ -580,35 +587,26 @@ mod tests {
         }
         tree.epoch_manager().advance(); // the boundary to recover to
 
-        // Doomed-epoch work through the ordinary wrappers (each drains
-        // its own entries at return)...
+        // Doomed-epoch work through the ordinary wrappers (each seals
+        // its own undo entries before the guarded modification)...
         for i in 50..60u64 {
             tree.put(&ctx, &i.to_be_bytes(), i);
         }
 
-        // ...then one raw entry staged mid-"operation": appended to the
-        // buffer, never drained — exactly the state a crash between an
-        // append and its drain leaves behind. Its durable sentinel target
-        // flips 0xAA → 0xBB; a drained entry would restore 0xAA at
-        // replay, the staged one must leave 0xBB alone.
-        let off = (arena.capacity() as u64) - 4096;
-        arena.pwrite_bytes(off, &[0xAA; 64]);
-        arena.clwb_range(off, 64);
-        arena.sfence();
+        // ...then raw intents staged mid-"commit": appended to the
+        // buffer, never drained — exactly the state a crash between a
+        // batch's intent phase and its drain leaves behind.
         let epoch = tree.epoch_manager().current_epoch_of(0);
-        tree.inner.log.log_object_in(0, 0, epoch, off, 64);
+        tree.inner.log.log_intent_in(0, 0, epoch, 999, b"staged-op");
         assert!(
-            tree.inner.log.staged_bytes(0, 0) >= 64,
-            "the raw append must still be staged"
+            tree.inner.log.staged_bytes(0, 0) > 0,
+            "the raw intent must still be staged"
         );
-        arena.pwrite_bytes(off, &[0xBB; 64]);
-        arena.clwb_range(off, 64);
-        arena.sfence();
 
         drop(ctx);
         drop(tree);
         // A power failure persisting nothing still in flight: the staged
-        // entry vanishes with the rest of the cache.
+        // intent vanishes with the rest of the cache.
         arena.crash_with(|_, _| 0);
 
         let (tree2, _) = DurableMasstree::open(&arena, small_config()).unwrap();
@@ -616,12 +614,76 @@ mod tests {
         let got = collect(&tree2, &ctx2);
         let want: Vec<_> = expect.into_iter().collect();
         assert_eq!(got, want, "must recover exactly to the boundary");
-        let mut buf = [0u8; 64];
-        arena.pread_bytes(off, &mut buf);
-        assert_eq!(
-            buf, [0xBB; 64],
-            "the undrained entry must be indistinguishable from never logged"
-        );
+    }
+
+    #[test]
+    fn crash_persisting_nodes_but_dropping_log_lines_recovers_to_the_boundary() {
+        // The write-ahead-undo invariant, probed adversarially: the
+        // chooser persists EVERY in-flight store except those landing in
+        // the external-log region, which it drops wholesale. If any undo
+        // entry were merely staged (unsealed) when its guarded node
+        // modification happened, this crash would persist the modified
+        // node while erasing its pre-image, and recovery could not roll
+        // the node back to the boundary. Runs the LOGGING ablation (InCLL
+        // off) so every node's first modification per epoch takes the
+        // external-log path, swept over eager and buffered granularities.
+        for gran in [0usize, 256, 4096] {
+            let arena = PArena::builder()
+                .capacity_bytes(32 << 20)
+                .tracked(true)
+                .build()
+                .unwrap();
+            superblock::format(&arena);
+            let mut cfg = small_config();
+            cfg.incll_enabled = false;
+            cfg.persistence_granularity = gran;
+            let tree = DurableMasstree::create(&arena, cfg.clone()).unwrap();
+            let ctx = tree.thread_ctx(0).unwrap();
+            let mut expect = BTreeMap::new();
+            for i in 0..80u64 {
+                tree.put(&ctx, &i.to_be_bytes(), i);
+                expect.insert(i.to_be_bytes().to_vec(), i);
+            }
+            tree.epoch_manager().advance(); // the boundary to recover to
+
+            // Doomed epoch: in-place updates and fresh inserts, every
+            // one externally logged (InCLL is off).
+            for i in 0..100u64 {
+                tree.put(&ctx, &i.to_be_bytes(), i + 1000);
+            }
+            drop(ctx);
+            drop(tree);
+
+            // The log region, straight from the superblock descriptor.
+            let lo = arena.pread_u64(superblock::SB_EXTLOG_OFF);
+            let threads = arena.pread_u64(superblock::SB_EXTLOG_THREADS);
+            let per_slot = arena.pread_u64(superblock::SB_EXTLOG_PER_THREAD);
+            let domains = arena.pread_u64(superblock::SB_EXTLOG_DOMAINS).max(1);
+            let hi = lo + per_slot * threads * domains;
+            assert!(lo != 0 && hi > lo, "log descriptor must be present");
+            // Sealed entries live in the durable base and are untouched
+            // by the chooser; only unsealed (staged) log bytes can be
+            // dropped — exactly the eviction pattern that breaks a
+            // protocol which defers undo durability past the mutation.
+            arena.crash_with(|line, n| {
+                let off = line * 64;
+                if off >= lo && off < hi {
+                    0
+                } else {
+                    n
+                }
+            });
+
+            let (tree2, _) = DurableMasstree::open(&arena, cfg).unwrap();
+            let ctx2 = tree2.thread_ctx(0).unwrap();
+            let got = collect(&tree2, &ctx2);
+            let want: Vec<_> = expect.into_iter().collect();
+            assert_eq!(
+                got, want,
+                "gran={gran}: adversarial eviction must still recover \
+                 exactly to the boundary"
+            );
+        }
     }
 
     #[test]

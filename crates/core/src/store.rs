@@ -147,10 +147,12 @@ impl Options {
 
     /// External-log batched-persistence threshold in bytes
     /// ([`DurableConfig::persistence_granularity`]): 0 (the default)
-    /// keeps the paper's eager per-entry `clwb`+`sfence`; a nonzero value
-    /// coalesces appends into one flush+fence per that many staged bytes
-    /// — or fewer, at every mutating operation's return and every
-    /// checkpoint boundary, so crash semantics are unchanged. Purely a
+    /// keeps the paper's eager per-entry `clwb`+`sfence`; a nonzero
+    /// value coalesces a [`Session::batch`]'s *intent* entries into one
+    /// flush+fence per that many staged bytes — or fewer, at the commit
+    /// (before its record) and at every checkpoint boundary. Undo
+    /// pre-images always seal before the modification they guard
+    /// (write-ahead), so crash semantics are unchanged. Purely a
     /// runtime knob: any value opens any v5 media.
     #[must_use]
     pub fn persistence_granularity(mut self, bytes: usize) -> Self {

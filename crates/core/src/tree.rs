@@ -74,11 +74,13 @@ pub struct DurableConfig {
     pub recovery_threads: usize,
     /// External-log batched-persistence threshold in bytes; 0 (the
     /// default) keeps the paper's per-entry `clwb`+`sfence` protocol
-    /// byte-for-byte. With a nonzero value, log appends stage and one
-    /// flush+fence covers each `persistence_granularity` bytes — or less,
-    /// at every mutating-operation return and every checkpoint boundary
-    /// (whichever comes first), so crash semantics are unchanged. A
-    /// runtime knob only: no on-media layout difference at any value.
+    /// byte-for-byte. With a nonzero value, batch *intent* entries stage
+    /// and one flush+fence covers each `persistence_granularity` bytes —
+    /// or less, at a batch commit (before its record) and at every
+    /// checkpoint boundary. Undo pre-images are **never** deferred: they
+    /// seal before the modification they guard, at every granularity, so
+    /// crash semantics are unchanged. A runtime knob only: no on-media
+    /// layout difference at any value.
     pub persistence_granularity: usize,
 }
 
@@ -504,10 +506,11 @@ impl DurableMasstree {
                         // Checkpoint boundaries force a log drain: the
                         // finishing epoch's entries must be durable before
                         // its checkpoint completes. Normally a no-op —
-                        // every mutating wrapper drains at pin release —
-                        // but mid-level callers bypassing the wrappers are
-                        // still covered here (writers are quiesced, so the
-                        // sweep is race-free).
+                        // undo entries seal themselves and the batch layer
+                        // drains its staged intents before its commit
+                        // record — but mid-level callers staging raw
+                        // intents are still covered here (writers are
+                        // quiesced, so the sweep is race-free).
                         inner.log.drain_domain(d);
                         if !superblock::failed_epochs_for(&inner.arena, d).is_empty() {
                             DurableMasstree::shard_handle(&inner, d).sweep_recover();
@@ -710,14 +713,9 @@ impl DurableMasstree {
         // SAFETY: as for `get`.
         let out = unsafe { self.put_inner(ctx, epoch, key, &val.to_le_bytes(), read_value_u64) }
             .expect("arena full");
-        // Under batched log persistence, staging must not outlive the
-        // shard's outermost pin (see `ExtLog::set_persistence_granularity`):
-        // drain here unless an enclosing guard — a write batch's
-        // commit pin — still holds the domain open and will drain once
-        // for every op it covers.
-        if g.is_outermost() {
-            self.inner.log.drain(ctx.tid, self.shard_id);
-        }
+        // No drain on exit: every undo entry the operation appended was
+        // sealed before its guarded modification (see `log_node`), at
+        // every persistence granularity.
         out
     }
 
@@ -746,10 +744,7 @@ impl DurableMasstree {
         let epoch = g.epoch();
         // SAFETY: as for `get`.
         let out = unsafe { self.put_inner(ctx, epoch, key, val, read_value_bytes) };
-        // Drain semantics as for `put`: outermost pin only.
-        if g.is_outermost() {
-            self.inner.log.drain(ctx.tid, self.shard_id);
-        }
+        // No drain on exit — as for `put`: undo entries seal themselves.
         out
     }
 
@@ -759,10 +754,7 @@ impl DurableMasstree {
         let epoch = g.epoch();
         // SAFETY: as for `get`.
         let out = unsafe { self.remove_inner(ctx, epoch, key) };
-        // Drain semantics as for `put`: outermost pin only.
-        if g.is_outermost() {
-            self.inner.log.drain(ctx.tid, self.shard_id);
-        }
+        // No drain on exit — as for `put`: undo entries seal themselves.
         out
     }
 
@@ -891,10 +883,17 @@ impl DurableMasstree {
     // The InCLL engine (Listing 3)
     // ==================================================================
 
-    /// Logs the leaf image externally (sealed before return) into this
-    /// shard's (thread, domain) buffer, tagged with the shard id, so the
-    /// shard's recovery replays — and its boundary discards — exactly its
-    /// own entries.
+    /// Logs the node image externally into this shard's (thread, domain)
+    /// buffer, tagged with the shard id, so the shard's recovery replays
+    /// — and its boundary discards — exactly its own entries.
+    ///
+    /// The entry is **sealed before return at every persistence
+    /// granularity**: callers publish `meta::LOGGED` and mutate the node
+    /// in place the moment this returns, and a crash may persist any
+    /// dirty line of that mutation, so the pre-image must already be
+    /// durable (write-ahead). Under a nonzero granularity the seal is
+    /// one `clwb_range`+`sfence` over the slot's whole staged run — any
+    /// batch intents staged ahead of this entry share its fence.
     fn log_node(&self, tid: usize, epoch: u64, node: u64) {
         self.inner
             .log

@@ -317,13 +317,14 @@ impl AdvanceDriver {
                 // every `min`, independent of their advances, so a domain
                 // that turns hot is noticed within O(min) rather than at
                 // the end of a relaxed interval already in flight. Static
-                // domains never observe.
-                let far = now + Duration::from_secs(365 * 24 * 3600);
-                let mut observe_at: Vec<Instant> = cadences
+                // domains never observe: `None`, skipped by the selection
+                // loop (a time-based sentinel would eventually become the
+                // permanently-earliest deadline and livelock the driver).
+                let mut observe_at: Vec<Option<Instant>> = cadences
                     .iter()
                     .map(|c| match c {
-                        Cadence::Adaptive(a) => now + a.min,
-                        Cadence::Static(_) => far,
+                        Cadence::Adaptive(a) => Some(now + a.min),
+                        Cadence::Static(_) => None,
                     })
                     .collect();
                 loop {
@@ -338,8 +339,10 @@ impl AdvanceDriver {
                         }
                     }
                     for (i, &t) in observe_at.iter().enumerate() {
-                        if t < deadline {
-                            (d, deadline, observation) = (i, t, true);
+                        if let Some(t) = t {
+                            if t < deadline {
+                                (d, deadline, observation) = (i, t, true);
+                            }
                         }
                     }
                     loop {
@@ -415,7 +418,7 @@ impl AdvanceDriver {
                                 }
                             }
                             let next = deadline + a.min;
-                            observe_at[d] = if next > now { next } else { now + a.min };
+                            observe_at[d] = Some(if next > now { next } else { now + a.min });
                         }
                     } else {
                         if !ctl.skip_clean || mgr.domain_dirty(d) {

@@ -30,14 +30,29 @@
 //!
 //! Step 2's per-entry `clwb`+`sfence` is the default, but the fence cost
 //! dominates small entries. [`ExtLog::set_persistence_granularity`]
-//! switches appends to a **staged** protocol: entries accumulate in
-//! their (thread, domain) buffer and one `clwb_range`+`sfence` covers
-//! the whole run per `granularity` bytes — or earlier, at an explicit
-//! [`ExtLog::drain`] (issued by the owning layer whenever a mutating pin
-//! is released) or the domain's boundary ([`ExtLog::drain_domain`]).
-//! Crash semantics are unchanged: an un-drained entry is
-//! indistinguishable from one never logged, and the epoch rolls back to
-//! the last boundary either way.
+//! enables a **staged** protocol for the entries that can tolerate it.
+//! Which entries can is fixed by the write-ahead invariant above: an
+//! undo entry guards an in-place modification the caller performs the
+//! moment the append returns, and any dirty line may be evicted — i.e.
+//! persisted — at a crash, so the pre-image must be durable *before*
+//! the modification is even issued. Undo appends therefore always
+//! complete step 2 before returning, at every granularity. What a
+//! nonzero granularity changes is *how*: the append seals the slot's
+//! whole staged run (this entry plus anything staged before it) with
+//! one `clwb_range`+`sfence`, so entries that guard nothing yet can
+//! share the guarded entry's fence.
+//!
+//! The entries that guard nothing yet are batch **intents**
+//! ([`ExtLog::log_intent_in`]): an intent describes an operation whose
+//! guarded store — the batch's commit record — has not happened when
+//! the intent is appended. Under a nonzero granularity intents
+//! accumulate in their (thread, domain) buffer and one
+//! `clwb_range`+`sfence` covers the run per `granularity` bytes — or
+//! earlier, at the explicit [`ExtLog::drain`] the batch layer issues
+//! before flushing the commit record, or the domain's boundary
+//! ([`ExtLog::drain_domain`]). Crash semantics are unchanged: an
+//! un-drained intent is indistinguishable from one never staged, and a
+//! batch with no durable commit record is dropped either way.
 //!
 //! # Epoch domains
 //!
@@ -310,20 +325,27 @@ impl ExtLog {
     /// Sets the batched-persistence threshold: with `bytes == 0` (the
     /// default) every append is made durable individually before it
     /// returns — the paper's per-entry `clwb`+`sfence` protocol,
-    /// byte-for-byte. With `bytes > 0`, appends **stage**: entries
-    /// accumulate in their (thread, domain) buffer and one
-    /// `clwb_range`+`sfence` covers the whole staged run once it reaches
-    /// `bytes` — or earlier, at an explicit [`ExtLog::drain`] (the owning
-    /// layer calls it at every mutating-pin release) or the domain's
-    /// epoch boundary ([`ExtLog::drain_domain`]).
+    /// byte-for-byte. With `bytes > 0`, batch **intents**
+    /// ([`ExtLog::log_intent_in`]) **stage**: they accumulate in their
+    /// (thread, domain) buffer and one `clwb_range`+`sfence` covers the
+    /// whole staged run once it reaches `bytes` — or earlier, at the
+    /// explicit [`ExtLog::drain`] the batch layer issues before its
+    /// commit record, or the domain's epoch boundary
+    /// ([`ExtLog::drain_domain`]).
     ///
-    /// Crash semantics are unchanged: an un-drained entry is
-    /// indistinguishable from one never logged — replay's valid-prefix
-    /// scan stops at it — and the epoch still rolls back to the last
-    /// boundary. Batch **intents** ([`ExtLog::log_intent_in`]) always
-    /// drain immediately (the staged run up to and including the intent),
-    /// because the batch-commit protocol needs them durable *and*
-    /// reachable through the prefix scan before the commit record.
+    /// Undo-object appends ([`ExtLog::log_object`] and friends) are
+    /// **never** staged past their return: they guard an in-place
+    /// modification the caller performs immediately, and a crash may
+    /// persist that modification's lines at any time, so the pre-image
+    /// must be durable first (the write-ahead invariant). At a nonzero
+    /// granularity an undo append still pays exactly one
+    /// `clwb_range`+`sfence`, but it covers the slot's whole staged run
+    /// — intents staged since the last drain ride along for free.
+    ///
+    /// Crash semantics are unchanged at every granularity: an un-drained
+    /// intent is indistinguishable from one never staged — replay's
+    /// valid-prefix scan stops at it — and its batch, necessarily
+    /// lacking a commit record, is dropped either way.
     ///
     /// Set once, before appends begin (the store wires it from its open
     /// options); it is not meant to be toggled mid-stream.
@@ -347,10 +369,12 @@ impl ExtLog {
     }
 
     /// Persists `(thread, domain)`'s staged run, if any: one
-    /// `clwb_range` over it plus one `sfence`. The owning layer calls
-    /// this when a mutating pin is released, so staging never outlives
-    /// the operation that produced it. No-op when fully drained (in
-    /// particular, always, under eager granularity 0).
+    /// `clwb_range` over it plus one `sfence`. The batch layer calls
+    /// this after staging a batch's intents and before flushing the
+    /// commit record, so an intent is always durable before the record
+    /// that makes it actionable. No-op when fully drained (in
+    /// particular, always, under eager granularity 0 — and always after
+    /// an undo-object append, which seals its own run).
     pub fn drain(&self, thread: usize, domain: usize) {
         let slot = self.slot_index(thread, domain);
         if self.drain_clwb(slot) {
@@ -418,8 +442,9 @@ impl ExtLog {
 
     /// Logs the `len` bytes at arena offset `target` as an undo entry for
     /// `epoch` in thread `slot`'s **domain-0** buffer, making the entry
-    /// durable (`clwb` + `sfence`) before returning. The caller may modify
-    /// the object only after this returns.
+    /// durable (`clwb` + `sfence`) before returning — at every
+    /// persistence granularity, since the caller may modify the object
+    /// as soon as this returns (the write-ahead invariant).
     ///
     /// Each slot is single-writer: callers pass their own thread's slot.
     ///
@@ -454,13 +479,19 @@ impl ExtLog {
     }
 
     /// Stages a batch **intent** for `epoch` of domain `domain` in
-    /// `(thread, domain)`'s buffer, durable before return. The entry's
-    /// tag is `domain | `[`INTENT_TAG_BIT`] and its target word carries
+    /// `(thread, domain)`'s buffer. The entry's tag is
+    /// `domain | `[`INTENT_TAG_BIT`] and its target word carries
     /// `batch_id`; `payload` is an opaque redo description owned by the
     /// batch layer. Replay of the domain validates and collects intents
     /// ([`ReplayReport::intents`]) without applying them, and they are
     /// discarded with the rest of the buffer at the domain's next epoch
     /// boundary.
+    ///
+    /// Durable before return under eager granularity 0; under a nonzero
+    /// granularity the intent may stay **staged** until the threshold,
+    /// an [`ExtLog::drain`], or the boundary — the caller must drain
+    /// before publishing anything (a commit record) that makes the
+    /// intent actionable.
     ///
     /// # Panics
     ///
@@ -524,10 +555,11 @@ impl ExtLog {
         self.arena.pwrite_u64(base + 16, len_word);
         self.arena.pwrite_u64(base + 24, sum);
 
-        // Seal: eagerly (durable before the caller's modification) or by
-        // staging behind the persistence-granularity threshold — see
-        // `seal_entry` for why a staged entry is still crash-safe.
-        self.seal_entry(slot, base, len, cur, need, false);
+        // Seal before return, at every granularity: the caller modifies
+        // the logged object the moment we return, and a crash may
+        // persist any dirty line of that modification — the pre-image
+        // must already be durable (write-ahead). See `seal_entry`.
+        self.seal_entry(slot, base, len, cur, need, true);
         self.arena.stats().add_ext_logged(len as u64);
     }
 
@@ -535,17 +567,24 @@ impl ExtLog {
     /// the slot cursor.
     ///
     /// Eager (granularity 0): `clwb` the entry, `sfence`, exactly the
-    /// legacy per-entry protocol. Buffered (granularity > 0): the entry
-    /// joins the slot's staged run, and one `clwb_range`+`sfence` covers
-    /// the whole run once it reaches the threshold (or immediately, with
-    /// `force` — the intent path). A crash while an entry is merely
-    /// staged is safe because the *caller's contract moves*: under
-    /// buffering the owning layer drains before releasing the mutating
-    /// pin, so the un-drained window only spans crash points where the
-    /// guarded modification is itself still unflushed — the epoch rolls
-    /// back to the last boundary and the entry is indistinguishable from
-    /// one never logged.
-    fn seal_entry(&self, slot: usize, base: u64, len: usize, cur: u64, need: u64, force: bool) {
+    /// legacy per-entry protocol, for guarded and unguarded entries
+    /// alike. Buffered (granularity > 0):
+    ///
+    /// * `guarding == true` — the entry guards an in-place modification
+    ///   the caller performs as soon as the append returns (the
+    ///   undo-object path). The write-ahead invariant requires the entry
+    ///   durable *before* that modification, because a crash may persist
+    ///   any dirty line of the modified object while dropping unflushed
+    ///   log lines. The whole staged run — this entry plus any intents
+    ///   staged behind it — is sealed with one `clwb_range`+`sfence`.
+    /// * `guarding == false` — the entry's own guarded store (the batch
+    ///   commit record) has not happened yet, so it may stay staged: it
+    ///   joins the run, and the run drains once it reaches the
+    ///   threshold (or earlier, at the batch layer's explicit
+    ///   [`ExtLog::drain`] before the commit record, or the boundary).
+    ///   A crash while it is staged drops an entry whose batch has no
+    ///   commit record — indistinguishable from never staged.
+    fn seal_entry(&self, slot: usize, base: u64, len: usize, cur: u64, need: u64, guarding: bool) {
         let gran = self.granularity.load(Ordering::Relaxed);
         if gran == 0 {
             self.arena.clwb_range(base, (HEADER as usize) + len);
@@ -559,7 +598,7 @@ impl ExtLog {
         self.cursors[slot].0.store(cur + need, Ordering::Relaxed);
         let start = self.staged[slot].0.load(Ordering::Relaxed);
         let staged = cur + need - start;
-        if force || staged >= gran {
+        if guarding || staged >= gran {
             let slot_base = self.region + (slot as u64) * self.per_slot;
             self.arena.clwb_range(slot_base + start, staged as usize);
             self.arena.sfence();
@@ -569,8 +608,9 @@ impl ExtLog {
 
     /// [`ExtLog::append`] twinned for a DRAM-sourced payload: intents are
     /// staged from the caller's batch description, not copied out of the
-    /// arena. Same entry format; durability is always immediate (see
-    /// [`ExtLog::set_persistence_granularity`] on why intents drain).
+    /// arena. Same entry format; durability is immediate under eager
+    /// granularity 0 and deferred to the threshold / explicit drain
+    /// otherwise (see [`ExtLog::set_persistence_granularity`]).
     fn append_slice(&self, slot: usize, epoch: u64, target: u64, payload: &[u8], tag: u16) {
         let len = payload.len();
         let need = HEADER + ((len as u64 + 7) & !7);
@@ -593,10 +633,10 @@ impl ExtLog {
         self.arena.pwrite_u64(base + 16, len_word);
         self.arena.pwrite_u64(base + 24, sum);
 
-        // Intents force a drain of the staged run up to and including
-        // this entry: the batch protocol needs the intent reachable
-        // through the valid-prefix scan before the commit record lands.
-        self.seal_entry(slot, base, len, cur, need, true);
+        // Intents guard nothing until the batch's commit record lands,
+        // so they are the entries a nonzero granularity may stage: the
+        // batch layer drains the run before flushing the record.
+        self.seal_entry(slot, base, len, cur, need, false);
         self.arena.stats().add_ext_logged(len as u64);
     }
 
@@ -1279,68 +1319,82 @@ mod tests {
     }
 
     #[test]
-    fn buffered_appends_coalesce_fences() {
-        // Same append sequence, eager vs granularity 4096: buffered must
-        // issue strictly fewer sfences, and a drain must make the whole
-        // run replayable.
+    fn buffered_appends_coalesce_intent_fences() {
+        // Same sequence — 15 intents, then one undo entry whose object
+        // is modified right after the append — eager vs a large
+        // granularity. Buffered: the intents stage, and the guarded
+        // append's single seal covers the whole run; eager pays one
+        // fence per entry. In BOTH modes the undo entry is durable
+        // before the modification (write-ahead), which the replay check
+        // proves by restoring the pre-image.
         let count_fences = |gran: u64| {
             let arena = PArena::builder().capacity_bytes(1 << 20).build().unwrap();
             superblock::format(&arena);
             let log = ExtLog::create_sharded(&arena, 1, 32 * 1024, 2).unwrap();
             log.set_persistence_granularity(gran);
             let obj = arena.carve(64, 64).unwrap();
+            arena.pwrite_u64(obj, 7);
             let before = arena.stats().snapshot().sfence;
-            for i in 0..16 {
-                arena.pwrite_u64(obj, i);
-                log.log_object_in(0, 1, 1, obj, 64);
+            for i in 0..15 {
+                log.log_intent_in(0, 1, 1, 40 + i, b"redo-op");
             }
-            arena.pwrite_u64(obj, 0xDEAD);
-            log.drain(0, 1);
-            assert_eq!(log.staged_bytes(0, 1), 0, "drain leaves nothing staged");
+            log.log_object_in(0, 1, 1, obj, 64);
             let fences = arena.stats().snapshot().sfence - before;
+            arena.pwrite_u64(obj, 0xDEAD); // the guarded modification
+            assert_eq!(
+                log.staged_bytes(0, 1),
+                0,
+                "a guarded append seals the whole staged run"
+            );
             let r = log.replay_domain(1, 1, 1);
-            assert_eq!(r.entries_applied, 16, "drained run must fully replay");
-            // In-order replay leaves the last entry's pre-image.
-            assert_eq!(arena.pread_u64(obj), 15);
+            assert_eq!(r.entries_applied, 1, "the undo entry replays");
+            assert_eq!(r.intents.len(), 15, "every intent is surfaced");
+            assert_eq!(
+                arena.pread_u64(obj),
+                7,
+                "pre-image was durable before the mutation"
+            );
             fences
         };
         let eager = count_fences(0);
-        let buffered = count_fences(4096);
+        let buffered = count_fences(1 << 16);
         assert_eq!(eager, 16, "eager mode fences per entry");
-        assert!(
-            buffered < eager,
-            "buffered ({buffered} fences) must coalesce below eager ({eager})"
+        assert_eq!(
+            buffered, 1,
+            "buffered mode: one seal covers intents + the guarded entry"
         );
     }
 
     #[test]
-    fn staged_entries_flush_at_the_granularity_threshold() {
+    fn staged_intents_flush_at_the_granularity_threshold() {
         let arena = PArena::builder().capacity_bytes(1 << 20).build().unwrap();
         superblock::format(&arena);
         let log = ExtLog::create(&arena, 1, 32 * 1024).unwrap();
         log.set_persistence_granularity(256);
         let obj = arena.carve(64, 64).unwrap();
         arena.pwrite_u64(obj, 1);
-        // One 64-byte entry occupies HEADER + 64 = 96 bytes: two stage,
-        // the third crosses 256 and flushes the whole run.
-        log.log_object(0, 1, obj, 64);
+        // One 64-byte-payload intent occupies HEADER + 64 = 96 bytes:
+        // two stage, the third crosses 256 and flushes the whole run.
+        let p = [5u8; 64];
+        log.log_intent_in(0, 0, 1, 9, &p);
         assert_eq!(log.staged_bytes(0, 0), 96);
-        log.log_object(0, 1, obj, 64);
+        log.log_intent_in(0, 0, 1, 9, &p);
         assert_eq!(log.staged_bytes(0, 0), 192);
-        log.log_object(0, 1, obj, 64);
+        log.log_intent_in(0, 0, 1, 9, &p);
         assert_eq!(log.staged_bytes(0, 0), 0, "threshold crossing drains");
-        // Intents force a drain regardless of the threshold.
-        log.log_object(0, 1, obj, 64);
+        // Undo-object appends never leave the run staged: each guards an
+        // imminent in-place modification, so its seal drains everything.
+        log.log_intent_in(0, 0, 1, 9, &p);
         assert_eq!(log.staged_bytes(0, 0), 96);
-        log.log_intent_in(0, 0, 1, 5, b"op");
-        assert_eq!(log.staged_bytes(0, 0), 0, "intent drains the run");
+        log.log_object(0, 1, obj, 64);
+        assert_eq!(log.staged_bytes(0, 0), 0, "guarded append drains the run");
     }
 
     #[test]
-    fn undrained_entry_is_indistinguishable_from_never_logged() {
-        // Crash with a non-empty staging buffer: the drained prefix
-        // replays, the staged tail does not — exactly the last-boundary
-        // rollback contract.
+    fn undrained_intent_is_indistinguishable_from_never_staged() {
+        // Crash with a non-empty staging buffer: the durable prefix
+        // replays, the staged intent tail does not — its batch,
+        // necessarily lacking a commit record, is dropped either way.
         let arena = PArena::builder()
             .capacity_bytes(1 << 20)
             .tracked(true)
@@ -1351,19 +1405,19 @@ mod tests {
         let log = ExtLog::create(&arena, 1, 32 * 1024).unwrap();
         log.set_persistence_granularity(1 << 20);
         let a = arena.carve(64, 64).unwrap();
-        let b = arena.carve(64, 64).unwrap();
         arena.pwrite_u64(a, 11);
-        log.log_object(0, 1, a, 64);
-        log.drain(0, 0); // a's entry durable
+        log.log_object(0, 1, a, 64); // durable before return
         arena.pwrite_u64(a, 12);
-        arena.pwrite_u64(b, 21);
-        log.log_object(0, 1, b, 64); // staged only
+        log.log_intent_in(0, 0, 1, 77, b"staged-op"); // staged only
         assert!(log.staged_bytes(0, 0) > 0);
-        arena.crash_seeded(7);
+        // A power failure persisting nothing still in flight: the staged
+        // intent vanishes with the rest of the cache.
+        arena.crash_with(|_, _| 0);
         let log2 = ExtLog::open(&arena);
         let r = log2.replay(1, 1);
-        assert_eq!(r.entries_applied, 1, "only the drained entry survives");
-        assert_eq!(arena.pread_u64(a), 11, "drained pre-image restored");
+        assert_eq!(r.entries_applied, 1, "the sealed undo entry survives");
+        assert!(r.intents.is_empty(), "the staged intent vanishes");
+        assert_eq!(arena.pread_u64(a), 11, "pre-image restored");
     }
 
     #[test]
