@@ -3,11 +3,12 @@
 //! ```text
 //! cargo run --release -p incll-bench --bin figures -- <experiment> [options]
 //! cargo run --release -p incll-bench --bin figures -- --compare old.json new.json [--regressions-only]
+//! cargo run --release -p incll-bench --bin figures -- --plot [results/BENCH_results.json] [--out DIR]
 //!
 //! experiments:
 //!   fig2 fig3 fig4 fig5 fig6 fig7 fig8 flushcost recovery ablation
 //!   shard_scaling epoch_domains recovery_latency read_path txn_batches
-//!   adaptive_cadence all
+//!   adaptive_cadence server_scaling all
 //!
 //! options:
 //!   --paper            paper-scale parameters (20M keys, 8x1M ops)
@@ -23,10 +24,15 @@
 //! nonzero when any numeric cell regressed beyond the threshold **or**
 //! when an experiment has no baseline in the old file (a missing baseline
 //! is reported as `new`, never silently treated as "no change").
+//!
+//! `--plot [FILE]` also runs no experiments: it renders every table of a
+//! recorded `BENCH_results.json` (default `results/BENCH_results.json`)
+//! into standalone SVG bar charts under `<out>/plots/` — hand-rolled,
+//! since the workspace builds without plotting dependencies.
 //! ```
 
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::{SystemTime, UNIX_EPOCH};
 
 use incll_bench::compare;
@@ -54,6 +60,21 @@ fn parse_args() -> Args {
             Some(other) => usage(&format!("unknown --compare flag {other}")),
         };
         run_compare(&old, &new, regressions_only);
+    }
+    if experiment == "--plot" {
+        let mut file = String::from("results/BENCH_results.json");
+        let mut out = PathBuf::from("results");
+        let mut rest = args.peekable();
+        while let Some(a) = rest.next() {
+            match a.as_str() {
+                "--out" => {
+                    out = PathBuf::from(rest.next().unwrap_or_else(|| usage("--out needs a value")))
+                }
+                other if !other.starts_with("--") => file = other.to_string(),
+                other => usage(&format!("unknown --plot flag {other}")),
+            }
+        }
+        run_plot(&file, &out);
     }
     let mut params = ExpParams::default_scale();
     let mut scale = 1.0f64;
@@ -88,9 +109,10 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: figures <fig2|fig3|fig4|fig5|fig6|fig7|fig8|flushcost|recovery|ablation\
          |shard_scaling|epoch_domains|recovery_latency|read_path|txn_batches\
-         |adaptive_cadence|all> \
+         |adaptive_cadence|server_scaling|all> \
          [--paper] [--scale F] [--keys N] [--ops N] [--threads N] [--out DIR]\n\
-         \x20      figures --compare OLD.json NEW.json [--regressions-only]"
+         \x20      figures --compare OLD.json NEW.json [--regressions-only]\n\
+         \x20      figures --plot [RESULTS.json] [--out DIR]"
     );
     std::process::exit(2);
 }
@@ -141,6 +163,41 @@ fn run_compare(old_path: &str, new_path: &str, regressions_only: bool) -> ! {
     }
 }
 
+/// `--plot [FILE] [--out DIR]`: render every recorded table as an SVG
+/// bar chart under `DIR/plots/`, then exit.
+fn run_plot(file: &str, out: &Path) -> ! {
+    let text = fs::read_to_string(file).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {file}: {e}");
+        std::process::exit(2);
+    });
+    let doc = compare::parse_json(&text).unwrap_or_else(|e| {
+        eprintln!("error: {file} is not valid BENCH_results.json: {e}");
+        std::process::exit(2);
+    });
+    let plots = incll_bench::plot::plot_results(&doc).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    if plots.is_empty() {
+        eprintln!("error: {file} contains no plottable tables");
+        std::process::exit(1);
+    }
+    let dir = out.join("plots");
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("error: cannot create {}: {e}", dir.display());
+        std::process::exit(2);
+    }
+    for (stem, svg) in &plots {
+        let path = dir.join(format!("{stem}.svg"));
+        if let Err(e) = fs::write(&path, svg) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            std::process::exit(2);
+        }
+        println!("wrote {}", path.display());
+    }
+    std::process::exit(0);
+}
+
 fn size_sweep(p: &ExpParams) -> Vec<u64> {
     // The paper sweeps 10K..100M; cap the ladder at the configured size.
     let ladder = [
@@ -179,18 +236,39 @@ fn save(out: &PathBuf, name: &str, tables: &[Table]) {
 /// Serialises every experiment's tables into `BENCH_results.json` so runs
 /// are comparable across revisions (experiment name -> result tables,
 /// whose rows carry throughput, op-mix and flush counters).
+///
+/// Experiments already recorded in the file but *not* re-run this
+/// invocation are carried forward, so a targeted `figures <one-exp>` run
+/// refreshes one entry instead of silently discarding the rest.
 fn save_json(out: &PathBuf, params: &ExpParams, results: &[(String, Vec<Table>)]) {
     let _ = fs::create_dir_all(out);
     let stamp = SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
-    let experiments: Vec<String> = results
-        .iter()
-        .map(|(name, tables)| {
+    let fresh: std::collections::HashSet<&str> = results.iter().map(|(n, _)| n.as_str()).collect();
+    let carried: Vec<String> = fs::read_to_string(out.join("BENCH_results.json"))
+        .ok()
+        .and_then(|text| compare::parse_json(&text).ok())
+        .and_then(|doc| match doc {
+            compare::Json::Obj(mut m) => m.remove("experiments"),
+            _ => None,
+        })
+        .map(|exps| match exps {
+            compare::Json::Obj(m) => m
+                .into_iter()
+                .filter(|(name, _)| !fresh.contains(name.as_str()))
+                .map(|(name, tables)| format!("{}:{}", json_string(&name), tables.render()))
+                .collect(),
+            _ => Vec::new(),
+        })
+        .unwrap_or_default();
+    let experiments: Vec<String> = carried
+        .into_iter()
+        .chain(results.iter().map(|(name, tables)| {
             let tjson: Vec<String> = tables.iter().map(|t| t.to_json()).collect();
             format!("{}:[{}]", json_string(name), tjson.join(","))
-        })
+        }))
         .collect();
     let body = format!(
         "{{\"generated_unix\":{stamp},\
@@ -239,6 +317,10 @@ fn main() {
                 ("read_path", vec![t1, t2])
             }
             "txn_batches" => ("txn_batches", vec![experiments::txn_batches(p)]),
+            "server_scaling" => {
+                let (t1, t2) = experiments::server_scaling(p);
+                ("server_scaling", vec![t1, t2])
+            }
             "adaptive_cadence" => (
                 "adaptive_cadence",
                 vec![
@@ -269,6 +351,7 @@ fn main() {
             "read_path",
             "txn_batches",
             "adaptive_cadence",
+            "server_scaling",
         ] {
             println!("---- {name} ----");
             results.push(run_one(name));

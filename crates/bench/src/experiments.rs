@@ -1628,3 +1628,177 @@ pub fn persistence_granularity(p: &ExpParams) -> Table {
     t.print();
     t
 }
+
+// =====================================================================
+// Server scaling — the TCP front-end under pipelined network load
+// =====================================================================
+
+/// One server-under-test: a fresh durable store behind `incll-server`
+/// on a loopback socket.
+struct NetSystem {
+    server: incll_server::Server,
+    /// Kept alive for stats (`server` holds its own Store clone).
+    sys: crate::systems::DurableSystem,
+}
+
+fn start_net_system(keys: u64, workers: usize, commit: incll_server::CommitMode) -> NetSystem {
+    use std::net::TcpListener;
+    let mut cfg = SystemConfig::new(keys, workers + 2); // workers + committer + spare
+    cfg.epoch_interval = None; // checkpointless: commit records carry durability
+    let sys = build_incll(&cfg);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let server = incll_server::Server::start(
+        sys.store.clone(),
+        listener,
+        incll_server::ServerConfig {
+            workers,
+            commit,
+            session_timeout: Duration::from_secs(10),
+        },
+    )
+    .expect("session pool sized for the worker count");
+    NetSystem { server, sys }
+}
+
+/// Server scaling: closed-loop throughput of the TCP front-end across
+/// commit modes, worker counts and connection counts — plus the fence
+/// amortisation that is the group committer's whole point. The headline:
+/// on a small-value put-heavy mix, `group` must beat `per_request` on
+/// throughput *and* on fences per kop.
+pub fn server_scaling(p: &ExpParams) -> (Table, Table) {
+    use incll_server::{CommitMode, GroupConfig};
+    use incll_ycsb::{net_load, run_closed_loop, run_open_loop, NetRunConfig};
+
+    let keys = (p.keys / 50).clamp(5_000, 100_000);
+    let ops_per_conn = ((p.ops_per_thread as usize) / 10).clamp(1_000, 50_000);
+
+    let mut t = Table::new(
+        "Server scaling: closed-loop YCSB-A over TCP, pipelined, per commit mode",
+        &[
+            "commit",
+            "window_us",
+            "workers",
+            "conns",
+            "kops",
+            "vs per_request",
+            "fences_per_kop",
+            "groups",
+            "ops_grouped",
+        ],
+    );
+
+    let modes: &[(&str, u64, CommitMode)] = &[
+        ("per_request", 0, CommitMode::PerRequest),
+        (
+            "group",
+            50,
+            CommitMode::Group(GroupConfig {
+                window: Duration::from_micros(50),
+                ..GroupConfig::default()
+            }),
+        ),
+        (
+            "group",
+            200,
+            CommitMode::Group(GroupConfig {
+                window: Duration::from_micros(200),
+                ..GroupConfig::default()
+            }),
+        ),
+        ("async", 0, CommitMode::Async),
+    ];
+    let topologies: &[(usize, usize)] = &[(2, 4), (4, 8)];
+
+    // Baseline (per_request kops) per topology, for the "vs" column.
+    let mut base: std::collections::HashMap<(usize, usize), f64> = std::collections::HashMap::new();
+    for &(label, window_us, ref commit) in modes {
+        for &(workers, conns) in topologies {
+            let ns = start_net_system(keys, workers, commit.clone());
+            let addr = ns.server.local_addr();
+            net_load(addr, keys, 8, 512).expect("preload over the wire");
+            let cfg = NetRunConfig {
+                connections: conns,
+                pipeline: 8,
+                ops_per_conn,
+                nkeys: keys,
+                mix: Mix::A,
+                dist: Dist::Uniform,
+                value_len: 8,
+                seed: p.seed,
+            };
+            let before = ns.sys.arena.stats().snapshot();
+            let res = run_closed_loop(addr, &cfg).expect("closed-loop run");
+            let d = ns.sys.arena.stats().snapshot().delta(&before);
+            assert_eq!(res.errors, 0, "server returned error responses");
+            let (groups, grouped_ops) = ns.server.group_stats();
+            let kops = res.kops();
+            let b = *base.entry((workers, conns)).or_insert(kops);
+            t.push(vec![
+                label.into(),
+                if window_us == 0 {
+                    "-".into()
+                } else {
+                    window_us.to_string()
+                },
+                workers.to_string(),
+                conns.to_string(),
+                f2(kops),
+                pct(b, kops),
+                f2(d.sfence as f64 / (res.ops as f64 / 1e3)),
+                groups.to_string(),
+                grouped_ops.to_string(),
+            ]);
+        }
+    }
+    t.print();
+
+    // Open loop: fixed-rate schedules, latency from *intended* send
+    // times (coordinated-omission-safe percentiles).
+    let mut t2 = Table::new(
+        "Server open-loop latency: YCSB-A at a fixed target rate, per commit mode",
+        &[
+            "commit",
+            "window_us",
+            "target_qps",
+            "achieved_qps",
+            "p50_us",
+            "p95_us",
+            "p99_us",
+        ],
+    );
+    let target_qps = 10_000.0f64;
+    let ol_conns = 4usize;
+    let ol_ops = ((target_qps / ol_conns as f64) * 1.0) as usize; // ~1 s of schedule
+    for &(label, window_us, ref commit) in modes {
+        let ns = start_net_system(keys, 4, commit.clone());
+        let addr = ns.server.local_addr();
+        net_load(addr, keys, 8, 512).expect("preload over the wire");
+        let cfg = NetRunConfig {
+            connections: ol_conns,
+            pipeline: 1,
+            ops_per_conn: ol_ops,
+            nkeys: keys,
+            mix: Mix::A,
+            dist: Dist::Uniform,
+            value_len: 8,
+            seed: p.seed,
+        };
+        let res = run_open_loop(addr, &cfg, target_qps).expect("open-loop run");
+        assert_eq!(res.errors, 0, "server returned error responses");
+        t2.push(vec![
+            label.into(),
+            if window_us == 0 {
+                "-".into()
+            } else {
+                window_us.to_string()
+            },
+            f2(res.target_qps),
+            f2(res.achieved_qps()),
+            f2(res.p50_us),
+            f2(res.p95_us),
+            f2(res.p99_us),
+        ]);
+    }
+    t2.print();
+    (t, t2)
+}

@@ -13,6 +13,7 @@
 
 pub mod compare;
 pub mod experiments;
+pub mod plot;
 pub mod systems;
 
 pub use experiments::ExpParams;

@@ -292,7 +292,34 @@ impl<'s> WriteBatch<'s> {
     /// live readers may observe the applied prefix. Treat apply errors
     /// as fatal for the process.
     pub fn commit(self) -> Result<u64, Error> {
-        self.run(true)
+        self.run(true, false)
+    }
+
+    /// [`WriteBatch::commit`] with a **durability-on-return** guarantee:
+    /// when this returns, every staged op survives any later crash, even
+    /// if no shard ever reaches another checkpoint boundary.
+    ///
+    /// The plain [`WriteBatch::commit`] already gives cross-shard batches
+    /// this property for free (their intents + commit record are redo
+    /// state), but routes single-shard batches over the intent-free fast
+    /// path, where the ops stay rollback-exposed until that shard's next
+    /// boundary. `commit_durable` forces the full protocol for every
+    /// mask: intents into the owning shards' logs, one drain per shard
+    /// (so a nonzero [`crate::Options::persistence_granularity`] pays one
+    /// `clwb_range`+`sfence` per shard for the *whole* batch), then the
+    /// single durable commit record. This is the group-commit hook the
+    /// network server amortizes small puts through: N requests coalesced
+    /// into one `commit_durable` cost a handful of fences instead of N
+    /// checkpoint barriers.
+    ///
+    /// Always returns a real batch id (≥ 1) except for the empty-batch
+    /// no-op (`0`).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`WriteBatch::commit`].
+    pub fn commit_durable(self) -> Result<u64, Error> {
+        self.run(true, true)
     }
 
     /// Crash-test seam: assigns the batch id and stages every intent
@@ -302,10 +329,10 @@ impl<'s> WriteBatch<'s> {
     /// return `0` (their fast path has no intent phase at all).
     #[doc(hidden)]
     pub fn stage_without_commit(self) -> Result<u64, Error> {
-        self.run(false)
+        self.run(false, false)
     }
 
-    fn run(self, commit: bool) -> Result<u64, Error> {
+    fn run(self, commit: bool, durable: bool) -> Result<u64, Error> {
         if self.ops.is_empty() {
             return Ok(0);
         }
@@ -315,7 +342,10 @@ impl<'s> WriteBatch<'s> {
             mask |= 1u64 << store.shard_of(op.key());
         }
 
-        if mask.count_ones() <= 1 {
+        // A durable commit skips the fast path even on one shard: the
+        // intent + commit-record protocol below is exactly what makes the
+        // batch redo-able before any boundary completes.
+        if mask.count_ones() <= 1 && !durable {
             if !commit {
                 return Ok(0);
             }
@@ -550,6 +580,74 @@ mod tests {
             b.delete(b"one-too-many"),
             Err(Error::BatchTooLarge { .. })
         ));
+    }
+
+    #[test]
+    fn durable_commit_forces_the_record_on_a_single_shard() {
+        let (arena, store) = open(1);
+        let sess = store.session().expect("session");
+        let mut b = sess.batch();
+        b.put(b"k1", b"v1").unwrap();
+        b.put(b"k2", b"v2").unwrap();
+        let id = b.commit_durable().expect("durable commit");
+        assert!(id >= 1, "durable commits always take a real id");
+        assert!(superblock::batch_is_committed(&arena, id));
+        assert_eq!(store.get(&sess, b"k1").as_deref(), Some(&b"v1"[..]));
+        // The shard's boundary retires the record like any cross-shard one.
+        store.checkpoint();
+        let drained =
+            (0..superblock::BATCH_SLOTS).all(|i| superblock::batch_slot(&arena, i).1 == 0);
+        assert!(drained);
+    }
+
+    #[test]
+    fn durable_commit_survives_a_crash_with_no_boundary() {
+        for shards in [1usize, 4] {
+            let arena = PArena::builder()
+                .capacity_bytes(64 << 20)
+                .tracked(true)
+                .build()
+                .expect("arena");
+            let opts = Options::new()
+                .threads(2)
+                .log_bytes_per_thread(1 << 20)
+                .shards(shards)
+                // The server's group-commit configuration: staged intent
+                // appends, drained once per shard at commit.
+                .persistence_granularity(4096);
+            let (store, _) = Store::open(&arena, opts.clone()).expect("open");
+            {
+                let sess = store.session().expect("session");
+                let mut b = sess.batch();
+                for i in 0..16u32 {
+                    b.put(format!("grp-{i:02}").as_bytes(), &i.to_le_bytes())
+                        .unwrap();
+                }
+                assert!(b.commit_durable().expect("durable commit") >= 1);
+                // A plain put after the durable group: rollback-exposed,
+                // must vanish (no boundary ever completes here).
+                store.put(&sess, b"exposed", b"gone").expect("put");
+            }
+            drop(store);
+            arena.crash_seeded(7 + shards as u64);
+            let (store, report) = Store::open(&arena, opts).expect("recover");
+            assert!(!report.created);
+            let sess = store.session().expect("session");
+            for i in 0..16u32 {
+                assert_eq!(
+                    store
+                        .get(&sess, format!("grp-{i:02}").as_bytes())
+                        .as_deref(),
+                    Some(&i.to_le_bytes()[..]),
+                    "shards={shards} key {i}: a durable group must be redone"
+                );
+            }
+            assert_eq!(
+                store.get(&sess, b"exposed"),
+                None,
+                "shards={shards}: an unbatched put must roll back"
+            );
+        }
     }
 
     #[test]

@@ -60,6 +60,16 @@ pub enum Error {
         /// The largest supported count.
         max: usize,
     },
+    /// [`crate::Store::session_blocking`] waited out its deadline without
+    /// any live [`crate::Session`] releasing a slot. Unlike
+    /// [`Error::TooManyThreads`] (the immediate-mode failure), this means
+    /// the pool stayed exhausted for the whole timeout.
+    SessionTimeout {
+        /// The configured slot count.
+        limit: usize,
+        /// How long the caller was willing to wait.
+        waited: std::time::Duration,
+    },
     /// A [`crate::WriteBatch`] staged more operations than one batch can
     /// carry ([`crate::MAX_BATCH_OPS`]): every staged op becomes an intent
     /// entry in the per-thread external log, so the cap bounds the log
@@ -111,6 +121,13 @@ impl std::fmt::Display for Error {
                     f,
                     "invalid shard count {requested}: must be a power of two \
                      between 1 and {max}"
+                )
+            }
+            Error::SessionTimeout { limit, waited } => {
+                write!(
+                    f,
+                    "no session slot released within {waited:?}: all {limit} \
+                     remained held for the whole wait"
                 )
             }
             Error::BatchTooLarge { ops, max } => {
@@ -183,6 +200,10 @@ mod tests {
             Error::BatchTooLarge {
                 ops: 2000,
                 max: 1024,
+            },
+            Error::SessionTimeout {
+                limit: 4,
+                waited: std::time::Duration::from_millis(50),
             },
         ];
         for e in errs {

@@ -286,6 +286,66 @@
 //! snapshots, globally key-ordered, equivalent to the matching sequence
 //! of bounded `scan` calls.
 //!
+//! # Serving traffic
+//!
+//! The `incll-server` crate puts this store behind a TCP front-end
+//! (`incll-server` binary, `incll_server` library), and
+//! `incll_ycsb::net` drives it: a load helper plus closed-loop and
+//! open-loop (fixed-QPS, coordinated-omission-safe) benchmark clients.
+//! The wire format is length-prefixed binary — every frame is a 4-byte
+//! little-endian payload length (capped at 1 MiB) followed by the
+//! payload, whose first byte is an opcode (requests) or status
+//! (responses). Keys carry a `u16` length prefix and embedded values a
+//! `u32` prefix; a response whose payload is one trailing blob
+//! (`VALUE`, `ERROR`, `STATS`) carries it raw — the frame length
+//! already delimits it.
+//!
+//! | request | payload after opcode | response |
+//! |---------|----------------------|----------|
+//! | `GET` (0x01) | key | `VALUE` (0x03) or `NOT_FOUND` (0x01) |
+//! | `PUT` (0x02) | key, value | `OK` (0x00) or `ERROR` (0x02) |
+//! | `DEL` (0x03) | key | `OK` — idempotent; `NOT_FOUND` is a `GET` miss only |
+//! | `BATCH` (0x04) | op count, then per op: kind byte (0 put / 1 del), key\[, value\] | `COMMITTED` (0x04) with the `u64` batch id |
+//! | `SCAN` (0x05) | start key, `u32` limit | `ENTRIES` (0x05): count, then key/value pairs in key order |
+//! | `STATS` (0x06) | — | `STATS` (0x06): a flat JSON object of server counters |
+//!
+//! **Pipelining.** A client may write any number of requests before
+//! reading responses; the server answers every connection strictly in
+//! request order even though execution is concurrent (N worker threads
+//! share a job queue, and grouped commits complete on a separate
+//! committer thread). A per-connection reorder buffer holds completed
+//! responses until their in-order prefix is ready. A malformed-but-
+//! framed request gets a typed `ERROR` in its slot and the stream
+//! continues; only an unframeable stream (oversized length prefix)
+//! hangs up, after answering with the error.
+//!
+//! **Group commit.** The server's write durability is a configuration,
+//! not a wire flag — the same client bytes get three different
+//! guarantees depending on the server's commit mode:
+//!
+//! * **Per-request** — each `PUT`/`DEL` becomes a one-op
+//!   [`WriteBatch::commit_durable`]: durable when the `OK` arrives, at
+//!   the price of one fence pair per request.
+//! * **Group** *(default)* — small writes from *all* connections are
+//!   coalesced: the first write opens a window (default 200 µs,
+//!   closed early by an op or byte budget), and the whole group
+//!   commits as one durable batch — one commit record, one fence
+//!   pair, shared by every write in the group. Acks are withheld
+//!   until the group's commit record is durable, so `OK` still means
+//!   exactly what it means per-request; the reorder buffer keeps
+//!   later reads from overtaking the withheld ack.
+//! * **Async** — plain [`Store::put`]/[`Store::remove`]: `OK` means
+//!   *applied*, durable only at the shard's next checkpoint. A crash
+//!   before one erases acknowledged writes.
+//!
+//! `BATCH` is always durable-on-ack regardless of mode (it is a
+//! [`WriteBatch::commit_durable`] verbatim). Reads (`GET`/`SCAN`)
+//! observe every *applied* write, durable or not — but under group
+//! commit a write is applied when its group commits, so a read
+//! pipelined behind a not-yet-acknowledged write may execute first
+//! and miss it. The ack is the visibility point: read-your-writes
+//! holds once the write's `OK` has arrived.
+//!
 //! # Migrating from the pre-`Store` API
 //!
 //! Earlier revisions exposed the plumbing directly; the mapping is

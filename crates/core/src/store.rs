@@ -45,10 +45,8 @@
 
 use std::collections::VecDeque;
 use std::ops::{Bound, RangeBounds};
-use std::sync::Arc;
-use std::time::Duration;
-
-use parking_lot::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use incll_epoch::{AdvanceDriver, Cadence, EpochManager, Guard};
 use incll_pmem::{superblock, PArena};
@@ -177,6 +175,9 @@ impl Default for Options {
 /// Bounded pool of per-thread slots backing [`Session`]s.
 struct SlotPool {
     free: Mutex<Vec<usize>>,
+    /// Signalled once per released slot ([`Session::drop`]), waking one
+    /// [`Store::session_blocking`] waiter.
+    released: Condvar,
     limit: usize,
 }
 
@@ -185,8 +186,14 @@ impl SlotPool {
         Arc::new(SlotPool {
             // Reversed so the first session gets slot 0.
             free: Mutex::new((0..limit).rev().collect()),
+            released: Condvar::new(),
             limit,
         })
+    }
+
+    fn lock_free(&self) -> std::sync::MutexGuard<'_, Vec<usize>> {
+        // Slot pushes/pops cannot panic, so the lock cannot be poisoned.
+        self.free.lock().unwrap_or_else(|e| e.into_inner())
     }
 }
 
@@ -268,7 +275,8 @@ impl Session {
 
 impl Drop for Session {
     fn drop(&mut self) {
-        self.pool.free.lock().push(self.tid);
+        self.pool.lock_free().push(self.tid);
+        self.pool.released.notify_one();
     }
 }
 
@@ -376,20 +384,67 @@ impl Store {
     /// # Errors
     ///
     /// [`Error::TooManyThreads`] when every configured slot
-    /// ([`Options::threads`]) is held by a live [`Session`].
+    /// ([`Options::threads`]) is held by a live [`Session`]. To wait for
+    /// a slot instead of failing, use [`Store::session_blocking`].
     pub fn session(&self) -> Result<Session, Error> {
-        let tid = self.slots.free.lock().pop().ok_or(Error::TooManyThreads {
+        let tid = self.slots.lock_free().pop().ok_or(Error::TooManyThreads {
             limit: self.slots.limit,
         })?;
+        Ok(self.session_from_slot(tid))
+    }
+
+    /// Acquires a session slot, **waiting** up to `timeout` for one to be
+    /// released when the pool is exhausted. The fairness is the pool's
+    /// (each released slot wakes one waiter); a zero timeout degenerates
+    /// to [`Store::session`]'s try-acquire.
+    ///
+    /// This is the front door for servers mapping more client connections
+    /// than the store has session slots ([`Options::threads`]): a worker
+    /// that would have gotten a hard [`Error::TooManyThreads`] instead
+    /// rides out a short burst, and only a genuinely wedged pool (a slot
+    /// held past the deadline) surfaces an error.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::SessionTimeout`] when no slot was released within
+    /// `timeout`.
+    pub fn session_blocking(&self, timeout: Duration) -> Result<Session, Error> {
+        let deadline = Instant::now() + timeout;
+        let mut free = self.slots.lock_free();
+        loop {
+            if let Some(tid) = free.pop() {
+                drop(free);
+                return Ok(self.session_from_slot(tid));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(Error::SessionTimeout {
+                    limit: self.slots.limit,
+                    waited: timeout,
+                });
+            }
+            // Spurious wakeups and steals (another waiter popping first)
+            // both land back on the pop-or-wait loop above.
+            let (guard, _timeout_result) = self
+                .slots
+                .released
+                .wait_timeout(free, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            free = guard;
+        }
+    }
+
+    /// Wraps an already-popped pool slot in a [`Session`].
+    fn session_from_slot(&self, tid: usize) -> Session {
         let ctx = self.shards[0]
             .thread_ctx(tid)
             .expect("pool slots are within the configured range");
-        Ok(Session {
+        Session {
             ctx,
             pool: Arc::clone(&self.slots),
             tid,
             store: self.clone(),
-        })
+        }
     }
 
     // ==================================================================
@@ -874,5 +929,66 @@ fn within_end(end: &Bound<Vec<u8>>, key: &[u8]) -> bool {
         Bound::Unbounded => true,
         Bound::Included(e) => key <= e.as_slice(),
         Bound::Excluded(e) => key < e.as_slice(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn open_two_slot() -> (PArena, Store) {
+        let arena = PArena::builder()
+            .capacity_bytes(32 << 20)
+            .build()
+            .expect("arena");
+        let opts = Options::new().threads(2).log_bytes_per_thread(1 << 20);
+        let (store, _) = Store::open(&arena, opts).expect("open");
+        (arena, store)
+    }
+
+    #[test]
+    fn session_blocking_times_out_on_an_exhausted_pool() {
+        let (_arena, store) = open_two_slot();
+        let _a = store.session().unwrap();
+        let _b = store.session().unwrap();
+        assert!(matches!(
+            store.session(),
+            Err(Error::TooManyThreads { limit: 2 })
+        ));
+        let start = Instant::now();
+        let err = store
+            .session_blocking(Duration::from_millis(30))
+            .expect_err("pool stays exhausted");
+        assert!(
+            matches!(err, Error::SessionTimeout { limit: 2, .. }),
+            "{err:?}"
+        );
+        assert!(start.elapsed() >= Duration::from_millis(30));
+    }
+
+    #[test]
+    fn session_blocking_wakes_when_a_slot_releases() {
+        let (_arena, store) = open_two_slot();
+        let a = store.session().unwrap();
+        let _b = store.session().unwrap();
+        std::thread::scope(|s| {
+            let store2 = store.clone();
+            let waiter = s.spawn(move || store2.session_blocking(Duration::from_secs(10)));
+            std::thread::sleep(Duration::from_millis(20));
+            drop(a); // releases a slot; the waiter must claim it
+            let sess = waiter.join().expect("no panic").expect("slot released");
+            assert!(sess.tid() < 2);
+        });
+    }
+
+    #[test]
+    fn session_blocking_grabs_a_free_slot_immediately() {
+        let (_arena, store) = open_two_slot();
+        let start = Instant::now();
+        let sess = store
+            .session_blocking(Duration::from_secs(5))
+            .expect("free pool");
+        assert!(start.elapsed() < Duration::from_secs(1));
+        store.put(&sess, b"k", b"v").expect("usable session");
     }
 }

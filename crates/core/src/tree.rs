@@ -434,13 +434,20 @@ impl DurableMasstree {
             batches: Mutex::new(crate::batch::BatchSlots::load(arena)),
         });
         let tree = Self::shard_handle(&inner, 0);
-        // One empty root leaf per shard, each behind its own holder cell,
-        // plus the shard's durable epoch-domain cell.
+        // One empty root leaf per shard, each behind its own holder cell.
         for s in 0..config.shards {
             let root = tree.new_leaf(0, epoch, /*is_root*/ true, /*locked*/ false)?;
             arena.pwrite_u64(superblock::shard_root_holder(s), root);
-            arena.pwrite_u64(superblock::domain_cur_epoch_off(s), 1);
-            arena.pwrite_u64(superblock::domain_exec_epoch_off(s), 1);
+        }
+        // Seal the mkfs epoch before the flush below makes it a durable
+        // checkpoint: every carve and free-list move above is InCLL-tagged
+        // with `epoch`, so the store must *execute* in `epoch + 1`. Were a
+        // crash before the first runtime boundary to fail the mkfs epoch
+        // itself, allocator recovery would revert those moves — un-carving
+        // the very root leaves the flushed tree references — and later
+        // allocations would hand their memory out again.
+        for s in 0..config.shards {
+            inner.mgr.restart_domain_at(s, epoch + 1);
         }
         arena.pwrite_u64(superblock::SB_SHARD_COUNT, config.shards as u64);
         arena.pwrite_u64(superblock::SB_TREE_META, 1);

@@ -1,0 +1,460 @@
+//! The group-commit stage: many small writes, one fence.
+//!
+//! Per-request durable commits pay one intent/commit-record protocol —
+//! and its fences — *per put*. For small values that protocol dominates
+//! the work. The [`GroupCommitter`] instead lets worker threads enqueue
+//! writes and return immediately; a dedicated committer thread drains
+//! the queue into one [`WriteBatch::commit_durable`] per group, bounded
+//! by a time window and ops/bytes budgets, then runs every enqueued
+//! completion. Requests from *different connections* coalesce into the
+//! same group, so the fence cost amortises across the whole server, not
+//! just one pipeline.
+//!
+//! [`WriteBatch::commit_durable`]: incll::WriteBatch::commit_durable
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use incll::{Session, Store, MAX_BATCH_OPS};
+
+/// When the committer closes a group and fences it.
+///
+/// A group commits as soon as **any** bound is hit: the window elapses
+/// (latency bound), or the pending ops/bytes reach their budgets
+/// (throughput bound — no point waiting once a batch is full).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupConfig {
+    /// Longest a queued write waits before its group commits, measured
+    /// from the moment the group's *first* write arrived.
+    pub window: Duration,
+    /// Commit immediately once this many writes are pending.
+    pub max_ops: usize,
+    /// Commit immediately once the pending writes' key+value bytes
+    /// reach this budget.
+    pub max_bytes: usize,
+}
+
+impl Default for GroupConfig {
+    fn default() -> Self {
+        GroupConfig {
+            window: Duration::from_micros(200),
+            max_ops: MAX_BATCH_OPS,
+            max_bytes: 1 << 20,
+        }
+    }
+}
+
+/// One write awaiting its group.
+pub enum GroupOp {
+    /// Insert or update `key`.
+    Put {
+        /// The key.
+        key: Vec<u8>,
+        /// The value.
+        val: Vec<u8>,
+    },
+    /// Remove `key`.
+    Del {
+        /// The key.
+        key: Vec<u8>,
+    },
+}
+
+impl GroupOp {
+    fn bytes(&self) -> usize {
+        match self {
+            GroupOp::Put { key, val } => key.len() + val.len(),
+            GroupOp::Del { key } => key.len(),
+        }
+    }
+}
+
+/// Called exactly once when the write's group commits (or fails):
+/// `Ok(batch_id)` after the group's commit record is durable.
+pub type Completion = Box<dyn FnOnce(Result<u64, String>) + Send>;
+
+struct PendingWrite {
+    op: GroupOp,
+    done: Completion,
+}
+
+struct State {
+    pending: Vec<PendingWrite>,
+    pending_bytes: usize,
+    /// When the oldest pending write arrived; the window counts from here.
+    first_at: Option<Instant>,
+    stop: bool,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    cv: Condvar,
+    cfg: GroupConfig,
+    /// Groups durably committed (fence-bearing commits).
+    groups: AtomicU64,
+    /// Writes that rode in those groups.
+    ops: AtomicU64,
+}
+
+/// The committer: owns the queue and the thread that drains it.
+///
+/// Dropping the committer commits every still-pending write (no
+/// enqueued ack is ever dropped) and joins the thread.
+pub struct GroupCommitter {
+    inner: Arc<Inner>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl GroupCommitter {
+    /// Starts the committer thread. `sess` is the session the thread
+    /// commits through — acquire it from the same [`Store`] before
+    /// spawning workers so pool exhaustion surfaces at startup.
+    pub fn start(store: Store, sess: Session, cfg: GroupConfig) -> Self {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                pending: Vec::new(),
+                pending_bytes: 0,
+                first_at: None,
+                stop: false,
+            }),
+            cv: Condvar::new(),
+            cfg,
+            groups: AtomicU64::new(0),
+            ops: AtomicU64::new(0),
+        });
+        let thread = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("incll-group-commit".into())
+                .spawn(move || committer_loop(&inner, &store, &sess))
+                .expect("spawn group-commit thread")
+        };
+        GroupCommitter {
+            inner,
+            thread: Some(thread),
+        }
+    }
+
+    /// Enqueues one write; `done` runs once its group is durable.
+    pub fn submit(&self, op: GroupOp, done: Completion) {
+        let mut st = self.inner.state.lock().unwrap();
+        if st.stop {
+            drop(st);
+            done(Err("server shutting down".into()));
+            return;
+        }
+        st.pending_bytes += op.bytes();
+        if st.first_at.is_none() {
+            st.first_at = Some(Instant::now());
+        }
+        st.pending.push(PendingWrite { op, done });
+        // The committer re-derives deadlines itself; one wake suffices
+        // whether this write opened a group or filled one.
+        self.inner.cv.notify_one();
+    }
+
+    /// `(groups_committed, ops_grouped)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.inner.groups.load(Ordering::Relaxed),
+            self.inner.ops.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Commits everything still queued, then stops the thread.
+    pub fn shutdown(&mut self) {
+        {
+            let mut st = self.inner.state.lock().unwrap();
+            st.stop = true;
+        }
+        self.inner.cv.notify_all();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for GroupCommitter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn committer_loop(inner: &Inner, store: &Store, sess: &Session) {
+    loop {
+        // Phase 1: wait until a group is ready to close.
+        let (writes, stopping) = {
+            let mut st = inner.state.lock().unwrap();
+            loop {
+                if st.stop {
+                    break;
+                }
+                if st.pending.is_empty() {
+                    st = inner.cv.wait(st).unwrap();
+                    continue;
+                }
+                let elapsed = st.first_at.expect("first_at set with pending").elapsed();
+                if elapsed >= inner.cfg.window
+                    || st.pending.len() >= inner.cfg.max_ops
+                    || st.pending_bytes >= inner.cfg.max_bytes
+                {
+                    break;
+                }
+                // Group still open: sleep out the rest of the window (a
+                // budget-filling submit wakes us early).
+                let (g, _) = inner
+                    .cv
+                    .wait_timeout(st, inner.cfg.window - elapsed)
+                    .unwrap();
+                st = g;
+            }
+            let writes = std::mem::take(&mut st.pending);
+            st.pending_bytes = 0;
+            st.first_at = None;
+            (writes, st.stop)
+        };
+
+        // Phase 2: commit outside the lock — submits keep flowing into
+        // the *next* group while this one fences.
+        if !writes.is_empty() {
+            commit_group(inner, sess, writes);
+        }
+        if stopping {
+            // One more sweep: submits may have raced the stop flag.
+            let leftovers = {
+                let mut st = inner.state.lock().unwrap();
+                st.pending_bytes = 0;
+                st.first_at = None;
+                std::mem::take(&mut st.pending)
+            };
+            if !leftovers.is_empty() {
+                commit_group(inner, sess, leftovers);
+            }
+            let _ = store; // the committer's store handle pins the pool
+            return;
+        }
+    }
+}
+
+/// Commits one closed group, chunking to the batch-size cap, and runs
+/// every completion with its chunk's outcome.
+fn commit_group(inner: &Inner, sess: &Session, writes: Vec<PendingWrite>) {
+    let mut writes = writes.into_iter().peekable();
+    while writes.peek().is_some() {
+        let mut batch = sess.batch();
+        let mut chunk_done: Vec<Completion> = Vec::new();
+        while chunk_done.len() < MAX_BATCH_OPS {
+            let Some(w) = writes.peek() else { break };
+            let staged = match &w.op {
+                GroupOp::Put { key, val } => batch.put(key, val),
+                GroupOp::Del { key } => batch.delete(key),
+            };
+            match staged {
+                Ok(()) => {
+                    let w = writes.next().unwrap();
+                    chunk_done.push(w.done);
+                }
+                Err(e) => {
+                    // A single bad write (oversized value) must not
+                    // poison its neighbours: fail it alone, keep going.
+                    let w = writes.next().unwrap();
+                    (w.done)(Err(e.to_string()));
+                }
+            }
+        }
+        if chunk_done.is_empty() {
+            continue;
+        }
+        match batch.commit_durable() {
+            Ok(id) => {
+                inner.groups.fetch_add(1, Ordering::Relaxed);
+                inner
+                    .ops
+                    .fetch_add(chunk_done.len() as u64, Ordering::Relaxed);
+                for done in chunk_done {
+                    done(Ok(id));
+                }
+            }
+            Err(e) => {
+                let msg = e.to_string();
+                for done in chunk_done {
+                    done(Err(msg.clone()));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incll::Options;
+    use incll_pmem::PArena;
+    use std::sync::mpsc;
+
+    fn store() -> (&'static PArena, Store) {
+        let arena = Box::leak(Box::new(
+            PArena::builder().capacity_bytes(64 << 20).build().unwrap(),
+        ));
+        let options = Options::new().threads(4).log_bytes_per_thread(4 << 20);
+        let (store, _) = Store::open(arena, options).unwrap();
+        (arena, store)
+    }
+
+    #[test]
+    fn a_full_window_commits_every_enqueued_write_once() {
+        let (_, store) = store();
+        let sess = store.session().unwrap();
+        let committer = GroupCommitter::start(
+            store.clone(),
+            store.session().unwrap(),
+            GroupConfig {
+                window: Duration::from_millis(2),
+                ..GroupConfig::default()
+            },
+        );
+        let (tx, rx) = mpsc::channel();
+        for i in 0..100u64 {
+            let tx = tx.clone();
+            committer.submit(
+                GroupOp::Put {
+                    key: i.to_be_bytes().to_vec(),
+                    val: vec![i as u8; 64],
+                },
+                Box::new(move |r| tx.send((i, r)).unwrap()),
+            );
+        }
+        let mut acked = 0;
+        for _ in 0..100 {
+            let (_, r) = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+            r.unwrap();
+            acked += 1;
+        }
+        assert_eq!(acked, 100);
+        for i in 0..100u64 {
+            assert_eq!(store.get(&sess, &i.to_be_bytes()), Some(vec![i as u8; 64]));
+        }
+        let (groups, ops) = committer.stats();
+        assert_eq!(ops, 100);
+        assert!(groups >= 1, "at least one group must have committed");
+        assert!(
+            groups < 100,
+            "grouping must coalesce: {groups} groups for 100 ops"
+        );
+    }
+
+    #[test]
+    fn max_ops_closes_a_group_before_the_window() {
+        let (_, store) = store();
+        let committer = GroupCommitter::start(
+            store.clone(),
+            store.session().unwrap(),
+            GroupConfig {
+                // A window long enough that only the ops budget can
+                // plausibly close the group.
+                window: Duration::from_secs(30),
+                max_ops: 8,
+                max_bytes: 1 << 20,
+            },
+        );
+        let (tx, rx) = mpsc::channel();
+        for i in 0..8u64 {
+            let tx = tx.clone();
+            committer.submit(
+                GroupOp::Put {
+                    key: i.to_be_bytes().to_vec(),
+                    val: b"v".to_vec(),
+                },
+                Box::new(move |r| tx.send(r).unwrap()),
+            );
+        }
+        for _ in 0..8 {
+            rx.recv_timeout(Duration::from_secs(5)).unwrap().unwrap();
+        }
+    }
+
+    #[test]
+    fn shutdown_flushes_pending_writes_instead_of_dropping_them() {
+        let (_, store) = store();
+        let sess = store.session().unwrap();
+        let mut committer = GroupCommitter::start(
+            store.clone(),
+            store.session().unwrap(),
+            GroupConfig {
+                window: Duration::from_secs(30), // would never fire on its own
+                ..GroupConfig::default()
+            },
+        );
+        let (tx, rx) = mpsc::channel();
+        for i in 0..5u64 {
+            let tx = tx.clone();
+            committer.submit(
+                GroupOp::Put {
+                    key: i.to_be_bytes().to_vec(),
+                    val: b"flushed".to_vec(),
+                },
+                Box::new(move |r| tx.send(r).unwrap()),
+            );
+        }
+        committer.shutdown();
+        for _ in 0..5 {
+            rx.recv_timeout(Duration::from_secs(5)).unwrap().unwrap();
+        }
+        for i in 0..5u64 {
+            assert_eq!(
+                store.get(&sess, &i.to_be_bytes()),
+                Some(b"flushed".to_vec())
+            );
+        }
+    }
+
+    #[test]
+    fn an_oversized_value_fails_alone_without_poisoning_the_group() {
+        let (_, store) = store();
+        let sess = store.session().unwrap();
+        let committer = GroupCommitter::start(
+            store.clone(),
+            store.session().unwrap(),
+            GroupConfig {
+                window: Duration::from_millis(2),
+                ..GroupConfig::default()
+            },
+        );
+        let (tx, rx) = mpsc::channel();
+        let t1 = tx.clone();
+        committer.submit(
+            GroupOp::Put {
+                key: b"good-1".to_vec(),
+                val: b"x".to_vec(),
+            },
+            Box::new(move |r| t1.send(("g1", r)).unwrap()),
+        );
+        let t2 = tx.clone();
+        committer.submit(
+            GroupOp::Put {
+                key: b"bad".to_vec(),
+                val: vec![0u8; incll::MAX_VALUE_BYTES + 1],
+            },
+            Box::new(move |r| t2.send(("bad", r)).unwrap()),
+        );
+        committer.submit(
+            GroupOp::Put {
+                key: b"good-2".to_vec(),
+                val: b"y".to_vec(),
+            },
+            Box::new(move |r| tx.send(("g2", r)).unwrap()),
+        );
+        let mut outcomes = std::collections::BTreeMap::new();
+        for _ in 0..3 {
+            let (who, r) = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+            outcomes.insert(who, r.is_ok());
+        }
+        assert!(outcomes["g1"]);
+        assert!(!outcomes["bad"]);
+        assert!(outcomes["g2"]);
+        assert_eq!(store.get(&sess, b"good-2"), Some(b"y".to_vec()));
+        assert_eq!(store.get(&sess, b"bad"), None);
+    }
+}

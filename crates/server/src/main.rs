@@ -1,0 +1,131 @@
+//! `incll-server` — serve an InCLL store over TCP.
+//!
+//! ```text
+//! incll-server [--addr HOST:PORT] [--mem MIB] [--shards N] [--threads N]
+//!              [--workers N] [--commit per-request|group|async]
+//!              [--window-us U] [--group-max-ops N] [--group-max-bytes B]
+//! ```
+//!
+//! The store lives in an in-memory persistent-arena emulation; the
+//! binary exists to put the full network stack (framing, pipelining,
+//! group commit) under real sockets and real load generators.
+
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use incll::{Options, Store};
+use incll_pmem::PArena;
+use incll_server::{CommitMode, GroupConfig, Server, ServerConfig};
+
+struct Args {
+    addr: String,
+    mem_mib: usize,
+    shards: usize,
+    threads: usize,
+    workers: usize,
+    commit: CommitMode,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7700".into(),
+        mem_mib: 256,
+        shards: 4,
+        threads: 8,
+        workers: 4,
+        commit: CommitMode::Group(GroupConfig::default()),
+    };
+    let mut group = GroupConfig::default();
+    let mut commit_kind = "group".to_string();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = val("--addr")?,
+            "--mem" => args.mem_mib = num(&val("--mem")?)?,
+            "--shards" => args.shards = num(&val("--shards")?)?,
+            "--threads" => args.threads = num(&val("--threads")?)?,
+            "--workers" => args.workers = num(&val("--workers")?)?,
+            "--commit" => commit_kind = val("--commit")?,
+            "--window-us" => {
+                group.window = Duration::from_micros(num(&val("--window-us")?)? as u64)
+            }
+            "--group-max-ops" => group.max_ops = num(&val("--group-max-ops")?)?,
+            "--group-max-bytes" => group.max_bytes = num(&val("--group-max-bytes")?)?,
+            "--help" | "-h" => {
+                return Err("usage: incll-server [--addr HOST:PORT] [--mem MIB] \
+                            [--shards N] [--threads N] [--workers N] \
+                            [--commit per-request|group|async] [--window-us U] \
+                            [--group-max-ops N] [--group-max-bytes B]"
+                    .into())
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    args.commit = match commit_kind.as_str() {
+        "per-request" => CommitMode::PerRequest,
+        "group" => CommitMode::Group(group),
+        "async" => CommitMode::Async,
+        other => return Err(format!("unknown commit mode {other}")),
+    };
+    Ok(args)
+}
+
+fn num(s: &str) -> Result<usize, String> {
+    s.parse().map_err(|_| format!("not a number: {s}"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let arena = match PArena::builder().capacity_bytes(args.mem_mib << 20).build() {
+        Ok(a) => Box::leak(Box::new(a)),
+        Err(e) => {
+            eprintln!("arena: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Workers + group committer + the main thread all hold sessions.
+    let threads = args.threads.max(args.workers + 2);
+    let options = Options::new().threads(threads).shards(args.shards);
+    let (store, report) = match Store::open(arena, options) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("store: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !report.created {
+        eprintln!("recovered: {report:?}");
+    }
+    let listener = match TcpListener::bind(&args.addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = ServerConfig {
+        workers: args.workers,
+        commit: args.commit,
+        session_timeout: Duration::from_secs(5),
+    };
+    let server = match Server::start(store, listener, cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("incll-server listening on {}", server.local_addr());
+    // Serve until killed; the driver scripts stop us with a signal.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,530 @@
+//! The concurrent TCP front-end: M connections on N worker sessions.
+//!
+//! ```text
+//!  conn 1 ──reader──┐                       ┌─ worker 1 (Session) ─┐
+//!  conn 2 ──reader──┼──▶ shared job queue ──┼─ worker 2 (Session) ─┼─▶ per-conn
+//!    ...            │    (seq-stamped)      │        ...           │   reorder
+//!  conn M ──reader──┘                       └─ worker N (Session) ─┘   buffers
+//!                                                   │
+//!                                     puts/dels ────┴──▶ group committer
+//! ```
+//!
+//! Each connection gets a cheap reader thread that frames requests and
+//! stamps them with a per-connection sequence number; the heavyweight
+//! resource — a [`Session`] from the store's bounded pool — is held by
+//! the N workers, so M ≫ N connections share N sessions. Workers finish
+//! requests in whatever order the queue and the group committer dictate;
+//! the per-connection **reorder buffer** holds completed frames until
+//! all earlier sequence numbers have flushed, so each client observes
+//! strict request order while later requests execute under earlier ones
+//! still in flight (pipelining).
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use incll::{Error, Session, Store};
+
+use crate::group::{GroupCommitter, GroupConfig, GroupOp};
+use crate::protocol::{
+    decode_request, encode_response, read_frame, BatchOp, Request, Response, WireError,
+};
+
+/// How (and when) a PUT or DEL becomes durable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommitMode {
+    /// Every write commits durably before its response — one
+    /// intent/commit protocol (and its fences) per request. The
+    /// baseline the group committer is measured against.
+    PerRequest,
+    /// Writes coalesce across connections into fence-shared groups;
+    /// the response is sent only after the write's group is durable.
+    Group(GroupConfig),
+    /// Writes apply in place and are acknowledged immediately; they
+    /// become durable only at the next epoch boundary. Acked writes
+    /// **can vanish** in a crash — the fast, weak mode.
+    Async,
+}
+
+/// Server tunables.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads (= sessions drawn from the store's pool).
+    pub workers: usize,
+    /// Durability discipline for PUT and DEL (BATCH is always durable).
+    pub commit: CommitMode,
+    /// How long `Server::start` waits for each worker's session before
+    /// giving up with [`Error::SessionTimeout`].
+    pub session_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 2,
+            commit: CommitMode::Group(GroupConfig::default()),
+            session_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Atomic request counters, surfaced by the STATS opcode.
+#[derive(Default)]
+struct Counters {
+    conns: AtomicU64,
+    requests: AtomicU64,
+    gets: AtomicU64,
+    puts: AtomicU64,
+    dels: AtomicU64,
+    batches: AtomicU64,
+    scans: AtomicU64,
+    wire_errors: AtomicU64,
+}
+
+/// One queued request, stamped with its connection and order.
+struct Job {
+    conn: Arc<Conn>,
+    seq: u64,
+    req: Result<Request, WireError>,
+}
+
+/// The response side of one connection: frames complete out of order
+/// (workers + group committer race) but must leave in `seq` order.
+struct OutBuf {
+    sock: TcpStream,
+    /// Next sequence number the socket owes the client.
+    next: u64,
+    /// Completed frames waiting on earlier ones.
+    ready: BTreeMap<u64, Vec<u8>>,
+    /// Set once a write fails; later frames are dropped silently.
+    broken: bool,
+}
+
+struct Conn {
+    out: Mutex<OutBuf>,
+}
+
+impl Conn {
+    /// Hands `seq`'s encoded frame to the reorder buffer, flushing the
+    /// in-order prefix to the socket.
+    fn complete(&self, seq: u64, frame: Vec<u8>) {
+        let mut out = self.out.lock().unwrap();
+        out.ready.insert(seq, frame);
+        while let Some(frame) = {
+            let next = out.next;
+            out.ready.remove(&next)
+        } {
+            out.next += 1;
+            if out.broken {
+                continue;
+            }
+            if out.sock.write_all(&frame).is_err() {
+                // The client went away; keep draining so seqs stay
+                // contiguous and memory doesn't pool in `ready`.
+                out.broken = true;
+            }
+        }
+        if !out.broken && out.ready.is_empty() {
+            let _ = out.sock.flush();
+        }
+    }
+}
+
+struct Shared {
+    store: Store,
+    commit: CommitMode,
+    queue: Mutex<VecDeque<Job>>,
+    queue_cv: Condvar,
+    stop: AtomicBool,
+    counters: Counters,
+    group: Option<GroupCommitter>,
+}
+
+/// A running server; dropping it (or calling [`Server::shutdown`])
+/// stops every thread and flushes the group committer.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds worker sessions and starts serving `listener`.
+    ///
+    /// Sessions for all workers (plus one for the group committer) are
+    /// acquired up front with [`Store::session_blocking`], so a pool
+    /// too small for `cfg.workers` fails here with
+    /// [`Error::SessionTimeout`] instead of wedging a worker later.
+    pub fn start(store: Store, listener: TcpListener, cfg: ServerConfig) -> Result<Server, Error> {
+        let addr = listener
+            .local_addr()
+            .expect("bound listener has an address");
+        listener
+            .set_nonblocking(true)
+            .expect("set_nonblocking on listener");
+
+        // Reserve every session before any thread spawns.
+        let mut sessions = Vec::with_capacity(cfg.workers);
+        for _ in 0..cfg.workers {
+            sessions.push(store.session_blocking(cfg.session_timeout)?);
+        }
+        let group = match &cfg.commit {
+            CommitMode::Group(gc) => {
+                let sess = store.session_blocking(cfg.session_timeout)?;
+                Some(GroupCommitter::start(store.clone(), sess, gc.clone()))
+            }
+            _ => None,
+        };
+
+        let shared = Arc::new(Shared {
+            store,
+            commit: cfg.commit.clone(),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+            counters: Counters::default(),
+            group,
+        });
+
+        let workers = sessions
+            .into_iter()
+            .enumerate()
+            .map(|(i, sess)| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("incll-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &sess))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let readers = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let readers = Arc::clone(&readers);
+            std::thread::Builder::new()
+                .name("incll-acceptor".into())
+                .spawn(move || accept_loop(&shared, &listener, &readers))
+                .expect("spawn acceptor")
+        };
+
+        Ok(Server {
+            shared,
+            addr,
+            acceptor: Some(acceptor),
+            workers,
+            readers,
+        })
+    }
+
+    /// The address the server is listening on (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// `(groups_committed, ops_grouped)` from the group committer, or
+    /// zeros when running in a non-grouping commit mode.
+    pub fn group_stats(&self) -> (u64, u64) {
+        self.shared.group.as_ref().map_or((0, 0), |g| g.stats())
+    }
+
+    /// Stops accepting, drains the group committer, joins every thread.
+    /// In-flight requests complete; their responses still flush.
+    pub fn shutdown(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.queue_cv.notify_all();
+        if let Some(t) = self.acceptor.take() {
+            let _ = t.join();
+        }
+        for t in std::mem::take(&mut *self.readers.lock().unwrap()) {
+            let _ = t.join();
+        }
+        // Readers are gone, so no new jobs: wake workers to drain out.
+        self.shared.queue_cv.notify_all();
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+        // Workers are gone; flushing the committer completes the last
+        // grouped acks before the sockets drop.
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener, readers: &Mutex<Vec<JoinHandle<()>>>) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((sock, _)) => {
+                shared.counters.conns.fetch_add(1, Ordering::Relaxed);
+                let _ = sock.set_nodelay(true);
+                // A finite read timeout lets the reader poll `stop`.
+                let _ = sock.set_read_timeout(Some(Duration::from_millis(50)));
+                let write_half = sock.try_clone().expect("clone socket");
+                let conn = Arc::new(Conn {
+                    out: Mutex::new(OutBuf {
+                        sock: write_half,
+                        next: 0,
+                        ready: BTreeMap::new(),
+                        broken: false,
+                    }),
+                });
+                let shared = Arc::clone(shared);
+                let handle = std::thread::Builder::new()
+                    .name("incll-reader".into())
+                    .spawn(move || reader_loop(&shared, sock, &conn))
+                    .expect("spawn reader");
+                readers.lock().unwrap().push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Retries the socket's read timeouts so `read_frame` never observes a
+/// mid-frame `WouldBlock` (which would drop partially read bytes and
+/// desync the stream). Each timeout tick polls the stop flag; stopping
+/// surfaces as `ConnectionAborted` — a kind `read_exact` won't retry.
+struct PollRead<'a> {
+    sock: &'a mut TcpStream,
+    stop: &'a AtomicBool,
+}
+
+impl io::Read for PollRead<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        loop {
+            match io::Read::read(self.sock, buf) {
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    if self.stop.load(Ordering::SeqCst) {
+                        return Err(io::Error::new(
+                            io::ErrorKind::ConnectionAborted,
+                            "server stopping",
+                        ));
+                    }
+                }
+                r => return r,
+            }
+        }
+    }
+}
+
+/// Frames one connection's requests into seq-stamped jobs.
+fn reader_loop(shared: &Arc<Shared>, mut sock: TcpStream, conn: &Arc<Conn>) {
+    let mut seq = 0u64;
+    loop {
+        let mut poll = PollRead {
+            sock: &mut sock,
+            stop: &shared.stop,
+        };
+        let payload = match read_frame(&mut poll) {
+            Ok(Some(p)) => p,
+            Ok(None) => return, // clean close between frames
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Oversized header: we cannot resynchronise the stream,
+                // so answer in order and hang up.
+                enqueue(
+                    shared,
+                    conn,
+                    seq,
+                    Err(WireError::Oversized {
+                        len: 0,
+                        max: crate::protocol::MAX_FRAME_BYTES,
+                    }),
+                );
+                return;
+            }
+            Err(_) => return, // peer reset / mid-frame EOF
+        };
+        // Frame intact: a decode error is answerable without desync.
+        enqueue(shared, conn, seq, decode_request(&payload));
+        seq += 1;
+    }
+}
+
+fn enqueue(shared: &Arc<Shared>, conn: &Arc<Conn>, seq: u64, req: Result<Request, WireError>) {
+    let job = Job {
+        conn: Arc::clone(conn),
+        seq,
+        req,
+    };
+    shared.queue.lock().unwrap().push_back(job);
+    shared.queue_cv.notify_one();
+}
+
+fn worker_loop(shared: &Arc<Shared>, sess: &Session) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                q = shared.queue_cv.wait(q).unwrap();
+            }
+        };
+        handle_job(shared, sess, job);
+    }
+}
+
+fn frame_of(resp: &Response) -> Vec<u8> {
+    let mut buf = Vec::new();
+    encode_response(resp, &mut buf);
+    buf
+}
+
+fn handle_job(shared: &Arc<Shared>, sess: &Session, job: Job) {
+    let c = &shared.counters;
+    c.requests.fetch_add(1, Ordering::Relaxed);
+    let req = match job.req {
+        Ok(req) => req,
+        Err(e) => {
+            c.wire_errors.fetch_add(1, Ordering::Relaxed);
+            job.conn
+                .complete(job.seq, frame_of(&Response::Error(e.to_string())));
+            return;
+        }
+    };
+    let store = &shared.store;
+    let resp = match req {
+        Request::Get { key } => {
+            c.gets.fetch_add(1, Ordering::Relaxed);
+            match store.get(sess, &key) {
+                Some(val) => Response::Value(val),
+                None => Response::NotFound,
+            }
+        }
+        Request::Put { key, val } => {
+            c.puts.fetch_add(1, Ordering::Relaxed);
+            match &shared.commit {
+                CommitMode::Async => match store.put(sess, &key, &val) {
+                    Ok(_) => Response::Ok,
+                    Err(e) => Response::Error(e.to_string()),
+                },
+                CommitMode::PerRequest => {
+                    let mut b = sess.batch();
+                    match b
+                        .put(&key, &val)
+                        .and_then(|()| b.commit_durable().map(|_| ()))
+                    {
+                        Ok(()) => Response::Ok,
+                        Err(e) => Response::Error(e.to_string()),
+                    }
+                }
+                CommitMode::Group(_) => {
+                    submit_grouped(shared, job.conn, job.seq, GroupOp::Put { key, val });
+                    return; // the committer completes this seq
+                }
+            }
+        }
+        Request::Del { key } => {
+            c.dels.fetch_add(1, Ordering::Relaxed);
+            match &shared.commit {
+                CommitMode::Async => {
+                    store.remove(sess, &key);
+                    Response::Ok
+                }
+                CommitMode::PerRequest => {
+                    let mut b = sess.batch();
+                    match b.delete(&key).and_then(|()| b.commit_durable().map(|_| ())) {
+                        Ok(()) => Response::Ok,
+                        Err(e) => Response::Error(e.to_string()),
+                    }
+                }
+                CommitMode::Group(_) => {
+                    submit_grouped(shared, job.conn, job.seq, GroupOp::Del { key });
+                    return;
+                }
+            }
+        }
+        Request::Batch { ops } => {
+            c.batches.fetch_add(1, Ordering::Relaxed);
+            let mut b = sess.batch();
+            let staged = ops.iter().try_for_each(|op| match op {
+                BatchOp::Put { key, val } => b.put(key, val),
+                BatchOp::Del { key } => b.delete(key),
+            });
+            match staged.and_then(|()| b.commit_durable()) {
+                Ok(id) => Response::Committed(id),
+                Err(e) => Response::Error(e.to_string()),
+            }
+        }
+        Request::Scan { start, limit } => {
+            c.scans.fetch_add(1, Ordering::Relaxed);
+            let mut entries = Vec::new();
+            store.scan(sess, &start, limit as usize, &mut |k, v| {
+                entries.push((k.to_vec(), v.to_vec()));
+            });
+            Response::Entries(entries)
+        }
+        Request::Stats => Response::Stats(stats_json(shared)),
+    };
+    job.conn.complete(job.seq, frame_of(&resp));
+}
+
+/// Routes a write through the group committer; the completion runs on
+/// the committer thread once the write's group is durable.
+fn submit_grouped(shared: &Arc<Shared>, conn: Arc<Conn>, seq: u64, op: GroupOp) {
+    let group = shared.group.as_ref().expect("Group mode has a committer");
+    group.submit(
+        op,
+        Box::new(move |outcome| {
+            let resp = match outcome {
+                Ok(_) => Response::Ok,
+                Err(msg) => Response::Error(msg),
+            };
+            conn.complete(seq, frame_of(&resp));
+        }),
+    );
+}
+
+/// Hand-rolled flat JSON object — the protocol's one schemaless reply.
+fn stats_json(shared: &Shared) -> String {
+    let c = &shared.counters;
+    let (groups, grouped_ops) = shared.group.as_ref().map_or((0, 0), |g| g.stats());
+    let pm = shared.store.arena().stats().snapshot();
+    let mode = match &shared.commit {
+        CommitMode::PerRequest => "per_request",
+        CommitMode::Group(_) => "group",
+        CommitMode::Async => "async",
+    };
+    format!(
+        concat!(
+            "{{\"commit_mode\":\"{}\",\"connections\":{},\"requests\":{},",
+            "\"gets\":{},\"puts\":{},\"dels\":{},\"batches\":{},\"scans\":{},",
+            "\"wire_errors\":{},\"groups_committed\":{},\"ops_grouped\":{},",
+            "\"sfences\":{},\"clwbs\":{},\"shards\":{}}}"
+        ),
+        mode,
+        c.conns.load(Ordering::Relaxed),
+        c.requests.load(Ordering::Relaxed),
+        c.gets.load(Ordering::Relaxed),
+        c.puts.load(Ordering::Relaxed),
+        c.dels.load(Ordering::Relaxed),
+        c.batches.load(Ordering::Relaxed),
+        c.scans.load(Ordering::Relaxed),
+        c.wire_errors.load(Ordering::Relaxed),
+        groups,
+        grouped_ops,
+        pm.sfence,
+        pm.clwb,
+        shared.store.shard_count(),
+    )
+}

@@ -10,7 +10,10 @@
 //! * [`shift`] — a skew-shifting variant whose Zipfian hotspot rotates
 //!   across shards (for adaptive-cadence experiments);
 //! * [`runner`] — a multi-threaded load/run driver generic over the
-//!   three systems under test via [`runner::KvBench`].
+//!   three systems under test via [`runner::KvBench`];
+//! * [`net`] — the same mixes driven over TCP against `incll-server`,
+//!   closed-loop (max throughput) or open-loop (fixed-rate schedules
+//!   with coordinated-omission-safe latency percentiles).
 //!
 //! # Example
 //!
@@ -34,11 +37,15 @@
 //! # }
 //! ```
 
+pub mod net;
 pub mod runner;
 pub mod shift;
 pub mod workload;
 pub mod zipf;
 
+pub use net::{
+    net_load, run_closed_loop, run_open_loop, NetClient, NetRunConfig, NetRunResult, OpenLoopResult,
+};
 pub use runner::{
     load, run, run_full, run_with_reads, run_with_writes, KvBench, ReadMode, RunConfig, RunResult,
     WriteMode,

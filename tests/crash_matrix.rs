@@ -148,9 +148,10 @@ fn run_cell(
     gran: usize,
 ) -> CellOutcome {
     let arena = tracked();
-    // Per-shard epoch mirror: create leaves every shard at epoch 1; every
-    // advance (+1), every crash/reopen (+1, restart past the failure).
-    let mut epochs = vec![1u64; shards];
+    // Per-shard epoch mirror: create seals the mkfs epoch and leaves
+    // every shard executing at epoch 2; every advance (+1), every
+    // crash/reopen (+1, restart past the failure).
+    let mut epochs = vec![2u64; shards];
     let mut working: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
     let mut expect: BTreeMap<Vec<u8>, Vec<u8>>;
 
@@ -588,7 +589,7 @@ fn recovered_store_stays_writable_and_durable_at_every_cell_shape() {
     for &shards in &[1usize, 8] {
         for &point in CRASH_POINTS {
             let arena = tracked();
-            let mut epochs = vec![1u64; shards];
+            let mut epochs = vec![2u64; shards];
             {
                 let (store, _) = Store::open(&arena, options(shards, 2)).unwrap();
                 let sess = store.session().unwrap();
@@ -627,6 +628,52 @@ fn recovered_store_stays_writable_and_durable_at_every_cell_shape() {
             let sess = store.session().unwrap();
             assert_eq!(store.get(&sess, b"after").as_deref(), Some(&b"alive"[..]));
             assert_eq!(store.get(&sess, &0u64.to_be_bytes()), Some(bval(0)));
+        }
+    }
+}
+
+/// Regression: a store crashed **before any runtime checkpoint** must
+/// still hand out fresh memory after recovery. The mkfs flush seals the
+/// create epoch (`DurableMasstree::create` restarts every domain past
+/// it), so the first failed epoch can never be the one whose carves and
+/// free-list moves produced the root leaves — were it, allocator
+/// recovery would un-carve them and post-recovery puts would recycle
+/// live node memory (observed as a clobbered version word).
+#[test]
+fn puts_after_a_crash_with_no_prior_checkpoint_stay_sound() {
+    for &shards in &[1usize, 4] {
+        for &gran in &[0usize, 4096] {
+            let arena = tracked();
+            {
+                let (store, _) = Store::open(&arena, options_g(shards, 2, gran)).unwrap();
+                let sess = store.session().unwrap();
+                for i in 0..40u64 {
+                    store.put(&sess, &i.to_be_bytes(), &bval(i)).unwrap();
+                }
+                // No checkpoint: every put above dies with the epoch.
+            }
+            arena.crash_seeded(21 ^ shards as u64);
+            let (store, _) = Store::open(&arena, options_g(shards, 2, gran)).unwrap();
+            let sess = store.session().unwrap();
+            for i in 0..40u64 {
+                assert_eq!(
+                    store.get(&sess, &i.to_be_bytes()),
+                    None,
+                    "shards={shards} gran={gran}: uncheckpointed put survived"
+                );
+            }
+            // New work must land in fresh memory, not the rolled-back
+            // tree's nodes.
+            for i in 100..140u64 {
+                store.put(&sess, &i.to_be_bytes(), &bval(i)).unwrap();
+            }
+            for i in 100..140u64 {
+                assert_eq!(
+                    store.get(&sess, &i.to_be_bytes()),
+                    Some(bval(i)),
+                    "shards={shards} gran={gran}: post-recovery put lost"
+                );
+            }
         }
     }
 }

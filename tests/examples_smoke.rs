@@ -1,7 +1,7 @@
 //! Workspace smoke test: every shipped example must run to completion.
 //!
 //! Each example is a self-checking scenario (quickstart, kvstore,
-//! durable_alloc, crash_recovery) that asserts internally and exits
+//! durable_alloc, crash_recovery, net_kv) that asserts internally and exits
 //! non-zero on failure, so "exits 0" is a real end-to-end check of the
 //! public API surface. CI runs this via plain `cargo test`.
 
@@ -40,4 +40,9 @@ fn durable_alloc_runs() {
 #[test]
 fn crash_recovery_runs() {
     run_example("crash_recovery");
+}
+
+#[test]
+fn net_kv_runs() {
+    run_example("net_kv");
 }

@@ -416,13 +416,14 @@ proptest! {
 
         let (store, report) = open_store_with_g(&arena, shards, workers, gran);
         // Each shard's failed epoch is exactly its own advance history:
-        // epoch 1 at create, +1 for the common barrier, +1 per
-        // checkpoint_shard. True at every recovery worker count.
+        // Epoch 2 at create (the mkfs epoch is sealed), +1 for the common
+        // barrier, +1 per checkpoint_shard. True at every recovery worker
+        // count.
         prop_assert_eq!(report.parallel_workers, workers.min(shards));
         prop_assert_eq!(report.per_shard.len(), shards);
         for (s, rep) in report.per_shard.iter().enumerate() {
             prop_assert_eq!(rep.shard, s);
-            prop_assert_eq!(rep.failed_epoch, 2 + advances_done[s],
+            prop_assert_eq!(rep.failed_epoch, 3 + advances_done[s],
                 "shard {} advanced {} times", s, advances_done[s]);
             prop_assert_eq!(rep.recovered_epoch, rep.failed_epoch + 1);
         }

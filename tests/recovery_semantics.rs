@@ -105,8 +105,10 @@ fn recovery_report_counts_replayed_entries() {
     assert!(!report.created);
     assert!(report.replayed_entries > 0);
     assert!(report.replayed_bytes >= report.replayed_entries * 8);
-    assert_eq!(report.failed_epoch, 2);
-    assert_eq!(report.failed_epochs, vec![2]);
+    // Create executes at epoch 2 (mkfs epoch sealed); the checkpoint
+    // advances to 3, which the crash then fails.
+    assert_eq!(report.failed_epoch, 3);
+    assert_eq!(report.failed_epochs, vec![3]);
 }
 
 #[test]

@@ -1,0 +1,136 @@
+//! Property tests for the server's wire codec.
+//!
+//! The codec is the trust boundary between untrusted sockets and the
+//! store, so the properties are adversarial: arbitrary requests and
+//! responses must round-trip exactly, and *every* mangling of a valid
+//! frame — truncation at any byte, trailing garbage, an unknown tag —
+//! must surface as a typed [`WireError`], never a panic or a
+//! misdecoded message.
+//!
+//! [`WireError`]: incll_server::WireError
+
+use incll_server::{
+    decode_request, decode_response, encode_request, encode_response, BatchOp, Request, Response,
+    WireError,
+};
+use proptest::prelude::*;
+
+fn bytes(max: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..max)
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    let op = (any::<bool>(), bytes(24), bytes(48)).prop_map(|(is_put, key, val)| {
+        if is_put {
+            BatchOp::Put { key, val }
+        } else {
+            BatchOp::Del { key }
+        }
+    });
+    prop_oneof![
+        bytes(24).prop_map(|key| Request::Get { key }),
+        (bytes(24), bytes(64)).prop_map(|(key, val)| Request::Put { key, val }),
+        bytes(24).prop_map(|key| Request::Del { key }),
+        proptest::collection::vec(op, 0..8).prop_map(|ops| Request::Batch { ops }),
+        (bytes(24), any::<u32>()).prop_map(|(start, limit)| Request::Scan { start, limit }),
+        Just(Request::Stats),
+    ]
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        Just(Response::Ok),
+        Just(Response::NotFound),
+        bytes(40).prop_map(|b| Response::Error(String::from_utf8_lossy(&b).into_owned())),
+        bytes(80).prop_map(Response::Value),
+        any::<u64>().prop_map(Response::Committed),
+        proptest::collection::vec((bytes(16), bytes(24)), 0..6).prop_map(Response::Entries),
+        bytes(40).prop_map(|b| Response::Stats(String::from_utf8_lossy(&b).into_owned())),
+    ]
+}
+
+fn encoded_request(req: &Request) -> Vec<u8> {
+    let mut buf = Vec::new();
+    encode_request(req, &mut buf);
+    buf
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn requests_roundtrip(req in arb_request()) {
+        let buf = encoded_request(&req);
+        let len = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+        prop_assert_eq!(len, buf.len() - 4, "header length must match payload");
+        prop_assert_eq!(decode_request(&buf[4..]).unwrap(), req);
+    }
+
+    #[test]
+    fn responses_roundtrip(resp in arb_response()) {
+        let mut buf = Vec::new();
+        encode_response(&resp, &mut buf);
+        prop_assert_eq!(decode_response(&buf[4..]).unwrap(), resp);
+    }
+
+    /// Truncating a valid request payload at any point must produce a
+    /// typed error, never a panic and never a successful decode.
+    #[test]
+    fn truncated_requests_error_cleanly(req in arb_request(), cut_sel in any::<u16>()) {
+        let buf = encoded_request(&req);
+        let payload = &buf[4..];
+        let cut = cut_sel as usize % payload.len().max(1);
+        if cut < payload.len() {
+            let err = decode_request(&payload[..cut]).unwrap_err();
+            prop_assert!(matches!(
+                err,
+                WireError::Truncated { .. } | WireError::Malformed(_)
+            ), "cut at {} of {} gave {:?}", cut, payload.len(), err);
+        }
+    }
+
+    /// Appending any garbage to a valid payload is a typed
+    /// `TrailingBytes` error — frames carry exactly one message.
+    #[test]
+    fn trailing_garbage_is_rejected(req in arb_request(), junk in bytes(16)) {
+        if junk.is_empty() {
+            return Ok(());
+        }
+        let buf = encoded_request(&req);
+        let mut payload = buf[4..].to_vec();
+        let extra = junk.len();
+        payload.extend_from_slice(&junk);
+        // Variable-length tails (a trailing value/count) may absorb a
+        // prefix of the junk into a *failed* parse, but never into a
+        // success that silently drops bytes.
+        match decode_request(&payload) {
+            Ok(decoded) => prop_assert!(
+                false,
+                "accepted {extra} junk bytes, decoded {decoded:?}"
+            ),
+            Err(WireError::TrailingBytes { extra: e }) => prop_assert!(e >= 1 && e <= extra),
+            Err(_) => {} // typed rejection: fine
+        }
+    }
+
+    /// Arbitrary byte soup never panics the decoder and, when it is
+    /// accepted, re-encodes to exactly the bytes that were decoded
+    /// (canonical encoding).
+    #[test]
+    fn arbitrary_payloads_never_panic_and_accepts_are_canonical(payload in bytes(96)) {
+        if let Ok(req) = decode_request(&payload) {
+            let re = encoded_request(&req);
+            prop_assert_eq!(&re[4..], &payload[..], "decode ∘ encode must be identity");
+        }
+        let _ = decode_response(&payload); // must not panic either
+    }
+
+    /// The first byte alone decides unknown-tag errors.
+    #[test]
+    fn unknown_tags_are_typed(tag in 7u8..=255, body in bytes(16)) {
+        let mut payload = vec![tag];
+        payload.extend_from_slice(&body);
+        prop_assert_eq!(decode_request(&payload).unwrap_err(), WireError::UnknownOpcode(tag));
+        prop_assert_eq!(decode_response(&payload).unwrap_err(), WireError::UnknownStatus(tag));
+    }
+}
