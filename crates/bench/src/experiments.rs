@@ -1654,6 +1654,7 @@ fn start_net_system(keys: u64, workers: usize, commit: incll_server::CommitMode)
             workers,
             commit,
             session_timeout: Duration::from_secs(10),
+            ..incll_server::ServerConfig::default()
         },
     )
     .expect("session pool sized for the worker count");

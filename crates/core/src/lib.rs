@@ -311,13 +311,30 @@
 //!
 //! **Pipelining.** A client may write any number of requests before
 //! reading responses; the server answers every connection strictly in
-//! request order even though execution is concurrent (N worker threads
-//! share a job queue, and grouped commits complete on a separate
-//! committer thread). A per-connection reorder buffer holds completed
-//! responses until their in-order prefix is ready. A malformed-but-
-//! framed request gets a typed `ERROR` in its slot and the stream
-//! continues; only an unframeable stream (oversized length prefix)
-//! hangs up, after answering with the error.
+//! request order even though execution is concurrent (each connection
+//! is pinned to one of N worker threads, and grouped commits complete
+//! on a separate committer thread). A per-connection reorder buffer
+//! holds completed responses until their in-order prefix is ready, and
+//! a per-connection writer thread drains that prefix to the socket —
+//! workers and the committer never block on a slow client. A
+//! malformed-but-framed request gets a typed `ERROR` in its slot and
+//! the stream continues; only an unframeable stream (oversized length
+//! prefix) hangs up, after answering with the error.
+//!
+//! **Write ordering.** Writes issued on one connection are applied —
+//! and become durable — in request order in every commit mode: the
+//! pinned worker executes the connection's requests serially, and in
+//! group mode its `PUT`s/`DEL`s *and* `BATCH`es all enter the single
+//! committer's queue in that order (a `BATCH` rides the queue as its
+//! own atomic commit). Pipelined same-key writes therefore resolve to
+//! the last one issued. No order is defined between writes on
+//! *different* connections that race.
+//!
+//! **Backpressure.** The server reads at most a configured pipeline
+//! depth (default 256 requests) ahead of the responses it has written
+//! back on each connection; past the bound the connection's reader
+//! pauses until responses drain. With the 1 MiB frame cap this bounds
+//! the memory any one connection can pin, however fast it pipelines.
 //!
 //! **Group commit.** The server's write durability is a configuration,
 //! not a wire flag — the same client bytes get three different
@@ -339,7 +356,10 @@
 //!   before one erases acknowledged writes.
 //!
 //! `BATCH` is always durable-on-ack regardless of mode (it is a
-//! [`WriteBatch::commit_durable`] verbatim). Reads (`GET`/`SCAN`)
+//! [`WriteBatch::commit_durable`] verbatim; under group commit it is
+//! sequenced through the committer's queue — still its own atomic
+//! commit — so it cannot overtake the connection's earlier grouped
+//! writes). Reads (`GET`/`SCAN`)
 //! observe every *applied* write, durable or not — but under group
 //! commit a write is applied when its group commits, so a read
 //! pipelined behind a not-yet-acknowledged write may execute first

@@ -8,7 +8,11 @@
 //! by a time window and ops/bytes budgets, then runs every enqueued
 //! completion. Requests from *different connections* coalesce into the
 //! same group, so the fence cost amortises across the whole server, not
-//! just one pipeline.
+//! just one pipeline. The queue is also the server's write-ordering
+//! spine: ops drain — and commit — in submission order, and a
+//! [`GroupOp::Batch`] is an ordered flush point that commits alone,
+//! which is why grouped mode can route `BATCH` requests through here
+//! and keep one connection's writes in request order.
 //!
 //! [`WriteBatch::commit_durable`]: incll::WriteBatch::commit_durable
 
@@ -18,6 +22,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use incll::{Session, Store, MAX_BATCH_OPS};
+
+use crate::protocol::BatchOp;
 
 /// When the committer closes a group and fences it.
 ///
@@ -60,6 +66,18 @@ pub enum GroupOp {
         /// The key.
         key: Vec<u8>,
     },
+    /// An atomic multi-op batch riding the committer's queue. In group
+    /// commit mode the server routes `BATCH` requests here instead of
+    /// committing them inline on a worker, so one connection's
+    /// `PUT`/`DEL`/`BATCH` stream reaches durability in request order.
+    /// A batch never merges with neighbouring writes: it commits as its
+    /// own [`WriteBatch`](incll::WriteBatch), preserving its
+    /// all-or-nothing contract, and its completion receives the real
+    /// batch id.
+    Batch {
+        /// The staged operations, applied atomically.
+        ops: Vec<BatchOp>,
+    },
 }
 
 impl GroupOp {
@@ -67,6 +85,13 @@ impl GroupOp {
         match self {
             GroupOp::Put { key, val } => key.len() + val.len(),
             GroupOp::Del { key } => key.len(),
+            GroupOp::Batch { ops } => ops
+                .iter()
+                .map(|op| match op {
+                    BatchOp::Put { key, val } => key.len() + val.len(),
+                    BatchOp::Del { key } => key.len(),
+                })
+                .sum(),
         }
     }
 }
@@ -104,7 +129,7 @@ struct Inner {
 /// enqueued ack is ever dropped) and joins the thread.
 pub struct GroupCommitter {
     inner: Arc<Inner>,
-    thread: Option<JoinHandle<()>>,
+    thread: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl GroupCommitter {
@@ -133,7 +158,7 @@ impl GroupCommitter {
         };
         GroupCommitter {
             inner,
-            thread: Some(thread),
+            thread: Mutex::new(Some(thread)),
         }
     }
 
@@ -164,13 +189,16 @@ impl GroupCommitter {
     }
 
     /// Commits everything still queued, then stops the thread.
-    pub fn shutdown(&mut self) {
+    /// Idempotent, and callable through a shared reference so a server
+    /// can flush grouped acks mid-teardown (before joining the writer
+    /// threads that deliver them).
+    pub fn shutdown(&self) {
         {
             let mut st = self.inner.state.lock().unwrap();
             st.stop = true;
         }
         self.inner.cv.notify_all();
-        if let Some(t) = self.thread.take() {
+        if let Some(t) = self.thread.lock().unwrap().take() {
             let _ = t.join();
         }
     }
@@ -239,10 +267,21 @@ fn committer_loop(inner: &Inner, store: &Store, sess: &Session) {
 }
 
 /// Commits one closed group, chunking to the batch-size cap, and runs
-/// every completion with its chunk's outcome.
+/// every completion with its chunk's outcome. [`GroupOp::Batch`]
+/// entries act as ordered flush points: the open chunk commits first,
+/// then the batch commits alone (atomic, its own id), then chunking
+/// resumes — queue order is durability order.
 fn commit_group(inner: &Inner, sess: &Session, writes: Vec<PendingWrite>) {
     let mut writes = writes.into_iter().peekable();
     while writes.peek().is_some() {
+        if matches!(writes.peek().map(|w| &w.op), Some(GroupOp::Batch { .. })) {
+            let w = writes.next().unwrap();
+            let GroupOp::Batch { ops } = w.op else {
+                unreachable!("peeked a batch")
+            };
+            commit_standalone_batch(sess, ops, w.done);
+            continue;
+        }
         let mut batch = sess.batch();
         let mut chunk_done: Vec<Completion> = Vec::new();
         while chunk_done.len() < MAX_BATCH_OPS {
@@ -250,6 +289,7 @@ fn commit_group(inner: &Inner, sess: &Session, writes: Vec<PendingWrite>) {
             let staged = match &w.op {
                 GroupOp::Put { key, val } => batch.put(key, val),
                 GroupOp::Del { key } => batch.delete(key),
+                GroupOp::Batch { .. } => break, // flush point: close the chunk
             };
             match staged {
                 Ok(()) => {
@@ -284,6 +324,24 @@ fn commit_group(inner: &Inner, sess: &Session, writes: Vec<PendingWrite>) {
                 }
             }
         }
+    }
+}
+
+/// Commits one [`GroupOp::Batch`] as its own atomic [`WriteBatch`]
+/// (all-or-nothing: a bad op fails the whole batch, matching the
+/// inline `BATCH` path of the non-grouping commit modes). Not counted
+/// in the grouping stats — those track coalesced small writes.
+///
+/// [`WriteBatch`]: incll::WriteBatch
+fn commit_standalone_batch(sess: &Session, ops: Vec<BatchOp>, done: Completion) {
+    let mut batch = sess.batch();
+    let staged = ops.iter().try_for_each(|op| match op {
+        BatchOp::Put { key, val } => batch.put(key, val),
+        BatchOp::Del { key } => batch.delete(key),
+    });
+    match staged.and_then(|()| batch.commit_durable()) {
+        Ok(id) => done(Ok(id)),
+        Err(e) => done(Err(e.to_string())),
     }
 }
 
@@ -379,7 +437,7 @@ mod tests {
     fn shutdown_flushes_pending_writes_instead_of_dropping_them() {
         let (_, store) = store();
         let sess = store.session().unwrap();
-        let mut committer = GroupCommitter::start(
+        let committer = GroupCommitter::start(
             store.clone(),
             store.session().unwrap(),
             GroupConfig {
@@ -408,6 +466,54 @@ mod tests {
                 Some(b"flushed".to_vec())
             );
         }
+    }
+
+    #[test]
+    fn queue_order_is_durability_order_across_puts_dels_and_batches() {
+        let (_, store) = store();
+        let sess = store.session().unwrap();
+        let committer = GroupCommitter::start(
+            store.clone(),
+            store.session().unwrap(),
+            GroupConfig {
+                window: Duration::from_micros(50),
+                ..GroupConfig::default()
+            },
+        );
+        let (tx, rx) = mpsc::channel();
+        let k = b"contended".to_vec();
+        // put v1, BATCH{put v2}, del, put v3 — all on one key, enqueued
+        // back to back. Whatever group boundaries the window draws, the
+        // final state must be the *last* submitted op's.
+        let seqs: Vec<GroupOp> = vec![
+            GroupOp::Put {
+                key: k.clone(),
+                val: b"v1".to_vec(),
+            },
+            GroupOp::Batch {
+                ops: vec![BatchOp::Put {
+                    key: k.clone(),
+                    val: b"v2".to_vec(),
+                }],
+            },
+            GroupOp::Del { key: k.clone() },
+            GroupOp::Put {
+                key: k.clone(),
+                val: b"v3".to_vec(),
+            },
+        ];
+        for (i, op) in seqs.into_iter().enumerate() {
+            let tx = tx.clone();
+            committer.submit(op, Box::new(move |r| tx.send((i, r)).unwrap()));
+        }
+        for _ in 0..4 {
+            let (i, r) = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+            let id = r.unwrap_or_else(|e| panic!("op {i} failed: {e}"));
+            if i == 1 {
+                assert!(id >= 1, "a standalone batch reports a real batch id");
+            }
+        }
+        assert_eq!(store.get(&sess, &k), Some(b"v3".to_vec()));
     }
 
     #[test]

@@ -11,9 +11,12 @@
 //!   whole server instead of being paid per request.
 //! * [`server`] — the M-connections-on-N-sessions server: per-connection
 //!   reader threads stamp requests with sequence numbers, N workers
-//!   (each owning a pooled [`Session`]) execute them, and per-connection
-//!   reorder buffers stream responses back in request order while later
-//!   requests run under earlier ones (pipelining).
+//!   (each owning a pooled [`Session`]) execute them — every connection
+//!   pinned to one worker, so its writes reach durability in request
+//!   order — and per-connection reorder buffers plus writer threads
+//!   stream responses back in request order while later requests run
+//!   under earlier ones (pipelining, bounded per connection by a
+//!   configurable depth).
 //!
 //! The `incll-server` binary (`src/main.rs`) serves an in-memory arena
 //! over TCP; see `incll_ycsb`'s network driver for load generation.

@@ -4,6 +4,7 @@
 //! incll-server [--addr HOST:PORT] [--mem MIB] [--shards N] [--threads N]
 //!              [--workers N] [--commit per-request|group|async]
 //!              [--window-us U] [--group-max-ops N] [--group-max-bytes B]
+//!              [--pipeline-depth N]
 //! ```
 //!
 //! The store lives in an in-memory persistent-arena emulation; the
@@ -25,6 +26,7 @@ struct Args {
     threads: usize,
     workers: usize,
     commit: CommitMode,
+    pipeline_depth: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -35,6 +37,7 @@ fn parse_args() -> Result<Args, String> {
         threads: 8,
         workers: 4,
         commit: CommitMode::Group(GroupConfig::default()),
+        pipeline_depth: ServerConfig::default().pipeline_depth,
     };
     let mut group = GroupConfig::default();
     let mut commit_kind = "group".to_string();
@@ -53,11 +56,13 @@ fn parse_args() -> Result<Args, String> {
             }
             "--group-max-ops" => group.max_ops = num(&val("--group-max-ops")?)?,
             "--group-max-bytes" => group.max_bytes = num(&val("--group-max-bytes")?)?,
+            "--pipeline-depth" => args.pipeline_depth = num(&val("--pipeline-depth")?)?,
             "--help" | "-h" => {
                 return Err("usage: incll-server [--addr HOST:PORT] [--mem MIB] \
                             [--shards N] [--threads N] [--workers N] \
                             [--commit per-request|group|async] [--window-us U] \
-                            [--group-max-ops N] [--group-max-bytes B]"
+                            [--group-max-ops N] [--group-max-bytes B] \
+                            [--pipeline-depth N]"
                     .into())
             }
             other => return Err(format!("unknown flag {other}")),
@@ -115,6 +120,7 @@ fn main() -> ExitCode {
         workers: args.workers,
         commit: args.commit,
         session_timeout: Duration::from_secs(5),
+        pipeline_depth: args.pipeline_depth,
     };
     let server = match Server::start(store, listener, cfg) {
         Ok(s) => s,

@@ -1,23 +1,34 @@
 //! The concurrent TCP front-end: M connections on N worker sessions.
 //!
 //! ```text
-//!  conn 1 ──reader──┐                       ┌─ worker 1 (Session) ─┐
-//!  conn 2 ──reader──┼──▶ shared job queue ──┼─ worker 2 (Session) ─┼─▶ per-conn
-//!    ...            │    (seq-stamped)      │        ...           │   reorder
-//!  conn M ──reader──┘                       └─ worker N (Session) ─┘   buffers
-//!                                                   │
-//!                                     puts/dels ────┴──▶ group committer
+//!  conn 1 ──reader──▶ queue 1 ──▶ worker 1 (Session) ──┐        ┌─▶ writer 1 ──▶ conn 1
+//!  conn 2 ──reader──▶ queue 2 ──▶ worker 2 (Session) ──┤ reorder├─▶ writer 2 ──▶ conn 2
+//!    ...                ...              ...           │ buffers│       ...
+//!  conn M ──reader──▶ queue N ──▶ worker N (Session) ──┘        └─▶ writer M ──▶ conn M
+//!                                        │
+//!                          puts/dels/batches ──▶ group committer
 //! ```
 //!
 //! Each connection gets a cheap reader thread that frames requests and
 //! stamps them with a per-connection sequence number; the heavyweight
 //! resource — a [`Session`] from the store's bounded pool — is held by
-//! the N workers, so M ≫ N connections share N sessions. Workers finish
-//! requests in whatever order the queue and the group committer dictate;
-//! the per-connection **reorder buffer** holds completed frames until
-//! all earlier sequence numbers have flushed, so each client observes
-//! strict request order while later requests execute under earlier ones
-//! still in flight (pipelining).
+//! the N workers, so M ≫ N connections share N sessions. A connection is
+//! **pinned** to one worker (round-robin at accept): its requests
+//! execute on that worker in sequence order, which is what makes writes
+//! from one pipeline reach the store — and, through the single committer
+//! thread, durability — in request order. Requests still *complete* out
+//! of order (grouped acks arrive on the committer thread); the
+//! per-connection **reorder buffer** holds completed frames until all
+//! earlier sequence numbers are ready, and a per-connection **writer
+//! thread** drains the in-order prefix to the socket. Workers and the
+//! committer never touch a socket, so a client that stops reading stalls
+//! only its own writer, never the commit path.
+//!
+//! Backpressure: the reader pauses once
+//! [`ServerConfig::pipeline_depth`] requests are in flight (read but
+//! not yet written back), so one connection can pin at most
+//! `pipeline_depth` request + response frames — the 1&nbsp;MiB frame cap
+//! then bounds bytes, not just one frame.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{self, Write};
@@ -34,6 +45,14 @@ use crate::protocol::{
     decode_request, encode_response, read_frame, BatchOp, Request, Response, WireError,
 };
 
+/// How long blocked socket reads and writes wait before re-checking the
+/// stop flag.
+const SOCKET_POLL: Duration = Duration::from_millis(50);
+
+/// The writer thread coalesces contiguous ready frames into one socket
+/// write up to this many bytes.
+const WRITER_COALESCE_BYTES: usize = 64 << 10;
+
 /// How (and when) a PUT or DEL becomes durable.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CommitMode {
@@ -43,6 +62,8 @@ pub enum CommitMode {
     PerRequest,
     /// Writes coalesce across connections into fence-shared groups;
     /// the response is sent only after the write's group is durable.
+    /// `BATCH` requests ride the same committer queue (as their own
+    /// atomic commit), keeping each connection's writes in order.
     Group(GroupConfig),
     /// Writes apply in place and are acknowledged immediately; they
     /// become durable only at the next epoch boundary. Acked writes
@@ -60,6 +81,10 @@ pub struct ServerConfig {
     /// How long `Server::start` waits for each worker's session before
     /// giving up with [`Error::SessionTimeout`].
     pub session_timeout: Duration,
+    /// Most requests one connection may have in flight (read off the
+    /// socket but not yet answered on the wire). The reader pauses at
+    /// the bound, bounding the memory a connection can pin.
+    pub pipeline_depth: usize,
 }
 
 impl Default for ServerConfig {
@@ -68,6 +93,7 @@ impl Default for ServerConfig {
             workers: 2,
             commit: CommitMode::Group(GroupConfig::default()),
             session_timeout: Duration::from_secs(5),
+            pipeline_depth: 256,
         }
     }
 }
@@ -93,53 +119,76 @@ struct Job {
 }
 
 /// The response side of one connection: frames complete out of order
-/// (workers + group committer race) but must leave in `seq` order.
+/// (the pinned worker and the group committer interleave) but must
+/// leave in `seq` order.
 struct OutBuf {
-    sock: TcpStream,
     /// Next sequence number the socket owes the client.
     next: u64,
     /// Completed frames waiting on earlier ones.
     ready: BTreeMap<u64, Vec<u8>>,
-    /// Set once a write fails; later frames are dropped silently.
+    /// Set by the writer once the socket is dead; later frames drop.
     broken: bool,
+    /// Set when the reader exits: how many requests it issued in all.
+    /// The writer exits once `next` catches up.
+    total: Option<u64>,
 }
 
 struct Conn {
+    /// The worker this connection is pinned to. All its requests
+    /// execute there in sequence order — the write-ordering guarantee.
+    worker: usize,
+    /// Requests issued so far; mirrors the reader's local counter so a
+    /// drop guard can publish `total` even if the reader panics.
+    issued: AtomicU64,
     out: Mutex<OutBuf>,
+    /// Wakes the writer (frame completed / reader done) and the reader
+    /// (backpressure slot freed / socket broken).
+    cv: Condvar,
 }
 
 impl Conn {
-    /// Hands `seq`'s encoded frame to the reorder buffer, flushing the
-    /// in-order prefix to the socket.
+    /// Hands `seq`'s encoded frame to the reorder buffer; the writer
+    /// thread flushes the in-order prefix. Never blocks on the socket,
+    /// so this is safe to call from the group-commit thread.
     fn complete(&self, seq: u64, frame: Vec<u8>) {
         let mut out = self.out.lock().unwrap();
+        if out.broken {
+            return; // client gone; the writer has already exited
+        }
         out.ready.insert(seq, frame);
-        while let Some(frame) = {
-            let next = out.next;
-            out.ready.remove(&next)
-        } {
-            out.next += 1;
-            if out.broken {
-                continue;
-            }
-            if out.sock.write_all(&frame).is_err() {
-                // The client went away; keep draining so seqs stay
-                // contiguous and memory doesn't pool in `ready`.
-                out.broken = true;
-            }
-        }
-        if !out.broken && out.ready.is_empty() {
-            let _ = out.sock.flush();
-        }
+        drop(out);
+        self.cv.notify_all();
     }
+}
+
+/// Publishes the reader's final request count when the reader thread
+/// ends — even by panic — so the connection's writer can terminate.
+struct ReaderDone<'a>(&'a Conn);
+
+impl Drop for ReaderDone<'_> {
+    fn drop(&mut self) {
+        let issued = self.0.issued.load(Ordering::SeqCst);
+        self.0.out.lock().unwrap().total = Some(issued);
+        self.0.cv.notify_all();
+    }
+}
+
+/// One worker's private job queue. Connections are pinned to a queue,
+/// so a connection's jobs are handled by one thread, in order.
+struct WorkerQueue {
+    jobs: Mutex<VecDeque<Job>>,
+    cv: Condvar,
 }
 
 struct Shared {
     store: Store,
     commit: CommitMode,
-    queue: Mutex<VecDeque<Job>>,
-    queue_cv: Condvar,
+    queues: Vec<WorkerQueue>,
+    pipeline_depth: u64,
     stop: AtomicBool,
+    /// Set (after `stop`) once every reader has been joined: no more
+    /// jobs can arrive, so an idle worker may exit.
+    readers_done: AtomicBool,
     counters: Counters,
     group: Option<GroupCommitter>,
 }
@@ -152,6 +201,7 @@ pub struct Server {
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    writers: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
 impl Server {
@@ -185,9 +235,15 @@ impl Server {
         let shared = Arc::new(Shared {
             store,
             commit: cfg.commit.clone(),
-            queue: Mutex::new(VecDeque::new()),
-            queue_cv: Condvar::new(),
+            queues: (0..cfg.workers.max(1))
+                .map(|_| WorkerQueue {
+                    jobs: Mutex::new(VecDeque::new()),
+                    cv: Condvar::new(),
+                })
+                .collect(),
+            pipeline_depth: cfg.pipeline_depth.max(1) as u64,
             stop: AtomicBool::new(false),
+            readers_done: AtomicBool::new(false),
             counters: Counters::default(),
             group,
         });
@@ -199,18 +255,20 @@ impl Server {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("incll-worker-{i}"))
-                    .spawn(move || worker_loop(&shared, &sess))
+                    .spawn(move || worker_loop(&shared, i, &sess))
                     .expect("spawn worker")
             })
             .collect();
 
         let readers = Arc::new(Mutex::new(Vec::new()));
+        let writers = Arc::new(Mutex::new(Vec::new()));
         let acceptor = {
             let shared = Arc::clone(&shared);
             let readers = Arc::clone(&readers);
+            let writers = Arc::clone(&writers);
             std::thread::Builder::new()
                 .name("incll-acceptor".into())
-                .spawn(move || accept_loop(&shared, &listener, &readers))
+                .spawn(move || accept_loop(&shared, &listener, &readers, &writers))
                 .expect("spawn acceptor")
         };
 
@@ -220,6 +278,7 @@ impl Server {
             acceptor: Some(acceptor),
             workers,
             readers,
+            writers,
         })
     }
 
@@ -235,23 +294,34 @@ impl Server {
     }
 
     /// Stops accepting, drains the group committer, joins every thread.
-    /// In-flight requests complete; their responses still flush.
+    /// In-flight requests complete; their responses still flush (unless
+    /// the client has stopped reading, in which case its writer gives
+    /// up at the next blocked-write poll).
     pub fn shutdown(&mut self) {
         self.shared.stop.store(true, Ordering::SeqCst);
-        self.shared.queue_cv.notify_all();
         if let Some(t) = self.acceptor.take() {
             let _ = t.join();
         }
         for t in std::mem::take(&mut *self.readers.lock().unwrap()) {
             let _ = t.join();
         }
-        // Readers are gone, so no new jobs: wake workers to drain out.
-        self.shared.queue_cv.notify_all();
+        // Readers are gone, so no new jobs can arrive: let idle workers
+        // exit, and let busy ones drain what is already queued.
+        self.shared.readers_done.store(true, Ordering::SeqCst);
+        for q in &self.shared.queues {
+            q.cv.notify_all();
+        }
         for t in self.workers.drain(..) {
             let _ = t.join();
         }
         // Workers are gone; flushing the committer completes the last
-        // grouped acks before the sockets drop.
+        // grouped acks, after which each writer reaches its total.
+        if let Some(g) = &self.shared.group {
+            g.shutdown();
+        }
+        for t in std::mem::take(&mut *self.writers.lock().unwrap()) {
+            let _ = t.join();
+        }
     }
 }
 
@@ -261,29 +331,92 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener, readers: &Mutex<Vec<JoinHandle<()>>>) {
+/// Joins whichever of `handles` have already finished, keeping the
+/// rest — called on each accept so a long-lived server does not
+/// accumulate one dead JoinHandle per connection ever served.
+fn reap_finished(handles: &Mutex<Vec<JoinHandle<()>>>) {
+    let finished: Vec<_> = {
+        let mut hs = handles.lock().unwrap();
+        let mut live = Vec::with_capacity(hs.len());
+        let mut finished = Vec::new();
+        for h in hs.drain(..) {
+            if h.is_finished() {
+                finished.push(h);
+            } else {
+                live.push(h);
+            }
+        }
+        *hs = live;
+        finished
+    };
+    for h in finished {
+        let _ = h.join();
+    }
+}
+
+fn accept_loop(
+    shared: &Arc<Shared>,
+    listener: &TcpListener,
+    readers: &Mutex<Vec<JoinHandle<()>>>,
+    writers: &Mutex<Vec<JoinHandle<()>>>,
+) {
+    let mut next_worker = 0usize;
     while !shared.stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((sock, _)) => {
+                reap_finished(readers);
+                reap_finished(writers);
+                // Under fd exhaustion the clone fails; shed this
+                // connection and keep accepting rather than dying.
+                let write_half = match sock.try_clone() {
+                    Ok(s) => s,
+                    Err(_) => continue,
+                };
                 shared.counters.conns.fetch_add(1, Ordering::Relaxed);
                 let _ = sock.set_nodelay(true);
-                // A finite read timeout lets the reader poll `stop`.
-                let _ = sock.set_read_timeout(Some(Duration::from_millis(50)));
-                let write_half = sock.try_clone().expect("clone socket");
+                // Finite timeouts let both halves poll `stop`.
+                let _ = sock.set_read_timeout(Some(SOCKET_POLL));
+                let _ = write_half.set_write_timeout(Some(SOCKET_POLL));
                 let conn = Arc::new(Conn {
+                    worker: next_worker % shared.queues.len(),
+                    issued: AtomicU64::new(0),
                     out: Mutex::new(OutBuf {
-                        sock: write_half,
                         next: 0,
                         ready: BTreeMap::new(),
                         broken: false,
+                        total: None,
                     }),
+                    cv: Condvar::new(),
                 });
-                let shared = Arc::clone(shared);
-                let handle = std::thread::Builder::new()
-                    .name("incll-reader".into())
-                    .spawn(move || reader_loop(&shared, sock, &conn))
-                    .expect("spawn reader");
-                readers.lock().unwrap().push(handle);
+                next_worker = next_worker.wrapping_add(1);
+                let writer = {
+                    let shared = Arc::clone(shared);
+                    let conn = Arc::clone(&conn);
+                    std::thread::Builder::new()
+                        .name("incll-writer".into())
+                        .spawn(move || writer_loop(&conn, write_half, &shared.stop))
+                };
+                let Ok(writer) = writer else { continue };
+                writers.lock().unwrap().push(writer);
+                let reader = {
+                    let shared = Arc::clone(shared);
+                    let conn = Arc::clone(&conn);
+                    std::thread::Builder::new()
+                        .name("incll-reader".into())
+                        .spawn(move || {
+                            let _done = ReaderDone(&conn);
+                            reader_loop(&shared, sock, &conn);
+                        })
+                };
+                match reader {
+                    Ok(r) => readers.lock().unwrap().push(r),
+                    Err(_) => {
+                        // No reader ever runs: report zero requests so
+                        // the already-spawned writer can exit.
+                        conn.out.lock().unwrap().total = Some(0);
+                        conn.cv.notify_all();
+                    }
+                }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(5));
@@ -327,6 +460,9 @@ impl io::Read for PollRead<'_> {
 fn reader_loop(shared: &Arc<Shared>, mut sock: TcpStream, conn: &Arc<Conn>) {
     let mut seq = 0u64;
     loop {
+        if !admit(shared, conn, seq) {
+            return; // backpressure met a dead socket or a stopping server
+        }
         let mut poll = PollRead {
             sock: &mut sock,
             stop: &shared.stop,
@@ -356,28 +492,121 @@ fn reader_loop(shared: &Arc<Shared>, mut sock: TcpStream, conn: &Arc<Conn>) {
     }
 }
 
+/// Blocks until the connection is below its pipeline-depth bound.
+/// Returns `false` when reading should stop instead (socket broken, or
+/// the server is stopping while the bound is still met).
+fn admit(shared: &Shared, conn: &Conn, issued: u64) -> bool {
+    let mut out = conn.out.lock().unwrap();
+    loop {
+        if out.broken {
+            return false;
+        }
+        if issued - out.next < shared.pipeline_depth {
+            return true;
+        }
+        if shared.stop.load(Ordering::SeqCst) {
+            return false;
+        }
+        let (guard, _) = conn.cv.wait_timeout(out, SOCKET_POLL).unwrap();
+        out = guard;
+    }
+}
+
 fn enqueue(shared: &Arc<Shared>, conn: &Arc<Conn>, seq: u64, req: Result<Request, WireError>) {
+    let q = &shared.queues[conn.worker];
     let job = Job {
         conn: Arc::clone(conn),
         seq,
         req,
     };
-    shared.queue.lock().unwrap().push_back(job);
-    shared.queue_cv.notify_one();
+    conn.issued.store(seq + 1, Ordering::SeqCst);
+    q.jobs.lock().unwrap().push_back(job);
+    q.cv.notify_one();
 }
 
-fn worker_loop(shared: &Arc<Shared>, sess: &Session) {
+/// Drains the connection's in-order response prefix to the socket.
+/// The only thread that writes to (or errors on) this socket.
+fn writer_loop(conn: &Conn, mut sock: TcpStream, stop: &AtomicBool) {
+    let mut buf = Vec::new();
+    loop {
+        buf.clear();
+        {
+            let mut out = conn.out.lock().unwrap();
+            loop {
+                while buf.len() < WRITER_COALESCE_BYTES {
+                    let next = out.next;
+                    match out.ready.remove(&next) {
+                        Some(frame) => {
+                            out.next += 1;
+                            buf.extend_from_slice(&frame);
+                        }
+                        None => break,
+                    }
+                }
+                if !buf.is_empty() {
+                    break;
+                }
+                if out.total == Some(out.next) {
+                    return; // every issued request has been answered
+                }
+                out = conn.cv.wait(out).unwrap();
+            }
+        }
+        // Slots freed: a reader paused at the pipeline bound may resume.
+        conn.cv.notify_all();
+        if write_poll(&mut sock, &buf, stop).is_err() {
+            let mut out = conn.out.lock().unwrap();
+            out.broken = true;
+            out.ready.clear(); // nothing further will be sent
+            drop(out);
+            conn.cv.notify_all(); // unblock a reader waiting on a slot
+            return;
+        }
+    }
+}
+
+/// `write_all` over a socket with a write timeout: timeout ticks poll
+/// the stop flag (so shutdown is never wedged by a client that stopped
+/// reading), everything else is a real error.
+fn write_poll(sock: &mut TcpStream, buf: &[u8], stop: &AtomicBool) -> io::Result<()> {
+    let mut at = 0;
+    while at < buf.len() {
+        match sock.write(&buf[at..]) {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(n) => at += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if stop.load(Ordering::SeqCst) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::ConnectionAborted,
+                        "server stopping",
+                    ));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+fn worker_loop(shared: &Arc<Shared>, idx: usize, sess: &Session) {
+    let q = &shared.queues[idx];
     loop {
         let job = {
-            let mut q = shared.queue.lock().unwrap();
+            let mut jobs = q.jobs.lock().unwrap();
             loop {
-                if let Some(job) = q.pop_front() {
+                if let Some(job) = jobs.pop_front() {
                     break job;
                 }
-                if shared.stop.load(Ordering::SeqCst) {
+                // `readers_done` (not `stop`) gates the exit: readers
+                // may still be flushing their last jobs at stop time,
+                // and every enqueued job must be answered.
+                if shared.readers_done.load(Ordering::SeqCst) {
                     return;
                 }
-                q = shared.queue_cv.wait(q).unwrap();
+                jobs = q.cv.wait(jobs).unwrap();
             }
         };
         handle_job(shared, sess, job);
@@ -456,6 +685,14 @@ fn handle_job(shared: &Arc<Shared>, sess: &Session, job: Job) {
         }
         Request::Batch { ops } => {
             c.batches.fetch_add(1, Ordering::Relaxed);
+            if matches!(&shared.commit, CommitMode::Group(_)) {
+                // Ride the committer queue so this connection's writes
+                // stay in request order relative to its grouped
+                // puts/dels; the batch still commits as its own atomic
+                // WriteBatch.
+                submit_grouped(shared, job.conn, job.seq, GroupOp::Batch { ops });
+                return;
+            }
             let mut b = sess.batch();
             let staged = ops.iter().try_for_each(|op| match op {
                 BatchOp::Put { key, val } => b.put(key, val),
@@ -483,10 +720,12 @@ fn handle_job(shared: &Arc<Shared>, sess: &Session, job: Job) {
 /// the committer thread once the write's group is durable.
 fn submit_grouped(shared: &Arc<Shared>, conn: Arc<Conn>, seq: u64, op: GroupOp) {
     let group = shared.group.as_ref().expect("Group mode has a committer");
+    let batch_reply = matches!(op, GroupOp::Batch { .. });
     group.submit(
         op,
         Box::new(move |outcome| {
             let resp = match outcome {
+                Ok(id) if batch_reply => Response::Committed(id),
                 Ok(_) => Response::Ok,
                 Err(msg) => Response::Error(msg),
             };

@@ -7,7 +7,6 @@
 //! Run with: `cargo run --release --example net_kv`
 
 use std::net::TcpListener;
-use std::time::Duration;
 
 use incll_repro::prelude::*;
 use incll_server::{CommitMode, GroupConfig, Request, Response, Server, ServerConfig};
@@ -34,7 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ServerConfig {
             workers: WORKERS,
             commit: CommitMode::Group(GroupConfig::default()),
-            session_timeout: Duration::from_secs(5),
+            ..ServerConfig::default()
         },
     )?;
     let addr = server.local_addr();

@@ -57,7 +57,7 @@ fn ack_then_crash(arena: &PArena, commit: CommitMode, seed: u64) -> (Store, Sess
             ServerConfig {
                 workers: 2,
                 commit,
-                session_timeout: Duration::from_secs(5),
+                ..ServerConfig::default()
             },
         )
         .unwrap();

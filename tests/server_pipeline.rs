@@ -1,11 +1,16 @@
 //! Integration tests for the TCP front-end: pipelining, response
-//! ordering, and the full request surface over real sockets.
+//! ordering, write ordering, backpressure, and the full request
+//! surface over real sockets.
 //!
-//! The ordering tests are the load-bearing ones: the server executes a
-//! connection's requests on whichever worker gets them and completes
-//! grouped writes on the committer thread, so *only* the per-connection
-//! reorder buffer stands between that concurrency and a client seeing
-//! response N+1 before response N.
+//! The ordering tests are the load-bearing ones, and they check two
+//! distinct promises. *Response* order: grouped writes complete on the
+//! committer thread while reads complete on the connection's worker,
+//! so only the per-connection reorder buffer stands between that
+//! concurrency and a client seeing response N+1 before response N.
+//! *Write* order: a connection is pinned to one worker and its grouped
+//! writes drain through the committer queue FIFO, so pipelined writes
+//! to one key must resolve to the last one issued — in every commit
+//! mode.
 
 use std::net::TcpListener;
 use std::time::Duration;
@@ -26,7 +31,7 @@ fn serve(store: &Store, commit: CommitMode, workers: usize) -> Server {
         ServerConfig {
             workers,
             commit,
-            session_timeout: Duration::from_secs(5),
+            ..ServerConfig::default()
         },
     )
     .unwrap()
@@ -218,6 +223,201 @@ fn batch_scan_del_and_stats_cover_the_request_surface() {
     );
 }
 
+/// The REVIEW-9 high-severity regression: pipelined writes to one key
+/// from one connection used to race across workers (and into the
+/// committer) and could commit out of order, letting an *earlier* PUT
+/// become the final durable value. Now a connection's requests execute
+/// on its pinned worker in sequence order, and in group mode every
+/// write class (PUT/DEL/BATCH) drains through the committer queue FIFO
+/// — so the last issued write must win, in every commit mode.
+#[test]
+fn pipelined_same_key_writes_resolve_to_the_last_one_in_every_mode() {
+    for commit in [group_mode(), CommitMode::PerRequest, CommitMode::Async] {
+        let arena = arena();
+        let options = Options::new()
+            .threads(8)
+            .log_bytes_per_thread(4 << 20)
+            .shards(2);
+        let (store, _) = Store::open(&arena, options).unwrap();
+        let server = serve(&store, commit.clone(), 4);
+        let addr = server.local_addr();
+
+        // Several connections, each hammering its own key so the only
+        // ordering in question is intra-connection.
+        std::thread::scope(|s| {
+            for c in 0u64..4 {
+                s.spawn(move || {
+                    let mut client = NetClient::connect(addr).unwrap();
+                    let k = key(5_000 + c);
+                    let n = 120u64;
+                    for i in 0..n {
+                        match i % 10 {
+                            3 => client
+                                .send(&Request::Batch {
+                                    ops: vec![BatchOp::Put {
+                                        key: k.clone(),
+                                        val: val(i),
+                                    }],
+                                })
+                                .unwrap(),
+                            7 => client.send(&Request::Del { key: k.clone() }).unwrap(),
+                            _ => client
+                                .send(&Request::Put {
+                                    key: k.clone(),
+                                    val: val(i),
+                                })
+                                .unwrap(),
+                        }
+                    }
+                    client.flush().unwrap();
+                    for i in 0..n {
+                        let got = client.recv().unwrap();
+                        match i % 10 {
+                            3 => assert!(
+                                matches!(got, Response::Committed(_)),
+                                "conn {c} op {i}: {got:?}"
+                            ),
+                            _ => assert_eq!(got, Response::Ok, "conn {c} op {i}"),
+                        }
+                    }
+                    // The last op was PUT val(n-1); nothing earlier may
+                    // overwrite it after its ack.
+                    assert_eq!(
+                        client.call(&Request::Get { key: k.clone() }).unwrap(),
+                        Response::Value(val(n - 1)),
+                        "conn {c}: an earlier pipelined write overtook the last one"
+                    );
+                });
+            }
+        });
+        drop(server);
+    }
+}
+
+/// A client that stops reading must stall only its own connection: its
+/// responses pile up in the reorder buffer (bounded by the pipeline
+/// depth) behind a blocked per-connection writer thread, while grouped
+/// commits — which complete on the committer thread — keep acking
+/// other connections.
+#[test]
+fn a_connection_that_stops_reading_does_not_stall_grouped_commits_for_others() {
+    let arena = arena();
+    let options = Options::new()
+        .threads(6)
+        .log_bytes_per_thread(4 << 20)
+        .shards(2);
+    let (store, _) = Store::open(&arena, options).unwrap();
+    let server = serve(&store, group_mode(), 2);
+    let addr = server.local_addr();
+
+    // Preload 200 keys with ~4 KB values: one SCAN response is ~800 KB,
+    // so a few dozen unread SCANs overflow any kernel socket buffer and
+    // wedge the slow connection's writer thread for real.
+    let big = vec![0xABu8; 4000];
+    let mut setup = NetClient::connect(addr).unwrap();
+    let ops = (0..200u64)
+        .map(|i| BatchOp::Put {
+            key: key(i),
+            val: big.clone(),
+        })
+        .collect();
+    assert!(matches!(
+        setup.call(&Request::Batch { ops }).unwrap(),
+        Response::Committed(_)
+    ));
+
+    let scans = 48usize;
+    let mut slow = NetClient::connect(addr).unwrap();
+    for _ in 0..scans {
+        slow.send(&Request::Scan {
+            start: key(0),
+            limit: 200,
+        })
+        .unwrap();
+    }
+    slow.flush().unwrap();
+    // Let the slow connection's responses back up against the socket.
+    std::thread::sleep(Duration::from_millis(200));
+
+    // Meanwhile every grouped write from a healthy connection must ack.
+    let mut live = NetClient::connect(addr).unwrap();
+    for i in 0..50u64 {
+        assert_eq!(
+            live.call(&Request::Put {
+                key: key(10_000 + i),
+                val: val(i),
+            })
+            .unwrap(),
+            Response::Ok,
+            "put {i} stalled behind an unrelated slow reader"
+        );
+    }
+
+    // The slow client finally drains and still gets every response,
+    // intact and in order.
+    for i in 0..scans {
+        let Response::Entries(entries) = slow.recv().unwrap() else {
+            panic!("scan {i} answered with the wrong shape");
+        };
+        assert_eq!(entries.len(), 200, "scan {i}");
+        assert_eq!(entries[0].1, big, "scan {i}");
+    }
+}
+
+/// With a tiny pipeline depth the reader repeatedly pauses (bounding
+/// what the connection can pin server-side) and resumes as the writer
+/// drains — the stream must still complete, in order, without
+/// deadlocking between the backpressure wait and the writer.
+#[test]
+fn the_pipeline_depth_bound_pauses_and_resumes_without_losing_order() {
+    let arena = arena();
+    let options = Options::new()
+        .threads(5)
+        .log_bytes_per_thread(4 << 20)
+        .shards(2);
+    let (store, _) = Store::open(&arena, options).unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let server = Server::start(
+        store.clone(),
+        listener,
+        ServerConfig {
+            workers: 2,
+            commit: group_mode(),
+            pipeline_depth: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let big = vec![0x5Au8; 4000];
+    let mut client = NetClient::connect(addr).unwrap();
+    assert_eq!(
+        client
+            .call(&Request::Put {
+                key: key(1),
+                val: big.clone(),
+            })
+            .unwrap(),
+        Response::Ok
+    );
+
+    // Pipeline far more 4 KB GETs than two in-flight slots (or the
+    // kernel buffers) can hold before reading anything back.
+    let n = 2000usize;
+    for _ in 0..n {
+        client.send(&Request::Get { key: key(1) }).unwrap();
+    }
+    client.flush().unwrap();
+    for i in 0..n {
+        assert_eq!(
+            client.recv().unwrap(),
+            Response::Value(big.clone()),
+            "response {i}"
+        );
+    }
+}
+
 #[test]
 fn session_pool_exhaustion_fails_server_start_with_a_typed_timeout() {
     let arena = arena();
@@ -234,6 +434,7 @@ fn session_pool_exhaustion_fails_server_start_with_a_typed_timeout() {
             workers: 2,
             commit: group_mode(),
             session_timeout: Duration::from_millis(50),
+            ..ServerConfig::default()
         },
     )
     .err()
