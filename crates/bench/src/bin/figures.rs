@@ -8,7 +8,7 @@
 //! experiments:
 //!   fig2 fig3 fig4 fig5 fig6 fig7 fig8 flushcost recovery ablation
 //!   shard_scaling epoch_domains recovery_latency read_path txn_batches
-//!   adaptive_cadence server_scaling all
+//!   extent_growth adaptive_cadence server_scaling all
 //!
 //! options:
 //!   --paper            paper-scale parameters (20M keys, 8x1M ops)
@@ -109,7 +109,7 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: figures <fig2|fig3|fig4|fig5|fig6|fig7|fig8|flushcost|recovery|ablation\
          |shard_scaling|epoch_domains|recovery_latency|read_path|txn_batches\
-         |adaptive_cadence|server_scaling|all> \
+         |extent_growth|adaptive_cadence|server_scaling|all> \
          [--paper] [--scale F] [--keys N] [--ops N] [--threads N] [--out DIR]\n\
          \x20      figures --compare OLD.json NEW.json [--regressions-only]\n\
          \x20      figures --plot [RESULTS.json] [--out DIR]"
@@ -317,6 +317,7 @@ fn main() {
                 ("read_path", vec![t1, t2])
             }
             "txn_batches" => ("txn_batches", vec![experiments::txn_batches(p)]),
+            "extent_growth" => ("extent_growth", vec![experiments::extent_growth(p)]),
             "server_scaling" => {
                 let (t1, t2) = experiments::server_scaling(p);
                 ("server_scaling", vec![t1, t2])
@@ -350,6 +351,7 @@ fn main() {
             "recovery_latency",
             "read_path",
             "txn_batches",
+            "extent_growth",
             "adaptive_cadence",
             "server_scaling",
         ] {

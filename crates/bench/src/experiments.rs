@@ -1630,6 +1630,127 @@ pub fn persistence_granularity(p: &ExpParams) -> Table {
 }
 
 // =====================================================================
+// Extent growth — chunked extents vs the static per-shard split
+// =====================================================================
+
+/// Shards the extent-growth experiment runs on.
+pub const EXTENT_GROWTH_SHARDS: usize = 8;
+/// Arena capacity for the extent-growth experiment (bytes).
+pub const EXTENT_GROWTH_ARENA: usize = 64 << 20;
+/// Value length: 3000 → the 4 KiB size class, so space consumption per
+/// put is predictable.
+pub const EXTENT_GROWTH_VAL: usize = 3000;
+
+/// Extent growth: a skewed-hotspot fill on an 8-shard store, every
+/// insert routed to **one** shard — the workload that makes a static
+/// one-region-per-shard split (the layout-v5 shape) return
+/// `OutOfMemory` once the hot shard's 1/8th fills, with 7/8ths of the
+/// arena still free. Under the layout-v6 chunked extent pool the hot
+/// shard claims free extents online and the fill completes.
+///
+/// The proof is in the extent accounting, not timing: the hot shard
+/// ends the fill owning **more extents than the static per-shard
+/// quota** (`extents_total / shards`), i.e. it consumed space a static
+/// split could never have handed it. A uniform-fill row shows the
+/// other regime: balanced pressure claims extents evenly, so the
+/// per-shard ownership spread stays tight.
+pub fn extent_growth(p: &ExpParams) -> Table {
+    let mut t = Table::new(
+        "Extent growth: skewed fill on 8 shards under the chunked extent pool",
+        &[
+            "workload",
+            "completed",
+            "puts",
+            "mb_written",
+            "extents_total",
+            "extent_kb",
+            "hot_extents",
+            "static_quota",
+            "min_owned",
+            "max_owned",
+        ],
+    );
+    // Enough 4 KiB-class puts to push the hot shard well past the static
+    // quota (64 MiB arena → ~62 extents → quota ~7 ≈ 8 MiB; the lower
+    // clamp alone writes ~12 MiB), however small the CI overrides are.
+    let puts = usize::try_from(p.ops_per_thread)
+        .unwrap_or(usize::MAX)
+        .clamp(3_000, 6_000);
+
+    for skewed in [false, true] {
+        let arena = incll_pmem::PArena::builder()
+            .capacity_bytes(EXTENT_GROWTH_ARENA)
+            .build()
+            .expect("arena");
+        let (store, r) = incll::Store::open(
+            &arena,
+            incll::Options::new()
+                .threads(2)
+                .shards(EXTENT_GROWTH_SHARDS),
+        )
+        .expect("create");
+        assert!(r.created);
+        let sess = store.session().expect("driver session");
+        let hot = 0usize;
+        let val = vec![0x6bu8; EXTENT_GROWTH_VAL];
+        let mut done = 0usize;
+        let mut completed = true;
+        let mut i = 0u64;
+        while done < puts {
+            let key = format!("eg{i}").into_bytes();
+            i += 1;
+            if skewed && store.shard_of(&key) != hot {
+                continue; // the hotspot: every put lands on shard `hot`
+            }
+            if store.put(&sess, &key, &val).is_err() {
+                completed = false; // typed OutOfMemory: the pool is spent
+                break;
+            }
+            done += 1;
+            if done.is_multiple_of(512) {
+                store.checkpoint(); // bound the undo-log tail
+            }
+        }
+        let stats = store.extent_stats().expect("multi-shard store");
+        let quota = stats.extent_count / EXTENT_GROWTH_SHARDS;
+        t.push(vec![
+            if skewed {
+                "skewed_hot_shard"
+            } else {
+                "uniform"
+            }
+            .into(),
+            if completed { "yes" } else { "no" }.into(),
+            done.to_string(),
+            format!(
+                "{:.1}",
+                (done * EXTENT_GROWTH_VAL) as f64 / (1 << 20) as f64
+            ),
+            stats.extent_count.to_string(),
+            (stats.extent_bytes >> 10).to_string(),
+            stats.owned_per_shard[hot].to_string(),
+            quota.to_string(),
+            stats
+                .owned_per_shard
+                .iter()
+                .min()
+                .copied()
+                .unwrap_or(0)
+                .to_string(),
+            stats
+                .owned_per_shard
+                .iter()
+                .max()
+                .copied()
+                .unwrap_or(0)
+                .to_string(),
+        ]);
+    }
+    t.print();
+    t
+}
+
+// =====================================================================
 // Server scaling — the TCP front-end under pipelined network load
 // =====================================================================
 

@@ -286,10 +286,15 @@ impl<'s> WriteBatch<'s> {
     ///
     /// # Errors
     ///
-    /// Arena exhaustion while applying ([`Error::Pmem`]). The commit
-    /// record is durable by then, so the batch is *logically* committed:
-    /// the next recovery completes it from its intents, but until then
-    /// live readers may observe the applied prefix. Treat apply errors
+    /// Arena exhaustion ([`Error::Pmem`]) — commit **pre-reserves every
+    /// value buffer before staging anything**, so a shard without room
+    /// fails the whole batch cleanly: no intent reaches any shard's log,
+    /// no batch id is consumed, no commit record is written, and every
+    /// other shard's contents are untouched (live and across a crash).
+    /// The rare residual case is *structural* exhaustion mid-apply (a
+    /// node split with a completely empty pool) after the commit record:
+    /// the batch is then *logically* committed — the next recovery
+    /// completes it from its intents — and such errors should be treated
     /// as fatal for the process.
     pub fn commit(self) -> Result<u64, Error> {
         self.run(true, false)
@@ -353,11 +358,14 @@ impl<'s> WriteBatch<'s> {
             // across every op, so the whole batch lands in a single epoch
             // of its single shard — crash-atomic with no media additions.
             let shard = mask.trailing_zeros() as usize;
-            let _pin = self.sess.ctx().pin_shard_mut(shard);
+            let pin = self.sess.ctx().pin_shard_mut(shard);
+            // Reserve every value buffer first: a full shard fails the
+            // whole batch here, before any tree state moves.
+            let bufs = self.prepare_bufs(store, |_| pin.epoch())?;
             // The inner facade paths seal their own undo entries before
             // each modification (write-ahead), so nothing is left staged
             // when the pin releases the shard for advances.
-            self.apply(store)?;
+            self.apply(store, bufs)?;
             return Ok(0);
         }
 
@@ -367,13 +375,21 @@ impl<'s> WriteBatch<'s> {
         // stay race-free; per-key throughput is unaffected).
         let mut table = inner.batches.lock();
         let slot = table.acquire(inner);
-        let id = superblock::next_batch_id(&inner.arena);
         // Pin every touched shard (ascending, one consistent order) so
         // intents are stamped with — and the apply below lands in — one
         // epoch per shard.
         let guards = self.sess.ctx().pin_shards_mut(mask);
         let pinned: Vec<usize> = (0..64).filter(|d| mask & (1u64 << d) != 0).collect();
         let tid = self.sess.tid();
+        // Reserve every value buffer before anything is staged or named
+        // durably: a shard without room fails the whole batch *cleanly* —
+        // no intent in any surviving shard's log, no id consumed, no
+        // commit record — instead of erroring mid-apply after the commit
+        // record made the batch logically committed.
+        let bufs = self.prepare_bufs(store, |s| {
+            guards[pinned.iter().position(|&d| d == s).expect("shard pinned")].epoch()
+        })?;
+        let id = superblock::next_batch_id(&inner.arena);
         for op in &self.ops {
             let s = store.shard_of(op.key());
             let g = pinned
@@ -406,18 +422,57 @@ impl<'s> WriteBatch<'s> {
         // The applies seal their own undo entries before each
         // modification (write-ahead), so nothing is left staged when the
         // pins release the shards for advances.
-        self.apply(store)?;
+        self.apply(store, bufs)?;
         Ok(id)
+    }
+
+    /// Reserves one filled value buffer per staged put, under the pins
+    /// the caller already holds (`epoch_of(shard)` is the pinned epoch
+    /// the later apply runs in). On exhaustion every buffer reserved so
+    /// far goes back to its shard's pending list and the typed error
+    /// surfaces — the batch has touched nothing durable yet.
+    fn prepare_bufs(
+        &self,
+        store: &Store,
+        epoch_of: impl Fn(usize) -> u64,
+    ) -> Result<Vec<Option<u64>>, Error> {
+        let ctx = self.sess.ctx();
+        let mut bufs: Vec<Option<u64>> = Vec::with_capacity(self.ops.len());
+        for op in &self.ops {
+            let buf = match op {
+                BatchOp::Put { key, val } => {
+                    let s = store.shard_of(key);
+                    match store.shard_tree(s).prepare_value_buf(ctx, epoch_of(s), val) {
+                        Ok(b) => Some(b),
+                        Err(e) => {
+                            for (prev, b) in self.ops.iter().zip(&bufs) {
+                                if let (BatchOp::Put { key, .. }, Some(b)) = (prev, b) {
+                                    let ps = store.shard_of(key);
+                                    store
+                                        .shard_tree(ps)
+                                        .release_value_buf(ctx, epoch_of(ps), *b);
+                                }
+                            }
+                            return Err(e);
+                        }
+                    }
+                }
+                BatchOp::Delete { .. } => None,
+            };
+            bufs.push(buf);
+        }
+        Ok(bufs)
     }
 
     /// Applies the staged ops through the ordinary facade paths (the
     /// caller holds whatever pins the path requires; nested pins on an
-    /// already-pinned shard share its epoch).
-    fn apply(&self, store: &Store) -> Result<(), Error> {
-        for op in &self.ops {
+    /// already-pinned shard share its epoch), consuming the value buffers
+    /// [`WriteBatch::prepare_bufs`] reserved.
+    fn apply(&self, store: &Store, bufs: Vec<Option<u64>>) -> Result<(), Error> {
+        for (op, buf) in self.ops.iter().zip(bufs) {
             match op {
                 BatchOp::Put { key, val } => {
-                    store.put(self.sess, key, val)?;
+                    store.put_with_buf(self.sess, key, val, buf)?;
                 }
                 BatchOp::Delete { key } => {
                     store.remove(self.sess, key);

@@ -127,11 +127,28 @@
 //!   outcome ([`RecoveryReport::parallel_workers`] and per-shard
 //!   [`ShardReplay::replay_time`] report what ran); the crash-matrix
 //!   suite asserts the equivalence cell by cell.
-//! * **Allocation is per-shard too.** Each shard owns a carve region
-//!   with its own InCLL-logged watermark (superblock v4), so slab carves
-//!   never cross shards and a crash rolls each frontier back on its own
-//!   timeline — slabs carved in a doomed epoch un-carve instead of
-//!   leaking, and the carve path stays flush-free.
+//! * **Allocation is per-shard too — and grows online.** Each shard owns
+//!   a **chain of extents** claimed from a shared pool (superblock v6):
+//!   the carvable arena is split into fixed-size power-of-two extents
+//!   with a durable owner byte per extent on dedicated superblock lines.
+//!   A shard carves from its active extent with its own InCLL-logged
+//!   watermark — the carve path stays flush-free — and when the extent
+//!   is exhausted it claims the lowest-index free extent (owner-byte CAS
+//!   then `clwb`+`sfence`, the one deliberate flush on the allocation
+//!   path), so a hot shard grows across the pool instead of failing with
+//!   `OutOfMemory` while siblings sit on free space. `OutOfMemory` now
+//!   means the *pool* is empty — the whole arena really is spent — not
+//!   that one shard hit a static share.
+//! * **Extent claims are crash-atomic and never torn.** The owner byte
+//!   is published by a flushed single-byte CAS, so a crash mid-claim
+//!   shows either a free extent or a fully owned one. A claim whose
+//!   first carve belonged to a failed epoch survives the crash (claims
+//!   are never released); the shard's watermark reverts out of the
+//!   extent on its own timeline and recovery re-queues the extent as
+//!   that shard's *reserve*, consumed before any fresh claim — a
+//!   read-only rebuild from the owner table, byte-identical at every
+//!   [`Options::recovery_threads`] count. Slabs carved in a doomed epoch
+//!   still un-carve within their owning extent instead of leaking.
 //!
 //! `shards(1)` has a single domain and reproduces the paper's semantics
 //! (and media behavior) exactly: one barrier, one whole-cache flush, one
@@ -385,9 +402,10 @@
 //! | one global epoch for all shards (layout v2) | one epoch **domain per shard** (layout v3): independent cadences, per-shard failed-epoch sets, per-shard recovery — see the crash-semantics section above |
 //! | one shared carve frontier, sequential replay (layout v3) | **per-shard allocator arenas** (layout v4): one carve region + InCLL watermark line per shard (doomed slabs un-carve; the multi-domain eager watermark flush is gone), and [`Options::recovery_threads`] replays shards in parallel (`INCLL_RECOVERY_THREADS` env default) |
 //! | cross-shard multi-key writes only via the `checkpoint()` barrier (layout v4) | **atomic write batches** (layout v5): [`Session::batch`] stages puts/deletes, commits via log intents + one durable batch-table record, and recovery redoes-or-drops in-doubt batches per shard — see "Batch atomicity and crash semantics" |
+//! | one static carve region per shard, `OutOfMemory` at its boundary (layout v5) | **chunked extent pool** (layout v6): the carvable arena is fixed-size power-of-two extents with a durable owner byte each; a shard that exhausts its active extent claims the next free one online (flushed owner-byte CAS — never torn), so hot shards grow until the *pool* is empty and recovery rebuilds each shard's extent chain from the table — see the crash-semantics section above |
 //! | leaked `incll_palloc::Error` | crate-wide [`Error`] (incl. [`Error::ShardMismatch`], [`Error::UnsupportedLayout`]) |
 //!
-//! On-media layouts are version-screened: v5 (this build) refuses v1–v4
+//! On-media layouts are version-screened: v6 (this build) refuses v1–v5
 //! media with a typed [`Error::UnsupportedLayout`] — never a reformat.
 //!
 //! [`DurableMasstree`] remains public as the mid-level API, but it speaks
@@ -405,7 +423,7 @@ mod tree;
 pub use batch::{WriteBatch, MAX_BATCH_OPS};
 pub use error::{Error, MAX_VALUE_BYTES};
 pub use recovery::{RecoveryReport, ShardReplay};
-pub use store::{Options, RangeScan, Session, ShardStats, Store};
+pub use store::{ExtentStats, Options, RangeScan, Session, ShardStats, Store};
 pub use tree::{DCtx, DurableConfig, DurableMasstree, ReadGuard, ValueRef, VALUE_BUF_BYTES};
 
 #[cfg(test)]

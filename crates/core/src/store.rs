@@ -470,6 +470,19 @@ impl Store {
         self.route(key).put_bytes(&sess.ctx, key, value)
     }
 
+    /// [`Store::put`] consuming a value buffer reserved earlier on the
+    /// key's shard (the batch commit path's pre-reservation hook).
+    pub(crate) fn put_with_buf(
+        &self,
+        sess: &Session,
+        key: &[u8],
+        value: &[u8],
+        buf: Option<u64>,
+    ) -> Result<Option<Vec<u8>>, Error> {
+        self.route(key)
+            .put_bytes_with_buf(&sess.ctx, key, value, buf)
+    }
+
     /// Looks up `key`, returning a **borrowed, zero-copy** view of its
     /// value bytes in place in the durable buffer.
     ///
@@ -747,6 +760,25 @@ impl Store {
         }
     }
 
+    /// Extent-pool observability: the pool descriptor
+    /// `(pool_base, extent_bytes, extent_count)` plus the number of
+    /// extents each shard currently owns (create claims one per shard;
+    /// hot shards claim more online). `None` on `shards(1)`, which
+    /// carves from the arena's single implicit chain. Diagnostics /
+    /// experiments.
+    pub fn extent_stats(&self) -> Option<ExtentStats> {
+        let alloc = self.shards[0].allocator();
+        let (pool_base, extent_bytes, extent_count) = alloc.extent_pool()?;
+        Some(ExtentStats {
+            pool_base,
+            extent_bytes,
+            extent_count,
+            owned_per_shard: (0..self.shards.len())
+                .map(|d| alloc.owned_extents(d).len())
+                .collect(),
+        })
+    }
+
     /// Shard `i`'s tree handle (crate-internal: batch commit and recovery
     /// resolution reach per-shard state through it).
     pub(crate) fn shard_tree(&self, i: usize) -> &DurableMasstree {
@@ -797,6 +829,21 @@ pub struct ShardStats {
     /// The interval the store's cadence driver currently runs this shard
     /// at; `None` when the store was opened without [`Options::cadence`].
     pub current_interval: Option<Duration>,
+}
+
+/// Extent-pool snapshot ([`Store::extent_stats`]): the superblock v6
+/// pool descriptor plus each shard's current chain length, read from the
+/// durable owner table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtentStats {
+    /// Arena offset where the extent pool starts.
+    pub pool_base: u64,
+    /// Bytes per extent (power of two, fixed at format).
+    pub extent_bytes: u64,
+    /// Total extents in the pool.
+    pub extent_count: usize,
+    /// `owned_per_shard[s]` = extents shard `s` has durably claimed.
+    pub owned_per_shard: Vec<usize>,
 }
 
 impl std::fmt::Debug for Store {

@@ -718,8 +718,17 @@ impl DurableMasstree {
         let (g, _s) = self.enter_mut(ctx);
         let epoch = g.epoch();
         // SAFETY: as for `get`.
-        let out = unsafe { self.put_inner(ctx, epoch, key, &val.to_le_bytes(), read_value_u64) }
-            .expect("arena full");
+        let out = unsafe {
+            self.put_inner(
+                ctx,
+                epoch,
+                key,
+                &val.to_le_bytes(),
+                &mut None,
+                read_value_u64,
+            )
+        }
+        .expect("arena full");
         // No drain on exit: every undo entry the operation appended was
         // sealed before its guarded modification (see `log_node`), at
         // every persistence granularity.
@@ -741,18 +750,58 @@ impl DurableMasstree {
     /// brand-new key — structural node allocation still treats exhaustion
     /// as fatal.
     pub fn put_bytes(&self, ctx: &DCtx, key: &[u8], val: &[u8]) -> Result<Option<Vec<u8>>, Error> {
+        self.put_bytes_with_buf(ctx, key, val, None)
+    }
+
+    /// [`DurableMasstree::put_bytes`] consuming a value buffer the caller
+    /// already reserved with [`DurableMasstree::prepare_value_buf`] (the
+    /// batch commit path reserves every buffer up front so a full shard
+    /// fails the batch before anything durable names it). `None` falls
+    /// back to allocating inline.
+    pub(crate) fn put_bytes_with_buf(
+        &self,
+        ctx: &DCtx,
+        key: &[u8],
+        val: &[u8],
+        prealloc: Option<u64>,
+    ) -> Result<Option<Vec<u8>>, Error> {
         if val.len() > MAX_VALUE_BYTES {
             return Err(Error::ValueTooLarge {
                 size: val.len(),
                 max: MAX_VALUE_BYTES,
             });
         }
+        let mut prealloc = prealloc;
         let (g, _s) = self.enter_mut(ctx);
         let epoch = g.epoch();
         // SAFETY: as for `get`.
-        let out = unsafe { self.put_inner(ctx, epoch, key, val, read_value_bytes) };
+        let out = unsafe { self.put_inner(ctx, epoch, key, val, &mut prealloc, read_value_bytes) };
         // No drain on exit — as for `put`: undo entries seal themselves.
         out
+    }
+
+    /// Allocates — and fills — the value buffer a later
+    /// [`DurableMasstree::put_bytes_with_buf`] for `val` will consume.
+    /// Must run under a mutating pin on this shard carrying `epoch`.
+    pub(crate) fn prepare_value_buf(
+        &self,
+        ctx: &DCtx,
+        epoch: u64,
+        val: &[u8],
+    ) -> Result<u64, Error> {
+        if val.len() > MAX_VALUE_BYTES {
+            return Err(Error::ValueTooLarge {
+                size: val.len(),
+                max: MAX_VALUE_BYTES,
+            });
+        }
+        self.new_value_buf(ctx.tid, epoch, val)
+    }
+
+    /// Returns an unused [`DurableMasstree::prepare_value_buf`] reservation
+    /// to the shard's pending list (reusable at its next boundary).
+    pub(crate) fn release_value_buf(&self, ctx: &DCtx, epoch: u64, buf: u64) {
+        self.free_value_buf(ctx.tid, epoch, buf);
     }
 
     /// Removes `key`, returning whether it was present.
@@ -1364,6 +1413,7 @@ impl DurableMasstree {
         epoch: u64,
         key: &[u8],
         val: &[u8],
+        prealloc: &mut Option<u64>,
         read_old: impl Fn(&PArena, u64) -> R,
     ) -> Result<Option<R>, Error> {
         // Allocation failures below must release the held leaf lock before
@@ -1422,7 +1472,12 @@ impl DurableMasstree {
                                 continue 'layer;
                             }
                             // Update: InCLL-log the old pointer, then swap.
-                            let nb = alloc_or_unlock!(a, lf, self.new_value_buf(tid, epoch, val));
+                            let nb = match prealloc.take() {
+                                Some(b) => b,
+                                None => {
+                                    alloc_or_unlock!(a, lf, self.new_value_buf(tid, epoch, val))
+                                }
+                            };
                             self.incll_val(tid, epoch, lf, slot, old);
                             a.pwrite_u64_release(lf + off_val(slot), nb);
                             pv::unlock(a, lf, false, false);
@@ -1467,12 +1522,17 @@ impl DurableMasstree {
                                 let h = alloc_or_unlock!(
                                     a,
                                     lf,
-                                    self.build_layer_chain(tid, epoch, sub, val)
+                                    self.build_layer_chain(tid, epoch, sub, val, prealloc)
                                 );
                                 self.insert_entry(ctx, epoch, holder, lf, pos, ikey, KLEN_LAYER, h);
                                 return Ok(None);
                             }
-                            let nb = alloc_or_unlock!(a, lf, self.new_value_buf(tid, epoch, val));
+                            let nb = match prealloc.take() {
+                                Some(b) => b,
+                                None => {
+                                    alloc_or_unlock!(a, lf, self.new_value_buf(tid, epoch, val))
+                                }
+                            };
                             self.insert_entry(ctx, epoch, holder, lf, pos, ikey, target, nb);
                             return Ok(None);
                         }
@@ -1516,15 +1576,19 @@ impl DurableMasstree {
         epoch: u64,
         cur: KeyCursor<'_>,
         val: &[u8],
+        prealloc: &mut Option<u64>,
     ) -> Result<u64, Error> {
         unsafe {
             if cur.is_terminal() {
-                let buf = self.new_value_buf(tid, epoch, val)?;
+                let buf = match prealloc.take() {
+                    Some(b) => b,
+                    None => self.new_value_buf(tid, epoch, val)?,
+                };
                 Ok(self.new_layer_with(tid, epoch, cur.ikey(), cur.klen(), buf)?)
             } else {
                 let mut sub = cur;
                 sub.descend();
-                let inner = self.build_layer_chain(tid, epoch, sub, val)?;
+                let inner = self.build_layer_chain(tid, epoch, sub, val, prealloc)?;
                 Ok(self.new_layer_with(tid, epoch, cur.ikey(), KLEN_LAYER, inner)?)
             }
         }

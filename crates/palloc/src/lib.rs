@@ -33,22 +33,39 @@
 //! under the shard's epoch, spliced at the shard's boundary, repaired
 //! against the shard's failed set.
 //!
-//! The bump **watermark** is per shard too (superblock layout v4): a
-//! multi-domain allocator splits the arena's remaining carvable space into
-//! one equal **region per domain** at create time
-//! ([`PAlloc::create_sharded`] must therefore be the last create-time
-//! carver), and each region gets its own carve frontier with its own
-//! durable InCLL watermark triple on a dedicated cache line
+//! The bump **watermark** is per shard too, and since superblock layout
+//! v6 the carvable space behind it is a **chunked extent pool**: a
+//! multi-domain allocator turns the arena's remaining space into a pool
+//! of fixed-size power-of-two extents ([`PAlloc::create_sharded`] must
+//! therefore be the last create-time carver) and each shard carves from
+//! a chain of extents it *claims online* from the shared durable
+//! extent-owner table ([`incll_pmem::superblock::SB_EXTENT_OWNERS`]) —
+//! one byte per extent on dedicated cache lines, claimed lowest-index
+//! first with a CAS-then-`clwb`/`sfence` so a crash mid-claim shows
+//! either an owned extent or a free one, never a torn owner. Each shard
+//! keeps its own carve frontier with its own durable InCLL watermark
+//! triple on a dedicated cache line
 //! ([`incll_pmem::superblock::shard_bump_off`]). Slab carves never cross
 //! shards, the frontier's epoch tag lives on the owning shard's own
 //! timeline, and the paper's flush-free watermark protocol applies per
 //! shard: a crash rolls each shard's frontier back to its epoch-start
-//! value, so slabs carved in a doomed epoch **un-carve** — nothing leaks,
-//! and no `clwb`/`sfence` ever runs on the carve path. (Earlier multi-
-//! domain builds shared one frontier and had to persist it eagerly at
-//! every carve, leaking doomed slabs; that workaround is gone.)
-//! Single-domain allocators keep the paper's single shared frontier and
-//! media shape exactly.
+//! value, so slabs carved in a doomed epoch **un-carve** within the
+//! owning extent — nothing leaks, and no `clwb`/`sfence` ever runs on
+//! the common carve path (only the rare extent *claim* — once per
+//! extent, ever — issues one write-back + fence, so the durable claim
+//! always precedes any durable frontier referencing the extent).
+//!
+//! Extents are never released: a claim made in an epoch that later
+//! failed (the frontier reverted out of the extent) merely leaves the
+//! extent on the owning shard's **reserve** chain, reused before any new
+//! claim — so recovery rebuilds each shard's chain from the owner table
+//! with zero media writes, byte-identical at every recovery worker
+//! count. [`Error::Pmem`]`(OutOfMemory)` from the carve path now means
+//! the **pool** is exhausted (every extent claimed and the shard's chain
+//! full), not that a fixed create-time region filled while siblings sat
+//! on free space. Single-domain allocators keep the paper's single
+//! shared frontier and media shape exactly (one implicit extent chain:
+//! the whole arena).
 //!
 //! # Example
 //!
@@ -126,6 +143,35 @@ impl From<incll_pmem::Error> for Error {
     }
 }
 
+/// Default pool extent size: 1 MiB.
+pub const DEFAULT_EXTENT_BYTES: u64 = 1 << 20;
+/// Smallest pool extent size create will shrink to for tiny arenas. Must
+/// hold at least one object of the largest class plus alignment slack.
+pub const MIN_EXTENT_BYTES: u64 = 64 * 1024;
+
+/// The extent pool a multi-domain allocator carves from (v6 media).
+#[derive(Debug, Clone, Copy)]
+struct Pool {
+    /// Base offset of extent 0 (64-aligned).
+    base: u64,
+    /// Bytes per extent (power of two, multiple of 64).
+    extent_bytes: u64,
+    /// Number of extents in the pool.
+    count: usize,
+}
+
+impl Pool {
+    #[inline]
+    fn start(&self, idx: usize) -> u64 {
+        self.base + idx as u64 * self.extent_bytes
+    }
+
+    #[inline]
+    fn end(&self, idx: usize) -> u64 {
+        self.start(idx) + self.extent_bytes
+    }
+}
+
 struct Inner {
     arena: PArena,
     /// Base of the head-cell region:
@@ -139,13 +185,21 @@ struct Inner {
     failed_low32: Vec<Vec<u32>>,
     /// Full failed epochs, per domain (head cells store full epochs).
     failed_full: Vec<Vec<u64>>,
-    /// Per-domain carve region `[start, limit)`. Multi-domain only (the
-    /// v4 arena split); empty for a single-domain allocator, which carves
-    /// from the arena's shared frontier.
-    regions: Vec<(u64, u64)>,
+    /// The shared extent pool. Multi-domain only (the v6 layout); `None`
+    /// for a single-domain allocator, which carves from the arena's
+    /// shared frontier.
+    pool: Option<Pool>,
     /// Per-domain transient carve frontier, mirroring the domain's durable
     /// watermark. Multi-domain only.
     frontier: Vec<AtomicU64>,
+    /// Per-domain end of the *active* extent (the one the frontier is
+    /// inside); the frontier may carve up to it. Multi-domain only.
+    limit: Vec<AtomicU64>,
+    /// Per-domain reserve chain: owned-but-not-yet-active extent indices
+    /// in ascending order (claims are strictly lowest-index-first and
+    /// extents are never released, so ascending order is canonical).
+    /// Activated front-first before any new claim. Multi-domain only.
+    reserve: Vec<Mutex<Vec<u32>>>,
     /// Serialises each domain's durable-watermark updates (slab carving is
     /// rare); one lock per domain so carves never contend across shards.
     carve_locks: Vec<Mutex<()>>,
@@ -178,17 +232,20 @@ impl PAlloc {
     /// tags live entirely on `d`'s epoch timeline. See the crate docs'
     /// epoch-domains section.
     ///
-    /// With more than one domain the allocator also **splits the arena**:
-    /// all remaining carvable space is claimed and divided into one equal
-    /// region per domain, each with its own carve frontier and durable
-    /// InCLL watermark (slab carves never cross shards). The split claims
-    /// the rest of the arena, so this must be the *last* create-time
-    /// carver — carve shared regions (e.g. the external log) first.
+    /// With more than one domain the allocator also turns the rest of the
+    /// arena into the **extent pool**: all remaining carvable space
+    /// becomes up to [`incll_pmem::superblock::MAX_EXTENTS`] fixed-size
+    /// power-of-two extents (default [`DEFAULT_EXTENT_BYTES`], shrunk for
+    /// tiny arenas, grown for huge ones), each shard eagerly claims one,
+    /// and further extents are claimed online from the shared durable
+    /// owner table as shards exhaust their chains. The pool claims the
+    /// rest of the arena, so this must be the *last* create-time carver —
+    /// carve shared regions (e.g. the external log) first.
     ///
     /// # Errors
     ///
     /// Propagates arena carve failures (including an arena too small to
-    /// give every domain a useful region).
+    /// give every domain at least one extent).
     ///
     /// # Panics
     ///
@@ -204,44 +261,63 @@ impl PAlloc {
         arena.pwrite_u64(superblock::SB_PALLOC_HEADS + 16, TOTAL_CLASSES as u64);
         arena.pwrite_u64(superblock::SB_PALLOC_HEADS + 24, ndomains as u64);
 
-        let (regions, frontier) = if ndomains == 1 {
+        let (pool, frontier, limit, reserve) = if ndomains == 1 {
             // Single domain: the paper's shared frontier on the legacy
-            // cells, no split.
+            // cells — one implicit extent chain spanning the whole arena.
             arena.pwrite_u64(superblock::SB_ARENA_SPLIT, 0);
             arena.pwrite_u64(superblock::SB_BUMP, arena.bump());
             arena.pwrite_u64(superblock::SB_BUMP_INCLL, arena.bump());
             arena.pwrite_u64(superblock::SB_BUMP_EPOCH, 0);
             arena.clwb(superblock::SB_BUMP);
-            (Vec::new(), Vec::new())
+            (None, Vec::new(), Vec::new(), Vec::new())
         } else {
-            // Split everything that remains into one region per domain.
+            // Size the pool: start at the default extent, shrink while the
+            // pool cannot give every domain an extent, grow while it would
+            // overflow the owner table.
             let base = (arena.bump() + 63) & !63;
             let avail = (arena.capacity() as u64).saturating_sub(base);
-            let per = (avail / ndomains as u64) & !63;
-            // Every domain must at least fit one slab of the largest class.
-            let min_region = (classes::stride(TOTAL_CLASSES - 1) * SLAB_OBJECTS) as u64;
-            if per < min_region {
+            let mut extent_bytes = DEFAULT_EXTENT_BYTES;
+            while extent_bytes > MIN_EXTENT_BYTES && avail / extent_bytes < ndomains as u64 {
+                extent_bytes /= 2;
+            }
+            while avail / extent_bytes > superblock::MAX_EXTENTS as u64 {
+                extent_bytes *= 2;
+            }
+            let count = (avail / extent_bytes).min(superblock::MAX_EXTENTS as u64) as usize;
+            if count < ndomains {
                 return Err(Error::Pmem(incll_pmem::Error::OutOfMemory {
-                    requested: (min_region as usize) * ndomains,
+                    requested: (MIN_EXTENT_BYTES as usize) * ndomains,
                     capacity: arena.capacity(),
                 }));
             }
-            let split = arena.carve((per * ndomains as u64) as usize, 64)?;
+            let split = arena.carve((extent_bytes * count as u64) as usize, 64)?;
             arena.pwrite_u64(superblock::SB_ARENA_SPLIT, split);
-            arena.pwrite_u64(superblock::SB_ARENA_REGION_BYTES, per);
+            arena.pwrite_u64(superblock::SB_ARENA_REGION_BYTES, extent_bytes);
+            arena.pwrite_u64(superblock::SB_EXTENT_COUNT, count as u64);
             arena.clwb(superblock::SB_ARENA_SPLIT);
-            let mut regions = Vec::with_capacity(ndomains);
+            let pool = Pool {
+                base: split,
+                extent_bytes,
+                count,
+            };
             let mut frontier = Vec::with_capacity(ndomains);
+            let mut limit = Vec::with_capacity(ndomains);
             for d in 0..ndomains {
-                let start = split + d as u64 * per;
-                regions.push((start, start + per));
+                // Eagerly claim extent d for shard d: the claim flushes
+                // itself, so the pool starts with a durable one-extent
+                // chain per shard.
+                let claimed = superblock::claim_extent(arena, d, d);
+                debug_assert!(claimed, "fresh pool extent must be claimable");
+                let start = pool.start(d);
                 frontier.push(AtomicU64::new(start));
+                limit.push(AtomicU64::new(pool.end(d)));
                 arena.pwrite_u64(superblock::shard_bump_off(d), start);
                 arena.pwrite_u64(superblock::shard_bump_incll_off(d), start);
                 arena.pwrite_u64(superblock::shard_bump_epoch_off(d), 0);
                 arena.clwb(superblock::shard_bump_off(d));
             }
-            (regions, frontier)
+            let reserve = (0..ndomains).map(|_| Mutex::new(Vec::new())).collect();
+            (Some(pool), frontier, limit, reserve)
         };
         arena.clwb_range(superblock::SB_PALLOC_HEADS, 32);
         arena.sfence();
@@ -253,8 +329,10 @@ impl PAlloc {
                 ndomains,
                 failed_low32: vec![Vec::new(); ndomains],
                 failed_full: vec![Vec::new(); ndomains],
-                regions,
+                pool,
                 frontier,
+                limit,
+                reserve,
                 carve_locks: (0..ndomains).map(|_| Mutex::new(())).collect(),
             }),
         })
@@ -332,27 +410,35 @@ impl PAlloc {
             .map(|f| f.iter().map(|&e| e as u32).collect())
             .collect();
 
-        let (regions, frontier) = if ndomains == 1 {
-            (Vec::new(), Vec::new())
+        let (pool, frontier, limit, reserve) = if ndomains == 1 {
+            (None, Vec::new(), Vec::new(), Vec::new())
         } else {
             let split = arena.pread_u64(superblock::SB_ARENA_SPLIT);
-            let per = arena.pread_u64(superblock::SB_ARENA_REGION_BYTES);
+            let extent_bytes = arena.pread_u64(superblock::SB_ARENA_REGION_BYTES);
+            let count = arena.pread_u64(superblock::SB_EXTENT_COUNT) as usize;
             assert!(
-                split != 0 && per != 0,
-                "multi-domain allocator without an arena split descriptor"
+                split != 0 && extent_bytes != 0 && count != 0,
+                "multi-domain allocator without an extent-pool descriptor"
             );
-            // The regions claimed the rest of the arena at create; reflect
+            // The pool claimed the rest of the arena at create; reflect
             // that in the transient global frontier.
-            arena.set_bump(split + per * ndomains as u64);
-            let regions: Vec<(u64, u64)> = (0..ndomains as u64)
-                .map(|d| (split + d * per, split + (d + 1) * per))
-                .collect();
+            arena.set_bump(split + extent_bytes * count as u64);
+            let pool = Pool {
+                base: split,
+                extent_bytes,
+                count,
+            };
             // Frontiers start at the raw durable watermark; recover_domain
-            // rolls each back past its failed epochs.
-            let frontier = (0..ndomains)
+            // rolls each back past its failed epochs and then rebuilds the
+            // extent chain (active limit + reserve) from the owner table.
+            let frontier: Vec<AtomicU64> = (0..ndomains)
                 .map(|d| AtomicU64::new(arena.pread_u64(superblock::shard_bump_off(d))))
                 .collect();
-            (regions, frontier)
+            let limit = (0..ndomains)
+                .map(|d| AtomicU64::new(frontier[d].load(Ordering::Relaxed)))
+                .collect();
+            let reserve = (0..ndomains).map(|_| Mutex::new(Vec::new())).collect();
+            (Some(pool), frontier, limit, reserve)
         };
         if ndomains == 1 {
             arena.set_bump(arena.pread_u64(superblock::SB_BUMP));
@@ -365,8 +451,10 @@ impl PAlloc {
                 ndomains,
                 failed_low32,
                 failed_full,
-                regions,
+                pool,
                 frontier,
+                limit,
+                reserve,
                 carve_locks: (0..ndomains).map(|_| Mutex::new(())).collect(),
             }),
         }
@@ -398,6 +486,7 @@ impl PAlloc {
             arena.set_bump(wm);
         } else {
             self.inner.frontier[domain].store(wm, Ordering::Relaxed);
+            self.rebuild_chain(domain, wm);
         }
         // Head cells: threads × classes lines of this domain, each against
         // the domain's own failed set.
@@ -413,11 +502,61 @@ impl PAlloc {
         self.on_domain_boundary(domain, exec_epoch);
     }
 
-    /// The carve region `[start, limit)` owned by `domain`, or `None` on a
-    /// single-domain allocator (which carves from the arena's shared
+    /// Rebuilds `domain`'s transient extent chain from the durable owner
+    /// table after the watermark revert landed the frontier at `frontier`.
+    /// Extents are claimed lowest-index-first and never released, so the
+    /// shard's owned extents sorted ascending are: fully-carved extents
+    /// (end ≤ frontier), then at most one *active* extent containing the
+    /// frontier, then *reserve* extents (start ≥ frontier) — extents whose
+    /// claims durably landed but whose first carve belonged to a failed
+    /// epoch. Reserves are queued for reuse before any fresh claim; the
+    /// rebuild itself is read-only media-wise, so it is byte-identical at
+    /// every recovery worker count.
+    fn rebuild_chain(&self, domain: usize, frontier: u64) {
+        let pool = self.inner.pool.as_ref().expect("multi-domain pool");
+        let arena = &self.inner.arena;
+        let owner = u8::try_from(domain + 1).expect("shard fits the owner byte");
+        // Until an owned extent contains the frontier, the shard may not
+        // carve (frontier sits exactly on an extent-end boundary).
+        let mut limit = frontier;
+        let mut reserve = Vec::new();
+        for i in 0..pool.count {
+            if superblock::extent_owner(arena, i) != owner {
+                continue;
+            }
+            let (s, e) = (pool.start(i), pool.end(i));
+            if s <= frontier && frontier < e {
+                limit = e;
+            } else if s >= frontier {
+                reserve.push(u32::try_from(i).expect("extent index fits u32"));
+            }
+        }
+        self.inner.limit[domain].store(limit, Ordering::Relaxed);
+        *self.inner.reserve[domain].lock() = reserve;
+    }
+
+    /// The extent pool descriptor `(base, extent_bytes, count)`, or `None`
+    /// on a single-domain allocator (which carves from the arena's shared
     /// frontier). Diagnostics / tests.
-    pub fn region_of(&self, domain: usize) -> Option<(u64, u64)> {
-        self.inner.regions.get(domain).copied()
+    pub fn extent_pool(&self) -> Option<(u64, u64, usize)> {
+        self.inner
+            .pool
+            .as_ref()
+            .map(|p| (p.base, p.extent_bytes, p.count))
+    }
+
+    /// The `[start, end)` spans of every extent currently owned by
+    /// `domain` (ascending), or an empty list on a single-domain
+    /// allocator. Reads the durable owner table. Diagnostics / tests.
+    pub fn owned_extents(&self, domain: usize) -> Vec<(u64, u64)> {
+        let Some(pool) = self.inner.pool.as_ref() else {
+            return Vec::new();
+        };
+        let owner = u8::try_from(domain + 1).expect("shard fits the owner byte");
+        (0..pool.count)
+            .filter(|&i| superblock::extent_owner(&self.inner.arena, i) == owner)
+            .map(|i| (pool.start(i), pool.end(i)))
+            .collect()
     }
 
     /// The arena this allocator carves from.
@@ -657,22 +796,77 @@ impl PAlloc {
         }
     }
 
-    /// Carves `size` bytes (aligned) from `domain`'s own region. The
+    /// Carves up to `max_objs` (≥ 1) objects of `stride` bytes from
+    /// `domain`'s extent chain, returning `(first_object, count)`. The
     /// caller holds the domain's carve lock and logs the watermark move.
-    fn carve_in(&self, domain: usize, size: u64, align: u64) -> Result<u64, Error> {
-        let (start, limit) = self.inner.regions[domain];
-        debug_assert!(start > 0);
-        let cur = self.inner.frontier[domain].load(Ordering::Relaxed);
-        let aligned = (cur + align - 1) & !(align - 1);
-        let end = aligned + size;
-        if end > limit {
-            return Err(Error::Pmem(incll_pmem::Error::OutOfMemory {
-                requested: size as usize,
-                capacity: (limit - start) as usize,
-            }));
+    /// When the active extent cannot fit even one object, the next extent
+    /// is activated — reserve first, else a fresh claim from the shared
+    /// pool — and the frontier jumps to its start (just another watermark
+    /// move on the shard's own InCLL timeline).
+    fn carve_objects(
+        &self,
+        domain: usize,
+        stride: u64,
+        align: u64,
+        max_objs: usize,
+    ) -> Result<(u64, usize), Error> {
+        loop {
+            let cur = self.inner.frontier[domain].load(Ordering::Relaxed);
+            let limit = self.inner.limit[domain].load(Ordering::Relaxed);
+            let aligned = (cur + align - 1) & !(align - 1);
+            let fit = limit.saturating_sub(aligned.min(limit)) / stride;
+            if fit >= 1 {
+                let n = (fit as usize).min(max_objs);
+                self.inner.frontier[domain].store(aligned + stride * n as u64, Ordering::Relaxed);
+                return Ok((aligned, n));
+            }
+            self.activate_next_extent(domain, stride)?;
         }
-        self.inner.frontier[domain].store(end, Ordering::Relaxed);
-        Ok(aligned)
+    }
+
+    /// Moves `domain`'s frontier into its next extent: the front of the
+    /// reserve chain if one exists (an extent whose claim survived a
+    /// crashed epoch, or was queued by an earlier revert), otherwise a
+    /// fresh claim of the lowest-index free extent in the shared pool.
+    /// Caller holds the domain's carve lock. `OutOfMemory` only when the
+    /// pool has no free extent left — the whole arena is exhausted.
+    ///
+    /// A fresh claim is the one deliberate exception to the flush-free
+    /// carve path: the owner byte is CAS'd then clwb+sfence'd inside
+    /// [`incll_pmem::superblock::claim_extent`], so the durable claim
+    /// always precedes any durable frontier value referencing the extent
+    /// (frontiers only persist at checkpoint flushes).
+    fn activate_next_extent(&self, domain: usize, stride: u64) -> Result<(), Error> {
+        let pool = self.inner.pool.as_ref().expect("multi-domain pool");
+        let idx = {
+            let mut reserve = self.inner.reserve[domain].lock();
+            if reserve.is_empty() {
+                self.claim_free_extent(domain, stride)?
+            } else {
+                reserve.remove(0) as usize
+            }
+        };
+        self.inner.frontier[domain].store(pool.start(idx), Ordering::Relaxed);
+        self.inner.limit[domain].store(pool.end(idx), Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Claims the lowest-index free extent for `domain`, durably (the
+    /// claim CAS flushes itself). Losing a race to another shard just
+    /// moves on to the next free index.
+    fn claim_free_extent(&self, domain: usize, stride: u64) -> Result<usize, Error> {
+        let pool = self.inner.pool.as_ref().expect("multi-domain pool");
+        let arena = &self.inner.arena;
+        for i in 0..pool.count {
+            if superblock::extent_owner(arena, i) == 0 && superblock::claim_extent(arena, i, domain)
+            {
+                return Ok(i);
+            }
+        }
+        Err(Error::Pmem(incll_pmem::Error::OutOfMemory {
+            requested: stride as usize,
+            capacity: (pool.extent_bytes * pool.count as u64) as usize,
+        }))
     }
 
     /// Carves a fresh slab for (thread, domain, class) and chains it onto
@@ -690,14 +884,21 @@ impl PAlloc {
             16
         };
         let slab;
+        let objs;
         {
             let _g = self.inner.carve_locks[domain].lock();
             let new_frontier;
             if self.inner.ndomains == 1 {
                 slab = arena.carve(stride as usize * SLAB_OBJECTS, align as usize)?;
+                objs = SLAB_OBJECTS;
                 new_frontier = arena.bump();
             } else {
-                slab = self.carve_in(domain, stride * SLAB_OBJECTS as u64, align)?;
+                // Extents may be smaller than a full slab of the largest
+                // class; carve whatever fits (at least one object) so small
+                // pools never strand extent tails.
+                let (s, n) = self.carve_objects(domain, stride, align, SLAB_OBJECTS)?;
+                slab = s;
+                objs = n;
                 new_frontier = self.inner.frontier[domain].load(Ordering::Relaxed);
             }
             // InCLL-log the domain's durable watermark on its first move
@@ -718,13 +919,9 @@ impl PAlloc {
         let cell = self.cell(thread, domain, class);
         let cur_head = cell::free_head(arena, cell);
         let e32 = epoch as u32;
-        for i in 0..SLAB_OBJECTS {
+        for i in 0..objs {
             let obj = slab + (i as u64) * stride + head_off;
-            let next = if i + 1 < SLAB_OBJECTS {
-                obj + stride
-            } else {
-                cur_head
-            };
+            let next = if i + 1 < objs { obj + stride } else { cur_head };
             arena.pwrite_u64(obj + 8, header::pack(0, 1, e32 as u16));
             arena.pwrite_u64(obj, header::pack(next, 1, (e32 >> 16) as u16));
         }
@@ -1408,27 +1605,43 @@ mod tests {
     }
 
     #[test]
-    fn multi_domain_regions_are_disjoint_and_cover_all_domains() {
+    fn multi_domain_extents_are_disjoint_and_every_domain_owns_one() {
         let (_arena, alloc) = tracked_sharded(2, 4);
-        let regions: Vec<(u64, u64)> = (0..4).map(|d| alloc.region_of(d).unwrap()).collect();
-        for (d, &(s, l)) in regions.iter().enumerate() {
-            assert!(s < l, "region {d} must be non-empty");
-            assert_eq!(s % 64, 0);
-            for &(s2, _) in &regions[d + 1..] {
-                assert!(s2 >= l, "regions must not overlap");
+        let (base, ext, count) = alloc.extent_pool().unwrap();
+        assert!(ext.is_power_of_two());
+        assert_eq!(base % 64, 0);
+        assert!(count >= 4, "pool must fit one extent per domain");
+        // Create eagerly claimed one extent per domain; no overlap.
+        let mut seen = Vec::new();
+        for d in 0..4 {
+            let owned = alloc.owned_extents(d);
+            assert_eq!(owned.len(), 1, "domain {d} starts with one extent");
+            for &(s, e) in &owned {
+                assert!(s < e && e - s == ext);
+                for &(s2, e2) in &seen {
+                    assert!(e <= s2 || s >= e2, "extents must not overlap");
+                }
             }
+            seen.extend(owned);
         }
-        // Allocations land inside their own domain's region.
-        for (d, &(s, l)) in regions.iter().enumerate() {
+        // Allocations land inside an extent owned by their own domain.
+        for d in 0..4 {
             let p = alloc.alloc_in(0, d, 1, 32).unwrap();
-            assert!(p >= s && p + 32 <= l, "domain {d} payload outside region");
+            assert!(
+                alloc
+                    .owned_extents(d)
+                    .iter()
+                    .any(|&(s, e)| p >= s && p + 32 <= e),
+                "domain {d} payload outside its owned extents"
+            );
         }
     }
 
     #[test]
-    fn single_domain_allocator_has_no_regions() {
+    fn single_domain_allocator_has_no_extent_pool() {
         let (_a, alloc) = fresh(1);
-        assert_eq!(alloc.region_of(0), None);
+        assert_eq!(alloc.extent_pool(), None);
+        assert!(alloc.owned_extents(0).is_empty());
     }
 
     #[test]
@@ -1478,21 +1691,30 @@ mod tests {
             wm0_after,
             "domain 0's completed carve must survive"
         );
-        // The reverted frontier hands the same space out again.
+        // The reverted frontier hands the same space out again, inside an
+        // extent domain 1 owns.
         let p = alloc2.alloc_in(0, 1, 7, 320).unwrap();
-        let (s, l) = alloc2.region_of(1).unwrap();
-        assert!(p >= s && p < l);
+        assert!(
+            alloc2
+                .owned_extents(1)
+                .iter()
+                .any(|&(s, e)| p >= s && p < e),
+            "reused space must sit in a domain-1 extent"
+        );
     }
 
     #[test]
-    fn domain_region_exhaustion_is_a_typed_error() {
-        // A domain can only carve from its own region: exhausting it
-        // errors even though other domains still have space.
+    fn hot_domain_grows_across_the_pool_before_out_of_memory() {
+        // The v5 bug this PR fixes: a hot domain used to OOM at its static
+        // region boundary while siblings sat on free space. Now it claims
+        // free extents until the *pool* is empty — far more than a static
+        // 1/ndomains share — and the error is typed. The cold sibling keeps
+        // allocating from its own extent afterwards.
         let arena = PArena::builder().capacity_bytes(8 << 20).build().unwrap();
         superblock::format(&arena);
         let alloc = PAlloc::create_sharded(&arena, 1, 2).unwrap();
-        let (s, l) = alloc.region_of(0).unwrap();
-        let per_slab = (classes::stride(class_for(4096).unwrap()) * SLAB_OBJECTS) as u64;
+        let (_base, ext, count) = alloc.extent_pool().unwrap();
+        let stride = classes::stride(class_for(4096).unwrap()) as u64;
         let mut got = 0u64;
         let err = loop {
             match alloc.alloc_in(0, 0, 1, 4096) {
@@ -1504,12 +1726,78 @@ mod tests {
             err,
             Error::Pmem(incll_pmem::Error::OutOfMemory { .. })
         ));
+        // Domain 0 ends up owning every extent except domain 1's.
+        assert_eq!(alloc.owned_extents(0).len(), count - 1);
+        let static_share = ext * count as u64 / 2;
         assert!(
-            got >= (l - s) / per_slab / 2,
-            "most of the region is usable"
+            got * stride > static_share,
+            "hot domain must outgrow its old static share (got {got} objects)"
         );
-        // The sibling domain is unaffected.
+        // The sibling domain still has its own extent.
         alloc.alloc_in(0, 1, 1, 4096).unwrap();
+    }
+
+    #[test]
+    fn doomed_epoch_claim_survives_as_reserve_and_is_reused() {
+        // A crash after a durable extent claim whose first carve belonged
+        // to a failed epoch: the frontier reverts out of the extent, the
+        // owner byte stays (claims are never torn and never released), and
+        // recovery queues the extent as reserve — reused before any fresh
+        // claim, so the owner table is byte-stable across the reuse.
+        let (arena, alloc) = tracked_sharded(1, 2);
+        arena.pwrite_u64(superblock::domain_cur_epoch_off(0), 2);
+        arena.pwrite_u64(superblock::domain_cur_epoch_off(1), 6);
+        arena.global_flush();
+        let owned_before = alloc.owned_extents(1).len();
+        let wm1 = arena.pread_u64(superblock::shard_bump_off(1));
+
+        // Burn through domain 1's active extent in its doomed epoch 6
+        // until a fresh claim fires.
+        while alloc.owned_extents(1).len() == owned_before {
+            alloc.alloc_in(0, 1, 6, 4096).unwrap();
+        }
+        let owners_after_claim: Vec<u8> = {
+            let (_b, _e, count) = alloc.extent_pool().unwrap();
+            (0..count)
+                .map(|i| superblock::extent_owner(&arena, i))
+                .collect()
+        };
+        superblock::record_failed_epoch_for(&arena, 1, 6).unwrap();
+        arena.crash_seeded(11);
+
+        let alloc2 = PAlloc::open_sharded(&arena, &[3, 7]);
+        // Frontier reverted out of the claimed extent...
+        assert_eq!(arena.pread_u64(superblock::shard_bump_off(1)), wm1);
+        // ...but the claim itself survived (flushed at claim time).
+        let owners_now: Vec<u8> = {
+            let (_b, _e, count) = alloc2.extent_pool().unwrap();
+            (0..count)
+                .map(|i| superblock::extent_owner(&arena, i))
+                .collect()
+        };
+        assert_eq!(owners_now, owners_after_claim, "claims are never torn");
+        assert_eq!(alloc2.owned_extents(1).len(), owned_before + 1);
+
+        // Refilling domain 1 again reuses the reserve extent — the owner
+        // table does not change.
+        while alloc2.arena().pread_u64(superblock::shard_bump_off(1)) == wm1 {
+            alloc2.alloc_in(0, 1, 7, 4096).unwrap();
+        }
+        let mut spent = 0;
+        while spent < 400 {
+            alloc2.alloc_in(0, 1, 7, 4096).unwrap();
+            spent += 1;
+        }
+        let owners_final: Vec<u8> = {
+            let (_b, _e, count) = alloc2.extent_pool().unwrap();
+            (0..count)
+                .map(|i| superblock::extent_owner(&arena, i))
+                .collect()
+        };
+        assert_eq!(
+            owners_final, owners_after_claim,
+            "reserve extents must be consumed before any fresh claim"
+        );
     }
 
     #[test]

@@ -485,6 +485,77 @@ impl PArena {
         }
     }
 
+    /// Relaxed 8-bit load from `offset` (any alignment).
+    #[inline]
+    pub fn pread_u8(&self, offset: u64) -> u8 {
+        let shift = (offset % 8) * 8;
+        (self.atom(offset & !7).load(Ordering::Acquire) >> shift) as u8
+    }
+
+    /// 8-bit compare-exchange on `offset` (any alignment): atomically
+    /// replaces the byte at `offset` with `new` iff it currently equals
+    /// `current`, returning `Ok(current)` on success or `Err(actual)` with
+    /// the observed byte otherwise.
+    ///
+    /// Used for single-byte durable ownership words (the allocator's
+    /// extent-owner table) where several writers may race on *adjacent*
+    /// bytes of one word: the implementation loops a word-level CAS
+    /// restricted to the target byte, so neighbouring-byte writers never
+    /// fail each other spuriously at this API's level. Tracked mode
+    /// journals exactly the byte finally stored, keeping crash replay
+    /// idempotent.
+    pub fn pcas_u8(&self, offset: u64, current: u8, new: u8) -> std::result::Result<u8, u8> {
+        let word_off = offset & !7;
+        let shift = ((offset % 8) * 8) as u32;
+        let atom = self.atom(word_off);
+        loop {
+            let word = atom.load(Ordering::Acquire);
+            let actual = (word >> shift) as u8;
+            if actual != current {
+                return Err(actual);
+            }
+            let new_word = (word & !(0xffu64 << shift)) | (u64::from(new) << shift);
+            if self.inner.tracked {
+                let line = offset / CACHE_LINE as u64;
+                let within = (offset % CACHE_LINE as u64) as usize;
+                let mut ok = false;
+                self.inner.journal.record_store(
+                    line,
+                    within,
+                    &[new],
+                    current_domain(),
+                    || self.read_line(line),
+                    || {
+                        ok = atom
+                            .compare_exchange(word, new_word, Ordering::AcqRel, Ordering::Acquire)
+                            .is_ok();
+                    },
+                );
+                if ok {
+                    return Ok(current);
+                }
+                // The word CAS lost (target byte or a neighbour changed):
+                // the apply closure did not store, so re-record whatever
+                // byte is actually in memory to keep replay idempotent,
+                // then retry from the fresh word.
+                let cur_byte = (atom.load(Ordering::Acquire) >> shift) as u8;
+                self.inner.journal.record_store(
+                    line,
+                    within,
+                    &[cur_byte],
+                    current_domain(),
+                    || self.read_line(line),
+                    || {},
+                );
+            } else if atom
+                .compare_exchange(word, new_word, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return Ok(current);
+            }
+        }
+    }
+
     /// Copies `data` into the arena at `offset` (byte-granular).
     ///
     /// Intended for regions with exclusive ownership (log buffers, freshly
@@ -886,6 +957,59 @@ mod tests {
             .is_err());
         a.crash_with(|_, n| n);
         assert_eq!(a.pread_u64(off), 4);
+    }
+
+    #[test]
+    fn byte_cas_claims_and_rejects() {
+        let a = arena(false);
+        let off = a.carve(64, 64).unwrap();
+        assert_eq!(a.pread_u8(off + 3), 0);
+        assert_eq!(a.pcas_u8(off + 3, 0, 7), Ok(0));
+        assert_eq!(a.pread_u8(off + 3), 7);
+        // Wrong expectation reports the observed byte, stores nothing.
+        assert_eq!(a.pcas_u8(off + 3, 0, 9), Err(7));
+        assert_eq!(a.pread_u8(off + 3), 7);
+        // Neighbouring bytes of the same word are untouched.
+        assert_eq!(a.pcas_u8(off + 4, 0, 1), Ok(0));
+        assert_eq!(a.pread_u8(off + 3), 7);
+        assert_eq!(a.pread_u8(off + 4), 1);
+    }
+
+    #[test]
+    fn byte_cas_tracked_is_all_or_nothing_across_a_crash() {
+        let a = arena(true);
+        let off = a.carve(64, 64).unwrap();
+        a.pcas_u8(off + 5, 0, 3).unwrap();
+        // Unflushed: a crash that drops every unpersisted store loses the
+        // claim whole (the byte reads free again, never torn)...
+        a.crash_with(|_, _| 0);
+        assert_eq!(a.pread_u8(off + 5), 0);
+        // ...and once flushed, the claim survives any crash.
+        a.pcas_u8(off + 5, 0, 3).unwrap();
+        a.clwb(off + 5);
+        a.sfence();
+        a.crash_with(|_, _| 0);
+        assert_eq!(a.pread_u8(off + 5), 3);
+    }
+
+    #[test]
+    fn byte_cas_is_atomic_under_contention() {
+        let a = arena(false);
+        let off = a.carve(64, 64).unwrap();
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for t in 1..=8u8 {
+                let a = a.clone();
+                handles.push(s.spawn(move || a.pcas_u8(off, 0, t).is_ok()));
+            }
+            let winners = handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .filter(|&won| won)
+                .count();
+            assert_eq!(winners, 1, "exactly one claimant may win the byte");
+        });
+        assert!((1..=8).contains(&a.pread_u8(off)));
     }
 
     #[test]

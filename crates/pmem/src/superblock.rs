@@ -22,11 +22,11 @@
 //! | 1216   | 19       | external-log region descriptor (incl. domain count) |
 //! | 1280   | 20–43    | allocator class heads descriptor + head lines |
 //! | 2816   | 44–59    | shard root-holder table (shards 1..64, 16 B cells) |
-//! | 3840   | 60       | per-shard carve-region descriptor (split base + region bytes) |
+//! | 3840   | 60       | extent-pool descriptor (pool base + extent bytes + extent count) |
 //! | 3904   | 61       | batch next-id word (monotonic durable batch-id allocator) |
 //! | 3968   | 62–63    | batch-commit table: 8 × 16 B (batch id, shard mask) slots |
 //! | 4096   | 64–190   | epoch-domain table: per-shard epoch counters + failed sets (shards 1..64, 128 B cells) |
-//! | 12160  | 190–191  | spare |
+//! | 12160  | 190–191  | extent-owner table: one owner byte per extent (up to 128) |
 //! | 12288  | 192–254  | per-shard watermark table: one InCLL triple line per shard 1..64 |
 //! | 16320  | 255      | spare |
 //! | 16384  | —        | start of carvable space |
@@ -43,16 +43,22 @@ use crate::{Error, PArena, Result};
 
 /// Identifies a formatted InCLL arena.
 pub const MAGIC: u64 = 0x19C1_1C05_A5B1_2019;
-/// On-media format version. Version 5 added the batch-commit table
-/// ([`SB_BATCH_NEXT_ID`], [`SB_BATCH_TABLE`]) backing cross-shard atomic
-/// write batches. Version 4 added the per-shard allocator
-/// arenas: the carve-region descriptor ([`SB_ARENA_SPLIT`]), the per-shard
+/// On-media format version. Version 6 replaced the static per-shard
+/// region split with the **chunked extent pool**: the carvable space is a
+/// pool of fixed-size extents and shards claim them online from the
+/// durable extent-owner table ([`SB_EXTENT_OWNERS`], descriptor at
+/// [`SB_ARENA_SPLIT`]/[`SB_ARENA_REGION_BYTES`]/[`SB_EXTENT_COUNT`]) — a
+/// v5 split descriptor would be misread as a pool, so v5 media is
+/// rejected like every other foreign version. Version 5 added the
+/// batch-commit table ([`SB_BATCH_NEXT_ID`], [`SB_BATCH_TABLE`]) backing
+/// cross-shard atomic write batches. Version 4 added the per-shard
+/// allocator arenas: the carve-region descriptor, the per-shard
 /// watermark table ([`SB_SHARD_BUMP_TABLE`]) and another [`CARVE_START`]
 /// move. Version 3 added the per-shard epoch-domain table
 /// ([`SB_DOMAIN_TABLE`]); version 2 added the shard table
 /// ([`SB_SHARD_COUNT`], [`shard_root_holder`]); version-1 media has
 /// neither. Older media must be rejected by openers, not reinterpreted.
-pub const VERSION: u64 = 5;
+pub const VERSION: u64 = 6;
 
 /// Offset of the magic word.
 pub const SB_MAGIC: u64 = 64;
@@ -87,15 +93,79 @@ pub const SB_BUMP_INCLL: u64 = 1096;
 /// Offset of the watermark log's epoch tag.
 pub const SB_BUMP_EPOCH: u64 = 1104;
 
-/// Offset of the per-shard carve-region descriptor (v4): the base offset
-/// of the region array the allocator split the carvable space into at
-/// create time, or 0 on a store whose allocator was created single-domain
-/// (one shared frontier, the pre-v4 shape).
+/// Offset of the extent-pool base word (v6): the base offset of the
+/// extent pool the allocator carved out of the arena at create time, or 0
+/// on a store whose allocator was created single-domain (one shared
+/// frontier, the paper's exact media shape — a `shards(1)` store keeps a
+/// single implicit extent chain and never touches the pool machinery).
 pub const SB_ARENA_SPLIT: u64 = 3840;
-/// Offset of the bytes-per-shard-region word (v4; meaningful only when
-/// [`SB_ARENA_SPLIT`] is nonzero). Shard `s`'s region is
-/// `[split + s·region_bytes, split + (s+1)·region_bytes)`.
+/// Offset of the bytes-per-extent word (v6; meaningful only when
+/// [`SB_ARENA_SPLIT`] is nonzero). Power of two; extent `i` spans
+/// `[base + i·extent_bytes, base + (i+1)·extent_bytes)`.
 pub const SB_ARENA_REGION_BYTES: u64 = 3848;
+/// Offset of the extent-count word (v6): how many extents the pool holds
+/// (`1..=`[`MAX_EXTENTS`]). Shares line 60 with the other two descriptor
+/// words, so the whole descriptor persists with one write-back.
+pub const SB_EXTENT_COUNT: u64 = 3856;
+
+// ---------------------------------------------------------------------
+// Extent-owner table (v6)
+// ---------------------------------------------------------------------
+
+/// Offset of the extent-owner table: one byte per extent, 0 = free,
+/// `shard + 1` = owned by that shard. The table occupies two dedicated
+/// cache lines (no other superblock field shares them), so claim
+/// write-backs never race another subsystem's line state.
+///
+/// A claim is a byte CAS (`0 → shard + 1`) followed by `clwb`/`sfence`
+/// ([`claim_extent`]): the byte is the *only* durable word naming the
+/// owner, so a crash anywhere in the protocol leaves the extent either
+/// durably owned or durably free — never torn. The shard's carve
+/// frontier can only reference the extent *after* the fence, and
+/// frontiers persist no earlier than the shard's next checkpoint flush,
+/// so a durable frontier inside an extent implies a durable claim.
+/// The converse crash shape — claim durable, frontier not — is the
+/// **in-doubt claim**: recovery keeps the extent on the owning shard's
+/// reserve chain (extents are never released), with zero media writes,
+/// so the repair is byte-identical at every recovery worker count.
+pub const SB_EXTENT_OWNERS: u64 = 12160;
+/// Maximum number of pool extents (the owner table is two cache lines).
+pub const MAX_EXTENTS: usize = 128;
+
+/// The offset of extent `i`'s owner byte.
+///
+/// # Panics
+///
+/// Panics if `i >= MAX_EXTENTS`.
+#[inline]
+pub const fn extent_owner_off(i: usize) -> u64 {
+    assert!(i < MAX_EXTENTS, "extent index out of range");
+    SB_EXTENT_OWNERS + i as u64
+}
+
+/// Reads extent `i`'s owner byte: 0 = free, `shard + 1` = owned.
+pub fn extent_owner(arena: &PArena, i: usize) -> u8 {
+    arena.pread_u8(extent_owner_off(i))
+}
+
+/// Claims extent `i` for `shard` if it is free, making the claim durable
+/// before returning `true`. Returns `false` when another shard (or a
+/// prior claim by this one) already owns it. See [`SB_EXTENT_OWNERS`]
+/// for the crash-atomicity argument.
+///
+/// # Panics
+///
+/// Panics if `shard + 1` does not fit the owner byte.
+pub fn claim_extent(arena: &PArena, i: usize, shard: usize) -> bool {
+    let owner = u8::try_from(shard + 1).expect("shard fits the owner byte");
+    let off = extent_owner_off(i);
+    if arena.pcas_u8(off, 0, owner).is_err() {
+        return false;
+    }
+    arena.clwb(off);
+    arena.sfence();
+    true
+}
 
 // ---------------------------------------------------------------------
 // Batch-commit table (v5)
@@ -548,9 +618,16 @@ mod tests {
         );
         // A domain cell must hold its epochs, count and full failed array.
         assert!(24 + (MAX_FAILED_EPOCHS_SHARD as u64) * 8 <= DOMAIN_CELL_BYTES);
-        // The carve-region descriptor must not collide with its neighbours.
+        // The extent-pool descriptor must not collide with its neighbours,
+        // and all three words must share line 60 (one write-back).
         assert!(SB_ARENA_SPLIT >= shard_root_holder(MAX_SHARDS - 1) + 16);
-        const { assert!(SB_ARENA_REGION_BYTES + 8 <= SB_BATCH_NEXT_ID) };
+        const { assert!(SB_EXTENT_COUNT + 8 <= SB_BATCH_NEXT_ID) };
+        assert_eq!(SB_ARENA_SPLIT / 64, SB_EXTENT_COUNT / 64);
+        // The extent-owner table owns two dedicated lines between the
+        // domain table and the per-shard watermark table.
+        assert_eq!(SB_EXTENT_OWNERS % 64, 0);
+        assert!(domain_cur_epoch_off(MAX_SHARDS - 1) + DOMAIN_CELL_BYTES <= SB_EXTENT_OWNERS);
+        assert!(extent_owner_off(MAX_EXTENTS - 1) < SB_SHARD_BUMP_TABLE);
         // The batch next-id word and commit table sit between the carve
         // descriptor and the domain table; each slot's two words share a
         // line (the commit-ordering requirement).
@@ -612,9 +689,9 @@ mod tests {
         assert!(has_magic(&a));
         assert!(is_formatted(&a));
         assert_eq!(raw_version(&a), VERSION);
-        // Pre-batch-table (v1/v2/v3/v4) superblocks keep their magic but
-        // are no longer "formatted" in the current sense.
-        for stale in [1, 2, 3, 4] {
+        // Pre-extent-pool (v1..v5) superblocks keep their magic but are
+        // no longer "formatted" in the current sense.
+        for stale in [1, 2, 3, 4, 5] {
             a.pwrite_u64(SB_VERSION, stale);
             assert!(has_magic(&a));
             assert!(!is_formatted(&a));
@@ -738,6 +815,84 @@ mod tests {
         set_batch_slot(&a, 0, b2, 0b11);
         assert!(!batch_is_committed(&a, b1));
         assert!(batch_is_committed(&a, b2));
+    }
+
+    #[test]
+    fn extent_claims_are_exclusive_and_exactly_once() {
+        let a = arena();
+        format(&a);
+        for i in 0..MAX_EXTENTS {
+            assert_eq!(extent_owner(&a, i), 0, "fresh pool is all-free");
+        }
+        assert!(claim_extent(&a, 3, 0));
+        assert_eq!(extent_owner(&a, 3), 1);
+        // Neither the owner nor anyone else can claim it again.
+        assert!(!claim_extent(&a, 3, 0));
+        assert!(!claim_extent(&a, 3, 5));
+        assert_eq!(extent_owner(&a, 3), 1);
+        // Adjacent extents (same owner-table word) claim independently.
+        assert!(claim_extent(&a, 2, 7));
+        assert!(claim_extent(&a, 4, 63));
+        assert_eq!(extent_owner(&a, 2), 8);
+        assert_eq!(extent_owner(&a, 3), 1);
+        assert_eq!(extent_owner(&a, 4), 64);
+    }
+
+    #[test]
+    fn extent_claim_is_never_torn_across_a_crash() {
+        let a = PArena::builder()
+            .capacity_bytes(1 << 20)
+            .tracked(true)
+            .build()
+            .unwrap();
+        format(&a);
+        a.global_flush();
+        // A completed claim is durable the moment claim_extent returns:
+        // even the harshest crash (drop every unflushed store) keeps it.
+        assert!(claim_extent(&a, 9, 4));
+        a.crash_with(|_, _| 0);
+        assert_eq!(extent_owner(&a, 9), 5, "a returned claim must survive");
+        // A claim that crashed *before* its write-back (simulated by the
+        // raw CAS without the flush) is lost whole: the byte reads free,
+        // never torn, and the extent is claimable again.
+        assert!(a.pcas_u8(extent_owner_off(10), 0, 3).is_ok());
+        a.crash_with(|_, _| 0);
+        assert_eq!(extent_owner(&a, 10), 0, "a pre-flush claim vanishes");
+        assert!(claim_extent(&a, 10, 6));
+        assert_eq!(extent_owner(&a, 10), 7);
+    }
+
+    #[test]
+    fn concurrent_claimants_split_the_pool_without_overlap() {
+        let a = arena();
+        format(&a);
+        // Eight shards race to claim every extent lowest-index-first; each
+        // extent must end up with exactly one owner and every shard's
+        // claim set must be disjoint.
+        let counts: Vec<usize> = std::thread::scope(|s| {
+            (0..8usize)
+                .map(|shard| {
+                    let a = a.clone();
+                    s.spawn(move || {
+                        let mut got = 0;
+                        for i in 0..MAX_EXTENTS {
+                            if claim_extent(&a, i, shard) {
+                                got += 1;
+                            }
+                        }
+                        got
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert_eq!(counts.iter().sum::<usize>(), MAX_EXTENTS);
+        for i in 0..MAX_EXTENTS {
+            let o = extent_owner(&a, i);
+            assert!((1..=8).contains(&o), "extent {i} owner {o} out of range");
+        }
     }
 
     #[test]

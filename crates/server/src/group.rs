@@ -136,7 +136,12 @@ impl GroupCommitter {
     /// Starts the committer thread. `sess` is the session the thread
     /// commits through — acquire it from the same [`Store`] before
     /// spawning workers so pool exhaustion surfaces at startup.
-    pub fn start(store: Store, sess: Session, cfg: GroupConfig) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// The spawn failure, verbatim, when the OS refuses the committer
+    /// thread — the caller decides whether to degrade or abort.
+    pub fn start(store: Store, sess: Session, cfg: GroupConfig) -> std::io::Result<Self> {
         let inner = Arc::new(Inner {
             state: Mutex::new(State {
                 pending: Vec::new(),
@@ -153,13 +158,12 @@ impl GroupCommitter {
             let inner = Arc::clone(&inner);
             std::thread::Builder::new()
                 .name("incll-group-commit".into())
-                .spawn(move || committer_loop(&inner, &store, &sess))
-                .expect("spawn group-commit thread")
+                .spawn(move || committer_loop(&inner, &store, &sess))?
         };
-        GroupCommitter {
+        Ok(GroupCommitter {
             inner,
             thread: Mutex::new(Some(thread)),
-        }
+        })
     }
 
     /// Enqueues one write; `done` runs once its group is durable.
@@ -283,8 +287,8 @@ fn commit_group(inner: &Inner, sess: &Session, writes: Vec<PendingWrite>) {
             continue;
         }
         let mut batch = sess.batch();
-        let mut chunk_done: Vec<Completion> = Vec::new();
-        while chunk_done.len() < MAX_BATCH_OPS {
+        let mut chunk: Vec<PendingWrite> = Vec::new();
+        while chunk.len() < MAX_BATCH_OPS {
             let Some(w) = writes.peek() else { break };
             let staged = match &w.op {
                 GroupOp::Put { key, val } => batch.put(key, val),
@@ -293,8 +297,7 @@ fn commit_group(inner: &Inner, sess: &Session, writes: Vec<PendingWrite>) {
             };
             match staged {
                 Ok(()) => {
-                    let w = writes.next().unwrap();
-                    chunk_done.push(w.done);
+                    chunk.push(writes.next().unwrap());
                 }
                 Err(e) => {
                     // A single bad write (oversized value) must not
@@ -304,26 +307,49 @@ fn commit_group(inner: &Inner, sess: &Session, writes: Vec<PendingWrite>) {
                 }
             }
         }
-        if chunk_done.is_empty() {
+        if chunk.is_empty() {
             continue;
         }
         match batch.commit_durable() {
             Ok(id) => {
                 inner.groups.fetch_add(1, Ordering::Relaxed);
-                inner
-                    .ops
-                    .fetch_add(chunk_done.len() as u64, Ordering::Relaxed);
-                for done in chunk_done {
-                    done(Ok(id));
+                inner.ops.fetch_add(chunk.len() as u64, Ordering::Relaxed);
+                for w in chunk {
+                    (w.done)(Ok(id));
                 }
             }
-            Err(e) => {
-                let msg = e.to_string();
-                for done in chunk_done {
-                    done(Err(msg.clone()));
+            Err(_) => {
+                // A store-level failure (e.g. one shard's pool is
+                // exhausted) aborted the whole chunk before anything
+                // durable happened. Error-acking every rider would
+                // poison writes that are individually fine, so retry
+                // each as its own durable one-op batch: only the ops
+                // that truly cannot commit error-ack, and the committer
+                // stays alive for later groups.
+                for w in chunk {
+                    commit_single(inner, sess, w);
                 }
             }
         }
+    }
+}
+
+/// Per-op fallback after a failed chunk commit: the write commits (and
+/// fences) alone, so its ack reflects *its* outcome, not a neighbour's.
+fn commit_single(inner: &Inner, sess: &Session, w: PendingWrite) {
+    let mut batch = sess.batch();
+    let staged = match &w.op {
+        GroupOp::Put { key, val } => batch.put(key, val),
+        GroupOp::Del { key } => batch.delete(key),
+        GroupOp::Batch { .. } => unreachable!("chunks never hold batches"),
+    };
+    match staged.and_then(|()| batch.commit_durable()) {
+        Ok(id) => {
+            inner.groups.fetch_add(1, Ordering::Relaxed);
+            inner.ops.fetch_add(1, Ordering::Relaxed);
+            (w.done)(Ok(id));
+        }
+        Err(e) => (w.done)(Err(e.to_string())),
     }
 }
 
@@ -372,7 +398,8 @@ mod tests {
                 window: Duration::from_millis(2),
                 ..GroupConfig::default()
             },
-        );
+        )
+        .unwrap();
         let (tx, rx) = mpsc::channel();
         for i in 0..100u64 {
             let tx = tx.clone();
@@ -416,7 +443,8 @@ mod tests {
                 max_ops: 8,
                 max_bytes: 1 << 20,
             },
-        );
+        )
+        .unwrap();
         let (tx, rx) = mpsc::channel();
         for i in 0..8u64 {
             let tx = tx.clone();
@@ -444,7 +472,8 @@ mod tests {
                 window: Duration::from_secs(30), // would never fire on its own
                 ..GroupConfig::default()
             },
-        );
+        )
+        .unwrap();
         let (tx, rx) = mpsc::channel();
         for i in 0..5u64 {
             let tx = tx.clone();
@@ -479,7 +508,8 @@ mod tests {
                 window: Duration::from_micros(50),
                 ..GroupConfig::default()
             },
-        );
+        )
+        .unwrap();
         let (tx, rx) = mpsc::channel();
         let k = b"contended".to_vec();
         // put v1, BATCH{put v2}, del, put v3 — all on one key, enqueued
@@ -527,7 +557,8 @@ mod tests {
                 window: Duration::from_millis(2),
                 ..GroupConfig::default()
             },
-        );
+        )
+        .unwrap();
         let (tx, rx) = mpsc::channel();
         let t1 = tx.clone();
         committer.submit(
@@ -562,5 +593,103 @@ mod tests {
         assert!(outcomes["g2"]);
         assert_eq!(store.get(&sess, b"good-2"), Some(b"y".to_vec()));
         assert_eq!(store.get(&sess, b"bad"), None);
+    }
+
+    #[test]
+    fn a_full_shard_error_acks_only_the_affected_writes() {
+        // A store-level OutOfMemory inside the group window (one shard's
+        // extent pool exhausted) must not poison the whole group or kill
+        // the committer: riders on healthy shards still commit and ack
+        // `Ok`, only the writes that truly cannot commit ack `Err`, and
+        // later groups keep working.
+        let arena = Box::leak(Box::new(
+            PArena::builder().capacity_bytes(16 << 20).build().unwrap(),
+        ));
+        let options = Options::new()
+            .threads(4)
+            .log_bytes_per_thread(1 << 20)
+            .shards(2);
+        let (store, _) = Store::open(arena, options).unwrap();
+        let sess = store.session().unwrap();
+        let key_on = |shard: usize, tag: u64| -> Vec<u8> {
+            (0u64..)
+                .map(|i| format!("gk{tag}-{i}").into_bytes())
+                .find(|k| store.shard_of(k) == shard)
+                .unwrap()
+        };
+
+        // Exhaust shard 0 by overwriting a fixed working set (updates
+        // only, so exhaustion is always a typed value-buffer error).
+        let hot: Vec<Vec<u8>> = (0..16).map(|t| key_on(0, t)).collect();
+        for k in &hot {
+            store.put(&sess, k, b"seed").unwrap();
+        }
+        store.checkpoint();
+        let big = vec![0x5au8; 3000];
+        let mut i = 0usize;
+        while store.put(&sess, &hot[i % hot.len()], &big).is_ok() {
+            i += 1;
+        }
+
+        let committer = GroupCommitter::start(
+            store.clone(),
+            store.session().unwrap(),
+            GroupConfig {
+                window: Duration::from_millis(2),
+                ..GroupConfig::default()
+            },
+        )
+        .unwrap();
+        // One group window: a healthy-shard put, a doomed full-shard
+        // put, and a delete on the full shard (no allocation — fine).
+        let healthy = key_on(1, 900);
+        let (tx, rx) = mpsc::channel();
+        let t1 = tx.clone();
+        committer.submit(
+            GroupOp::Put {
+                key: healthy.clone(),
+                val: b"survives".to_vec(),
+            },
+            Box::new(move |r| t1.send(("healthy", r)).unwrap()),
+        );
+        let t2 = tx.clone();
+        committer.submit(
+            GroupOp::Put {
+                key: hot[0].clone(),
+                val: big.clone(),
+            },
+            Box::new(move |r| t2.send(("doomed", r)).unwrap()),
+        );
+        committer.submit(
+            GroupOp::Del {
+                key: hot[1].clone(),
+            },
+            Box::new(move |r| tx.send(("del", r)).unwrap()),
+        );
+        let mut outcomes = std::collections::BTreeMap::new();
+        for _ in 0..3 {
+            let (who, r) = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+            outcomes.insert(who, r.is_ok());
+        }
+        assert!(outcomes["healthy"], "healthy-shard write must commit");
+        assert!(!outcomes["doomed"], "full-shard write must error-ack");
+        assert!(outcomes["del"], "allocation-free op must commit");
+        assert_eq!(
+            store.get(&sess, &healthy),
+            Some(b"survives".to_vec()),
+            "the healthy rider's bytes must be applied"
+        );
+        assert_eq!(store.get(&sess, &hot[1]), None, "delete must apply");
+
+        // The committer survived: a later group still commits.
+        let (tx2, rx2) = mpsc::channel();
+        committer.submit(
+            GroupOp::Put {
+                key: key_on(1, 901),
+                val: b"later".to_vec(),
+            },
+            Box::new(move |r| tx2.send(r).unwrap()),
+        );
+        rx2.recv_timeout(Duration::from_secs(5)).unwrap().unwrap();
     }
 }

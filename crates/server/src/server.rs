@@ -227,7 +227,10 @@ impl Server {
         let group = match &cfg.commit {
             CommitMode::Group(gc) => {
                 let sess = store.session_blocking(cfg.session_timeout)?;
-                Some(GroupCommitter::start(store.clone(), sess, gc.clone()))
+                Some(
+                    GroupCommitter::start(store.clone(), sess, gc.clone())
+                        .map_err(|e| Error::Internal(format!("spawn group-commit thread: {e}")))?,
+                )
             }
             _ => None,
         };
@@ -248,28 +251,49 @@ impl Server {
             group,
         });
 
-        let workers = sessions
-            .into_iter()
-            .enumerate()
-            .map(|(i, sess)| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("incll-worker-{i}"))
-                    .spawn(move || worker_loop(&shared, i, &sess))
-                    .expect("spawn worker")
-            })
-            .collect();
+        // Unwinds a partial start: stop flag up, wake and join whatever
+        // already runs, flush the committer — then surface the spawn
+        // failure as a typed error instead of panicking the caller.
+        let unwind = |workers: Vec<JoinHandle<()>>, what: &str, e: std::io::Error| {
+            shared.stop.store(true, Ordering::SeqCst);
+            shared.readers_done.store(true, Ordering::SeqCst);
+            for q in &shared.queues {
+                q.cv.notify_all();
+            }
+            for t in workers {
+                let _ = t.join();
+            }
+            if let Some(g) = &shared.group {
+                g.shutdown();
+            }
+            Error::Internal(format!("spawn {what} thread: {e}"))
+        };
+
+        let mut workers = Vec::with_capacity(sessions.len());
+        for (i, sess) in sessions.into_iter().enumerate() {
+            let worker_shared = Arc::clone(&shared);
+            match std::thread::Builder::new()
+                .name(format!("incll-worker-{i}"))
+                .spawn(move || worker_loop(&worker_shared, i, &sess))
+            {
+                Ok(t) => workers.push(t),
+                Err(e) => return Err(unwind(workers, "worker", e)),
+            }
+        }
 
         let readers = Arc::new(Mutex::new(Vec::new()));
         let writers = Arc::new(Mutex::new(Vec::new()));
         let acceptor = {
-            let shared = Arc::clone(&shared);
+            let acceptor_shared = Arc::clone(&shared);
             let readers = Arc::clone(&readers);
             let writers = Arc::clone(&writers);
-            std::thread::Builder::new()
+            match std::thread::Builder::new()
                 .name("incll-acceptor".into())
-                .spawn(move || accept_loop(&shared, &listener, &readers, &writers))
-                .expect("spawn acceptor")
+                .spawn(move || accept_loop(&acceptor_shared, &listener, &readers, &writers))
+            {
+                Ok(t) => t,
+                Err(e) => return Err(unwind(workers, "acceptor", e)),
+            }
         };
 
         Ok(Server {

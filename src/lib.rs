@@ -12,8 +12,8 @@
 /// One-stop imports for examples and integration tests.
 pub mod prelude {
     pub use incll::{
-        Error, Options, RangeScan, ReadGuard, RecoveryReport, Session, ShardReplay, ShardStats,
-        Store, ValueRef, WriteBatch, MAX_BATCH_OPS, MAX_VALUE_BYTES,
+        Error, ExtentStats, Options, RangeScan, ReadGuard, RecoveryReport, Session, ShardReplay,
+        ShardStats, Store, ValueRef, WriteBatch, MAX_BATCH_OPS, MAX_VALUE_BYTES,
     };
     pub use incll_epoch::{
         AdaptiveCadence, AdvanceDriver, Cadence, DomainCadence, DomainCounters, EpochManager,

@@ -678,7 +678,210 @@ fn puts_after_a_crash_with_no_prior_checkpoint_stay_sound() {
     }
 }
 
-/// The batched-append knob must be invisible to crash recovery: every
+/// What one mid-extent-claim cell produced, for cross-worker comparison.
+struct ClaimCell {
+    got: Vec<(Vec<u8>, Vec<u8>)>,
+    /// Raw extent-owner bytes (`0` free, `shard + 1` owned) after the
+    /// final recovery.
+    owners: Vec<u8>,
+    /// Extents owned per shard after the final recovery.
+    owned: Vec<usize>,
+    per_shard: Vec<(u64, u64, u64)>, // (failed, recovered, entries)
+    digest: u64,
+}
+
+/// Deterministic history ending in a crash **immediately after** shard 0
+/// claims a second extent, inside an epoch that never checkpoints. The
+/// claim's owner byte is durable before any frontier references the
+/// extent, so recovery must keep the extent owned (it re-queues as
+/// reserve) while rolling every doomed store back — identically at any
+/// worker count.
+fn run_claim_cell(shards: usize, final_workers: usize) -> ClaimCell {
+    let arena = tracked();
+    let mut expect: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+
+    let (store, r) = Store::open(&arena, options(shards, 1)).unwrap();
+    assert!(r.created);
+    let pre_crash_owners: Vec<u8>;
+    {
+        let sess = store.session().unwrap();
+        for i in 0..40u64 {
+            store.put(&sess, &i.to_be_bytes(), &bval(i)).unwrap();
+            expect.insert(i.to_be_bytes().to_vec(), bval(i));
+        }
+        // A hot working set routed entirely to shard 0.
+        let hot: Vec<Vec<u8>> = (0..16u64)
+            .map(|t| {
+                (0u64..)
+                    .map(|i| format!("claim{t}-{i}").into_bytes())
+                    .find(|k| store.shard_of(k) == 0)
+                    .unwrap()
+            })
+            .collect();
+        for k in &hot {
+            store.put(&sess, k, b"seed").unwrap();
+            expect.insert(k.clone(), b"seed".to_vec());
+        }
+        store.checkpoint();
+
+        // Doomed phase: overwrite the hot set with carve-class values
+        // until shard 0's frontier spills into a freshly claimed extent,
+        // then stop — the crash lands with the claim durable but every
+        // store that motivated it doomed.
+        let before = store.extent_stats().unwrap().owned_per_shard[0];
+        let big = carve_val(2); // 3500 → the 4096 class
+        let mut i = 0usize;
+        loop {
+            store.put(&sess, &hot[i % hot.len()], &big).unwrap();
+            i += 1;
+            if store.extent_stats().unwrap().owned_per_shard[0] > before {
+                break;
+            }
+            assert!(i < 10_000, "shard 0 never claimed a second extent");
+        }
+        let stats = store.extent_stats().unwrap();
+        pre_crash_owners = (0..stats.extent_count)
+            .map(|e| incll_pmem::superblock::extent_owner(&arena, e))
+            .collect();
+    }
+    drop(store);
+    arena.crash_seeded(0xEC1A ^ shards as u64);
+
+    let (store, report) = Store::open(&arena, options(shards, final_workers)).unwrap();
+    assert!(!report.created);
+    let stats = store.extent_stats().unwrap();
+    let owners: Vec<u8> = (0..stats.extent_count)
+        .map(|e| incll_pmem::superblock::extent_owner(&arena, e))
+        .collect();
+    assert_eq!(
+        owners, pre_crash_owners,
+        "shards={shards} workers={final_workers}: recovery must neither \
+         release nor re-assign a durably claimed extent"
+    );
+    let got: Vec<(Vec<u8>, Vec<u8>)> = {
+        let sess = store.session().unwrap();
+        store.iter(&sess).collect()
+    };
+    let want: Vec<(Vec<u8>, Vec<u8>)> = expect.into_iter().collect();
+    assert_eq!(
+        got, want,
+        "shards={shards} workers={final_workers}: every doomed store must \
+         roll back even though the claim it forced survives"
+    );
+    drop(store);
+    ClaimCell {
+        got,
+        owners,
+        owned: stats.owned_per_shard,
+        per_shard: report
+            .per_shard
+            .iter()
+            .map(|s| (s.failed_epoch, s.recovered_epoch, s.replayed_entries))
+            .collect(),
+        digest: arena_digest(&arena),
+    }
+}
+
+#[test]
+fn crash_mid_extent_claim_resolves_identically_at_every_worker_count() {
+    for &shards in &[2usize, 4] {
+        let mut baseline: Option<ClaimCell> = None;
+        for &workers in WORKER_SWEEP {
+            let out = run_claim_cell(shards, workers);
+            assert!(
+                out.owned[0] >= 2,
+                "shards={shards} workers={workers}: the claimed extent must \
+                 survive recovery as shard 0's reserve, owned {:?}",
+                out.owned
+            );
+            if let Some(base) = &baseline {
+                assert_eq!(base.got, out.got);
+                assert_eq!(
+                    base.owners, out.owners,
+                    "shards={shards} workers={workers}: the owner table must \
+                     not depend on the worker count"
+                );
+                assert_eq!(base.owned, out.owned);
+                assert_eq!(
+                    base.per_shard, out.per_shard,
+                    "shards={shards} workers={workers}: per-shard \
+                     epochs/replay must not depend on workers"
+                );
+                assert_eq!(
+                    base.digest, out.digest,
+                    "shards={shards} workers={workers}: a mid-claim crash \
+                     must recover byte-identically at every worker count"
+                );
+            } else {
+                baseline = Some(out);
+            }
+        }
+    }
+}
+
+#[test]
+fn recovered_reserve_extent_is_reused_before_any_fresh_claim() {
+    // After a mid-claim crash, the orphaned extent re-queues as reserve:
+    // renewed pressure on the same shard must consume it without touching
+    // the owner table.
+    let shards = 2usize;
+    let arena = tracked();
+    let hot: Vec<Vec<u8>>;
+    {
+        let (store, _) = Store::open(&arena, options(shards, 1)).unwrap();
+        let sess = store.session().unwrap();
+        hot = (0..16u64)
+            .map(|t| {
+                (0u64..)
+                    .map(|i| format!("reuse{t}-{i}").into_bytes())
+                    .find(|k| store.shard_of(k) == 0)
+                    .unwrap()
+            })
+            .collect();
+        for k in &hot {
+            store.put(&sess, k, b"seed").unwrap();
+        }
+        store.checkpoint();
+        let before = store.extent_stats().unwrap().owned_per_shard[0];
+        let big = carve_val(2);
+        let mut i = 0usize;
+        while store.extent_stats().unwrap().owned_per_shard[0] == before {
+            store.put(&sess, &hot[i % hot.len()], &big).unwrap();
+            i += 1;
+            assert!(i < 10_000, "shard 0 never claimed a second extent");
+        }
+    }
+    arena.crash_seeded(0xEC1B);
+
+    let (store, _) = Store::open(&arena, options(shards, 2)).unwrap();
+    let stats = store.extent_stats().unwrap();
+    let owners: Vec<u8> = (0..stats.extent_count)
+        .map(|e| incll_pmem::superblock::extent_owner(&arena, e))
+        .collect();
+    let sess = store.session().unwrap();
+    // Burn through the reverted frontier and well into the reserve
+    // extent, all inside one epoch so every overwrite carves fresh (the
+    // displaced buffers stay deferred): one extent holds ~250 of these
+    // 4 KiB-class values, so 320 puts must spill into the reserve while
+    // staying far from needing a third extent.
+    let big = carve_val(2);
+    for round in 0..20usize {
+        for k in &hot {
+            store.put(&sess, k, &big).unwrap();
+        }
+        let _ = round;
+    }
+    store.checkpoint();
+    let after: Vec<u8> = (0..stats.extent_count)
+        .map(|e| incll_pmem::superblock::extent_owner(&arena, e))
+        .collect();
+    assert_eq!(
+        owners, after,
+        "the reserve extent must absorb renewed pressure before any fresh \
+         claim touches the owner table"
+    );
+    assert_eq!(store.get(&sess, &hot[0]), Some(big));
+}
 /// matrix crash point, re-run with `persistence_granularity` ∈ {0, 256,
 /// 4096} and recovery workers ∈ {1, 4}, must land on the identical
 /// per-shard model, the identical per-shard report, and the identical

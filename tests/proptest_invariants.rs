@@ -623,10 +623,10 @@ proptest! {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
     /// Any interleaving of allocations across domains, threads, size
-    /// classes and epochs: every payload stays inside its own domain's
-    /// carve region, and no two live payloads overlap — per-shard carve
+    /// classes and epochs: every payload stays inside an extent its own
+    /// domain owns, and no two live payloads overlap — per-shard carve
     /// frontiers never hand out the same slab twice, within or across
-    /// shards.
+    /// shards, even as shards claim new extents from the shared pool.
     #[test]
     fn per_shard_carve_frontiers_never_hand_out_overlapping_slabs(
         tape in proptest::collection::vec(
@@ -647,10 +647,10 @@ proptest! {
             let size = sizes[szi];
             let p = alloc.alloc_in(t, d, epoch, size).unwrap();
             let end = p + size as u64;
-            let (rs, rl) = alloc.region_of(d).unwrap();
+            let owned = alloc.owned_extents(d);
             prop_assert!(
-                p >= rs && end <= rl,
-                "payload [{p:#x}, {end:#x}) escaped domain {d}'s region [{rs:#x}, {rl:#x})"
+                owned.iter().any(|&(rs, rl)| p >= rs && end <= rl),
+                "payload [{p:#x}, {end:#x}) lies in no extent owned by domain {d} ({owned:x?})"
             );
             for &(q, qe, qd) in &live {
                 prop_assert!(
@@ -659,6 +659,16 @@ proptest! {
                 );
             }
             live.push((p, end, d));
+        }
+        // Distinct domains never share an extent.
+        for a in 0..domains {
+            for b in a + 1..domains {
+                for &(s, e) in &alloc.owned_extents(a) {
+                    for &(s2, e2) in &alloc.owned_extents(b) {
+                        prop_assert!(e <= s2 || s >= e2, "domains {a}/{b} share an extent");
+                    }
+                }
+            }
         }
     }
 }

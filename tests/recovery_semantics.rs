@@ -208,14 +208,15 @@ fn pre_shard_layout_is_a_typed_error_not_a_reformat() {
 }
 
 #[test]
-fn v1_v2_and_v3_media_fail_typed_without_reformat() {
+fn v1_through_v5_media_fail_typed_without_reformat() {
     use incll_pmem::superblock;
-    // Fabricate pre-v4 superblocks: magic + stale version + plausible
+    // Fabricate pre-v6 superblocks: magic + stale version + plausible
     // field debris (v3 media is a real shape: per-shard epoch domains but
-    // one shared carve frontier and no watermark table). The v4 opener
-    // must return UnsupportedLayout and leave every byte alone — never
+    // one shared carve frontier and no watermark table; v5 has per-shard
+    // static regions but no extent-owner table). The v6 opener must
+    // return UnsupportedLayout and leave every byte alone — never
     // "helpfully" reformat over user data.
-    for stale_version in [1u64, 2, 3] {
+    for stale_version in [1u64, 2, 3, 4, 5] {
         let arena = tracked();
         arena.pwrite_u64(superblock::SB_MAGIC, superblock::MAGIC);
         arena.pwrite_u64(superblock::SB_VERSION, stale_version);
